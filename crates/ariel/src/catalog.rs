@@ -1,0 +1,141 @@
+//! The rule catalog: persistent home of installed rule definitions (§3).
+
+use crate::error::{ArielError, ArielResult};
+use crate::rule::Rule;
+use ariel_network::RuleId;
+use ariel_query::RuleDef;
+use std::collections::BTreeMap;
+
+/// Named collection of installed rules.
+#[derive(Debug, Default)]
+pub struct RuleCatalog {
+    rules: BTreeMap<String, Rule>,
+    next_id: u64,
+}
+
+impl RuleCatalog {
+    /// New empty catalog.
+    pub fn new() -> Self {
+        RuleCatalog::default()
+    }
+
+    /// Install a rule definition (store its syntax tree). Errors on a
+    /// duplicate name.
+    pub fn install(&mut self, def: RuleDef) -> ArielResult<RuleId> {
+        if self.rules.contains_key(&def.name) {
+            return Err(ArielError::DuplicateRule(def.name));
+        }
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        let name = def.name.clone();
+        self.rules.insert(name, Rule::new(id, def));
+        Ok(id)
+    }
+
+    /// Remove a rule by name, returning it.
+    pub fn remove(&mut self, name: &str) -> ArielResult<Rule> {
+        self.rules
+            .remove(name)
+            .ok_or_else(|| ArielError::UnknownRule(name.to_string()))
+    }
+
+    /// Look up a rule by name.
+    pub fn get(&self, name: &str) -> Option<&Rule> {
+        self.rules.get(name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Rule> {
+        self.rules.get_mut(name)
+    }
+
+    /// Lookup by name, or a typed error.
+    pub fn require(&self, name: &str) -> ArielResult<&Rule> {
+        self.get(name)
+            .ok_or_else(|| ArielError::UnknownRule(name.to_string()))
+    }
+
+    /// Find the rule carrying a network id.
+    pub fn by_id(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.values().find(|r| r.id == id)
+    }
+
+    /// All rules, ordered by name.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.values()
+    }
+
+    /// Rules in a ruleset, ordered by name.
+    pub fn in_ruleset<'a>(&'a self, ruleset: &'a str) -> impl Iterator<Item = &'a Rule> + 'a {
+        self.rules.values().filter(move |r| r.ruleset == ruleset)
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariel_query::{parse_command, Command};
+
+    fn def(name: &str, ruleset: Option<&str>) -> RuleDef {
+        let rs = ruleset.map(|r| format!("in {r} ")).unwrap_or_default();
+        match parse_command(&format!("define rule {name} {rs}if emp.x > 1 then halt")).unwrap()
+        {
+            Command::DefineRule(d) => d,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn install_assigns_unique_ids() {
+        let mut c = RuleCatalog::new();
+        let a = c.install(def("a", None)).unwrap();
+        let b = c.install(def("b", None)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.by_id(a).unwrap().name, "a");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = RuleCatalog::new();
+        c.install(def("a", None)).unwrap();
+        assert!(matches!(
+            c.install(def("a", None)),
+            Err(ArielError::DuplicateRule(_))
+        ));
+    }
+
+    #[test]
+    fn remove_and_missing() {
+        let mut c = RuleCatalog::new();
+        c.install(def("a", None)).unwrap();
+        assert!(c.remove("a").is_ok());
+        assert!(matches!(c.remove("a"), Err(ArielError::UnknownRule(_))));
+        assert!(c.require("a").is_err());
+    }
+
+    #[test]
+    fn ruleset_filtering() {
+        let mut c = RuleCatalog::new();
+        c.install(def("a", Some("payroll"))).unwrap();
+        c.install(def("b", None)).unwrap();
+        c.install(def("c", Some("payroll"))).unwrap();
+        let names: Vec<_> = c.in_ruleset("payroll").map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+        let names: Vec<_> = c
+            .in_ruleset(crate::rule::DEFAULT_RULESET)
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["b"]);
+    }
+}

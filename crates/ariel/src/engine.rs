@@ -1,0 +1,657 @@
+//! The Ariel engine: command dispatch, transitions, and the recognize-act
+//! cycle (Fig. 1).
+
+use crate::action::ActionPlanner;
+use crate::agenda::{self, ConflictStrategy, Eligible};
+use crate::catalog::RuleCatalog;
+use crate::delta::DeltaTracker;
+use crate::error::{ArielError, ArielResult};
+use crate::rule::RuleState;
+use ariel_network::{Network, NetworkStats, RuleId, RuleStats, Token, VirtualPolicy};
+use ariel_query::{
+    execute as execute_query, modify_action, parse_command, parse_script, CmdOutput, Command,
+    Notification, Pnode, Resolver, RuleDef,
+};
+use ariel_storage::{AttrDef, Catalog, Schema};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Which eligible α-memories become virtual (§4.2).
+    pub virtual_policy: VirtualPolicy,
+    /// Conflict-resolution strategy.
+    pub conflict: ConflictStrategy,
+    /// Upper bound on rule firings per recognize-act cycle (runaway guard).
+    pub max_firings: usize,
+    /// `false` = always-reoptimize rule-action plans (§5.3, the paper's
+    /// choice); `true` = cache plans at first firing.
+    pub cache_action_plans: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            virtual_policy: VirtualPolicy::AllStored,
+            conflict: ConflictStrategy::default(),
+            max_firings: 10_000,
+            cache_action_plans: false,
+        }
+    }
+}
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Transitions processed (commands, blocks, and rule actions).
+    pub transitions: u64,
+    /// Tokens pushed through the discrimination network.
+    pub tokens: u64,
+    /// Rule firings.
+    pub firings: u64,
+}
+
+/// The Ariel active DBMS.
+///
+/// ```
+/// use ariel::Ariel;
+///
+/// let mut db = Ariel::new();
+/// db.execute("create emp (name = string, sal = float)").unwrap();
+/// db.execute(
+///     "define rule NoBobs on append emp if emp.name = \"Bob\" then delete emp",
+/// )
+/// .unwrap();
+/// db.execute("append emp (name = \"Bob\", sal = 10000)").unwrap();
+/// let out = db.query("retrieve (emp.name)").unwrap();
+/// assert!(out.rows.is_empty(), "the rule deleted Bob");
+/// ```
+#[derive(Debug)]
+pub struct Ariel {
+    catalog: Catalog,
+    rules: RuleCatalog,
+    network: Network,
+    planner: ActionPlanner,
+    options: EngineOptions,
+    /// Query-modified action per active rule.
+    actions: HashMap<u64, Vec<Command>>,
+    /// Relations referenced by each active rule's condition.
+    cond_rels: HashMap<u64, HashSet<String>>,
+    /// Recency bookkeeping for conflict resolution.
+    last_matched: HashMap<u64, u64>,
+    prev_sizes: HashMap<u64, usize>,
+    tick: u64,
+    stats: EngineStats,
+    /// Pending asynchronous notifications (§8 future work: alert monitors,
+    /// stock tickers). Consumers drain with [`Ariel::drain_notifications`].
+    notifications: std::collections::VecDeque<Notification>,
+}
+
+impl Default for Ariel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ariel {
+    /// New engine with default options.
+    pub fn new() -> Self {
+        Self::with_options(EngineOptions::default())
+    }
+
+    /// New engine with explicit options.
+    pub fn with_options(options: EngineOptions) -> Self {
+        Ariel {
+            catalog: Catalog::new(),
+            rules: RuleCatalog::new(),
+            network: Network::new(),
+            planner: ActionPlanner::new(options.cache_action_plans),
+            options,
+            actions: HashMap::new(),
+            cond_rels: HashMap::new(),
+            last_matched: HashMap::new(),
+            prev_sizes: HashMap::new(),
+            tick: 0,
+            stats: EngineStats::default(),
+            notifications: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Execute a script of one or more commands; returns one output per
+    /// top-level command.
+    pub fn execute(&mut self, src: &str) -> ArielResult<Vec<CmdOutput>> {
+        let cmds = parse_script(src)?;
+        let mut outputs = Vec::with_capacity(cmds.len());
+        for cmd in &cmds {
+            outputs.push(self.execute_command(cmd)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Execute a single command given as source text and return its output
+    /// (convenience for `retrieve`).
+    pub fn query(&mut self, src: &str) -> ArielResult<CmdOutput> {
+        let cmd = parse_command(src)?;
+        self.execute_command(&cmd)
+    }
+
+    /// Execute one parsed command.
+    pub fn execute_command(&mut self, cmd: &Command) -> ArielResult<CmdOutput> {
+        match cmd {
+            Command::CreateRelation { name, attrs } => {
+                let schema = Schema::new(
+                    attrs
+                        .iter()
+                        .map(|(n, t)| AttrDef::new(n.clone(), *t))
+                        .collect(),
+                )?;
+                self.catalog.create(name, Arc::new(schema))?;
+                Ok(CmdOutput::default())
+            }
+            Command::DestroyRelation { name } => {
+                // an active rule watching the relation blocks destruction
+                for (rule_key, rels) in &self.cond_rels {
+                    if rels.contains(name) {
+                        let rule = self
+                            .rules
+                            .by_id(RuleId(*rule_key))
+                            .map(|r| r.name.clone())
+                            .unwrap_or_default();
+                        return Err(ArielError::RelationInUse {
+                            relation: name.clone(),
+                            rule,
+                        });
+                    }
+                }
+                self.catalog.destroy(name)?;
+                Ok(CmdOutput::default())
+            }
+            Command::CreateIndex { rel, attr, kind } => {
+                let rel_ref = self.catalog.require(rel)?;
+                rel_ref.borrow_mut().create_index(attr, *kind)?;
+                Ok(CmdOutput::default())
+            }
+            Command::DefineRule(def) => {
+                // `define rule` installs and activates in one step; the
+                // lower-level API keeps the phases separate (as the paper's
+                // measurements do).
+                let name = self.install_rule(def.clone())?;
+                self.activate_rule(&name)?;
+                Ok(CmdOutput::default())
+            }
+            Command::DropRule { name } => {
+                if self.rules.require(name)?.is_active() {
+                    self.deactivate_rule(name)?;
+                }
+                self.rules.remove(name)?;
+                Ok(CmdOutput::default())
+            }
+            Command::ActivateRule { name } => {
+                self.activate_rule(name)?;
+                Ok(CmdOutput::default())
+            }
+            Command::DeactivateRule { name } => {
+                self.deactivate_rule(name)?;
+                Ok(CmdOutput::default())
+            }
+            Command::Halt => Ok(CmdOutput::default()), // meaningful inside actions only
+            Command::Block(cmds) => self.run_transition(cmds),
+            dml => self.run_transition(std::slice::from_ref(dml)),
+        }
+    }
+
+    // ----- rule lifecycle ----------------------------------------------------
+
+    /// Install a rule: store its syntax tree in the rule catalog (§6's
+    /// *installation* phase). Returns the rule name.
+    pub fn install_rule(&mut self, def: RuleDef) -> ArielResult<String> {
+        let name = def.name.clone();
+        self.rules.install(def)?;
+        Ok(name)
+    }
+
+    /// Install a rule given as `define rule …` source text.
+    pub fn install_rule_src(&mut self, src: &str) -> ArielResult<String> {
+        match parse_command(src)? {
+            Command::DefineRule(def) => self.install_rule(def),
+            other => Err(ArielError::Query(ariel_query::QueryError::Semantic(
+                format!("expected `define rule`, found `{}`", other.kind_name()),
+            ))),
+        }
+    }
+
+    /// Activate an installed rule (§6's *activation* phase): resolve the
+    /// condition, build and prime the discrimination network, and store the
+    /// query-modified action. Pre-existing matching data is loaded into the
+    /// P-node; it is acted on at the next transition's recognize-act cycle
+    /// (activation itself does not fire rules — matching the paper's
+    /// measurement methodology). Call [`Ariel::run_rules`] to fire
+    /// immediately.
+    pub fn activate_rule(&mut self, name: &str) -> ArielResult<()> {
+        let rule = self.rules.require(name)?;
+        if rule.is_active() {
+            return Err(ArielError::AlreadyActive(name.to_string()));
+        }
+        let id = rule.id;
+        let def = rule.def.clone();
+        let resolved = Resolver::new(&self.catalog).resolve_condition(
+            def.on.as_ref(),
+            def.condition.as_ref(),
+            &def.cond_from,
+        )?;
+        let shared: HashSet<String> =
+            resolved.spec.vars.iter().map(|v| v.name.clone()).collect();
+        let rels: HashSet<String> =
+            resolved.spec.vars.iter().map(|v| v.rel.clone()).collect();
+        let modified = modify_action(&def.action, &shared);
+        self.network
+            .add_rule(id, &resolved, &self.options.virtual_policy, &self.catalog)?;
+        if let Err(e) = self.network.prime(id, &self.catalog) {
+            self.network.remove_rule(id);
+            return Err(e.into());
+        }
+        self.actions.insert(id.0, modified);
+        self.cond_rels.insert(id.0, rels);
+        self.rules.get_mut(name).expect("installed").state = RuleState::Active;
+        self.note_matches();
+        Ok(())
+    }
+
+    /// Deactivate an active rule: tear down its network structures. The
+    /// definition stays installed.
+    pub fn deactivate_rule(&mut self, name: &str) -> ArielResult<()> {
+        let rule = self.rules.require(name)?;
+        if !rule.is_active() {
+            return Err(ArielError::NotActive(name.to_string()));
+        }
+        let id = rule.id;
+        self.network.remove_rule(id);
+        self.planner.invalidate(id.0);
+        self.actions.remove(&id.0);
+        self.cond_rels.remove(&id.0);
+        self.last_matched.remove(&id.0);
+        self.prev_sizes.remove(&id.0);
+        self.rules.get_mut(name).expect("installed").state = RuleState::Installed;
+        Ok(())
+    }
+
+    // ----- transitions & the recognize-act cycle ------------------------------
+
+    /// Run a transition: execute the commands (a single command, or the
+    /// body of a `do…end` block), push the resulting tokens through the
+    /// discrimination network, then run the recognize-act cycle to
+    /// quiescence.
+    fn run_transition(&mut self, cmds: &[Command]) -> ArielResult<CmdOutput> {
+        let mut delta = DeltaTracker::new();
+        let mut merged = CmdOutput::default();
+        self.tick += 1;
+        self.stats.transitions += 1;
+        for cmd in cmds {
+            let out = self.apply_dml(cmd)?;
+            let tokens = delta.tokens_for_all(&out.changes);
+            self.stats.tokens += tokens.len() as u64;
+            self.network.process_batch(&tokens, &self.catalog)?;
+            merged.changes.extend(out.changes);
+            self.notifications.extend(out.notifications.iter().cloned());
+            merged.notifications.extend(out.notifications);
+            if !out.columns.is_empty() {
+                merged.columns = out.columns;
+                merged.rows = out.rows;
+            }
+        }
+        self.note_matches();
+        self.recognize_act()?;
+        Ok(merged)
+    }
+
+    /// Resolve and execute one DML command (no rule processing).
+    fn apply_dml(&mut self, cmd: &Command) -> ArielResult<CmdOutput> {
+        match cmd {
+            Command::Append { .. }
+            | Command::Delete { .. }
+            | Command::Replace { .. }
+            | Command::Retrieve { .. }
+            | Command::Notify { .. } => {
+                let rcmd = Resolver::new(&self.catalog).resolve_command(cmd)?;
+                Ok(execute_query(&rcmd, &mut self.catalog, None)?)
+            }
+            Command::Halt => Ok(CmdOutput::default()),
+            other => Err(ArielError::Query(ariel_query::QueryError::Semantic(
+                format!("`{}` is not allowed inside a do…end block", other.kind_name()),
+            ))),
+        }
+    }
+
+    /// Run the recognize-act cycle until no rules are eligible, a rule
+    /// executes `halt`, or the firing limit is hit (Fig. 1).
+    pub fn run_rules(&mut self) -> ArielResult<()> {
+        self.recognize_act()
+    }
+
+    fn recognize_act(&mut self) -> ArielResult<()> {
+        let result = self.recognize_act_inner();
+        // per-transition bindings are broken at quiescence (§4.3.2),
+        // including on the error path
+        self.network.flush_transition_state();
+        self.resync_sizes();
+        result
+    }
+
+    fn recognize_act_inner(&mut self) -> ArielResult<()> {
+        let mut firings = 0usize;
+        loop {
+            // match: the discrimination network maintained the P-nodes
+            let eligible: Vec<Eligible> = self
+                .network
+                .rules_with_matches()
+                .into_iter()
+                .filter_map(|id| {
+                    let rule = self.rules.by_id(id)?;
+                    Some(Eligible {
+                        id,
+                        name: rule.name.clone(),
+                        priority: rule.priority,
+                        last_matched: self.last_matched.get(&id.0).copied().unwrap_or(0),
+                    })
+                })
+                .collect();
+            // conflict resolution
+            let Some(chosen) = agenda::select(self.options.conflict, &eligible).cloned()
+            else {
+                return Ok(());
+            };
+            // act
+            if firings >= self.options.max_firings {
+                return Err(ArielError::RunawayRules { limit: self.options.max_firings });
+            }
+            firings += 1;
+            self.stats.firings += 1;
+            let rows = self.network.drain_pnode(chosen.id);
+            let cols = self
+                .network
+                .pnode(chosen.id)
+                .expect("active rule")
+                .cols()
+                .to_vec();
+            let mut pnode = Pnode::new(cols);
+            for r in rows {
+                pnode.push(r);
+            }
+            let action = self.actions.get(&chosen.id.0).expect("active rule").clone();
+            let outcome = self
+                .planner
+                .execute_action(chosen.id.0, &action, &pnode, &mut self.catalog)
+                .map_err(|e| ArielError::RuleAction {
+                    rule: chosen.name.clone(),
+                    source: Box::new(e.into()),
+                })?;
+            self.notifications.extend(outcome.notifications.iter().cloned());
+            // the action is itself a transition
+            self.tick += 1;
+            self.stats.transitions += 1;
+            let mut delta = DeltaTracker::new();
+            let tokens = delta.tokens_for_all(&outcome.changes);
+            self.stats.tokens += tokens.len() as u64;
+            self.network.process_batch(&tokens, &self.catalog)?;
+            self.note_matches();
+            if outcome.halted {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Record which rules gained matches this tick (recency for conflict
+    /// resolution).
+    fn note_matches(&mut self) {
+        for id in self.network.rules_with_matches() {
+            let len = self.network.pnode(id).map(|p| p.len()).unwrap_or(0);
+            let prev = self.prev_sizes.get(&id.0).copied().unwrap_or(0);
+            if len > prev {
+                self.last_matched.insert(id.0, self.tick);
+            }
+            self.prev_sizes.insert(id.0, len);
+        }
+    }
+
+    fn resync_sizes(&mut self) {
+        for (key, size) in self.prev_sizes.iter_mut() {
+            *size = self
+                .network
+                .pnode(RuleId(*key))
+                .map(|p| p.len())
+                .unwrap_or(0);
+        }
+    }
+
+    // ----- token-level access (benchmarks) -------------------------------------
+
+    /// Push tokens through the discrimination network without running the
+    /// recognize-act cycle — the paper's *token test* measurement in §6.
+    pub fn match_tokens(&mut self, tokens: &[Token]) -> ArielResult<()> {
+        self.network.process_batch(tokens, &self.catalog)?;
+        Ok(())
+    }
+
+    // ----- inspection -----------------------------------------------------------
+
+    /// The relation catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable relation catalog (data loading in tests/benches).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The rule catalog.
+    pub fn rules(&self) -> &RuleCatalog {
+        &self.rules
+    }
+
+    /// The discrimination network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Aggregate network statistics.
+    pub fn network_stats(&self) -> NetworkStats {
+        self.network.stats()
+    }
+
+    /// Memory statistics of one active rule.
+    pub fn rule_stats(&self, name: &str) -> ArielResult<RuleStats> {
+        let rule = self.rules.require(name)?;
+        self.network
+            .rule_stats(rule.id)
+            .ok_or_else(|| ArielError::NotActive(name.to_string()))
+    }
+
+    /// Cumulative engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Engine options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Pending match count of a rule (P-node size).
+    pub fn pending_matches(&self, name: &str) -> ArielResult<usize> {
+        let rule = self.rules.require(name)?;
+        Ok(self.network.pnode(rule.id).map(|p| p.len()).unwrap_or(0))
+    }
+
+    /// Activate every installed-but-inactive rule in a ruleset. Returns
+    /// the names activated (rulesets are a grouping convenience, §2.1).
+    pub fn activate_ruleset(&mut self, ruleset: &str) -> ArielResult<Vec<String>> {
+        let names: Vec<String> = self
+            .rules
+            .iter()
+            .filter(|r| r.ruleset == ruleset && !r.is_active())
+            .map(|r| r.name.clone())
+            .collect();
+        for n in &names {
+            self.activate_rule(n)?;
+        }
+        Ok(names)
+    }
+
+    /// Deactivate every active rule in a ruleset. Returns the names
+    /// deactivated.
+    pub fn deactivate_ruleset(&mut self, ruleset: &str) -> ArielResult<Vec<String>> {
+        let names: Vec<String> = self
+            .rules
+            .iter()
+            .filter(|r| r.ruleset == ruleset && r.is_active())
+            .map(|r| r.name.clone())
+            .collect();
+        for n in &names {
+            self.deactivate_rule(n)?;
+        }
+        Ok(names)
+    }
+
+    /// Drain all pending asynchronous notifications, oldest first.
+    pub fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.notifications.drain(..).collect()
+    }
+
+    /// Number of pending notifications.
+    pub fn pending_notifications(&self) -> usize {
+        self.notifications.len()
+    }
+
+    /// Render an installed rule's stored definition back to ARL source
+    /// (the rule catalog keeps the syntax tree; this pretty-prints it).
+    pub fn show_rule(&self, name: &str) -> ArielResult<String> {
+        let rule = self.rules.require(name)?;
+        Ok(rule.def.to_string())
+    }
+
+    /// Produce the optimizer's plan for a DML command without executing it
+    /// (an `EXPLAIN`; Fig. 8 of the paper shows such a plan for a rule
+    /// action). Returns the rendered plan tree.
+    pub fn explain(&self, src: &str) -> ArielResult<String> {
+        let cmd = parse_command(src)?;
+        let rcmd = Resolver::new(&self.catalog).resolve_command(&cmd)?;
+        match ariel_query::plan_command(&rcmd, &self.catalog, None)? {
+            Some(plan) => Ok(plan.to_string()),
+            None => Ok("(no plan: command binds no tuple variables)\n".to_string()),
+        }
+    }
+
+    /// Produce the plans for every command of an active rule's
+    /// (query-modified) action, bound against its current P-node — what the
+    /// always-reoptimize strategy would run at the next firing (Fig. 8).
+    pub fn explain_rule_action(&self, name: &str) -> ArielResult<String> {
+        let rule = self.rules.require(name)?;
+        if !rule.is_active() {
+            return Err(ArielError::NotActive(name.to_string()));
+        }
+        let action = self.actions.get(&rule.id.0).expect("active rule");
+        let pnode = self.network.pnode(rule.id).expect("active rule");
+        let mut out = String::new();
+        for (i, cmd) in action.iter().enumerate() {
+            out.push_str(&format!("-- action command {}: {}\n", i + 1, cmd));
+            match cmd {
+                Command::Halt => out.push_str("(halt)\n"),
+                _ => {
+                    let rcmd = Resolver::with_pnode(&self.catalog, pnode)
+                        .resolve_command(cmd)?;
+                    match ariel_query::plan_command(&rcmd, &self.catalog, Some(pnode))? {
+                        Some(plan) => out.push_str(&plan.to_string()),
+                        None => out.push_str("(no tuple variables)\n"),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        let opts = EngineOptions::default();
+        assert!(matches!(opts.virtual_policy, VirtualPolicy::AllStored));
+        assert_eq!(opts.max_firings, 10_000);
+        assert!(!opts.cache_action_plans);
+        let db = Ariel::new();
+        assert!(!db.options().cache_action_plans);
+    }
+
+    #[test]
+    fn empty_engine_surface() {
+        let mut db = Ariel::new();
+        assert!(db.catalog().is_empty());
+        assert!(db.rules().is_empty());
+        assert_eq!(db.stats(), EngineStats::default());
+        assert_eq!(db.network_stats().rules, 0);
+        assert_eq!(db.pending_notifications(), 0);
+        assert!(db.drain_notifications().is_empty());
+        // quiescent cycle on an empty engine is a no-op
+        db.run_rules().unwrap();
+        // top-level halt is a no-op
+        db.execute("halt").unwrap();
+    }
+
+    #[test]
+    fn install_without_activate_is_passive() {
+        let mut db = Ariel::new();
+        db.execute("create t (x = int); create log (x = int)").unwrap();
+        db.install_rule_src("define rule r on append t then append to log(x = t.x)")
+            .unwrap();
+        assert_eq!(db.rules().require("r").unwrap().state, crate::rule::RuleState::Installed);
+        db.execute("append t (x = 1)").unwrap();
+        assert!(db.query("retrieve (log.all)").unwrap().rows.is_empty());
+        // activation starts matching future transitions
+        db.activate_rule("r").unwrap();
+        db.execute("append t (x = 2)").unwrap();
+        assert_eq!(db.query("retrieve (log.all)").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn install_rule_src_rejects_non_rules() {
+        let mut db = Ariel::new();
+        assert!(db.install_rule_src("create t (x = int)").is_err());
+        assert!(db.install_rule_src("not even a command").is_err());
+    }
+
+    #[test]
+    fn activation_error_rolls_back_network() {
+        let mut db = Ariel::new();
+        db.execute("create t (x = int)").unwrap();
+        // condition references a relation that doesn't exist: activation fails
+        db.install_rule_src("define rule r if nothere.x > 0 then delete nothere")
+            .unwrap();
+        assert!(db.activate_rule("r").is_err());
+        assert_eq!(db.network_stats().rules, 0, "no half-built network state");
+        // the rule stays installed and can be repaired by creating the relation
+        db.execute("create nothere (x = int)").unwrap();
+        db.activate_rule("r").unwrap();
+        assert_eq!(db.network_stats().rules, 1);
+    }
+
+    #[test]
+    fn pending_matches_reports_pnode_size() {
+        let mut db = Ariel::new();
+        db.execute("create t (x = int)").unwrap();
+        db.execute("append t (x = 5)").unwrap();
+        // rule with an impossible action target would error when fired; we
+        // only check pending counts, so give it a fine action
+        db.execute("create log (x = int)").unwrap();
+        db.install_rule_src("define rule r if t.x > 0 then append to log(x = t.x)")
+            .unwrap();
+        db.activate_rule("r").unwrap();
+        assert_eq!(db.pending_matches("r").unwrap(), 1);
+        db.run_rules().unwrap();
+        assert_eq!(db.pending_matches("r").unwrap(), 0, "consumed by firing");
+        assert!(db.pending_matches("nope").is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the Ariel engine.
+
+use ariel_query::QueryError;
+use ariel_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the Ariel active DBMS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArielError {
+    /// Error from the query layer (parse, semantic, plan, eval).
+    Query(QueryError),
+    /// Error from the storage layer.
+    Storage(StorageError),
+    /// No rule with the given name.
+    UnknownRule(String),
+    /// A rule with the given name already exists.
+    DuplicateRule(String),
+    /// Rule is already active.
+    AlreadyActive(String),
+    /// Rule is not active.
+    NotActive(String),
+    /// A relation cannot be destroyed while an active rule references it.
+    RelationInUse {
+        /// The relation being destroyed.
+        relation: String,
+        /// An active rule referencing it.
+        rule: String,
+    },
+    /// The recognize-act cycle exceeded the firing limit without reaching
+    /// quiescence (runaway rule cascade).
+    RunawayRules {
+        /// The configured firing limit.
+        limit: usize,
+    },
+    /// Error raised while executing a rule action, with the rule named.
+    RuleAction {
+        /// The rule whose action failed.
+        rule: String,
+        /// The underlying error.
+        source: Box<ArielError>,
+    },
+}
+
+/// Result alias for engine operations.
+pub type ArielResult<T> = Result<T, ArielError>;
+
+impl fmt::Display for ArielError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArielError::Query(e) => write!(f, "{e}"),
+            ArielError::Storage(e) => write!(f, "{e}"),
+            ArielError::UnknownRule(n) => write!(f, "unknown rule: {n}"),
+            ArielError::DuplicateRule(n) => write!(f, "rule already exists: {n}"),
+            ArielError::AlreadyActive(n) => write!(f, "rule already active: {n}"),
+            ArielError::NotActive(n) => write!(f, "rule not active: {n}"),
+            ArielError::RelationInUse { relation, rule } => {
+                write!(f, "relation `{relation}` is referenced by active rule `{rule}`")
+            }
+            ArielError::RunawayRules { limit } => {
+                write!(f, "recognize-act cycle exceeded {limit} rule firings")
+            }
+            ArielError::RuleAction { rule, source } => {
+                write!(f, "while executing action of rule `{rule}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArielError {}
+
+impl From<QueryError> for ArielError {
+    fn from(e: QueryError) -> Self {
+        ArielError::Query(e)
+    }
+}
+
+impl From<StorageError> for ArielError {
+    fn from(e: StorageError) -> Self {
+        ArielError::Storage(e)
+    }
+}

@@ -1,0 +1,90 @@
+//! Rule metadata: names, rulesets, priorities, activation state.
+
+use ariel_network::RuleId;
+use ariel_query::RuleDef;
+
+/// The ruleset rules land in when none is specified (§2.1).
+pub const DEFAULT_RULESET: &str = "default_rules";
+
+/// Lifecycle state of an installed rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleState {
+    /// Syntax tree stored in the catalog; no network structures exist.
+    Installed,
+    /// Discrimination network built and primed; the rule participates in
+    /// match.
+    Active,
+}
+
+/// An installed rule: the persistent syntax tree plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Unique rule name.
+    pub name: String,
+    /// Ruleset (grouping only, §2.1).
+    pub ruleset: String,
+    /// Priority for conflict resolution; higher fires first. Defaults to 0.
+    pub priority: f64,
+    /// Network identifier (assigned at install).
+    pub id: RuleId,
+    /// Activation state.
+    pub state: RuleState,
+    /// The rule definition as parsed ("installation involves storing a
+    /// persistent copy of the rule syntax tree in the rule catalog", §6).
+    pub def: RuleDef,
+}
+
+impl Rule {
+    /// Build rule metadata from a definition.
+    pub fn new(id: RuleId, def: RuleDef) -> Self {
+        Rule {
+            name: def.name.clone(),
+            ruleset: def
+                .ruleset
+                .clone()
+                .unwrap_or_else(|| DEFAULT_RULESET.to_string()),
+            priority: def.priority.unwrap_or(0.0),
+            id,
+            state: RuleState::Installed,
+            def,
+        }
+    }
+
+    /// True iff the rule is active.
+    pub fn is_active(&self) -> bool {
+        self.state == RuleState::Active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariel_query::parse_command;
+    use ariel_query::Command;
+
+    fn def(src: &str) -> RuleDef {
+        match parse_command(src).unwrap() {
+            Command::DefineRule(d) => d,
+            _ => panic!("not a rule"),
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let r = Rule::new(RuleId(1), def("define rule r1 if emp.x > 1 then halt"));
+        assert_eq!(r.ruleset, DEFAULT_RULESET);
+        assert_eq!(r.priority, 0.0);
+        assert_eq!(r.state, RuleState::Installed);
+        assert!(!r.is_active());
+    }
+
+    #[test]
+    fn explicit_ruleset_and_priority() {
+        let r = Rule::new(
+            RuleId(2),
+            def("define rule r2 in payroll priority 7 if emp.x > 1 then halt"),
+        );
+        assert_eq!(r.ruleset, "payroll");
+        assert_eq!(r.priority, 7.0);
+    }
+}

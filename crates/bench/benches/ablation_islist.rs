@@ -1,0 +1,59 @@
+//! ISL: interval skip list vs naive interval set — stabbing throughput as
+//! the number of stored intervals grows (§4.1's selection-predicate index
+//! substrate).
+
+use ariel::islist::{Interval, IntervalSkipList, IntervalTree, NaiveIntervalSet};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn build(n: usize) -> (IntervalSkipList<i64>, IntervalTree<i64>, NaiveIntervalSet<i64>, i64) {
+    let mut isl = IntervalSkipList::new();
+    let mut tree = IntervalTree::new();
+    let mut naive = NaiveIntervalSet::new();
+    for i in 0..n as i64 {
+        let iv = Interval::open_closed(i * 10, i * 10 + 500).unwrap();
+        isl.insert(iv.clone());
+        tree.insert(iv.clone());
+        naive.insert(iv);
+    }
+    let probe = (n as i64 * 10) / 2;
+    (isl, tree, naive, probe)
+}
+
+fn bench_stab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("islist_stab");
+    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    for n in [100usize, 1_000, 10_000] {
+        let (isl, tree, naive, probe) = build(n);
+        g.bench_with_input(BenchmarkId::new("islist", n), &n, |b, _| {
+            b.iter(|| black_box(isl.stab(black_box(&probe))));
+        });
+        g.bench_with_input(BenchmarkId::new("interval_tree", n), &n, |b, _| {
+            b.iter(|| black_box(tree.stab(black_box(&probe))));
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive.stab(black_box(&probe))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("islist_update");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.bench_function("insert_remove_1000", |b| {
+        b.iter(|| {
+            let mut isl = IntervalSkipList::new();
+            let ids: Vec<_> = (0..1000i64)
+                .map(|i| isl.insert(Interval::closed(i, i + 500).unwrap()))
+                .collect();
+            for id in ids {
+                isl.remove(id);
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stab, bench_insert_remove);
+criterion_main!(benches);

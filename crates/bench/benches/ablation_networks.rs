@@ -1,0 +1,19 @@
+//! NET: A-TREAT (stored / virtual) vs Rete on an insert/delete token
+//! stream over two-variable join rules. Pair with the `state bytes`
+//! column of `paper_tables -- net` for the memory comparison.
+
+use ariel_bench::measure;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_networks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_stream");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    g.bench_function("treat_vs_atreat_vs_rete_50rules_1000tokens", |b| {
+        b.iter(|| measure::net_table(50, 1000));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

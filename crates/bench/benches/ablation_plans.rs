@@ -1,0 +1,55 @@
+//! PLAN: always-reoptimize (§5.3, the paper's strategy) vs cached
+//! rule-action plans, measured over repeated firings of a join-action rule.
+
+use ariel::{Ariel, EngineOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn setup(cache: bool) -> Ariel {
+    let mut db = Ariel::with_options(EngineOptions {
+        cache_action_plans: cache,
+        ..Default::default()
+    });
+    db.execute(
+        "create emp (id = int, sal = float, dno = int); \
+         create dept (dno = int, name = string); \
+         create audit (id = int, dept = string)",
+    )
+    .unwrap();
+    for i in 0..50 {
+        db.execute(&format!(r#"append dept (dno = {i}, name = "d{i}")"#))
+            .unwrap();
+    }
+    db.execute(
+        "define rule log_hire on append emp \
+         then append to audit(id = emp.id, dept = dept.name) \
+              where dept.dno = emp.dno",
+    )
+    .unwrap();
+    db
+}
+
+fn bench_plans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("action_planning");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for (name, cache) in [("always_reoptimize", false), ("cached_plans", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cache, |b, &cache| {
+            b.iter_custom(|iters| {
+                let mut db = setup(cache);
+                let t0 = std::time::Instant::now();
+                for i in 0..iters {
+                    db.execute(&format!(
+                        "append emp (id = {i}, sal = 100, dno = {})",
+                        i % 50
+                    ))
+                    .unwrap();
+                }
+                t0.elapsed()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plans);
+criterion_main!(benches);

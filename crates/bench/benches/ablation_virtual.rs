@@ -1,0 +1,45 @@
+//! VIRT: virtual α-memory ablation — token-join time when a dept token
+//! must join against the (stored | virtual | virtual+indexed) emp memory.
+//! Pair with the `alpha bytes` column of `paper_tables -- virt` for the
+//! space half of the trade.
+
+use ariel::network::VirtualPolicy;
+use ariel_bench::{dept_plus_token, scaled_sales_db, undo_dept_token};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_virtual(c: &mut Criterion) {
+    let mut g = c.benchmark_group("virtual_alpha_join");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    let configs: [(&str, VirtualPolicy, bool); 3] = [
+        ("stored", VirtualPolicy::AllStored, false),
+        ("virtual", VirtualPolicy::AllVirtual, false),
+        ("virtual+index", VirtualPolicy::AllVirtual, true),
+    ];
+    for rows in [1_000usize, 10_000] {
+        for (name, policy, index) in &configs {
+            let mut db = scaled_sales_db(policy.clone(), rows, *index);
+            g.bench_with_input(
+                BenchmarkId::new(*name, rows),
+                &rows,
+                |b, _| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let token = dept_plus_token(&mut db, 0, "Sales");
+                            let t0 = Instant::now();
+                            db.match_tokens(std::slice::from_ref(&token)).unwrap();
+                            total += t0.elapsed();
+                            undo_dept_token(&mut db, &token);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_virtual);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! ACT: rule-action execution time for type 1/2/3 rules (§6 reports
+//! ~0.06 s for all three on the SPARCstation 1).
+
+use ariel::network::VirtualPolicy;
+use ariel_bench::{activate_rules, emp_plus_token, install_rules, paper_db, undo_emp_token, PROBE_SAL};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_action(c: &mut Criterion) {
+    let mut g = c.benchmark_group("action_time");
+    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    for vars in [1usize, 2, 3] {
+        let mut db = paper_db(VirtualPolicy::AllStored);
+        install_rules(&mut db, vars, 25);
+        activate_rules(&mut db, vars, 25);
+        db.run_rules().unwrap(); // consume activation-primed matches
+        g.bench_with_input(BenchmarkId::new("type", vars), &vars, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let token = emp_plus_token(&mut db, PROBE_SAL);
+                    db.match_tokens(std::slice::from_ref(&token)).unwrap();
+                    let t0 = Instant::now();
+                    db.run_rules().unwrap();
+                    total += t0.elapsed();
+                    undo_emp_token(&mut db, &token);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_action);
+criterion_main!(benches);

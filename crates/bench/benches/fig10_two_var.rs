@@ -1,0 +1,77 @@
+//! Criterion bench regenerating Figure 10: two-tuple-variable rules —
+//! installation, activation and token-test time vs number of rules.
+
+use ariel::network::VirtualPolicy;
+use ariel_bench::{activate_rules, emp_plus_token, install_rules, paper_db, undo_emp_token, PROBE_SAL};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+const VARS: usize = 2;
+
+fn bench_install(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("fig{}_install", 8 + VARS));
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    for n in [25usize, 50, 100, 150, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut db = paper_db(VirtualPolicy::AllStored);
+                    let t0 = Instant::now();
+                    install_rules(&mut db, VARS, n);
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_activate(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("fig{}_activate", 8 + VARS));
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    for n in [25usize, 50, 100, 150, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut db = paper_db(VirtualPolicy::AllStored);
+                    install_rules(&mut db, VARS, n);
+                    let t0 = Instant::now();
+                    activate_rules(&mut db, VARS, n);
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_token_test(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("fig{}_token_test", 8 + VARS));
+    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    for n in [25usize, 50, 100, 150, 200] {
+        let mut db = paper_db(VirtualPolicy::AllStored);
+        install_rules(&mut db, VARS, n);
+        activate_rules(&mut db, VARS, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let token = emp_plus_token(&mut db, PROBE_SAL);
+                    let t0 = Instant::now();
+                    db.match_tokens(std::slice::from_ref(&token)).unwrap();
+                    total += t0.elapsed();
+                    undo_emp_token(&mut db, &token);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_install, bench_activate, bench_token_test);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! SCALE: §6's scaling claim — token-test time should stay near-flat as
+//! rules grow, thanks to the selection-predicate index; a naive
+//! all-predicates matcher grows linearly.
+
+use ariel::network::VirtualPolicy;
+use ariel_bench::{
+    activate_rules, emp_plus_token, install_rules, paper_db, probe_tuple, undo_emp_token,
+    NaiveMatcher, PROBE_SAL,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale_token_test");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    for n in [200usize, 800, 3200] {
+        let mut db = paper_db(VirtualPolicy::AllStored);
+        install_rules(&mut db, 1, n);
+        activate_rules(&mut db, 1, n);
+        g.bench_with_input(BenchmarkId::new("selnet", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let token = emp_plus_token(&mut db, PROBE_SAL);
+                    let t0 = Instant::now();
+                    db.match_tokens(std::slice::from_ref(&token)).unwrap();
+                    total += t0.elapsed();
+                    undo_emp_token(&mut db, &token);
+                }
+                total
+            });
+        });
+        let naive = NaiveMatcher::with_rules(n);
+        let probe = probe_tuple(PROBE_SAL);
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive.matches(black_box(&probe))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Regenerate every table and figure of the paper's evaluation (§6), plus
+//! the ablations from DESIGN.md, as printed tables.
+//!
+//! ```text
+//! cargo run --release -p ariel-bench --bin paper_tables            # everything
+//! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
+//! ```
+//!
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan
+
+use ariel_bench::measure;
+use std::time::Duration;
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn us(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e6)
+}
+
+// Paper values transcribed from Figures 9-11 are not machine-readable in
+// the source text; §6 states installation takes "a fraction of a second",
+// activation "just under a second" (per rule) and token tests "2 to 3
+// milliseconds" at 25-200 rules on a ~12 MIPS SPARCstation 1. We print
+// those anchors alongside for shape comparison.
+const PAPER_NS: [usize; 5] = [25, 50, 100, 150, 200];
+
+fn fig(vars: usize, label: &str) {
+    println!("== {label}: {vars}-tuple-variable rules ==");
+    println!("(paper anchors per rule count: install <0.5 s, activate ~1 s, token test 2-3 ms)");
+    println!(
+        "{:>9} | {:>12} {:>12} {:>14}",
+        "rules", "install ms", "activate ms", "token test us"
+    );
+    let rows = measure::fig_table(vars, &PAPER_NS, 200);
+    for row in &rows {
+        println!(
+            "{:>9} | {:>12} {:>12} {:>14}",
+            row.rules,
+            ms(row.install),
+            ms(row.activate),
+            us(row.token_test),
+        );
+    }
+    println!();
+}
+
+fn run_act() {
+    println!("== ACT: rule-action execution time (§6: ~0.06 s for all types) ==");
+    println!("{:>6} | {:>14}", "vars", "action time us");
+    for (vars, d) in measure::action_times(100) {
+        println!("{vars:>6} | {:>14}", us(d));
+    }
+    println!();
+}
+
+fn run_scale() {
+    println!("== SCALE: token test vs rule count — selection network vs naive ==");
+    println!(
+        "{:>7} | {:>14} {:>14} {:>9}",
+        "rules", "selnet us", "naive us", "speedup"
+    );
+    for (n, sel, naive) in measure::scale_table(&[200, 400, 800, 1600, 3200], 300) {
+        let speedup = naive.as_secs_f64() / sel.as_secs_f64().max(1e-12);
+        println!("{n:>7} | {:>14} {:>14} {speedup:>8.1}x", us(sel), us(naive));
+    }
+    println!();
+}
+
+fn run_virt() {
+    println!("== VIRT: virtual α-memories — storage vs token-join time ==");
+    println!("(SalesClerkRule over scaled emp; dept token joins into the emp memory)");
+    println!(
+        "{:>9} {:>16} | {:>13} {:>15}",
+        "emp rows", "config", "alpha bytes", "token join us"
+    );
+    for row in measure::virt_table(&[1_000, 10_000, 50_000], 20) {
+        println!(
+            "{:>9} {:>16} | {:>13} {:>15}",
+            row.emp_rows,
+            row.config,
+            row.alpha_bytes,
+            us(row.token_time)
+        );
+    }
+    println!();
+}
+
+fn run_isl() {
+    println!("== ISL: stabbing queries — skip list vs interval tree vs naive ==");
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12} {:>9}",
+        "intervals", "islist us", "tree us", "naive us", "speedup"
+    );
+    for (n, isl, tree, naive) in measure::islist_table(&[100, 1_000, 10_000, 100_000], 200) {
+        let speedup = naive.as_secs_f64() / isl.as_secs_f64().max(1e-12);
+        println!(
+            "{n:>10} | {:>12} {:>12} {:>12} {speedup:>8.1}x",
+            us(isl),
+            us(tree),
+            us(naive)
+        );
+    }
+    println!();
+}
+
+fn run_net() {
+    println!("== NET: A-TREAT vs TREAT vs Rete — 50 join rules, insert/delete stream ==");
+    println!(
+        "{:>22} | {:>12} {:>14}",
+        "network", "total ms", "state bytes"
+    );
+    for row in measure::net_table(50, 1000) {
+        println!(
+            "{:>22} | {:>12} {:>14}",
+            row.network,
+            ms(row.total),
+            row.state_bytes
+        );
+    }
+    println!();
+}
+
+fn run_plan() {
+    println!("== PLAN: always-reoptimize vs cached action plans — 2000 firings ==");
+    println!("{:>20} | {:>10}", "strategy", "total ms");
+    for (name, d) in measure::plan_table(2000) {
+        println!("{name:>20} | {:>10}", ms(d));
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+    if want("fig9") {
+        fig(1, "Figure 9");
+    }
+    if want("fig10") {
+        fig(2, "Figure 10");
+    }
+    if want("fig11") {
+        fig(3, "Figure 11");
+    }
+    if want("act") {
+        run_act();
+    }
+    if want("scale") {
+        run_scale();
+    }
+    if want("virt") {
+        run_virt();
+    }
+    if want("isl") {
+        run_isl();
+    }
+    if want("net") {
+        run_net();
+    }
+    if want("plan") {
+        run_plan();
+    }
+}

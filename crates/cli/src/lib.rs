@@ -1,0 +1,300 @@
+//! Library half of the Ariel shell: command dispatch and output
+//! formatting, separated from terminal I/O so it is unit-testable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ariel::storage::Value;
+use ariel::query::CmdOutput;
+use ariel::Ariel;
+
+pub use ariel::ArielResult;
+
+/// Re-exported engine output type.
+pub type Output = CmdOutput;
+
+/// Result of one shell input line.
+#[derive(Debug, PartialEq)]
+pub enum ShellAction {
+    /// Text to print.
+    Text(String),
+    /// Exit the shell.
+    Quit,
+    /// Nothing to print.
+    Silent,
+}
+
+/// Render a result set as an aligned ASCII table.
+pub fn format_table(columns: &[String], rows: &[Vec<Value>]) -> String {
+    if columns.is_empty() {
+        return String::new();
+    }
+    let render = |v: &Value| -> String {
+        match v {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    };
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(render).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (c, w) in columns.iter().zip(&widths) {
+        out.push_str(&format!(" {c:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &rendered {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out.push_str(&format!(
+        "({} row{})\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+/// Execute one line of shell input: a meta command (starting with `\`) or
+/// ARL/POSTQUEL source.
+pub fn dispatch(db: &mut Ariel, line: &str) -> ShellAction {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return ShellAction::Silent;
+    }
+    if let Some(meta) = line.strip_prefix('\\') {
+        return meta_command(db, meta);
+    }
+    match db.execute(line) {
+        Ok(outputs) => {
+            let mut text = String::new();
+            for out in outputs {
+                if !out.columns.is_empty() {
+                    text.push_str(&format_table(&out.columns, &out.rows));
+                } else if !out.changes.is_empty() {
+                    text.push_str(&format!("({} change(s))\n", out.changes.len()));
+                } else {
+                    text.push_str("ok\n");
+                }
+            }
+            for note in db.drain_notifications() {
+                text.push_str(&format!("notification on `{}`:\n", note.channel));
+                text.push_str(&format_table(&note.columns, &note.rows));
+            }
+            ShellAction::Text(text)
+        }
+        Err(e) => ShellAction::Text(format!("error: {e}\n")),
+    }
+}
+
+fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
+    let mut parts = meta.split_whitespace();
+    match parts.next() {
+        Some("q") | Some("quit") | Some("exit") => ShellAction::Quit,
+        Some("d") | Some("relations") => {
+            let mut text = String::new();
+            for name in db.catalog().names() {
+                let rel = db.catalog().get(&name).unwrap();
+                let rel = rel.borrow();
+                let attrs: Vec<String> = rel
+                    .schema()
+                    .attrs()
+                    .iter()
+                    .map(|a| format!("{} {}", a.name, a.ty))
+                    .collect();
+                text.push_str(&format!(
+                    "{name} ({}) — {} tuple(s)\n",
+                    attrs.join(", "),
+                    rel.len()
+                ));
+            }
+            if text.is_empty() {
+                text.push_str("(no relations)\n");
+            }
+            ShellAction::Text(text)
+        }
+        Some("rules") => {
+            let mut text = String::new();
+            for rule in db.rules().iter() {
+                text.push_str(&format!(
+                    "[{}] {} (priority {}, {})\n    {}\n",
+                    if rule.is_active() { "active" } else { "installed" },
+                    rule.name,
+                    rule.priority,
+                    rule.ruleset,
+                    rule.def
+                ));
+            }
+            if text.is_empty() {
+                text.push_str("(no rules)\n");
+            }
+            ShellAction::Text(text)
+        }
+        Some("stats") => {
+            let s = db.stats();
+            let n = db.network_stats();
+            ShellAction::Text(format!(
+                "engine: {} transitions, {} tokens, {} firings\n\
+                 network: {} rules, {} alpha nodes ({} virtual), \
+                 {} alpha entries, {} bytes match state\n",
+                s.transitions,
+                s.tokens,
+                s.firings,
+                n.rules,
+                n.alpha_nodes,
+                n.virtual_alpha_nodes,
+                n.alpha_entries,
+                n.alpha_bytes + n.pnode_bytes + n.selnet_bytes,
+            ))
+        }
+        Some("explain") => {
+            let rest: Vec<&str> = parts.collect();
+            let src = rest.join(" ");
+            if src.is_empty() {
+                return ShellAction::Text("usage: \\explain <dml command> | \\explain rule <name>\n".into());
+            }
+            let result = if let Some(rule) = src.strip_prefix("rule ") {
+                db.explain_rule_action(rule.trim())
+            } else {
+                db.explain(&src)
+            };
+            match result {
+                Ok(t) => ShellAction::Text(t),
+                Err(e) => ShellAction::Text(format!("error: {e}\n")),
+            }
+        }
+        Some("help") | Some("h") | Some("?") => ShellAction::Text(HELP.to_string()),
+        other => ShellAction::Text(format!(
+            "unknown meta command `\\{}` — try \\help\n",
+            other.unwrap_or_default()
+        )),
+    }
+}
+
+/// Shell help text.
+pub const HELP: &str = r#"Ariel active DBMS shell.
+
+Commands (POSTQUEL subset + ARL):
+  create emp (name = string, sal = float, dno = int)
+  append emp (name = "alice", sal = 42000, dno = 1)
+  retrieve (emp.name, emp.sal) where emp.sal > 10000
+  replace emp (sal = 50000) where emp.name = "alice"
+  delete emp where emp.dno = 9
+  do <cmd> <cmd> ... end                    -- one transition (logical events)
+  define rule r [in set] [priority n] [on append emp]
+      [if emp.sal > 1.1 * previous emp.sal] then <action>
+  activate rule r | deactivate rule r | destroy rule r
+  define index on emp (sal) using btree
+  notify channel (x = emp.sal)              -- async notification
+
+Meta commands:
+  \d, \relations    list relations
+  \rules            list rules
+  \explain <cmd>    show the optimizer's plan without executing
+  \explain rule <r> show the plans a rule firing would run (Fig. 8)
+  \stats            engine and network statistics
+  \help             this text
+  \q                quit
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell_db() -> Ariel {
+        let mut db = Ariel::new();
+        db.execute("create t (x = int, name = string)").unwrap();
+        db
+    }
+
+    #[test]
+    fn table_formatting() {
+        let cols = vec!["x".to_string(), "name".to_string()];
+        let rows = vec![
+            vec![Value::Int(1), Value::from("alpha")],
+            vec![Value::Int(22), Value::from("b")],
+        ];
+        let t = format_table(&cols, &rows);
+        assert!(t.contains("| x  | name  |"));
+        assert!(t.contains("| 1  | alpha |"));
+        assert!(t.contains("| 22 | b     |"));
+        assert!(t.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn dispatch_dml_and_query() {
+        let mut db = shell_db();
+        let a = dispatch(&mut db, r#"append t (x = 1, name = "one")"#);
+        assert_eq!(a, ShellAction::Text("(1 change(s))\n".into()));
+        let ShellAction::Text(t) = dispatch(&mut db, "retrieve (t.all)") else {
+            panic!()
+        };
+        assert!(t.contains("one"));
+        assert!(t.contains("(1 row)"));
+    }
+
+    #[test]
+    fn dispatch_errors_are_text() {
+        let mut db = shell_db();
+        let ShellAction::Text(t) = dispatch(&mut db, "retrieve (no.x)") else {
+            panic!()
+        };
+        assert!(t.starts_with("error:"));
+    }
+
+    #[test]
+    fn meta_commands() {
+        let mut db = shell_db();
+        assert_eq!(dispatch(&mut db, "\\q"), ShellAction::Quit);
+        let ShellAction::Text(t) = dispatch(&mut db, "\\d") else { panic!() };
+        assert!(t.contains("t (x int, name string)"));
+        dispatch(&mut db, "define rule r if t.x > 0 then delete t");
+        let ShellAction::Text(t) = dispatch(&mut db, "\\rules") else { panic!() };
+        assert!(t.contains("[active] r"));
+        let ShellAction::Text(t) = dispatch(&mut db, "\\stats") else { panic!() };
+        assert!(t.contains("network: 1 rules"));
+        let ShellAction::Text(t) = dispatch(&mut db, "\\nope") else { panic!() };
+        assert!(t.contains("unknown meta command"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_silent() {
+        let mut db = shell_db();
+        assert_eq!(dispatch(&mut db, "   "), ShellAction::Silent);
+        assert_eq!(dispatch(&mut db, "# a comment"), ShellAction::Silent);
+    }
+
+    #[test]
+    fn notifications_are_printed() {
+        let mut db = shell_db();
+        dispatch(&mut db, "define rule w on append t then notify chan (x = t.x)");
+        let ShellAction::Text(t) = dispatch(&mut db, r#"append t (x = 5, name = "n")"#)
+        else {
+            panic!()
+        };
+        assert!(t.contains("notification on `chan`"), "{t}");
+        assert!(t.contains("| 5 |"));
+    }
+}

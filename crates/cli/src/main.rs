@@ -1,0 +1,109 @@
+//! The Ariel shell: an interactive REPL (and script runner) over the
+//! active DBMS.
+//!
+//! ```text
+//! ariel                 # interactive shell
+//! ariel script.arl      # run a script file, then exit
+//! ariel -i script.arl   # run a script file, then stay interactive
+//! ```
+//!
+//! Statements may span lines: input is buffered until it parses (so
+//! `do … end` blocks and long rules work naturally); a line ending in `;`
+//! forces execution.
+
+use ariel::Ariel;
+use ariel_cli::{dispatch, ShellAction, HELP};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut interactive_after = false;
+    let mut script: Option<String> = None;
+    for a in &args {
+        match a.as_str() {
+            "-i" => interactive_after = true,
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return;
+            }
+            path => script = Some(path.to_string()),
+        }
+    }
+
+    let mut db = Ariel::new();
+
+    if let Some(path) = script {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        // scripts execute whole (the parser handles multi-command text)
+        match dispatch(&mut db, &src) {
+            ShellAction::Text(t) => print!("{t}"),
+            ShellAction::Quit | ShellAction::Silent => {}
+        }
+        if !interactive_after {
+            return;
+        }
+    }
+
+    println!("Ariel active DBMS — \\help for help, \\q to quit");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        let prompt = if buffer.is_empty() { "ariel> " } else { "   ... " };
+        print!("{prompt}");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim_end();
+        // meta commands always execute immediately
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match dispatch(&mut db, trimmed) {
+                ShellAction::Text(t) => print!("{t}"),
+                ShellAction::Quit => break,
+                ShellAction::Silent => {}
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        let force = trimmed.ends_with(';');
+        let complete = force
+            || buffer.trim().is_empty()
+            || ariel::query::parse_script(&buffer).is_ok();
+        if !complete {
+            // keep buffering only while the error is plausibly "more input
+            // needed" (unterminated block / trailing operator); otherwise
+            // report it now
+            if let Err(e) = ariel::query::parse_script(&buffer) {
+                let msg = e.to_string();
+                let wants_more = msg.contains("unterminated")
+                    || msg.contains("expected a command, found <eof>")
+                    || msg.contains("expected an expression, found <eof>")
+                    || msg.contains("found <eof>");
+                if wants_more {
+                    continue;
+                }
+                println!("error: {e}");
+                buffer.clear();
+                continue;
+            }
+        }
+        let input = std::mem::take(&mut buffer);
+        match dispatch(&mut db, &input) {
+            ShellAction::Text(t) => print!("{t}"),
+            ShellAction::Quit => break,
+            ShellAction::Silent => {}
+        }
+    }
+}

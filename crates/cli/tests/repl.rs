@@ -1,0 +1,95 @@
+//! Drive the shipped `ariel` binary end to end through stdin/stdout.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_repl(input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ariel"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ariel shell");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success());
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn repl_session_end_to_end() {
+    let out = run_repl(
+        "create t (x = int, name = string)\n\
+         append t (x = 1, name = \"one\")\n\
+         retrieve (t.all)\n\
+         \\d\n\
+         \\q\n",
+    );
+    assert!(out.contains("(1 change(s))"), "{out}");
+    assert!(out.contains("| one"), "{out}");
+    assert!(out.contains("t (x int, name string)"), "{out}");
+}
+
+#[test]
+fn repl_multiline_block_buffering() {
+    let out = run_repl(
+        "create t (x = int)\n\
+         do\n\
+         append t (x = 1)\n\
+         append t (x = 2)\n\
+         end\n\
+         retrieve (t.x)\n\
+         \\q\n",
+    );
+    assert!(out.contains("(2 change(s))"), "{out}");
+    assert!(out.contains("(2 rows)"), "{out}");
+}
+
+#[test]
+fn repl_rules_and_notifications() {
+    let out = run_repl(
+        "create t (x = int)\n\
+         define rule w on append t then notify chan (x = t.x)\n\
+         append t (x = 7)\n\
+         \\rules\n\
+         \\q\n",
+    );
+    assert!(out.contains("notification on `chan`"), "{out}");
+    assert!(out.contains("[active] w"), "{out}");
+}
+
+#[test]
+fn repl_reports_errors_and_recovers() {
+    let out = run_repl(
+        "retrieve (no.x)\n\
+         create t (x = int)\n\
+         retrieve (t.x)\n\
+         \\q\n",
+    );
+    assert!(out.contains("error:"), "{out}");
+    assert!(out.contains("(0 rows)"), "{out}");
+}
+
+#[test]
+fn script_mode_runs_file_and_exits() {
+    let dir = std::env::temp_dir().join("ariel_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("script.arl");
+    std::fs::write(
+        &path,
+        "create t (x = int)\nappend t (x = 5)\nretrieve (t.x)\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_ariel"))
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("run script");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("| 5"), "{text}");
+}

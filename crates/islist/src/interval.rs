@@ -1,0 +1,220 @@
+//! Intervals over an ordered domain, with open / closed / unbounded ends.
+//!
+//! These are the predicate shapes the Ariel selection network indexes
+//! (§4.1 of the paper): closed intervals `c1 < R.a <= c2`, open intervals
+//! `c < R.a`, and points `c = R.a`.
+
+use std::fmt;
+use std::ops::Bound;
+
+/// An interval over `T` with independently open, closed or unbounded ends.
+///
+/// Invariant (enforced by [`Interval::new`]): the interval is non-empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval<T> {
+    lo: Bound<T>,
+    hi: Bound<T>,
+}
+
+impl<T: Ord + Clone> Interval<T> {
+    /// Build an interval; returns `None` if the bounds describe an empty set
+    /// (e.g. `lo > hi`, or `lo == hi` unless both ends are included).
+    pub fn new(lo: Bound<T>, hi: Bound<T>) -> Option<Self> {
+        let nonempty = match (&lo, &hi) {
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+            (Bound::Included(a), Bound::Included(b)) => a <= b,
+            (Bound::Included(a), Bound::Excluded(b))
+            | (Bound::Excluded(a), Bound::Included(b))
+            | (Bound::Excluded(a), Bound::Excluded(b)) => a < b,
+        };
+        nonempty.then_some(Interval { lo, hi })
+    }
+
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: T, hi: T) -> Option<Self> {
+        Self::new(Bound::Included(lo), Bound::Included(hi))
+    }
+
+    /// Half-open interval `(lo, hi]` — the paper's canonical selection
+    /// predicate shape `C1 < R.a <= C2`.
+    pub fn open_closed(lo: T, hi: T) -> Option<Self> {
+        Self::new(Bound::Excluded(lo), Bound::Included(hi))
+    }
+
+    /// Degenerate point interval `[v, v]` — an equality predicate.
+    pub fn point(v: T) -> Self {
+        Interval {
+            lo: Bound::Included(v.clone()),
+            hi: Bound::Included(v),
+        }
+    }
+
+    /// The whole domain `(-inf, +inf)` — a `new(R)` always-true predicate.
+    pub fn all() -> Self {
+        Interval {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// Ray `(v, +inf)` or `[v, +inf)`.
+    pub fn at_least(v: T, inclusive: bool) -> Self {
+        Interval {
+            lo: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// Ray `(-inf, v)` or `(-inf, v]`.
+    pub fn at_most(v: T, inclusive: bool) -> Self {
+        Interval {
+            lo: Bound::Unbounded,
+            hi: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> &Bound<T> {
+        &self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> &Bound<T> {
+        &self.hi
+    }
+
+    /// Whether the interval contains the point `x`.
+    pub fn contains(&self, x: &T) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Included(l) => l <= x,
+            Bound::Excluded(l) => l < x,
+        };
+        let hi_ok = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => x <= h,
+            Bound::Excluded(h) => x < h,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Whether the interval contains the *open* span `(a, b)`, where `None`
+    /// endpoints denote -inf / +inf sentinels (the skip-list header and the
+    /// nil forward pointer). This is the edge-containment test of the
+    /// interval skip list: an edge from node `a` to node `b` covers query
+    /// points strictly between the two keys, so `Excluded` interval ends
+    /// that coincide with `a` or `b` still qualify.
+    pub fn contains_open_span(&self, a: Option<&T>, b: Option<&T>) -> bool {
+        let lo_ok = match (&self.lo, a) {
+            (Bound::Unbounded, _) => true,
+            (_, None) => false, // bounded below cannot cover a span from -inf
+            (Bound::Included(l), Some(a)) | (Bound::Excluded(l), Some(a)) => l <= a,
+        };
+        let hi_ok = match (&self.hi, b) {
+            (Bound::Unbounded, _) => true,
+            (_, None) => false, // bounded above cannot cover a span to +inf
+            (Bound::Included(h), Some(b)) | (Bound::Excluded(h), Some(b)) => h >= b,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// The finite lower endpoint value, if any.
+    pub fn lo_value(&self) -> Option<&T> {
+        match &self.lo {
+            Bound::Included(v) | Bound::Excluded(v) => Some(v),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// The finite upper endpoint value, if any.
+    pub fn hi_value(&self) -> Option<&T> {
+        match &self.hi {
+            Bound::Included(v) | Bound::Excluded(v) => Some(v),
+            Bound::Unbounded => None,
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Interval<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.lo {
+            Bound::Unbounded => write!(f, "(-inf")?,
+            Bound::Included(v) => write!(f, "[{v}")?,
+            Bound::Excluded(v) => write!(f, "({v}")?,
+        }
+        write!(f, ", ")?;
+        match &self.hi {
+            Bound::Unbounded => write!(f, "+inf)"),
+            Bound::Included(v) => write!(f, "{v}]"),
+            Bound::Excluded(v) => write!(f, "{v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_intervals_rejected() {
+        assert!(Interval::closed(5, 4).is_none());
+        assert!(Interval::open_closed(5, 5).is_none());
+        assert!(Interval::new(Bound::Excluded(5), Bound::Excluded(5)).is_none());
+        assert!(Interval::closed(5, 5).is_some());
+    }
+
+    #[test]
+    fn contains_respects_bound_kinds() {
+        let oc = Interval::open_closed(10, 20).unwrap();
+        assert!(!oc.contains(&10));
+        assert!(oc.contains(&11));
+        assert!(oc.contains(&20));
+        assert!(!oc.contains(&21));
+
+        let pt = Interval::point(7);
+        assert!(pt.contains(&7));
+        assert!(!pt.contains(&6));
+
+        let all = Interval::<i32>::all();
+        assert!(all.contains(&i32::MIN) && all.contains(&i32::MAX));
+    }
+
+    #[test]
+    fn rays() {
+        let ge = Interval::at_least(5, true);
+        assert!(ge.contains(&5) && ge.contains(&1000) && !ge.contains(&4));
+        let lt = Interval::at_most(5, false);
+        assert!(lt.contains(&4) && !lt.contains(&5));
+    }
+
+    #[test]
+    fn open_span_containment() {
+        let iv = Interval::open_closed(10, 20).unwrap();
+        // span (10, 15): excluded-lo at exactly 10 still covers the open span
+        assert!(iv.contains_open_span(Some(&10), Some(&15)));
+        assert!(iv.contains_open_span(Some(&10), Some(&20)));
+        assert!(!iv.contains_open_span(Some(&9), Some(&15)));
+        assert!(!iv.contains_open_span(Some(&10), Some(&21)));
+        // spans touching infinity need unbounded ends
+        assert!(!iv.contains_open_span(None, Some(&15)));
+        assert!(!iv.contains_open_span(Some(&15), None));
+        let ray = Interval::at_least(10, false);
+        assert!(ray.contains_open_span(Some(&10), None));
+        assert!(Interval::<i32>::all().contains_open_span(None, None));
+    }
+
+    #[test]
+    fn endpoint_values() {
+        let iv = Interval::open_closed(1, 2).unwrap();
+        assert_eq!(iv.lo_value(), Some(&1));
+        assert_eq!(iv.hi_value(), Some(&2));
+        assert_eq!(Interval::<i32>::all().lo_value(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::open_closed(1, 2).unwrap().to_string(), "(1, 2]");
+        assert_eq!(Interval::<i32>::all().to_string(), "(-inf, +inf)");
+        assert_eq!(Interval::point(3).to_string(), "[3, 3]");
+    }
+}

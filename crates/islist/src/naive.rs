@@ -1,0 +1,75 @@
+//! Naive interval set: linear-scan stabbing.
+//!
+//! This is the comparison baseline for the ISL ablation (DESIGN.md §3): a
+//! rule-condition tester with no discrimination index must evaluate every
+//! stored predicate against every token, which is exactly what this does.
+
+use crate::interval::Interval;
+use crate::skiplist::IntervalId;
+use std::collections::HashMap;
+
+/// A set of intervals answering stabbing queries by scanning all of them.
+#[derive(Debug, Default)]
+pub struct NaiveIntervalSet<T> {
+    intervals: HashMap<IntervalId, Interval<T>>,
+    next_id: u64,
+}
+
+impl<T: Ord + Clone> NaiveIntervalSet<T> {
+    /// New empty set.
+    pub fn new() -> Self {
+        NaiveIntervalSet {
+            intervals: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Insert an interval; returns its handle.
+    pub fn insert(&mut self, iv: Interval<T>) -> IntervalId {
+        let id = IntervalId(self.next_id);
+        self.next_id += 1;
+        self.intervals.insert(id, iv);
+        id
+    }
+
+    /// Remove an interval by handle.
+    pub fn remove(&mut self, id: IntervalId) -> Option<Interval<T>> {
+        self.intervals.remove(&id)
+    }
+
+    /// Ids of every interval containing `x`; O(n) per query.
+    pub fn stab(&self, x: &T) -> Vec<IntervalId> {
+        self.intervals
+            .iter()
+            .filter(|(_, iv)| iv.contains(x))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True iff no intervals are stored.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stab() {
+        let mut s = NaiveIntervalSet::new();
+        let a = s.insert(Interval::closed(0, 10).unwrap());
+        let _b = s.insert(Interval::closed(20, 30).unwrap());
+        assert_eq!(s.stab(&5), vec![a]);
+        assert_eq!(s.stab(&15), vec![]);
+        assert_eq!(s.len(), 2);
+        s.remove(a);
+        assert!(s.stab(&5).is_empty());
+    }
+}

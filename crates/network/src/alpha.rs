@@ -1,0 +1,376 @@
+//! α-memory nodes — all seven kinds of §4.3.3.
+//!
+//! | kind            | stores                      | lifetime            |
+//! |-----------------|-----------------------------|---------------------|
+//! | `stored-α`      | matching tuples             | persistent          |
+//! | `virtual-α`     | nothing (predicate only)    | —                   |
+//! | `dynamic-on-α`  | event-matched tuples        | current transition  |
+//! | `dynamic-trans-α`| transition pairs           | current transition  |
+//! | `simple-α`      | nothing (straight to P-node)| —                   |
+//! | `simple-on-α`   | nothing                     | (P-node flushed)    |
+//! | `simple-trans-α`| nothing                     | (P-node flushed)    |
+//!
+//! Entries are keyed by TID: deletion-polarity tokens remove by TID, which
+//! sidesteps value-matching fragility when the same tuple is modified in
+//! several transitions of one recognize-act cycle.
+
+use crate::pred::SelectionPredicate;
+use crate::token::{EventSpecifier, TokenKind};
+use ariel_query::{eval_pred, SingleEnv};
+use ariel_storage::{Tid, Tuple};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a rule within the network (assigned by the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u64);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of an α-memory node (network-arena index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlphaId(pub usize);
+
+/// The seven α-memory kinds of §4.3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlphaKind {
+    /// Standard memory node: collection of tuples matching the predicate.
+    Stored,
+    /// Virtual memory node: predicate only, contents derived from the base
+    /// relation on demand (§4.2).
+    Virtual,
+    /// Dynamic node for an ON condition; flushed after each transition.
+    DynamicOn,
+    /// Dynamic node for a transition condition; flushed after each
+    /// transition.
+    DynamicTrans,
+    /// Single-tuple-variable rule: matches go straight to the P-node.
+    Simple,
+    /// Single-variable ON condition.
+    SimpleOn,
+    /// Single-variable transition condition.
+    SimpleTrans,
+}
+
+impl AlphaKind {
+    /// Whether this kind keeps a tuple collection.
+    pub fn stores_entries(&self) -> bool {
+        matches!(
+            self,
+            AlphaKind::Stored | AlphaKind::DynamicOn | AlphaKind::DynamicTrans
+        )
+    }
+
+    /// Whether the node's contents (and derived P-node rows) only live for
+    /// the current transition.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            AlphaKind::DynamicOn
+                | AlphaKind::DynamicTrans
+                | AlphaKind::SimpleOn
+                | AlphaKind::SimpleTrans
+        )
+    }
+
+    /// Whether this is one of the single-variable (`simple-`) kinds.
+    pub fn is_simple(&self) -> bool {
+        matches!(
+            self,
+            AlphaKind::Simple | AlphaKind::SimpleOn | AlphaKind::SimpleTrans
+        )
+    }
+
+    /// Whether this kind represents a transition condition (accepts only Δ
+    /// tokens; Fig. 5 marks ± tokens as "don't care").
+    pub fn is_trans(&self) -> bool {
+        matches!(self, AlphaKind::DynamicTrans | AlphaKind::SimpleTrans)
+    }
+
+    /// Whether this kind represents an ON (event) condition.
+    pub fn is_on(&self) -> bool {
+        matches!(self, AlphaKind::DynamicOn | AlphaKind::SimpleOn)
+    }
+}
+
+/// Event requirement of an ON-condition node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventReq {
+    /// Requires an append event.
+    Append,
+    /// Requires a delete event.
+    Delete,
+    /// `replace [(attrs)]` — positions of the watched attributes, `None` to
+    /// watch every attribute.
+    Replace(Option<Vec<usize>>),
+}
+
+impl EventReq {
+    /// Whether a token's event specifier satisfies this requirement.
+    pub fn admits(&self, ev: &EventSpecifier) -> bool {
+        match (self, ev) {
+            (EventReq::Append, EventSpecifier::Append) => true,
+            (EventReq::Delete, EventSpecifier::Delete) => true,
+            (EventReq::Replace(None), EventSpecifier::Replace(_)) => true,
+            (EventReq::Replace(Some(watch)), EventSpecifier::Replace(updated)) => {
+                // empty updated list = unknown set of attributes: admit
+                updated.is_empty() || watch.iter().any(|a| updated.contains(a))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One entry in a stored/dynamic α-memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlphaEntry {
+    /// TID of the bound tuple; `None` for tuples bound by ON DELETE (the
+    /// tuple no longer exists).
+    pub tid: Option<Tid>,
+    /// Current tuple value.
+    pub tuple: Tuple,
+    /// Start-of-transition value (Δ-token entries).
+    pub prev: Option<Tuple>,
+}
+
+impl AlphaEntry {
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.tuple.heap_size()
+            + self.prev.as_ref().map_or(0, Tuple::heap_size)
+    }
+}
+
+/// An α-memory node.
+#[derive(Debug)]
+pub struct AlphaNode {
+    /// Owning rule.
+    pub rule: RuleId,
+    /// Variable index within the rule condition.
+    pub var: usize,
+    /// Relation this node watches.
+    pub rel: String,
+    /// Node kind.
+    pub kind: AlphaKind,
+    /// The single-variable selection predicate (variable remapped to 0).
+    pub pred: SelectionPredicate,
+    /// Event requirement for ON-condition nodes.
+    pub event: Option<EventReq>,
+    entries: HashMap<u64, AlphaEntry>,
+}
+
+impl AlphaNode {
+    /// Create a node; `entries` starts empty.
+    pub fn new(
+        rule: RuleId,
+        var: usize,
+        rel: String,
+        kind: AlphaKind,
+        pred: SelectionPredicate,
+        event: Option<EventReq>,
+    ) -> Self {
+        AlphaNode { rule, var, rel, kind, pred, event, entries: HashMap::new() }
+    }
+
+    /// Does the node's selection predicate match a (tuple, prev) pair?
+    /// Anchor and residual are both checked; evaluation errors (e.g. a
+    /// `previous` reference with no previous value available) mean "no
+    /// match".
+    pub fn pred_matches(&self, tuple: &Tuple, prev: Option<&Tuple>) -> bool {
+        if self.pred.unsatisfiable {
+            return false;
+        }
+        if let Some((attr, iv)) = &self.pred.anchor {
+            if !iv.contains(tuple.get(*attr)) {
+                return false;
+            }
+        }
+        match &self.pred.residual {
+            None => true,
+            Some(r) => eval_pred(r, &SingleEnv { tuple, prev }).unwrap_or(false),
+        }
+    }
+
+    /// Whether this node can accept a positive token of the given kind
+    /// (structural gating; Fig. 5's "don't care" cells are unreachable
+    /// because of this).
+    pub fn admits_positive(&self, kind: TokenKind, event: Option<&EventSpecifier>) -> bool {
+        debug_assert!(kind.is_positive());
+        if self.kind.is_trans() && kind != TokenKind::DeltaPlus {
+            return false; // ± tokens never reach transition memories
+        }
+        match (&self.event, event) {
+            (None, _) => true, // pattern nodes never examine the event
+            (Some(req), Some(ev)) => req.admits(ev),
+            (Some(_), None) => false,
+        }
+    }
+
+    /// Insert an entry (keyed by the token's TID).
+    pub fn insert(&mut self, key: Tid, entry: AlphaEntry) {
+        debug_assert!(self.kind.stores_entries());
+        self.entries.insert(key.0, entry);
+    }
+
+    /// Remove the entry keyed by `tid`; returns it if present. Idempotent.
+    pub fn remove(&mut self, tid: Tid) -> Option<AlphaEntry> {
+        self.entries.remove(&tid.0)
+    }
+
+    /// Whether an entry for `tid` exists.
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.entries.contains_key(&tid.0)
+    }
+
+    /// Iterate stored entries.
+    pub fn entries(&self) -> impl Iterator<Item = &AlphaEntry> {
+        self.entries.values()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the node stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries (transition flush for dynamic nodes).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Approximate heap footprint of the stored entries, in bytes. This is
+    /// the quantity virtual α-memories reduce to (near) zero.
+    pub fn heap_size(&self) -> usize {
+        self.entries.values().map(AlphaEntry::heap_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariel_islist::Interval;
+    use ariel_storage::Value;
+
+    fn tup(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)])
+    }
+
+    fn band_pred(lo: i64, hi: i64) -> SelectionPredicate {
+        SelectionPredicate {
+            anchor: Some((0, Interval::open_closed(Value::Int(lo), Value::Int(hi)).unwrap())),
+            residual: None,
+            unsatisfiable: false,
+        }
+    }
+
+    fn node(kind: AlphaKind, event: Option<EventReq>) -> AlphaNode {
+        AlphaNode::new(RuleId(1), 0, "emp".into(), kind, band_pred(10, 20), event)
+    }
+
+    #[test]
+    fn pred_matching_uses_anchor() {
+        let n = node(AlphaKind::Stored, None);
+        assert!(!n.pred_matches(&tup(10), None));
+        assert!(n.pred_matches(&tup(11), None));
+        assert!(n.pred_matches(&tup(20), None));
+        assert!(!n.pred_matches(&tup(21), None));
+    }
+
+    #[test]
+    fn unsatisfiable_never_matches() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.pred = SelectionPredicate {
+            anchor: None,
+            residual: None,
+            unsatisfiable: true,
+        };
+        assert!(!n.pred_matches(&tup(15), None));
+    }
+
+    #[test]
+    fn residual_eval_errors_mean_no_match() {
+        let mut n = node(AlphaKind::DynamicTrans, None);
+        // residual references previous value
+        n.pred = SelectionPredicate {
+            anchor: None,
+            residual: Some(ariel_query::RExpr::Binary {
+                op: ariel_query::BinOp::Gt,
+                left: Box::new(ariel_query::RExpr::Attr { var: 0, attr: 0 }),
+                right: Box::new(ariel_query::RExpr::Prev { var: 0, attr: 0 }),
+            }),
+            unsatisfiable: false,
+        };
+        assert!(!n.pred_matches(&tup(5), None), "no prev → no match");
+        assert!(n.pred_matches(&tup(5), Some(&tup(4))));
+        assert!(!n.pred_matches(&tup(5), Some(&tup(6))));
+    }
+
+    #[test]
+    fn entry_lifecycle() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.insert(Tid(7), AlphaEntry { tid: Some(Tid(7)), tuple: tup(15), prev: None });
+        assert!(n.contains(Tid(7)));
+        assert_eq!(n.len(), 1);
+        assert!(n.heap_size() > 0);
+        assert!(n.remove(Tid(7)).is_some());
+        assert!(n.remove(Tid(7)).is_none(), "removal is idempotent");
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut n = node(AlphaKind::DynamicOn, Some(EventReq::Append));
+        n.insert(Tid(1), AlphaEntry { tid: Some(Tid(1)), tuple: tup(12), prev: None });
+        n.flush();
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn positive_gating_trans_only_delta() {
+        let n = node(AlphaKind::DynamicTrans, None);
+        assert!(!n.admits_positive(TokenKind::Plus, Some(&EventSpecifier::Append)));
+        assert!(n.admits_positive(TokenKind::DeltaPlus, Some(&EventSpecifier::Replace(vec![]))));
+    }
+
+    #[test]
+    fn positive_gating_event_requirements() {
+        let n = node(AlphaKind::DynamicOn, Some(EventReq::Append));
+        assert!(n.admits_positive(TokenKind::Plus, Some(&EventSpecifier::Append)));
+        assert!(!n.admits_positive(TokenKind::DeltaPlus, Some(&EventSpecifier::Replace(vec![]))));
+        assert!(!n.admits_positive(TokenKind::Plus, None), "on-node needs an event");
+        // pattern node ignores events entirely
+        let p = node(AlphaKind::Stored, None);
+        assert!(p.admits_positive(TokenKind::Plus, None));
+    }
+
+    #[test]
+    fn replace_target_list_matching() {
+        let watch = EventReq::Replace(Some(vec![2, 4]));
+        assert!(watch.admits(&EventSpecifier::Replace(vec![4])));
+        assert!(!watch.admits(&EventSpecifier::Replace(vec![0, 1])));
+        assert!(watch.admits(&EventSpecifier::Replace(vec![])), "unknown attrs admit");
+        assert!(!watch.admits(&EventSpecifier::Append));
+        let any = EventReq::Replace(None);
+        assert!(any.admits(&EventSpecifier::Replace(vec![0])));
+    }
+
+    #[test]
+    fn kind_taxonomy() {
+        assert!(AlphaKind::Stored.stores_entries());
+        assert!(!AlphaKind::Virtual.stores_entries());
+        assert!(AlphaKind::DynamicOn.is_dynamic() && AlphaKind::SimpleTrans.is_dynamic());
+        assert!(!AlphaKind::Stored.is_dynamic());
+        assert!(AlphaKind::Simple.is_simple() && !AlphaKind::Virtual.is_simple());
+        assert!(AlphaKind::SimpleTrans.is_trans() && AlphaKind::DynamicTrans.is_trans());
+        assert!(AlphaKind::SimpleOn.is_on() && AlphaKind::DynamicOn.is_on());
+    }
+}

@@ -1,0 +1,24 @@
+//! # ariel-network
+//!
+//! Discrimination networks for rule-condition testing in the Ariel
+//! reproduction: the paper's **A-TREAT** network (selection-predicate
+//! index + TREAT join layer + virtual α-memories), plus a classic
+//! **Rete** network as the comparison baseline. Classic TREAT is A-TREAT
+//! under [`VirtualPolicy::AllStored`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alpha;
+pub mod pred;
+pub mod rete;
+pub mod selnet;
+pub mod token;
+pub mod treat;
+
+pub use alpha::{AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+pub use pred::SelectionPredicate;
+pub use rete::ReteNetwork;
+pub use selnet::SelectionNetwork;
+pub use token::{EventSpecifier, Token, TokenKind};
+pub use treat::{Network, NetworkStats, RuleStats, VirtualPolicy};

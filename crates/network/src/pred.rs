@@ -1,0 +1,322 @@
+//! Selection-predicate decomposition for the top-level network (§4.1).
+//!
+//! A rule variable's selection predicate (the conjunction of the rule
+//! condition's single-variable conjuncts on that variable) is split into an
+//! **anchor** — one attribute's worth of `attr cmp constant` comparisons,
+//! intersected into a single interval suitable for the interval skip list —
+//! and a **residual** evaluated only on tokens whose anchor matched.
+
+use ariel_islist::Interval;
+use ariel_query::{eval, BinOp, QueryResult, RExpr, Row};
+use ariel_storage::Value;
+use std::ops::Bound;
+
+/// Decomposed single-variable selection predicate (variable remapped to 0).
+#[derive(Debug, Clone)]
+pub struct SelectionPredicate {
+    /// Indexable part: attribute position and the interval its value must
+    /// fall in. `None` when no conjunct is anchorable (then `residual` is
+    /// the whole predicate).
+    pub anchor: Option<(usize, Interval<Value>)>,
+    /// Remaining conjuncts (possibly referencing `previous` values).
+    pub residual: Option<RExpr>,
+    /// True when the anchor conjuncts were contradictory (e.g. `a > 5 and
+    /// a < 3`): the predicate can never match.
+    pub unsatisfiable: bool,
+}
+
+impl SelectionPredicate {
+    /// The always-true predicate (a bare `new(var)` or an unconstrained
+    /// variable).
+    pub fn always_true() -> Self {
+        SelectionPredicate { anchor: None, residual: None, unsatisfiable: false }
+    }
+
+    /// Decompose the conjunction `conjuncts` (each over variable 0 only).
+    pub fn decompose(conjuncts: Vec<RExpr>) -> Self {
+        // Gather candidate `attr cmp const` comparisons grouped by attr.
+        let mut sargs: Vec<(usize, usize, BinOp, Value)> = Vec::new(); // (conjunct idx, attr, op, val)
+        for (i, c) in conjuncts.iter().enumerate() {
+            if let Some((attr, op, val)) = as_sarg(c) {
+                sargs.push((i, attr, op, val));
+            }
+        }
+        if sargs.is_empty() {
+            return SelectionPredicate {
+                anchor: None,
+                residual: RExpr::conjoin(conjuncts),
+                unsatisfiable: false,
+            };
+        }
+        // Anchor on the attribute with the most sargs (ties: lowest attr).
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for (_, attr, _, _) in &sargs {
+            match counts.iter_mut().find(|(a, _)| a == attr) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((*attr, 1)),
+            }
+        }
+        counts.sort_by_key(|&(a, n)| (std::cmp::Reverse(n), a));
+        let anchor_attr = counts[0].0;
+
+        let mut lo: Bound<Value> = Bound::Unbounded;
+        let mut hi: Bound<Value> = Bound::Unbounded;
+        let mut used = Vec::new();
+        for (i, attr, op, val) in &sargs {
+            if *attr != anchor_attr {
+                continue;
+            }
+            match op {
+                BinOp::Eq => {
+                    lo = tighter_lo(lo, Bound::Included(val.clone()));
+                    hi = tighter_hi(hi, Bound::Included(val.clone()));
+                }
+                BinOp::Gt => lo = tighter_lo(lo, Bound::Excluded(val.clone())),
+                BinOp::Ge => lo = tighter_lo(lo, Bound::Included(val.clone())),
+                BinOp::Lt => hi = tighter_hi(hi, Bound::Excluded(val.clone())),
+                BinOp::Le => hi = tighter_hi(hi, Bound::Included(val.clone())),
+                _ => continue,
+            }
+            used.push(*i);
+        }
+        let residual = RExpr::conjoin(
+            conjuncts
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !used.contains(i))
+                .map(|(_, c)| c)
+                .collect(),
+        );
+        match Interval::new(lo, hi) {
+            Some(interval) => SelectionPredicate {
+                anchor: Some((anchor_attr, interval)),
+                residual,
+                unsatisfiable: false,
+            },
+            None => SelectionPredicate { anchor: None, residual, unsatisfiable: true },
+        }
+    }
+
+    /// The full predicate as one expression (anchor re-expressed), mainly
+    /// for virtual-α base-relation filtering and for priming stored nodes.
+    pub fn full_expr(&self) -> Option<RExpr> {
+        let mut parts = Vec::new();
+        if let Some((attr, iv)) = &self.anchor {
+            let a = RExpr::Attr { var: 0, attr: *attr };
+            match iv.lo() {
+                Bound::Included(v) => parts.push(cmp(BinOp::Ge, a.clone(), v.clone())),
+                Bound::Excluded(v) => parts.push(cmp(BinOp::Gt, a.clone(), v.clone())),
+                Bound::Unbounded => {}
+            }
+            match iv.hi() {
+                Bound::Included(v) => parts.push(cmp(BinOp::Le, a.clone(), v.clone())),
+                Bound::Excluded(v) => parts.push(cmp(BinOp::Lt, a, v.clone())),
+                Bound::Unbounded => {}
+            }
+        }
+        if let Some(r) = &self.residual {
+            parts.push(r.clone());
+        }
+        RExpr::conjoin(parts)
+    }
+}
+
+fn cmp(op: BinOp, l: RExpr, v: Value) -> RExpr {
+    RExpr::Binary { op, left: Box::new(l), right: Box::new(RExpr::Const(v)) }
+}
+
+fn tighter_lo(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match y.total_cmp(x) {
+                std::cmp::Ordering::Greater => b,
+                std::cmp::Ordering::Less => a,
+                std::cmp::Ordering::Equal => {
+                    if matches!(b, Bound::Excluded(_)) {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tighter_hi(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match y.total_cmp(x) {
+                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Greater => a,
+                std::cmp::Ordering::Equal => {
+                    if matches!(b, Bound::Excluded(_)) {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recognize `attr cmp constant` (constants may be constant-foldable
+/// expressions); `previous` references never anchor.
+fn as_sarg(c: &RExpr) -> Option<(usize, BinOp, Value)> {
+    let RExpr::Binary { op, left, right } = c else { return None };
+    if !op.is_comparison() || *op == BinOp::Ne {
+        return None;
+    }
+    if let RExpr::Attr { var: 0, attr } = **left {
+        if let Some(v) = fold(right) {
+            return Some((attr, *op, v));
+        }
+    }
+    if let RExpr::Attr { var: 0, attr } = **right {
+        if let Some(v) = fold(left) {
+            return Some((attr, op.flip(), v));
+        }
+    }
+    None
+}
+
+fn fold(e: &RExpr) -> Option<Value> {
+    if !e.vars_used().is_empty() {
+        return None;
+    }
+    let r: QueryResult<Value> = eval(e, &Row::unbound(0));
+    r.ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(a: usize) -> RExpr {
+        RExpr::Attr { var: 0, attr: a }
+    }
+
+    fn lit(v: impl Into<Value>) -> RExpr {
+        RExpr::Const(v.into())
+    }
+
+    fn bin(op: BinOp, l: RExpr, r: RExpr) -> RExpr {
+        RExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    #[test]
+    fn paper_band_predicate_becomes_interval() {
+        // C1 < sal <= C2 — the paper's canonical shape
+        let p = SelectionPredicate::decompose(vec![
+            bin(BinOp::Gt, attr(1), lit(30_000i64)),
+            bin(BinOp::Le, attr(1), lit(40_000i64)),
+        ]);
+        let (a, iv) = p.anchor.as_ref().unwrap();
+        assert_eq!(*a, 1);
+        assert!(!iv.contains(&Value::Int(30_000)));
+        assert!(iv.contains(&Value::Int(30_001)));
+        assert!(iv.contains(&Value::Int(40_000)));
+        assert!(!iv.contains(&Value::Int(40_001)));
+        assert!(p.residual.is_none());
+        assert!(!p.unsatisfiable);
+    }
+
+    #[test]
+    fn equality_becomes_point() {
+        let p = SelectionPredicate::decompose(vec![bin(BinOp::Eq, attr(0), lit("Sales"))]);
+        let (_, iv) = p.anchor.as_ref().unwrap();
+        assert!(iv.contains(&Value::from("Sales")));
+        assert!(!iv.contains(&Value::from("Toy")));
+    }
+
+    #[test]
+    fn flipped_comparison_normalized() {
+        // 30000 < sal  ≡  sal > 30000
+        let p = SelectionPredicate::decompose(vec![bin(BinOp::Lt, lit(30_000i64), attr(1))]);
+        let (a, iv) = p.anchor.as_ref().unwrap();
+        assert_eq!(*a, 1);
+        assert!(!iv.contains(&Value::Int(30_000)));
+        assert!(iv.contains(&Value::Int(30_001)));
+    }
+
+    #[test]
+    fn residual_keeps_non_anchor_conjuncts() {
+        let p = SelectionPredicate::decompose(vec![
+            bin(BinOp::Gt, attr(1), lit(10i64)),
+            bin(BinOp::Ne, attr(0), lit("x")), // != can't anchor
+            bin(BinOp::Eq, attr(2), lit(5i64)), // different attr: attr 1 wins? no...
+        ]);
+        // attr 1 and attr 2 both have one sarg; lowest attr wins ties → 1
+        let (a, _) = p.anchor.as_ref().unwrap();
+        assert_eq!(*a, 1);
+        assert!(p.residual.is_some());
+        let resid = p.residual.unwrap().conjuncts();
+        assert_eq!(resid.len(), 2);
+    }
+
+    #[test]
+    fn anchor_prefers_most_constrained_attr() {
+        let p = SelectionPredicate::decompose(vec![
+            bin(BinOp::Eq, attr(0), lit("x")),
+            bin(BinOp::Gt, attr(3), lit(1i64)),
+            bin(BinOp::Le, attr(3), lit(9i64)),
+        ]);
+        let (a, _) = p.anchor.as_ref().unwrap();
+        assert_eq!(*a, 3);
+    }
+
+    #[test]
+    fn contradictory_anchor_is_unsatisfiable() {
+        let p = SelectionPredicate::decompose(vec![
+            bin(BinOp::Gt, attr(0), lit(10i64)),
+            bin(BinOp::Lt, attr(0), lit(5i64)),
+        ]);
+        assert!(p.unsatisfiable);
+        assert!(p.anchor.is_none());
+    }
+
+    #[test]
+    fn previous_refs_do_not_anchor() {
+        let prev = RExpr::Prev { var: 0, attr: 1 };
+        let p = SelectionPredicate::decompose(vec![bin(BinOp::Gt, attr(1), prev)]);
+        assert!(p.anchor.is_none());
+        assert!(p.residual.is_some());
+    }
+
+    #[test]
+    fn constant_folding_in_sargs() {
+        // sal > 1000 * 30
+        let p = SelectionPredicate::decompose(vec![bin(
+            BinOp::Gt,
+            attr(1),
+            bin(BinOp::Mul, lit(1000i64), lit(30i64)),
+        )]);
+        let (_, iv) = p.anchor.as_ref().unwrap();
+        assert!(iv.contains(&Value::Int(30_001)));
+        assert!(!iv.contains(&Value::Int(30_000)));
+    }
+
+    #[test]
+    fn full_expr_roundtrip() {
+        let conj = vec![
+            bin(BinOp::Gt, attr(1), lit(10i64)),
+            bin(BinOp::Le, attr(1), lit(20i64)),
+            bin(BinOp::Eq, attr(0), lit("a")),
+        ];
+        let p = SelectionPredicate::decompose(conj);
+        let full = p.full_expr().unwrap();
+        assert_eq!(full.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn empty_predicate_always_true() {
+        let p = SelectionPredicate::decompose(vec![]);
+        assert!(p.anchor.is_none() && p.residual.is_none() && !p.unsatisfiable);
+        assert!(p.full_expr().is_none());
+    }
+}

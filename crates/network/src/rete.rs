@@ -1,0 +1,788 @@
+//! Classic Rete network (Forgy 1982) — the comparison baseline.
+//!
+//! Rete differs from TREAT by materializing **β-memories**: one per join
+//! level, holding the partial matches of the first `i` tuple variables.
+//! Insertions do incremental join work against the next α-memory only;
+//! deletions walk the β-memories removing partials by TID. The price is the
+//! β-memory state itself — the storage the paper's virtual-memory argument
+//! (§4.2, §8: "virtual α- *and β-* memory nodes") is about.
+//!
+//! This implementation covers pattern-based conditions (what the paper's
+//! Figs. 9–11 exercise); event and transition conditions are A-TREAT
+//! features ([`crate::treat`]).
+//!
+//! §1 of the paper notes the virtual-memory-node modification "could also
+//! be used in the Rete algorithm" — [`ReteNetwork::with_policy`] does
+//! exactly that: under a [`VirtualPolicy`], eligible α-memories store only
+//! their predicate, and left-activations join through the base relation
+//! (with the same pending/ProcessedMemories visibility discipline as
+//! [`crate::treat`]).
+
+use crate::alpha::{AlphaEntry, AlphaId, AlphaKind, AlphaNode, RuleId};
+use crate::pred::SelectionPredicate;
+use crate::selnet::SelectionNetwork;
+use crate::token::Token;
+use crate::treat::VirtualPolicy;
+use ariel_query::{
+    eval_pred, BoundVar, Pnode, PnodeCol, QueryError, QueryResult, RExpr, ResolvedCondition,
+    Row,
+};
+use ariel_storage::{Catalog, Tid};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A partial match over the first `level + 1` variables.
+type Partial = Vec<BoundVar>;
+
+#[derive(Debug, Default)]
+struct BetaMemory {
+    partials: Vec<Partial>,
+}
+
+impl BetaMemory {
+    fn heap_size(&self) -> usize {
+        self.partials
+            .iter()
+            .map(|p| p.iter().map(BoundVar::heap_size).sum::<usize>())
+            .sum()
+    }
+}
+
+#[derive(Debug)]
+struct ReteRule {
+    alphas: Vec<AlphaId>,
+    /// `join_conjuncts[i]`: conjuncts evaluable once vars `0..=i` are bound
+    /// and involving var `i`.
+    join_conjuncts: Vec<Vec<RExpr>>,
+    /// `betas[i]`: partial matches over vars `0..=i`; the last level feeds
+    /// the P-node.
+    betas: Vec<BetaMemory>,
+    pnode: Pnode,
+}
+
+/// A Rete network over pattern-based rule conditions.
+#[derive(Debug)]
+pub struct ReteNetwork {
+    selnet: SelectionNetwork,
+    alphas: Vec<Option<AlphaNode>>,
+    rules: BTreeMap<u64, ReteRule>,
+    policy: VirtualPolicy,
+}
+
+impl Default for ReteNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReteNetwork {
+    /// New empty network with every α-memory stored (classic Rete).
+    pub fn new() -> Self {
+        Self::with_policy(VirtualPolicy::AllStored)
+    }
+
+    /// New empty network whose eligible α-memories follow `policy` — §1's
+    /// "could also be used in the Rete algorithm".
+    pub fn with_policy(policy: VirtualPolicy) -> Self {
+        ReteNetwork {
+            selnet: SelectionNetwork::new(),
+            alphas: Vec::new(),
+            rules: BTreeMap::new(),
+            policy,
+        }
+    }
+
+    fn alpha(&self, id: AlphaId) -> &AlphaNode {
+        self.alphas[id.0].as_ref().expect("live alpha")
+    }
+
+    fn virtualize(&self, var: usize) -> bool {
+        match &self.policy {
+            VirtualPolicy::AllStored => false,
+            VirtualPolicy::AllVirtual => true,
+            VirtualPolicy::ExplicitVars(set) => set.contains(&var),
+            // selectivity estimation needs the catalog at add time; Rete is
+            // a baseline, so the simple policies suffice — threshold falls
+            // back to stored
+            VirtualPolicy::SelectivityThreshold(_) => false,
+        }
+    }
+
+    /// Compile a pattern-based rule condition.
+    pub fn add_rule(&mut self, id: RuleId, cond: &ResolvedCondition) -> QueryResult<()> {
+        if cond.on_var.is_some() || !cond.trans_vars.is_empty() {
+            return Err(QueryError::Semantic(
+                "the Rete baseline supports pattern-based conditions only".into(),
+            ));
+        }
+        if self.rules.contains_key(&id.0) {
+            return Err(QueryError::Semantic(format!("rule {id} already in network")));
+        }
+        let nvars = cond.spec.vars.len();
+        let conjuncts: Vec<RExpr> = cond
+            .spec
+            .qual
+            .clone()
+            .map(|q| q.conjuncts())
+            .unwrap_or_default();
+        let mut selections: Vec<Vec<RExpr>> = vec![Vec::new(); nvars];
+        let mut joins: Vec<Vec<RExpr>> = vec![Vec::new(); nvars];
+        for c in conjuncts {
+            let used = c.vars_used();
+            if used.len() == 1 {
+                selections[used[0]].push(c.remap_vars(&|_| 0));
+            } else {
+                // attach at the highest variable index it references
+                let lvl = *used.iter().max().unwrap();
+                joins[lvl].push(c);
+            }
+        }
+        let mut alphas = Vec::with_capacity(nvars);
+        let mut cols = Vec::with_capacity(nvars);
+        for (v, binding) in cond.spec.vars.iter().enumerate() {
+            let pred = SelectionPredicate::decompose(std::mem::take(&mut selections[v]));
+            let kind = if self.virtualize(v) {
+                AlphaKind::Virtual
+            } else {
+                AlphaKind::Stored
+            };
+            let node = AlphaNode::new(id, v, binding.rel.clone(), kind, pred, None);
+            let anchor = if node.pred.unsatisfiable {
+                None
+            } else {
+                node.pred.anchor.clone()
+            };
+            self.alphas.push(Some(node));
+            let aid = AlphaId(self.alphas.len() - 1);
+            self.selnet.subscribe(aid, &binding.rel, anchor);
+            alphas.push(aid);
+            cols.push(PnodeCol {
+                var: binding.name.clone(),
+                rel: binding.rel.clone(),
+                schema: binding.schema.clone(),
+                has_prev: false,
+            });
+        }
+        self.rules.insert(
+            id.0,
+            ReteRule {
+                alphas,
+                join_conjuncts: joins,
+                betas: (0..nvars).map(|_| BetaMemory::default()).collect(),
+                pnode: Pnode::new(cols),
+            },
+        );
+        Ok(())
+    }
+
+    /// Candidate bindings of an α-node: stored entries, or a base-relation
+    /// scan under the node's predicate for virtual nodes (§4.2 applied to
+    /// Rete). `visible` implements the pending/ProcessedMemories rules.
+    fn candidates(
+        &self,
+        aid: AlphaId,
+        catalog: &Catalog,
+        visible: &dyn Fn(Tid) -> bool,
+    ) -> QueryResult<Vec<BoundVar>> {
+        let alpha = self.alpha(aid);
+        match alpha.kind {
+            AlphaKind::Virtual => {
+                let rel_ref = catalog.require(&alpha.rel)?;
+                let rel_b = rel_ref.borrow();
+                Ok(rel_b
+                    .scan()
+                    .filter(|(tid, _)| visible(*tid))
+                    .filter(|(_, t)| alpha.pred_matches(t, None))
+                    .map(|(tid, t)| BoundVar::plain(tid, t.clone()))
+                    .collect())
+            }
+            _ => Ok(alpha
+                .entries()
+                .map(|e| BoundVar { tid: e.tid, tuple: e.tuple.clone(), prev: e.prev.clone() })
+                .collect()),
+        }
+    }
+
+    /// Fill α-memories from current data and rebuild β-memories bottom-up.
+    pub fn prime(&mut self, id: RuleId, catalog: &Catalog) -> QueryResult<()> {
+        let rule = self
+            .rules
+            .get(&id.0)
+            .ok_or_else(|| QueryError::Semantic(format!("unknown rule {id}")))?;
+        let alpha_ids = rule.alphas.clone();
+        for aid in &alpha_ids {
+            if self.alpha(*aid).kind == AlphaKind::Virtual {
+                continue;
+            }
+            let rel = self.alpha(*aid).rel.clone();
+            let rel_ref = catalog.require(&rel)?;
+            let entries: Vec<(Tid, AlphaEntry)> = {
+                let a = self.alpha(*aid);
+                rel_ref
+                    .borrow()
+                    .scan()
+                    .filter(|(_, t)| a.pred_matches(t, None))
+                    .map(|(tid, t)| {
+                        (tid, AlphaEntry { tid: Some(tid), tuple: t.clone(), prev: None })
+                    })
+                    .collect()
+            };
+            let a = self.alphas[aid.0].as_mut().unwrap();
+            for (tid, e) in entries {
+                a.insert(tid, e);
+            }
+        }
+        // β levels bottom-up
+        let nvars = alpha_ids.len();
+        let mut levels: Vec<Vec<Partial>> = Vec::with_capacity(nvars);
+        for lvl in 0..nvars {
+            let mut out = Vec::new();
+            let rule = &self.rules[&id.0];
+            let cands = self.candidates(alpha_ids[lvl], catalog, &|_| true)?;
+            if lvl == 0 {
+                for cand in cands {
+                    out.push(vec![cand]);
+                }
+            } else {
+                for left in &levels[lvl - 1] {
+                    for cand in &cands {
+                        if self.join_passes(rule, lvl, left, cand)? {
+                            let mut p = left.clone();
+                            p.push(cand.clone());
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+            levels.push(out);
+        }
+        let rule = self.rules.get_mut(&id.0).unwrap();
+        for (lvl, partials) in levels.into_iter().enumerate() {
+            if lvl == nvars - 1 {
+                for p in &partials {
+                    rule.pnode.push(p.clone());
+                }
+            }
+            rule.betas[lvl].partials = partials;
+        }
+        Ok(())
+    }
+
+    fn join_passes(
+        &self,
+        rule: &ReteRule,
+        lvl: usize,
+        left: &[BoundVar],
+        cand: &BoundVar,
+    ) -> QueryResult<bool> {
+        let nvars = rule.alphas.len();
+        let mut row = Row::unbound(nvars);
+        for (i, b) in left.iter().enumerate() {
+            row.slots[i] = Some(b.clone());
+        }
+        row.slots[lvl] = Some(cand.clone());
+        for c in &rule.join_conjuncts[lvl] {
+            if !eval_pred(c, &row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Process one token.
+    pub fn process_token(&mut self, token: &Token, catalog: &Catalog) -> QueryResult<()> {
+        self.process_batch(std::slice::from_ref(token), catalog)
+    }
+
+    /// Process a batch of tokens in order. As in [`crate::treat`], changes
+    /// are already applied to base relations, so virtual α-memories hide
+    /// tuples whose positive tokens are still pending.
+    pub fn process_batch(&mut self, tokens: &[Token], catalog: &Catalog) -> QueryResult<()> {
+        let mut pending: HashMap<String, HashSet<u64>> = HashMap::new();
+        for t in tokens {
+            if t.kind.is_positive() {
+                pending.entry(t.rel.clone()).or_default().insert(t.tid.0);
+            }
+        }
+        for t in tokens {
+            if t.kind.is_positive() {
+                if let Some(set) = pending.get_mut(&t.rel) {
+                    set.remove(&t.tid.0);
+                }
+                self.process_positive(t, catalog, &pending)?;
+            } else {
+                self.process_negative(t);
+            }
+        }
+        Ok(())
+    }
+
+    fn process_positive(
+        &mut self,
+        token: &Token,
+        catalog: &Catalog,
+        pending: &HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<()> {
+        let mut matched: Vec<AlphaId> = self
+            .selnet
+            .candidates(&token.rel, &token.tuple)
+            .into_iter()
+            .filter(|aid| self.alpha(*aid).pred_matches(&token.tuple, token.old.as_ref()))
+            .collect();
+        matched.sort_by_key(|a| a.0);
+        matched.dedup();
+        let mut processed: HashSet<usize> = HashSet::new();
+        for aid in matched {
+            processed.insert(aid.0);
+            let (rule_id, var) = {
+                let a = self.alphas[aid.0].as_mut().unwrap();
+                if a.kind.stores_entries() {
+                    a.insert(
+                        token.tid,
+                        AlphaEntry {
+                            tid: Some(token.tid),
+                            tuple: token.tuple.clone(),
+                            prev: token.old.clone(),
+                        },
+                    );
+                }
+                (a.rule, a.var)
+            };
+            let seed = BoundVar {
+                tid: Some(token.tid),
+                tuple: token.tuple.clone(),
+                prev: token.old.clone(),
+            };
+            // right activation at level `var`
+            let new_partials: Vec<Partial> = {
+                let rule = &self.rules[&rule_id.0];
+                if var == 0 {
+                    vec![vec![seed]]
+                } else {
+                    let mut out = Vec::new();
+                    for left in &rule.betas[var - 1].partials {
+                        if self.join_passes(rule, var, left, &seed)? {
+                            let mut p = left.clone();
+                            p.push(seed.clone());
+                            out.push(p);
+                        }
+                    }
+                    out
+                }
+            };
+            self.insert_partials(rule_id, var, new_partials, token, &processed, catalog, pending)?;
+        }
+        Ok(())
+    }
+
+    /// Insert partials at level `lvl` and cascade them down the β chain.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_partials(
+        &mut self,
+        rule_id: RuleId,
+        lvl: usize,
+        partials: Vec<Partial>,
+        token: &Token,
+        processed: &HashSet<usize>,
+        catalog: &Catalog,
+        pending: &HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<()> {
+        if partials.is_empty() {
+            return Ok(());
+        }
+        let nvars = self.rules[&rule_id.0].alphas.len();
+        // extend level by level
+        let mut current = partials;
+        for level in lvl..nvars {
+            if level > lvl {
+                let rule = &self.rules[&rule_id.0];
+                let aid = rule.alphas[level];
+                let alpha = self.alpha(aid);
+                let empty = HashSet::new();
+                let pend = pending.get(&alpha.rel).unwrap_or(&empty);
+                let rel = alpha.rel.clone();
+                let visible = move |tid: Tid| -> bool {
+                    if pend.contains(&tid.0) {
+                        return false;
+                    }
+                    rel != token.rel || tid != token.tid || processed.contains(&aid.0)
+                };
+                let cands = self.candidates(aid, catalog, &visible)?;
+                let rule = &self.rules[&rule_id.0];
+                let mut next = Vec::new();
+                for left in &current {
+                    for cand in &cands {
+                        if self.join_passes(rule, level, left, cand)? {
+                            let mut p = left.clone();
+                            p.push(cand.clone());
+                            next.push(p);
+                        }
+                    }
+                }
+                current = next;
+                if current.is_empty() {
+                    return Ok(());
+                }
+            }
+            let rule = self.rules.get_mut(&rule_id.0).unwrap();
+            rule.betas[level].partials.extend(current.iter().cloned());
+            if level == nvars - 1 {
+                for p in &current {
+                    rule.pnode.push(p.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn process_negative(&mut self, token: &Token) {
+        let alpha_ids: Vec<AlphaId> = self.selnet.alphas_on(&token.rel).to_vec();
+        for aid in alpha_ids {
+            let (rule_id, var) = {
+                let a = self.alphas[aid.0].as_mut().unwrap();
+                a.remove(token.tid);
+                (a.rule, a.var)
+            };
+            let rule = self.rules.get_mut(&rule_id.0).unwrap();
+            for beta in rule.betas[var..].iter_mut() {
+                beta.partials
+                    .retain(|p| p.get(var).map(|b| b.tid) != Some(Some(token.tid)));
+            }
+            rule.pnode.retract(var, token.tid);
+        }
+    }
+
+    /// The P-node of a rule.
+    pub fn pnode(&self, id: RuleId) -> Option<&Pnode> {
+        self.rules.get(&id.0).map(|r| &r.pnode)
+    }
+
+    /// Total bytes held in β-memories (the Rete-specific storage cost).
+    /// The last β level duplicates the P-node by construction.
+    pub fn beta_bytes(&self) -> usize {
+        self.rules
+            .values()
+            .flat_map(|r| r.betas.iter())
+            .map(BetaMemory::heap_size)
+            .sum()
+    }
+
+    /// Total bytes held in α-memories.
+    pub fn alpha_bytes(&self) -> usize {
+        self.alphas
+            .iter()
+            .flatten()
+            .map(AlphaNode::heap_size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::EventSpecifier;
+    use crate::treat::{Network, VirtualPolicy};
+    use ariel_query::{parse_expr, FromItem, Resolver};
+    use ariel_storage::{AttrType, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create(
+            "emp",
+            Schema::of(&[("sal", AttrType::Int), ("dno", AttrType::Int)]),
+        )
+        .unwrap();
+        c.create(
+            "dept",
+            Schema::of(&[("dno", AttrType::Int), ("floor", AttrType::Int)]),
+        )
+        .unwrap();
+        c
+    }
+
+    fn rcond(c: &Catalog, qual: &str, from: &[(&str, &str)]) -> ResolvedCondition {
+        let e = parse_expr(qual).unwrap();
+        let from: Vec<FromItem> = from
+            .iter()
+            .map(|(v, r)| FromItem { var: v.to_string(), rel: r.to_string() })
+            .collect();
+        Resolver::new(c).resolve_condition(None, Some(&e), &from).unwrap()
+    }
+
+    fn ins(c: &Catalog, rel: &str, vals: &[i64]) -> Token {
+        let r = c.get(rel).unwrap();
+        let tid = r
+            .borrow_mut()
+            .insert(vals.iter().map(|&v| Value::Int(v)).collect::<Vec<Value>>())
+            .unwrap();
+        let t = r.borrow().get(tid).cloned().unwrap();
+        Token::plus(rel, tid, t, EventSpecifier::Append)
+    }
+
+    fn del(c: &Catalog, token: &Token) -> Token {
+        let r = c.get(&token.rel).unwrap();
+        let old = r.borrow_mut().delete(token.tid).unwrap();
+        Token::minus(token.rel.clone(), token.tid, old, EventSpecifier::Delete)
+    }
+
+    #[test]
+    fn rete_single_variable() {
+        let cat = catalog();
+        let mut net = ReteNetwork::new();
+        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 100", &[])).unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        let t = ins(&cat, "emp", &[200, 1]);
+        net.process_token(&t, &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        let low = ins(&cat, "emp", &[50, 1]);
+        net.process_token(&low, &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        let d = del(&cat, &t);
+        net.process_token(&d, &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rete_matches_treat_under_random_stream() {
+        // the real test: Rete and A-TREAT produce identical P-node sizes
+        // for the same token stream
+        let cat = catalog();
+        let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
+        let mut rete = ReteNetwork::new();
+        rete.add_rule(RuleId(1), &rcond(&cat, qual, &[])).unwrap();
+        rete.prime(RuleId(1), &cat).unwrap();
+        let mut treat = Network::new();
+        treat
+            .add_rule(RuleId(1), &rcond(&cat, qual, &[]), &VirtualPolicy::AllStored, &cat)
+            .unwrap();
+        treat.prime(RuleId(1), &cat).unwrap();
+
+        let mut live: Vec<Token> = Vec::new();
+        let mut seed = 42u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as i64
+        };
+        for step in 0..120 {
+            let tok = if step % 4 == 3 && !live.is_empty() {
+                let k = (rnd() as usize) % live.len();
+                let victim = live.swap_remove(k);
+                del(&cat, &victim)
+            } else if step % 2 == 0 {
+                let t = ins(&cat, "emp", &[rnd() % 30, rnd() % 6]);
+                live.push(t.clone());
+                t
+            } else {
+                let t = ins(&cat, "dept", &[rnd() % 6, rnd() % 8]);
+                live.push(t.clone());
+                t
+            };
+            rete.process_token(&tok, &cat).unwrap();
+            treat.process_token(&tok, &cat).unwrap();
+            let a = rete.pnode(RuleId(1)).unwrap();
+            let b = treat.pnode(RuleId(1)).unwrap();
+            assert_eq!(a.len(), b.len(), "divergence at step {step}");
+        }
+    }
+
+    #[test]
+    fn rete_carries_beta_state() {
+        let cat = catalog();
+        let qual = "emp.sal > 0 and emp.dno = dept.dno";
+        let mut net = ReteNetwork::new();
+        net.add_rule(RuleId(1), &rcond(&cat, qual, &[])).unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        for i in 0..10 {
+            let t = ins(&cat, "emp", &[100, i]);
+            net.process_token(&t, &cat).unwrap();
+        }
+        assert!(net.beta_bytes() > 0, "β-memories hold partial matches");
+        assert!(net.alpha_bytes() > 0);
+    }
+
+    #[test]
+    fn rete_self_join() {
+        let cat = catalog();
+        let mut net = ReteNetwork::new();
+        net.add_rule(
+            RuleId(1),
+            &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
+        )
+        .unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        let t1 = ins(&cat, "emp", &[1, 5]);
+        net.process_token(&t1, &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1, "(t1,t1)");
+        let t2 = ins(&cat, "emp", &[2, 5]);
+        net.process_token(&t2, &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 4);
+        let d = del(&cat, &t1);
+        net.process_token(&d, &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1, "(t2,t2) remains");
+    }
+
+    #[test]
+    fn rete_rejects_event_rules() {
+        let cat = catalog();
+        let e = parse_expr("emp.sal > 0").unwrap();
+        let rc = Resolver::new(&cat)
+            .resolve_condition(
+                Some(&ariel_query::EventSpec {
+                    kind: ariel_query::EventKind::Append,
+                    relation: "emp".into(),
+                }),
+                Some(&e),
+                &[],
+            )
+            .unwrap();
+        let mut net = ReteNetwork::new();
+        assert!(net.add_rule(RuleId(1), &rc).is_err());
+    }
+}
+
+#[cfg(test)]
+mod virtual_tests {
+    use super::*;
+    use crate::token::EventSpecifier;
+    use ariel_query::{parse_expr, FromItem, Resolver};
+    use ariel_storage::{AttrType, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create(
+            "emp",
+            Schema::of(&[("sal", AttrType::Int), ("dno", AttrType::Int)]),
+        )
+        .unwrap();
+        c.create(
+            "dept",
+            Schema::of(&[("dno", AttrType::Int), ("floor", AttrType::Int)]),
+        )
+        .unwrap();
+        c
+    }
+
+    fn rcond(c: &Catalog, qual: &str, from: &[(&str, &str)]) -> ResolvedCondition {
+        let e = parse_expr(qual).unwrap();
+        let from: Vec<FromItem> = from
+            .iter()
+            .map(|(v, r)| FromItem { var: v.to_string(), rel: r.to_string() })
+            .collect();
+        Resolver::new(c).resolve_condition(None, Some(&e), &from).unwrap()
+    }
+
+    fn ins(c: &Catalog, rel: &str, vals: &[i64]) -> Token {
+        let r = c.get(rel).unwrap();
+        let tid = r
+            .borrow_mut()
+            .insert(vals.iter().map(|&v| Value::Int(v)).collect::<Vec<Value>>())
+            .unwrap();
+        let t = r.borrow().get(tid).cloned().unwrap();
+        Token::plus(rel, tid, t, EventSpecifier::Append)
+    }
+
+    fn del(c: &Catalog, token: &Token) -> Token {
+        let r = c.get(&token.rel).unwrap();
+        let old = r.borrow_mut().delete(token.tid).unwrap();
+        Token::minus(token.rel.clone(), token.tid, old, EventSpecifier::Delete)
+    }
+
+    /// Rete with virtual α-memories must match classic Rete exactly, while
+    /// carrying no α-memory bytes.
+    #[test]
+    fn virtual_rete_matches_classic_rete() {
+        let cat_a = catalog();
+        let cat_b = catalog();
+        let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
+        let mut classic = ReteNetwork::new();
+        classic.add_rule(RuleId(1), &rcond(&cat_a, qual, &[])).unwrap();
+        classic.prime(RuleId(1), &cat_a).unwrap();
+        let mut virt = ReteNetwork::with_policy(VirtualPolicy::AllVirtual);
+        virt.add_rule(RuleId(1), &rcond(&cat_b, qual, &[])).unwrap();
+        virt.prime(RuleId(1), &cat_b).unwrap();
+
+        let mut seed = 17u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as i64
+        };
+        let mut live_a: Vec<Token> = Vec::new();
+        let mut live_b: Vec<Token> = Vec::new();
+        for step in 0..150 {
+            let choice = rnd();
+            if choice % 4 == 3 && !live_a.is_empty() {
+                let k = (rnd() as usize) % live_a.len();
+                let ta = live_a.swap_remove(k);
+                let tb = live_b.swap_remove(k);
+                classic.process_token(&del(&cat_a, &ta), &cat_a).unwrap();
+                virt.process_token(&del(&cat_b, &tb), &cat_b).unwrap();
+            } else {
+                let (rel, vals) = if choice % 2 == 0 {
+                    ("emp", [rnd() % 30, rnd() % 6])
+                } else {
+                    ("dept", [rnd() % 6, rnd() % 8])
+                };
+                let ta = ins(&cat_a, rel, &vals);
+                let tb = ins(&cat_b, rel, &vals);
+                classic.process_token(&ta, &cat_a).unwrap();
+                virt.process_token(&tb, &cat_b).unwrap();
+                live_a.push(ta);
+                live_b.push(tb);
+            }
+            assert_eq!(
+                classic.pnode(RuleId(1)).unwrap().len(),
+                virt.pnode(RuleId(1)).unwrap().len(),
+                "divergence at step {step}"
+            );
+        }
+        assert_eq!(virt.alpha_bytes(), 0, "virtual α-memories store nothing");
+        assert!(classic.alpha_bytes() > 0);
+    }
+
+    /// Self-join counting must stay exact under virtual α-memories in Rete
+    /// (the §1 claim, batch form).
+    #[test]
+    fn virtual_rete_self_join_batch() {
+        for policy in [
+            VirtualPolicy::AllStored,
+            VirtualPolicy::AllVirtual,
+            VirtualPolicy::ExplicitVars(HashSet::from([0])),
+            VirtualPolicy::ExplicitVars(HashSet::from([1])),
+        ] {
+            let cat = catalog();
+            let mut net = ReteNetwork::with_policy(policy.clone());
+            net.add_rule(
+                RuleId(1),
+                &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
+            )
+            .unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            let t1 = ins(&cat, "emp", &[1, 5]);
+            let t2 = ins(&cat, "emp", &[2, 5]);
+            net.process_batch(&[t1.clone(), t2], &cat).unwrap();
+            assert_eq!(
+                net.pnode(RuleId(1)).unwrap().len(),
+                4,
+                "pairs (t1,t1),(t1,t2),(t2,t1),(t2,t2) under {policy:?}"
+            );
+            let d = del(&cat, &t1);
+            net.process_token(&d, &cat).unwrap();
+            assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1, "{policy:?}");
+        }
+    }
+
+    /// Primed data visible through virtual nodes.
+    #[test]
+    fn virtual_rete_priming() {
+        let cat = catalog();
+        cat.get("emp").unwrap().borrow_mut().insert(vec![20i64.into(), 1i64.into()]).unwrap();
+        cat.get("dept").unwrap().borrow_mut().insert(vec![1i64.into(), 2i64.into()]).unwrap();
+        let mut net = ReteNetwork::with_policy(VirtualPolicy::AllVirtual);
+        net.add_rule(
+            RuleId(1),
+            &rcond(&cat, "emp.sal > 10 and emp.dno = dept.dno", &[]),
+        )
+        .unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,1434 @@
+//! The A-TREAT discrimination network (§4).
+//!
+//! TREAT keeps one α-memory per rule tuple-variable and **no join (β)
+//! memories**: a positive token joins directly against the other variables'
+//! α-memories to extend the rule's P-node, and a negative token just
+//! removes its TID from α-memories and P-node rows. A-TREAT adds two things
+//! on top (both implemented here):
+//!
+//! * the **selection network** ([`crate::selnet`]) in front, so a token
+//!   finds the α-nodes it satisfies by interval-index stabbing instead of
+//!   testing every rule predicate, and
+//! * **virtual α-memory nodes** (§4.2), which store only their predicate;
+//!   joins against them scan the base relation under that predicate.
+//!
+//! ### Virtual-node correctness (the ProcessedMemories rule)
+//!
+//! The paper processes a token *before* inserting its tuple into the base
+//! relation, and uses a `ProcessedMemories` set to decide when the token
+//! must additionally join to itself inside a virtual node. Our engine
+//! applies changes to relations first (set-oriented command execution), so
+//! the equivalent discipline is inverted and implemented exactly here:
+//!
+//! * a **batch pending set** hides tuples whose positive tokens have not
+//!   been processed yet (they are physically in the relation but logically
+//!   not yet in any α-memory), and
+//! * the in-flight token's own tuple is visible inside a virtual node only
+//!   if that node is in `processed` — the set of α-nodes this token has
+//!   already been inserted into, which is precisely the paper's
+//!   `ProcessedMemories`.
+//!
+//! This reproduces TREAT's self-join counting exactly: a token joins to
+//! itself once per virtual/stored node pair, never twice.
+
+use crate::alpha::{AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+use crate::pred::SelectionPredicate;
+use crate::selnet::SelectionNetwork;
+use crate::token::{EventSpecifier, Token, TokenKind};
+use ariel_query::{
+    eval_pred, BoundVar, EventKind, Optimizer, Pnode, PnodeCol, QueryError, QueryResult,
+    QuerySpec, RExpr, ResolvedCondition, Row,
+};
+use ariel_storage::{Catalog, SchemaRef, Tid};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Policy deciding which eligible α-memories become virtual (§4.2 closes
+/// with exactly this optimization problem; the policies here are the
+/// obvious points in that design space, compared in the VIRT ablation).
+#[derive(Debug, Clone)]
+pub enum VirtualPolicy {
+    /// Classic TREAT: every α-memory stores its matching tuples.
+    AllStored,
+    /// Every eligible (pattern, multi-variable) α-memory is virtual.
+    AllVirtual,
+    /// Virtual iff the predicate currently matches more than `threshold`
+    /// of its relation (low-selectivity predicates would store near-copies
+    /// of the base table — the paper's motivating case).
+    SelectivityThreshold(f64),
+    /// Explicit variable indices (within the rule condition) to virtualize.
+    ExplicitVars(HashSet<usize>),
+}
+
+/// One tuple variable of a compiled rule (descriptive fields live on the
+/// P-node columns; the network itself only needs the α-node handle).
+#[derive(Debug)]
+struct RuleVar {
+    alpha: AlphaId,
+}
+
+/// A compiled rule: its α-nodes, join conjuncts, and P-node.
+#[derive(Debug)]
+struct RuleNode {
+    vars: Vec<RuleVar>,
+    /// Multi-variable conjuncts of the condition (original var indices).
+    join_conjuncts: Vec<RExpr>,
+    pnode: Pnode,
+    /// Original resolved condition spec, used for activation priming.
+    spec: QuerySpec,
+    /// Number of dynamic (per-transition) α-nodes.
+    n_dynamic: usize,
+    /// No event or transition components: P-node can be primed from data.
+    pattern_only: bool,
+}
+
+/// Per-rule memory statistics (the measurable claim of §4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuleStats {
+    /// Entries across the rule's stored/dynamic α-memories.
+    pub alpha_entries: usize,
+    /// Approximate bytes held by those entries.
+    pub alpha_bytes: usize,
+    /// Matched instantiations awaiting execution.
+    pub pnode_rows: usize,
+    /// Approximate bytes held by the P-node.
+    pub pnode_bytes: usize,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Compiled rules.
+    pub rules: usize,
+    /// α-memory nodes of all kinds.
+    pub alpha_nodes: usize,
+    /// Virtual α-memory nodes among them.
+    pub virtual_alpha_nodes: usize,
+    /// Entries across stored/dynamic α-memories.
+    pub alpha_entries: usize,
+    /// Approximate bytes held by those entries.
+    pub alpha_bytes: usize,
+    /// Matched instantiations across all P-nodes.
+    pub pnode_rows: usize,
+    /// Approximate bytes held by P-nodes.
+    pub pnode_bytes: usize,
+    /// Approximate bytes in the selection network's interval indexes.
+    pub selnet_bytes: usize,
+}
+
+/// The A-TREAT network: selection layer, α-memories, and P-nodes for every
+/// activated rule.
+///
+/// ```
+/// use ariel_network::{EventSpecifier, Network, RuleId, Token, VirtualPolicy};
+/// use ariel_query::{parse_expr, Resolver};
+/// use ariel_storage::{AttrType, Catalog, Schema};
+///
+/// let mut catalog = Catalog::new();
+/// let emp = catalog
+///     .create("emp", Schema::of(&[("sal", AttrType::Int)]))
+///     .unwrap();
+///
+/// // compile and prime a rule condition
+/// let cond = Resolver::new(&catalog)
+///     .resolve_condition(None, Some(&parse_expr("emp.sal > 100").unwrap()), &[])
+///     .unwrap();
+/// let mut net = Network::new();
+/// net.add_rule(RuleId(1), &cond, &VirtualPolicy::AllStored, &catalog).unwrap();
+/// net.prime(RuleId(1), &catalog).unwrap();
+///
+/// // a matching insert token lands in the rule's P-node
+/// let tid = emp.borrow_mut().insert(vec![500i64.into()]).unwrap();
+/// let tuple = emp.borrow().get(tid).cloned().unwrap();
+/// net.process_token(&Token::plus("emp", tid, tuple, EventSpecifier::Append), &catalog)
+///     .unwrap();
+/// assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Network {
+    alphas: Vec<Option<AlphaNode>>,
+    free: Vec<usize>,
+    selnet: SelectionNetwork,
+    rules: BTreeMap<u64, RuleNode>,
+}
+
+impl Network {
+    /// New empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    fn alpha(&self, id: AlphaId) -> &AlphaNode {
+        self.alphas[id.0].as_ref().expect("live alpha")
+    }
+
+    fn alpha_mut(&mut self, id: AlphaId) -> &mut AlphaNode {
+        self.alphas[id.0].as_mut().expect("live alpha")
+    }
+
+    /// Number of compiled rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Compile a resolved rule condition into network structures
+    /// (the *activation* step of §6 builds this, then [`Self::prime`]s it).
+    pub fn add_rule(
+        &mut self,
+        id: RuleId,
+        cond: &ResolvedCondition,
+        policy: &VirtualPolicy,
+        catalog: &Catalog,
+    ) -> QueryResult<()> {
+        if self.rules.contains_key(&id.0) {
+            return Err(QueryError::Semantic(format!(
+                "rule {id} already in network"
+            )));
+        }
+        let nvars = cond.spec.vars.len();
+        let single = nvars == 1;
+        // split the qualification into per-variable selections and joins
+        let conjuncts: Vec<RExpr> = cond
+            .spec
+            .qual
+            .clone()
+            .map(|q| q.conjuncts())
+            .unwrap_or_default();
+        let mut selections: Vec<Vec<RExpr>> = vec![Vec::new(); nvars];
+        let mut join_conjuncts = Vec::new();
+        for c in conjuncts {
+            let used = c.vars_used();
+            if used.len() == 1 {
+                // remap to variable 0 for single-tuple evaluation
+                selections[used[0]].push(c.remap_vars(&|_| 0));
+            } else {
+                join_conjuncts.push(c);
+            }
+        }
+
+        let mut vars = Vec::with_capacity(nvars);
+        let mut cols = Vec::with_capacity(nvars);
+        let mut n_dynamic = 0usize;
+        for (v, binding) in cond.spec.vars.iter().enumerate() {
+            let is_on = cond.on_var == Some(v);
+            let is_trans = cond.trans_vars.contains(&v);
+            let pred = SelectionPredicate::decompose(std::mem::take(&mut selections[v]));
+            let kind = match (single, is_on, is_trans) {
+                (true, true, _) => AlphaKind::SimpleOn,
+                (true, false, true) => AlphaKind::SimpleTrans,
+                (true, false, false) => AlphaKind::Simple,
+                (false, true, _) => AlphaKind::DynamicOn,
+                (false, false, true) => AlphaKind::DynamicTrans,
+                (false, false, false) => {
+                    if self.should_virtualize(v, &pred, &binding.rel, policy, catalog) {
+                        AlphaKind::Virtual
+                    } else {
+                        AlphaKind::Stored
+                    }
+                }
+            };
+            if kind.is_dynamic() {
+                n_dynamic += 1;
+            }
+            let event = if is_on {
+                Some(resolve_event(
+                    cond.event.as_ref().expect("on var has event"),
+                    &binding.schema,
+                ))
+            } else {
+                None
+            };
+            let has_prev = is_trans
+                || matches!(event, Some(EventReq::Replace(_)));
+            let alpha_id = self.alloc_alpha(AlphaNode::new(
+                id,
+                v,
+                binding.rel.clone(),
+                kind,
+                pred,
+                event,
+            ));
+            // anchor goes into the selection network unless unsatisfiable
+            let node = self.alpha(alpha_id);
+            let anchor = if node.pred.unsatisfiable {
+                None
+            } else {
+                node.pred.anchor.clone()
+            };
+            self.selnet.subscribe(alpha_id, &binding.rel, anchor);
+            vars.push(RuleVar { alpha: alpha_id });
+            cols.push(PnodeCol {
+                var: binding.name.clone(),
+                rel: binding.rel.clone(),
+                schema: binding.schema.clone(),
+                has_prev,
+            });
+        }
+        let pattern_only = cond.on_var.is_none() && cond.trans_vars.is_empty();
+        self.rules.insert(
+            id.0,
+            RuleNode {
+                vars,
+                join_conjuncts,
+                pnode: Pnode::new(cols),
+                spec: cond.spec.clone(),
+                n_dynamic,
+                pattern_only,
+            },
+        );
+        Ok(())
+    }
+
+    fn should_virtualize(
+        &self,
+        var: usize,
+        pred: &SelectionPredicate,
+        rel: &str,
+        policy: &VirtualPolicy,
+        catalog: &Catalog,
+    ) -> bool {
+        match policy {
+            VirtualPolicy::AllStored => false,
+            VirtualPolicy::AllVirtual => true,
+            VirtualPolicy::ExplicitVars(set) => set.contains(&var),
+            VirtualPolicy::SelectivityThreshold(threshold) => {
+                let Some(rel_ref) = catalog.get(rel) else { return false };
+                let rel_b = rel_ref.borrow();
+                let n = rel_b.len();
+                if n == 0 {
+                    return false;
+                }
+                let probe = AlphaNode::new(
+                    RuleId(u64::MAX),
+                    var,
+                    rel.to_string(),
+                    AlphaKind::Stored,
+                    pred.clone(),
+                    None,
+                );
+                let matching = rel_b
+                    .scan()
+                    .filter(|(_, t)| probe.pred_matches(t, None))
+                    .count();
+                matching as f64 / n as f64 > *threshold
+            }
+        }
+    }
+
+    fn alloc_alpha(&mut self, node: AlphaNode) -> AlphaId {
+        match self.free.pop() {
+            Some(i) => {
+                self.alphas[i] = Some(node);
+                AlphaId(i)
+            }
+            None => {
+                self.alphas.push(Some(node));
+                AlphaId(self.alphas.len() - 1)
+            }
+        }
+    }
+
+    /// Remove a rule and its α-nodes.
+    pub fn remove_rule(&mut self, id: RuleId) {
+        let Some(rule) = self.rules.remove(&id.0) else { return };
+        for var in rule.vars {
+            self.selnet.unsubscribe(var.alpha);
+            self.alphas[var.alpha.0] = None;
+            self.free.push(var.alpha.0);
+        }
+    }
+
+    /// Prime a freshly-added rule (the paper's *activation*, §6): fill each
+    /// stored α-memory with one single-variable query, and load the P-node
+    /// with a query equivalent to the full condition (pattern-only rules —
+    /// event/transition rules start empty by definition).
+    pub fn prime(&mut self, id: RuleId, catalog: &Catalog) -> QueryResult<()> {
+        let rule = self
+            .rules
+            .get(&id.0)
+            .ok_or_else(|| QueryError::Semantic(format!("unknown rule {id}")))?;
+        // stored α-memories: one single-variable query each
+        let alpha_ids: Vec<AlphaId> = rule.vars.iter().map(|v| v.alpha).collect();
+        for aid in alpha_ids {
+            let (rel, is_stored) = {
+                let a = self.alpha(aid);
+                (a.rel.clone(), a.kind == AlphaKind::Stored)
+            };
+            if !is_stored {
+                continue;
+            }
+            let rel_ref = catalog.require(&rel)?;
+            let entries: Vec<(Tid, AlphaEntry)> = {
+                let a = self.alpha(aid);
+                rel_ref
+                    .borrow()
+                    .scan()
+                    .filter(|(_, t)| a.pred_matches(t, None))
+                    .map(|(tid, t)| {
+                        (
+                            tid,
+                            AlphaEntry { tid: Some(tid), tuple: t.clone(), prev: None },
+                        )
+                    })
+                    .collect()
+            };
+            let a = self.alpha_mut(aid);
+            for (tid, e) in entries {
+                a.insert(tid, e);
+            }
+        }
+        // P-node: one query equivalent to the whole condition
+        let rule = self.rules.get(&id.0).unwrap();
+        if rule.pattern_only {
+            let spec = rule.spec.clone();
+            let plan = Optimizer::new(catalog).plan(&spec)?;
+            let ctx = ariel_query::ExecCtx { catalog, pnode: None, nvars: spec.vars.len() };
+            let rows = ariel_query::run_plan(&plan, &ctx)?;
+            let rule = self.rules.get_mut(&id.0).unwrap();
+            for row in rows {
+                let bindings: Vec<BoundVar> = row
+                    .slots
+                    .into_iter()
+                    .map(|s| s.expect("full condition binds every var"))
+                    .collect();
+                rule.pnode.push(bindings);
+            }
+        }
+        Ok(())
+    }
+
+    /// Process one transition's worth of tokens. Changes must already be
+    /// applied to the base relations (see the module docs for why the
+    /// pending set then reproduces the paper's processing order).
+    pub fn process_batch(&mut self, tokens: &[Token], catalog: &Catalog) -> QueryResult<()> {
+        let mut pending: HashMap<String, HashSet<u64>> = HashMap::new();
+        for t in tokens {
+            if t.kind.is_positive() {
+                pending.entry(t.rel.clone()).or_default().insert(t.tid.0);
+            }
+        }
+        for t in tokens {
+            if t.kind.is_positive() {
+                if let Some(set) = pending.get_mut(&t.rel) {
+                    set.remove(&t.tid.0);
+                }
+                self.process_positive(t, catalog, &pending)?;
+            } else {
+                self.process_negative(t, catalog, &pending)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience for tests and benches: process a single token.
+    pub fn process_token(&mut self, token: &Token, catalog: &Catalog) -> QueryResult<()> {
+        self.process_batch(std::slice::from_ref(token), catalog)
+    }
+
+    fn process_positive(
+        &mut self,
+        token: &Token,
+        catalog: &Catalog,
+        pending: &HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<()> {
+        let mut matched: Vec<AlphaId> = self
+            .selnet
+            .candidates(&token.rel, &token.tuple)
+            .into_iter()
+            .filter(|aid| {
+                let a = self.alpha(*aid);
+                a.admits_positive(token.kind, token.event.as_ref())
+                    && a.pred_matches(&token.tuple, token.old.as_ref())
+            })
+            .collect();
+        matched.sort_by_key(|a| a.0);
+        matched.dedup();
+        let mut processed: HashSet<usize> = HashSet::new();
+        for aid in matched {
+            processed.insert(aid.0);
+            self.insert_and_propagate(
+                aid,
+                BoundVar {
+                    tid: Some(token.tid),
+                    tuple: token.tuple.clone(),
+                    prev: token.old.clone(),
+                },
+                token,
+                &processed,
+                catalog,
+                pending,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Insert a binding into an α-node (if it stores entries) and extend
+    /// the rule's P-node with every new full instantiation.
+    fn insert_and_propagate(
+        &mut self,
+        aid: AlphaId,
+        seed: BoundVar,
+        token: &Token,
+        processed: &HashSet<usize>,
+        catalog: &Catalog,
+        pending: &HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<()> {
+        let (rule_id, var, kind) = {
+            let a = self.alpha(aid);
+            (a.rule, a.var, a.kind)
+        };
+        if kind.stores_entries() {
+            let a = self.alpha_mut(aid);
+            a.insert(
+                token.tid,
+                AlphaEntry { tid: seed.tid, tuple: seed.tuple.clone(), prev: seed.prev.clone() },
+            );
+        }
+        if kind.is_simple() {
+            // single-variable rule: matching data goes straight to the P-node
+            let rule = self.rules.get_mut(&rule_id.0).expect("rule exists");
+            rule.pnode.push(vec![seed]);
+            return Ok(());
+        }
+        // multi-variable: TREAT join against the other variables' memories
+        let results = self.join_extend(rule_id, var, seed, token, processed, catalog, pending)?;
+        let rule = self.rules.get_mut(&rule_id.0).expect("rule exists");
+        for r in results {
+            rule.pnode.push(r);
+        }
+        Ok(())
+    }
+
+    /// Compute all full instantiations extending `seed` at `seed_var`.
+    #[allow(clippy::too_many_arguments)]
+    fn join_extend(
+        &self,
+        rule_id: RuleId,
+        seed_var: usize,
+        seed: BoundVar,
+        token: &Token,
+        processed: &HashSet<usize>,
+        catalog: &Catalog,
+        pending: &HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<Vec<Vec<BoundVar>>> {
+        let rule = &self.rules[&rule_id.0];
+        let nvars = rule.vars.len();
+        // join the smallest memories first
+        let mut order: Vec<usize> = (0..nvars).filter(|v| *v != seed_var).collect();
+        order.sort_by_key(|v| self.candidate_count(rule, *v, catalog));
+        // conjuncts evaluated at the depth where their variables are bound
+        let mut bound_at = vec![HashSet::from([seed_var]); order.len() + 1];
+        for (d, v) in order.iter().enumerate() {
+            let mut s = bound_at[d].clone();
+            s.insert(*v);
+            bound_at[d + 1] = s;
+        }
+        let applicable: Vec<Vec<&RExpr>> = (0..order.len())
+            .map(|d| {
+                rule.join_conjuncts
+                    .iter()
+                    .filter(|c| {
+                        let used = c.vars_used();
+                        used.contains(&order[d])
+                            && used.iter().all(|u| bound_at[d + 1].contains(u))
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut row = Row::unbound(nvars);
+        row.slots[seed_var] = Some(seed);
+        let mut results = Vec::new();
+        self.extend_depth(
+            rule, &order, &applicable, 0, &mut row, token, processed, catalog, pending,
+            &mut results,
+        )?;
+        Ok(results)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend_depth(
+        &self,
+        rule: &RuleNode,
+        order: &[usize],
+        applicable: &[Vec<&RExpr>],
+        depth: usize,
+        row: &mut Row,
+        token: &Token,
+        processed: &HashSet<usize>,
+        catalog: &Catalog,
+        pending: &HashMap<String, HashSet<u64>>,
+        results: &mut Vec<Vec<BoundVar>>,
+    ) -> QueryResult<()> {
+        if depth == order.len() {
+            results.push(
+                row.slots
+                    .iter()
+                    .map(|s| s.clone().expect("fully bound"))
+                    .collect(),
+            );
+            return Ok(());
+        }
+        let var = order[depth];
+        let alpha = self.alpha(rule.vars[var].alpha);
+        let candidates: Vec<BoundVar> = match alpha.kind {
+            AlphaKind::Virtual => {
+                // §4.2: join through the base relation under the node's
+                // predicate, honoring pending/ProcessedMemories visibility.
+                // "The base relation scan … can be done with any scan
+                // algorithm — index scan or sequential scan": when one of
+                // this depth's equi-conjuncts probes an indexed attribute,
+                // substitute the constant from the partial row and use the
+                // index instead of scanning.
+                let rel_ref = catalog.require(&alpha.rel)?;
+                let rel_b = rel_ref.borrow();
+                let empty = HashSet::new();
+                let pend = pending.get(&alpha.rel).unwrap_or(&empty);
+                let visible = |tid: &Tid| -> bool {
+                    if pend.contains(&tid.0) {
+                        return false;
+                    }
+                    // the in-flight token's own tuple is visible only once
+                    // this node is in ProcessedMemories
+                    alpha.rel != token.rel
+                        || *tid != token.tid
+                        || processed.contains(&rule.vars[var].alpha.0)
+                };
+                type Hits = Vec<(Tid, ariel_storage::Tuple)>;
+                let indexed: Option<Hits> = applicable[depth]
+                    .iter()
+                    .find_map(|c| {
+                        let (attr, key_expr) = equi_probe(c, var)?;
+                        rel_b.index_on(attr)?;
+                        let key = ariel_query::eval(&key_expr, row).ok()?;
+                        if key.is_null() {
+                            return Some(Vec::new());
+                        }
+                        rel_b.probe_eq(attr, &key).map(|hits| {
+                            hits.into_iter().map(|(t, tu)| (t, tu.clone())).collect()
+                        })
+                    });
+                match indexed {
+                    Some(hits) => hits
+                        .into_iter()
+                        .filter(|(tid, _)| visible(tid))
+                        .filter(|(_, t)| alpha.pred_matches(t, None))
+                        .map(|(tid, t)| BoundVar::plain(tid, t))
+                        .collect(),
+                    None => rel_b
+                        .scan()
+                        .filter(|(tid, _)| visible(tid))
+                        .filter(|(_, t)| alpha.pred_matches(t, None))
+                        .map(|(tid, t)| BoundVar::plain(tid, t.clone()))
+                        .collect(),
+                }
+            }
+            _ => alpha
+                .entries()
+                .map(|e| BoundVar { tid: e.tid, tuple: e.tuple.clone(), prev: e.prev.clone() })
+                .collect(),
+        };
+        for cand in candidates {
+            row.slots[var] = Some(cand);
+            let mut ok = true;
+            for c in &applicable[depth] {
+                if !eval_pred(c, row)? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                self.extend_depth(
+                    rule, order, applicable, depth + 1, row, token, processed, catalog,
+                    pending, results,
+                )?;
+            }
+        }
+        row.slots[var] = None;
+        Ok(())
+    }
+
+    fn candidate_count(&self, rule: &RuleNode, var: usize, catalog: &Catalog) -> usize {
+        let alpha = self.alpha(rule.vars[var].alpha);
+        match alpha.kind {
+            AlphaKind::Virtual => catalog
+                .get(&alpha.rel)
+                .map(|r| r.borrow().len())
+                .unwrap_or(0),
+            _ => alpha.len(),
+        }
+    }
+
+    fn process_negative(
+        &mut self,
+        token: &Token,
+        catalog: &Catalog,
+        pending: &HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<()> {
+        // TREAT's cheap delete path: drop the TID from every α-memory on
+        // the relation and retract P-node rows binding it (§4.2).
+        let alpha_ids: Vec<AlphaId> = self.selnet.alphas_on(&token.rel).to_vec();
+        for aid in alpha_ids {
+            let (rule_id, var) = {
+                let a = self.alpha_mut(aid);
+                a.remove(token.tid);
+                (a.rule, a.var)
+            };
+            if let Some(rule) = self.rules.get_mut(&rule_id.0) {
+                rule.pnode.retract(var, token.tid);
+            }
+        }
+        // ON DELETE conditions: the dying tuple *matches* them (§4.3.1,
+        // case 4: "a delete− … will match any applicable on delete rule
+        // conditions"). The tuple is bound with no TID — it no longer
+        // exists, so primed commands can never address it.
+        if token.kind == TokenKind::Minus
+            && token.event == Some(EventSpecifier::Delete)
+        {
+            let mut matched: Vec<AlphaId> = self
+                .selnet
+                .candidates(&token.rel, &token.tuple)
+                .into_iter()
+                .filter(|aid| {
+                    let a = self.alpha(*aid);
+                    a.kind.is_on()
+                        && a.event == Some(EventReq::Delete)
+                        && a.pred_matches(&token.tuple, None)
+                })
+                .collect();
+            matched.sort_by_key(|a| a.0);
+            matched.dedup();
+            let mut processed = HashSet::new();
+            for aid in matched {
+                processed.insert(aid.0);
+                self.insert_and_propagate(
+                    aid,
+                    BoundVar { tid: None, tuple: token.tuple.clone(), prev: None },
+                    token,
+                    &processed,
+                    catalog,
+                    pending,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush per-transition state: dynamic α-memories and the P-nodes of
+    /// rules with event/transition components ("the binding between the
+    /// matching data and the condition should be broken", §4.3.2). The
+    /// engine calls this when a recognize-act cycle reaches quiescence.
+    pub fn flush_transition_state(&mut self) {
+        for a in self.alphas.iter_mut().flatten() {
+            if a.kind.is_dynamic() {
+                a.flush();
+            }
+        }
+        for rule in self.rules.values_mut() {
+            if rule.n_dynamic > 0 {
+                rule.pnode.clear();
+            }
+        }
+    }
+
+    /// The P-node of a rule.
+    pub fn pnode(&self, id: RuleId) -> Option<&Pnode> {
+        self.rules.get(&id.0).map(|r| &r.pnode)
+    }
+
+    /// Drain a rule's P-node (consumed instantiations at rule firing).
+    pub fn drain_pnode(&mut self, id: RuleId) -> Vec<Vec<BoundVar>> {
+        self.rules
+            .get_mut(&id.0)
+            .map(|r| r.pnode.drain())
+            .unwrap_or_default()
+    }
+
+    /// Rules whose P-node is non-empty, ascending by id.
+    pub fn rules_with_matches(&self) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .filter(|(_, r)| !r.pnode.is_empty())
+            .map(|(id, _)| RuleId(*id))
+            .collect()
+    }
+
+    /// Memory statistics for one rule.
+    pub fn rule_stats(&self, id: RuleId) -> Option<RuleStats> {
+        let rule = self.rules.get(&id.0)?;
+        let mut s = RuleStats {
+            pnode_rows: rule.pnode.len(),
+            pnode_bytes: rule.pnode.heap_size(),
+            ..Default::default()
+        };
+        for v in &rule.vars {
+            let a = self.alpha(v.alpha);
+            s.alpha_entries += a.len();
+            s.alpha_bytes += a.heap_size();
+        }
+        Some(s)
+    }
+
+    /// Aggregate statistics across the network.
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = NetworkStats {
+            rules: self.rules.len(),
+            selnet_bytes: self.selnet.approx_size_bytes(),
+            ..Default::default()
+        };
+        for a in self.alphas.iter().flatten() {
+            s.alpha_nodes += 1;
+            if a.kind == AlphaKind::Virtual {
+                s.virtual_alpha_nodes += 1;
+            }
+            s.alpha_entries += a.len();
+            s.alpha_bytes += a.heap_size();
+        }
+        for r in self.rules.values() {
+            s.pnode_rows += r.pnode.len();
+            s.pnode_bytes += r.pnode.heap_size();
+        }
+        s
+    }
+
+    /// The α-node kinds of a rule's variables, in variable order (tests and
+    /// the VIRT ablation use this to confirm policy decisions).
+    pub fn alpha_kinds(&self, id: RuleId) -> Option<Vec<AlphaKind>> {
+        let rule = self.rules.get(&id.0)?;
+        Some(rule.vars.iter().map(|v| self.alpha(v.alpha).kind).collect())
+    }
+}
+
+/// If `c` is `vars[var].attr = <expr over other variables>` (either side),
+/// return the attribute position and the key expression — the "substituting
+/// constants from a token in place of variables" optimization of §4.2.
+fn equi_probe(c: &RExpr, var: usize) -> Option<(usize, RExpr)> {
+    let RExpr::Binary { op: ariel_query::BinOp::Eq, left, right } = c else {
+        return None;
+    };
+    if let RExpr::Attr { var: v, attr } = **left {
+        if v == var && !right.vars_used().contains(&var) {
+            return Some((attr, (**right).clone()));
+        }
+    }
+    if let RExpr::Attr { var: v, attr } = **right {
+        if v == var && !left.vars_used().contains(&var) {
+            return Some((attr, (**left).clone()));
+        }
+    }
+    None
+}
+
+fn resolve_event(kind: &EventKind, schema: &SchemaRef) -> EventReq {
+    match kind {
+        EventKind::Append => EventReq::Append,
+        EventKind::Delete => EventReq::Delete,
+        EventKind::Replace(None) => EventReq::Replace(None),
+        EventKind::Replace(Some(attrs)) => EventReq::Replace(Some(
+            attrs
+                .iter()
+                .map(|a| schema.index_of(a).expect("validated by resolver"))
+                .collect(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariel_query::{parse_expr, EventSpec, FromItem, Resolver};
+    use ariel_storage::{AttrType, Schema, Tuple, Value};
+
+    fn paper_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create(
+            "emp",
+            Schema::of(&[
+                ("name", AttrType::Str),
+                ("age", AttrType::Int),
+                ("sal", AttrType::Float),
+                ("dno", AttrType::Int),
+                ("jno", AttrType::Int),
+            ]),
+        )
+        .unwrap();
+        c.create(
+            "dept",
+            Schema::of(&[("dno", AttrType::Int), ("name", AttrType::Str)]),
+        )
+        .unwrap();
+        c.create(
+            "job",
+            Schema::of(&[("jno", AttrType::Int), ("title", AttrType::Str)]),
+        )
+        .unwrap();
+        c
+    }
+
+    fn emp_row(name: &str, sal: f64, dno: i64, jno: i64) -> Vec<Value> {
+        vec![name.into(), 30i64.into(), sal.into(), dno.into(), jno.into()]
+    }
+
+    fn insert_emp(c: &Catalog, name: &str, sal: f64, dno: i64, jno: i64) -> (Tid, Tuple) {
+        let rel = c.get("emp").unwrap();
+        let tid = rel.borrow_mut().insert(emp_row(name, sal, dno, jno)).unwrap();
+        let t = rel.borrow().get(tid).cloned().unwrap();
+        (tid, t)
+    }
+
+    fn cond(
+        c: &Catalog,
+        on: Option<EventSpec>,
+        qual: &str,
+        from: &[(&str, &str)],
+    ) -> ResolvedCondition {
+        let e = parse_expr(qual).unwrap();
+        let from: Vec<FromItem> = from
+            .iter()
+            .map(|(v, r)| FromItem { var: v.to_string(), rel: r.to_string() })
+            .collect();
+        Resolver::new(c)
+            .resolve_condition(on.as_ref(), Some(&e), &from)
+            .unwrap()
+    }
+
+    fn append_token(tid: Tid, t: Tuple) -> Token {
+        Token::plus("emp", tid, t, EventSpecifier::Append)
+    }
+
+    #[test]
+    fn single_var_rule_prime_and_tokens() {
+        let cat = paper_catalog();
+        insert_emp(&cat, "Bob", 10_000.0, 1, 1);
+        insert_emp(&cat, "Al", 50_000.0, 1, 1);
+        let mut net = Network::new();
+        let rc = cond(&cat, None, "emp.sal > 30000", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        assert_eq!(net.alpha_kinds(RuleId(1)).unwrap(), vec![AlphaKind::Simple]);
+        net.prime(RuleId(1), &cat).unwrap();
+        // Al matches at activation
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // new matching emp arrives
+        let (tid, t) = insert_emp(&cat, "Cy", 40_000.0, 2, 1);
+        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 2);
+        // non-matching emp does nothing
+        let (tid2, t2) = insert_emp(&cat, "Lo", 1000.0, 2, 1);
+        net.process_token(&append_token(tid2, t2), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 2);
+        // deletion retracts
+        net.process_token(
+            &Token::minus("emp", tid, t, EventSpecifier::Delete),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+    }
+
+    fn sales_clerk_cond(cat: &Catalog) -> ResolvedCondition {
+        cond(
+            cat,
+            None,
+            "emp.sal > 30000 and emp.dno = dept.dno and dept.name = \"Sales\" \
+             and emp.jno = job.jno and job.title = \"Clerk\"",
+            &[],
+        )
+    }
+
+    fn populate_sales_clerk(cat: &Catalog) {
+        let dept = cat.get("dept").unwrap();
+        dept.borrow_mut().insert(vec![1i64.into(), "Sales".into()]).unwrap();
+        dept.borrow_mut().insert(vec![2i64.into(), "Toy".into()]).unwrap();
+        let job = cat.get("job").unwrap();
+        job.borrow_mut().insert(vec![7i64.into(), "Clerk".into()]).unwrap();
+        job.borrow_mut().insert(vec![8i64.into(), "Boss".into()]).unwrap();
+    }
+
+    #[test]
+    fn sales_clerk_rule_stored_network() {
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        let mut net = Network::new();
+        net.add_rule(RuleId(1), &sales_clerk_cond(&cat), &VirtualPolicy::AllStored, &cat)
+            .unwrap();
+        assert_eq!(
+            net.alpha_kinds(RuleId(1)).unwrap(),
+            vec![AlphaKind::Stored, AlphaKind::Stored, AlphaKind::Stored]
+        );
+        net.prime(RuleId(1), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+        // matching emp: high salary, Sales dept, Clerk job
+        let (tid, t) = insert_emp(&cat, "Sue", 45_000.0, 1, 7);
+        net.process_token(&append_token(tid, t), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // wrong dept
+        let (tid2, t2) = insert_emp(&cat, "Tom", 45_000.0, 2, 7);
+        net.process_token(&append_token(tid2, t2), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // wrong job
+        let (tid3, t3) = insert_emp(&cat, "Ann", 45_000.0, 1, 8);
+        net.process_token(&append_token(tid3, t3), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // low salary
+        let (tid4, t4) = insert_emp(&cat, "Pat", 5_000.0, 1, 7);
+        net.process_token(&append_token(tid4, t4), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn virtual_alpha_matches_stored_results() {
+        // Fig. 4: make the emp α-memory (alpha2, low selectivity) virtual.
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        for i in 0..20 {
+            insert_emp(&cat, &format!("e{i}"), 40_000.0 + i as f64, 1 + (i % 2), 7);
+        }
+        let build = |policy: &VirtualPolicy| {
+            let mut net = Network::new();
+            net.add_rule(RuleId(1), &sales_clerk_cond(&cat), policy, &cat).unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            let (tid, t) = {
+                let rel = cat.get("emp").unwrap();
+                let r = rel.borrow();
+                let (tid, t) = r.scan().last().unwrap();
+                (tid, t.clone())
+            };
+            // re-process the last emp as if newly inserted is not valid;
+            // instead insert a new one per policy run below.
+            let _ = (tid, t);
+            net
+        };
+        let mut stored = build(&VirtualPolicy::AllStored);
+        let mut virt = build(&VirtualPolicy::ExplicitVars(HashSet::from([0])));
+        assert_eq!(
+            virt.alpha_kinds(RuleId(1)).unwrap()[0],
+            AlphaKind::Virtual
+        );
+        // both nets see the same new token
+        let (tid, t) = insert_emp(&cat, "new", 99_000.0, 1, 7);
+        stored.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        virt.process_token(&append_token(tid, t), &cat).unwrap();
+        let p1 = stored.pnode(RuleId(1)).unwrap();
+        let p2 = virt.pnode(RuleId(1)).unwrap();
+        assert_eq!(p1.len(), p2.len());
+        assert!(!p1.is_empty());
+        // and virtual saves α-memory bytes
+        let s1 = stored.rule_stats(RuleId(1)).unwrap();
+        let s2 = virt.rule_stats(RuleId(1)).unwrap();
+        assert!(s2.alpha_bytes < s1.alpha_bytes);
+    }
+
+    #[test]
+    fn selectivity_threshold_policy() {
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        for i in 0..10 {
+            insert_emp(&cat, &format!("e{i}"), 40_000.0, 1, 7);
+        }
+        // emp.sal > 30000 matches everything (low selectivity) → virtual;
+        // dept/job predicates match half → stored at 0.6 threshold
+        let mut net = Network::new();
+        net.add_rule(
+            RuleId(1),
+            &sales_clerk_cond(&cat),
+            &VirtualPolicy::SelectivityThreshold(0.6),
+            &cat,
+        )
+        .unwrap();
+        let kinds = net.alpha_kinds(RuleId(1)).unwrap();
+        assert_eq!(kinds[0], AlphaKind::Virtual, "emp pred matches 100% > 60%");
+        assert_eq!(kinds[1], AlphaKind::Stored, "dept pred matches 50%");
+        assert_eq!(kinds[2], AlphaKind::Stored, "job pred matches 50%");
+    }
+
+    fn self_join_cond(cat: &Catalog) -> ResolvedCondition {
+        cond(
+            cat,
+            None,
+            "a.dno = b.dno",
+            &[("a", "emp"), ("b", "emp")],
+        )
+    }
+
+    #[test]
+    fn self_join_counting_stored_vs_virtual() {
+        for policy in [
+            VirtualPolicy::AllStored,
+            VirtualPolicy::AllVirtual,
+            VirtualPolicy::ExplicitVars(HashSet::from([0])),
+            VirtualPolicy::ExplicitVars(HashSet::from([1])),
+        ] {
+            let cat = paper_catalog();
+            let (ytid, yt) = insert_emp(&cat, "y", 1.0, 5, 1);
+            let mut net = Network::new();
+            net.add_rule(RuleId(1), &self_join_cond(&cat), &policy, &cat).unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            let base = net.pnode(RuleId(1)).unwrap().len();
+            // priming a pattern rule loads (y,y)
+            assert_eq!(base, 1, "policy {policy:?}");
+            let _ = (ytid, yt);
+            // new tuple t with same dno: expect exactly 3 new rows:
+            // (t,t), (t,y), (y,t)
+            let (tid, t) = insert_emp(&cat, "t", 2.0, 5, 1);
+            net.process_token(&append_token(tid, t), &cat).unwrap();
+            assert_eq!(
+                net.pnode(RuleId(1)).unwrap().len(),
+                4,
+                "self-join count wrong for policy {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_insert_no_double_count() {
+        for policy in [VirtualPolicy::AllStored, VirtualPolicy::AllVirtual] {
+            let cat = paper_catalog();
+            let mut net = Network::new();
+            net.add_rule(RuleId(1), &self_join_cond(&cat), &policy, &cat).unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            // two tuples inserted in one command (one batch)
+            let (t1, v1) = insert_emp(&cat, "t1", 1.0, 5, 1);
+            let (t2, v2) = insert_emp(&cat, "t2", 2.0, 5, 1);
+            net.process_batch(
+                &[append_token(t1, v1), append_token(t2, v2)],
+                &cat,
+            )
+            .unwrap();
+            // pairs: (t1,t1), (t1,t2), (t2,t1), (t2,t2)
+            assert_eq!(
+                net.pnode(RuleId(1)).unwrap().len(),
+                4,
+                "batch double-count for policy {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn on_append_rule_is_dynamic_and_flushed() {
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        let mut net = Network::new();
+        let rc = cond(
+            &cat,
+            Some(EventSpec { kind: EventKind::Append, relation: "emp".into() }),
+            "emp.dno = dept.dno and dept.name = \"Sales\"",
+            &[],
+        );
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        let kinds = net.alpha_kinds(RuleId(1)).unwrap();
+        assert!(kinds.contains(&AlphaKind::DynamicOn));
+        net.prime(RuleId(1), &cat).unwrap();
+        // event rules never prime from existing data
+        insert_emp(&cat, "old", 1.0, 1, 7);
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+        // append event matches
+        let (tid, t) = insert_emp(&cat, "new", 1.0, 1, 7);
+        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // a replace Δ token does not trigger an on-append rule
+        let (tid2, t2) = insert_emp(&cat, "upd", 1.0, 1, 7);
+        net.process_token(
+            &Token::delta_plus("emp", tid2, t2.clone(), t2, EventSpecifier::Replace(vec![2])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // transition end flushes binding
+        net.flush_transition_state();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+        // only the dynamic emp memory flushed; the stored dept memory
+        // legitimately keeps its "Sales" entry
+        let s = net.stats();
+        assert_eq!(s.alpha_entries, 1, "stored dept entry survives the flush");
+    }
+
+    #[test]
+    fn on_delete_rule_binds_dead_tuple() {
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        let mut net = Network::new();
+        let rc = cond(
+            &cat,
+            Some(EventSpec { kind: EventKind::Delete, relation: "emp".into() }),
+            "emp.dno = dept.dno and dept.name = \"Sales\"",
+            &[],
+        );
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        let (tid, t) = insert_emp(&cat, "victim", 1.0, 1, 7);
+        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0, "append is not delete");
+        // delete it (engine removes from relation first, then sends token)
+        cat.get("emp").unwrap().borrow_mut().delete(tid).unwrap();
+        net.process_token(&Token::minus("emp", tid, t, EventSpecifier::Delete), &cat)
+            .unwrap();
+        let p = net.pnode(RuleId(1)).unwrap();
+        assert_eq!(p.len(), 1);
+        // the dead tuple is bound without a TID
+        assert_eq!(p.rows()[0][0].tid, None);
+        assert!(p.rows()[0][1].tid.is_some(), "dept binding is live");
+    }
+
+    #[test]
+    fn transition_rule_raiselimit() {
+        let cat = paper_catalog();
+        let mut net = Network::new();
+        let rc = cond(&cat, None, "emp.sal > 1.1 * previous emp.sal", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        assert_eq!(
+            net.alpha_kinds(RuleId(1)).unwrap(),
+            vec![AlphaKind::SimpleTrans]
+        );
+        net.prime(RuleId(1), &cat).unwrap();
+        let (tid, old) = insert_emp(&cat, "e", 100_000.0, 1, 1);
+        // raise of 20%: Δ+ matches
+        let new = Tuple::new(emp_row("e", 120_000.0, 1, 1));
+        net.process_token(
+            &Token::delta_plus("emp", tid, new.clone(), old.clone(), EventSpecifier::Replace(vec![2])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // the binding carries previous value for the action to use
+        let row = &net.pnode(RuleId(1)).unwrap().rows()[0];
+        assert_eq!(row[0].prev.as_ref().unwrap().get(2), &Value::Float(100_000.0));
+        net.flush_transition_state();
+        // raise of 5%: no match
+        let new2 = Tuple::new(emp_row("e", 105_000.0, 1, 1));
+        net.process_token(
+            &Token::delta_plus("emp", tid, new2, old, EventSpecifier::Replace(vec![2])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn delta_minus_retracts_pair() {
+        let cat = paper_catalog();
+        let mut net = Network::new();
+        let rc = cond(&cat, None, "emp.sal > 1.1 * previous emp.sal", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        let (tid, old) = insert_emp(&cat, "e", 100.0, 1, 1);
+        let new = Tuple::new(emp_row("e", 200.0, 1, 1));
+        net.process_token(
+            &Token::delta_plus("emp", tid, new.clone(), old.clone(), EventSpecifier::Replace(vec![2])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // second modification within the transition: Δ− then Δ+
+        net.process_token(
+            &Token::delta_minus("emp", tid, new, old.clone(), EventSpecifier::Replace(vec![2])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+        let new2 = Tuple::new(emp_row("e", 102.0, 1, 1));
+        net.process_token(
+            &Token::delta_plus("emp", tid, new2, old, EventSpecifier::Replace(vec![2])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0, "5% raise below limit");
+    }
+
+    #[test]
+    fn replace_target_list_gating() {
+        let cat = paper_catalog();
+        let mut net = Network::new();
+        let rc = cond(
+            &cat,
+            Some(EventSpec {
+                kind: EventKind::Replace(Some(vec!["jno".into()])),
+                relation: "emp".into(),
+            }),
+            "emp.sal > 0",
+            &[],
+        );
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        let (tid, old) = insert_emp(&cat, "e", 100.0, 1, 1);
+        // replace touching sal (attr 2) only: no trigger
+        let new = Tuple::new(emp_row("e", 200.0, 1, 1));
+        net.process_token(
+            &Token::delta_plus("emp", tid, new, old.clone(), EventSpecifier::Replace(vec![2])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+        // replace touching jno (attr 4): trigger
+        let new = Tuple::new(emp_row("e", 100.0, 1, 9));
+        net.process_token(
+            &Token::delta_plus("emp", tid, new, old, EventSpecifier::Replace(vec![4])),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn remove_rule_unsubscribes() {
+        let cat = paper_catalog();
+        let mut net = Network::new();
+        let rc = cond(&cat, None, "emp.sal > 30000", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        assert_eq!(net.rule_count(), 1);
+        net.remove_rule(RuleId(1));
+        assert_eq!(net.rule_count(), 0);
+        assert!(net.pnode(RuleId(1)).is_none());
+        let (tid, t) = insert_emp(&cat, "x", 99_999.0, 1, 1);
+        net.process_token(&append_token(tid, t), &cat).unwrap();
+        assert!(net.rules_with_matches().is_empty());
+        // id reusable
+        let rc2 = cond(&cat, None, "emp.sal > 1", &[]);
+        net.add_rule(RuleId(1), &rc2, &VirtualPolicy::AllStored, &cat).unwrap();
+    }
+
+    #[test]
+    fn duplicate_rule_id_rejected() {
+        let cat = paper_catalog();
+        let mut net = Network::new();
+        let rc = cond(&cat, None, "emp.sal > 30000", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        assert!(net
+            .add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .is_err());
+    }
+
+    #[test]
+    fn virtual_join_uses_index_probe_consistently() {
+        // same rule, virtual dept memory, with and without an index on
+        // dept.dno: results must be identical (the index is §4.2's
+        // constant-substitution scan choice, not a semantic change)
+        let build = |with_index: bool| {
+            let cat = paper_catalog();
+            populate_sales_clerk(&cat);
+            // extra Sales departments sharing dno values
+            for i in 0..10 {
+                cat.get("dept")
+                    .unwrap()
+                    .borrow_mut()
+                    .insert(vec![(i % 3i64).into(), "Sales".into()])
+                    .unwrap();
+            }
+            if with_index {
+                cat.get("dept")
+                    .unwrap()
+                    .borrow_mut()
+                    .create_index("dno", ariel_storage::IndexKind::Hash)
+                    .unwrap();
+            }
+            let mut net = Network::new();
+            let rc = cond(
+                &cat,
+                None,
+                "emp.sal > 0 and emp.dno = dept.dno and dept.name = \"Sales\"",
+                &[],
+            );
+            net.add_rule(RuleId(1), &rc, &VirtualPolicy::ExplicitVars(HashSet::from([1])), &cat)
+                .unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            let (tid, t) = insert_emp(&cat, "probe", 10.0, 1, 7);
+            net.process_token(&append_token(tid, t), &cat).unwrap();
+            net.pnode(RuleId(1)).unwrap().len()
+        };
+        let without = build(false);
+        let with = build(true);
+        assert_eq!(without, with);
+        assert!(with >= 1);
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_rule_never_matches() {
+        let cat = paper_catalog();
+        let mut net = Network::new();
+        // contradictory band: can never match
+        let rc = cond(&cat, None, "emp.sal > 100 and emp.sal < 50", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        let (tid, t) = insert_emp(&cat, "x", 75.0, 1, 1);
+        net.process_token(&append_token(tid, t), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn network_stats_accounting() {
+        let cat = paper_catalog();
+        insert_emp(&cat, "a", 50_000.0, 1, 1);
+        insert_emp(&cat, "b", 60_000.0, 1, 1);
+        let mut net = Network::new();
+        let rc = cond(&cat, None, "emp.sal > 30000 and emp.dno = dept.dno", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        let s = net.stats();
+        assert_eq!(s.rules, 1);
+        assert_eq!(s.alpha_nodes, 2);
+        assert_eq!(s.virtual_alpha_nodes, 0);
+        assert_eq!(s.alpha_entries, 2, "two matching emps; dept empty");
+        assert!(s.alpha_bytes > 0);
+        assert!(s.selnet_bytes > 0);
+        let rs = net.rule_stats(RuleId(1)).unwrap();
+        assert_eq!(rs.alpha_entries, 2);
+        assert_eq!(rs.pnode_rows, 0);
+        assert!(net.rule_stats(RuleId(9)).is_none());
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_scoped() {
+        let cat = paper_catalog();
+        insert_emp(&cat, "a", 50_000.0, 1, 1);
+        let mut net = Network::new();
+        let rc = cond(&cat, None, "emp.sal > 30000", &[]);
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // pattern rules are untouched by transition flushes
+        net.flush_transition_state();
+        net.flush_transition_state();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bare_minus_token_cleans_pattern_memories_only() {
+        // the case-3 bare − (no event specifier) must retract pattern
+        // state but trigger nothing
+        let cat = paper_catalog();
+        let mut net = Network::new();
+        let pattern = cond(&cat, None, "emp.sal > 0", &[]);
+        net.add_rule(RuleId(1), &pattern, &VirtualPolicy::AllStored, &cat).unwrap();
+        let on_del = cond(
+            &cat,
+            Some(EventSpec { kind: EventKind::Delete, relation: "emp".into() }),
+            "emp.sal > 0",
+            &[],
+        );
+        net.add_rule(RuleId(2), &on_del, &VirtualPolicy::AllStored, &cat).unwrap();
+        for id in [1, 2] {
+            net.prime(RuleId(id), &cat).unwrap();
+        }
+        let (tid, t) = insert_emp(&cat, "x", 10.0, 1, 1);
+        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+        // bare − (first modification): pattern match retracted, no delete fire
+        net.process_token(&Token::bare_minus("emp", tid, t), &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
+        assert_eq!(net.pnode(RuleId(2)).unwrap().len(), 0, "no delete event");
+    }
+
+    #[test]
+    fn rules_with_matches_sorted() {
+        let cat = paper_catalog();
+        insert_emp(&cat, "x", 50_000.0, 1, 1);
+        let mut net = Network::new();
+        for id in [3u64, 1, 2] {
+            let rc = cond(&cat, None, "emp.sal > 30000", &[]);
+            net.add_rule(RuleId(id), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+            net.prime(RuleId(id), &cat).unwrap();
+        }
+        assert_eq!(
+            net.rules_with_matches(),
+            vec![RuleId(1), RuleId(2), RuleId(3)]
+        );
+        let drained = net.drain_pnode(RuleId(2));
+        assert_eq!(drained.len(), 1);
+        assert_eq!(net.rules_with_matches(), vec![RuleId(1), RuleId(3)]);
+    }
+}

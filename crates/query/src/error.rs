@@ -1,0 +1,56 @@
+//! Error types for the query layer.
+
+use ariel_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while lexing, parsing, analyzing, planning or executing
+/// POSTQUEL/ARL commands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset of the error.
+        pos: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Byte offset of the error.
+        pos: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Semantic (name/type resolution) error.
+    Semantic(String),
+    /// Planner could not produce a plan.
+    Plan(String),
+    /// Runtime evaluation error.
+    Eval(String),
+    /// Underlying storage error.
+    Storage(StorageError),
+}
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            QueryError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+            QueryError::Plan(m) => write!(f, "planning error: {m}"),
+            QueryError::Eval(m) => write!(f, "evaluation error: {m}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}

@@ -1,0 +1,340 @@
+//! Evaluation of resolved expressions.
+//!
+//! Null handling: `Null` propagates through arithmetic; comparisons
+//! involving `Null` are false; `and`/`or` treat `Null` as false. This is a
+//! deliberate two-valued simplification of SQL's three-valued logic — the
+//! paper's language predates SQL NULL subtleties and its examples never rely
+//! on them.
+
+use crate::ast::{BinOp, UnaryOp};
+use crate::binding::Row;
+use crate::error::{QueryError, QueryResult};
+use crate::semantic::RExpr;
+use ariel_storage::{Tuple, Value};
+use std::cmp::Ordering;
+
+/// How an expression reads variable bindings during evaluation.
+pub trait Env {
+    /// Current tuple bound to variable `var`.
+    fn current(&self, var: usize) -> QueryResult<&Tuple>;
+    /// Previous (start-of-transition) tuple bound to `var`, if tracked.
+    fn previous(&self, var: usize) -> QueryResult<&Tuple>;
+}
+
+impl Env for Row {
+    fn current(&self, var: usize) -> QueryResult<&Tuple> {
+        self.bound(var)
+            .map(|b| &b.tuple)
+            .ok_or_else(|| QueryError::Eval(format!("variable #{var} is unbound")))
+    }
+
+    fn previous(&self, var: usize) -> QueryResult<&Tuple> {
+        let b = self
+            .bound(var)
+            .ok_or_else(|| QueryError::Eval(format!("variable #{var} is unbound")))?;
+        b.prev.as_ref().ok_or_else(|| {
+            QueryError::Eval(format!("variable #{var} has no previous value"))
+        })
+    }
+}
+
+/// Environment over a single tuple: every variable index resolves to the
+/// same `(tuple, prev)` pair. Used by the discrimination network to test
+/// single-relation selection predicates against in-flight tokens.
+pub struct SingleEnv<'a> {
+    /// Current tuple value.
+    pub tuple: &'a Tuple,
+    /// Start-of-transition value, if available.
+    pub prev: Option<&'a Tuple>,
+}
+
+impl Env for SingleEnv<'_> {
+    fn current(&self, _var: usize) -> QueryResult<&Tuple> {
+        Ok(self.tuple)
+    }
+
+    fn previous(&self, _var: usize) -> QueryResult<&Tuple> {
+        self.prev
+            .ok_or_else(|| QueryError::Eval("no previous value available".into()))
+    }
+}
+
+/// Evaluate an expression to a value.
+pub fn eval(e: &RExpr, env: &dyn Env) -> QueryResult<Value> {
+    match e {
+        RExpr::Const(v) => Ok(v.clone()),
+        RExpr::AlwaysTrue => Ok(Value::Bool(true)),
+        RExpr::Attr { var, attr } => Ok(env.current(*var)?.get(*attr).clone()),
+        RExpr::Prev { var, attr } => Ok(env.previous(*var)?.get(*attr).clone()),
+        RExpr::Unary { op, expr } => {
+            let v = eval(expr, env)?;
+            match op {
+                UnaryOp::Not => Ok(Value::Bool(!truthy(&v))),
+                UnaryOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(QueryError::Eval(format!(
+                        "cannot negate {}",
+                        other.type_name()
+                    ))),
+                },
+            }
+        }
+        RExpr::Binary { op, left, right } => {
+            // short-circuit logical operators
+            match op {
+                BinOp::And => {
+                    if !truthy(&eval(left, env)?) {
+                        return Ok(Value::Bool(false));
+                    }
+                    return Ok(Value::Bool(truthy(&eval(right, env)?)));
+                }
+                BinOp::Or => {
+                    if truthy(&eval(left, env)?) {
+                        return Ok(Value::Bool(true));
+                    }
+                    return Ok(Value::Bool(truthy(&eval(right, env)?)));
+                }
+                _ => {}
+            }
+            let l = eval(left, env)?;
+            let r = eval(right, env)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, l, r),
+                BinOp::Eq => Ok(Value::Bool(l.sql_eq(&r))),
+                BinOp::Ne => Ok(Value::Bool(
+                    !l.is_null() && !r.is_null() && !l.sql_eq(&r),
+                )),
+                BinOp::Lt => cmp(l, r, |o| o == Ordering::Less),
+                BinOp::Le => cmp(l, r, |o| o != Ordering::Greater),
+                BinOp::Gt => cmp(l, r, |o| o == Ordering::Greater),
+                BinOp::Ge => cmp(l, r, |o| o != Ordering::Less),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// Evaluate a predicate: `Null` and non-boolean falsy values are false.
+pub fn eval_pred(e: &RExpr, env: &dyn Env) -> QueryResult<bool> {
+    Ok(truthy(&eval(e, env)?))
+}
+
+/// Predicate truthiness: only `Bool(true)` is true.
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+fn cmp(l: Value, r: Value, f: impl Fn(Ordering) -> bool) -> QueryResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Bool(false));
+    }
+    Ok(Value::Bool(f(l.total_cmp(&r))))
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> QueryResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            match op {
+                BinOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+                BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                BinOp::Div => {
+                    if b == 0 {
+                        Err(QueryError::Eval("integer division by zero".into()))
+                    } else {
+                        Ok(Value::Int(a / b))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(QueryError::Eval(format!(
+                    "arithmetic on {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                )));
+            };
+            let x = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::BoundVar;
+    use ariel_storage::Tid;
+
+    fn env_one(vals: Vec<Value>, prev: Option<Vec<Value>>) -> Row {
+        let tuple = Tuple::new(vals);
+        let bv = match prev {
+            Some(p) => BoundVar::with_prev(Some(Tid(0)), tuple, Tuple::new(p)),
+            None => BoundVar::plain(Tid(0), tuple),
+        };
+        Row { slots: vec![Some(bv)] }
+    }
+
+    fn attr(a: usize) -> RExpr {
+        RExpr::Attr { var: 0, attr: a }
+    }
+
+    fn lit(v: impl Into<Value>) -> RExpr {
+        RExpr::Const(v.into())
+    }
+
+    fn bin(op: BinOp, l: RExpr, r: RExpr) -> RExpr {
+        RExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let row = env_one(vec![Value::Int(10), Value::Float(2.5)], None);
+        assert_eq!(
+            eval(&bin(BinOp::Add, attr(0), lit(5i64)), &row).unwrap(),
+            Value::Int(15)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Mul, attr(0), attr(1)), &row).unwrap(),
+            Value::Float(25.0)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Div, lit(7i64), lit(2i64)), &row).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let row = env_one(vec![], None);
+        assert!(eval(&bin(BinOp::Div, lit(1i64), lit(0i64)), &row).is_err());
+        // float division by zero yields inf, not an error
+        assert_eq!(
+            eval(&bin(BinOp::Div, lit(1.0), lit(0.0)), &row).unwrap(),
+            Value::Float(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        let row = env_one(vec![Value::Int(10)], None);
+        assert!(
+            eval_pred(&bin(BinOp::Gt, attr(0), lit(5i64)), &row).unwrap()
+        );
+        assert!(
+            eval_pred(&bin(BinOp::Le, attr(0), lit(10i64)), &row).unwrap()
+        );
+        assert!(
+            !eval_pred(&bin(BinOp::Ne, attr(0), lit(10i64)), &row).unwrap()
+        );
+        assert!(
+            eval_pred(&bin(BinOp::Eq, lit("a"), lit("a")), &row).unwrap()
+        );
+    }
+
+    #[test]
+    fn null_comparisons_false_null_arith_propagates() {
+        let row = env_one(vec![Value::Null], None);
+        assert!(!eval_pred(&bin(BinOp::Eq, attr(0), lit(1i64)), &row).unwrap());
+        assert!(!eval_pred(&bin(BinOp::Ne, attr(0), lit(1i64)), &row).unwrap());
+        assert!(!eval_pred(&bin(BinOp::Lt, attr(0), lit(1i64)), &row).unwrap());
+        assert_eq!(
+            eval(&bin(BinOp::Add, attr(0), lit(1i64)), &row).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn logical_short_circuit() {
+        let row = env_one(vec![Value::Int(1)], None);
+        // right side would error (div by zero) but is never evaluated
+        let e = bin(
+            BinOp::And,
+            bin(BinOp::Eq, attr(0), lit(2i64)),
+            bin(BinOp::Eq, bin(BinOp::Div, lit(1i64), lit(0i64)), lit(1i64)),
+        );
+        assert!(!eval_pred(&e, &row).unwrap());
+        let e = bin(
+            BinOp::Or,
+            bin(BinOp::Eq, attr(0), lit(1i64)),
+            bin(BinOp::Eq, bin(BinOp::Div, lit(1i64), lit(0i64)), lit(1i64)),
+        );
+        assert!(eval_pred(&e, &row).unwrap());
+    }
+
+    #[test]
+    fn previous_references() {
+        let row = env_one(
+            vec![Value::Float(110.0)],
+            Some(vec![Value::Float(100.0)]),
+        );
+        // emp.sal > 1.05 * previous emp.sal
+        let e = bin(
+            BinOp::Gt,
+            attr(0),
+            bin(BinOp::Mul, lit(1.05), RExpr::Prev { var: 0, attr: 0 }),
+        );
+        assert!(eval_pred(&e, &row).unwrap());
+    }
+
+    #[test]
+    fn previous_without_history_errors() {
+        let row = env_one(vec![Value::Int(1)], None);
+        assert!(eval(&RExpr::Prev { var: 0, attr: 0 }, &row).is_err());
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let row = Row::unbound(2);
+        assert!(eval(&attr(0), &row).is_err());
+    }
+
+    #[test]
+    fn single_env() {
+        let t = Tuple::new(vec![Value::Int(42)]);
+        let p = Tuple::new(vec![Value::Int(41)]);
+        let env = SingleEnv { tuple: &t, prev: Some(&p) };
+        assert_eq!(eval(&attr(0), &env).unwrap(), Value::Int(42));
+        assert_eq!(
+            eval(&RExpr::Prev { var: 7, attr: 0 }, &env).unwrap(),
+            Value::Int(41)
+        );
+        let env2 = SingleEnv { tuple: &t, prev: None };
+        assert!(eval(&RExpr::Prev { var: 0, attr: 0 }, &env2).is_err());
+    }
+
+    #[test]
+    fn not_and_neg() {
+        let row = env_one(vec![Value::Int(5)], None);
+        let e = RExpr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(bin(BinOp::Gt, attr(0), lit(10i64))),
+        };
+        assert!(eval_pred(&e, &row).unwrap());
+        let e = RExpr::Unary { op: UnaryOp::Neg, expr: Box::new(attr(0)) };
+        assert_eq!(eval(&e, &row).unwrap(), Value::Int(-5));
+        let e = RExpr::Unary { op: UnaryOp::Neg, expr: Box::new(lit("s")) };
+        assert!(eval(&e, &row).is_err());
+    }
+
+    #[test]
+    fn always_true() {
+        let row = Row::unbound(0);
+        assert!(eval_pred(&RExpr::AlwaysTrue, &row).unwrap());
+    }
+}

@@ -1,0 +1,400 @@
+//! Lexer for the POSTQUEL subset + ARL rule language.
+//!
+//! Keywords follow the paper's examples: `define rule … on … if … then`,
+//! `append to`, `replace`, `delete`, `retrieve`, `do … end`, `previous`,
+//! `new`, `from`, `where`, `in`, `priority`, plus DDL (`create`, `destroy`,
+//! `index`, `using`). Identifiers are case-insensitive for keywords but
+//! preserved verbatim otherwise.
+
+use crate::error::{QueryError, QueryResult};
+use std::fmt;
+
+/// A lexical token with its source byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    StarTok,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::StarTok => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize a command string.
+pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, pos });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semicolon, pos });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, pos });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        pos,
+                        msg: "expected `=` after `!`".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Le, pos });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, pos });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos });
+                    i += 1;
+                }
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, pos });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::StarTok, pos });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, pos });
+                i += 1;
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(QueryError::Lex {
+                        pos,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                let s = std::str::from_utf8(&bytes[start..i])
+                    .map_err(|_| QueryError::Lex {
+                        pos,
+                        msg: "invalid utf-8 in string literal".into(),
+                    })?
+                    .to_string();
+                out.push(Token { kind: TokenKind::Str(s), pos });
+                i += 1; // closing quote
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // fractional part: `.` followed by a digit (so `5.attr` lexes
+                // as Int Dot Ident, not a malformed float)
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // exponent
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| QueryError::Lex {
+                        pos,
+                        msg: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| QueryError::Lex {
+                        pos,
+                        msg: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                out.push(Token { kind, pos });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
+                out.push(Token { kind: TokenKind::Ident(word), pos });
+            }
+            other => {
+                // non-ASCII bytes outside string literals are rejected with
+                // a structured error (never sliced mid-character)
+                return Err(QueryError::Lex {
+                    pos,
+                    msg: if other.is_ascii() {
+                        format!("unexpected character `{other}`")
+                    } else {
+                        format!("unexpected non-ascii byte 0x{:02x}", other as u32 as u8)
+                    },
+                });
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("( ) , . ; = != < <= > >= + - * / <>"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Dot,
+                TokenKind::Semicolon,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::StarTok,
+                TokenKind::Slash,
+                TokenKind::Ne,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 1.5 2e3 1.5e-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(1.5),
+                TokenKind::Float(2000.0),
+                TokenKind::Float(0.015),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_attr_not_a_float() {
+        assert_eq!(
+            kinds("emp.sal"),
+            vec![
+                TokenKind::Ident("emp".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("sal".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(
+            kinds(r#""Bob" 'Toy'"#),
+            vec![
+                TokenKind::Str("Bob".into()),
+                TokenKind::Str("Toy".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("\"oops"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a # comment\n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn bang_without_eq_errors() {
+        assert!(matches!(lex("!x"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(lex("@"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn unicode_inside_string_literals_ok() {
+        let toks = lex("\"héllo wörld 你好\"").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Str("héllo wörld 你好".into()));
+    }
+
+    #[test]
+    fn unicode_outside_strings_is_a_structured_error() {
+        // never panics, never slices mid-character
+        assert!(matches!(lex("héllo"), Err(QueryError::Lex { .. })));
+        assert!(matches!(lex("你好"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn rule_snippet_lexes() {
+        let toks = kinds(
+            "define rule NoBobs on append emp if emp.name = \"Bob\" then delete emp",
+        );
+        assert_eq!(toks.len(), 16);
+        assert_eq!(toks[0], TokenKind::Ident("define".into()));
+    }
+}

@@ -1,0 +1,109 @@
+//! Query modification for rule actions (§5.1).
+//!
+//! When a rule is activated, the binding between its condition and action is
+//! made explicit: for every tuple variable `V` shared between condition and
+//! action, action references to `V` range over the rule's P-node, and
+//! `replace V` / `delete V` commands become the primed forms `replace'` /
+//! `delete'`, which locate their target tuples through the TIDs stored in
+//! the P-node instead of scanning the target relation.
+//!
+//! In the paper the rewrite is textual (`V.attr` → `P.V.attr`); here the
+//! same binding is achieved structurally — the command is marked primed, and
+//! the rule-action resolver ([`crate::semantic::Resolver::with_pnode`])
+//! resolves shared variable names directly against P-node columns, which
+//! shadow same-named base relations inside the action.
+
+use crate::ast::Command;
+use std::collections::HashSet;
+
+/// Rewrite a rule action for execution against a P-node whose columns bind
+/// the `shared` variables (the tuple variables of the rule condition).
+pub fn modify_action(action: &[Command], shared: &HashSet<String>) -> Vec<Command> {
+    action.iter().map(|c| modify_command(c, shared)).collect()
+}
+
+fn modify_command(cmd: &Command, shared: &HashSet<String>) -> Command {
+    match cmd {
+        Command::Replace { var, assignments, from, qual } if shared.contains(var) => {
+            Command::ReplacePrimed {
+                pvar: var.clone(),
+                assignments: assignments.clone(),
+                from: from.clone(),
+                qual: qual.clone(),
+            }
+        }
+        Command::Delete { var, from, qual } if shared.contains(var) => {
+            Command::DeletePrimed {
+                pvar: var.clone(),
+                from: from.clone(),
+                qual: qual.clone(),
+            }
+        }
+        Command::Block(cmds) => {
+            Command::Block(cmds.iter().map(|c| modify_command(c, shared)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_command;
+
+    fn shared(names: &[&str]) -> HashSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn salesclerkrule2_modification_matches_fig7() {
+        // Fig. 6 → Fig. 7 of the paper: emp is shared, dept is not.
+        let action = vec![
+            parse_command("append to salarywatch(name = emp.name)").unwrap(),
+            parse_command(
+                "replace emp (sal = 30000) where emp.dno = dept.dno and dept.name = \"Sales\"",
+            )
+            .unwrap(),
+            parse_command(
+                "replace emp (sal = 25000) where emp.dno = dept.dno and dept.name != \"Sales\"",
+            )
+            .unwrap(),
+        ];
+        let modified = modify_action(&action, &shared(&["emp"]));
+        // append unchanged
+        assert!(matches!(modified[0], Command::Append { .. }));
+        // replaces primed
+        assert!(matches!(&modified[1], Command::ReplacePrimed { pvar, .. } if pvar == "emp"));
+        assert!(matches!(&modified[2], Command::ReplacePrimed { pvar, .. } if pvar == "emp"));
+        // the dept variable in the qualification is untouched
+        let Command::ReplacePrimed { qual: Some(q), .. } = &modified[1] else {
+            panic!()
+        };
+        assert!(q.var_names().contains(&"dept".to_string()));
+    }
+
+    #[test]
+    fn nobobs_delete_becomes_primed() {
+        let action = vec![parse_command("delete emp").unwrap()];
+        let modified = modify_action(&action, &shared(&["emp"]));
+        assert!(matches!(&modified[0], Command::DeletePrimed { pvar, .. } if pvar == "emp"));
+    }
+
+    #[test]
+    fn unshared_targets_untouched() {
+        let action = vec![
+            parse_command("delete log").unwrap(),
+            parse_command("replace audit (n = 1)").unwrap(),
+        ];
+        let modified = modify_action(&action, &shared(&["emp"]));
+        assert!(matches!(modified[0], Command::Delete { .. }));
+        assert!(matches!(modified[1], Command::Replace { .. }));
+    }
+
+    #[test]
+    fn halt_passes_through() {
+        let action = vec![Command::Halt];
+        let modified = modify_action(&action, &shared(&["emp"]));
+        assert_eq!(modified, vec![Command::Halt]);
+    }
+}

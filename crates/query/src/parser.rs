@@ -1,0 +1,996 @@
+//! Recursive-descent parser for the POSTQUEL subset + ARL.
+//!
+//! Keywords are matched case-insensitively and contextually; any word can
+//! still serve as a relation / attribute / rule name where the grammar
+//! expects one.
+
+use crate::ast::*;
+use crate::error::{QueryError, QueryResult};
+use crate::lexer::{lex, Token, TokenKind};
+use ariel_storage::{AttrType, IndexKind};
+
+/// Parse a script: one or more commands, optionally `;`-separated.
+///
+/// ```
+/// use ariel_query::parse_script;
+///
+/// let cmds = parse_script(
+///     "create emp (name = string, sal = float); \
+///      define rule cap if emp.sal > 100 then replace emp (sal = 100)",
+/// )
+/// .unwrap();
+/// assert_eq!(cmds.len(), 2);
+/// ```
+pub fn parse_script(src: &str) -> QueryResult<Vec<Command>> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, at: 0 };
+    let mut cmds = Vec::new();
+    loop {
+        p.skip_semicolons();
+        if p.peek_is_eof() {
+            break;
+        }
+        cmds.push(p.parse_command()?);
+    }
+    Ok(cmds)
+}
+
+/// Parse exactly one command.
+pub fn parse_command(src: &str) -> QueryResult<Command> {
+    let mut cmds = parse_script(src)?;
+    match cmds.len() {
+        1 => Ok(cmds.pop().unwrap()),
+        0 => Err(QueryError::Parse { pos: 0, msg: "empty input".into() }),
+        _ => Err(QueryError::Parse {
+            pos: 0,
+            msg: "expected a single command".into(),
+        }),
+    }
+}
+
+/// Parse a qualification expression in isolation (used by tests and by the
+/// rule catalog when reconstructing conditions).
+pub fn parse_expr(src: &str) -> QueryResult<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, at: 0 };
+    let e = p.parse_or()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at]
+    }
+
+    fn peek_is_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> QueryResult<T> {
+        Err(QueryError::Parse {
+            pos: self.peek().pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn skip_semicolons(&mut self) {
+        while matches!(self.peek().kind, TokenKind::Semicolon) {
+            self.bump();
+        }
+    }
+
+    fn expect_eof(&self) -> QueryResult<()> {
+        if self.peek_is_eof() {
+            Ok(())
+        } else {
+            Err(QueryError::Parse {
+                pos: self.peek().pos,
+                msg: format!("unexpected trailing input {}", self.peek().kind),
+            })
+        }
+    }
+
+    /// Is the current token the given (case-insensitive) keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the given keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> QueryResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_tok(&mut self, kind: TokenKind) -> QueryResult<()> {
+        if self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn eat_tok(&mut self, kind: TokenKind) -> bool {
+        if self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> QueryResult<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // ----- commands ---------------------------------------------------------
+
+    fn parse_command(&mut self) -> QueryResult<Command> {
+        if self.at_kw("create") {
+            return self.parse_create();
+        }
+        if self.at_kw("destroy") {
+            return self.parse_destroy();
+        }
+        if self.at_kw("define") {
+            return self.parse_define();
+        }
+        if self.at_kw("activate") {
+            self.bump();
+            self.expect_kw("rule")?;
+            let name = self.expect_ident()?;
+            return Ok(Command::ActivateRule { name });
+        }
+        if self.at_kw("deactivate") {
+            self.bump();
+            self.expect_kw("rule")?;
+            let name = self.expect_ident()?;
+            return Ok(Command::DeactivateRule { name });
+        }
+        if self.at_kw("append") {
+            return self.parse_append();
+        }
+        if self.at_kw("delete") {
+            return self.parse_delete();
+        }
+        if self.at_kw("replace") {
+            return self.parse_replace();
+        }
+        if self.at_kw("retrieve") {
+            return self.parse_retrieve();
+        }
+        if self.at_kw("do") {
+            return self.parse_block();
+        }
+        if self.at_kw("halt") {
+            self.bump();
+            return Ok(Command::Halt);
+        }
+        if self.at_kw("notify") {
+            return self.parse_notify();
+        }
+        self.err(format!("expected a command, found {}", self.peek().kind))
+    }
+
+    fn parse_create(&mut self) -> QueryResult<Command> {
+        self.expect_kw("create")?;
+        let name = self.expect_ident()?;
+        self.expect_tok(TokenKind::LParen)?;
+        let mut attrs = Vec::new();
+        loop {
+            let attr = self.expect_ident()?;
+            self.expect_tok(TokenKind::Eq)?;
+            let ty_name = self.expect_ident()?;
+            let ty = match ty_name.to_ascii_lowercase().as_str() {
+                "int" | "i4" | "integer" => AttrType::Int,
+                "float" | "f8" | "float8" | "real" => AttrType::Float,
+                "string" | "str" | "text" | "char" | "c" => AttrType::Str,
+                "bool" | "boolean" => AttrType::Bool,
+                other => return self.err(format!("unknown type `{other}`")),
+            };
+            attrs.push((attr, ty));
+            if !self.eat_tok(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(TokenKind::RParen)?;
+        Ok(Command::CreateRelation { name, attrs })
+    }
+
+    fn parse_destroy(&mut self) -> QueryResult<Command> {
+        self.expect_kw("destroy")?;
+        if self.eat_kw("rule") {
+            let name = self.expect_ident()?;
+            return Ok(Command::DropRule { name });
+        }
+        let name = self.expect_ident()?;
+        Ok(Command::DestroyRelation { name })
+    }
+
+    fn parse_define(&mut self) -> QueryResult<Command> {
+        self.expect_kw("define")?;
+        if self.eat_kw("index") {
+            self.expect_kw("on")?;
+            let rel = self.expect_ident()?;
+            self.expect_tok(TokenKind::LParen)?;
+            let attr = self.expect_ident()?;
+            self.expect_tok(TokenKind::RParen)?;
+            let kind = if self.eat_kw("using") {
+                let k = self.expect_ident()?;
+                match k.to_ascii_lowercase().as_str() {
+                    "btree" => IndexKind::BTree,
+                    "hash" => IndexKind::Hash,
+                    other => return self.err(format!("unknown index kind `{other}`")),
+                }
+            } else {
+                IndexKind::BTree
+            };
+            return Ok(Command::CreateIndex { rel, attr, kind });
+        }
+        self.expect_kw("rule")?;
+        let rule = self.parse_rule_def()?;
+        Ok(Command::DefineRule(rule))
+    }
+
+    fn parse_rule_def(&mut self) -> QueryResult<RuleDef> {
+        let name = self.expect_ident()?;
+        let ruleset = if self.eat_kw("in") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        let priority = if self.eat_kw("priority") {
+            let neg = self.eat_tok(TokenKind::Minus);
+            let v = match self.bump().kind {
+                TokenKind::Int(i) => i as f64,
+                TokenKind::Float(x) => x,
+                other => return self.err(format!("expected priority value, found {other}")),
+            };
+            Some(if neg { -v } else { v })
+        } else {
+            None
+        };
+        let on = if self.eat_kw("on") {
+            Some(self.parse_event_spec()?)
+        } else {
+            None
+        };
+        let (condition, cond_from) = if self.eat_kw("if") {
+            let e = self.parse_or()?;
+            let from = if self.eat_kw("from") {
+                self.parse_from_items()?
+            } else {
+                Vec::new()
+            };
+            (Some(e), from)
+        } else {
+            (None, Vec::new())
+        };
+        self.expect_kw("then")?;
+        let action = match self.parse_command()? {
+            Command::Block(cmds) => cmds,
+            single => vec![single],
+        };
+        if on.is_none() && condition.is_none() {
+            return self.err("rule needs an `on` event or an `if` condition");
+        }
+        Ok(RuleDef {
+            name,
+            ruleset,
+            priority,
+            on,
+            condition,
+            cond_from,
+            action,
+        })
+    }
+
+    fn parse_event_spec(&mut self) -> QueryResult<EventSpec> {
+        if self.eat_kw("append") {
+            self.eat_kw("to");
+            let relation = self.expect_ident()?;
+            return Ok(EventSpec { kind: EventKind::Append, relation });
+        }
+        if self.eat_kw("delete") {
+            self.eat_kw("from");
+            let relation = self.expect_ident()?;
+            return Ok(EventSpec { kind: EventKind::Delete, relation });
+        }
+        if self.eat_kw("replace") {
+            self.eat_kw("to");
+            let relation = self.expect_ident()?;
+            let attrs = if self.eat_tok(TokenKind::LParen) {
+                let mut list = vec![self.expect_ident()?];
+                while self.eat_tok(TokenKind::Comma) {
+                    list.push(self.expect_ident()?);
+                }
+                self.expect_tok(TokenKind::RParen)?;
+                Some(list)
+            } else {
+                None
+            };
+            return Ok(EventSpec {
+                kind: EventKind::Replace(attrs),
+                relation,
+            });
+        }
+        self.err("expected `append`, `delete` or `replace` after `on`")
+    }
+
+    fn parse_assignments(&mut self) -> QueryResult<Vec<(String, Expr)>> {
+        self.expect_tok(TokenKind::LParen)?;
+        let mut out = Vec::new();
+        loop {
+            let attr = self.expect_ident()?;
+            self.expect_tok(TokenKind::Eq)?;
+            let expr = self.parse_or()?;
+            out.push((attr, expr));
+            if !self.eat_tok(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(TokenKind::RParen)?;
+        Ok(out)
+    }
+
+    fn parse_from_items(&mut self) -> QueryResult<Vec<FromItem>> {
+        let mut out = Vec::new();
+        loop {
+            let var = self.expect_ident()?;
+            self.expect_kw("in")?;
+            let rel = self.expect_ident()?;
+            out.push(FromItem { var, rel });
+            if !self.eat_tok(TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Optional `from …` then optional `where …`, in either order? The
+    /// paper's syntax is `[from from-list] [where qual]`, with `where`
+    /// allowed first in practice; we accept both orders.
+    fn parse_from_where(&mut self) -> QueryResult<(Vec<FromItem>, Option<Expr>)> {
+        let mut from = Vec::new();
+        let mut qual = None;
+        loop {
+            if self.eat_kw("from") {
+                from.extend(self.parse_from_items()?);
+            } else if self.eat_kw("where") {
+                let e = self.parse_or()?;
+                qual = Expr::and(qual, Some(e));
+            } else {
+                break;
+            }
+        }
+        Ok((from, qual))
+    }
+
+    fn parse_append(&mut self) -> QueryResult<Command> {
+        self.expect_kw("append")?;
+        self.eat_kw("to");
+        let target = self.expect_ident()?;
+        let assignments = self.parse_assignments()?;
+        let (from, qual) = self.parse_from_where()?;
+        Ok(Command::Append { target, assignments, from, qual })
+    }
+
+    fn parse_delete(&mut self) -> QueryResult<Command> {
+        self.expect_kw("delete")?;
+        let var = self.expect_ident()?;
+        let (from, qual) = self.parse_from_where()?;
+        Ok(Command::Delete { var, from, qual })
+    }
+
+    fn parse_replace(&mut self) -> QueryResult<Command> {
+        self.expect_kw("replace")?;
+        let var = self.expect_ident()?;
+        let assignments = self.parse_assignments()?;
+        let (from, qual) = self.parse_from_where()?;
+        Ok(Command::Replace { var, assignments, from, qual })
+    }
+
+    fn parse_retrieve(&mut self) -> QueryResult<Command> {
+        self.expect_kw("retrieve")?;
+        let into = if self.eat_kw("into") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        self.expect_tok(TokenKind::LParen)?;
+        let mut targets = Vec::new();
+        let mut anon = 0usize;
+        loop {
+            // `var.all`
+            let target = if let TokenKind::Ident(first) = self.peek().kind.clone() {
+                if matches!(self.tokens.get(self.at + 1).map(|t| &t.kind), Some(TokenKind::Dot))
+                    && matches!(
+                        self.tokens.get(self.at + 2).map(|t| &t.kind),
+                        Some(TokenKind::Ident(a)) if a.eq_ignore_ascii_case("all")
+                    )
+                {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    Target::All { var: first }
+                } else if matches!(
+                    self.tokens.get(self.at + 1).map(|t| &t.kind),
+                    Some(TokenKind::Eq)
+                ) {
+                    // `name = expr`
+                    self.bump();
+                    self.bump();
+                    let expr = self.parse_or()?;
+                    Target::Expr { name: first, expr }
+                } else {
+                    let expr = self.parse_or()?;
+                    anon += 1;
+                    Target::Expr { name: format!("col{anon}"), expr }
+                }
+            } else {
+                let expr = self.parse_or()?;
+                anon += 1;
+                Target::Expr { name: format!("col{anon}"), expr }
+            };
+            targets.push(target);
+            if !self.eat_tok(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(TokenKind::RParen)?;
+        let (from, qual) = self.parse_from_where()?;
+        Ok(Command::Retrieve { into, targets, from, qual })
+    }
+
+    fn parse_notify(&mut self) -> QueryResult<Command> {
+        self.expect_kw("notify")?;
+        let channel = self.expect_ident()?;
+        self.expect_tok(TokenKind::LParen)?;
+        let mut targets = Vec::new();
+        let mut anon = 0usize;
+        loop {
+            let target = if let TokenKind::Ident(first) = self.peek().kind.clone() {
+                if matches!(
+                    self.tokens.get(self.at + 1).map(|t| &t.kind),
+                    Some(TokenKind::Dot)
+                ) && matches!(
+                    self.tokens.get(self.at + 2).map(|t| &t.kind),
+                    Some(TokenKind::Ident(a)) if a.eq_ignore_ascii_case("all")
+                ) {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    Target::All { var: first }
+                } else if matches!(
+                    self.tokens.get(self.at + 1).map(|t| &t.kind),
+                    Some(TokenKind::Eq)
+                ) {
+                    self.bump();
+                    self.bump();
+                    let expr = self.parse_or()?;
+                    Target::Expr { name: first, expr }
+                } else {
+                    let expr = self.parse_or()?;
+                    anon += 1;
+                    Target::Expr { name: format!("col{anon}"), expr }
+                }
+            } else {
+                let expr = self.parse_or()?;
+                anon += 1;
+                Target::Expr { name: format!("col{anon}"), expr }
+            };
+            targets.push(target);
+            if !self.eat_tok(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(TokenKind::RParen)?;
+        let (from, qual) = self.parse_from_where()?;
+        Ok(Command::Notify { channel, targets, from, qual })
+    }
+
+    fn parse_block(&mut self) -> QueryResult<Command> {
+        self.expect_kw("do")?;
+        let mut cmds = Vec::new();
+        loop {
+            self.skip_semicolons();
+            if self.eat_kw("end") {
+                break;
+            }
+            if self.peek_is_eof() {
+                return self.err("unterminated `do … end` block");
+            }
+            let cmd = self.parse_command()?;
+            if matches!(cmd, Command::Block(_)) {
+                return self.err("blocks may not be nested (§2.2.1)");
+            }
+            cmds.push(cmd);
+        }
+        Ok(Command::Block(cmds))
+    }
+
+    // ----- expressions -------------------------------------------------------
+
+    fn parse_or(&mut self) -> QueryResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> QueryResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> QueryResult<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> QueryResult<Expr> {
+        let left = self.parse_add()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_add()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_add(&mut self) -> QueryResult<Expr> {
+        let mut left = self.parse_mul()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_mul()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_mul(&mut self) -> QueryResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::StarTok => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> QueryResult<Expr> {
+        if self.eat_tok(TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> QueryResult<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_or()?;
+                self.expect_tok(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) => {
+                let lower = word.to_ascii_lowercase();
+                if lower == "true" || lower == "false" {
+                    self.bump();
+                    return Ok(Expr::Literal(Literal::Bool(lower == "true")));
+                }
+                if lower == "previous" {
+                    self.bump();
+                    let var = self.expect_ident()?;
+                    self.expect_tok(TokenKind::Dot)?;
+                    let attr = self.expect_ident()?;
+                    return Ok(Expr::Attr { var, attr, previous: true });
+                }
+                if lower == "new"
+                    && matches!(
+                        self.tokens.get(self.at + 1).map(|t| &t.kind),
+                        Some(TokenKind::LParen)
+                    )
+                {
+                    self.bump();
+                    self.bump();
+                    let var = self.expect_ident()?;
+                    self.expect_tok(TokenKind::RParen)?;
+                    return Ok(Expr::New { var });
+                }
+                // var.attr
+                self.bump();
+                self.expect_tok(TokenKind::Dot)?;
+                let attr = self.expect_ident()?;
+                Ok(Expr::Attr { var: word, attr, previous: false })
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_relation() {
+        let c = parse_command("create emp (name = string, age = int, salary = float)")
+            .unwrap();
+        match c {
+            Command::CreateRelation { name, attrs } => {
+                assert_eq!(name, "emp");
+                assert_eq!(attrs.len(), 3);
+                assert_eq!(attrs[1], ("age".to_string(), AttrType::Int));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_append_with_constants() {
+        let c = parse_command(
+            r#"append emp(name="Sue", age=27, sal=55000, dno=12)"#,
+        )
+        .unwrap();
+        match c {
+            Command::Append { target, assignments, .. } => {
+                assert_eq!(target, "emp");
+                assert_eq!(assignments.len(), 4);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_replace_with_where() {
+        let c = parse_command(r#"replace emp (name="bob") where emp.name = "Sue""#)
+            .unwrap();
+        match c {
+            Command::Replace { var, assignments, qual, .. } => {
+                assert_eq!(var, "emp");
+                assert_eq!(assignments.len(), 1);
+                assert!(qual.is_some());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_retrieve_targets() {
+        let c = parse_command(
+            "retrieve into result (emp.all, total = emp.sal + 10) from emp in employees where emp.sal > 100",
+        )
+        .unwrap();
+        match c {
+            Command::Retrieve { into, targets, from, qual } => {
+                assert_eq!(into.as_deref(), Some("result"));
+                assert_eq!(targets.len(), 2);
+                assert!(matches!(&targets[0], Target::All { var } if var == "emp"));
+                assert!(matches!(&targets[1], Target::Expr { name, .. } if name == "total"));
+                assert_eq!(from, vec![FromItem { var: "emp".into(), rel: "employees".into() }]);
+                assert!(qual.is_some());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_do_block() {
+        let c = parse_command(
+            r#"do append emp(name="a") replace emp (name="b") where emp.name = "a" end"#,
+        )
+        .unwrap();
+        match c {
+            Command::Block(cmds) => assert_eq!(cmds.len(), 2),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_blocks_rejected() {
+        let r = parse_command("do do halt end end");
+        assert!(matches!(r, Err(QueryError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_rule_nobobs() {
+        let c = parse_command(
+            r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#,
+        )
+        .unwrap();
+        match c {
+            Command::DefineRule(r) => {
+                assert_eq!(r.name, "NoBobs");
+                assert_eq!(
+                    r.on,
+                    Some(EventSpec { kind: EventKind::Append, relation: "emp".into() })
+                );
+                assert!(r.condition.is_some());
+                assert_eq!(r.action.len(), 1);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rule_raiselimit_with_previous() {
+        let c = parse_command(
+            "define rule raiselimit if emp.sal > 1.1 * previous emp.sal \
+             then append to salaryerror(name=emp.name, old=previous emp.sal, new=emp.sal)",
+        )
+        .unwrap();
+        match c {
+            Command::DefineRule(r) => {
+                assert!(r.condition.unwrap().has_previous_ref("emp"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rule_finddemotions_full() {
+        let c = parse_command(
+            "define rule finddemotions on replace emp(jno) \
+             if newjob.jno = emp.jno and oldjob.jno = previous emp.jno and newjob.paygrade < oldjob.paygrade \
+             from oldjob in job, newjob in job \
+             then append to demotions (name=emp.name, dno=emp.dno, oldjno=oldjob.jno, newjno=newjob.jno)",
+        )
+        .unwrap();
+        match c {
+            Command::DefineRule(r) => {
+                assert_eq!(
+                    r.on,
+                    Some(EventSpec {
+                        kind: EventKind::Replace(Some(vec!["jno".into()])),
+                        relation: "emp".into()
+                    })
+                );
+                assert_eq!(r.cond_from.len(), 2);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rule_with_priority_and_ruleset() {
+        let c = parse_command(
+            "define rule r1 in payroll priority 10 if emp.sal > 100 then halt",
+        )
+        .unwrap();
+        match c {
+            Command::DefineRule(r) => {
+                assert_eq!(r.ruleset.as_deref(), Some("payroll"));
+                assert_eq!(r.priority, Some(10.0));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rule_with_block_action() {
+        let c = parse_command(
+            "define rule r2 if emp.sal > 30000 then do \
+               append to salarywatch(name = emp.name) \
+               replace emp (sal = 30000) \
+             end",
+        )
+        .unwrap();
+        match c {
+            Command::DefineRule(r) => assert_eq!(r.action.len(), 2),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule_without_on_or_if_rejected() {
+        assert!(parse_command("define rule bad then halt").is_err());
+    }
+
+    #[test]
+    fn parse_new_predicate() {
+        let e = parse_expr("new(emp)").unwrap();
+        assert_eq!(e, Expr::New { var: "emp".into() });
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("emp.a + emp.b * 2 = 10 and emp.c < 5 or emp.d > 1").unwrap();
+        // or at top
+        let Expr::Binary { op: BinOp::Or, left, .. } = e else {
+            panic!("expected or at top");
+        };
+        let Expr::Binary { op: BinOp::And, left: cmp, .. } = *left else {
+            panic!("expected and under or");
+        };
+        let Expr::Binary { op: BinOp::Eq, left: add, .. } = *cmp else {
+            panic!("expected = under and");
+        };
+        let Expr::Binary { op: BinOp::Add, right: mul, .. } = *add else {
+            panic!("expected + under =");
+        };
+        assert!(matches!(*mul, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn not_and_negation() {
+        let e = parse_expr("not emp.flag = true").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        let e = parse_expr("-emp.x < 0").unwrap();
+        let Expr::Binary { left, .. } = e else { panic!() };
+        assert!(matches!(*left, Expr::Unary { op: UnaryOp::Neg, .. }));
+    }
+
+    #[test]
+    fn parse_script_multiple() {
+        let cmds = parse_script("create t (x = int); append t (x = 1); halt").unwrap();
+        assert_eq!(cmds.len(), 3);
+    }
+
+    #[test]
+    fn parse_index_ddl() {
+        let c = parse_command("define index on emp (sal) using btree").unwrap();
+        assert!(matches!(
+            c,
+            Command::CreateIndex { kind: IndexKind::BTree, .. }
+        ));
+        let c = parse_command("define index on emp (dno) using hash").unwrap();
+        assert!(matches!(c, Command::CreateIndex { kind: IndexKind::Hash, .. }));
+    }
+
+    #[test]
+    fn activate_deactivate_drop() {
+        assert!(matches!(
+            parse_command("activate rule r").unwrap(),
+            Command::ActivateRule { .. }
+        ));
+        assert!(matches!(
+            parse_command("deactivate rule r").unwrap(),
+            Command::DeactivateRule { .. }
+        ));
+        assert!(matches!(
+            parse_command("destroy rule r").unwrap(),
+            Command::DropRule { .. }
+        ));
+    }
+
+    #[test]
+    fn where_before_from_accepted() {
+        let c = parse_command("delete e where e.x = 1 from e in t").unwrap();
+        match c {
+            Command::Delete { var, from, qual } => {
+                assert_eq!(var, "e");
+                assert_eq!(from.len(), 1);
+                assert!(qual.is_some());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The lexer+parser must never panic — any byte soup either parses
+        /// or returns a structured error.
+        #[test]
+        fn parser_never_panics(src in "\\PC{0,120}") {
+            let _ = parse_script(&src);
+            let _ = parse_expr(&src);
+        }
+
+        /// ARL-shaped noise: random keyword salads stay panic-free too.
+        #[test]
+        fn keyword_salad_never_panics(
+            words in proptest::collection::vec(
+                prop_oneof![
+                    Just("define"), Just("rule"), Just("on"), Just("if"),
+                    Just("then"), Just("do"), Just("end"), Just("append"),
+                    Just("delete"), Just("replace"), Just("retrieve"),
+                    Just("where"), Just("from"), Just("previous"), Just("new"),
+                    Just("("), Just(")"), Just("="), Just("<"), Just("."),
+                    Just("emp"), Just("sal"), Just("1"), Just("\"x\""),
+                    Just("and"), Just("halt"), Just("notify"), Just(","),
+                ],
+                0..25,
+            )
+        ) {
+            let src = words.join(" ");
+            let _ = parse_script(&src);
+        }
+    }
+}

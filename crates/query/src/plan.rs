@@ -1,0 +1,214 @@
+//! Physical query plans.
+//!
+//! The shapes follow the paper's executor: `SeqScan`, `IndexScan`, the
+//! special `PnodeScan` operator for rule-action commands (§5.2, Fig. 8),
+//! `NestedLoopJoin` (with an index-probing variant) and `SortMergeJoin`.
+
+use crate::semantic::RExpr;
+use ariel_storage::Value;
+use std::fmt;
+use std::ops::Bound;
+
+/// How an index scan probes its index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexKey {
+    /// Equality probe with a plan-time constant.
+    Eq(Value),
+    /// Range probe (B-tree only).
+    Range(Bound<Value>, Bound<Value>),
+}
+
+/// A physical plan node. Executing a plan yields [`crate::binding::Row`]s
+/// with the node's variable slots bound.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Scan every live tuple of a relation, binding `var`.
+    SeqScan {
+        /// Relation to scan.
+        rel: String,
+        /// Variable slot to bind.
+        var: usize,
+        /// Residual predicate applied per tuple.
+        filter: Option<RExpr>,
+    },
+    /// Probe an index on `rel.attr`, binding `var`.
+    IndexScan {
+        /// Relation to probe.
+        rel: String,
+        /// Variable slot to bind.
+        var: usize,
+        /// Indexed attribute position.
+        attr: usize,
+        /// Probe key (point or range).
+        key: IndexKey,
+        /// Residual predicate applied per hit.
+        filter: Option<RExpr>,
+    },
+    /// Scan the rule's P-node, binding every listed `(var, pnode column)`
+    /// pair at once (§5.2: "the optimizer always generates a PnodeScan to
+    /// find tuples to be bound to P").
+    PnodeScan {
+        /// (variable slot, P-node column) pairs bound per row.
+        binds: Vec<(usize, usize)>,
+        /// Residual predicate applied per row.
+        filter: Option<RExpr>,
+    },
+    /// Nested-loop join; `cond` is evaluated over the merged row.
+    NestedLoop {
+        /// Outer input.
+        left: Box<Plan>,
+        /// Inner input (materialized once).
+        right: Box<Plan>,
+        /// Join condition over the merged row.
+        cond: Option<RExpr>,
+    },
+    /// Index nested-loop join: for each left row, probe `rel`'s index on
+    /// `attr` with the value of `key_expr` (evaluated over the left row),
+    /// binding `var`; then apply `filter` (single-var) and `cond` (cross).
+    IndexedLoop {
+        /// Outer input.
+        left: Box<Plan>,
+        /// Probed relation.
+        rel: String,
+        /// Variable slot bound by each probe hit.
+        var: usize,
+        /// Indexed attribute position.
+        attr: usize,
+        /// Probe-key expression over the outer row.
+        key_expr: RExpr,
+        /// Single-variable predicate on the probed tuple.
+        filter: Option<RExpr>,
+        /// Remaining join condition over the merged row.
+        cond: Option<RExpr>,
+    },
+    /// Sort-merge equi-join on `left_key = right_key`.
+    SortMergeJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Left join-key expression.
+        left_key: RExpr,
+        /// Right join-key expression.
+        right_key: RExpr,
+        /// Residual predicate over the merged row.
+        residual: Option<RExpr>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate rows must satisfy.
+        pred: RExpr,
+    },
+}
+
+impl Plan {
+    /// Estimated output cardinality recorded by the optimizer (used in
+    /// tests and EXPLAIN output); plans carry no estimate themselves, so
+    /// this walks the tree for a human-readable summary instead.
+    pub fn node_name(&self) -> &'static str {
+        match self {
+            Plan::SeqScan { .. } => "SeqScan",
+            Plan::IndexScan { .. } => "IndexScan",
+            Plan::PnodeScan { .. } => "PnodeScan",
+            Plan::NestedLoop { .. } => "NestedLoopJoin",
+            Plan::IndexedLoop { .. } => "IndexedLoopJoin",
+            Plan::SortMergeJoin { .. } => "SortMergeJoin",
+            Plan::Filter { .. } => "Filter",
+        }
+    }
+
+    /// All node names in pre-order, for plan-shape assertions in tests.
+    pub fn shape(&self) -> Vec<&'static str> {
+        let mut out = vec![self.node_name()];
+        match self {
+            Plan::NestedLoop { left, right, .. }
+            | Plan::SortMergeJoin { left, right, .. } => {
+                out.extend(left.shape());
+                out.extend(right.shape());
+            }
+            Plan::IndexedLoop { left, .. } => out.extend(left.shape()),
+            Plan::Filter { input, .. } => out.extend(input.shape()),
+            _ => {}
+        }
+        out
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::SeqScan { rel, var, filter } => {
+                write!(f, "{pad}SeqScan {rel} (var {var})")?;
+                if filter.is_some() {
+                    write!(f, " [filtered]")?;
+                }
+                writeln!(f)
+            }
+            Plan::IndexScan { rel, var, attr, key, filter } => {
+                let k = match key {
+                    IndexKey::Eq(v) => format!("= {v}"),
+                    IndexKey::Range(..) => "range".to_string(),
+                };
+                write!(f, "{pad}IndexScan {rel}.#{attr} {k} (var {var})")?;
+                if filter.is_some() {
+                    write!(f, " [filtered]")?;
+                }
+                writeln!(f)
+            }
+            Plan::PnodeScan { binds, filter } => {
+                write!(f, "{pad}PnodeScan vars {:?}", binds)?;
+                if filter.is_some() {
+                    write!(f, " [filtered]")?;
+                }
+                writeln!(f)
+            }
+            Plan::NestedLoop { left, right, .. } => {
+                writeln!(f, "{pad}NestedLoopJoin")?;
+                left.fmt_indent(f, depth + 1)?;
+                right.fmt_indent(f, depth + 1)
+            }
+            Plan::IndexedLoop { left, rel, attr, var, .. } => {
+                writeln!(f, "{pad}IndexedLoopJoin probe {rel}.#{attr} (var {var})")?;
+                left.fmt_indent(f, depth + 1)
+            }
+            Plan::SortMergeJoin { left, right, .. } => {
+                writeln!(f, "{pad}SortMergeJoin")?;
+                left.fmt_indent(f, depth + 1)?;
+                right.fmt_indent(f, depth + 1)
+            }
+            Plan::Filter { input, .. } => {
+                writeln!(f, "{pad}Filter")?;
+                input.fmt_indent(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_walks_tree() {
+        let p = Plan::NestedLoop {
+            left: Box::new(Plan::PnodeScan { binds: vec![(0, 0)], filter: None }),
+            right: Box::new(Plan::SeqScan {
+                rel: "dept".into(),
+                var: 1,
+                filter: None,
+            }),
+            cond: None,
+        };
+        assert_eq!(p.shape(), vec!["NestedLoopJoin", "PnodeScan", "SeqScan"]);
+        let text = p.to_string();
+        assert!(text.contains("NestedLoopJoin"));
+        assert!(text.contains("SeqScan dept"));
+    }
+}

@@ -1,0 +1,139 @@
+//! The relation catalog: named relations, creation and destruction.
+//!
+//! The engine is single-threaded (as the paper's prototype was), so shared
+//! handles are `Rc<RefCell<Relation>>`: the executor reads several relations
+//! while the DML layer mutates one, and the discrimination network's virtual
+//! α-memories scan base relations mid-token-propagation.
+
+use crate::error::{StorageError, StorageResult};
+use crate::relation::Relation;
+use crate::schema::SchemaRef;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Shared, interior-mutable handle to a relation.
+pub type RelRef = Rc<RefCell<Relation>>;
+
+/// Named collection of relations.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, RelRef>,
+}
+
+impl Catalog {
+    /// New empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Create a relation. Errors if the name is taken.
+    pub fn create(&mut self, name: &str, schema: SchemaRef) -> StorageResult<RelRef> {
+        if self.relations.contains_key(name) {
+            return Err(StorageError::RelationExists(name.to_string()));
+        }
+        let rel = Rc::new(RefCell::new(Relation::new(name, schema)));
+        self.relations.insert(name.to_string(), rel.clone());
+        Ok(rel)
+    }
+
+    /// Destroy a relation. Errors if it does not exist.
+    pub fn destroy(&mut self, name: &str) -> StorageResult<()> {
+        self.relations
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NoSuchRelation(name.to_string()))
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<RelRef> {
+        self.relations.get(name).cloned()
+    }
+
+    /// Look up a relation by name, or a typed error.
+    pub fn require(&self, name: &str) -> StorageResult<RelRef> {
+        self.get(name)
+            .ok_or_else(|| StorageError::NoSuchRelation(name.to_string()))
+    }
+
+    /// True iff a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff no relations exist.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[("x", AttrType::Int)])
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut c = Catalog::new();
+        c.create("emp", schema()).unwrap();
+        assert!(c.contains("emp"));
+        assert!(c.get("emp").is_some());
+        assert_eq!(c.require("emp").unwrap().borrow().name(), "emp");
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut c = Catalog::new();
+        c.create("emp", schema()).unwrap();
+        assert!(matches!(
+            c.create("emp", schema()),
+            Err(StorageError::RelationExists(_))
+        ));
+    }
+
+    #[test]
+    fn destroy_removes() {
+        let mut c = Catalog::new();
+        c.create("emp", schema()).unwrap();
+        c.destroy("emp").unwrap();
+        assert!(!c.contains("emp"));
+        assert!(matches!(
+            c.destroy("emp"),
+            Err(StorageError::NoSuchRelation(_))
+        ));
+    }
+
+    #[test]
+    fn handles_alias_same_relation() {
+        let mut c = Catalog::new();
+        c.create("emp", schema()).unwrap();
+        let a = c.get("emp").unwrap();
+        let b = c.get("emp").unwrap();
+        a.borrow_mut().insert(vec![1i64.into()]).unwrap();
+        assert_eq!(b.borrow().len(), 1);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.create("zeta", schema()).unwrap();
+        c.create("alpha", schema()).unwrap();
+        assert_eq!(c.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+}

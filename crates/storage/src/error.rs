@@ -1,0 +1,68 @@
+//! Error type for the storage substrate.
+
+use crate::schema::AttrType;
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Schema construction failed (duplicate / empty attribute names).
+    InvalidSchema(String),
+    /// Named attribute does not exist in the schema.
+    NoSuchAttribute(String),
+    /// Row has the wrong number of values for the schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// Value type not admissible for the declared attribute type.
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Declared attribute type.
+        expected: AttrType,
+        /// Runtime type supplied.
+        got: &'static str,
+    },
+    /// Named relation does not exist in the catalog.
+    NoSuchRelation(String),
+    /// Relation already exists in the catalog.
+    RelationExists(String),
+    /// Tuple identifier does not reference a live tuple.
+    DanglingTid(u64),
+    /// An index already exists on the given attribute.
+    IndexExists {
+        /// Relation name.
+        relation: String,
+        /// Attribute name.
+        attr: String,
+    },
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            StorageError::NoSuchAttribute(a) => write!(f, "no such attribute: {a}"),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} values, got {got}")
+            }
+            StorageError::TypeMismatch { attr, expected, got } => {
+                write!(f, "type mismatch on `{attr}`: expected {expected}, got {got}")
+            }
+            StorageError::NoSuchRelation(r) => write!(f, "no such relation: {r}"),
+            StorageError::RelationExists(r) => write!(f, "relation already exists: {r}"),
+            StorageError::DanglingTid(t) => write!(f, "dangling tuple id: {t}"),
+            StorageError::IndexExists { relation, attr } => {
+                write!(f, "index already exists on {relation}({attr})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

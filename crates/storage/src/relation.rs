@@ -1,0 +1,350 @@
+//! Heap relations: slotted tuple storage with stable TIDs and maintained
+//! secondary indexes.
+
+use crate::error::{StorageError, StorageResult};
+use crate::index::{Index, IndexKind};
+use crate::schema::SchemaRef;
+use crate::tuple::{Tid, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// An in-memory relation.
+///
+/// Storage is a slotted vector: deleted slots go on a free list and are
+/// reused, but TIDs are never reused, so a TID held in a P-node or an
+/// α-memory either resolves to the same logical tuple or to nothing.
+#[derive(Debug)]
+pub struct Relation {
+    name: String,
+    schema: SchemaRef,
+    slots: Vec<Option<(Tid, Tuple)>>,
+    free: Vec<usize>,
+    tid_to_slot: HashMap<u64, usize>,
+    next_tid: u64,
+    indexes: Vec<Index>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, schema: SchemaRef) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            tid_to_slot: HashMap::new(),
+            next_tid: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema handle.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.tid_to_slot.len()
+    }
+
+    /// True iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tid_to_slot.is_empty()
+    }
+
+    /// Insert a row, returning the new tuple's TID.
+    /// The row is schema-checked and widening-coerced.
+    pub fn insert(&mut self, row: Vec<Value>) -> StorageResult<Tid> {
+        let row = self.schema.check_row(row)?;
+        let tuple = Tuple::new(row);
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some((tid, tuple.clone()));
+                s
+            }
+            None => {
+                self.slots.push(Some((tid, tuple.clone())));
+                self.slots.len() - 1
+            }
+        };
+        self.tid_to_slot.insert(tid.0, slot);
+        for ix in &mut self.indexes {
+            ix.insert(tuple.get(ix.attr()).clone(), tid);
+        }
+        Ok(tid)
+    }
+
+    /// Fetch a live tuple by TID.
+    pub fn get(&self, tid: Tid) -> Option<&Tuple> {
+        let slot = *self.tid_to_slot.get(&tid.0)?;
+        self.slots[slot].as_ref().map(|(_, t)| t)
+    }
+
+    /// Delete a tuple by TID, returning the removed tuple.
+    pub fn delete(&mut self, tid: Tid) -> StorageResult<Tuple> {
+        let slot = self
+            .tid_to_slot
+            .remove(&tid.0)
+            .ok_or(StorageError::DanglingTid(tid.0))?;
+        let (_, tuple) = self.slots[slot].take().expect("live slot");
+        self.free.push(slot);
+        for ix in &mut self.indexes {
+            ix.remove(tuple.get(ix.attr()), tid);
+        }
+        Ok(tuple)
+    }
+
+    /// Replace a tuple in place (same TID), returning the old tuple.
+    /// The new row is schema-checked.
+    pub fn update(&mut self, tid: Tid, row: Vec<Value>) -> StorageResult<Tuple> {
+        let row = self.schema.check_row(row)?;
+        let slot = *self
+            .tid_to_slot
+            .get(&tid.0)
+            .ok_or(StorageError::DanglingTid(tid.0))?;
+        let new_tuple = Tuple::new(row);
+        let (_, old) = self.slots[slot].take().expect("live slot");
+        for ix in &mut self.indexes {
+            ix.remove(old.get(ix.attr()), tid);
+            ix.insert(new_tuple.get(ix.attr()).clone(), tid);
+        }
+        self.slots[slot] = Some((tid, new_tuple));
+        Ok(old)
+    }
+
+    /// Iterate all live tuples in slot order.
+    pub fn scan(&self) -> impl Iterator<Item = (Tid, &Tuple)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(tid, t)| (*tid, t)))
+    }
+
+    /// Create a secondary index on `attr`. Backfills existing tuples.
+    pub fn create_index(&mut self, attr: &str, kind: IndexKind) -> StorageResult<()> {
+        let pos = self.schema.require(attr)?;
+        if self.indexes.iter().any(|ix| ix.attr() == pos) {
+            return Err(StorageError::IndexExists {
+                relation: self.name.clone(),
+                attr: attr.to_string(),
+            });
+        }
+        let mut ix = Index::new(pos, kind);
+        for (tid, t) in self
+            .slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(tid, t)| (*tid, t)))
+        {
+            ix.insert(t.get(pos).clone(), tid);
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Index on attribute position, if one exists.
+    pub fn index_on(&self, attr: usize) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.attr() == attr)
+    }
+
+    /// Equality index probe: live tuples whose `attr` equals `key`,
+    /// if an index on `attr` exists.
+    pub fn probe_eq(&self, attr: usize, key: &Value) -> Option<Vec<(Tid, &Tuple)>> {
+        let ix = self.index_on(attr)?;
+        Some(
+            ix.probe_eq(key)
+                .into_iter()
+                .filter_map(|tid| self.get(tid).map(|t| (tid, t)))
+                .collect(),
+        )
+    }
+
+    /// Range index probe via a B-tree index on `attr`, if one exists.
+    pub fn probe_range(
+        &self,
+        attr: usize,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Option<Vec<(Tid, &Tuple)>> {
+        let ix = self.index_on(attr)?;
+        let tids = ix.probe_range(lo, hi)?;
+        Some(
+            tids.into_iter()
+                .filter_map(|tid| self.get(tid).map(|t| (tid, t)))
+                .collect(),
+        )
+    }
+
+    /// Approximate heap footprint of the live tuples, in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.scan().map(|(_, t)| t.heap_size()).sum()
+    }
+
+    /// Remove every tuple (used by `destroy`/reset paths). TIDs are not
+    /// reused afterwards.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.tid_to_slot.clear();
+        let kinds: Vec<(usize, IndexKind)> =
+            self.indexes.iter().map(|ix| (ix.attr(), ix.kind())).collect();
+        self.indexes = kinds
+            .into_iter()
+            .map(|(attr, kind)| Index::new(attr, kind))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+
+    fn emp() -> Relation {
+        Relation::new(
+            "emp",
+            Schema::of(&[
+                ("name", AttrType::Str),
+                ("sal", AttrType::Float),
+                ("dno", AttrType::Int),
+            ]),
+        )
+    }
+
+    fn row(name: &str, sal: f64, dno: i64) -> Vec<Value> {
+        vec![name.into(), sal.into(), dno.into()]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut r = emp();
+        let tid = r.insert(row("alice", 50_000.0, 1)).unwrap();
+        let t = r.get(tid).unwrap();
+        assert_eq!(t.get(0), &Value::from("alice"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn delete_frees_slot_but_not_tid() {
+        let mut r = emp();
+        let t1 = r.insert(row("a", 1.0, 1)).unwrap();
+        r.delete(t1).unwrap();
+        assert!(r.get(t1).is_none());
+        let t2 = r.insert(row("b", 2.0, 2)).unwrap();
+        assert_ne!(t1, t2, "tids are never reused");
+        assert_eq!(r.len(), 1);
+        // slot was reused: underlying vector did not grow
+        assert_eq!(r.slots.len(), 1);
+    }
+
+    #[test]
+    fn delete_dangling_errors() {
+        let mut r = emp();
+        assert!(matches!(r.delete(Tid(42)), Err(StorageError::DanglingTid(42))));
+    }
+
+    #[test]
+    fn update_preserves_tid() {
+        let mut r = emp();
+        let tid = r.insert(row("a", 1.0, 1)).unwrap();
+        let old = r.update(tid, row("a", 9.0, 1)).unwrap();
+        assert_eq!(old.get(1), &Value::Float(1.0));
+        assert_eq!(r.get(tid).unwrap().get(1), &Value::Float(9.0));
+    }
+
+    #[test]
+    fn scan_skips_deleted() {
+        let mut r = emp();
+        let t1 = r.insert(row("a", 1.0, 1)).unwrap();
+        let _t2 = r.insert(row("b", 2.0, 2)).unwrap();
+        r.delete(t1).unwrap();
+        let names: Vec<_> = r.scan().map(|(_, t)| t.get(0).clone()).collect();
+        assert_eq!(names, vec![Value::from("b")]);
+    }
+
+    #[test]
+    fn index_maintained_across_dml() {
+        let mut r = emp();
+        r.create_index("dno", IndexKind::Hash).unwrap();
+        let t1 = r.insert(row("a", 1.0, 7)).unwrap();
+        let t2 = r.insert(row("b", 2.0, 7)).unwrap();
+        assert_eq!(r.probe_eq(2, &Value::Int(7)).unwrap().len(), 2);
+        r.update(t1, row("a", 1.0, 8)).unwrap();
+        assert_eq!(r.probe_eq(2, &Value::Int(7)).unwrap().len(), 1);
+        r.delete(t2).unwrap();
+        assert!(r.probe_eq(2, &Value::Int(7)).unwrap().is_empty());
+        assert_eq!(r.probe_eq(2, &Value::Int(8)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn index_backfills_existing_tuples() {
+        let mut r = emp();
+        r.insert(row("a", 1.0, 3)).unwrap();
+        r.insert(row("b", 2.0, 3)).unwrap();
+        r.create_index("dno", IndexKind::BTree).unwrap();
+        assert_eq!(r.probe_eq(2, &Value::Int(3)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut r = emp();
+        r.create_index("dno", IndexKind::Hash).unwrap();
+        assert!(matches!(
+            r.create_index("dno", IndexKind::BTree),
+            Err(StorageError::IndexExists { .. })
+        ));
+    }
+
+    #[test]
+    fn range_probe_through_relation() {
+        let mut r = emp();
+        r.create_index("sal", IndexKind::BTree).unwrap();
+        for i in 0..10 {
+            r.insert(row("e", (i * 1000) as f64, i)).unwrap();
+        }
+        let lo = Value::Float(2000.0);
+        let hi = Value::Float(5000.0);
+        let hits = r
+            .probe_range(1, Bound::Excluded(&lo), Bound::Included(&hi))
+            .unwrap();
+        assert_eq!(hits.len(), 3); // 3000, 4000, 5000
+    }
+
+    #[test]
+    fn insert_rejects_bad_row() {
+        let mut r = emp();
+        assert!(r.insert(vec![Value::Int(1)]).is_err());
+        assert!(r
+            .insert(vec![Value::Int(1), Value::Float(0.0), Value::Int(0)])
+            .is_err());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_index_defs() {
+        let mut r = emp();
+        r.create_index("dno", IndexKind::Hash).unwrap();
+        r.insert(row("a", 1.0, 1)).unwrap();
+        r.clear();
+        assert!(r.is_empty());
+        let tid = r.insert(row("b", 2.0, 5)).unwrap();
+        assert_eq!(r.probe_eq(2, &Value::Int(5)).unwrap(), vec![(tid, r.get(tid).unwrap())]);
+    }
+
+    #[test]
+    fn heap_size_tracks_tuples() {
+        let mut r = emp();
+        assert_eq!(r.heap_size(), 0);
+        r.insert(row("a", 1.0, 1)).unwrap();
+        let one = r.heap_size();
+        r.insert(row("b", 2.0, 2)).unwrap();
+        assert!(r.heap_size() > one);
+    }
+}

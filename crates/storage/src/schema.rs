@@ -1,0 +1,264 @@
+//! Relation schemas: attribute names, declared types, and lookup.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Boolean attribute.
+    Bool,
+    /// 64-bit signed integer attribute.
+    Int,
+    /// 64-bit IEEE float attribute.
+    Float,
+    /// Variable-length string attribute.
+    Str,
+}
+
+impl AttrType {
+    /// Whether a runtime value is admissible for this declared type.
+    /// `Null` is admissible everywhere; `Int` widens into `Float` columns.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (AttrType::Bool, Value::Bool(_))
+                | (AttrType::Int, Value::Int(_))
+                | (AttrType::Float, Value::Float(_))
+                | (AttrType::Float, Value::Int(_))
+                | (AttrType::Str, Value::Str(_))
+        )
+    }
+
+    /// Coerce a value into the declared type where a lossless widening
+    /// exists (`Int` → `Float`); otherwise return the value unchanged.
+    pub fn coerce(&self, v: Value) -> Value {
+        match (self, v) {
+            (AttrType::Float, Value::Int(i)) => Value::Float(i as f64),
+            (_, v) => v,
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Bool => "bool",
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Str => "string",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One attribute definition in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl AttrDef {
+    /// Build an attribute definition.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        AttrDef { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of attribute definitions.
+///
+/// Schemas are shared (`Arc`) between the relation, its indexes, plan nodes
+/// and discrimination-network nodes; they are immutable once created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+}
+
+/// Shared handle to a schema.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from attribute definitions. Attribute names must be
+    /// non-empty and unique.
+    pub fn new(attrs: Vec<AttrDef>) -> StorageResult<Self> {
+        for (i, a) in attrs.iter().enumerate() {
+            if a.name.is_empty() {
+                return Err(StorageError::InvalidSchema("empty attribute name".into()));
+            }
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(StorageError::InvalidSchema(format!(
+                    "duplicate attribute name `{}`",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on invalid
+    /// input, intended for tests and examples.
+    pub fn of(pairs: &[(&str, AttrType)]) -> SchemaRef {
+        Arc::new(
+            Schema::new(pairs.iter().map(|(n, t)| AttrDef::new(*n, *t)).collect())
+                .expect("valid schema"),
+        )
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attribute definitions, in declaration order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Position of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Position of an attribute by name, or a typed error naming the
+    /// attribute.
+    pub fn require(&self, name: &str) -> StorageResult<usize> {
+        self.index_of(name)
+            .ok_or_else(|| StorageError::NoSuchAttribute(name.to_string()))
+    }
+
+    /// Attribute definition at a position.
+    pub fn attr(&self, idx: usize) -> &AttrDef {
+        &self.attrs[idx]
+    }
+
+    /// Concatenate two schemas (used for join outputs and for the
+    /// new/old pair tuples carried by Δ-tokens). Name collisions are
+    /// disambiguated by the caller via prefixes.
+    pub fn concat(&self, other: &Schema, prefix_a: &str, prefix_b: &str) -> SchemaRef {
+        let mut attrs = Vec::with_capacity(self.arity() + other.arity());
+        for a in &self.attrs {
+            attrs.push(AttrDef::new(format!("{prefix_a}{}", a.name), a.ty));
+        }
+        for a in &other.attrs {
+            attrs.push(AttrDef::new(format!("{prefix_b}{}", a.name), a.ty));
+        }
+        Arc::new(Schema { attrs })
+    }
+
+    /// Validate that a row of values is admissible under this schema and
+    /// coerce widening conversions. Returns the coerced row.
+    pub fn check_row(&self, row: Vec<Value>) -> StorageResult<Vec<Value>> {
+        if row.len() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        row.into_iter()
+            .zip(&self.attrs)
+            .map(|(v, a)| {
+                let v = a.ty.coerce(v);
+                if a.ty.admits(&v) {
+                    Ok(v)
+                } else {
+                    Err(StorageError::TypeMismatch {
+                        attr: a.name.clone(),
+                        expected: a.ty,
+                        got: v.type_name(),
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::new("name", AttrType::Str),
+            AttrDef::new("age", AttrType::Int),
+            AttrDef::new("salary", AttrType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = emp_schema();
+        assert_eq!(s.index_of("age"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.require("salary").is_ok());
+        assert!(matches!(
+            s.require("nope"),
+            Err(StorageError::NoSuchAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            AttrDef::new("a", AttrType::Int),
+            AttrDef::new("a", AttrType::Int),
+        ]);
+        assert!(matches!(r, Err(StorageError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let r = Schema::new(vec![AttrDef::new("", AttrType::Int)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn check_row_coerces_int_to_float() {
+        let s = emp_schema();
+        let row = s
+            .check_row(vec!["bob".into(), Value::Int(30), Value::Int(100)])
+            .unwrap();
+        assert_eq!(row[2], Value::Float(100.0));
+    }
+
+    #[test]
+    fn check_row_rejects_bad_type() {
+        let s = emp_schema();
+        let r = s.check_row(vec![Value::Int(1), Value::Int(30), Value::Int(1)]);
+        assert!(matches!(r, Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn check_row_rejects_bad_arity() {
+        let s = emp_schema();
+        let r = s.check_row(vec![Value::Int(1)]);
+        assert!(matches!(
+            r,
+            Err(StorageError::ArityMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn null_admissible_everywhere() {
+        let s = emp_schema();
+        let row = s
+            .check_row(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        assert!(row.iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn concat_prefixes_names() {
+        let s = emp_schema();
+        let pair = s.concat(&s, "new_", "old_");
+        assert_eq!(pair.arity(), 6);
+        assert_eq!(pair.attr(0).name, "new_name");
+        assert_eq!(pair.attr(3).name, "old_name");
+    }
+}

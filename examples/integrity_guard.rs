@@ -1,0 +1,86 @@
+//! Integrity constraints as production rules — the classic active-database
+//! use case (Stonebraker's query-modification lineage the paper builds on).
+//!
+//! * domain constraint: nobody named "Bob" may exist (`NoBobs2`, §2.2.2);
+//! * value constraint: salaries are capped, violations are clamped;
+//! * referential integrity: deleting a department cascades to its
+//!   employees; orphaned employees are impossible.
+//!
+//! Run with `cargo run --example integrity_guard`.
+
+use ariel::Ariel;
+
+fn main() {
+    let mut db = Ariel::new();
+    db.execute(
+        "create emp (name = string, sal = float, dno = int); \
+         create dept (dno = int, name = string); \
+         create violations (what = string, who = string)",
+    )
+    .expect("schema");
+
+    // Domain constraint, pure pattern form: fires on append AND on rename.
+    db.execute(
+        r#"define rule NoBobs2 priority 10 if emp.name = "Bob" then do
+             append to violations(what = "forbidden name", who = emp.name)
+             delete emp
+           end"#,
+    )
+    .expect("NoBobs2");
+
+    // Value constraint: clamp salaries above 200k, log the violation.
+    db.execute(
+        r#"define rule salary_cap priority 9 if emp.sal > 200000 then do
+             append to violations(what = "salary cap", who = emp.name)
+             replace emp (sal = 200000)
+           end"#,
+    )
+    .expect("salary_cap");
+
+    // Referential action: ON DELETE CASCADE for dept -> emp.
+    db.execute(
+        "define rule cascade_dept on delete dept \
+         then delete e from e in emp where e.dno = dept.dno",
+    )
+    .expect("cascade");
+
+    db.execute(
+        r#"append dept (dno = 1, name = "Sales");
+           append dept (dno = 2, name = "Toy")"#,
+    )
+    .expect("depts");
+
+    println!("== inserting employees (one of them violates two constraints) ==");
+    db.execute(r#"append emp (name = "Ann", sal = 90000, dno = 1)"#).expect("ok");
+    db.execute(r#"append emp (name = "Bob", sal = 50000, dno = 1)"#).expect("bob");
+    db.execute(r#"append emp (name = "Cee", sal = 900000, dno = 2)"#).expect("cee");
+    dump(&mut db);
+
+    println!("\n== renaming someone to Bob (caught by the pattern rule) ==");
+    db.execute(r#"replace emp (name = "Bob") where emp.name = "Ann""#)
+        .expect("rename");
+    dump(&mut db);
+
+    println!("\n== deleting the Toy department (cascade) ==");
+    db.execute(r#"delete dept where dept.name = "Toy""#).expect("cascade");
+    dump(&mut db);
+
+    let v = db.query("retrieve (violations.all)").expect("violations");
+    println!("\nviolation log:");
+    for r in &v.rows {
+        println!("  {}: {}", r[0], r[1]);
+    }
+}
+
+fn dump(db: &mut Ariel) {
+    let out = db
+        .query("retrieve (emp.name, emp.sal, emp.dno)")
+        .expect("emps");
+    println!("employees now:");
+    if out.rows.is_empty() {
+        println!("  (none)");
+    }
+    for r in &out.rows {
+        println!("  {} sal={} dept={}", r[0], r[1], r[2]);
+    }
+}

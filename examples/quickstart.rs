@@ -1,0 +1,75 @@
+//! Quickstart: a five-minute tour of the Ariel active DBMS.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ariel::Ariel;
+
+fn main() {
+    let mut db = Ariel::new();
+
+    // 1. Plain relational DBMS: DDL + DML + queries (POSTQUEL subset).
+    db.execute(
+        "create emp (name = string, sal = float, dno = int); \
+         create dept (dno = int, name = string)",
+    )
+    .expect("ddl");
+    db.execute(
+        r#"append dept (dno = 1, name = "Sales");
+           append dept (dno = 2, name = "Toy");
+           append emp (name = "alice", sal = 42000, dno = 1);
+           append emp (name = "bob", sal = 39000, dno = 2)"#,
+    )
+    .expect("load");
+
+    let out = db
+        .query("retrieve (emp.name, dept.name) where emp.dno = dept.dno")
+        .expect("join");
+    println!("employees and their departments:");
+    for row in &out.rows {
+        println!("  {} works in {}", row[0], row[1]);
+    }
+
+    // 2. Active behaviour: a production rule with an event condition.
+    db.execute("create hires (name = string)").expect("ddl");
+    db.execute(
+        "define rule log_hires on append emp \
+         then append to hires(name = emp.name)",
+    )
+    .expect("rule");
+    db.execute(r#"append emp (name = "carol", sal = 50000, dno = 1)"#)
+        .expect("hire");
+    let hires = db.query("retrieve (hires.all)").expect("query");
+    println!("\nhires logged by rule: {:?}", hires.rows);
+
+    // 3. A transition condition using `previous` — the paper's raiselimit.
+    db.execute("create salaryerror (name = string, oldsal = float, newsal = float)")
+        .expect("ddl");
+    db.execute(
+        "define rule raiselimit if emp.sal > 1.1 * previous emp.sal \
+         then append to salaryerror(name = emp.name, \
+                                    oldsal = previous emp.sal, newsal = emp.sal)",
+    )
+    .expect("rule");
+    db.execute(r#"replace emp (sal = 60000) where emp.name = "carol""#)
+        .expect("raise");
+    let flagged = db.query("retrieve (salaryerror.all)").expect("query");
+    println!("\nsuspicious raises:");
+    for row in &flagged.rows {
+        println!("  {}: {} -> {}", row[0], row[1], row[2]);
+    }
+
+    // 4. Engine statistics.
+    let s = db.stats();
+    println!(
+        "\nengine: {} transitions, {} tokens matched, {} rule firings",
+        s.transitions, s.tokens, s.firings
+    );
+    let n = db.network_stats();
+    println!(
+        "network: {} rules, {} alpha-memory nodes ({} virtual), {} bytes of match state",
+        n.rules,
+        n.alpha_nodes,
+        n.virtual_alpha_nodes,
+        n.alpha_bytes + n.pnode_bytes
+    );
+}

@@ -1,0 +1,109 @@
+//! Payroll compliance monitor — the paper's motivating scenario (§2.3)
+//! scaled up: transition rules flag over-limit raises, a join-scoped rule
+//! watches one department, and an event+transition rule logs demotions.
+//!
+//! Run with `cargo run --example salary_watch`.
+
+use ariel::Ariel;
+
+fn main() {
+    let mut db = Ariel::new();
+    db.execute(
+        "create emp (name = string, age = int, sal = float, dno = int, jno = int); \
+         create dept (dno = int, name = string, building = string); \
+         create job (jno = int, title = string, paygrade = int, description = string); \
+         create salaryerror (name = string, oldsal = float, newsal = float); \
+         create toysalaryerror (name = string, oldsal = float, newsal = float); \
+         create demotions (name = string, dno = int, oldjno = int, newjno = int)",
+    )
+    .expect("schema");
+
+    // reference data
+    for (dno, name) in [(1, "Sales"), (2, "Toy"), (3, "Shoe")] {
+        db.execute(&format!(
+            r#"append dept (dno = {dno}, name = "{name}", building = "HQ")"#
+        ))
+        .expect("dept");
+    }
+    for (jno, title, grade) in [(1, "Clerk", 3), (2, "Senior", 6), (3, "Boss", 9)] {
+        db.execute(&format!(
+            r#"append job (jno = {jno}, title = "{title}", paygrade = {grade}, description = "-")"#
+        ))
+        .expect("job");
+    }
+
+    // The three rules from §2.3 of the paper, verbatim semantics:
+    db.execute(
+        "define rule raiselimit \
+         if emp.sal > 1.1 * previous emp.sal \
+         then append to salaryerror(name = emp.name, oldsal = previous emp.sal, newsal = emp.sal)",
+    )
+    .expect("raiselimit");
+    db.execute(
+        "define rule toyraiselimit \
+         if emp.sal > 1.05 * previous emp.sal and emp.dno = dept.dno and dept.name = \"Toy\" \
+         then append to toysalaryerror(name = emp.name, oldsal = previous emp.sal, newsal = emp.sal)",
+    )
+    .expect("toyraiselimit");
+    db.execute(
+        "define rule finddemotions on replace emp(jno) \
+         if newjob.jno = emp.jno and oldjob.jno = previous emp.jno \
+            and newjob.paygrade < oldjob.paygrade \
+         from oldjob in job, newjob in job \
+         then append to demotions (name = emp.name, dno = emp.dno, \
+                                   oldjno = oldjob.jno, newjno = newjob.jno)",
+    )
+    .expect("finddemotions");
+
+    // hire a workforce
+    let staff = [
+        ("ann", 100_000.0, 1, 3),
+        ("ben", 60_000.0, 2, 2),
+        ("cal", 45_000.0, 2, 1),
+        ("dot", 80_000.0, 3, 2),
+        ("eve", 52_000.0, 1, 1),
+    ];
+    for (name, sal, dno, jno) in staff {
+        db.execute(&format!(
+            r#"append emp (name = "{name}", age = 35, sal = {sal}, dno = {dno}, jno = {jno})"#
+        ))
+        .expect("hire");
+    }
+
+    println!("== payroll events ==");
+    // a quiet cost-of-living round: 3% across the board (no flags)
+    db.execute("replace emp (sal = emp.sal * 1.03) where emp.sal > 0")
+        .expect("col round");
+    // ann gets a 25% raise (flagged), ben in Toy gets 8% (Toy-flagged only)
+    db.execute(r#"replace emp (sal = emp.sal * 1.25) where emp.name = "ann""#)
+        .expect("ann raise");
+    db.execute(r#"replace emp (sal = emp.sal * 1.08) where emp.name = "ben""#)
+        .expect("ben raise");
+    // dot is demoted from Senior to Clerk
+    db.execute(r#"replace emp (jno = 1) where emp.name = "dot""#)
+        .expect("dot demotion");
+
+    let general = db.query("retrieve (salaryerror.all)").expect("q");
+    println!("\nraises above 10% (company-wide limit):");
+    for r in &general.rows {
+        println!("  {}: {} -> {}", r[0], r[1], r[2]);
+    }
+
+    let toy = db.query("retrieve (toysalaryerror.all)").expect("q");
+    println!("\nraises above 5% in the Toy department:");
+    for r in &toy.rows {
+        println!("  {}: {} -> {}", r[0], r[1], r[2]);
+    }
+
+    let demoted = db.query("retrieve (demotions.all)").expect("q");
+    println!("\ndemotions:");
+    for r in &demoted.rows {
+        println!("  {} (dept {}): job {} -> job {}", r[0], r[1], r[2], r[3]);
+    }
+
+    let s = db.stats();
+    println!(
+        "\n{} transitions, {} tokens, {} firings",
+        s.transitions, s.tokens, s.firings
+    );
+}

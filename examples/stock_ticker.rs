@@ -1,0 +1,92 @@
+//! Stock ticker with asynchronous trigger delivery — §8 of the paper names
+//! this exact application as future work: "support for streamlined
+//! development of applications that can receive data from database triggers
+//! asynchronously (e.g., safety and integrity alert monitors, stock
+//! tickers)".
+//!
+//! The `notify` action command (our extension) emits rows onto a named
+//! channel instead of writing a relation; the application drains the
+//! channel with [`ariel::Ariel::drain_notifications`].
+//!
+//! Run with `cargo run --example stock_ticker`.
+
+use ariel::Ariel;
+
+fn main() {
+    let mut db = Ariel::new();
+    db.execute(
+        "create quote (sym = string, price = float, volume = int); \
+         create position (sym = string, shares = int, stop_loss = float)",
+    )
+    .expect("schema");
+
+    // the monitored portfolio
+    db.execute(
+        r#"append position (sym = "ACME", shares = 1000, stop_loss = 95);
+           append position (sym = "GLOBEX", shares = 250, stop_loss = 40)"#,
+    )
+    .expect("portfolio");
+
+    // ticker rule: every price move on a held symbol is pushed to the app
+    db.execute(
+        "define rule ticker on replace quote(price) \
+         if quote.sym = position.sym \
+         then notify ticks (sym = quote.sym, price = quote.price, \
+                            was = previous quote.price)",
+    )
+    .expect("ticker");
+
+    // alert rule: a price below the stop-loss pushes an urgent alert
+    db.execute(
+        "define rule stop_loss priority 10 on replace quote(price) \
+         if quote.sym = position.sym and quote.price < position.stop_loss \
+         then notify alerts (sym = quote.sym, price = quote.price, \
+                             shares = position.shares)",
+    )
+    .expect("stop_loss");
+
+    // market opens
+    db.execute(
+        r#"append quote (sym = "ACME", price = 100, volume = 0);
+           append quote (sym = "GLOBEX", price = 50, volume = 0);
+           append quote (sym = "UNHELD", price = 10, volume = 0)"#,
+    )
+    .expect("open");
+
+    // a trading session
+    let session = [
+        ("ACME", 101.5),
+        ("UNHELD", 9.0), // not held: no tick
+        ("GLOBEX", 48.0),
+        ("ACME", 94.0), // below the 95 stop-loss!
+        ("GLOBEX", 52.5),
+    ];
+    for (sym, price) in session {
+        db.execute(&format!(
+            r#"replace quote (price = {price}) where quote.sym = "{sym}""#
+        ))
+        .expect("tick");
+    }
+
+    println!("== notifications delivered to the application ==");
+    for note in db.drain_notifications() {
+        for row in &note.rows {
+            match note.channel.as_str() {
+                "ticks" => println!(
+                    "  [tick ] {} {} (was {})",
+                    row[0], row[1], row[2]
+                ),
+                "alerts" => println!(
+                    "  [ALERT] {} fell to {} — stop-loss hit on {} shares",
+                    row[0], row[1], row[2]
+                ),
+                other => println!("  [{other}] {row:?}"),
+            }
+        }
+    }
+
+    println!("\nrules as stored in the catalog:");
+    for name in ["ticker", "stop_loss"] {
+        println!("  {}", db.show_rule(name).expect("rule"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Equivalence of discrimination-network configurations: whatever mix of
+//! stored and virtual α-memories (and whichever network algorithm) is used,
+//! rule behaviour must be identical. Runs a randomized command stream
+//! against engines configured differently and compares final database
+//! states.
+
+use ariel::network::VirtualPolicy;
+use ariel::storage::Value;
+use ariel::{Ariel, EngineOptions};
+
+/// Deterministic xorshift for workload generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn build(policy: VirtualPolicy) -> Ariel {
+    let mut db = Ariel::with_options(EngineOptions {
+        virtual_policy: policy,
+        ..Default::default()
+    });
+    db.execute(
+        "create emp (id = int, sal = float, dno = int); \
+         create dept (dno = int, floor = int); \
+         create audit (id = int, kind = int)",
+    )
+    .unwrap();
+    // a mix of rule shapes: selection, join, transition, event
+    db.execute(
+        "define rule r_sel if emp.sal > 5000 then append to audit(id = emp.id, kind = 1)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_join if emp.sal > 1000 and emp.dno = dept.dno and dept.floor < 3 \
+         then append to audit(id = emp.id, kind = 2)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_trans if emp.sal > 2 * previous emp.sal \
+         then append to audit(id = emp.id, kind = 3)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_event on delete emp then append to audit(id = emp.id, kind = 4)",
+    )
+    .unwrap();
+    db
+}
+
+fn apply_stream(db: &mut Ariel, seed: u64, steps: usize) {
+    let mut rng = Rng(seed | 1);
+    let mut next_id = 0i64;
+    for _ in 0..steps {
+        match rng.below(10) {
+            0..=3 => {
+                let id = next_id;
+                next_id += 1;
+                let sal = rng.below(9000);
+                let dno = rng.below(5);
+                db.execute(&format!(
+                    "append emp (id = {id}, sal = {sal}, dno = {dno})"
+                ))
+                .unwrap();
+            }
+            4..=5 => {
+                let dno = rng.below(5);
+                let floor = rng.below(6);
+                db.execute(&format!("append dept (dno = {dno}, floor = {floor})"))
+                    .unwrap();
+            }
+            6..=7 => {
+                let id = rng.below(next_id.max(1) as u64);
+                let sal = rng.below(12_000);
+                db.execute(&format!(
+                    "replace emp (sal = {sal}) where emp.id = {id}"
+                ))
+                .unwrap();
+            }
+            _ => {
+                let id = rng.below(next_id.max(1) as u64);
+                db.execute(&format!("delete emp where emp.id = {id}")).unwrap();
+            }
+        }
+    }
+}
+
+type Rows = Vec<Vec<Value>>;
+
+fn snapshot(db: &mut Ariel, rel: &str) -> Rows {
+    let mut rows = db.query(&format!("retrieve ({rel}.all)")).unwrap().rows;
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+#[test]
+fn virtual_policies_produce_identical_states() {
+    let policies = [
+        VirtualPolicy::AllStored,
+        VirtualPolicy::AllVirtual,
+        VirtualPolicy::SelectivityThreshold(0.3),
+        VirtualPolicy::SelectivityThreshold(0.8),
+    ];
+    let mut reference: Option<(Rows, Rows)> = None;
+    for policy in policies {
+        let mut db = build(policy.clone());
+        apply_stream(&mut db, 0xDECAF, 150);
+        let emp = snapshot(&mut db, "emp");
+        let audit = snapshot(&mut db, "audit");
+        assert!(!audit.is_empty(), "the stream must exercise the rules");
+        match &reference {
+            None => reference = Some((emp, audit)),
+            Some((ref_emp, ref_audit)) => {
+                assert_eq!(&emp, ref_emp, "emp diverged under {policy:?}");
+                assert_eq!(&audit, ref_audit, "audit diverged under {policy:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_caching_matches_always_reoptimize() {
+    for cache in [false, true] {
+        let mut db = Ariel::with_options(EngineOptions {
+            cache_action_plans: cache,
+            ..Default::default()
+        });
+        db.execute("create emp (id = int, sal = float, dno = int); \
+                    create dept (dno = int, floor = int); \
+                    create audit (id = int, kind = int)")
+            .unwrap();
+        db.execute(
+            "define rule r if emp.sal > 100 and emp.dno = dept.dno \
+             then append to audit(id = emp.id, kind = 1)",
+        )
+        .unwrap();
+        db.execute("append dept (dno = 1, floor = 1)").unwrap();
+        for i in 0..20 {
+            db.execute(&format!("append emp (id = {i}, sal = 200, dno = 1)"))
+                .unwrap();
+        }
+        assert_eq!(
+            db.query("retrieve (audit.all)").unwrap().rows.len(),
+            20,
+            "cache={cache}"
+        );
+    }
+}
+
+#[test]
+fn long_stream_with_two_seeds() {
+    for seed in [7u64, 99] {
+        let mut a = build(VirtualPolicy::AllStored);
+        let mut b = build(VirtualPolicy::AllVirtual);
+        apply_stream(&mut a, seed, 100);
+        apply_stream(&mut b, seed, 100);
+        assert_eq!(snapshot(&mut a, "audit"), snapshot(&mut b, "audit"), "seed {seed}");
+        assert_eq!(snapshot(&mut a, "emp"), snapshot(&mut b, "emp"), "seed {seed}");
+    }
+}

@@ -1,0 +1,118 @@
+//! The `notify` extension: asynchronous trigger delivery (§8 future work).
+
+use ariel::storage::Value;
+use ariel::{Ariel, ArielError};
+
+fn db() -> Ariel {
+    let mut db = Ariel::new();
+    db.execute("create t (x = int, y = int)").unwrap();
+    db
+}
+
+#[test]
+fn rule_action_notify_queues_rows() {
+    let mut db = db();
+    db.execute("define rule watch on append t then notify chan (x = t.x, twice = t.x * 2)")
+        .unwrap();
+    db.execute("append t (x = 5, y = 0)").unwrap();
+    db.execute("append t (x = 7, y = 0)").unwrap();
+    assert_eq!(db.pending_notifications(), 2);
+    let notes = db.drain_notifications();
+    assert_eq!(notes.len(), 2);
+    assert_eq!(notes[0].channel, "chan");
+    assert_eq!(notes[0].columns, vec!["x", "twice"]);
+    assert_eq!(notes[0].rows, vec![vec![Value::Int(5), Value::Int(10)]]);
+    assert_eq!(notes[1].rows, vec![vec![Value::Int(7), Value::Int(14)]]);
+    assert_eq!(db.pending_notifications(), 0, "drained");
+}
+
+#[test]
+fn set_oriented_notify_bundles_rows() {
+    let mut db = db();
+    db.execute("define rule watch if t.x > 10 then notify big (x = t.x)")
+        .unwrap();
+    db.execute("do append t (x = 11, y = 0) append t (x = 12, y = 0) end")
+        .unwrap();
+    let notes = db.drain_notifications();
+    assert_eq!(notes.len(), 1, "one firing, one notification");
+    assert_eq!(notes[0].rows.len(), 2, "both matches in it");
+}
+
+#[test]
+fn notify_with_previous_values() {
+    let mut db = db();
+    db.execute(
+        "define rule moved on replace t(x) then notify moves (now = t.x, was = previous t.x)",
+    )
+    .unwrap();
+    db.execute("append t (x = 1, y = 0)").unwrap();
+    db.execute("replace t (x = 2) where t.x = 1").unwrap();
+    let notes = db.drain_notifications();
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].rows, vec![vec![Value::Int(2), Value::Int(1)]]);
+}
+
+#[test]
+fn notify_with_join_in_action() {
+    let mut db = db();
+    db.execute("create names (x = int, label = string)").unwrap();
+    db.execute(r#"append names (x = 5, label = "five")"#).unwrap();
+    db.execute(
+        "define rule tagged on append t \
+         then notify tags (label = names.label) where names.x = t.x",
+    )
+    .unwrap();
+    db.execute("append t (x = 5, y = 0)").unwrap();
+    db.execute("append t (x = 6, y = 0)").unwrap(); // no name: empty → no note
+    let notes = db.drain_notifications();
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].rows, vec![vec![Value::from("five")]]);
+}
+
+#[test]
+fn top_level_notify_command() {
+    let mut db = db();
+    db.execute("append t (x = 1, y = 2)").unwrap();
+    db.execute("append t (x = 3, y = 4)").unwrap();
+    let out = db.query("notify snapshot (t.all) where t.x > 0").unwrap();
+    assert_eq!(out.notifications.len(), 1);
+    assert_eq!(out.notifications[0].rows.len(), 2);
+    // also queued on the engine
+    assert_eq!(db.pending_notifications(), 1);
+}
+
+#[test]
+fn empty_match_emits_nothing() {
+    let mut db = db();
+    let out = db.query("notify empty (t.all) where t.x > 100").unwrap();
+    assert!(out.notifications.is_empty());
+    assert_eq!(db.pending_notifications(), 0);
+}
+
+#[test]
+fn notifications_survive_errors_elsewhere() {
+    let mut db = db();
+    db.execute("define rule watch on append t then notify chan (x = t.x)")
+        .unwrap();
+    db.execute("append t (x = 1, y = 0)").unwrap();
+    assert!(matches!(
+        db.execute("append nothere (x = 1)"),
+        Err(ArielError::Query(_) | ArielError::Storage(_))
+    ));
+    assert_eq!(db.pending_notifications(), 1);
+}
+
+#[test]
+fn show_rule_renders_notify() {
+    let mut db = db();
+    db.execute("define rule watch on append t then notify chan (x = t.x)")
+        .unwrap();
+    let shown = db.show_rule("watch").unwrap();
+    assert!(shown.contains("notify chan"), "{shown}");
+    // and the rendering reparses
+    let mut db2 = Ariel::new();
+    db2.execute("create t (x = int, y = int)").unwrap();
+    db2.execute(&shown).unwrap();
+    db2.execute("append t (x = 9, y = 0)").unwrap();
+    assert_eq!(db2.pending_notifications(), 1);
+}

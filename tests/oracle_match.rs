@@ -1,0 +1,251 @@
+//! The fundamental discrimination-network invariant, property-tested:
+//! after ANY sequence of inserts, deletes and updates, a pattern rule's
+//! P-node must hold exactly the rows a from-scratch evaluation of its
+//! condition produces (incremental match ≡ recompute). Checked for every
+//! virtual-memory policy and for the Rete baseline.
+
+use ariel::network::{
+    Network, ReteNetwork, RuleId, Token, VirtualPolicy,
+};
+use ariel::query::{parse_expr, ExecCtx, Optimizer, Pnode, Resolver, ResolvedCondition};
+use ariel::storage::{AttrType, Catalog, Schema, Tid, Value};
+use ariel::DeltaTracker;
+use ariel::query::Change;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { rel: u8, a: i64, b: i64 },
+    Delete { pick: usize },
+    Update { pick: usize, a: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..2, 0i64..20, 0i64..6).prop_map(|(rel, a, b)| Op::Insert { rel, a, b }),
+        2 => (0usize..64).prop_map(|pick| Op::Delete { pick }),
+        2 => (0usize..64, 0i64..20).prop_map(|(pick, a)| Op::Update { pick, a }),
+    ]
+}
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.create("r1", Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int)]))
+        .unwrap();
+    c.create("r2", Schema::of(&[("b", AttrType::Int), ("c", AttrType::Int)]))
+        .unwrap();
+    c
+}
+
+fn conditions(cat: &Catalog) -> Vec<ResolvedCondition> {
+    let make = |qual: &str, from: &[(&str, &str)]| {
+        let e = parse_expr(qual).unwrap();
+        let from: Vec<ariel::query::FromItem> = from
+            .iter()
+            .map(|(v, r)| ariel::query::FromItem { var: v.to_string(), rel: r.to_string() })
+            .collect();
+        Resolver::new(cat).resolve_condition(None, Some(&e), &from).unwrap()
+    };
+    vec![
+        make("r1.a > 10", &[]),
+        make("r1.a > 3 and r1.b = r2.b and r2.c < 4", &[]),
+        make("x.b = y.b and x.a < y.a", &[("x", "r1"), ("y", "r1")]),
+        make("r1.a > 1 and r1.a <= 15 and r1.b = r2.b", &[]),
+    ]
+}
+
+/// Canonical form of a P-node: sorted TID combinations.
+fn pnode_tids(p: &Pnode) -> Vec<Vec<Option<u64>>> {
+    let mut out: Vec<Vec<Option<u64>>> = p
+        .rows()
+        .iter()
+        .map(|r| r.iter().map(|b| b.tid.map(|t| t.0)).collect())
+        .collect();
+    out.sort();
+    out
+}
+
+/// From-scratch evaluation of a condition through the query optimizer.
+fn oracle(cat: &Catalog, cond: &ResolvedCondition) -> Vec<Vec<Option<u64>>> {
+    let plan = Optimizer::new(cat).plan(&cond.spec).unwrap();
+    let ctx = ExecCtx { catalog: cat, pnode: None, nvars: cond.spec.vars.len() };
+    let rows = ariel::query::run_plan(&plan, &ctx).unwrap();
+    let mut out: Vec<Vec<Option<u64>>> = rows
+        .iter()
+        .map(|r| {
+            r.slots
+                .iter()
+                .map(|s| s.as_ref().and_then(|b| b.tid).map(|t| t.0))
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Apply one op to the catalog and return the physical change.
+fn apply(cat: &Catalog, live: &mut Vec<(String, Tid)>, op: &Op) -> Option<Change> {
+    match op {
+        Op::Insert { rel, a, b } => {
+            let name = if *rel == 0 { "r1" } else { "r2" };
+            let r = cat.get(name).unwrap();
+            let tid = r
+                .borrow_mut()
+                .insert(vec![Value::Int(*a), Value::Int(*b)])
+                .unwrap();
+            let t = r.borrow().get(tid).cloned().unwrap();
+            live.push((name.to_string(), tid));
+            Some(Change::Inserted { rel: name.to_string(), tid, new: t })
+        }
+        Op::Delete { pick } => {
+            if live.is_empty() {
+                return None;
+            }
+            let (name, tid) = live.swap_remove(pick % live.len());
+            let r = cat.get(&name).unwrap();
+            let old = r.borrow_mut().delete(tid).unwrap();
+            Some(Change::Deleted { rel: name, tid, old })
+        }
+        Op::Update { pick, a } => {
+            if live.is_empty() {
+                return None;
+            }
+            let (name, tid) = live[pick % live.len()].clone();
+            let r = cat.get(&name).unwrap();
+            let old = r.borrow().get(tid).cloned().unwrap();
+            let new_vals = vec![Value::Int(*a), old.get(1).clone()];
+            let old = r.borrow_mut().update(tid, new_vals).unwrap();
+            let new = r.borrow().get(tid).cloned().unwrap();
+            Some(Change::Updated { rel: name, tid, old, new, attrs: vec![0] })
+        }
+    }
+}
+
+/// Which matcher configuration a stream runs against.
+#[derive(Debug, Clone)]
+enum Config {
+    Treat(VirtualPolicy),
+    Rete(VirtualPolicy),
+}
+
+fn run_stream(config: Config, ops: &[Op]) -> Result<(), TestCaseError> {
+    let cat = catalog();
+    let conds = conditions(&cat);
+    enum Net {
+        Treat(Network),
+        Rete(ReteNetwork),
+    }
+    let mut net = match &config {
+        Config::Treat(p) => {
+            let mut n = Network::new();
+            for (i, c) in conds.iter().enumerate() {
+                n.add_rule(RuleId(i as u64), c, p, &cat).unwrap();
+                n.prime(RuleId(i as u64), &cat).unwrap();
+            }
+            Net::Treat(n)
+        }
+        Config::Rete(p) => {
+            let mut n = ReteNetwork::with_policy(p.clone());
+            for (i, c) in conds.iter().enumerate() {
+                n.add_rule(RuleId(i as u64), c).unwrap();
+                n.prime(RuleId(i as u64), &cat).unwrap();
+            }
+            Net::Rete(n)
+        }
+    };
+    let mut live: Vec<(String, Tid)> = Vec::new();
+    let mut delta = DeltaTracker::new();
+    for (step, op) in ops.iter().enumerate() {
+        // each op = one transition (Δ-sets reset per transition)
+        delta.reset();
+        let Some(change) = apply(&cat, &mut live, op) else { continue };
+        let tokens: Vec<Token> = delta.tokens_for(&change);
+        match &mut net {
+            Net::Treat(n) => n.process_batch(&tokens, &cat).unwrap(),
+            Net::Rete(n) => n.process_batch(&tokens, &cat).unwrap(),
+        }
+        for (i, cond) in conds.iter().enumerate() {
+            let got = match &net {
+                Net::Treat(n) => pnode_tids(n.pnode(RuleId(i as u64)).unwrap()),
+                Net::Rete(n) => pnode_tids(n.pnode(RuleId(i as u64)).unwrap()),
+            };
+            let want = oracle(&cat, cond);
+            prop_assert_eq!(
+                &got,
+                &want,
+                "rule {} diverged from recompute at step {} ({:?}, config {:?})",
+                i,
+                step,
+                op,
+                config
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn treat_all_stored_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_stream(Config::Treat(VirtualPolicy::AllStored), &ops)?;
+    }
+
+    #[test]
+    fn treat_all_virtual_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_stream(Config::Treat(VirtualPolicy::AllVirtual), &ops)?;
+    }
+
+    #[test]
+    fn treat_threshold_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_stream(Config::Treat(VirtualPolicy::SelectivityThreshold(0.4)), &ops)?;
+    }
+
+    #[test]
+    fn rete_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_stream(Config::Rete(VirtualPolicy::AllStored), &ops)?;
+    }
+
+    #[test]
+    fn rete_all_virtual_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_stream(Config::Rete(VirtualPolicy::AllVirtual), &ops)?;
+    }
+}
+
+// Δ-token path as well: several updates inside one transition (no reset).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn multi_op_transitions_match_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+        chunk in 2usize..5,
+    ) {
+        let cat = catalog();
+        let conds = conditions(&cat);
+        let mut net = Network::new();
+        for (i, c) in conds.iter().enumerate() {
+            net.add_rule(RuleId(i as u64), c, &VirtualPolicy::AllStored, &cat).unwrap();
+            net.prime(RuleId(i as u64), &cat).unwrap();
+        }
+        let mut live: Vec<(String, Tid)> = Vec::new();
+        let mut delta = DeltaTracker::new();
+        for (t, ops_chunk) in ops.chunks(chunk).enumerate() {
+            // one transition = several commands (a do…end block)
+            delta.reset();
+            let mut tokens = Vec::new();
+            for op in ops_chunk {
+                if let Some(change) = apply(&cat, &mut live, op) {
+                    tokens.extend(delta.tokens_for(&change));
+                }
+            }
+            net.process_batch(&tokens, &cat).unwrap();
+            for (i, cond) in conds.iter().enumerate() {
+                let got = pnode_tids(net.pnode(RuleId(i as u64)).unwrap());
+                let want = oracle(&cat, cond);
+                prop_assert_eq!(&got, &want, "rule {} diverged at transition {}", i, t);
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Every worked example from the paper, end to end through the engine.
+
+use ariel::network::VirtualPolicy;
+use ariel::storage::Value;
+use ariel::{Ariel, EngineOptions};
+
+/// The paper's three example relations (§2.2.2).
+fn paper_db() -> Ariel {
+    let mut db = Ariel::new();
+    db.execute(
+        "create emp (name = string, age = int, sal = float, dno = int, jno = int); \
+         create dept (dno = int, name = string, building = string); \
+         create job (jno = int, title = string, paygrade = int, description = string)",
+    )
+    .unwrap();
+    db
+}
+
+fn names(db: &mut Ariel, rel: &str) -> Vec<String> {
+    let out = db.query(&format!("retrieve ({rel}.name)")).unwrap();
+    let mut v: Vec<String> = out
+        .rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn nobobs_on_append() {
+    // §2.2.2: "never let anyone named Bob be appended to emp"
+    let mut db = paper_db();
+    db.execute(
+        r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#,
+    )
+    .unwrap();
+    db.execute(r#"append emp (name = "Bob", age = 30, sal = 1000, dno = 1, jno = 1)"#)
+        .unwrap();
+    db.execute(r#"append emp (name = "Alice", age = 30, sal = 1000, dno = 1, jno = 1)"#)
+        .unwrap();
+    assert_eq!(names(&mut db, "emp"), vec!["Alice"]);
+}
+
+#[test]
+fn nobobs_logical_events_in_block() {
+    // §2.2.2's block: append Sue, then rename her Bob, inside one do…end.
+    // The logical event is a single append of Bob, so NoBobs fires.
+    let mut db = paper_db();
+    db.execute(
+        r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#,
+    )
+    .unwrap();
+    db.execute(
+        r#"do
+             append emp (name = "Sue", age = 27, sal = 55000, dno = 12, jno = 1)
+             replace emp (name = "Bob") where emp.name = "Sue"
+           end"#,
+    )
+    .unwrap();
+    assert!(names(&mut db, "emp").is_empty(), "logical append of Bob was caught");
+}
+
+#[test]
+fn nobobs_physical_events_without_block() {
+    // The same two commands as two separate transitions: the append is of
+    // "Sue" (no trigger) and the rename is a replace, not an append — the
+    // on-append rule does NOT fire. This is exactly why §2.2.2 recommends
+    // the pattern-based NoBobs2.
+    let mut db = paper_db();
+    db.execute(
+        r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#,
+    )
+    .unwrap();
+    db.execute(r#"append emp (name = "Sue", age = 27, sal = 55000, dno = 12, jno = 1)"#)
+        .unwrap();
+    db.execute(r#"replace emp (name = "Bob") where emp.name = "Sue""#)
+        .unwrap();
+    assert_eq!(names(&mut db, "emp"), vec!["Bob"], "on-append misses the rename");
+}
+
+#[test]
+fn nobobs2_pattern_based_catches_everything() {
+    let mut db = paper_db();
+    db.execute(r#"define rule NoBobs2 if emp.name = "Bob" then delete emp"#)
+        .unwrap();
+    // append path
+    db.execute(r#"append emp (name = "Bob", age = 1, sal = 1, dno = 1, jno = 1)"#)
+        .unwrap();
+    assert!(names(&mut db, "emp").is_empty());
+    // replace path
+    db.execute(r#"append emp (name = "Sue", age = 1, sal = 1, dno = 1, jno = 1)"#)
+        .unwrap();
+    db.execute(r#"replace emp (name = "Bob") where emp.name = "Sue""#)
+        .unwrap();
+    assert!(names(&mut db, "emp").is_empty(), "pattern rule catches the rename");
+}
+
+#[test]
+fn raiselimit_transition_rule() {
+    // §2.3: flag raises of more than ten percent.
+    let mut db = paper_db();
+    db.execute("create salaryerror (name = string, oldsal = float, newsal = float)")
+        .unwrap();
+    db.execute(
+        "define rule raiselimit if emp.sal > 1.1 * previous emp.sal \
+         then append to salaryerror(name = emp.name, oldsal = previous emp.sal, newsal = emp.sal)",
+    )
+    .unwrap();
+    db.execute(r#"append emp (name = "amy", age = 1, sal = 100000, dno = 1, jno = 1)"#)
+        .unwrap();
+    // +5%: fine
+    db.execute(r#"replace emp (sal = 105000) where emp.name = "amy""#)
+        .unwrap();
+    assert_eq!(db.query("retrieve (salaryerror.all)").unwrap().rows.len(), 0);
+    // +20%: flagged with old and new values
+    db.execute(r#"replace emp (sal = 126000) where emp.name = "amy""#)
+        .unwrap();
+    let out = db.query("retrieve (salaryerror.all)").unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][1], Value::Float(105000.0));
+    assert_eq!(out.rows[0][2], Value::Float(126000.0));
+}
+
+#[test]
+fn toyraiselimit_join_plus_transition() {
+    // §2.3: the raise limit scoped to the Toy department via a join.
+    let mut db = paper_db();
+    db.execute("create toysalaryerror (name = string, oldsal = float, newsal = float)")
+        .unwrap();
+    db.execute(r#"append dept (dno = 1, name = "Toy", building = "B1")"#)
+        .unwrap();
+    db.execute(r#"append dept (dno = 2, name = "Shoe", building = "B2")"#)
+        .unwrap();
+    db.execute(
+        "define rule toyraiselimit \
+         if emp.sal > 1.1 * previous emp.sal and emp.dno = dept.dno and dept.name = \"Toy\" \
+         then append to toysalaryerror(name = emp.name, oldsal = previous emp.sal, newsal = emp.sal)",
+    )
+    .unwrap();
+    db.execute(r#"append emp (name = "toyer", age = 1, sal = 100, dno = 1, jno = 1)"#)
+        .unwrap();
+    db.execute(r#"append emp (name = "shoer", age = 1, sal = 100, dno = 2, jno = 1)"#)
+        .unwrap();
+    // both get 50% raises; only the Toy employee is flagged
+    db.execute("replace emp (sal = 150) where emp.sal = 100").unwrap();
+    let out = db.query("retrieve (toysalaryerror.all)").unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][0], Value::from("toyer"));
+}
+
+#[test]
+fn finddemotions_event_pattern_transition() {
+    // §2.3: log demotions — event (on replace emp(jno)), pattern (job
+    // lookups) and transition (previous emp.jno) conditions combined.
+    let mut db = paper_db();
+    db.execute(
+        "create demotions (name = string, dno = int, oldjno = int, newjno = int)",
+    )
+    .unwrap();
+    db.execute(r#"append job (jno = 1, title = "Clerk", paygrade = 3, description = "d")"#)
+        .unwrap();
+    db.execute(r#"append job (jno = 2, title = "Boss", paygrade = 9, description = "d")"#)
+        .unwrap();
+    db.execute(
+        "define rule finddemotions on replace emp(jno) \
+         if newjob.jno = emp.jno and oldjob.jno = previous emp.jno \
+            and newjob.paygrade < oldjob.paygrade \
+         from oldjob in job, newjob in job \
+         then append to demotions (name = emp.name, dno = emp.dno, \
+                                   oldjno = oldjob.jno, newjno = newjob.jno)",
+    )
+    .unwrap();
+    db.execute(r#"append emp (name = "mel", age = 1, sal = 1, dno = 7, jno = 2)"#)
+        .unwrap();
+    // demotion: Boss (paygrade 9) → Clerk (paygrade 3)
+    db.execute(r#"replace emp (jno = 1) where emp.name = "mel""#).unwrap();
+    let out = db.query("retrieve (demotions.all)").unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][2], Value::Int(2), "old job");
+    assert_eq!(out.rows[0][3], Value::Int(1), "new job");
+    // promotion back: no new row
+    db.execute(r#"replace emp (jno = 2) where emp.name = "mel""#).unwrap();
+    assert_eq!(db.query("retrieve (demotions.all)").unwrap().rows.len(), 1);
+    // a replace NOT touching jno never wakes the rule
+    db.execute(r#"replace emp (sal = 2) where emp.name = "mel""#).unwrap();
+    assert_eq!(db.query("retrieve (demotions.all)").unwrap().rows.len(), 1);
+}
+
+#[test]
+fn salesclerkrule2_query_modification() {
+    // Fig. 6/7: shared emp becomes replace'; unshared dept joins normally.
+    let mut db = paper_db();
+    db.execute("create salarywatch (name = string)").unwrap();
+    db.execute(r#"append dept (dno = 1, name = "Sales", building = "B")"#)
+        .unwrap();
+    db.execute(r#"append dept (dno = 2, name = "Toy", building = "B")"#)
+        .unwrap();
+    db.execute(r#"append job (jno = 7, title = "Clerk", paygrade = 1, description = "d")"#)
+        .unwrap();
+    db.execute(
+        r#"define rule SalesClerkRule2
+           if emp.sal > 30000 and emp.jno = job.jno and job.title = "Clerk"
+           then do
+             append to salarywatch(name = emp.name)
+             replace emp (sal = 30000) where emp.dno = dept.dno and dept.name = "Sales"
+             replace emp (sal = 25000) where emp.dno = dept.dno and dept.name != "Sales"
+           end"#,
+    )
+    .unwrap();
+    db.execute(r#"append emp (name = "s1", age = 1, sal = 90000, dno = 1, jno = 7)"#)
+        .unwrap();
+    db.execute(r#"append emp (name = "t1", age = 1, sal = 80000, dno = 2, jno = 7)"#)
+        .unwrap();
+    // both logged
+    let mut watch = db
+        .query("retrieve (salarywatch.all)")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect::<Vec<_>>();
+    watch.sort();
+    assert_eq!(watch, vec!["s1", "t1"]);
+    // Sales clerk capped to 30000, non-Sales to 25000
+    let out = db
+        .query("retrieve (emp.name, emp.sal) where emp.name = \"s1\"")
+        .unwrap();
+    assert_eq!(out.rows[0][1], Value::Float(30000.0));
+    let out = db
+        .query("retrieve (emp.name, emp.sal) where emp.name = \"t1\"")
+        .unwrap();
+    assert_eq!(out.rows[0][1], Value::Float(25000.0));
+}
+
+#[test]
+fn salesclerkrule_all_virtual_policies_agree() {
+    // Fig. 3 vs Fig. 4: the A-TREAT network with virtual α-memories
+    // behaves identically to the all-stored TREAT network.
+    let run = |policy: VirtualPolicy| -> (Vec<String>, usize) {
+        let mut db = Ariel::with_options(EngineOptions {
+            virtual_policy: policy,
+            ..Default::default()
+        });
+        db.execute(
+            "create emp (name = string, age = int, sal = float, dno = int, jno = int); \
+             create dept (dno = int, name = string, building = string); \
+             create job (jno = int, title = string, paygrade = int, description = string); \
+             create hits (name = string)",
+        )
+        .unwrap();
+        db.execute(r#"append dept (dno = 1, name = "Sales", building = "B")"#)
+            .unwrap();
+        db.execute(r#"append job (jno = 7, title = "Clerk", paygrade = 1, description = "d")"#)
+            .unwrap();
+        db.execute(
+            r#"define rule SalesClerkRule
+               if emp.sal > 30000 and emp.dno = dept.dno and dept.name = "Sales"
+                  and emp.jno = job.jno and job.title = "Clerk"
+               then append to hits(name = emp.name)"#,
+        )
+        .unwrap();
+        for i in 0..30 {
+            let sal = 20_000 + i * 1000;
+            let dno = 1 + (i % 2);
+            let jno = if i % 3 == 0 { 7 } else { 8 };
+            db.execute(&format!(
+                r#"append emp (name = "e{i}", age = 1, sal = {sal}, dno = {dno}, jno = {jno})"#
+            ))
+            .unwrap();
+        }
+        let mut hits: Vec<String> = db
+            .query("retrieve (hits.all)")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect();
+        hits.sort();
+        let bytes = db.network_stats().alpha_bytes;
+        (hits, bytes)
+    };
+    let (stored_hits, stored_bytes) = run(VirtualPolicy::AllStored);
+    let (virtual_hits, virtual_bytes) = run(VirtualPolicy::AllVirtual);
+    let (thresh_hits, thresh_bytes) = run(VirtualPolicy::SelectivityThreshold(0.5));
+    assert!(!stored_hits.is_empty());
+    assert_eq!(stored_hits, virtual_hits);
+    assert_eq!(stored_hits, thresh_hits);
+    // §4.2's claim: virtual memories save storage
+    assert!(virtual_bytes < stored_bytes);
+    assert!(thresh_bytes <= stored_bytes);
+}
+
+#[test]
+fn new_predicate_matches_any_value() {
+    // §2.1: `new(tuple-variable)` is a selection condition that is always
+    // true — the rule wakes on any new tuple value.
+    let mut db = paper_db();
+    db.execute("create log (name = string)").unwrap();
+    db.execute("define rule anynew if new(emp) then append to log(name = emp.name)")
+        .unwrap();
+    db.execute(r#"append emp (name = "x", age = 1, sal = 1, dno = 1, jno = 1)"#)
+        .unwrap();
+    assert_eq!(db.query("retrieve (log.all)").unwrap().rows.len(), 1);
+    db.execute(r#"replace emp (name = "y") where emp.name = "x""#).unwrap();
+    assert_eq!(db.query("retrieve (log.all)").unwrap().rows.len(), 2);
+}

@@ -1,0 +1,180 @@
+//! Logical-event semantics at the engine level: the four cases of §4.3.1
+//! observed through rule behaviour, and block vs per-command transitions.
+
+use ariel::storage::Value;
+use ariel::Ariel;
+
+fn db() -> Ariel {
+    let mut db = Ariel::new();
+    db.execute(
+        "create t (x = int, y = int); \
+         create appended (x = int); create deleted (x = int); \
+         create modified (oldx = int, newx = int)",
+    )
+    .unwrap();
+    db.execute("define rule on_a on append t then append to appended(x = t.x)")
+        .unwrap();
+    db.execute("define rule on_d on delete t then append to deleted(x = t.x)")
+        .unwrap();
+    db.execute(
+        "define rule on_m on replace t if new(t) \
+         then append to modified(oldx = previous t.x, newx = t.x)",
+    )
+    .unwrap();
+    db
+}
+
+fn count(db: &mut Ariel, rel: &str) -> usize {
+    db.query(&format!("retrieve ({rel}.all)")).unwrap().rows.len()
+}
+
+fn rows(db: &mut Ariel, rel: &str) -> Vec<Vec<Value>> {
+    db.query(&format!("retrieve ({rel}.all)")).unwrap().rows
+}
+
+#[test]
+fn case1_insert_then_modify_nets_to_insert() {
+    let mut db = db();
+    db.execute("do append t (x = 1, y = 0) replace t (x = 2) where t.x = 1 end")
+        .unwrap();
+    // net effect: one insertion of the FINAL value; no modify event
+    assert_eq!(rows(&mut db, "appended"), vec![vec![Value::Int(2)]]);
+    assert_eq!(count(&mut db, "modified"), 0);
+    assert_eq!(count(&mut db, "deleted"), 0);
+}
+
+#[test]
+fn case2_insert_modify_delete_nets_to_nothing() {
+    let mut db = db();
+    db.execute(
+        "do append t (x = 1, y = 0) \
+            replace t (x = 2) where t.x = 1 \
+            delete t where t.x = 2 \
+         end",
+    )
+    .unwrap();
+    assert_eq!(count(&mut db, "appended"), 0, "no net insert");
+    assert_eq!(count(&mut db, "modified"), 0);
+    assert_eq!(count(&mut db, "deleted"), 0, "no net delete either");
+}
+
+#[test]
+fn case3_modify_modify_nets_to_one_modify() {
+    let mut db = db();
+    db.execute("append t (x = 1, y = 0)").unwrap();
+    // two replaces inside one transition → ONE logical modify with
+    // previous = the value at the start of the transition
+    db.execute(
+        "do replace t (x = 2) where t.x = 1 \
+            replace t (x = 3) where t.x = 2 \
+         end",
+    )
+    .unwrap();
+    assert_eq!(
+        rows(&mut db, "modified"),
+        vec![vec![Value::Int(1), Value::Int(3)]],
+        "old = start of transition, new = end of transition"
+    );
+}
+
+#[test]
+fn case4_modify_then_delete_nets_to_delete() {
+    let mut db = db();
+    db.execute("append t (x = 1, y = 0)").unwrap();
+    db.execute(
+        "do replace t (x = 2) where t.x = 1 \
+            delete t where t.x = 2 \
+         end",
+    )
+    .unwrap();
+    assert_eq!(count(&mut db, "modified"), 0, "the modify was superseded");
+    assert_eq!(rows(&mut db, "deleted"), vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn separate_commands_are_separate_transitions() {
+    let mut db = db();
+    db.execute("append t (x = 1, y = 0)").unwrap();
+    db.execute("replace t (x = 2) where t.x = 1").unwrap();
+    db.execute("replace t (x = 3) where t.x = 2").unwrap();
+    // without a block, each replace is its own transition → two modifies
+    let m = rows(&mut db, "modified");
+    assert_eq!(
+        m,
+        vec![
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(2), Value::Int(3)],
+        ]
+    );
+}
+
+#[test]
+fn multi_tuple_transition_tracks_each_tuple() {
+    let mut db = db();
+    db.execute("do append t (x = 1, y = 0) append t (x = 2, y = 0) end")
+        .unwrap();
+    assert_eq!(count(&mut db, "appended"), 2);
+    // modify both in one command (set-oriented): two logical modifies
+    db.execute("replace t (y = 1) where t.x > 0").unwrap();
+    assert_eq!(count(&mut db, "modified"), 2);
+}
+
+#[test]
+fn replace_target_list_scoping() {
+    let mut db = Ariel::new();
+    db.execute("create t (x = int, y = int); create xlog (v = int)")
+        .unwrap();
+    db.execute("define rule watch_x on replace t(x) then append to xlog(v = t.x)")
+        .unwrap();
+    db.execute("append t (x = 1, y = 1)").unwrap();
+    // replacing y does not wake the rule
+    db.execute("replace t (y = 2) where t.x = 1").unwrap();
+    assert_eq!(count(&mut db, "xlog"), 0);
+    // replacing x does
+    db.execute("replace t (x = 5) where t.x = 1").unwrap();
+    assert_eq!(count(&mut db, "xlog"), 1);
+}
+
+#[test]
+fn transition_binding_broken_after_cycle() {
+    // §4.3.2: data matching an event condition is relevant only during the
+    // transition; afterwards the binding is broken. A later unrelated
+    // transition must not re-fire the on-append rule for old appends.
+    let mut db = db();
+    db.execute("append t (x = 1, y = 0)").unwrap();
+    assert_eq!(count(&mut db, "appended"), 1);
+    db.execute("replace t (y = 9) where t.x = 1").unwrap();
+    assert_eq!(count(&mut db, "appended"), 1, "append binding was flushed");
+}
+
+#[test]
+fn delete_of_never_modified_tuple() {
+    let mut db = db();
+    db.execute("append t (x = 7, y = 0)").unwrap();
+    db.execute("delete t where t.x = 7").unwrap();
+    assert_eq!(rows(&mut db, "deleted"), vec![vec![Value::Int(7)]]);
+    assert_eq!(count(&mut db, "modified"), 0);
+}
+
+#[test]
+fn previous_reflects_transition_start_not_command_start() {
+    // two commands in one block each bump x; the transition rule sees the
+    // pre-block value as `previous`
+    let mut db = Ariel::new();
+    db.execute("create t (x = int); create log (oldx = int, newx = int)")
+        .unwrap();
+    db.execute(
+        "define rule trace if t.x > previous t.x \
+         then append to log(oldx = previous t.x, newx = t.x)",
+    )
+    .unwrap();
+    db.execute("append t (x = 10)").unwrap();
+    db.execute(
+        "do replace t (x = 20) where t.x = 10 \
+            replace t (x = 30) where t.x = 20 \
+         end",
+    )
+    .unwrap();
+    let out = db.query("retrieve (log.all)").unwrap();
+    assert_eq!(out.rows, vec![vec![Value::Int(10), Value::Int(30)]]);
+}
