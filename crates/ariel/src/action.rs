@@ -47,7 +47,10 @@ pub struct ActionPlanner {
 impl ActionPlanner {
     /// `cache_enabled = false` is the paper's always-reoptimize strategy.
     pub fn new(cache_enabled: bool) -> Self {
-        ActionPlanner { cache_enabled, cache: HashMap::new() }
+        ActionPlanner {
+            cache_enabled,
+            cache: HashMap::new(),
+        }
     }
 
     /// Whether plan caching (pre-planning) is on.
@@ -99,20 +102,16 @@ impl ActionPlanner {
                                 let rcmd =
                                     Resolver::with_pnode(catalog, pnode).resolve_command(cmd)?;
                                 let plan = plan_command(&rcmd, catalog, Some(pnode))?;
-                                let r = execute_with_plan(
-                                    &rcmd,
-                                    plan.as_ref(),
-                                    catalog,
-                                    Some(pnode),
-                                )?;
-                                self.cache.insert((rule_key, idx), CachedPlan { rcmd, plan });
+                                let r =
+                                    execute_with_plan(&rcmd, plan.as_ref(), catalog, Some(pnode))?;
+                                self.cache
+                                    .insert((rule_key, idx), CachedPlan { rcmd, plan });
                                 r
                             }
                         }
                     } else {
                         // always-reoptimize: resolve, plan and run fresh
-                        let rcmd =
-                            Resolver::with_pnode(catalog, pnode).resolve_command(cmd)?;
+                        let rcmd = Resolver::with_pnode(catalog, pnode).resolve_command(cmd)?;
                         let plan = plan_command(&rcmd, catalog, Some(pnode))?;
                         execute_with_plan(&rcmd, plan.as_ref(), catalog, Some(pnode))?
                     };
@@ -183,7 +182,12 @@ mod tests {
         let (mut cat, pnode) = setup();
         let mut planner = ActionPlanner::new(false);
         let out = planner
-            .execute_action(1, &action("append watch (who = emp.name)"), &pnode, &mut cat)
+            .execute_action(
+                1,
+                &action("append watch (who = emp.name)"),
+                &pnode,
+                &mut cat,
+            )
             .unwrap();
         assert_eq!(out.changes.len(), 2, "one append per P-node row");
         assert_eq!(cat.get("watch").unwrap().borrow().len(), 2);
@@ -221,15 +225,14 @@ mod tests {
         let (mut cat, pnode) = setup();
         let mut planner = ActionPlanner::new(false);
         let out = planner
-            .execute_action(
-                1,
-                &action("do halt delete emp end"),
-                &pnode,
-                &mut cat,
-            )
+            .execute_action(1, &action("do halt delete emp end"), &pnode, &mut cat)
             .unwrap();
         assert!(out.halted);
-        assert_eq!(cat.get("emp").unwrap().borrow().len(), 2, "delete never ran");
+        assert_eq!(
+            cat.get("emp").unwrap().borrow().len(),
+            2,
+            "delete never ran"
+        );
     }
 
     #[test]
@@ -237,9 +240,7 @@ mod tests {
         let (mut cat, pnode) = setup();
         let mut planner = ActionPlanner::new(false);
         let cmd = parse_command("create t (x = int)").unwrap();
-        assert!(planner
-            .execute_action(1, &[cmd], &pnode, &mut cat)
-            .is_err());
+        assert!(planner.execute_action(1, &[cmd], &pnode, &mut cat).is_err());
     }
 
     #[test]
@@ -260,9 +261,7 @@ mod tests {
     fn cached_and_fresh_agree() {
         let (mut cat1, pnode) = setup();
         let (mut cat2, _) = setup();
-        let act = action(
-            "do append watch (who = emp.name) replace emp (sal = emp.sal + 1) end",
-        );
+        let act = action("do append watch (who = emp.name) replace emp (sal = emp.sal + 1) end");
         let mut fresh = ActionPlanner::new(false);
         let mut cached = ActionPlanner::new(true);
         for _ in 0..3 {

@@ -54,7 +54,12 @@ mod tests {
     use super::*;
 
     fn e(id: u64, name: &str, priority: f64, last: u64) -> Eligible {
-        Eligible { id: RuleId(id), name: name.into(), priority, last_matched: last }
+        Eligible {
+            id: RuleId(id),
+            name: name.into(),
+            priority,
+            last_matched: last,
+        }
     }
 
     #[test]
@@ -65,14 +70,19 @@ mod tests {
     #[test]
     fn highest_priority_wins() {
         let rules = vec![e(1, "a", 1.0, 5), e(2, "b", 10.0, 0), e(3, "c", -3.0, 9)];
-        assert_eq!(select(ConflictStrategy::default(), &rules).unwrap().id, RuleId(2));
+        assert_eq!(
+            select(ConflictStrategy::default(), &rules).unwrap().id,
+            RuleId(2)
+        );
     }
 
     #[test]
     fn recency_breaks_priority_ties() {
         let rules = vec![e(1, "a", 1.0, 3), e(2, "b", 1.0, 7)];
         assert_eq!(
-            select(ConflictStrategy::PriorityRecency, &rules).unwrap().id,
+            select(ConflictStrategy::PriorityRecency, &rules)
+                .unwrap()
+                .id,
             RuleId(2)
         );
     }
@@ -81,7 +91,9 @@ mod tests {
     fn name_breaks_remaining_ties() {
         let rules = vec![e(1, "zeta", 1.0, 7), e(2, "alpha", 1.0, 7)];
         assert_eq!(
-            select(ConflictStrategy::PriorityRecency, &rules).unwrap().name,
+            select(ConflictStrategy::PriorityRecency, &rules)
+                .unwrap()
+                .name,
             "alpha"
         );
         let rules = vec![e(1, "zeta", 1.0, 3), e(2, "alpha", 1.0, 7)];
@@ -95,6 +107,9 @@ mod tests {
     #[test]
     fn negative_priorities() {
         let rules = vec![e(1, "a", -1.0, 0), e(2, "b", -2.0, 0)];
-        assert_eq!(select(ConflictStrategy::default(), &rules).unwrap().id, RuleId(1));
+        assert_eq!(
+            select(ConflictStrategy::default(), &rules).unwrap().id,
+            RuleId(1)
+        );
     }
 }

@@ -88,8 +88,7 @@ mod tests {
 
     fn def(name: &str, ruleset: Option<&str>) -> RuleDef {
         let rs = ruleset.map(|r| format!("in {r} ")).unwrap_or_default();
-        match parse_command(&format!("define rule {name} {rs}if emp.x > 1 then halt")).unwrap()
-        {
+        match parse_command(&format!("define rule {name} {rs}if emp.x > 1 then halt")).unwrap() {
             Command::DefineRule(d) => d,
             _ => unreachable!(),
         }

@@ -54,9 +54,20 @@ impl DeltaTracker {
             Change::Inserted { rel, tid, new } => {
                 let d = self.rels.entry(rel.clone()).or_default();
                 d.inserted.insert(tid.0, ());
-                vec![Token::plus(rel.clone(), *tid, new.clone(), EventSpecifier::Append)]
+                vec![Token::plus(
+                    rel.clone(),
+                    *tid,
+                    new.clone(),
+                    EventSpecifier::Append,
+                )]
             }
-            Change::Updated { rel, tid, old, new, attrs } => {
+            Change::Updated {
+                rel,
+                tid,
+                old,
+                new,
+                attrs,
+            } => {
                 let d = self.rels.entry(rel.clone()).or_default();
                 if d.inserted.contains_key(&tid.0) {
                     // case 1: a modify of a tuple inserted this transition
@@ -161,7 +172,11 @@ mod tests {
     }
 
     fn ins(tid: u64, v: i64) -> Change {
-        Change::Inserted { rel: "r".into(), tid: Tid(tid), new: tup(v) }
+        Change::Inserted {
+            rel: "r".into(),
+            tid: Tid(tid),
+            new: tup(v),
+        }
     }
 
     fn upd(tid: u64, old: i64, new: i64) -> Change {
@@ -175,7 +190,11 @@ mod tests {
     }
 
     fn del(tid: u64, old: i64) -> Change {
-        Change::Deleted { rel: "r".into(), tid: Tid(tid), old: tup(old) }
+        Change::Deleted {
+            rel: "r".into(),
+            tid: Tid(tid),
+            old: tup(old),
+        }
     }
 
     fn kinds_events(tokens: &[Token]) -> Vec<(TokenKind, Option<EventSpecifier>)> {
@@ -308,7 +327,11 @@ mod tests {
     fn relations_tracked_independently() {
         let mut d = DeltaTracker::new();
         d.tokens_for(&ins(1, 10));
-        let other = Change::Deleted { rel: "s".into(), tid: Tid(1), old: tup(5) };
+        let other = Change::Deleted {
+            rel: "s".into(),
+            tid: Tid(1),
+            old: tup(5),
+        };
         let t = d.tokens_for(&other);
         // same tid in a different relation is not "inserted this transition"
         assert_eq!(t[0].event, Some(EventSpecifier::Delete));
@@ -321,8 +344,8 @@ mod tests {
         let mut d = DeltaTracker::new();
         d.tokens_for(&ins(1, 100)); // append emp(name="Sue"…)
         let t = d.tokens_for(&upd(1, 100, 200)); // replace emp(name="Bob")
-        // the logical event is still an append (insert−, insert+), so an
-        // on-append rule sees the final value
+                                                 // the logical event is still an append (insert−, insert+), so an
+                                                 // on-append rule sees the final value
         assert_eq!(t[1].kind, TokenKind::Plus);
         assert_eq!(t[1].event, Some(EventSpecifier::Append));
         assert_eq!(t[1].tuple, tup(200));
@@ -443,7 +466,11 @@ mod proptests {
                     alive = true;
                     value += 1;
                     effect = NetEffect::Insert;
-                    Change::Inserted { rel: "r".into(), tid: Tid(1), new: tup(value) }
+                    Change::Inserted {
+                        rel: "r".into(),
+                        tid: Tid(1),
+                        new: tup(value),
+                    }
                 }
                 (TupleOp::Modify, true) => {
                     let old = value;
@@ -467,7 +494,11 @@ mod proptests {
                     } else {
                         NetEffect::Delete
                     };
-                    Change::Deleted { rel: "r".into(), tid: Tid(1), old: tup(value) }
+                    Change::Deleted {
+                        rel: "r".into(),
+                        tid: Tid(1),
+                        old: tup(value),
+                    }
                 }
                 _ => continue, // illegal op for current state: skip
             };

@@ -6,8 +6,9 @@ use crate::agenda::{self, ConflictStrategy, Eligible};
 use crate::catalog::RuleCatalog;
 use crate::delta::DeltaTracker;
 use crate::error::{ArielError, ArielResult};
+use crate::obs::{self, EngineObs};
 use crate::rule::RuleState;
-use ariel_network::{Network, NetworkStats, RuleId, RuleStats, Token, VirtualPolicy};
+use ariel_network::{MatchObs, Network, NetworkStats, RuleId, RuleStats, Token, VirtualPolicy};
 use ariel_query::{
     execute as execute_query, modify_action, parse_command, parse_script, CmdOutput, Command,
     Notification, Pnode, Resolver, RuleDef,
@@ -28,6 +29,10 @@ pub struct EngineOptions {
     /// `false` = always-reoptimize rule-action plans (§5.3, the paper's
     /// choice); `true` = cache plans at first firing.
     pub cache_action_plans: bool,
+    /// Enable the gated timing tier (per-phase histograms) from the start.
+    /// The always-on counters are collected regardless; this flag only
+    /// controls wall-clock timing capture. See `docs/OBSERVABILITY.md`.
+    pub observability: bool,
 }
 
 impl Default for EngineOptions {
@@ -37,6 +42,7 @@ impl Default for EngineOptions {
             conflict: ConflictStrategy::default(),
             max_firings: 10_000,
             cache_action_plans: false,
+            observability: false,
         }
     }
 }
@@ -86,6 +92,8 @@ pub struct Ariel {
     /// Pending asynchronous notifications (§8 future work: alert monitors,
     /// stock tickers). Consumers drain with [`Ariel::drain_notifications`].
     notifications: std::collections::VecDeque<Notification>,
+    /// Engine-side timing store (None = observability off, the default).
+    obs: Option<EngineObs>,
 }
 
 impl Default for Ariel {
@@ -102,7 +110,7 @@ impl Ariel {
 
     /// New engine with explicit options.
     pub fn with_options(options: EngineOptions) -> Self {
-        Ariel {
+        let mut engine = Ariel {
             catalog: Catalog::new(),
             rules: RuleCatalog::new(),
             network: Network::new(),
@@ -115,7 +123,12 @@ impl Ariel {
             tick: 0,
             stats: EngineStats::default(),
             notifications: std::collections::VecDeque::new(),
+            obs: None,
+        };
+        if engine.options.observability {
+            engine.set_observability(true);
         }
+        engine
     }
 
     /// Execute a script of one or more commands; returns one output per
@@ -240,10 +253,8 @@ impl Ariel {
             def.condition.as_ref(),
             &def.cond_from,
         )?;
-        let shared: HashSet<String> =
-            resolved.spec.vars.iter().map(|v| v.name.clone()).collect();
-        let rels: HashSet<String> =
-            resolved.spec.vars.iter().map(|v| v.rel.clone()).collect();
+        let shared: HashSet<String> = resolved.spec.vars.iter().map(|v| v.name.clone()).collect();
+        let rels: HashSet<String> = resolved.spec.vars.iter().map(|v| v.rel.clone()).collect();
         let modified = modify_action(&def.action, &shared);
         self.network
             .add_rule(id, &resolved, &self.options.virtual_policy, &self.catalog)?;
@@ -291,7 +302,11 @@ impl Ariel {
             let out = self.apply_dml(cmd)?;
             let tokens = delta.tokens_for_all(&out.changes);
             self.stats.tokens += tokens.len() as u64;
+            let batch_start = self.obs.as_ref().map(|_| std::time::Instant::now());
             self.network.process_batch(&tokens, &self.catalog)?;
+            if let (Some(obs), Some(t0)) = (self.obs.as_mut(), batch_start) {
+                obs.match_batch.record(t0.elapsed().as_nanos() as u64);
+            }
             merged.changes.extend(out.changes);
             self.notifications.extend(out.notifications.iter().cloned());
             merged.notifications.extend(out.notifications);
@@ -318,7 +333,10 @@ impl Ariel {
             }
             Command::Halt => Ok(CmdOutput::default()),
             other => Err(ArielError::Query(ariel_query::QueryError::Semantic(
-                format!("`{}` is not allowed inside a do…end block", other.kind_name()),
+                format!(
+                    "`{}` is not allowed inside a do…end block",
+                    other.kind_name()
+                ),
             ))),
         }
     }
@@ -357,13 +375,14 @@ impl Ariel {
                 })
                 .collect();
             // conflict resolution
-            let Some(chosen) = agenda::select(self.options.conflict, &eligible).cloned()
-            else {
+            let Some(chosen) = agenda::select(self.options.conflict, &eligible).cloned() else {
                 return Ok(());
             };
             // act
             if firings >= self.options.max_firings {
-                return Err(ArielError::RunawayRules { limit: self.options.max_firings });
+                return Err(ArielError::RunawayRules {
+                    limit: self.options.max_firings,
+                });
             }
             firings += 1;
             self.stats.firings += 1;
@@ -379,6 +398,7 @@ impl Ariel {
                 pnode.push(r);
             }
             let action = self.actions.get(&chosen.id.0).expect("active rule").clone();
+            let action_start = self.obs.as_ref().map(|_| std::time::Instant::now());
             let outcome = self
                 .planner
                 .execute_action(chosen.id.0, &action, &pnode, &mut self.catalog)
@@ -386,14 +406,22 @@ impl Ariel {
                     rule: chosen.name.clone(),
                     source: Box::new(e.into()),
                 })?;
-            self.notifications.extend(outcome.notifications.iter().cloned());
+            if let (Some(obs), Some(t0)) = (self.obs.as_mut(), action_start) {
+                obs.record_action(chosen.id.0, t0.elapsed().as_nanos() as u64);
+            }
+            self.notifications
+                .extend(outcome.notifications.iter().cloned());
             // the action is itself a transition
             self.tick += 1;
             self.stats.transitions += 1;
             let mut delta = DeltaTracker::new();
             let tokens = delta.tokens_for_all(&outcome.changes);
             self.stats.tokens += tokens.len() as u64;
+            let batch_start = self.obs.as_ref().map(|_| std::time::Instant::now());
             self.network.process_batch(&tokens, &self.catalog)?;
+            if let (Some(obs), Some(t0)) = (self.obs.as_mut(), batch_start) {
+                obs.match_batch.record(t0.elapsed().as_nanos() as u64);
+            }
             self.note_matches();
             if outcome.halted {
                 return Ok(());
@@ -559,8 +587,7 @@ impl Ariel {
             match cmd {
                 Command::Halt => out.push_str("(halt)\n"),
                 _ => {
-                    let rcmd = Resolver::with_pnode(&self.catalog, pnode)
-                        .resolve_command(cmd)?;
+                    let rcmd = Resolver::with_pnode(&self.catalog, pnode).resolve_command(cmd)?;
                     match ariel_query::plan_command(&rcmd, &self.catalog, Some(pnode))? {
                         Some(plan) => out.push_str(&plan.to_string()),
                         None => out.push_str("(no tuple variables)\n"),
@@ -569,6 +596,88 @@ impl Ariel {
             }
         }
         Ok(out)
+    }
+
+    // ----- observability --------------------------------------------------------
+
+    /// Enable or disable the gated timing tier: per-phase wall-clock
+    /// histograms in the network plus action-execution timing in the
+    /// engine. Enabling starts fresh sessions; disabling discards them.
+    /// The always-on counters (see [`NetworkStats`]) are unaffected.
+    pub fn set_observability(&mut self, on: bool) {
+        self.network.set_observing(on);
+        self.obs = if on { Some(EngineObs::new()) } else { None };
+    }
+
+    /// Whether the gated timing tier is active.
+    pub fn observing(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Full metrics snapshot as a JSON document: engine counters, network
+    /// counters, per-rule statistics, and — when observability is on —
+    /// every timing histogram (`"timing": null` otherwise). The schema is
+    /// documented in `docs/OBSERVABILITY.md`; the benchmark driver writes
+    /// this into `BENCH_obs.json`.
+    pub fn metrics_json(&self) -> String {
+        let mut rules = Vec::new();
+        let mut names = std::collections::BTreeMap::new();
+        for rule in self.rules.iter() {
+            names.insert(rule.id.0, rule.name.clone());
+            if let Some(s) = self.network.rule_stats(rule.id) {
+                rules.push((rule.name.clone(), s));
+            }
+        }
+        obs::render_metrics_json(&obs::MetricsInput {
+            engine: self.stats,
+            network: self.network.stats(),
+            rules,
+            match_obs: self.network.obs(),
+            engine_obs: self.obs.as_ref(),
+            names,
+        })
+    }
+
+    /// Execute a command (or script) under a scoped timing capture and
+    /// render an annotated tree of the match work it caused: per α-node
+    /// token counts, selectivities and test times, virtual-node scan
+    /// costs, β-join fan-out and time, P-node inserts, and rule-action
+    /// executions. Works whether or not the observability flag is on; the
+    /// capture is folded into the cumulative session when it is.
+    pub fn explain_analyze(&mut self, src: &str) -> ArielResult<String> {
+        let prev_net = self.network.swap_obs(Some(MatchObs::new()));
+        let prev_eng = std::mem::replace(&mut self.obs, Some(EngineObs::new()));
+        let start = std::time::Instant::now();
+        let result = self.execute(src);
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let capture = self.network.swap_obs(prev_net).expect("capture installed");
+        let engine_capture = std::mem::replace(&mut self.obs, prev_eng).expect("capture installed");
+        if let Some(cumulative) = self.network.obs() {
+            cumulative.merge(&capture);
+        }
+        if let Some(cumulative) = self.obs.as_mut() {
+            cumulative.merge(&engine_capture);
+        }
+        result?;
+        let mut rules = Vec::new();
+        for rule in self.rules.iter().filter(|r| r.is_active()) {
+            if let Some((vars, join_conjuncts)) = self.network.rule_topology(rule.id) {
+                rules.push(obs::AnalyzedRule {
+                    id: rule.id.0,
+                    name: rule.name.clone(),
+                    vars,
+                    join_conjuncts,
+                });
+            }
+        }
+        rules.sort_by_key(|r| r.id);
+        Ok(obs::render_explain_analyze(&obs::AnalyzeInput {
+            src,
+            total_ns,
+            capture,
+            engine_capture,
+            rules,
+        }))
     }
 }
 
@@ -604,10 +713,14 @@ mod tests {
     #[test]
     fn install_without_activate_is_passive() {
         let mut db = Ariel::new();
-        db.execute("create t (x = int); create log (x = int)").unwrap();
+        db.execute("create t (x = int); create log (x = int)")
+            .unwrap();
         db.install_rule_src("define rule r on append t then append to log(x = t.x)")
             .unwrap();
-        assert_eq!(db.rules().require("r").unwrap().state, crate::rule::RuleState::Installed);
+        assert_eq!(
+            db.rules().require("r").unwrap().state,
+            crate::rule::RuleState::Installed
+        );
         db.execute("append t (x = 1)").unwrap();
         assert!(db.query("retrieve (log.all)").unwrap().rows.is_empty());
         // activation starts matching future transitions

@@ -54,7 +54,10 @@ impl fmt::Display for ArielError {
             ArielError::AlreadyActive(n) => write!(f, "rule already active: {n}"),
             ArielError::NotActive(n) => write!(f, "rule not active: {n}"),
             ArielError::RelationInUse { relation, rule } => {
-                write!(f, "relation `{relation}` is referenced by active rule `{rule}`")
+                write!(
+                    f,
+                    "relation `{relation}` is referenced by active rule `{rule}`"
+                )
             }
             ArielError::RunawayRules { limit } => {
                 write!(f, "recognize-act cycle exceeded {limit} rule firings")

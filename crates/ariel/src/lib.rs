@@ -42,6 +42,7 @@ pub mod catalog;
 pub mod delta;
 pub mod engine;
 pub mod error;
+pub mod obs;
 pub mod rule;
 
 pub use action::{ActionOutcome, ActionPlanner};
@@ -50,6 +51,7 @@ pub use catalog::RuleCatalog;
 pub use delta::DeltaTracker;
 pub use engine::{Ariel, EngineOptions, EngineStats};
 pub use error::{ArielError, ArielResult};
+pub use obs::EngineObs;
 pub use query::{CmdOutput, Notification};
 pub use rule::{Rule, RuleState, DEFAULT_RULESET};
 

@@ -1,0 +1,336 @@
+//! Engine-level observability: action/cycle timing, the metrics snapshot,
+//! and the `explain analyze` renderer.
+//!
+//! The network layers keep their own two observability tiers (see
+//! [`ariel_network::obs`]); this module adds the phases only the engine can
+//! see — wall-clock time per token batch pushed through the network and
+//! per rule-action execution — and assembles everything into the two
+//! user-facing surfaces:
+//!
+//! * [`crate::Ariel::metrics_json`] — a hand-rolled JSON snapshot of the
+//!   engine counters, network counters, per-rule statistics, and (when the
+//!   observability flag is on) every timing histogram. The benchmark
+//!   driver serializes this into `BENCH_obs.json`.
+//! * [`crate::Ariel::explain_analyze`] — run a command with a scoped
+//!   timing capture and render an annotated per-node tree: tokens in/out,
+//!   selectivity, join fan-out, and time spent at every node the command's
+//!   tokens touched.
+//!
+//! The full schema of both surfaces is documented in
+//! `docs/OBSERVABILITY.md`.
+
+use ariel_islist::Histogram;
+use ariel_network::{AlphaKind, MatchObs, NetworkStats, RuleStats};
+use std::collections::BTreeMap;
+
+use crate::engine::EngineStats;
+
+/// Engine-side timing store, active while the observability flag is on.
+#[derive(Debug, Default)]
+pub struct EngineObs {
+    /// Wall-clock ns per token batch pushed through the network (one
+    /// sample per DML command or rule action that produced tokens).
+    pub match_batch: Histogram,
+    /// Wall-clock ns per rule-action execution, keyed by rule id.
+    pub action_exec: BTreeMap<u64, Histogram>,
+}
+
+impl EngineObs {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one action execution for a rule.
+    pub fn record_action(&mut self, rule: u64, ns: u64) {
+        self.action_exec.entry(rule).or_default().record(ns);
+    }
+
+    /// Fold another store into this one (scoped-capture restore).
+    pub fn merge(&mut self, other: &EngineObs) {
+        self.match_batch.merge(&other.match_batch);
+        for (rule, h) in &other.action_exec {
+            self.action_exec.entry(*rule).or_default().merge(h);
+        }
+    }
+}
+
+/// Format a nanosecond duration human-readably (`850 ns`, `12.3 µs`, …).
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn kind_name(kind: AlphaKind) -> &'static str {
+    match kind {
+        AlphaKind::Stored => "stored",
+        AlphaKind::Virtual => "virtual",
+        AlphaKind::DynamicOn => "dynamic-on",
+        AlphaKind::DynamicTrans => "dynamic-transition",
+        AlphaKind::Simple => "simple",
+        AlphaKind::SimpleOn => "simple-on",
+        AlphaKind::SimpleTrans => "simple-transition",
+    }
+}
+
+/// Everything [`render_metrics_json`] needs, gathered by the engine.
+pub(crate) struct MetricsInput<'a> {
+    pub engine: EngineStats,
+    pub network: NetworkStats,
+    /// `(rule name, per-rule stats)` for every active rule.
+    pub rules: Vec<(String, RuleStats)>,
+    /// Cumulative network timing session, when observability is on.
+    pub match_obs: Option<&'a MatchObs>,
+    /// Cumulative engine timing store, when observability is on.
+    pub engine_obs: Option<&'a EngineObs>,
+    /// Rule names by id (labels the `action_exec` histograms).
+    pub names: BTreeMap<u64, String>,
+}
+
+/// Assemble the full metrics snapshot as a JSON document.
+pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
+    let e = input.engine;
+    let n = input.network;
+    let mut s = format!(
+        "{{\"engine\":{{\"transitions\":{},\"tokens\":{},\"firings\":{}}},",
+        e.transitions, e.tokens, e.firings
+    );
+    s.push_str(&format!(
+        "\"network\":{{\"rules\":{},\"alpha_nodes\":{},\"virtual_alpha_nodes\":{},\
+         \"alpha_entries\":{},\"alpha_bytes\":{},\"pnode_rows\":{},\"pnode_bytes\":{},\
+         \"selnet_bytes\":{},\"tokens_processed\":{},\"selnet_probes\":{},\
+         \"selnet_candidates\":{},\"islist_stabs\":{},\"islist_nodes_visited\":{},\
+         \"alpha_tests\":{},\"alpha_passes\":{},\"join_probes\":{},\"pnode_inserts\":{},\
+         \"virtual_scans\":{},\"virtual_scanned_tuples\":{},\
+         \"stored_join_candidates\":{},\"virtual_join_candidates\":{}}},",
+        n.rules,
+        n.alpha_nodes,
+        n.virtual_alpha_nodes,
+        n.alpha_entries,
+        n.alpha_bytes,
+        n.pnode_rows,
+        n.pnode_bytes,
+        n.selnet_bytes,
+        n.tokens_processed,
+        n.selnet_probes,
+        n.selnet_candidates,
+        n.islist_stabs,
+        n.islist_nodes_visited,
+        n.alpha_tests,
+        n.alpha_passes,
+        n.join_probes,
+        n.pnode_inserts,
+        n.virtual_scans,
+        n.virtual_scanned_tuples,
+        n.stored_join_candidates,
+        n.virtual_join_candidates,
+    ));
+    s.push_str("\"rules\":[");
+    for (i, (name, r)) in input.rules.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"alpha_entries\":{},\"alpha_bytes\":{},\"pnode_rows\":{},\
+             \"pnode_bytes\":{},\"tokens_in\":{},\"alpha_tests\":{},\"alpha_passes\":{},\
+             \"join_probes\":{},\"pnode_inserts\":{},\"join_fanout\":{:.4},\
+             \"virtual_scans\":{},\"virtual_scanned_tuples\":{},\
+             \"stored_join_candidates\":{},\"virtual_join_candidates\":{},\
+             \"virtual_hit_ratio\":{:.4}}}",
+            name,
+            r.alpha_entries,
+            r.alpha_bytes,
+            r.pnode_rows,
+            r.pnode_bytes,
+            r.tokens_in,
+            r.alpha_tests,
+            r.alpha_passes,
+            r.join_probes,
+            r.pnode_inserts,
+            r.join_fanout(),
+            r.virtual_scans,
+            r.virtual_scanned_tuples,
+            r.stored_join_candidates,
+            r.virtual_join_candidates,
+            r.virtual_hit_ratio(),
+        ));
+    }
+    s.push_str("],\"timing\":");
+    match (input.match_obs, input.engine_obs) {
+        (Some(m), Some(eo)) => {
+            s.push_str(&format!(
+                "{{\"match\":{},\"match_batch\":{},\"action_exec\":{{",
+                m.to_json(),
+                eo.match_batch.to_json()
+            ));
+            for (i, (rule, h)) in eo.action_exec.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let label = input
+                    .names
+                    .get(rule)
+                    .cloned()
+                    .unwrap_or_else(|| format!("rule-{rule}"));
+                s.push_str(&format!("\"{}\":{}", label, h.to_json()));
+            }
+            s.push_str("}}");
+        }
+        _ => s.push_str("null"),
+    }
+    s.push('}');
+    s
+}
+
+/// One rule's topology for the `explain analyze` renderer.
+pub(crate) struct AnalyzedRule {
+    pub id: u64,
+    pub name: String,
+    /// `(variable name, relation, α-node kind)` per condition variable.
+    pub vars: Vec<(String, String, AlphaKind)>,
+    pub join_conjuncts: usize,
+}
+
+/// Everything [`render_explain_analyze`] needs, gathered by the engine.
+pub(crate) struct AnalyzeInput<'a> {
+    pub src: &'a str,
+    pub total_ns: u64,
+    /// Scoped network timing capture for exactly this run.
+    pub capture: MatchObs,
+    /// Scoped engine timing capture for exactly this run.
+    pub engine_capture: EngineObs,
+    /// Topology of every active rule, in rule-id order.
+    pub rules: Vec<AnalyzedRule>,
+}
+
+/// Render the per-node annotated tree of one analyzed command.
+pub(crate) fn render_explain_analyze(input: &AnalyzeInput<'_>) -> String {
+    let cap = &input.capture;
+    let mut out = format!("explain analyze: {}\n", input.src.trim());
+    out.push_str(&format!(
+        "total {}; {} token(s) through the network\n",
+        fmt_ns(input.total_ns),
+        cap.tokens.get()
+    ));
+    out.push_str(&format!(
+        "selection network: {} probe(s), {} candidate(s), mean {}/probe\n",
+        cap.selnet_probe.count(),
+        cap.selnet_candidates.get(),
+        fmt_ns(cap.selnet_probe.mean()),
+    ));
+    let mut any = false;
+    for rule in &input.rules {
+        let robs = cap.rule(ariel_network::RuleId(rule.id));
+        let touched = robs.is_some()
+            || (0..rule.vars.len()).any(|v| cap.node(ariel_network::RuleId(rule.id), v).is_some());
+        if !touched {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!("rule {}:\n", rule.name));
+        for (v, (var, rel, kind)) in rule.vars.iter().enumerate() {
+            let n = cap
+                .node(ariel_network::RuleId(rule.id), v)
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  α[{var}: {rel}] {} — in {}, out {} (selectivity {:.2}), +{} entries",
+                kind_name(*kind),
+                n.tokens_in,
+                n.tokens_out,
+                n.selectivity(),
+                n.entries_inserted,
+            ));
+            if n.alpha_test.count() > 0 {
+                out.push_str(&format!(", mean {}/test", fmt_ns(n.alpha_test.mean())));
+            }
+            if n.virtual_scans > 0 {
+                out.push_str(&format!(
+                    "; {} scan(s) over {} tuple(s) → {} candidate(s), mean {}/scan",
+                    n.virtual_scans,
+                    n.scanned_tuples,
+                    n.join_candidates,
+                    fmt_ns(n.virtual_scan.mean()),
+                ));
+            } else if n.join_candidates > 0 {
+                out.push_str(&format!(", {} join candidate(s) served", n.join_candidates));
+            }
+            out.push('\n');
+        }
+        let r = robs.unwrap_or_default();
+        if rule.vars.len() > 1 {
+            out.push_str(&format!(
+                "  β-join ({} conjunct(s)) — {} probe(s), fan-out {:.2}, mean {}/join\n",
+                rule.join_conjuncts,
+                r.join_probes,
+                r.join_fanout(),
+                fmt_ns(r.beta_join.mean()),
+            ));
+        }
+        out.push_str(&format!(
+            "  P-node — +{} instantiation(s), mean {}/insert\n",
+            r.pnode_inserts,
+            fmt_ns(r.pnode_insert.mean()),
+        ));
+        if let Some(h) = input.engine_capture.action_exec.get(&rule.id) {
+            out.push_str(&format!(
+                "  action — {} firing(s), mean {}/firing\n",
+                h.count(),
+                fmt_ns(h.mean()),
+            ));
+        }
+    }
+    if !any {
+        out.push_str("(no rule activity)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(850), "850 ns");
+        assert_eq!(fmt_ns(12_300), "12.3 µs");
+        assert_eq!(fmt_ns(4_500_000), "4.5 ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50 s");
+    }
+
+    #[test]
+    fn engine_obs_merge() {
+        let mut a = EngineObs::new();
+        let mut b = EngineObs::new();
+        a.record_action(1, 100);
+        b.record_action(1, 300);
+        b.record_action(2, 50);
+        b.match_batch.record(10);
+        a.merge(&b);
+        assert_eq!(a.action_exec[&1].count(), 2);
+        assert_eq!(a.action_exec[&2].count(), 1);
+        assert_eq!(a.match_batch.count(), 1);
+    }
+
+    #[test]
+    fn metrics_json_without_timing_is_null() {
+        let input = MetricsInput {
+            engine: EngineStats::default(),
+            network: NetworkStats::default(),
+            rules: vec![("r".into(), RuleStats::default())],
+            match_obs: None,
+            engine_obs: None,
+            names: BTreeMap::new(),
+        };
+        let j = render_metrics_json(&input);
+        assert!(j.contains("\"timing\":null"), "{j}");
+        assert!(j.contains("\"name\":\"r\""), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

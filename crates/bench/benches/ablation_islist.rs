@@ -6,7 +6,14 @@ use ariel::islist::{Interval, IntervalSkipList, IntervalTree, NaiveIntervalSet};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-fn build(n: usize) -> (IntervalSkipList<i64>, IntervalTree<i64>, NaiveIntervalSet<i64>, i64) {
+fn build(
+    n: usize,
+) -> (
+    IntervalSkipList<i64>,
+    IntervalTree<i64>,
+    NaiveIntervalSet<i64>,
+    i64,
+) {
     let mut isl = IntervalSkipList::new();
     let mut tree = IntervalTree::new();
     let mut naive = NaiveIntervalSet::new();
@@ -22,7 +29,9 @@ fn build(n: usize) -> (IntervalSkipList<i64>, IntervalTree<i64>, NaiveIntervalSe
 
 fn bench_stab(c: &mut Criterion) {
     let mut g = c.benchmark_group("islist_stab");
-    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     for n in [100usize, 1_000, 10_000] {
         let (isl, tree, naive, probe) = build(n);
         g.bench_with_input(BenchmarkId::new("islist", n), &n, |b, _| {
@@ -40,7 +49,9 @@ fn bench_stab(c: &mut Criterion) {
 
 fn bench_insert_remove(c: &mut Criterion) {
     let mut g = c.benchmark_group("islist_update");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     g.bench_function("insert_remove_1000", |b| {
         b.iter(|| {
             let mut isl = IntervalSkipList::new();

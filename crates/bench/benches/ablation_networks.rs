@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_networks(c: &mut Criterion) {
     let mut g = c.benchmark_group("network_stream");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     g.bench_function("treat_vs_atreat_vs_rete_50rules_1000tokens", |b| {
         b.iter(|| measure::net_table(50, 1000));
     });

@@ -31,7 +31,9 @@ fn setup(cache: bool) -> Ariel {
 
 fn bench_plans(c: &mut Criterion) {
     let mut g = c.benchmark_group("action_planning");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for (name, cache) in [("always_reoptimize", false), ("cached_plans", true)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cache, |b, &cache| {
             b.iter_custom(|iters| {

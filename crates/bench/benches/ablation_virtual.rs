@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 
 fn bench_virtual(c: &mut Criterion) {
     let mut g = c.benchmark_group("virtual_alpha_join");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     let configs: [(&str, VirtualPolicy, bool); 3] = [
         ("stored", VirtualPolicy::AllStored, false),
         ("virtual", VirtualPolicy::AllVirtual, false),
@@ -19,23 +21,19 @@ fn bench_virtual(c: &mut Criterion) {
     for rows in [1_000usize, 10_000] {
         for (name, policy, index) in &configs {
             let mut db = scaled_sales_db(policy.clone(), rows, *index);
-            g.bench_with_input(
-                BenchmarkId::new(*name, rows),
-                &rows,
-                |b, _| {
-                    b.iter_custom(|iters| {
-                        let mut total = Duration::ZERO;
-                        for _ in 0..iters {
-                            let token = dept_plus_token(&mut db, 0, "Sales");
-                            let t0 = Instant::now();
-                            db.match_tokens(std::slice::from_ref(&token)).unwrap();
-                            total += t0.elapsed();
-                            undo_dept_token(&mut db, &token);
-                        }
-                        total
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(*name, rows), &rows, |b, _| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let token = dept_plus_token(&mut db, 0, "Sales");
+                        let t0 = Instant::now();
+                        db.match_tokens(std::slice::from_ref(&token)).unwrap();
+                        total += t0.elapsed();
+                        undo_dept_token(&mut db, &token);
+                    }
+                    total
+                });
+            });
         }
     }
     g.finish();

@@ -2,13 +2,17 @@
 //! ~0.06 s for all three on the SPARCstation 1).
 
 use ariel::network::VirtualPolicy;
-use ariel_bench::{activate_rules, emp_plus_token, install_rules, paper_db, undo_emp_token, PROBE_SAL};
+use ariel_bench::{
+    activate_rules, emp_plus_token, install_rules, paper_db, undo_emp_token, PROBE_SAL,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 
 fn bench_action(c: &mut Criterion) {
     let mut g = c.benchmark_group("action_time");
-    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     for vars in [1usize, 2, 3] {
         let mut db = paper_db(VirtualPolicy::AllStored);
         install_rules(&mut db, vars, 25);

@@ -2,7 +2,9 @@
 //! installation, activation and token-test time vs number of rules.
 
 use ariel::network::VirtualPolicy;
-use ariel_bench::{activate_rules, emp_plus_token, install_rules, paper_db, undo_emp_token, PROBE_SAL};
+use ariel_bench::{
+    activate_rules, emp_plus_token, install_rules, paper_db, undo_emp_token, PROBE_SAL,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 
@@ -10,7 +12,9 @@ const VARS: usize = 3;
 
 fn bench_install(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("fig{}_install", 8 + VARS));
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     for n in [25usize, 50, 100, 150, 200] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter_custom(|iters| {
@@ -30,7 +34,9 @@ fn bench_install(c: &mut Criterion) {
 
 fn bench_activate(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("fig{}_activate", 8 + VARS));
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     for n in [25usize, 50, 100, 150, 200] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter_custom(|iters| {
@@ -51,7 +57,9 @@ fn bench_activate(c: &mut Criterion) {
 
 fn bench_token_test(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("fig{}_token_test", 8 + VARS));
-    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     for n in [25usize, 50, 100, 150, 200] {
         let mut db = paper_db(VirtualPolicy::AllStored);
         install_rules(&mut db, VARS, n);

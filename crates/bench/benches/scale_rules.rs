@@ -12,7 +12,9 @@ use std::time::{Duration, Instant};
 
 fn bench_scale(c: &mut Criterion) {
     let mut g = c.benchmark_group("scale_token_test");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(500));
     for n in [200usize, 800, 3200] {
         let mut db = paper_db(VirtualPolicy::AllStored);
         install_rules(&mut db, 1, n);

@@ -6,7 +6,7 @@
 //! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
 //! ```
 //!
-//! Experiments: fig9 fig10 fig11 act scale virt isl net plan
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs
 
 use ariel_bench::measure;
 use std::time::Duration;
@@ -131,6 +131,17 @@ fn run_plan() {
     println!();
 }
 
+fn run_obs() {
+    println!("== OBS: observed 2-variable workload → BENCH_obs.json ==");
+    let json = measure::obs_snapshot(50, 200);
+    let path = "BENCH_obs.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => println!("cannot write {path}: {e}"),
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -161,5 +172,8 @@ fn main() {
     }
     if want("plan") {
         run_plan();
+    }
+    if want("obs") {
+        run_obs();
     }
 }

@@ -4,8 +4,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use ariel::storage::Value;
 use ariel::query::CmdOutput;
+use ariel::storage::Value;
 use ariel::Ariel;
 
 pub use ariel::ArielResult;
@@ -140,7 +140,11 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
             for rule in db.rules().iter() {
                 text.push_str(&format!(
                     "[{}] {} (priority {}, {})\n    {}\n",
-                    if rule.is_active() { "active" } else { "installed" },
+                    if rule.is_active() {
+                        "active"
+                    } else {
+                        "installed"
+                    },
                     rule.name,
                     rule.priority,
                     rule.ruleset,
@@ -173,10 +177,15 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
             let rest: Vec<&str> = parts.collect();
             let src = rest.join(" ");
             if src.is_empty() {
-                return ShellAction::Text("usage: \\explain <dml command> | \\explain rule <name>\n".into());
+                return ShellAction::Text(
+                    "usage: \\explain <dml command> | \\explain rule <name> | \\explain analyze <command>\n"
+                        .into(),
+                );
             }
             let result = if let Some(rule) = src.strip_prefix("rule ") {
                 db.explain_rule_action(rule.trim())
+            } else if let Some(cmd) = src.strip_prefix("analyze ") {
+                db.explain_analyze(cmd.trim())
             } else {
                 db.explain(&src)
             };
@@ -185,6 +194,21 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
                 Err(e) => ShellAction::Text(format!("error: {e}\n")),
             }
         }
+        Some("metrics") => ShellAction::Text(format!("{}\n", db.metrics_json())),
+        Some("observe") => match parts.next() {
+            Some("on") => {
+                db.set_observability(true);
+                ShellAction::Text("observability on (timing histograms active)\n".into())
+            }
+            Some("off") => {
+                db.set_observability(false);
+                ShellAction::Text("observability off\n".into())
+            }
+            _ => ShellAction::Text(format!(
+                "observability is {}; usage: \\observe on|off\n",
+                if db.observing() { "on" } else { "off" }
+            )),
+        },
         Some("help") | Some("h") | Some("?") => ShellAction::Text(HELP.to_string()),
         other => ShellAction::Text(format!(
             "unknown meta command `\\{}` — try \\help\n",
@@ -214,6 +238,11 @@ Meta commands:
   \rules            list rules
   \explain <cmd>    show the optimizer's plan without executing
   \explain rule <r> show the plans a rule firing would run (Fig. 8)
+  \explain analyze <cmd>
+                    execute <cmd> under a timing capture and show the
+                    per-node match work it caused (tokens, times)
+  \observe on|off   toggle the timing tier (per-phase histograms)
+  \metrics          full metrics snapshot as JSON
   \stats            engine and network statistics
   \help             this text
   \q                quit
@@ -268,14 +297,22 @@ mod tests {
     fn meta_commands() {
         let mut db = shell_db();
         assert_eq!(dispatch(&mut db, "\\q"), ShellAction::Quit);
-        let ShellAction::Text(t) = dispatch(&mut db, "\\d") else { panic!() };
+        let ShellAction::Text(t) = dispatch(&mut db, "\\d") else {
+            panic!()
+        };
         assert!(t.contains("t (x int, name string)"));
         dispatch(&mut db, "define rule r if t.x > 0 then delete t");
-        let ShellAction::Text(t) = dispatch(&mut db, "\\rules") else { panic!() };
+        let ShellAction::Text(t) = dispatch(&mut db, "\\rules") else {
+            panic!()
+        };
         assert!(t.contains("[active] r"));
-        let ShellAction::Text(t) = dispatch(&mut db, "\\stats") else { panic!() };
+        let ShellAction::Text(t) = dispatch(&mut db, "\\stats") else {
+            panic!()
+        };
         assert!(t.contains("network: 1 rules"));
-        let ShellAction::Text(t) = dispatch(&mut db, "\\nope") else { panic!() };
+        let ShellAction::Text(t) = dispatch(&mut db, "\\nope") else {
+            panic!()
+        };
         assert!(t.contains("unknown meta command"));
     }
 
@@ -289,9 +326,11 @@ mod tests {
     #[test]
     fn notifications_are_printed() {
         let mut db = shell_db();
-        dispatch(&mut db, "define rule w on append t then notify chan (x = t.x)");
-        let ShellAction::Text(t) = dispatch(&mut db, r#"append t (x = 5, name = "n")"#)
-        else {
+        dispatch(
+            &mut db,
+            "define rule w on append t then notify chan (x = t.x)",
+        );
+        let ShellAction::Text(t) = dispatch(&mut db, r#"append t (x = 5, name = "n")"#) else {
             panic!()
         };
         assert!(t.contains("notification on `chan`"), "{t}");

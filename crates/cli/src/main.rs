@@ -54,7 +54,11 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
-        let prompt = if buffer.is_empty() { "ariel> " } else { "   ... " };
+        let prompt = if buffer.is_empty() {
+            "ariel> "
+        } else {
+            "   ... "
+        };
         print!("{prompt}");
         std::io::stdout().flush().ok();
         let mut line = String::new();
@@ -78,9 +82,8 @@ fn main() {
         }
         buffer.push_str(&line);
         let force = trimmed.ends_with(';');
-        let complete = force
-            || buffer.trim().is_empty()
-            || ariel::query::parse_script(&buffer).is_ok();
+        let complete =
+            force || buffer.trim().is_empty() || ariel::query::parse_script(&buffer).is_ok();
         if !complete {
             // keep buffering only while the error is plausibly "more input
             // needed" (unterminated block / trailing operator); otherwise

@@ -60,7 +60,11 @@ impl<T: Ord + Clone> Interval<T> {
     /// Ray `(v, +inf)` or `[v, +inf)`.
     pub fn at_least(v: T, inclusive: bool) -> Self {
         Interval {
-            lo: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+            lo: if inclusive {
+                Bound::Included(v)
+            } else {
+                Bound::Excluded(v)
+            },
             hi: Bound::Unbounded,
         }
     }
@@ -69,7 +73,11 @@ impl<T: Ord + Clone> Interval<T> {
     pub fn at_most(v: T, inclusive: bool) -> Self {
         Interval {
             lo: Bound::Unbounded,
-            hi: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+            hi: if inclusive {
+                Bound::Included(v)
+            } else {
+                Bound::Excluded(v)
+            },
         }
     }
 

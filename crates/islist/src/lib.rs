@@ -19,11 +19,13 @@
 pub mod interval;
 pub mod naive;
 pub mod skiplist;
+pub mod stats;
 pub mod tree;
 
 pub use interval::Interval;
 pub use naive::NaiveIntervalSet;
 pub use skiplist::{IntervalId, IntervalSkipList};
+pub use stats::{Histogram, StabStats, HISTOGRAM_BUCKETS};
 pub use tree::IntervalTree;
 
 #[cfg(test)]

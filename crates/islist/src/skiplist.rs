@@ -22,6 +22,7 @@
 //! interval; only intervals overlapping the changed key are affected.
 
 use crate::interval::Interval;
+use crate::stats::StabStats;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -120,6 +121,7 @@ pub struct IntervalSkipList<T> {
     intervals: HashMap<IntervalId, Interval<T>>,
     next_id: u64,
     rng: LevelRng,
+    stats: StabStats,
 }
 
 impl<T: Ord + Clone> Default for IntervalSkipList<T> {
@@ -144,7 +146,14 @@ impl<T: Ord + Clone> IntervalSkipList<T> {
             intervals: HashMap::new(),
             next_id: 0,
             rng: LevelRng(seed | 1),
+            stats: StabStats::new(),
         }
+    }
+
+    /// Always-on counters describing the stabbing queries this list has
+    /// answered (see [`StabStats`]). Reset with [`StabStats::reset`].
+    pub fn stab_stats(&self) -> &StabStats {
+        &self.stats
     }
 
     /// Number of stored intervals.
@@ -295,8 +304,7 @@ impl<T: Ord + Clone> IntervalSkipList<T> {
         let mut lvl = 0usize;
         loop {
             // Ascend to the highest outgoing edge still contained in iv.
-            while lvl + 1 < self.level_of(x)
-                && self.span_contained(iv, x, self.forward(x, lvl + 1))
+            while lvl + 1 < self.level_of(x) && self.span_contained(iv, x, self.forward(x, lvl + 1))
             {
                 lvl += 1;
             }
@@ -473,9 +481,12 @@ impl<T: Ord + Clone> IntervalSkipList<T> {
 
     /// Stabbing query invoking `f` for each hit. Hits are not repeated.
     pub fn stab_with(&self, x: &T, mut f: impl FnMut(IntervalId)) {
+        let mut visited = 0u64;
+        let mut hits = 0u64;
         let mut cur = Pos::Header;
         for lvl in (0..MAX_LEVEL).rev() {
             while let Some(nxt) = self.forward(cur, lvl) {
+                visited += 1;
                 if &self.node(nxt).key < x {
                     cur = Pos::Node(nxt);
                 } else {
@@ -490,6 +501,7 @@ impl<T: Ord + Clone> IntervalSkipList<T> {
             };
             if strictly_spans {
                 for &id in self.markers(cur, lvl) {
+                    hits += 1;
                     f(id);
                 }
             }
@@ -497,10 +509,16 @@ impl<T: Ord + Clone> IntervalSkipList<T> {
         if let Some(nxt) = self.forward(cur, 0) {
             if &self.node(nxt).key == x {
                 for &id in &self.node(nxt).eq_markers {
+                    hits += 1;
                     f(id);
                 }
             }
         }
+        self.stats.stabs.set(self.stats.stabs.get() + 1);
+        self.stats
+            .nodes_visited
+            .set(self.stats.nodes_visited.get() + visited);
+        self.stats.hits.set(self.stats.hits.get() + hits);
     }
 
     /// Approximate heap footprint in bytes, for the benchmark harness.
@@ -729,7 +747,9 @@ mod tests {
         let mut live: Vec<(IntervalId, Interval<i64>)> = Vec::new();
         let mut seed = 123u64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as i64
         };
         for step in 0..300 {
@@ -817,8 +837,7 @@ mod tests {
     #[test]
     fn works_with_string_keys() {
         let mut l: IntervalSkipList<String> = IntervalSkipList::new();
-        let id = l
-            .insert(Interval::closed("apple".to_string(), "mango".to_string()).unwrap());
+        let id = l.insert(Interval::closed("apple".to_string(), "mango".to_string()).unwrap());
         assert_eq!(l.stab(&"banana".to_string()), vec![id]);
         assert!(l.stab(&"zebra".to_string()).is_empty());
     }

@@ -1,0 +1,346 @@
+//! Lightweight measurement primitives shared by the whole match path.
+//!
+//! This module lives at the bottom of the crate stack so every layer above
+//! (`ariel-network`, `ariel`, the benches) can record into the same
+//! dependency-free types:
+//!
+//! * [`Histogram`] — a fixed-bucket log₂ histogram of `u64` samples
+//!   (typically nanoseconds from a monotonic clock, sometimes counts).
+//!   Recording is two `Cell` increments; no allocation, no locking, no
+//!   floating point.
+//! * [`StabStats`] — always-on counters the interval skip list keeps about
+//!   its stabbing queries (probe count, nodes visited, marker hits).
+//!
+//! Both types use interior mutability (`Cell`) so shared-reference code
+//! paths — `IntervalSkipList::stab` takes `&self` — can record without
+//! threading `&mut` through the search routines.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Number of log₂ buckets. Bucket 63 absorbs everything ≥ 2⁶².
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-size log₂ histogram of `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `bucket_floor(i) <= v < 2 *
+/// bucket_floor(i)` where `bucket_floor(0) = 0` and `bucket_floor(i) =
+/// 2^(i-1)` — i.e. bucket index is the sample's bit length. The histogram
+/// also tracks the exact sum, count, min and max, so means are exact and
+/// only quantiles are bucket-approximate.
+///
+/// ```
+/// use ariel_islist::Histogram;
+/// let h = Histogram::new();
+/// for v in [3, 5, 900] { h.record(v); }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 908);
+/// assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [Cell<u64>; HISTOGRAM_BUCKETS],
+    count: Cell<u64>,
+    sum: Cell<u64>,
+    min: Cell<u64>,
+    max: Cell<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| Cell::new(0)),
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            min: Cell::new(0),
+            max: Cell::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample: its bit length (0 for 0).
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Smallest sample value that lands in bucket `i`.
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = &self.buckets[Self::bucket_index(v)];
+        b.set(b.get() + 1);
+        let n = self.count.get();
+        self.count.set(n + 1);
+        self.sum.set(self.sum.get().saturating_add(v));
+        if n == 0 || v < self.min.get() {
+            self.min.set(v);
+        }
+        if v > self.max.get() {
+            self.max.set(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// Exact mean, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.sum() / self.count()
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.get()
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.get()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Copy of the bucket counts (index = sample bit length).
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.get();
+        }
+        out
+    }
+
+    /// Bucket-resolution quantile: the floor value of the bucket containing
+    /// the `q`-quantile sample (`q` in 0..=100). 0 when empty.
+    pub fn approx_quantile(&self, q: u8) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (n.saturating_mul(q.min(100) as u64)).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.get();
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&self, other: &Histogram) {
+        if other.count() == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            a.set(a.get() + b.get());
+        }
+        let n = self.count.get();
+        if n == 0 || other.min.get() < self.min.get() {
+            self.min.set(other.min.get());
+        }
+        if other.max.get() > self.max.get() {
+            self.max.set(other.max.get());
+        }
+        self.count.set(n + other.count.get());
+        self.sum.set(self.sum.get().saturating_add(other.sum.get()));
+    }
+
+    /// Forget all samples.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.set(0);
+        }
+        self.count.set(0);
+        self.sum.set(0);
+        self.min.set(0);
+        self.max.set(0);
+    }
+
+    /// Hand-rolled JSON object: `{"count":…,"sum":…,"min":…,"mean":…,
+    /// "p50":…,"p99":…,"max":…,"buckets":{"<floor>":count,…}}`.
+    /// Empty buckets are omitted to keep snapshots small.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{},\"buckets\":{{",
+            self.count(),
+            self.sum(),
+            self.min(),
+            self.mean(),
+            self.approx_quantile(50),
+            self.approx_quantile(99),
+            self.max(),
+        );
+        let mut first = true;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if b.get() > 0 {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("\"{}\":{}", Self::bucket_floor(i), b.get()));
+            }
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram {{ count: {}, mean: {}, p50: {}, p99: {}, max: {} }}",
+            self.count(),
+            self.mean(),
+            self.approx_quantile(50),
+            self.approx_quantile(99),
+            self.max()
+        )
+    }
+}
+
+/// Always-on counters for interval-skip-list stabbing queries.
+///
+/// Kept by every [`crate::IntervalSkipList`]; incrementing three `Cell`s
+/// per probe is cheap enough to leave unconditionally enabled, which is
+/// what lets `NetworkStats` report selection-network probe work without an
+/// observability flag.
+#[derive(Clone, Default)]
+pub struct StabStats {
+    /// Number of stabbing queries answered.
+    pub stabs: Cell<u64>,
+    /// Skip-list nodes examined while descending the search path.
+    pub nodes_visited: Cell<u64>,
+    /// Interval markers reported (before de-duplication).
+    pub hits: Cell<u64>,
+}
+
+impl StabStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.stabs.set(0);
+        self.nodes_visited.set(0);
+        self.hits.set(0);
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&self, other: &StabStats) {
+        self.stabs.set(self.stabs.get() + other.stabs.get());
+        self.nodes_visited
+            .set(self.nodes_visited.get() + other.nodes_visited.get());
+        self.hits.set(self.hits.get() + other.hits.get());
+    }
+}
+
+impl fmt::Debug for StabStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StabStats {{ stabs: {}, nodes_visited: {}, hits: {} }}",
+            self.stabs.get(),
+            self.nodes_visited.get(),
+            self.hits.get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_floor(i)), i);
+        }
+    }
+
+    #[test]
+    fn totals_match_counts() {
+        let h = Histogram::new();
+        let samples = [0u64, 1, 1, 7, 100, 100_000, 5_000_000_000];
+        for &v in &samples {
+            h.record(v);
+        }
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+        assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 5_000_000_000);
+        assert!(h.approx_quantile(100) <= h.max());
+        assert!(h.approx_quantile(0) >= h.min());
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1012);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 1000);
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(a.buckets().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        let j = h.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"count\":2"), "{j}");
+        assert!(j.contains("\"buckets\":{\"4\":2}"), "{j}");
+    }
+}

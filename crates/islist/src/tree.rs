@@ -78,7 +78,14 @@ struct Node<T> {
 impl<T: Ord + Clone> Node<T> {
     fn new(id: IntervalId, iv: Interval<T>, prio: u64) -> Box<Self> {
         let max_hi = iv.hi().clone();
-        Box::new(Node { id, iv, prio, max_hi, left: None, right: None })
+        Box::new(Node {
+            id,
+            iv,
+            prio,
+            max_hi,
+            left: None,
+            right: None,
+        })
     }
 
     /// Recompute `max_hi` from children (call after structure changes).
@@ -116,10 +123,7 @@ fn rotate_right<T: Ord + Clone>(mut n: Box<Node<T>>) -> Box<Node<T>> {
     l
 }
 
-fn insert_node<T: Ord + Clone>(
-    root: Option<Box<Node<T>>>,
-    node: Box<Node<T>>,
-) -> Box<Node<T>> {
+fn insert_node<T: Ord + Clone>(root: Option<Box<Node<T>>>, node: Box<Node<T>>) -> Box<Node<T>> {
     let Some(mut r) = root else { return node };
     match r.key_cmp(node.iv.lo(), node.id) {
         Ordering::Greater | Ordering::Equal => {
@@ -145,7 +149,9 @@ fn remove_node<T: Ord + Clone>(
     lo: &Bound<T>,
     id: IntervalId,
 ) -> (Option<Box<Node<T>>>, bool) {
-    let Some(mut r) = root else { return (None, false) };
+    let Some(mut r) = root else {
+        return (None, false);
+    };
     if r.id == id {
         // rotate the victim down until it is a leaf-ish node
         return match (r.left.take(), r.right.take()) {
@@ -226,7 +232,12 @@ impl<T: Ord + Clone> Default for IntervalTree<T> {
 impl<T: Ord + Clone> IntervalTree<T> {
     /// New empty tree (deterministic treap priorities).
     pub fn new() -> Self {
-        IntervalTree { root: None, len: 0, next_id: 0, prio_state: 0x1B57_BEE5 | 1 }
+        IntervalTree {
+            root: None,
+            len: 0,
+            next_id: 0,
+            prio_state: 0x1B57_BEE5 | 1,
+        }
     }
 
     fn next_prio(&mut self) -> u64 {
@@ -381,7 +392,10 @@ mod tests {
         assert_eq!(cmp_lo::<i64>(&Bound::Unbounded, &Bound::Included(0)), Less);
         assert_eq!(cmp_lo(&Bound::Included(5), &Bound::Excluded(5)), Less);
         assert_eq!(cmp_lo(&Bound::Excluded(5), &Bound::Included(6)), Less);
-        assert_eq!(cmp_hi::<i64>(&Bound::Unbounded, &Bound::Included(100)), Greater);
+        assert_eq!(
+            cmp_hi::<i64>(&Bound::Unbounded, &Bound::Included(100)),
+            Greater
+        );
         assert_eq!(cmp_hi(&Bound::Excluded(5), &Bound::Included(5)), Less);
         assert!(hi_admits(&Bound::Included(5), &5));
         assert!(!hi_admits(&Bound::Excluded(5), &5));

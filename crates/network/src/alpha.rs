@@ -18,6 +18,7 @@ use crate::pred::SelectionPredicate;
 use crate::token::{EventSpecifier, TokenKind};
 use ariel_query::{eval_pred, SingleEnv};
 use ariel_storage::{Tid, Tuple};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -146,6 +147,42 @@ impl AlphaEntry {
     }
 }
 
+/// Always-on per-node counters (see `crate::obs` for the two-tier
+/// observability design). `Cell` because the join routines hold `&self`.
+#[derive(Debug, Clone, Default)]
+pub struct AlphaCounters {
+    /// α-tests run against this node (selection-network candidates).
+    pub tests: Cell<u64>,
+    /// α-tests that passed (event gating + predicate).
+    pub passes: Cell<u64>,
+    /// Entries inserted into the stored memory.
+    pub inserted: Cell<u64>,
+    /// β-join materializations of this node from its base relation
+    /// (virtual nodes only).
+    pub virtual_scans: Cell<u64>,
+    /// Base-relation tuples examined during those materializations.
+    pub scanned_tuples: Cell<u64>,
+    /// Candidate bindings served into β-joins (stored or materialized).
+    pub join_candidates: Cell<u64>,
+}
+
+impl AlphaCounters {
+    #[inline]
+    pub(crate) fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.tests.set(0);
+        self.passes.set(0);
+        self.inserted.set(0);
+        self.virtual_scans.set(0);
+        self.scanned_tuples.set(0);
+        self.join_candidates.set(0);
+    }
+}
+
 /// An α-memory node.
 #[derive(Debug)]
 pub struct AlphaNode {
@@ -161,6 +198,8 @@ pub struct AlphaNode {
     pub pred: SelectionPredicate,
     /// Event requirement for ON-condition nodes.
     pub event: Option<EventReq>,
+    /// Always-on activity counters.
+    pub counters: AlphaCounters,
     entries: HashMap<u64, AlphaEntry>,
 }
 
@@ -174,7 +213,16 @@ impl AlphaNode {
         pred: SelectionPredicate,
         event: Option<EventReq>,
     ) -> Self {
-        AlphaNode { rule, var, rel, kind, pred, event, entries: HashMap::new() }
+        AlphaNode {
+            rule,
+            var,
+            rel,
+            kind,
+            pred,
+            event,
+            counters: AlphaCounters::default(),
+            entries: HashMap::new(),
+        }
     }
 
     /// Does the node's selection predicate match a (tuple, prev) pair?
@@ -214,6 +262,7 @@ impl AlphaNode {
     /// Insert an entry (keyed by the token's TID).
     pub fn insert(&mut self, key: Tid, entry: AlphaEntry) {
         debug_assert!(self.kind.stores_entries());
+        AlphaCounters::bump(&self.counters.inserted, 1);
         self.entries.insert(key.0, entry);
     }
 
@@ -266,7 +315,10 @@ mod tests {
 
     fn band_pred(lo: i64, hi: i64) -> SelectionPredicate {
         SelectionPredicate {
-            anchor: Some((0, Interval::open_closed(Value::Int(lo), Value::Int(hi)).unwrap())),
+            anchor: Some((
+                0,
+                Interval::open_closed(Value::Int(lo), Value::Int(hi)).unwrap(),
+            )),
             residual: None,
             unsatisfiable: false,
         }
@@ -317,7 +369,14 @@ mod tests {
     #[test]
     fn entry_lifecycle() {
         let mut n = node(AlphaKind::Stored, None);
-        n.insert(Tid(7), AlphaEntry { tid: Some(Tid(7)), tuple: tup(15), prev: None });
+        n.insert(
+            Tid(7),
+            AlphaEntry {
+                tid: Some(Tid(7)),
+                tuple: tup(15),
+                prev: None,
+            },
+        );
         assert!(n.contains(Tid(7)));
         assert_eq!(n.len(), 1);
         assert!(n.heap_size() > 0);
@@ -329,7 +388,14 @@ mod tests {
     #[test]
     fn flush_clears() {
         let mut n = node(AlphaKind::DynamicOn, Some(EventReq::Append));
-        n.insert(Tid(1), AlphaEntry { tid: Some(Tid(1)), tuple: tup(12), prev: None });
+        n.insert(
+            Tid(1),
+            AlphaEntry {
+                tid: Some(Tid(1)),
+                tuple: tup(12),
+                prev: None,
+            },
+        );
         n.flush();
         assert!(n.is_empty());
     }
@@ -346,7 +412,10 @@ mod tests {
         let n = node(AlphaKind::DynamicOn, Some(EventReq::Append));
         assert!(n.admits_positive(TokenKind::Plus, Some(&EventSpecifier::Append)));
         assert!(!n.admits_positive(TokenKind::DeltaPlus, Some(&EventSpecifier::Replace(vec![]))));
-        assert!(!n.admits_positive(TokenKind::Plus, None), "on-node needs an event");
+        assert!(
+            !n.admits_positive(TokenKind::Plus, None),
+            "on-node needs an event"
+        );
         // pattern node ignores events entirely
         let p = node(AlphaKind::Stored, None);
         assert!(p.admits_positive(TokenKind::Plus, None));
@@ -357,7 +426,10 @@ mod tests {
         let watch = EventReq::Replace(Some(vec![2, 4]));
         assert!(watch.admits(&EventSpecifier::Replace(vec![4])));
         assert!(!watch.admits(&EventSpecifier::Replace(vec![0, 1])));
-        assert!(watch.admits(&EventSpecifier::Replace(vec![])), "unknown attrs admit");
+        assert!(
+            watch.admits(&EventSpecifier::Replace(vec![])),
+            "unknown attrs admit"
+        );
         assert!(!watch.admits(&EventSpecifier::Append));
         let any = EventReq::Replace(None);
         assert!(any.admits(&EventSpecifier::Replace(vec![0])));

@@ -10,13 +10,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alpha;
+pub mod obs;
 pub mod pred;
 pub mod rete;
 pub mod selnet;
 pub mod token;
 pub mod treat;
 
-pub use alpha::{AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+pub use alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+pub use obs::{MatchObs, NodeObs, RuleObs};
 pub use pred::SelectionPredicate;
 pub use rete::ReteNetwork;
 pub use selnet::SelectionNetwork;

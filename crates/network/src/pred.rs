@@ -29,7 +29,11 @@ impl SelectionPredicate {
     /// The always-true predicate (a bare `new(var)` or an unconstrained
     /// variable).
     pub fn always_true() -> Self {
-        SelectionPredicate { anchor: None, residual: None, unsatisfiable: false }
+        SelectionPredicate {
+            anchor: None,
+            residual: None,
+            unsatisfiable: false,
+        }
     }
 
     /// Decompose the conjunction `conjuncts` (each over variable 0 only).
@@ -93,7 +97,11 @@ impl SelectionPredicate {
                 residual,
                 unsatisfiable: false,
             },
-            None => SelectionPredicate { anchor: None, residual, unsatisfiable: true },
+            None => SelectionPredicate {
+                anchor: None,
+                residual,
+                unsatisfiable: true,
+            },
         }
     }
 
@@ -102,7 +110,10 @@ impl SelectionPredicate {
     pub fn full_expr(&self) -> Option<RExpr> {
         let mut parts = Vec::new();
         if let Some((attr, iv)) = &self.anchor {
-            let a = RExpr::Attr { var: 0, attr: *attr };
+            let a = RExpr::Attr {
+                var: 0,
+                attr: *attr,
+            };
             match iv.lo() {
                 Bound::Included(v) => parts.push(cmp(BinOp::Ge, a.clone(), v.clone())),
                 Bound::Excluded(v) => parts.push(cmp(BinOp::Gt, a.clone(), v.clone())),
@@ -122,7 +133,11 @@ impl SelectionPredicate {
 }
 
 fn cmp(op: BinOp, l: RExpr, v: Value) -> RExpr {
-    RExpr::Binary { op, left: Box::new(l), right: Box::new(RExpr::Const(v)) }
+    RExpr::Binary {
+        op,
+        left: Box::new(l),
+        right: Box::new(RExpr::Const(v)),
+    }
 }
 
 fn tighter_lo(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
@@ -168,7 +183,9 @@ fn tighter_hi(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
 /// Recognize `attr cmp constant` (constants may be constant-foldable
 /// expressions); `previous` references never anchor.
 fn as_sarg(c: &RExpr) -> Option<(usize, BinOp, Value)> {
-    let RExpr::Binary { op, left, right } = c else { return None };
+    let RExpr::Binary { op, left, right } = c else {
+        return None;
+    };
     if !op.is_comparison() || *op == BinOp::Ne {
         return None;
     }
@@ -206,7 +223,11 @@ mod tests {
     }
 
     fn bin(op: BinOp, l: RExpr, r: RExpr) -> RExpr {
-        RExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        RExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
@@ -248,7 +269,7 @@ mod tests {
     fn residual_keeps_non_anchor_conjuncts() {
         let p = SelectionPredicate::decompose(vec![
             bin(BinOp::Gt, attr(1), lit(10i64)),
-            bin(BinOp::Ne, attr(0), lit("x")), // != can't anchor
+            bin(BinOp::Ne, attr(0), lit("x")),  // != can't anchor
             bin(BinOp::Eq, attr(2), lit(5i64)), // different attr: attr 1 wins? no...
         ]);
         // attr 1 and attr 2 both have one sarg; lowest attr wins ties → 1

@@ -24,8 +24,7 @@ use crate::selnet::SelectionNetwork;
 use crate::token::Token;
 use crate::treat::VirtualPolicy;
 use ariel_query::{
-    eval_pred, BoundVar, Pnode, PnodeCol, QueryError, QueryResult, RExpr, ResolvedCondition,
-    Row,
+    eval_pred, BoundVar, Pnode, PnodeCol, QueryError, QueryResult, RExpr, ResolvedCondition, Row,
 };
 use ariel_storage::{Catalog, Tid};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -115,7 +114,9 @@ impl ReteNetwork {
             ));
         }
         if self.rules.contains_key(&id.0) {
-            return Err(QueryError::Semantic(format!("rule {id} already in network")));
+            return Err(QueryError::Semantic(format!(
+                "rule {id} already in network"
+            )));
         }
         let nvars = cond.spec.vars.len();
         let conjuncts: Vec<RExpr> = cond
@@ -197,7 +198,11 @@ impl ReteNetwork {
             }
             _ => Ok(alpha
                 .entries()
-                .map(|e| BoundVar { tid: e.tid, tuple: e.tuple.clone(), prev: e.prev.clone() })
+                .map(|e| BoundVar {
+                    tid: e.tid,
+                    tuple: e.tuple.clone(),
+                    prev: e.prev.clone(),
+                })
                 .collect()),
         }
     }
@@ -222,7 +227,14 @@ impl ReteNetwork {
                     .scan()
                     .filter(|(_, t)| a.pred_matches(t, None))
                     .map(|(tid, t)| {
-                        (tid, AlphaEntry { tid: Some(tid), tuple: t.clone(), prev: None })
+                        (
+                            tid,
+                            AlphaEntry {
+                                tid: Some(tid),
+                                tuple: t.clone(),
+                                prev: None,
+                            },
+                        )
                     })
                     .collect()
             };
@@ -326,7 +338,10 @@ impl ReteNetwork {
             .selnet
             .candidates(&token.rel, &token.tuple)
             .into_iter()
-            .filter(|aid| self.alpha(*aid).pred_matches(&token.tuple, token.old.as_ref()))
+            .filter(|aid| {
+                self.alpha(*aid)
+                    .pred_matches(&token.tuple, token.old.as_ref())
+            })
             .collect();
         matched.sort_by_key(|a| a.0);
         matched.dedup();
@@ -369,7 +384,15 @@ impl ReteNetwork {
                     out
                 }
             };
-            self.insert_partials(rule_id, var, new_partials, token, &processed, catalog, pending)?;
+            self.insert_partials(
+                rule_id,
+                var,
+                new_partials,
+                token,
+                &processed,
+                catalog,
+                pending,
+            )?;
         }
         Ok(())
     }
@@ -468,11 +491,7 @@ impl ReteNetwork {
 
     /// Total bytes held in α-memories.
     pub fn alpha_bytes(&self) -> usize {
-        self.alphas
-            .iter()
-            .flatten()
-            .map(AlphaNode::heap_size)
-            .sum()
+        self.alphas.iter().flatten().map(AlphaNode::heap_size).sum()
     }
 }
 
@@ -503,9 +522,14 @@ mod tests {
         let e = parse_expr(qual).unwrap();
         let from: Vec<FromItem> = from
             .iter()
-            .map(|(v, r)| FromItem { var: v.to_string(), rel: r.to_string() })
+            .map(|(v, r)| FromItem {
+                var: v.to_string(),
+                rel: r.to_string(),
+            })
             .collect();
-        Resolver::new(c).resolve_condition(None, Some(&e), &from).unwrap()
+        Resolver::new(c)
+            .resolve_condition(None, Some(&e), &from)
+            .unwrap()
     }
 
     fn ins(c: &Catalog, rel: &str, vals: &[i64]) -> Token {
@@ -528,7 +552,8 @@ mod tests {
     fn rete_single_variable() {
         let cat = catalog();
         let mut net = ReteNetwork::new();
-        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 100", &[])).unwrap();
+        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 100", &[]))
+            .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         let t = ins(&cat, "emp", &[200, 1]);
         net.process_token(&t, &cat).unwrap();
@@ -552,7 +577,12 @@ mod tests {
         rete.prime(RuleId(1), &cat).unwrap();
         let mut treat = Network::new();
         treat
-            .add_rule(RuleId(1), &rcond(&cat, qual, &[]), &VirtualPolicy::AllStored, &cat)
+            .add_rule(
+                RuleId(1),
+                &rcond(&cat, qual, &[]),
+                &VirtualPolicy::AllStored,
+                &cat,
+            )
             .unwrap();
         treat.prime(RuleId(1), &cat).unwrap();
 
@@ -665,9 +695,14 @@ mod virtual_tests {
         let e = parse_expr(qual).unwrap();
         let from: Vec<FromItem> = from
             .iter()
-            .map(|(v, r)| FromItem { var: v.to_string(), rel: r.to_string() })
+            .map(|(v, r)| FromItem {
+                var: v.to_string(),
+                rel: r.to_string(),
+            })
             .collect();
-        Resolver::new(c).resolve_condition(None, Some(&e), &from).unwrap()
+        Resolver::new(c)
+            .resolve_condition(None, Some(&e), &from)
+            .unwrap()
     }
 
     fn ins(c: &Catalog, rel: &str, vals: &[i64]) -> Token {
@@ -694,7 +729,9 @@ mod virtual_tests {
         let cat_b = catalog();
         let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
         let mut classic = ReteNetwork::new();
-        classic.add_rule(RuleId(1), &rcond(&cat_a, qual, &[])).unwrap();
+        classic
+            .add_rule(RuleId(1), &rcond(&cat_a, qual, &[]))
+            .unwrap();
         classic.prime(RuleId(1), &cat_a).unwrap();
         let mut virt = ReteNetwork::with_policy(VirtualPolicy::AllVirtual);
         virt.add_rule(RuleId(1), &rcond(&cat_b, qual, &[])).unwrap();
@@ -774,8 +811,16 @@ mod virtual_tests {
     #[test]
     fn virtual_rete_priming() {
         let cat = catalog();
-        cat.get("emp").unwrap().borrow_mut().insert(vec![20i64.into(), 1i64.into()]).unwrap();
-        cat.get("dept").unwrap().borrow_mut().insert(vec![1i64.into(), 2i64.into()]).unwrap();
+        cat.get("emp")
+            .unwrap()
+            .borrow_mut()
+            .insert(vec![20i64.into(), 1i64.into()])
+            .unwrap();
+        cat.get("dept")
+            .unwrap()
+            .borrow_mut()
+            .insert(vec![1i64.into(), 2i64.into()])
+            .unwrap();
         let mut net = ReteNetwork::with_policy(VirtualPolicy::AllVirtual);
         net.add_rule(
             RuleId(1),

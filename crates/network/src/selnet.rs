@@ -11,8 +11,9 @@
 //! indexable condition this tuple satisfies" in `O(log n + answers)`.
 
 use crate::alpha::AlphaId;
-use ariel_islist::{Interval, IntervalId, IntervalSkipList};
+use ariel_islist::{Interval, IntervalId, IntervalSkipList, StabStats};
 use ariel_storage::{Tuple, Value};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 #[derive(Debug, Default)]
@@ -44,6 +45,10 @@ struct SubRecord {
 pub struct SelectionNetwork {
     rels: HashMap<String, RelRouting>,
     subs: HashMap<usize, SubRecord>, // keyed by AlphaId.0
+    /// Always-on counter: tokens probed through [`Self::candidates`].
+    probes: Cell<u64>,
+    /// Always-on counter: candidate nodes emitted by those probes.
+    emitted: Cell<u64>,
 }
 
 impl SelectionNetwork {
@@ -53,12 +58,7 @@ impl SelectionNetwork {
     }
 
     /// Subscribe a node on `rel` with an optional anchor.
-    pub fn subscribe(
-        &mut self,
-        id: AlphaId,
-        rel: &str,
-        anchor: Option<(usize, Interval<Value>)>,
-    ) {
+    pub fn subscribe(&mut self, id: AlphaId, rel: &str, anchor: Option<(usize, Interval<Value>)>) {
         let routing = self.rels.entry(rel.to_string()).or_default();
         routing.alphas.push(id);
         let anchored = match anchor {
@@ -73,13 +73,23 @@ impl SelectionNetwork {
                 None
             }
         };
-        self.subs.insert(id.0, SubRecord { rel: rel.to_string(), anchored });
+        self.subs.insert(
+            id.0,
+            SubRecord {
+                rel: rel.to_string(),
+                anchored,
+            },
+        );
     }
 
     /// Remove a subscription.
     pub fn unsubscribe(&mut self, id: AlphaId) {
-        let Some(rec) = self.subs.remove(&id.0) else { return };
-        let Some(routing) = self.rels.get_mut(&rec.rel) else { return };
+        let Some(rec) = self.subs.remove(&id.0) else {
+            return;
+        };
+        let Some(routing) = self.rels.get_mut(&rec.rel) else {
+            return;
+        };
         routing.alphas.retain(|a| *a != id);
         match rec.anchored {
             Some((attr, iid)) => {
@@ -96,6 +106,7 @@ impl SelectionNetwork {
     /// interval contains the corresponding attribute value, plus every
     /// unanchored subscription. Residual predicates are *not* checked here.
     pub fn candidates(&self, rel: &str, tuple: &Tuple) -> Vec<AlphaId> {
+        self.probes.set(self.probes.get() + 1);
         let Some(routing) = self.rels.get(rel) else {
             return Vec::new();
         };
@@ -113,12 +124,33 @@ impl SelectionNetwork {
             });
         }
         out.extend_from_slice(&routing.unanchored);
+        self.emitted.set(self.emitted.get() + out.len() as u64);
         out
+    }
+
+    /// Always-on probe counters: `(tokens probed, candidates emitted)`.
+    pub fn probe_counts(&self) -> (u64, u64) {
+        (self.probes.get(), self.emitted.get())
+    }
+
+    /// Aggregated stabbing-query counters across every per-attribute
+    /// interval skip list (see [`StabStats`]).
+    pub fn stab_stats(&self) -> StabStats {
+        let agg = StabStats::new();
+        for r in self.rels.values() {
+            for ix in r.attr_indexes.values() {
+                agg.merge(ix.islist.stab_stats());
+            }
+        }
+        agg
     }
 
     /// Every subscribed node on `rel`.
     pub fn alphas_on(&self, rel: &str) -> &[AlphaId] {
-        self.rels.get(rel).map(|r| r.alphas.as_slice()).unwrap_or(&[])
+        self.rels
+            .get(rel)
+            .map(|r| r.alphas.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Total number of subscriptions.
@@ -228,7 +260,11 @@ mod tests {
         // the Fig. 9-11 workload shape
         let mut net = SelectionNetwork::new();
         for i in 0..200 {
-            net.subscribe(AlphaId(i), "emp", Some((1, band(i as i64 * 1000, i as i64 * 1000 + 10_000))));
+            net.subscribe(
+                AlphaId(i),
+                "emp",
+                Some((1, band(i as i64 * 1000, i as i64 * 1000 + 10_000))),
+            );
         }
         let c = net.candidates("emp", &tup(&[0, 55_500]));
         assert_eq!(c.len(), 10, "exactly the 10 overlapping bands");

@@ -31,16 +31,18 @@
 //! This reproduces TREAT's self-join counting exactly: a token joins to
 //! itself once per virtual/stored node pair, never twice.
 
-use crate::alpha::{AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+use crate::alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+use crate::obs::MatchObs;
 use crate::pred::SelectionPredicate;
 use crate::selnet::SelectionNetwork;
 use crate::token::{EventSpecifier, Token, TokenKind};
 use ariel_query::{
-    eval_pred, BoundVar, EventKind, Optimizer, Pnode, PnodeCol, QueryError, QueryResult,
-    QuerySpec, RExpr, ResolvedCondition, Row,
+    eval_pred, BoundVar, EventKind, Optimizer, Pnode, PnodeCol, QueryError, QueryResult, QuerySpec,
+    RExpr, ResolvedCondition, Row,
 };
 use ariel_storage::{Catalog, SchemaRef, Tid};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
 
 /// Policy deciding which eligible α-memories become virtual (§4.2 closes
 /// with exactly this optimization problem; the policies here are the
@@ -79,9 +81,16 @@ struct RuleNode {
     n_dynamic: usize,
     /// No event or transition components: P-node can be primed from data.
     pattern_only: bool,
+    /// Always-on counter: tokens that entered this rule (passed an α-test).
+    tokens_in: u64,
+    /// Always-on counter: β-joins probed for this rule.
+    join_probes: u64,
+    /// Always-on counter: instantiations pushed into the P-node.
+    pnode_inserts: u64,
 }
 
-/// Per-rule memory statistics (the measurable claim of §4.2).
+/// Per-rule memory statistics (the measurable claim of §4.2), plus the
+/// always-on activity counters of the observability layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RuleStats {
     /// Entries across the rule's stored/dynamic α-memories.
@@ -92,9 +101,52 @@ pub struct RuleStats {
     pub pnode_rows: usize,
     /// Approximate bytes held by the P-node.
     pub pnode_bytes: usize,
+    /// Tokens that entered this rule's network (passed some α-test).
+    pub tokens_in: u64,
+    /// α-tests run against this rule's nodes.
+    pub alpha_tests: u64,
+    /// α-tests that passed.
+    pub alpha_passes: u64,
+    /// β-joins probed.
+    pub join_probes: u64,
+    /// Instantiations appended to the P-node (join fan-out is
+    /// `pnode_inserts / join_probes`).
+    pub pnode_inserts: u64,
+    /// β-join materializations of this rule's virtual α-nodes.
+    pub virtual_scans: u64,
+    /// Base-relation tuples examined during those materializations.
+    pub virtual_scanned_tuples: u64,
+    /// Join candidates served from *stored* α-memories.
+    pub stored_join_candidates: u64,
+    /// Join candidates served by *virtual* materialization — the
+    /// virtual-vs-stored hit ratio is `virtual / (virtual + stored)`.
+    pub virtual_join_candidates: u64,
 }
 
-/// Aggregate network statistics.
+impl RuleStats {
+    /// Mean β-join fan-out: P-node rows produced per probing token.
+    pub fn join_fanout(&self) -> f64 {
+        if self.join_probes == 0 {
+            0.0
+        } else {
+            self.pnode_inserts as f64 / self.join_probes as f64
+        }
+    }
+
+    /// Fraction of join candidates served by virtual materialization
+    /// rather than stored α-entries (0.0 when no join candidates yet).
+    pub fn virtual_hit_ratio(&self) -> f64 {
+        let total = self.stored_join_candidates + self.virtual_join_candidates;
+        if total == 0 {
+            0.0
+        } else {
+            self.virtual_join_candidates as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate network statistics: memory footprint (§4.2) plus the always-on
+/// activity counters of the observability layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NetworkStats {
     /// Compiled rules.
@@ -113,6 +165,32 @@ pub struct NetworkStats {
     pub pnode_bytes: usize,
     /// Approximate bytes in the selection network's interval indexes.
     pub selnet_bytes: usize,
+    /// Tokens pushed through [`Network::process_batch`].
+    pub tokens_processed: u64,
+    /// Selection-network probes (one per positive token, plus ON DELETE).
+    pub selnet_probes: u64,
+    /// Candidate α-nodes those probes emitted.
+    pub selnet_candidates: u64,
+    /// Interval-skip-list stabbing queries behind those probes.
+    pub islist_stabs: u64,
+    /// Skip-list nodes visited answering them.
+    pub islist_nodes_visited: u64,
+    /// α-tests run across all nodes.
+    pub alpha_tests: u64,
+    /// α-tests that passed.
+    pub alpha_passes: u64,
+    /// β-joins probed across all rules.
+    pub join_probes: u64,
+    /// Instantiations appended across all P-nodes.
+    pub pnode_inserts: u64,
+    /// β-join materializations of virtual α-nodes.
+    pub virtual_scans: u64,
+    /// Base-relation tuples examined during those materializations.
+    pub virtual_scanned_tuples: u64,
+    /// Join candidates served from stored α-memories.
+    pub stored_join_candidates: u64,
+    /// Join candidates served by virtual materialization.
+    pub virtual_join_candidates: u64,
 }
 
 /// The A-TREAT network: selection layer, α-memories, and P-nodes for every
@@ -149,6 +227,10 @@ pub struct Network {
     free: Vec<usize>,
     selnet: SelectionNetwork,
     rules: BTreeMap<u64, RuleNode>,
+    /// Always-on counter: tokens pushed through [`Self::process_batch`].
+    tokens_processed: u64,
+    /// Gated timing session (None = observability off, the default).
+    obs: Option<MatchObs>,
 }
 
 impl Network {
@@ -157,12 +239,66 @@ impl Network {
         Network::default()
     }
 
+    /// Enable or disable the gated timing tier. Enabling starts a fresh
+    /// [`MatchObs`] session; disabling discards the current one. The
+    /// always-on counters are unaffected.
+    pub fn set_observing(&mut self, on: bool) {
+        self.obs = if on { Some(MatchObs::new()) } else { None };
+    }
+
+    /// Whether a timing session is active.
+    pub fn observing(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The active timing session, if any.
+    pub fn obs(&self) -> Option<&MatchObs> {
+        self.obs.as_ref()
+    }
+
+    /// Replace the timing session, returning the previous one. The engine
+    /// uses this to scope a capture (e.g. one `explain analyze` run) and
+    /// then merge it back into the cumulative session.
+    pub fn swap_obs(&mut self, obs: Option<MatchObs>) -> Option<MatchObs> {
+        std::mem::replace(&mut self.obs, obs)
+    }
+
     fn alpha(&self, id: AlphaId) -> &AlphaNode {
         self.alphas[id.0].as_ref().expect("live alpha")
     }
 
     fn alpha_mut(&mut self, id: AlphaId) -> &mut AlphaNode {
         self.alphas[id.0].as_mut().expect("live alpha")
+    }
+
+    /// Run one α-test through the observability tiers: bump the node's
+    /// always-on test/pass counters, and when a timing session is active
+    /// record the test duration and token flow under `(rule, var)`.
+    fn alpha_test(
+        &self,
+        aid: AlphaId,
+        _token: &Token,
+        test: impl FnOnce(&AlphaNode) -> bool,
+    ) -> bool {
+        let a = self.alpha(aid);
+        AlphaCounters::bump(&a.counters.tests, 1);
+        let start = self.obs.as_ref().map(|_| Instant::now());
+        let pass = test(a);
+        if pass {
+            AlphaCounters::bump(&a.counters.passes, 1);
+        }
+        if let Some(obs) = &self.obs {
+            obs.with_node(a.rule, a.var, |n| {
+                n.tokens_in += 1;
+                if pass {
+                    n.tokens_out += 1;
+                }
+                if let Some(t0) = start {
+                    n.alpha_test.record(t0.elapsed().as_nanos() as u64);
+                }
+            });
+        }
+        pass
     }
 
     /// Number of compiled rules.
@@ -237,8 +373,7 @@ impl Network {
             } else {
                 None
             };
-            let has_prev = is_trans
-                || matches!(event, Some(EventReq::Replace(_)));
+            let has_prev = is_trans || matches!(event, Some(EventReq::Replace(_)));
             let alpha_id = self.alloc_alpha(AlphaNode::new(
                 id,
                 v,
@@ -273,6 +408,9 @@ impl Network {
                 spec: cond.spec.clone(),
                 n_dynamic,
                 pattern_only,
+                tokens_in: 0,
+                join_probes: 0,
+                pnode_inserts: 0,
             },
         );
         Ok(())
@@ -291,7 +429,9 @@ impl Network {
             VirtualPolicy::AllVirtual => true,
             VirtualPolicy::ExplicitVars(set) => set.contains(&var),
             VirtualPolicy::SelectivityThreshold(threshold) => {
-                let Some(rel_ref) = catalog.get(rel) else { return false };
+                let Some(rel_ref) = catalog.get(rel) else {
+                    return false;
+                };
                 let rel_b = rel_ref.borrow();
                 let n = rel_b.len();
                 if n == 0 {
@@ -329,7 +469,9 @@ impl Network {
 
     /// Remove a rule and its α-nodes.
     pub fn remove_rule(&mut self, id: RuleId) {
-        let Some(rule) = self.rules.remove(&id.0) else { return };
+        let Some(rule) = self.rules.remove(&id.0) else {
+            return;
+        };
         for var in rule.vars {
             self.selnet.unsubscribe(var.alpha);
             self.alphas[var.alpha.0] = None;
@@ -366,7 +508,11 @@ impl Network {
                     .map(|(tid, t)| {
                         (
                             tid,
-                            AlphaEntry { tid: Some(tid), tuple: t.clone(), prev: None },
+                            AlphaEntry {
+                                tid: Some(tid),
+                                tuple: t.clone(),
+                                prev: None,
+                            },
                         )
                     })
                     .collect()
@@ -381,7 +527,11 @@ impl Network {
         if rule.pattern_only {
             let spec = rule.spec.clone();
             let plan = Optimizer::new(catalog).plan(&spec)?;
-            let ctx = ariel_query::ExecCtx { catalog, pnode: None, nvars: spec.vars.len() };
+            let ctx = ariel_query::ExecCtx {
+                catalog,
+                pnode: None,
+                nvars: spec.vars.len(),
+            };
             let rows = ariel_query::run_plan(&plan, &ctx)?;
             let rule = self.rules.get_mut(&id.0).unwrap();
             for row in rows {
@@ -400,6 +550,10 @@ impl Network {
     /// applied to the base relations (see the module docs for why the
     /// pending set then reproduces the paper's processing order).
     pub fn process_batch(&mut self, tokens: &[Token], catalog: &Catalog) -> QueryResult<()> {
+        self.tokens_processed += tokens.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.tokens.set(obs.tokens.get() + tokens.len() as u64);
+        }
         let mut pending: HashMap<String, HashSet<u64>> = HashMap::new();
         for t in tokens {
             if t.kind.is_positive() {
@@ -430,14 +584,22 @@ impl Network {
         catalog: &Catalog,
         pending: &HashMap<String, HashSet<u64>>,
     ) -> QueryResult<()> {
-        let mut matched: Vec<AlphaId> = self
-            .selnet
-            .candidates(&token.rel, &token.tuple)
+        let probe_start = self.obs.as_ref().map(|_| Instant::now());
+        let candidates = self.selnet.candidates(&token.rel, &token.tuple);
+        if let Some(obs) = &self.obs {
+            if let Some(t0) = probe_start {
+                obs.selnet_probe.record(t0.elapsed().as_nanos() as u64);
+            }
+            obs.selnet_candidates
+                .set(obs.selnet_candidates.get() + candidates.len() as u64);
+        }
+        let mut matched: Vec<AlphaId> = candidates
             .into_iter()
             .filter(|aid| {
-                let a = self.alpha(*aid);
-                a.admits_positive(token.kind, token.event.as_ref())
-                    && a.pred_matches(&token.tuple, token.old.as_ref())
+                self.alpha_test(*aid, token, |a| {
+                    a.admits_positive(token.kind, token.event.as_ref())
+                        && a.pred_matches(&token.tuple, token.old.as_ref())
+                })
             })
             .collect();
         matched.sort_by_key(|a| a.0);
@@ -480,20 +642,65 @@ impl Network {
             let a = self.alpha_mut(aid);
             a.insert(
                 token.tid,
-                AlphaEntry { tid: seed.tid, tuple: seed.tuple.clone(), prev: seed.prev.clone() },
+                AlphaEntry {
+                    tid: seed.tid,
+                    tuple: seed.tuple.clone(),
+                    prev: seed.prev.clone(),
+                },
             );
+        }
+        self.rules
+            .get_mut(&rule_id.0)
+            .expect("rule exists")
+            .tokens_in += 1;
+        if let Some(obs) = &self.obs {
+            obs.with_rule(rule_id, |r| r.tokens_in += 1);
+            if kind.stores_entries() {
+                obs.with_node(rule_id, var, |n| n.entries_inserted += 1);
+            }
         }
         if kind.is_simple() {
             // single-variable rule: matching data goes straight to the P-node
+            let start = self.obs.as_ref().map(|_| Instant::now());
             let rule = self.rules.get_mut(&rule_id.0).expect("rule exists");
             rule.pnode.push(vec![seed]);
+            rule.pnode_inserts += 1;
+            if let Some(obs) = &self.obs {
+                obs.with_rule(rule_id, |r| {
+                    r.pnode_inserts += 1;
+                    if let Some(t0) = start {
+                        r.pnode_insert.record(t0.elapsed().as_nanos() as u64);
+                    }
+                });
+            }
             return Ok(());
         }
         // multi-variable: TREAT join against the other variables' memories
+        let join_start = self.obs.as_ref().map(|_| Instant::now());
         let results = self.join_extend(rule_id, var, seed, token, processed, catalog, pending)?;
+        if let Some(obs) = &self.obs {
+            obs.with_rule(rule_id, |r| {
+                if let Some(t0) = join_start {
+                    r.beta_join.record(t0.elapsed().as_nanos() as u64);
+                }
+            });
+        }
+        let produced = results.len() as u64;
+        let insert_start = self.obs.as_ref().map(|_| Instant::now());
         let rule = self.rules.get_mut(&rule_id.0).expect("rule exists");
+        rule.join_probes += 1;
+        rule.pnode_inserts += produced;
         for r in results {
             rule.pnode.push(r);
+        }
+        if let Some(obs) = &self.obs {
+            obs.with_rule(rule_id, |r| {
+                r.join_probes += 1;
+                r.pnode_inserts += produced;
+                if let Some(t0) = insert_start {
+                    r.pnode_insert.record(t0.elapsed().as_nanos() as u64);
+                }
+            });
         }
         Ok(())
     }
@@ -528,8 +735,7 @@ impl Network {
                     .iter()
                     .filter(|c| {
                         let used = c.vars_used();
-                        used.contains(&order[d])
-                            && used.iter().all(|u| bound_at[d + 1].contains(u))
+                        used.contains(&order[d]) && used.iter().all(|u| bound_at[d + 1].contains(u))
                     })
                     .collect()
             })
@@ -538,7 +744,15 @@ impl Network {
         row.slots[seed_var] = Some(seed);
         let mut results = Vec::new();
         self.extend_depth(
-            rule, &order, &applicable, 0, &mut row, token, processed, catalog, pending,
+            rule,
+            &order,
+            &applicable,
+            0,
+            &mut row,
+            token,
+            processed,
+            catalog,
+            pending,
             &mut results,
         )?;
         Ok(results)
@@ -571,6 +785,7 @@ impl Network {
         let alpha = self.alpha(rule.vars[var].alpha);
         let candidates: Vec<BoundVar> = match alpha.kind {
             AlphaKind::Virtual => {
+                let scan_start = self.obs.as_ref().map(|_| Instant::now());
                 // §4.2: join through the base relation under the node's
                 // predicate, honoring pending/ProcessedMemories visibility.
                 // "The base relation scan … can be done with any scan
@@ -593,38 +808,71 @@ impl Network {
                         || processed.contains(&rule.vars[var].alpha.0)
                 };
                 type Hits = Vec<(Tid, ariel_storage::Tuple)>;
-                let indexed: Option<Hits> = applicable[depth]
-                    .iter()
-                    .find_map(|c| {
-                        let (attr, key_expr) = equi_probe(c, var)?;
-                        rel_b.index_on(attr)?;
-                        let key = ariel_query::eval(&key_expr, row).ok()?;
-                        if key.is_null() {
-                            return Some(Vec::new());
+                let indexed: Option<Hits> = applicable[depth].iter().find_map(|c| {
+                    let (attr, key_expr) = equi_probe(c, var)?;
+                    rel_b.index_on(attr)?;
+                    let key = ariel_query::eval(&key_expr, row).ok()?;
+                    if key.is_null() {
+                        return Some(Vec::new());
+                    }
+                    rel_b
+                        .probe_eq(attr, &key)
+                        .map(|hits| hits.into_iter().map(|(t, tu)| (t, tu.clone())).collect())
+                });
+                let (cands, scanned): (Vec<BoundVar>, u64) = match indexed {
+                    Some(hits) => {
+                        let scanned = hits.len() as u64;
+                        let cands = hits
+                            .into_iter()
+                            .filter(|(tid, _)| visible(tid))
+                            .filter(|(_, t)| alpha.pred_matches(t, None))
+                            .map(|(tid, t)| BoundVar::plain(tid, t))
+                            .collect();
+                        (cands, scanned)
+                    }
+                    None => {
+                        let scanned = rel_b.len() as u64;
+                        let cands = rel_b
+                            .scan()
+                            .filter(|(tid, _)| visible(tid))
+                            .filter(|(_, t)| alpha.pred_matches(t, None))
+                            .map(|(tid, t)| BoundVar::plain(tid, t.clone()))
+                            .collect();
+                        (cands, scanned)
+                    }
+                };
+                AlphaCounters::bump(&alpha.counters.virtual_scans, 1);
+                AlphaCounters::bump(&alpha.counters.scanned_tuples, scanned);
+                AlphaCounters::bump(&alpha.counters.join_candidates, cands.len() as u64);
+                if let Some(obs) = &self.obs {
+                    obs.with_node(alpha.rule, alpha.var, |n| {
+                        n.virtual_scans += 1;
+                        n.scanned_tuples += scanned;
+                        n.join_candidates += cands.len() as u64;
+                        if let Some(t0) = scan_start {
+                            n.virtual_scan.record(t0.elapsed().as_nanos() as u64);
                         }
-                        rel_b.probe_eq(attr, &key).map(|hits| {
-                            hits.into_iter().map(|(t, tu)| (t, tu.clone())).collect()
-                        })
                     });
-                match indexed {
-                    Some(hits) => hits
-                        .into_iter()
-                        .filter(|(tid, _)| visible(tid))
-                        .filter(|(_, t)| alpha.pred_matches(t, None))
-                        .map(|(tid, t)| BoundVar::plain(tid, t))
-                        .collect(),
-                    None => rel_b
-                        .scan()
-                        .filter(|(tid, _)| visible(tid))
-                        .filter(|(_, t)| alpha.pred_matches(t, None))
-                        .map(|(tid, t)| BoundVar::plain(tid, t.clone()))
-                        .collect(),
                 }
+                cands
             }
-            _ => alpha
-                .entries()
-                .map(|e| BoundVar { tid: e.tid, tuple: e.tuple.clone(), prev: e.prev.clone() })
-                .collect(),
+            _ => {
+                let cands: Vec<BoundVar> = alpha
+                    .entries()
+                    .map(|e| BoundVar {
+                        tid: e.tid,
+                        tuple: e.tuple.clone(),
+                        prev: e.prev.clone(),
+                    })
+                    .collect();
+                AlphaCounters::bump(&alpha.counters.join_candidates, cands.len() as u64);
+                if let Some(obs) = &self.obs {
+                    obs.with_node(alpha.rule, alpha.var, |n| {
+                        n.join_candidates += cands.len() as u64;
+                    });
+                }
+                cands
+            }
         };
         for cand in candidates {
             row.slots[var] = Some(cand);
@@ -637,8 +885,16 @@ impl Network {
             }
             if ok {
                 self.extend_depth(
-                    rule, order, applicable, depth + 1, row, token, processed, catalog,
-                    pending, results,
+                    rule,
+                    order,
+                    applicable,
+                    depth + 1,
+                    row,
+                    token,
+                    processed,
+                    catalog,
+                    pending,
+                    results,
                 )?;
             }
         }
@@ -680,18 +936,24 @@ impl Network {
         // case 4: "a delete− … will match any applicable on delete rule
         // conditions"). The tuple is bound with no TID — it no longer
         // exists, so primed commands can never address it.
-        if token.kind == TokenKind::Minus
-            && token.event == Some(EventSpecifier::Delete)
-        {
-            let mut matched: Vec<AlphaId> = self
-                .selnet
-                .candidates(&token.rel, &token.tuple)
+        if token.kind == TokenKind::Minus && token.event == Some(EventSpecifier::Delete) {
+            let probe_start = self.obs.as_ref().map(|_| Instant::now());
+            let candidates = self.selnet.candidates(&token.rel, &token.tuple);
+            if let Some(obs) = &self.obs {
+                if let Some(t0) = probe_start {
+                    obs.selnet_probe.record(t0.elapsed().as_nanos() as u64);
+                }
+                obs.selnet_candidates
+                    .set(obs.selnet_candidates.get() + candidates.len() as u64);
+            }
+            let mut matched: Vec<AlphaId> = candidates
                 .into_iter()
                 .filter(|aid| {
-                    let a = self.alpha(*aid);
-                    a.kind.is_on()
-                        && a.event == Some(EventReq::Delete)
-                        && a.pred_matches(&token.tuple, None)
+                    self.alpha_test(*aid, token, |a| {
+                        a.kind.is_on()
+                            && a.event == Some(EventReq::Delete)
+                            && a.pred_matches(&token.tuple, None)
+                    })
                 })
                 .collect();
             matched.sort_by_key(|a| a.0);
@@ -701,7 +963,11 @@ impl Network {
                 processed.insert(aid.0);
                 self.insert_and_propagate(
                     aid,
-                    BoundVar { tid: None, tuple: token.tuple.clone(), prev: None },
+                    BoundVar {
+                        tid: None,
+                        tuple: token.tuple.clone(),
+                        prev: None,
+                    },
                     token,
                     &processed,
                     catalog,
@@ -757,21 +1023,40 @@ impl Network {
         let mut s = RuleStats {
             pnode_rows: rule.pnode.len(),
             pnode_bytes: rule.pnode.heap_size(),
+            tokens_in: rule.tokens_in,
+            join_probes: rule.join_probes,
+            pnode_inserts: rule.pnode_inserts,
             ..Default::default()
         };
         for v in &rule.vars {
             let a = self.alpha(v.alpha);
             s.alpha_entries += a.len();
             s.alpha_bytes += a.heap_size();
+            s.alpha_tests += a.counters.tests.get();
+            s.alpha_passes += a.counters.passes.get();
+            s.virtual_scans += a.counters.virtual_scans.get();
+            s.virtual_scanned_tuples += a.counters.scanned_tuples.get();
+            if a.kind == AlphaKind::Virtual {
+                s.virtual_join_candidates += a.counters.join_candidates.get();
+            } else {
+                s.stored_join_candidates += a.counters.join_candidates.get();
+            }
         }
         Some(s)
     }
 
     /// Aggregate statistics across the network.
     pub fn stats(&self) -> NetworkStats {
+        let (selnet_probes, selnet_candidates) = self.selnet.probe_counts();
+        let stab = self.selnet.stab_stats();
         let mut s = NetworkStats {
             rules: self.rules.len(),
             selnet_bytes: self.selnet.approx_size_bytes(),
+            tokens_processed: self.tokens_processed,
+            selnet_probes,
+            selnet_candidates,
+            islist_stabs: stab.stabs.get(),
+            islist_nodes_visited: stab.nodes_visited.get(),
             ..Default::default()
         };
         for a in self.alphas.iter().flatten() {
@@ -781,10 +1066,21 @@ impl Network {
             }
             s.alpha_entries += a.len();
             s.alpha_bytes += a.heap_size();
+            s.alpha_tests += a.counters.tests.get();
+            s.alpha_passes += a.counters.passes.get();
+            s.virtual_scans += a.counters.virtual_scans.get();
+            s.virtual_scanned_tuples += a.counters.scanned_tuples.get();
+            if a.kind == AlphaKind::Virtual {
+                s.virtual_join_candidates += a.counters.join_candidates.get();
+            } else {
+                s.stored_join_candidates += a.counters.join_candidates.get();
+            }
         }
         for r in self.rules.values() {
             s.pnode_rows += r.pnode.len();
             s.pnode_bytes += r.pnode.heap_size();
+            s.join_probes += r.join_probes;
+            s.pnode_inserts += r.pnode_inserts;
         }
         s
     }
@@ -795,13 +1091,32 @@ impl Network {
         let rule = self.rules.get(&id.0)?;
         Some(rule.vars.iter().map(|v| self.alpha(v.alpha).kind).collect())
     }
+
+    /// Per-variable topology of a compiled rule — `(variable name,
+    /// relation, α-node kind)` in variable order — plus the number of
+    /// multi-variable join conjuncts. Drives `explain analyze` rendering.
+    pub fn rule_topology(&self, id: RuleId) -> Option<(Vec<(String, String, AlphaKind)>, usize)> {
+        let rule = self.rules.get(&id.0)?;
+        let vars = rule
+            .vars
+            .iter()
+            .zip(rule.spec.vars.iter())
+            .map(|(v, sv)| (sv.name.clone(), sv.rel.clone(), self.alpha(v.alpha).kind))
+            .collect();
+        Some((vars, rule.join_conjuncts.len()))
+    }
 }
 
 /// If `c` is `vars[var].attr = <expr over other variables>` (either side),
 /// return the attribute position and the key expression — the "substituting
 /// constants from a token in place of variables" optimization of §4.2.
 fn equi_probe(c: &RExpr, var: usize) -> Option<(usize, RExpr)> {
-    let RExpr::Binary { op: ariel_query::BinOp::Eq, left, right } = c else {
+    let RExpr::Binary {
+        op: ariel_query::BinOp::Eq,
+        left,
+        right,
+    } = c
+    else {
         return None;
     };
     if let RExpr::Attr { var: v, attr } = **left {
@@ -864,12 +1179,21 @@ mod tests {
     }
 
     fn emp_row(name: &str, sal: f64, dno: i64, jno: i64) -> Vec<Value> {
-        vec![name.into(), 30i64.into(), sal.into(), dno.into(), jno.into()]
+        vec![
+            name.into(),
+            30i64.into(),
+            sal.into(),
+            dno.into(),
+            jno.into(),
+        ]
     }
 
     fn insert_emp(c: &Catalog, name: &str, sal: f64, dno: i64, jno: i64) -> (Tid, Tuple) {
         let rel = c.get("emp").unwrap();
-        let tid = rel.borrow_mut().insert(emp_row(name, sal, dno, jno)).unwrap();
+        let tid = rel
+            .borrow_mut()
+            .insert(emp_row(name, sal, dno, jno))
+            .unwrap();
         let t = rel.borrow().get(tid).cloned().unwrap();
         (tid, t)
     }
@@ -883,7 +1207,10 @@ mod tests {
         let e = parse_expr(qual).unwrap();
         let from: Vec<FromItem> = from
             .iter()
-            .map(|(v, r)| FromItem { var: v.to_string(), rel: r.to_string() })
+            .map(|(v, r)| FromItem {
+                var: v.to_string(),
+                rel: r.to_string(),
+            })
             .collect();
         Resolver::new(c)
             .resolve_condition(on.as_ref(), Some(&e), &from)
@@ -901,25 +1228,24 @@ mod tests {
         insert_emp(&cat, "Al", 50_000.0, 1, 1);
         let mut net = Network::new();
         let rc = cond(&cat, None, "emp.sal > 30000", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         assert_eq!(net.alpha_kinds(RuleId(1)).unwrap(), vec![AlphaKind::Simple]);
         net.prime(RuleId(1), &cat).unwrap();
         // Al matches at activation
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
         // new matching emp arrives
         let (tid, t) = insert_emp(&cat, "Cy", 40_000.0, 2, 1);
-        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        net.process_token(&append_token(tid, t.clone()), &cat)
+            .unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 2);
         // non-matching emp does nothing
         let (tid2, t2) = insert_emp(&cat, "Lo", 1000.0, 2, 1);
         net.process_token(&append_token(tid2, t2), &cat).unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 2);
         // deletion retracts
-        net.process_token(
-            &Token::minus("emp", tid, t, EventSpecifier::Delete),
-            &cat,
-        )
-        .unwrap();
+        net.process_token(&Token::minus("emp", tid, t, EventSpecifier::Delete), &cat)
+            .unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
     }
 
@@ -935,11 +1261,19 @@ mod tests {
 
     fn populate_sales_clerk(cat: &Catalog) {
         let dept = cat.get("dept").unwrap();
-        dept.borrow_mut().insert(vec![1i64.into(), "Sales".into()]).unwrap();
-        dept.borrow_mut().insert(vec![2i64.into(), "Toy".into()]).unwrap();
+        dept.borrow_mut()
+            .insert(vec![1i64.into(), "Sales".into()])
+            .unwrap();
+        dept.borrow_mut()
+            .insert(vec![2i64.into(), "Toy".into()])
+            .unwrap();
         let job = cat.get("job").unwrap();
-        job.borrow_mut().insert(vec![7i64.into(), "Clerk".into()]).unwrap();
-        job.borrow_mut().insert(vec![8i64.into(), "Boss".into()]).unwrap();
+        job.borrow_mut()
+            .insert(vec![7i64.into(), "Clerk".into()])
+            .unwrap();
+        job.borrow_mut()
+            .insert(vec![8i64.into(), "Boss".into()])
+            .unwrap();
     }
 
     #[test]
@@ -947,8 +1281,13 @@ mod tests {
         let cat = paper_catalog();
         populate_sales_clerk(&cat);
         let mut net = Network::new();
-        net.add_rule(RuleId(1), &sales_clerk_cond(&cat), &VirtualPolicy::AllStored, &cat)
-            .unwrap();
+        net.add_rule(
+            RuleId(1),
+            &sales_clerk_cond(&cat),
+            &VirtualPolicy::AllStored,
+            &cat,
+        )
+        .unwrap();
         assert_eq!(
             net.alpha_kinds(RuleId(1)).unwrap(),
             vec![AlphaKind::Stored, AlphaKind::Stored, AlphaKind::Stored]
@@ -983,7 +1322,8 @@ mod tests {
         }
         let build = |policy: &VirtualPolicy| {
             let mut net = Network::new();
-            net.add_rule(RuleId(1), &sales_clerk_cond(&cat), policy, &cat).unwrap();
+            net.add_rule(RuleId(1), &sales_clerk_cond(&cat), policy, &cat)
+                .unwrap();
             net.prime(RuleId(1), &cat).unwrap();
             let (tid, t) = {
                 let rel = cat.get("emp").unwrap();
@@ -998,13 +1338,12 @@ mod tests {
         };
         let mut stored = build(&VirtualPolicy::AllStored);
         let mut virt = build(&VirtualPolicy::ExplicitVars(HashSet::from([0])));
-        assert_eq!(
-            virt.alpha_kinds(RuleId(1)).unwrap()[0],
-            AlphaKind::Virtual
-        );
+        assert_eq!(virt.alpha_kinds(RuleId(1)).unwrap()[0], AlphaKind::Virtual);
         // both nets see the same new token
         let (tid, t) = insert_emp(&cat, "new", 99_000.0, 1, 7);
-        stored.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        stored
+            .process_token(&append_token(tid, t.clone()), &cat)
+            .unwrap();
         virt.process_token(&append_token(tid, t), &cat).unwrap();
         let p1 = stored.pnode(RuleId(1)).unwrap();
         let p2 = virt.pnode(RuleId(1)).unwrap();
@@ -1040,12 +1379,7 @@ mod tests {
     }
 
     fn self_join_cond(cat: &Catalog) -> ResolvedCondition {
-        cond(
-            cat,
-            None,
-            "a.dno = b.dno",
-            &[("a", "emp"), ("b", "emp")],
-        )
+        cond(cat, None, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")])
     }
 
     #[test]
@@ -1059,7 +1393,8 @@ mod tests {
             let cat = paper_catalog();
             let (ytid, yt) = insert_emp(&cat, "y", 1.0, 5, 1);
             let mut net = Network::new();
-            net.add_rule(RuleId(1), &self_join_cond(&cat), &policy, &cat).unwrap();
+            net.add_rule(RuleId(1), &self_join_cond(&cat), &policy, &cat)
+                .unwrap();
             net.prime(RuleId(1), &cat).unwrap();
             let base = net.pnode(RuleId(1)).unwrap().len();
             // priming a pattern rule loads (y,y)
@@ -1082,16 +1417,14 @@ mod tests {
         for policy in [VirtualPolicy::AllStored, VirtualPolicy::AllVirtual] {
             let cat = paper_catalog();
             let mut net = Network::new();
-            net.add_rule(RuleId(1), &self_join_cond(&cat), &policy, &cat).unwrap();
+            net.add_rule(RuleId(1), &self_join_cond(&cat), &policy, &cat)
+                .unwrap();
             net.prime(RuleId(1), &cat).unwrap();
             // two tuples inserted in one command (one batch)
             let (t1, v1) = insert_emp(&cat, "t1", 1.0, 5, 1);
             let (t2, v2) = insert_emp(&cat, "t2", 2.0, 5, 1);
-            net.process_batch(
-                &[append_token(t1, v1), append_token(t2, v2)],
-                &cat,
-            )
-            .unwrap();
+            net.process_batch(&[append_token(t1, v1), append_token(t2, v2)], &cat)
+                .unwrap();
             // pairs: (t1,t1), (t1,t2), (t2,t1), (t2,t2)
             assert_eq!(
                 net.pnode(RuleId(1)).unwrap().len(),
@@ -1108,11 +1441,15 @@ mod tests {
         let mut net = Network::new();
         let rc = cond(
             &cat,
-            Some(EventSpec { kind: EventKind::Append, relation: "emp".into() }),
+            Some(EventSpec {
+                kind: EventKind::Append,
+                relation: "emp".into(),
+            }),
             "emp.dno = dept.dno and dept.name = \"Sales\"",
             &[],
         );
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         let kinds = net.alpha_kinds(RuleId(1)).unwrap();
         assert!(kinds.contains(&AlphaKind::DynamicOn));
         net.prime(RuleId(1), &cat).unwrap();
@@ -1121,12 +1458,19 @@ mod tests {
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
         // append event matches
         let (tid, t) = insert_emp(&cat, "new", 1.0, 1, 7);
-        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        net.process_token(&append_token(tid, t.clone()), &cat)
+            .unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
         // a replace Δ token does not trigger an on-append rule
         let (tid2, t2) = insert_emp(&cat, "upd", 1.0, 1, 7);
         net.process_token(
-            &Token::delta_plus("emp", tid2, t2.clone(), t2, EventSpecifier::Replace(vec![2])),
+            &Token::delta_plus(
+                "emp",
+                tid2,
+                t2.clone(),
+                t2,
+                EventSpecifier::Replace(vec![2]),
+            ),
             &cat,
         )
         .unwrap();
@@ -1147,15 +1491,24 @@ mod tests {
         let mut net = Network::new();
         let rc = cond(
             &cat,
-            Some(EventSpec { kind: EventKind::Delete, relation: "emp".into() }),
+            Some(EventSpec {
+                kind: EventKind::Delete,
+                relation: "emp".into(),
+            }),
             "emp.dno = dept.dno and dept.name = \"Sales\"",
             &[],
         );
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         let (tid, t) = insert_emp(&cat, "victim", 1.0, 1, 7);
-        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
-        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0, "append is not delete");
+        net.process_token(&append_token(tid, t.clone()), &cat)
+            .unwrap();
+        assert_eq!(
+            net.pnode(RuleId(1)).unwrap().len(),
+            0,
+            "append is not delete"
+        );
         // delete it (engine removes from relation first, then sends token)
         cat.get("emp").unwrap().borrow_mut().delete(tid).unwrap();
         net.process_token(&Token::minus("emp", tid, t, EventSpecifier::Delete), &cat)
@@ -1172,7 +1525,8 @@ mod tests {
         let cat = paper_catalog();
         let mut net = Network::new();
         let rc = cond(&cat, None, "emp.sal > 1.1 * previous emp.sal", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         assert_eq!(
             net.alpha_kinds(RuleId(1)).unwrap(),
             vec![AlphaKind::SimpleTrans]
@@ -1182,14 +1536,23 @@ mod tests {
         // raise of 20%: Δ+ matches
         let new = Tuple::new(emp_row("e", 120_000.0, 1, 1));
         net.process_token(
-            &Token::delta_plus("emp", tid, new.clone(), old.clone(), EventSpecifier::Replace(vec![2])),
+            &Token::delta_plus(
+                "emp",
+                tid,
+                new.clone(),
+                old.clone(),
+                EventSpecifier::Replace(vec![2]),
+            ),
             &cat,
         )
         .unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
         // the binding carries previous value for the action to use
         let row = &net.pnode(RuleId(1)).unwrap().rows()[0];
-        assert_eq!(row[0].prev.as_ref().unwrap().get(2), &Value::Float(100_000.0));
+        assert_eq!(
+            row[0].prev.as_ref().unwrap().get(2),
+            &Value::Float(100_000.0)
+        );
         net.flush_transition_state();
         // raise of 5%: no match
         let new2 = Tuple::new(emp_row("e", 105_000.0, 1, 1));
@@ -1206,18 +1569,31 @@ mod tests {
         let cat = paper_catalog();
         let mut net = Network::new();
         let rc = cond(&cat, None, "emp.sal > 1.1 * previous emp.sal", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         let (tid, old) = insert_emp(&cat, "e", 100.0, 1, 1);
         let new = Tuple::new(emp_row("e", 200.0, 1, 1));
         net.process_token(
-            &Token::delta_plus("emp", tid, new.clone(), old.clone(), EventSpecifier::Replace(vec![2])),
+            &Token::delta_plus(
+                "emp",
+                tid,
+                new.clone(),
+                old.clone(),
+                EventSpecifier::Replace(vec![2]),
+            ),
             &cat,
         )
         .unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
         // second modification within the transition: Δ− then Δ+
         net.process_token(
-            &Token::delta_minus("emp", tid, new, old.clone(), EventSpecifier::Replace(vec![2])),
+            &Token::delta_minus(
+                "emp",
+                tid,
+                new,
+                old.clone(),
+                EventSpecifier::Replace(vec![2]),
+            ),
             &cat,
         )
         .unwrap();
@@ -1228,7 +1604,11 @@ mod tests {
             &cat,
         )
         .unwrap();
-        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0, "5% raise below limit");
+        assert_eq!(
+            net.pnode(RuleId(1)).unwrap().len(),
+            0,
+            "5% raise below limit"
+        );
     }
 
     #[test]
@@ -1244,12 +1624,19 @@ mod tests {
             "emp.sal > 0",
             &[],
         );
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         let (tid, old) = insert_emp(&cat, "e", 100.0, 1, 1);
         // replace touching sal (attr 2) only: no trigger
         let new = Tuple::new(emp_row("e", 200.0, 1, 1));
         net.process_token(
-            &Token::delta_plus("emp", tid, new, old.clone(), EventSpecifier::Replace(vec![2])),
+            &Token::delta_plus(
+                "emp",
+                tid,
+                new,
+                old.clone(),
+                EventSpecifier::Replace(vec![2]),
+            ),
             &cat,
         )
         .unwrap();
@@ -1269,7 +1656,8 @@ mod tests {
         let cat = paper_catalog();
         let mut net = Network::new();
         let rc = cond(&cat, None, "emp.sal > 30000", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         assert_eq!(net.rule_count(), 1);
         net.remove_rule(RuleId(1));
         assert_eq!(net.rule_count(), 0);
@@ -1279,7 +1667,8 @@ mod tests {
         assert!(net.rules_with_matches().is_empty());
         // id reusable
         let rc2 = cond(&cat, None, "emp.sal > 1", &[]);
-        net.add_rule(RuleId(1), &rc2, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc2, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
     }
 
     #[test]
@@ -1287,7 +1676,8 @@ mod tests {
         let cat = paper_catalog();
         let mut net = Network::new();
         let rc = cond(&cat, None, "emp.sal > 30000", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         assert!(net
             .add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
             .is_err());
@@ -1323,8 +1713,13 @@ mod tests {
                 "emp.sal > 0 and emp.dno = dept.dno and dept.name = \"Sales\"",
                 &[],
             );
-            net.add_rule(RuleId(1), &rc, &VirtualPolicy::ExplicitVars(HashSet::from([1])), &cat)
-                .unwrap();
+            net.add_rule(
+                RuleId(1),
+                &rc,
+                &VirtualPolicy::ExplicitVars(HashSet::from([1])),
+                &cat,
+            )
+            .unwrap();
             net.prime(RuleId(1), &cat).unwrap();
             let (tid, t) = insert_emp(&cat, "probe", 10.0, 1, 7);
             net.process_token(&append_token(tid, t), &cat).unwrap();
@@ -1342,7 +1737,8 @@ mod tests {
         let mut net = Network::new();
         // contradictory band: can never match
         let rc = cond(&cat, None, "emp.sal > 100 and emp.sal < 50", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         let (tid, t) = insert_emp(&cat, "x", 75.0, 1, 1);
         net.process_token(&append_token(tid, t), &cat).unwrap();
@@ -1356,7 +1752,8 @@ mod tests {
         insert_emp(&cat, "b", 60_000.0, 1, 1);
         let mut net = Network::new();
         let rc = cond(&cat, None, "emp.sal > 30000 and emp.dno = dept.dno", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         let s = net.stats();
         assert_eq!(s.rules, 1);
@@ -1377,7 +1774,8 @@ mod tests {
         insert_emp(&cat, "a", 50_000.0, 1, 1);
         let mut net = Network::new();
         let rc = cond(&cat, None, "emp.sal > 30000", &[]);
-        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
         // pattern rules are untouched by transition flushes
@@ -1393,22 +1791,29 @@ mod tests {
         let cat = paper_catalog();
         let mut net = Network::new();
         let pattern = cond(&cat, None, "emp.sal > 0", &[]);
-        net.add_rule(RuleId(1), &pattern, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(1), &pattern, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         let on_del = cond(
             &cat,
-            Some(EventSpec { kind: EventKind::Delete, relation: "emp".into() }),
+            Some(EventSpec {
+                kind: EventKind::Delete,
+                relation: "emp".into(),
+            }),
             "emp.sal > 0",
             &[],
         );
-        net.add_rule(RuleId(2), &on_del, &VirtualPolicy::AllStored, &cat).unwrap();
+        net.add_rule(RuleId(2), &on_del, &VirtualPolicy::AllStored, &cat)
+            .unwrap();
         for id in [1, 2] {
             net.prime(RuleId(id), &cat).unwrap();
         }
         let (tid, t) = insert_emp(&cat, "x", 10.0, 1, 1);
-        net.process_token(&append_token(tid, t.clone()), &cat).unwrap();
+        net.process_token(&append_token(tid, t.clone()), &cat)
+            .unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
         // bare − (first modification): pattern match retracted, no delete fire
-        net.process_token(&Token::bare_minus("emp", tid, t), &cat).unwrap();
+        net.process_token(&Token::bare_minus("emp", tid, t), &cat)
+            .unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 0);
         assert_eq!(net.pnode(RuleId(2)).unwrap().len(), 0, "no delete event");
     }
@@ -1420,7 +1825,8 @@ mod tests {
         let mut net = Network::new();
         for id in [3u64, 1, 2] {
             let rc = cond(&cat, None, "emp.sal > 30000", &[]);
-            net.add_rule(RuleId(id), &rc, &VirtualPolicy::AllStored, &cat).unwrap();
+            net.add_rule(RuleId(id), &rc, &VirtualPolicy::AllStored, &cat)
+                .unwrap();
             net.prime(RuleId(id), &cat).unwrap();
         }
         assert_eq!(

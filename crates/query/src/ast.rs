@@ -173,7 +173,9 @@ impl Expr {
     /// Whether any sub-expression is a `previous` reference to `var`.
     pub fn has_previous_ref(&self, var: &str) -> bool {
         match self {
-            Expr::Attr { var: v, previous, .. } => *previous && v == var,
+            Expr::Attr {
+                var: v, previous, ..
+            } => *previous && v == var,
             Expr::Unary { expr, .. } => expr.has_previous_ref(var),
             Expr::Binary { left, right, .. } => {
                 left.has_previous_ref(var) || right.has_previous_ref(var)

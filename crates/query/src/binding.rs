@@ -26,12 +26,20 @@ pub struct BoundVar {
 impl BoundVar {
     /// Plain binding: a live tuple with no transition history.
     pub fn plain(tid: Tid, tuple: Tuple) -> Self {
-        BoundVar { tid: Some(tid), tuple, prev: None }
+        BoundVar {
+            tid: Some(tid),
+            tuple,
+            prev: None,
+        }
     }
 
     /// Binding with a previous value (transition variable).
     pub fn with_prev(tid: Option<Tid>, tuple: Tuple, prev: Tuple) -> Self {
-        BoundVar { tid, tuple, prev: Some(prev) }
+        BoundVar {
+            tid,
+            tuple,
+            prev: Some(prev),
+        }
     }
 
     /// Approximate heap size in bytes.
@@ -53,7 +61,9 @@ pub struct Row {
 impl Row {
     /// Empty row with `n` unbound slots.
     pub fn unbound(n: usize) -> Self {
-        Row { slots: vec![None; n] }
+        Row {
+            slots: vec![None; n],
+        }
     }
 
     /// The binding for variable `var`, or an unbound-variable panic in debug.
@@ -99,7 +109,10 @@ pub struct Pnode {
 impl Pnode {
     /// New empty P-node with the given columns.
     pub fn new(cols: Vec<PnodeCol>) -> Self {
-        Pnode { cols, rows: Vec::new() }
+        Pnode {
+            cols,
+            rows: Vec::new(),
+        }
     }
 
     /// Column descriptors.
@@ -199,8 +212,18 @@ mod tests {
     #[test]
     fn push_and_retract() {
         let mut p = Pnode::new(vec![
-            PnodeCol { var: "a".into(), rel: "ra".into(), schema: schema(), has_prev: false },
-            PnodeCol { var: "b".into(), rel: "rb".into(), schema: schema(), has_prev: false },
+            PnodeCol {
+                var: "a".into(),
+                rel: "ra".into(),
+                schema: schema(),
+                has_prev: false,
+            },
+            PnodeCol {
+                var: "b".into(),
+                rel: "rb".into(),
+                schema: schema(),
+                has_prev: false,
+            },
         ]);
         p.push(vec![bv(1, 10), bv(2, 20)]);
         p.push(vec![bv(1, 10), bv(3, 30)]);
@@ -232,8 +255,18 @@ mod tests {
     #[test]
     fn col_lookup() {
         let p = Pnode::new(vec![
-            PnodeCol { var: "emp".into(), rel: "emp".into(), schema: schema(), has_prev: true },
-            PnodeCol { var: "dept".into(), rel: "dept".into(), schema: schema(), has_prev: false },
+            PnodeCol {
+                var: "emp".into(),
+                rel: "emp".into(),
+                schema: schema(),
+                has_prev: true,
+            },
+            PnodeCol {
+                var: "dept".into(),
+                rel: "dept".into(),
+                schema: schema(),
+                has_prev: false,
+            },
         ]);
         assert_eq!(p.col_of("dept"), Some(1));
         assert_eq!(p.col_of("nope"), None);

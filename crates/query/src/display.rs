@@ -31,7 +31,11 @@ fn fmt_expr(e: &Expr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         }
         Expr::Literal(Literal::Str(s)) => write!(f, "\"{s}\""),
         Expr::Literal(Literal::Bool(b)) => write!(f, "{b}"),
-        Expr::Attr { var, attr, previous } => {
+        Expr::Attr {
+            var,
+            attr,
+            previous,
+        } => {
             if *previous {
                 write!(f, "previous {var}.{attr}")
             } else {
@@ -127,7 +131,12 @@ impl fmt::Display for Command {
                 };
                 write!(f, "define index on {rel} ({attr}) using {k}")
             }
-            Command::Append { target, assignments, from, qual } => {
+            Command::Append {
+                target,
+                assignments,
+                from,
+                qual,
+            } => {
                 write!(f, "append to {target} (")?;
                 for (i, (a, e)) in assignments.iter().enumerate() {
                     if i > 0 {
@@ -142,7 +151,12 @@ impl fmt::Display for Command {
                 write!(f, "delete {var}")?;
                 fmt_from_where(f, from, qual)
             }
-            Command::Replace { var, assignments, from, qual } => {
+            Command::Replace {
+                var,
+                assignments,
+                from,
+                qual,
+            } => {
                 write!(f, "replace {var} (")?;
                 for (i, (a, e)) in assignments.iter().enumerate() {
                     if i > 0 {
@@ -153,7 +167,12 @@ impl fmt::Display for Command {
                 write!(f, ")")?;
                 fmt_from_where(f, from, qual)
             }
-            Command::Retrieve { into, targets, from, qual } => {
+            Command::Retrieve {
+                into,
+                targets,
+                from,
+                qual,
+            } => {
                 write!(f, "retrieve ")?;
                 if let Some(dest) = into {
                     write!(f, "into {dest} ")?;
@@ -183,7 +202,12 @@ impl fmt::Display for Command {
             Command::ActivateRule { name } => write!(f, "activate rule {name}"),
             Command::DeactivateRule { name } => write!(f, "deactivate rule {name}"),
             Command::Halt => write!(f, "halt"),
-            Command::Notify { channel, targets, from, qual } => {
+            Command::Notify {
+                channel,
+                targets,
+                from,
+                qual,
+            } => {
                 write!(f, "notify {channel} (")?;
                 for (i, t) in targets.iter().enumerate() {
                     if i > 0 {
@@ -197,7 +221,12 @@ impl fmt::Display for Command {
                 write!(f, ")")?;
                 fmt_from_where(f, from, qual)
             }
-            Command::ReplacePrimed { pvar, assignments, from, qual } => {
+            Command::ReplacePrimed {
+                pvar,
+                assignments,
+                from,
+                qual,
+            } => {
                 // primed commands have no surface syntax; render annotated
                 write!(f, "replace {pvar} (")?;
                 for (i, (a, e)) in assignments.iter().enumerate() {
@@ -363,11 +392,39 @@ mod proptests {
         // identifiers that are not keywords
         "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
             ![
-                "create", "destroy", "define", "rule", "index", "on", "if", "then",
-                "do", "end", "append", "delete", "replace", "retrieve", "into",
-                "from", "where", "in", "and", "or", "not", "previous", "new",
-                "halt", "notify", "activate", "deactivate", "priority", "using",
-                "to", "all", "true", "false",
+                "create",
+                "destroy",
+                "define",
+                "rule",
+                "index",
+                "on",
+                "if",
+                "then",
+                "do",
+                "end",
+                "append",
+                "delete",
+                "replace",
+                "retrieve",
+                "into",
+                "from",
+                "where",
+                "in",
+                "and",
+                "or",
+                "not",
+                "previous",
+                "new",
+                "halt",
+                "notify",
+                "activate",
+                "deactivate",
+                "priority",
+                "using",
+                "to",
+                "all",
+                "true",
+                "false",
             ]
             .contains(&s.as_str())
         })
@@ -386,17 +443,34 @@ mod proptests {
         let leaf = prop_oneof![
             literal(),
             (ident(), ident(), any::<bool>()).prop_map(|(var, attr, previous)| {
-                Expr::Attr { var, attr, previous }
+                Expr::Attr {
+                    var,
+                    attr,
+                    previous,
+                }
             }),
             ident().prop_map(|var| Expr::New { var }),
         ];
         leaf.prop_recursive(4, 32, 3, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone(), prop_oneof![
-                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
-                    Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::Lt), Just(BinOp::Le),
-                    Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::And), Just(BinOp::Or),
-                ])
+                (
+                    inner.clone(),
+                    inner.clone(),
+                    prop_oneof![
+                        Just(BinOp::Add),
+                        Just(BinOp::Sub),
+                        Just(BinOp::Mul),
+                        Just(BinOp::Div),
+                        Just(BinOp::Eq),
+                        Just(BinOp::Ne),
+                        Just(BinOp::Lt),
+                        Just(BinOp::Le),
+                        Just(BinOp::Gt),
+                        Just(BinOp::Ge),
+                        Just(BinOp::And),
+                        Just(BinOp::Or),
+                    ]
+                )
                     .prop_map(|(l, r, op)| Expr::Binary {
                         op,
                         left: Box::new(l),
@@ -418,12 +492,21 @@ mod proptests {
     /// literal — normalize before comparing.
     fn normalize(e: &Expr) -> Expr {
         match e {
-            Expr::Unary { op: UnaryOp::Neg, expr } => match normalize(expr) {
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => match normalize(expr) {
                 Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
                 Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
-                inner => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) },
+                inner => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(inner),
+                },
             },
-            Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(normalize(expr)) },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(normalize(expr)),
+            },
             Expr::Binary { op, left, right } => Expr::Binary {
                 op: *op,
                 left: Box::new(normalize(left)),
@@ -484,7 +567,12 @@ mod proptests {
 
     fn norm_cmd(c: &Command) -> Command {
         match c {
-            Command::Append { target, assignments, from, qual } => Command::Append {
+            Command::Append {
+                target,
+                assignments,
+                from,
+                qual,
+            } => Command::Append {
                 target: target.clone(),
                 assignments: assignments
                     .iter()
@@ -493,7 +581,12 @@ mod proptests {
                 from: from.clone(),
                 qual: qual.as_ref().map(normalize),
             },
-            Command::Replace { var, assignments, from, qual } => Command::Replace {
+            Command::Replace {
+                var,
+                assignments,
+                from,
+                qual,
+            } => Command::Replace {
                 var: var.clone(),
                 assignments: assignments
                     .iter()

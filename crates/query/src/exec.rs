@@ -119,23 +119,25 @@ pub fn run_plan(plan: &Plan, ctx: &ExecCtx<'_>) -> QueryResult<Vec<Row>> {
             }
             Ok(out)
         }
-        Plan::IndexScan { rel, var, attr, key, filter } => {
+        Plan::IndexScan {
+            rel,
+            var,
+            attr,
+            key,
+            filter,
+        } => {
             let rel_ref = ctx.catalog.require(rel)?;
             let rel_b = rel_ref.borrow();
             let hits: Vec<(Tid, Tuple)> = match key {
                 IndexKey::Eq(v) => rel_b
                     .probe_eq(*attr, v)
-                    .ok_or_else(|| {
-                        QueryError::Plan(format!("no index on {rel}.#{attr}"))
-                    })?
+                    .ok_or_else(|| QueryError::Plan(format!("no index on {rel}.#{attr}")))?
                     .into_iter()
                     .map(|(t, tu)| (t, tu.clone()))
                     .collect(),
                 IndexKey::Range(lo, hi) => rel_b
                     .probe_range(*attr, as_ref_bound(lo), as_ref_bound(hi))
-                    .ok_or_else(|| {
-                        QueryError::Plan(format!("no range index on {rel}.#{attr}"))
-                    })?
+                    .ok_or_else(|| QueryError::Plan(format!("no range index on {rel}.#{attr}")))?
                     .into_iter()
                     .map(|(t, tu)| (t, tu.clone()))
                     .collect(),
@@ -189,7 +191,15 @@ pub fn run_plan(plan: &Plan, ctx: &ExecCtx<'_>) -> QueryResult<Vec<Row>> {
             }
             Ok(out)
         }
-        Plan::IndexedLoop { left, rel, var, attr, key_expr, filter, cond } => {
+        Plan::IndexedLoop {
+            left,
+            rel,
+            var,
+            attr,
+            key_expr,
+            filter,
+            cond,
+        } => {
             let lrows = run_plan(left, ctx)?;
             let rel_ref = ctx.catalog.require(rel)?;
             let rel_b = rel_ref.borrow();
@@ -199,9 +209,9 @@ pub fn run_plan(plan: &Plan, ctx: &ExecCtx<'_>) -> QueryResult<Vec<Row>> {
                 if key.is_null() {
                     continue;
                 }
-                let hits = rel_b.probe_eq(*attr, &key).ok_or_else(|| {
-                    QueryError::Plan(format!("no index on {rel}.#{attr}"))
-                })?;
+                let hits = rel_b
+                    .probe_eq(*attr, &key)
+                    .ok_or_else(|| QueryError::Plan(format!("no index on {rel}.#{attr}")))?;
                 for (tid, tuple) in hits {
                     let mut row = l.clone();
                     row.slots[*var] = Some(BoundVar::plain(tid, tuple.clone()));
@@ -220,7 +230,13 @@ pub fn run_plan(plan: &Plan, ctx: &ExecCtx<'_>) -> QueryResult<Vec<Row>> {
             }
             Ok(out)
         }
-        Plan::SortMergeJoin { left, right, left_key, right_key, residual } => {
+        Plan::SortMergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => {
             let lrows = run_plan(left, ctx)?;
             let rrows = run_plan(right, ctx)?;
             let mut lk: Vec<(Value, Row)> = lrows
@@ -326,7 +342,11 @@ fn qualifying_rows(
         };
         return Ok(if keep { vec![row] } else { vec![] });
     };
-    let ctx = ExecCtx { catalog, pnode, nvars: spec.vars.len() };
+    let ctx = ExecCtx {
+        catalog,
+        pnode,
+        nvars: spec.vars.len(),
+    };
     run_plan(plan, &ctx)
 }
 
@@ -357,7 +377,12 @@ pub fn execute_with_plan(
     let rows = qualifying_rows(rcmd, plan, catalog, pnode)?;
     let mut out = CmdOutput::default();
     match rcmd {
-        RCommand::Append { target, target_schema, assignments, .. } => {
+        RCommand::Append {
+            target,
+            target_schema,
+            assignments,
+            ..
+        } => {
             // materialize new tuples before inserting (set-oriented)
             let mut new_rows = Vec::with_capacity(rows.len());
             for row in &rows {
@@ -371,7 +396,11 @@ pub fn execute_with_plan(
             for vals in new_rows {
                 let tid = rel.borrow_mut().insert(vals)?;
                 let new = rel.borrow().get(tid).cloned().expect("just inserted");
-                out.changes.push(Change::Inserted { rel: target.clone(), tid, new });
+                out.changes.push(Change::Inserted {
+                    rel: target.clone(),
+                    tid,
+                    new,
+                });
             }
         }
         RCommand::Delete { var, spec } => {
@@ -391,7 +420,11 @@ pub fn execute_with_plan(
                 }
             }
         }
-        RCommand::Replace { var, assignments, spec } => {
+        RCommand::Replace {
+            var,
+            assignments,
+            spec,
+        } => {
             let rel_name = &spec.vars[*var].rel;
             apply_replace(&rows, *var, assignments, rel_name, catalog, &mut out, false)?;
         }
@@ -430,7 +463,9 @@ pub fn execute_with_plan(
                 }
             }
         }
-        RCommand::Notify { channel, targets, .. } => {
+        RCommand::Notify {
+            channel, targets, ..
+        } => {
             let columns: Vec<String> = targets.iter().map(|(n, _)| n.clone()).collect();
             let mut note_rows = Vec::with_capacity(rows.len());
             for row in &rows {
@@ -470,7 +505,11 @@ pub fn execute_with_plan(
                 }
             }
         }
-        RCommand::ReplacePrimed { pvar, assignments, spec } => {
+        RCommand::ReplacePrimed {
+            pvar,
+            assignments,
+            spec,
+        } => {
             let rel_name = &spec.vars[*pvar].rel;
             apply_replace(&rows, *pvar, assignments, rel_name, catalog, &mut out, true)?;
         }
@@ -616,7 +655,10 @@ mod tests {
     #[test]
     fn append_constant_row() {
         let mut cat = setup();
-        let out = run(&mut cat, r#"append emp (name = "eve", sal = 10000, dno = 2)"#);
+        let out = run(
+            &mut cat,
+            r#"append emp (name = "eve", sal = 10000, dno = 2)"#,
+        );
         assert_eq!(out.changes.len(), 1);
         assert!(matches!(&out.changes[0], Change::Inserted { rel, .. } if rel == "emp"));
         assert_eq!(cat.get("emp").unwrap().borrow().len(), 5);
@@ -666,16 +708,25 @@ mod tests {
             .borrow_mut()
             .insert(vec![1i64.into(), "SalesBis".into()])
             .unwrap();
-        let out = run(&mut cat, "delete emp where emp.dno = dept.dno and emp.dno = 1");
+        let out = run(
+            &mut cat,
+            "delete emp where emp.dno = dept.dno and emp.dno = 1",
+        );
         assert_eq!(out.changes.len(), 2); // alice+bob deleted once each
     }
 
     #[test]
     fn replace_updates_and_reports_attrs() {
         let mut cat = setup();
-        let out = run(&mut cat, "replace emp (sal = 60000) where emp.name = \"alice\"");
+        let out = run(
+            &mut cat,
+            "replace emp (sal = 60000) where emp.name = \"alice\"",
+        );
         assert_eq!(out.changes.len(), 1);
-        let Change::Updated { old, new, attrs, .. } = &out.changes[0] else {
+        let Change::Updated {
+            old, new, attrs, ..
+        } = &out.changes[0]
+        else {
             panic!()
         };
         assert_eq!(old.get(1), &Value::Float(40_000.0));
@@ -688,7 +739,10 @@ mod tests {
         let mut cat = setup();
         // raise everyone by 10% — each update computed from the old value,
         // not from other rows' updates
-        let out = run(&mut cat, "replace emp (sal = emp.sal * 1.1) where emp.sal > 0");
+        let out = run(
+            &mut cat,
+            "replace emp (sal = emp.sal * 1.1) where emp.sal > 0",
+        );
         assert_eq!(out.changes.len(), 4);
         let emp = cat.get("emp").unwrap();
         let total: f64 = emp
@@ -800,7 +854,9 @@ mod tests {
                 .create(name, Schema::of(&[("k", AttrType::Int)]))
                 .unwrap();
             for i in 0..200 {
-                r.borrow_mut().insert(vec![((i % 50) as i64).into()]).unwrap();
+                r.borrow_mut()
+                    .insert(vec![((i % 50) as i64).into()])
+                    .unwrap();
             }
         }
         let out = run(&mut cat, "retrieve (a.k) where a.k = b.k");

@@ -32,9 +32,9 @@ impl Env for Row {
         let b = self
             .bound(var)
             .ok_or_else(|| QueryError::Eval(format!("variable #{var} is unbound")))?;
-        b.prev.as_ref().ok_or_else(|| {
-            QueryError::Eval(format!("variable #{var} has no previous value"))
-        })
+        b.prev
+            .as_ref()
+            .ok_or_else(|| QueryError::Eval(format!("variable #{var} has no previous value")))
     }
 }
 
@@ -103,9 +103,7 @@ pub fn eval(e: &RExpr, env: &dyn Env) -> QueryResult<Value> {
             match op {
                 BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, l, r),
                 BinOp::Eq => Ok(Value::Bool(l.sql_eq(&r))),
-                BinOp::Ne => Ok(Value::Bool(
-                    !l.is_null() && !r.is_null() && !l.sql_eq(&r),
-                )),
+                BinOp::Ne => Ok(Value::Bool(!l.is_null() && !r.is_null() && !l.sql_eq(&r))),
                 BinOp::Lt => cmp(l, r, |o| o == Ordering::Less),
                 BinOp::Le => cmp(l, r, |o| o != Ordering::Greater),
                 BinOp::Gt => cmp(l, r, |o| o == Ordering::Greater),
@@ -187,7 +185,9 @@ mod tests {
             Some(p) => BoundVar::with_prev(Some(Tid(0)), tuple, Tuple::new(p)),
             None => BoundVar::plain(Tid(0), tuple),
         };
-        Row { slots: vec![Some(bv)] }
+        Row {
+            slots: vec![Some(bv)],
+        }
     }
 
     fn attr(a: usize) -> RExpr {
@@ -199,7 +199,11 @@ mod tests {
     }
 
     fn bin(op: BinOp, l: RExpr, r: RExpr) -> RExpr {
-        RExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        RExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
@@ -233,18 +237,10 @@ mod tests {
     #[test]
     fn comparisons() {
         let row = env_one(vec![Value::Int(10)], None);
-        assert!(
-            eval_pred(&bin(BinOp::Gt, attr(0), lit(5i64)), &row).unwrap()
-        );
-        assert!(
-            eval_pred(&bin(BinOp::Le, attr(0), lit(10i64)), &row).unwrap()
-        );
-        assert!(
-            !eval_pred(&bin(BinOp::Ne, attr(0), lit(10i64)), &row).unwrap()
-        );
-        assert!(
-            eval_pred(&bin(BinOp::Eq, lit("a"), lit("a")), &row).unwrap()
-        );
+        assert!(eval_pred(&bin(BinOp::Gt, attr(0), lit(5i64)), &row).unwrap());
+        assert!(eval_pred(&bin(BinOp::Le, attr(0), lit(10i64)), &row).unwrap());
+        assert!(!eval_pred(&bin(BinOp::Ne, attr(0), lit(10i64)), &row).unwrap());
+        assert!(eval_pred(&bin(BinOp::Eq, lit("a"), lit("a")), &row).unwrap());
     }
 
     #[test]
@@ -279,10 +275,7 @@ mod tests {
 
     #[test]
     fn previous_references() {
-        let row = env_one(
-            vec![Value::Float(110.0)],
-            Some(vec![Value::Float(100.0)]),
-        );
+        let row = env_one(vec![Value::Float(110.0)], Some(vec![Value::Float(100.0)]));
         // emp.sal > 1.05 * previous emp.sal
         let e = bin(
             BinOp::Gt,
@@ -308,13 +301,19 @@ mod tests {
     fn single_env() {
         let t = Tuple::new(vec![Value::Int(42)]);
         let p = Tuple::new(vec![Value::Int(41)]);
-        let env = SingleEnv { tuple: &t, prev: Some(&p) };
+        let env = SingleEnv {
+            tuple: &t,
+            prev: Some(&p),
+        };
         assert_eq!(eval(&attr(0), &env).unwrap(), Value::Int(42));
         assert_eq!(
             eval(&RExpr::Prev { var: 7, attr: 0 }, &env).unwrap(),
             Value::Int(41)
         );
-        let env2 = SingleEnv { tuple: &t, prev: None };
+        let env2 = SingleEnv {
+            tuple: &t,
+            prev: None,
+        };
         assert!(eval(&RExpr::Prev { var: 0, attr: 0 }, &env2).is_err());
     }
 
@@ -326,9 +325,15 @@ mod tests {
             expr: Box::new(bin(BinOp::Gt, attr(0), lit(10i64))),
         };
         assert!(eval_pred(&e, &row).unwrap());
-        let e = RExpr::Unary { op: UnaryOp::Neg, expr: Box::new(attr(0)) };
+        let e = RExpr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(attr(0)),
+        };
         assert_eq!(eval(&e, &row).unwrap(), Value::Int(-5));
-        let e = RExpr::Unary { op: UnaryOp::Neg, expr: Box::new(lit("s")) };
+        let e = RExpr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(lit("s")),
+        };
         assert!(eval(&e, &row).is_err());
     }
 

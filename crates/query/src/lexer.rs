@@ -109,32 +109,53 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
                 }
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, pos });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, pos });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, pos });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, pos });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    pos,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semicolon, pos });
+                out.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, pos });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ne, pos });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        pos,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Lex {
@@ -145,39 +166,66 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Le, pos });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        pos,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { kind: TokenKind::Ne, pos });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, pos });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ge, pos });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, pos });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, pos });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    pos,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, pos });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    pos,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::StarTok, pos });
+                out.push(Token {
+                    kind: TokenKind::StarTok,
+                    pos,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, pos });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    pos,
+                });
                 i += 1;
             }
             '"' | '\'' => {
@@ -199,7 +247,10 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
                         msg: "invalid utf-8 in string literal".into(),
                     })?
                     .to_string();
-                out.push(Token { kind: TokenKind::Str(s), pos });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
                 i += 1; // closing quote
             }
             c if c.is_ascii_digit() => {
@@ -250,13 +301,14 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
-                out.push(Token { kind: TokenKind::Ident(word), pos });
+                out.push(Token {
+                    kind: TokenKind::Ident(word),
+                    pos,
+                });
             }
             other => {
                 // non-ASCII bytes outside string literals are rejected with
@@ -272,7 +324,10 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: bytes.len(),
+    });
     Ok(out)
 }
 
@@ -391,9 +446,7 @@ mod tests {
 
     #[test]
     fn rule_snippet_lexes() {
-        let toks = kinds(
-            "define rule NoBobs on append emp if emp.name = \"Bob\" then delete emp",
-        );
+        let toks = kinds("define rule NoBobs on append emp if emp.name = \"Bob\" then delete emp");
         assert_eq!(toks.len(), 16);
         assert_eq!(toks[0], TokenKind::Ident("define".into()));
     }

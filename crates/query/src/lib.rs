@@ -22,10 +22,14 @@ pub mod parser;
 pub mod plan;
 pub mod semantic;
 
-pub use ast::{BinOp, Command, EventKind, EventSpec, Expr, FromItem, Literal, RuleDef, Target, UnaryOp};
+pub use ast::{
+    BinOp, Command, EventKind, EventSpec, Expr, FromItem, Literal, RuleDef, Target, UnaryOp,
+};
 pub use binding::{BoundVar, Pnode, PnodeCol, Row};
 pub use error::{QueryError, QueryResult};
-pub use exec::{execute, execute_with_plan, plan_command, run_plan, Change, CmdOutput, ExecCtx, Notification};
+pub use exec::{
+    execute, execute_with_plan, plan_command, run_plan, Change, CmdOutput, ExecCtx, Notification,
+};
 pub use expr::{eval, eval_pred, Env, SingleEnv};
 pub use modify::modify_action;
 pub use optimizer::Optimizer;

@@ -24,21 +24,22 @@ pub fn modify_action(action: &[Command], shared: &HashSet<String>) -> Vec<Comman
 
 fn modify_command(cmd: &Command, shared: &HashSet<String>) -> Command {
     match cmd {
-        Command::Replace { var, assignments, from, qual } if shared.contains(var) => {
-            Command::ReplacePrimed {
-                pvar: var.clone(),
-                assignments: assignments.clone(),
-                from: from.clone(),
-                qual: qual.clone(),
-            }
-        }
-        Command::Delete { var, from, qual } if shared.contains(var) => {
-            Command::DeletePrimed {
-                pvar: var.clone(),
-                from: from.clone(),
-                qual: qual.clone(),
-            }
-        }
+        Command::Replace {
+            var,
+            assignments,
+            from,
+            qual,
+        } if shared.contains(var) => Command::ReplacePrimed {
+            pvar: var.clone(),
+            assignments: assignments.clone(),
+            from: from.clone(),
+            qual: qual.clone(),
+        },
+        Command::Delete { var, from, qual } if shared.contains(var) => Command::DeletePrimed {
+            pvar: var.clone(),
+            from: from.clone(),
+            qual: qual.clone(),
+        },
         Command::Block(cmds) => {
             Command::Block(cmds.iter().map(|c| modify_command(c, shared)).collect())
         }

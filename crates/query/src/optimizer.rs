@@ -43,12 +43,18 @@ struct Sarg {
 impl<'a> Optimizer<'a> {
     /// Optimizer for top-level commands.
     pub fn new(catalog: &'a Catalog) -> Self {
-        Optimizer { catalog, pnode: None }
+        Optimizer {
+            catalog,
+            pnode: None,
+        }
     }
 
     /// Optimizer for rule-action commands over `pnode`.
     pub fn with_pnode(catalog: &'a Catalog, pnode: &'a Pnode) -> Self {
-        Optimizer { catalog, pnode: Some(pnode) }
+        Optimizer {
+            catalog,
+            pnode: Some(pnode),
+        }
     }
 
     /// Produce a physical plan binding every variable of `spec`.
@@ -57,11 +63,7 @@ impl<'a> Optimizer<'a> {
         if spec.vars.is_empty() {
             return Err(QueryError::Plan("no variables to bind".into()));
         }
-        let conjuncts: Vec<RExpr> = spec
-            .qual
-            .clone()
-            .map(|q| q.conjuncts())
-            .unwrap_or_default();
+        let conjuncts: Vec<RExpr> = spec.qual.clone().map(|q| q.conjuncts()).unwrap_or_default();
 
         // Partition conjuncts by the variables they touch.
         let nvars = spec.vars.len();
@@ -99,15 +101,17 @@ impl<'a> Optimizer<'a> {
                 };
                 binds.push((v, col));
             }
-            let filter =
-                RExpr::conjoin(pnode_vars.iter().flat_map(|&v| selections[v].clone()).collect());
+            let filter = RExpr::conjoin(
+                pnode_vars
+                    .iter()
+                    .flat_map(|&v| selections[v].clone())
+                    .collect(),
+            );
             // also multi-var conjuncts fully inside the pnode unit
             let _ = pnode;
             bound.extend(&pnode_vars);
             let extra = Self::take_applicable(&mut multi, &bound);
-            let filter = RExpr::conjoin(
-                filter.into_iter().chain(extra).collect::<Vec<_>>(),
-            );
+            let filter = RExpr::conjoin(filter.into_iter().chain(extra).collect::<Vec<_>>());
             plan = Some(Plan::PnodeScan { binds, filter });
         }
 
@@ -137,7 +141,11 @@ impl<'a> Optimizer<'a> {
                         })
                     })
                     .collect();
-                let pool = if connected.is_empty() { &remaining } else { &connected };
+                let pool = if connected.is_empty() {
+                    &remaining
+                } else {
+                    &connected
+                };
                 *pool
                     .iter()
                     .min_by(|&&a, &&b| {
@@ -165,7 +173,10 @@ impl<'a> Optimizer<'a> {
         // applicable now) goes in a top filter.
         let leftovers: Vec<RExpr> = multi.into_iter().map(|(_, c)| c).collect();
         if let Some(pred) = RExpr::conjoin(leftovers) {
-            plan = Plan::Filter { input: Box::new(plan), pred };
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                pred,
+            };
         }
         Ok(plan)
     }
@@ -190,11 +201,15 @@ impl<'a> Optimizer<'a> {
     /// If `c` is `newvar.attr = <expr over bound vars>` (either side),
     /// return `(attr_of_newvar, other_side_expr)`.
     fn equi_edge(c: &RExpr, newvar: usize, bound: &HashSet<usize>) -> Option<(usize, RExpr)> {
-        let RExpr::Binary { op: BinOp::Eq, left, right } = c else {
+        let RExpr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = c
+        else {
             return None;
         };
-        let over_bound =
-            |e: &RExpr| e.vars_used().iter().all(|u| bound.contains(u));
+        let over_bound = |e: &RExpr| e.vars_used().iter().all(|u| bound.contains(u));
         if let RExpr::Attr { var, attr } = **left {
             if var == newvar && over_bound(right) {
                 return Some((attr, (**right).clone()));
@@ -220,14 +235,23 @@ impl<'a> Optimizer<'a> {
     fn extract_sargs(var: usize, sels: &[RExpr]) -> Vec<(usize, Sarg)> {
         let mut out = Vec::new();
         for (i, c) in sels.iter().enumerate() {
-            let RExpr::Binary { op, left, right } = c else { continue };
+            let RExpr::Binary { op, left, right } = c else {
+                continue;
+            };
             if !op.is_comparison() || *op == BinOp::Ne {
                 continue;
             }
             if let RExpr::Attr { var: v, attr } = **left {
                 if v == var {
                     if let Some(val) = Self::fold_const(right) {
-                        out.push((i, Sarg { attr, op: *op, value: val }));
+                        out.push((
+                            i,
+                            Sarg {
+                                attr,
+                                op: *op,
+                                value: val,
+                            },
+                        ));
                         continue;
                     }
                 }
@@ -235,7 +259,14 @@ impl<'a> Optimizer<'a> {
             if let RExpr::Attr { var: v, attr } = **right {
                 if v == var {
                     if let Some(val) = Self::fold_const(left) {
-                        out.push((i, Sarg { attr, op: op.flip(), value: val }));
+                        out.push((
+                            i,
+                            Sarg {
+                                attr,
+                                op: op.flip(),
+                                value: val,
+                            },
+                        ));
                     }
                 }
             }
@@ -244,12 +275,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Build the access path for a relation variable.
-    fn access_path(
-        &self,
-        spec: &QuerySpec,
-        var: usize,
-        sels: Vec<RExpr>,
-    ) -> QueryResult<Plan> {
+    fn access_path(&self, spec: &QuerySpec, var: usize, sels: Vec<RExpr>) -> QueryResult<Plan> {
         let rel_name = spec.vars[var].rel.clone();
         let rel = self.catalog.require(&rel_name)?;
         let rel_ref = rel.borrow();
@@ -282,7 +308,9 @@ impl<'a> Optimizer<'a> {
             if s.op == BinOp::Eq {
                 continue;
             }
-            let Some(ix) = rel_ref.index_on(s.attr) else { continue };
+            let Some(ix) = rel_ref.index_on(s.attr) else {
+                continue;
+            };
             if !ix.supports_range() {
                 continue;
             }
@@ -412,9 +440,7 @@ impl<'a> Optimizer<'a> {
     /// Cardinality estimate for one variable after its selections.
     fn estimate(&self, spec: &QuerySpec, sels: &[RExpr], var: usize) -> f64 {
         let base = match &spec.vars[var].source {
-            VarSource::Pnode { .. } => {
-                self.pnode.map(|p| p.len()).unwrap_or(0) as f64
-            }
+            VarSource::Pnode { .. } => self.pnode.map(|p| p.len()).unwrap_or(0) as f64,
             VarSource::Relation => self
                 .catalog
                 .get(&spec.vars[var].rel)
@@ -437,11 +463,7 @@ impl<'a> Optimizer<'a> {
     fn plan_estimate(&self, plan: &Plan, spec: &QuerySpec) -> f64 {
         match plan {
             Plan::SeqScan { rel, filter, .. } => {
-                let n = self
-                    .catalog
-                    .get(rel)
-                    .map(|r| r.borrow().len())
-                    .unwrap_or(0) as f64;
+                let n = self.catalog.get(rel).map(|r| r.borrow().len()).unwrap_or(0) as f64;
                 if filter.is_some() {
                     (n * SEL_RANGE).max(1.0)
                 } else {
@@ -449,11 +471,7 @@ impl<'a> Optimizer<'a> {
                 }
             }
             Plan::IndexScan { rel, key, .. } => {
-                let n = self
-                    .catalog
-                    .get(rel)
-                    .map(|r| r.borrow().len())
-                    .unwrap_or(0) as f64;
+                let n = self.catalog.get(rel).map(|r| r.borrow().len()).unwrap_or(0) as f64;
                 match key {
                     IndexKey::Eq(_) => (n * SEL_EQ).max(1.0),
                     IndexKey::Range(..) => (n * SEL_RANGE).max(1.0),
@@ -461,24 +479,18 @@ impl<'a> Optimizer<'a> {
             }
             Plan::PnodeScan { .. } => self.pnode.map(|p| p.len()).unwrap_or(0) as f64,
             Plan::NestedLoop { left, right, cond } => {
-                let prod =
-                    self.plan_estimate(left, spec) * self.plan_estimate(right, spec);
+                let prod = self.plan_estimate(left, spec) * self.plan_estimate(right, spec);
                 if cond.is_some() {
                     (prod * SEL_EQ).max(1.0)
                 } else {
                     prod
                 }
             }
-            Plan::IndexedLoop { left, .. } => {
-                (self.plan_estimate(left, spec) * 2.0).max(1.0)
-            }
+            Plan::IndexedLoop { left, .. } => (self.plan_estimate(left, spec) * 2.0).max(1.0),
             Plan::SortMergeJoin { left, right, .. } => {
-                (self.plan_estimate(left, spec) * self.plan_estimate(right, spec) * SEL_EQ)
-                    .max(1.0)
+                (self.plan_estimate(left, spec) * self.plan_estimate(right, spec) * SEL_EQ).max(1.0)
             }
-            Plan::Filter { input, .. } => {
-                (self.plan_estimate(input, spec) * SEL_RANGE).max(1.0)
-            }
+            Plan::Filter { input, .. } => (self.plan_estimate(input, spec) * SEL_RANGE).max(1.0),
         }
     }
 }
@@ -487,10 +499,7 @@ fn tighten_lo(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
     match (&a, &b) {
         (Bound::Unbounded, _) => b,
         (_, Bound::Unbounded) => a,
-        (
-            Bound::Included(x) | Bound::Excluded(x),
-            Bound::Included(y) | Bound::Excluded(y),
-        ) => {
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
             if y > x || (y == x && matches!(b, Bound::Excluded(_))) {
                 b
             } else {
@@ -504,10 +513,7 @@ fn tighten_hi(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
     match (&a, &b) {
         (Bound::Unbounded, _) => b,
         (_, Bound::Unbounded) => a,
-        (
-            Bound::Included(x) | Bound::Excluded(x),
-            Bound::Included(y) | Bound::Excluded(y),
-        ) => {
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
             if y < x || (y == x && matches!(b, Bound::Excluded(_))) {
                 b
             } else {
@@ -593,7 +599,11 @@ mod tests {
             .create_index("sal", IndexKind::BTree)
             .unwrap();
         let p = plan_for(&cat, "delete emp where emp.sal > 100 and emp.sal <= 500");
-        let Plan::IndexScan { key: IndexKey::Range(lo, hi), .. } = &p else {
+        let Plan::IndexScan {
+            key: IndexKey::Range(lo, hi),
+            ..
+        } = &p
+        else {
             panic!("expected range index scan, got {p}");
         };
         // literals stay Int; Value's cross-type numeric ordering makes the
@@ -644,7 +654,9 @@ mod tests {
         assert!(p.shape().contains(&"NestedLoopJoin"), "got:\n{p}");
         // smaller/filtered relation should come first: dept has the
         // equality filter and only 10 rows.
-        let Plan::NestedLoop { left, .. } = &p else { panic!("got:\n{p}") };
+        let Plan::NestedLoop { left, .. } = &p else {
+            panic!("got:\n{p}")
+        };
         assert!(matches!(**left, Plan::SeqScan { ref rel, .. } if rel == "dept"));
     }
 
@@ -667,7 +679,9 @@ mod tests {
     fn cartesian_product_when_no_edge() {
         let cat = catalog_with_data();
         let p = plan_for(&cat, "retrieve (emp.name, dept.name)");
-        let Plan::NestedLoop { cond, .. } = &p else { panic!("got:\n{p}") };
+        let Plan::NestedLoop { cond, .. } = &p else {
+            panic!("got:\n{p}")
+        };
         assert!(cond.is_none());
     }
 
@@ -681,7 +695,10 @@ mod tests {
     #[test]
     fn empty_spec_rejected() {
         let cat = catalog_with_data();
-        let spec = QuerySpec { vars: vec![], qual: None };
+        let spec = QuerySpec {
+            vars: vec![],
+            qual: None,
+        };
         assert!(Optimizer::new(&cat).plan(&spec).is_err());
     }
 }
@@ -726,10 +743,9 @@ mod pnode_tests {
             Tid(0),
             Tuple::new(vec![100.0.into(), 3i64.into()]),
         )]);
-        let cmd = parse_command(
-            r#"replace emp (sal = 0) where emp.dno = dept.dno and dept.name = "d3""#,
-        )
-        .unwrap();
+        let cmd =
+            parse_command(r#"replace emp (sal = 0) where emp.dno = dept.dno and dept.name = "d3""#)
+                .unwrap();
         // simulate query modification: emp shared → primed
         let modified = crate::modify::modify_action(
             std::slice::from_ref(&cmd),
@@ -738,14 +754,12 @@ mod pnode_tests {
         let rcmd = Resolver::with_pnode(&cat, &pnode)
             .resolve_command(&modified[0])
             .unwrap();
-        let plan = Optimizer::with_pnode(&cat, &pnode).plan(rcmd.spec()).unwrap();
+        let plan = Optimizer::with_pnode(&cat, &pnode)
+            .plan(rcmd.spec())
+            .unwrap();
         let shape = plan.shape();
         // the first scan in pre-order after any join nodes is the PnodeScan
-        let first_leaf = shape
-            .iter()
-            .find(|n| n.ends_with("Scan"))
-            .copied()
-            .unwrap();
+        let first_leaf = shape.iter().find(|n| n.ends_with("Scan")).copied().unwrap();
         assert_eq!(first_leaf, "PnodeScan", "plan:\n{plan}");
     }
 }

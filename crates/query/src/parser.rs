@@ -40,7 +40,10 @@ pub fn parse_command(src: &str) -> QueryResult<Command> {
     let mut cmds = parse_script(src)?;
     match cmds.len() {
         1 => Ok(cmds.pop().unwrap()),
-        0 => Err(QueryError::Parse { pos: 0, msg: "empty input".into() }),
+        0 => Err(QueryError::Parse {
+            pos: 0,
+            msg: "empty input".into(),
+        }),
         _ => Err(QueryError::Parse {
             pos: 0,
             msg: "expected a single command".into(),
@@ -322,12 +325,18 @@ impl Parser {
         if self.eat_kw("append") {
             self.eat_kw("to");
             let relation = self.expect_ident()?;
-            return Ok(EventSpec { kind: EventKind::Append, relation });
+            return Ok(EventSpec {
+                kind: EventKind::Append,
+                relation,
+            });
         }
         if self.eat_kw("delete") {
             self.eat_kw("from");
             let relation = self.expect_ident()?;
-            return Ok(EventSpec { kind: EventKind::Delete, relation });
+            return Ok(EventSpec {
+                kind: EventKind::Delete,
+                relation,
+            });
         }
         if self.eat_kw("replace") {
             self.eat_kw("to");
@@ -405,7 +414,12 @@ impl Parser {
         let target = self.expect_ident()?;
         let assignments = self.parse_assignments()?;
         let (from, qual) = self.parse_from_where()?;
-        Ok(Command::Append { target, assignments, from, qual })
+        Ok(Command::Append {
+            target,
+            assignments,
+            from,
+            qual,
+        })
     }
 
     fn parse_delete(&mut self) -> QueryResult<Command> {
@@ -420,7 +434,12 @@ impl Parser {
         let var = self.expect_ident()?;
         let assignments = self.parse_assignments()?;
         let (from, qual) = self.parse_from_where()?;
-        Ok(Command::Replace { var, assignments, from, qual })
+        Ok(Command::Replace {
+            var,
+            assignments,
+            from,
+            qual,
+        })
     }
 
     fn parse_retrieve(&mut self) -> QueryResult<Command> {
@@ -436,12 +455,13 @@ impl Parser {
         loop {
             // `var.all`
             let target = if let TokenKind::Ident(first) = self.peek().kind.clone() {
-                if matches!(self.tokens.get(self.at + 1).map(|t| &t.kind), Some(TokenKind::Dot))
-                    && matches!(
-                        self.tokens.get(self.at + 2).map(|t| &t.kind),
-                        Some(TokenKind::Ident(a)) if a.eq_ignore_ascii_case("all")
-                    )
-                {
+                if matches!(
+                    self.tokens.get(self.at + 1).map(|t| &t.kind),
+                    Some(TokenKind::Dot)
+                ) && matches!(
+                    self.tokens.get(self.at + 2).map(|t| &t.kind),
+                    Some(TokenKind::Ident(a)) if a.eq_ignore_ascii_case("all")
+                ) {
                     self.bump();
                     self.bump();
                     self.bump();
@@ -458,12 +478,18 @@ impl Parser {
                 } else {
                     let expr = self.parse_or()?;
                     anon += 1;
-                    Target::Expr { name: format!("col{anon}"), expr }
+                    Target::Expr {
+                        name: format!("col{anon}"),
+                        expr,
+                    }
                 }
             } else {
                 let expr = self.parse_or()?;
                 anon += 1;
-                Target::Expr { name: format!("col{anon}"), expr }
+                Target::Expr {
+                    name: format!("col{anon}"),
+                    expr,
+                }
             };
             targets.push(target);
             if !self.eat_tok(TokenKind::Comma) {
@@ -472,7 +498,12 @@ impl Parser {
         }
         self.expect_tok(TokenKind::RParen)?;
         let (from, qual) = self.parse_from_where()?;
-        Ok(Command::Retrieve { into, targets, from, qual })
+        Ok(Command::Retrieve {
+            into,
+            targets,
+            from,
+            qual,
+        })
     }
 
     fn parse_notify(&mut self) -> QueryResult<Command> {
@@ -505,12 +536,18 @@ impl Parser {
                 } else {
                     let expr = self.parse_or()?;
                     anon += 1;
-                    Target::Expr { name: format!("col{anon}"), expr }
+                    Target::Expr {
+                        name: format!("col{anon}"),
+                        expr,
+                    }
                 }
             } else {
                 let expr = self.parse_or()?;
                 anon += 1;
-                Target::Expr { name: format!("col{anon}"), expr }
+                Target::Expr {
+                    name: format!("col{anon}"),
+                    expr,
+                }
             };
             targets.push(target);
             if !self.eat_tok(TokenKind::Comma) {
@@ -519,7 +556,12 @@ impl Parser {
         }
         self.expect_tok(TokenKind::RParen)?;
         let (from, qual) = self.parse_from_where()?;
-        Ok(Command::Notify { channel, targets, from, qual })
+        Ok(Command::Notify {
+            channel,
+            targets,
+            from,
+            qual,
+        })
     }
 
     fn parse_block(&mut self) -> QueryResult<Command> {
@@ -573,7 +615,10 @@ impl Parser {
     fn parse_not(&mut self) -> QueryResult<Expr> {
         if self.eat_kw("not") {
             let inner = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.parse_cmp()
     }
@@ -639,7 +684,10 @@ impl Parser {
     fn parse_unary(&mut self) -> QueryResult<Expr> {
         if self.eat_tok(TokenKind::Minus) {
             let inner = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.parse_primary()
     }
@@ -675,7 +723,11 @@ impl Parser {
                     let var = self.expect_ident()?;
                     self.expect_tok(TokenKind::Dot)?;
                     let attr = self.expect_ident()?;
-                    return Ok(Expr::Attr { var, attr, previous: true });
+                    return Ok(Expr::Attr {
+                        var,
+                        attr,
+                        previous: true,
+                    });
                 }
                 if lower == "new"
                     && matches!(
@@ -693,7 +745,11 @@ impl Parser {
                 self.bump();
                 self.expect_tok(TokenKind::Dot)?;
                 let attr = self.expect_ident()?;
-                Ok(Expr::Attr { var: word, attr, previous: false })
+                Ok(Expr::Attr {
+                    var: word,
+                    attr,
+                    previous: false,
+                })
             }
             other => self.err(format!("expected an expression, found {other}")),
         }
@@ -706,8 +762,7 @@ mod tests {
 
     #[test]
     fn parse_create_relation() {
-        let c = parse_command("create emp (name = string, age = int, salary = float)")
-            .unwrap();
+        let c = parse_command("create emp (name = string, age = int, salary = float)").unwrap();
         match c {
             Command::CreateRelation { name, attrs } => {
                 assert_eq!(name, "emp");
@@ -720,12 +775,13 @@ mod tests {
 
     #[test]
     fn parse_append_with_constants() {
-        let c = parse_command(
-            r#"append emp(name="Sue", age=27, sal=55000, dno=12)"#,
-        )
-        .unwrap();
+        let c = parse_command(r#"append emp(name="Sue", age=27, sal=55000, dno=12)"#).unwrap();
         match c {
-            Command::Append { target, assignments, .. } => {
+            Command::Append {
+                target,
+                assignments,
+                ..
+            } => {
                 assert_eq!(target, "emp");
                 assert_eq!(assignments.len(), 4);
             }
@@ -735,10 +791,14 @@ mod tests {
 
     #[test]
     fn parse_replace_with_where() {
-        let c = parse_command(r#"replace emp (name="bob") where emp.name = "Sue""#)
-            .unwrap();
+        let c = parse_command(r#"replace emp (name="bob") where emp.name = "Sue""#).unwrap();
         match c {
-            Command::Replace { var, assignments, qual, .. } => {
+            Command::Replace {
+                var,
+                assignments,
+                qual,
+                ..
+            } => {
                 assert_eq!(var, "emp");
                 assert_eq!(assignments.len(), 1);
                 assert!(qual.is_some());
@@ -754,12 +814,23 @@ mod tests {
         )
         .unwrap();
         match c {
-            Command::Retrieve { into, targets, from, qual } => {
+            Command::Retrieve {
+                into,
+                targets,
+                from,
+                qual,
+            } => {
                 assert_eq!(into.as_deref(), Some("result"));
                 assert_eq!(targets.len(), 2);
                 assert!(matches!(&targets[0], Target::All { var } if var == "emp"));
                 assert!(matches!(&targets[1], Target::Expr { name, .. } if name == "total"));
-                assert_eq!(from, vec![FromItem { var: "emp".into(), rel: "employees".into() }]);
+                assert_eq!(
+                    from,
+                    vec![FromItem {
+                        var: "emp".into(),
+                        rel: "employees".into()
+                    }]
+                );
                 assert!(qual.is_some());
             }
             other => panic!("wrong command: {other:?}"),
@@ -795,7 +866,10 @@ mod tests {
                 assert_eq!(r.name, "NoBobs");
                 assert_eq!(
                     r.on,
-                    Some(EventSpec { kind: EventKind::Append, relation: "emp".into() })
+                    Some(EventSpec {
+                        kind: EventKind::Append,
+                        relation: "emp".into()
+                    })
                 );
                 assert!(r.condition.is_some());
                 assert_eq!(r.action.len(), 1);
@@ -845,10 +919,8 @@ mod tests {
 
     #[test]
     fn parse_rule_with_priority_and_ruleset() {
-        let c = parse_command(
-            "define rule r1 in payroll priority 10 if emp.sal > 100 then halt",
-        )
-        .unwrap();
+        let c = parse_command("define rule r1 in payroll priority 10 if emp.sal > 100 then halt")
+            .unwrap();
         match c {
             Command::DefineRule(r) => {
                 assert_eq!(r.ruleset.as_deref(), Some("payroll"));
@@ -888,16 +960,36 @@ mod tests {
     fn expression_precedence() {
         let e = parse_expr("emp.a + emp.b * 2 = 10 and emp.c < 5 or emp.d > 1").unwrap();
         // or at top
-        let Expr::Binary { op: BinOp::Or, left, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Or,
+            left,
+            ..
+        } = e
+        else {
             panic!("expected or at top");
         };
-        let Expr::Binary { op: BinOp::And, left: cmp, .. } = *left else {
+        let Expr::Binary {
+            op: BinOp::And,
+            left: cmp,
+            ..
+        } = *left
+        else {
             panic!("expected and under or");
         };
-        let Expr::Binary { op: BinOp::Eq, left: add, .. } = *cmp else {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left: add,
+            ..
+        } = *cmp
+        else {
             panic!("expected = under and");
         };
-        let Expr::Binary { op: BinOp::Add, right: mul, .. } = *add else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            right: mul,
+            ..
+        } = *add
+        else {
             panic!("expected + under =");
         };
         assert!(matches!(*mul, Expr::Binary { op: BinOp::Mul, .. }));
@@ -906,10 +998,24 @@ mod tests {
     #[test]
     fn not_and_negation() {
         let e = parse_expr("not emp.flag = true").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
         let e = parse_expr("-emp.x < 0").unwrap();
-        let Expr::Binary { left, .. } = e else { panic!() };
-        assert!(matches!(*left, Expr::Unary { op: UnaryOp::Neg, .. }));
+        let Expr::Binary { left, .. } = e else {
+            panic!()
+        };
+        assert!(matches!(
+            *left,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -923,10 +1029,19 @@ mod tests {
         let c = parse_command("define index on emp (sal) using btree").unwrap();
         assert!(matches!(
             c,
-            Command::CreateIndex { kind: IndexKind::BTree, .. }
+            Command::CreateIndex {
+                kind: IndexKind::BTree,
+                ..
+            }
         ));
         let c = parse_command("define index on emp (dno) using hash").unwrap();
-        assert!(matches!(c, Command::CreateIndex { kind: IndexKind::Hash, .. }));
+        assert!(matches!(
+            c,
+            Command::CreateIndex {
+                kind: IndexKind::Hash,
+                ..
+            }
+        ));
     }
 
     #[test]

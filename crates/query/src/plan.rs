@@ -123,8 +123,7 @@ impl Plan {
     pub fn shape(&self) -> Vec<&'static str> {
         let mut out = vec![self.node_name()];
         match self {
-            Plan::NestedLoop { left, right, .. }
-            | Plan::SortMergeJoin { left, right, .. } => {
+            Plan::NestedLoop { left, right, .. } | Plan::SortMergeJoin { left, right, .. } => {
                 out.extend(left.shape());
                 out.extend(right.shape());
             }
@@ -145,7 +144,13 @@ impl Plan {
                 }
                 writeln!(f)
             }
-            Plan::IndexScan { rel, var, attr, key, filter } => {
+            Plan::IndexScan {
+                rel,
+                var,
+                attr,
+                key,
+                filter,
+            } => {
                 let k = match key {
                     IndexKey::Eq(v) => format!("= {v}"),
                     IndexKey::Range(..) => "range".to_string(),
@@ -168,7 +173,13 @@ impl Plan {
                 left.fmt_indent(f, depth + 1)?;
                 right.fmt_indent(f, depth + 1)
             }
-            Plan::IndexedLoop { left, rel, attr, var, .. } => {
+            Plan::IndexedLoop {
+                left,
+                rel,
+                attr,
+                var,
+                ..
+            } => {
                 writeln!(f, "{pad}IndexedLoopJoin probe {rel}.#{attr} (var {var})")?;
                 left.fmt_indent(f, depth + 1)
             }
@@ -198,7 +209,10 @@ mod tests {
     #[test]
     fn shape_walks_tree() {
         let p = Plan::NestedLoop {
-            left: Box::new(Plan::PnodeScan { binds: vec![(0, 0)], filter: None }),
+            left: Box::new(Plan::PnodeScan {
+                binds: vec![(0, 0)],
+                filter: None,
+            }),
             right: Box::new(Plan::SeqScan {
                 rel: "dept".into(),
                 var: 1,

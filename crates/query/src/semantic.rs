@@ -71,7 +71,11 @@ impl RExpr {
     /// Split a conjunction into its conjuncts.
     pub fn conjuncts(self) -> Vec<RExpr> {
         match self {
-            RExpr::Binary { op: BinOp::And, left, right } => {
+            RExpr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 let mut out = left.conjuncts();
                 out.extend(right.conjuncts());
                 out
@@ -94,9 +98,7 @@ impl RExpr {
         match self {
             RExpr::Prev { var: v, .. } => *v == var,
             RExpr::Unary { expr, .. } => expr.has_prev_ref(var),
-            RExpr::Binary { left, right, .. } => {
-                left.has_prev_ref(var) || right.has_prev_ref(var)
-            }
+            RExpr::Binary { left, right, .. } => left.has_prev_ref(var) || right.has_prev_ref(var),
             _ => false,
         }
     }
@@ -107,8 +109,14 @@ impl RExpr {
         match self {
             RExpr::Const(v) => RExpr::Const(v.clone()),
             RExpr::AlwaysTrue => RExpr::AlwaysTrue,
-            RExpr::Attr { var, attr } => RExpr::Attr { var: map(*var), attr: *attr },
-            RExpr::Prev { var, attr } => RExpr::Prev { var: map(*var), attr: *attr },
+            RExpr::Attr { var, attr } => RExpr::Attr {
+                var: map(*var),
+                attr: *attr,
+            },
+            RExpr::Prev { var, attr } => RExpr::Prev {
+                var: map(*var),
+                attr: *attr,
+            },
             RExpr::Unary { op, expr } => RExpr::Unary {
                 op: *op,
                 expr: Box::new(expr.remap_vars(map)),
@@ -135,8 +143,13 @@ pub fn infer_type(e: &RExpr, vars: &[VarBinding]) -> Option<AttrType> {
         RExpr::Attr { var, attr } | RExpr::Prev { var, attr } => {
             Some(vars[*var].schema.attr(*attr).ty)
         }
-        RExpr::Unary { op: UnaryOp::Not, .. } => Some(AttrType::Bool),
-        RExpr::Unary { op: UnaryOp::Neg, expr } => infer_type(expr, vars),
+        RExpr::Unary {
+            op: UnaryOp::Not, ..
+        } => Some(AttrType::Bool),
+        RExpr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => infer_type(expr, vars),
         RExpr::Binary { op, left, right } => {
             if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
                 Some(AttrType::Bool)
@@ -312,13 +325,19 @@ impl Scope {
 impl<'a> Resolver<'a> {
     /// Resolver for top-level commands.
     pub fn new(catalog: &'a Catalog) -> Self {
-        Resolver { catalog, pnode: None }
+        Resolver {
+            catalog,
+            pnode: None,
+        }
     }
 
     /// Resolver for rule-action commands: shared variables resolve to
     /// columns of `pnode`.
     pub fn with_pnode(catalog: &'a Catalog, pnode: &'a Pnode) -> Self {
-        Resolver { catalog, pnode: Some(pnode) }
+        Resolver {
+            catalog,
+            pnode: Some(pnode),
+        }
     }
 
     fn bind_var(&self, scope: &mut Scope, name: &str, rel: Option<&str>) -> QueryResult<usize> {
@@ -375,7 +394,11 @@ impl<'a> Resolver<'a> {
                 Literal::Str(s) => Value::Str(s.clone()),
                 Literal::Bool(b) => Value::Bool(*b),
             })),
-            Expr::Attr { var, attr, previous } => {
+            Expr::Attr {
+                var,
+                attr,
+                previous,
+            } => {
                 let v = self.bind_var(scope, var, None)?;
                 let schema = scope.vars[v].schema.clone();
                 let a = schema.require(attr).map_err(|_| {
@@ -411,20 +434,19 @@ impl<'a> Resolver<'a> {
         }
     }
 
-
     fn check_types(&self, op: BinOp, l: &RExpr, r: &RExpr, scope: &Scope) -> QueryResult<()> {
         let lt = infer_type(l, &scope.vars);
         let rt = infer_type(r, &scope.vars);
-        let numeric = |t: &Option<AttrType>| {
-            matches!(t, None | Some(AttrType::Int) | Some(AttrType::Float))
-        };
+        let numeric =
+            |t: &Option<AttrType>| matches!(t, None | Some(AttrType::Int) | Some(AttrType::Float));
         match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div
-                if (!numeric(&lt) || !numeric(&rt)) => {
-                    return Err(QueryError::Semantic(format!(
-                        "arithmetic `{op}` requires numeric operands"
-                    )));
-                }
+                if (!numeric(&lt) || !numeric(&rt)) =>
+            {
+                return Err(QueryError::Semantic(format!(
+                    "arithmetic `{op}` requires numeric operands"
+                )));
+            }
             BinOp::And | BinOp::Or => {
                 for t in [&lt, &rt] {
                     if !matches!(t, None | Some(AttrType::Bool)) {
@@ -437,10 +459,7 @@ impl<'a> Resolver<'a> {
             _ if op.is_comparison() => {
                 let compatible = match (&lt, &rt) {
                     (None, _) | (_, None) => true,
-                    (Some(a), Some(b)) => {
-                        a == b
-                            || (numeric(&Some(*a)) && numeric(&Some(*b)))
-                    }
+                    (Some(a), Some(b)) => a == b || (numeric(&Some(*a)) && numeric(&Some(*b))),
                 };
                 if !compatible {
                     return Err(QueryError::Semantic(format!(
@@ -459,7 +478,12 @@ impl<'a> Resolver<'a> {
     /// `Retrieve`, and the primed forms).
     pub fn resolve_command(&self, cmd: &Command) -> QueryResult<RCommand> {
         match cmd {
-            Command::Append { target, assignments, from, qual } => {
+            Command::Append {
+                target,
+                assignments,
+                from,
+                qual,
+            } => {
                 let rel = self.catalog.require(target)?;
                 let target_schema = rel.borrow().schema().clone();
                 let mut scope = Scope { vars: Vec::new() };
@@ -482,7 +506,10 @@ impl<'a> Resolver<'a> {
                     target: target.clone(),
                     target_schema,
                     assignments: resolved_assign,
-                    spec: QuerySpec { vars: scope.vars, qual },
+                    spec: QuerySpec {
+                        vars: scope.vars,
+                        qual,
+                    },
                 })
             }
             Command::Delete { var, from, qual } => {
@@ -499,9 +526,20 @@ impl<'a> Resolver<'a> {
                     .as_ref()
                     .map(|q| self.resolve_expr(&mut scope, q))
                     .transpose()?;
-                Ok(RCommand::Delete { var: v, spec: QuerySpec { vars: scope.vars, qual } })
+                Ok(RCommand::Delete {
+                    var: v,
+                    spec: QuerySpec {
+                        vars: scope.vars,
+                        qual,
+                    },
+                })
             }
-            Command::Replace { var, assignments, from, qual } => {
+            Command::Replace {
+                var,
+                assignments,
+                from,
+                qual,
+            } => {
                 let mut scope = Scope { vars: Vec::new() };
                 self.bind_from(&mut scope, from)?;
                 let v = self.bind_var(&mut scope, var, None)?;
@@ -529,10 +567,18 @@ impl<'a> Resolver<'a> {
                 Ok(RCommand::Replace {
                     var: v,
                     assignments: resolved_assign,
-                    spec: QuerySpec { vars: scope.vars, qual },
+                    spec: QuerySpec {
+                        vars: scope.vars,
+                        qual,
+                    },
                 })
             }
-            Command::Retrieve { into, targets, from, qual } => {
+            Command::Retrieve {
+                into,
+                targets,
+                from,
+                qual,
+            } => {
                 let mut scope = Scope { vars: Vec::new() };
                 self.bind_from(&mut scope, from)?;
                 let qual = qual
@@ -559,10 +605,18 @@ impl<'a> Resolver<'a> {
                 Ok(RCommand::Retrieve {
                     into: into.clone(),
                     targets: resolved_targets,
-                    spec: QuerySpec { vars: scope.vars, qual },
+                    spec: QuerySpec {
+                        vars: scope.vars,
+                        qual,
+                    },
                 })
             }
-            Command::Notify { channel, targets, from, qual } => {
+            Command::Notify {
+                channel,
+                targets,
+                from,
+                qual,
+            } => {
                 let mut scope = Scope { vars: Vec::new() };
                 self.bind_from(&mut scope, from)?;
                 let qual = qual
@@ -589,7 +643,10 @@ impl<'a> Resolver<'a> {
                 Ok(RCommand::Notify {
                     channel: channel.clone(),
                     targets: resolved_targets,
-                    spec: QuerySpec { vars: scope.vars, qual },
+                    spec: QuerySpec {
+                        vars: scope.vars,
+                        qual,
+                    },
                 })
             }
             Command::DeletePrimed { pvar, from, qual } => {
@@ -605,9 +662,20 @@ impl<'a> Resolver<'a> {
                     .as_ref()
                     .map(|q| self.resolve_expr(&mut scope, q))
                     .transpose()?;
-                Ok(RCommand::DeletePrimed { pvar: v, spec: QuerySpec { vars: scope.vars, qual } })
+                Ok(RCommand::DeletePrimed {
+                    pvar: v,
+                    spec: QuerySpec {
+                        vars: scope.vars,
+                        qual,
+                    },
+                })
             }
-            Command::ReplacePrimed { pvar, assignments, from, qual } => {
+            Command::ReplacePrimed {
+                pvar,
+                assignments,
+                from,
+                qual,
+            } => {
                 let mut scope = Scope { vars: Vec::new() };
                 self.bind_from(&mut scope, from)?;
                 let v = self.bind_var(&mut scope, pvar, None)?;
@@ -634,7 +702,10 @@ impl<'a> Resolver<'a> {
                 Ok(RCommand::ReplacePrimed {
                     pvar: v,
                     assignments: resolved_assign,
-                    spec: QuerySpec { vars: scope.vars, qual },
+                    spec: QuerySpec {
+                        vars: scope.vars,
+                        qual,
+                    },
                 })
             }
             other => Err(QueryError::Semantic(format!(
@@ -710,7 +781,10 @@ impl<'a> Resolver<'a> {
             )));
         }
         Ok(ResolvedCondition {
-            spec: QuerySpec { vars: scope.vars, qual },
+            spec: QuerySpec {
+                vars: scope.vars,
+                qual,
+            },
             on_var,
             event: on.map(|s| s.kind.clone()),
             trans_vars,
@@ -754,8 +828,7 @@ mod tests {
     fn implicit_default_variables() {
         let cat = test_catalog();
         let r = Resolver::new(&cat);
-        let cmd = parse_command("delete emp where emp.sal > 100 and emp.dno = dept.dno")
-            .unwrap();
+        let cmd = parse_command("delete emp where emp.sal > 100 and emp.dno = dept.dno").unwrap();
         let rc = r.resolve_command(&cmd).unwrap();
         let spec = rc.spec();
         assert_eq!(spec.vars.len(), 2);
@@ -828,12 +901,14 @@ mod tests {
     fn append_assignments_resolved() {
         let cat = test_catalog();
         let r = Resolver::new(&cat);
-        let cmd = parse_command(
-            "append dept (dno = emp.dno, name = \"x\") where emp.sal > 10",
-        )
-        .unwrap();
-        let RCommand::Append { target, assignments, spec, .. } =
-            r.resolve_command(&cmd).unwrap()
+        let cmd =
+            parse_command("append dept (dno = emp.dno, name = \"x\") where emp.sal > 10").unwrap();
+        let RCommand::Append {
+            target,
+            assignments,
+            spec,
+            ..
+        } = r.resolve_command(&cmd).unwrap()
         else {
             panic!()
         };
@@ -861,8 +936,14 @@ mod tests {
                 }),
                 Some(&cond),
                 &[
-                    FromItem { var: "oldjob".into(), rel: "job".into() },
-                    FromItem { var: "newjob".into(), rel: "job".into() },
+                    FromItem {
+                        var: "oldjob".into(),
+                        rel: "job".into(),
+                    },
+                    FromItem {
+                        var: "newjob".into(),
+                        rel: "job".into(),
+                    },
                 ],
             )
             .unwrap();
@@ -878,7 +959,10 @@ mod tests {
         let r = Resolver::new(&cat);
         let cond = parse_expr("emp.sal > previous emp.sal").unwrap();
         let err = r.resolve_condition(
-            Some(&EventSpec { kind: EventKind::Append, relation: "emp".into() }),
+            Some(&EventSpec {
+                kind: EventKind::Append,
+                relation: "emp".into(),
+            }),
             Some(&cond),
             &[],
         );
@@ -891,7 +975,10 @@ mod tests {
         let r = Resolver::new(&cat);
         let rc = r
             .resolve_condition(
-                Some(&EventSpec { kind: EventKind::Delete, relation: "emp".into() }),
+                Some(&EventSpec {
+                    kind: EventKind::Delete,
+                    relation: "emp".into(),
+                }),
                 None,
                 &[],
             )
@@ -920,8 +1007,7 @@ mod tests {
         let cat = test_catalog();
         let r = Resolver::new(&cat);
         let cmd =
-            parse_command("delete emp where emp.sal > 1 and emp.age < 2 and emp.dno = 3")
-                .unwrap();
+            parse_command("delete emp where emp.sal > 1 and emp.age < 2 and emp.dno = 3").unwrap();
         let rc = r.resolve_command(&cmd).unwrap();
         let q = rc.spec().qual.clone().unwrap();
         let parts = q.clone().conjuncts();
@@ -944,18 +1030,17 @@ mod tests {
         // replace' binds its target through the P-node
         let cmd = Command::ReplacePrimed {
             pvar: "emp".into(),
-            assignments: vec![(
-                "sal".into(),
-                Expr::Literal(Literal::Int(30000)),
-            )],
+            assignments: vec![("sal".into(), Expr::Literal(Literal::Int(30000)))],
             from: vec![],
             qual: None,
         };
-        let RCommand::ReplacePrimed { pvar, spec, .. } = r.resolve_command(&cmd).unwrap()
-        else {
+        let RCommand::ReplacePrimed { pvar, spec, .. } = r.resolve_command(&cmd).unwrap() else {
             panic!()
         };
-        assert!(matches!(spec.vars[pvar].source, VarSource::Pnode { col: 0 }));
+        assert!(matches!(
+            spec.vars[pvar].source,
+            VarSource::Pnode { col: 0 }
+        ));
     }
 
     #[test]

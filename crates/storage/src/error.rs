@@ -52,8 +52,15 @@ impl fmt::Display for StorageError {
             StorageError::ArityMismatch { expected, got } => {
                 write!(f, "arity mismatch: expected {expected} values, got {got}")
             }
-            StorageError::TypeMismatch { attr, expected, got } => {
-                write!(f, "type mismatch on `{attr}`: expected {expected}, got {got}")
+            StorageError::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on `{attr}`: expected {expected}, got {got}"
+                )
             }
             StorageError::NoSuchRelation(r) => write!(f, "no such relation: {r}"),
             StorageError::RelationExists(r) => write!(f, "relation already exists: {r}"),

@@ -105,7 +105,11 @@ impl Index {
             Repr::Hash(_) => None,
             Repr::BTree(m) => {
                 // BTreeMap panics if lo > hi; normalize empty ranges.
-                if let (Bound::Included(l) | Bound::Excluded(l), Bound::Included(h) | Bound::Excluded(h)) = (lo, hi) {
+                if let (
+                    Bound::Included(l) | Bound::Excluded(l),
+                    Bound::Included(h) | Bound::Excluded(h),
+                ) = (lo, hi)
+                {
                     if l > h {
                         return Some(Vec::new());
                     }
@@ -190,9 +194,7 @@ mod tests {
     #[test]
     fn hash_has_no_range() {
         let ix = populated(IndexKind::Hash);
-        assert!(ix
-            .probe_range(Bound::Unbounded, Bound::Unbounded)
-            .is_none());
+        assert!(ix.probe_range(Bound::Unbounded, Bound::Unbounded).is_none());
         assert!(!ix.supports_range());
     }
 

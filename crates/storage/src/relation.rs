@@ -193,8 +193,11 @@ impl Relation {
         self.slots.clear();
         self.free.clear();
         self.tid_to_slot.clear();
-        let kinds: Vec<(usize, IndexKind)> =
-            self.indexes.iter().map(|ix| (ix.attr(), ix.kind())).collect();
+        let kinds: Vec<(usize, IndexKind)> = self
+            .indexes
+            .iter()
+            .map(|ix| (ix.attr(), ix.kind()))
+            .collect();
         self.indexes = kinds
             .into_iter()
             .map(|(attr, kind)| Index::new(attr, kind))
@@ -247,7 +250,10 @@ mod tests {
     #[test]
     fn delete_dangling_errors() {
         let mut r = emp();
-        assert!(matches!(r.delete(Tid(42)), Err(StorageError::DanglingTid(42))));
+        assert!(matches!(
+            r.delete(Tid(42)),
+            Err(StorageError::DanglingTid(42))
+        ));
     }
 
     #[test]
@@ -335,7 +341,10 @@ mod tests {
         r.clear();
         assert!(r.is_empty());
         let tid = r.insert(row("b", 2.0, 5)).unwrap();
-        assert_eq!(r.probe_eq(2, &Value::Int(5)).unwrap(), vec![(tid, r.get(tid).unwrap())]);
+        assert_eq!(
+            r.probe_eq(2, &Value::Int(5)).unwrap(),
+            vec![(tid, r.get(tid).unwrap())]
+        );
     }
 
     #[test]

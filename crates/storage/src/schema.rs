@@ -67,7 +67,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Build an attribute definition.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        AttrDef { name: name.into(), ty }
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -240,7 +243,10 @@ mod tests {
         let r = s.check_row(vec![Value::Int(1)]);
         assert!(matches!(
             r,
-            Err(StorageError::ArityMismatch { expected: 3, got: 1 })
+            Err(StorageError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

@@ -35,7 +35,9 @@ pub struct Tuple {
 impl Tuple {
     /// Build a tuple from a row of values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values: values.into() }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     /// Number of attributes.
@@ -75,8 +77,7 @@ impl Tuple {
 
     /// Approximate heap size in bytes (for α-memory storage accounting).
     pub fn heap_size(&self) -> usize {
-        std::mem::size_of::<Tuple>()
-            + self.values.iter().map(Value::heap_size).sum::<usize>()
+        std::mem::size_of::<Tuple>() + self.values.iter().map(Value::heap_size).sum::<usize>()
     }
 }
 

@@ -238,7 +238,10 @@ mod tests {
     fn numeric_cross_type_compare() {
         assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
         assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.5)), Ordering::Less);
-        assert_eq!(Value::Float(4.0).total_cmp(&Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(4.0).total_cmp(&Value::Int(3)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -263,11 +266,13 @@ mod tests {
 
     #[test]
     fn mixed_type_ordering_is_total() {
-        let mut vals = [Value::from("z"),
+        let mut vals = [
+            Value::from("z"),
             Value::Int(1),
             Value::Null,
             Value::Bool(true),
-            Value::Float(0.5)];
+            Value::Float(0.5),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

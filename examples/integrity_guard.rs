@@ -51,9 +51,12 @@ fn main() {
     .expect("depts");
 
     println!("== inserting employees (one of them violates two constraints) ==");
-    db.execute(r#"append emp (name = "Ann", sal = 90000, dno = 1)"#).expect("ok");
-    db.execute(r#"append emp (name = "Bob", sal = 50000, dno = 1)"#).expect("bob");
-    db.execute(r#"append emp (name = "Cee", sal = 900000, dno = 2)"#).expect("cee");
+    db.execute(r#"append emp (name = "Ann", sal = 90000, dno = 1)"#)
+        .expect("ok");
+    db.execute(r#"append emp (name = "Bob", sal = 50000, dno = 1)"#)
+        .expect("bob");
+    db.execute(r#"append emp (name = "Cee", sal = 900000, dno = 2)"#)
+        .expect("cee");
     dump(&mut db);
 
     println!("\n== renaming someone to Bob (caught by the pattern rule) ==");
@@ -62,7 +65,8 @@ fn main() {
     dump(&mut db);
 
     println!("\n== deleting the Toy department (cascade) ==");
-    db.execute(r#"delete dept where dept.name = "Toy""#).expect("cascade");
+    db.execute(r#"delete dept where dept.name = "Toy""#)
+        .expect("cascade");
     dump(&mut db);
 
     let v = db.query("retrieve (violations.all)").expect("violations");

@@ -72,10 +72,7 @@ fn main() {
     for note in db.drain_notifications() {
         for row in &note.rows {
             match note.channel.as_str() {
-                "ticks" => println!(
-                    "  [tick ] {} {} (was {})",
-                    row[0], row[1], row[2]
-                ),
+                "ticks" => println!("  [tick ] {} {} (was {})", row[0], row[1], row[2]),
                 "alerts" => println!(
                     "  [ALERT] {} fell to {} — stop-loss hit on {} shares",
                     row[0], row[1], row[2]

@@ -83,9 +83,7 @@ fn stress(seed: u64, steps: usize, policy: VirtualPolicy) {
                         "define rule {name} if a.x > 2 * previous a.x \
                          then append to log(x = a.x)"
                     ),
-                    _ => format!(
-                        "define rule {name} on delete a then notify gone (x = a.x)"
-                    ),
+                    _ => format!("define rule {name} on delete a then notify gone (x = a.x)"),
                 };
                 db.execute(&src)
             }

@@ -38,10 +38,8 @@ fn build(policy: VirtualPolicy) -> Ariel {
     )
     .unwrap();
     // a mix of rule shapes: selection, join, transition, event
-    db.execute(
-        "define rule r_sel if emp.sal > 5000 then append to audit(id = emp.id, kind = 1)",
-    )
-    .unwrap();
+    db.execute("define rule r_sel if emp.sal > 5000 then append to audit(id = emp.id, kind = 1)")
+        .unwrap();
     db.execute(
         "define rule r_join if emp.sal > 1000 and emp.dno = dept.dno and dept.floor < 3 \
          then append to audit(id = emp.id, kind = 2)",
@@ -52,10 +50,8 @@ fn build(policy: VirtualPolicy) -> Ariel {
          then append to audit(id = emp.id, kind = 3)",
     )
     .unwrap();
-    db.execute(
-        "define rule r_event on delete emp then append to audit(id = emp.id, kind = 4)",
-    )
-    .unwrap();
+    db.execute("define rule r_event on delete emp then append to audit(id = emp.id, kind = 4)")
+        .unwrap();
     db
 }
 
@@ -69,10 +65,8 @@ fn apply_stream(db: &mut Ariel, seed: u64, steps: usize) {
                 next_id += 1;
                 let sal = rng.below(9000);
                 let dno = rng.below(5);
-                db.execute(&format!(
-                    "append emp (id = {id}, sal = {sal}, dno = {dno})"
-                ))
-                .unwrap();
+                db.execute(&format!("append emp (id = {id}, sal = {sal}, dno = {dno})"))
+                    .unwrap();
             }
             4..=5 => {
                 let dno = rng.below(5);
@@ -83,14 +77,13 @@ fn apply_stream(db: &mut Ariel, seed: u64, steps: usize) {
             6..=7 => {
                 let id = rng.below(next_id.max(1) as u64);
                 let sal = rng.below(12_000);
-                db.execute(&format!(
-                    "replace emp (sal = {sal}) where emp.id = {id}"
-                ))
-                .unwrap();
+                db.execute(&format!("replace emp (sal = {sal}) where emp.id = {id}"))
+                    .unwrap();
             }
             _ => {
                 let id = rng.below(next_id.max(1) as u64);
-                db.execute(&format!("delete emp where emp.id = {id}")).unwrap();
+                db.execute(&format!("delete emp where emp.id = {id}"))
+                    .unwrap();
             }
         }
     }
@@ -136,10 +129,12 @@ fn plan_caching_matches_always_reoptimize() {
             cache_action_plans: cache,
             ..Default::default()
         });
-        db.execute("create emp (id = int, sal = float, dno = int); \
+        db.execute(
+            "create emp (id = int, sal = float, dno = int); \
                     create dept (dno = int, floor = int); \
-                    create audit (id = int, kind = int)")
-            .unwrap();
+                    create audit (id = int, kind = int)",
+        )
+        .unwrap();
         db.execute(
             "define rule r if emp.sal > 100 and emp.dno = dept.dno \
              then append to audit(id = emp.id, kind = 1)",
@@ -165,7 +160,15 @@ fn long_stream_with_two_seeds() {
         let mut b = build(VirtualPolicy::AllVirtual);
         apply_stream(&mut a, seed, 100);
         apply_stream(&mut b, seed, 100);
-        assert_eq!(snapshot(&mut a, "audit"), snapshot(&mut b, "audit"), "seed {seed}");
-        assert_eq!(snapshot(&mut a, "emp"), snapshot(&mut b, "emp"), "seed {seed}");
+        assert_eq!(
+            snapshot(&mut a, "audit"),
+            snapshot(&mut b, "audit"),
+            "seed {seed}"
+        );
+        assert_eq!(
+            snapshot(&mut a, "emp"),
+            snapshot(&mut b, "emp"),
+            "seed {seed}"
+        );
     }
 }

@@ -55,8 +55,10 @@ fn notify_with_previous_values() {
 #[test]
 fn notify_with_join_in_action() {
     let mut db = db();
-    db.execute("create names (x = int, label = string)").unwrap();
-    db.execute(r#"append names (x = 5, label = "five")"#).unwrap();
+    db.execute("create names (x = int, label = string)")
+        .unwrap();
+    db.execute(r#"append names (x = 5, label = "five")"#)
+        .unwrap();
     db.execute(
         "define rule tagged on append t \
          then notify tags (label = names.label) where names.x = t.x",

@@ -1,0 +1,177 @@
+//! End-to-end observability: always-on counters, gated timing histograms,
+//! the metrics snapshot, and `explain analyze`.
+
+use ariel::{Ariel, EngineOptions};
+
+/// Engine with the timing tier on, a 2-variable paper-style rule
+/// (`emp.sal` band joined to `dept` on `dno`), and some dept rows.
+fn observed_db() -> Ariel {
+    let mut db = Ariel::with_options(EngineOptions {
+        observability: true,
+        ..Default::default()
+    });
+    db.execute(
+        "create emp (name = string, sal = float, dno = int); \
+         create dept (dno = int, name = string); \
+         create log (name = string)",
+    )
+    .unwrap();
+    db.execute("append dept (dno = 1, name = \"eng\")").unwrap();
+    db.execute("append dept (dno = 2, name = \"ops\")").unwrap();
+    db.execute(
+        "define rule watch if emp.sal > 1000 and emp.dno = dept.dno \
+         then append to log(name = emp.name)",
+    )
+    .unwrap();
+    db
+}
+
+fn feed(db: &mut Ariel, n: usize) {
+    for i in 0..n {
+        db.execute(&format!(
+            "append emp (name = \"e{i}\", sal = {}, dno = {})",
+            500 + i * 300,
+            1 + (i % 2)
+        ))
+        .unwrap();
+    }
+}
+
+#[test]
+fn per_rule_token_counts_are_nonzero() {
+    let mut db = observed_db();
+    feed(&mut db, 10);
+    let rs = db.rule_stats("watch").unwrap();
+    assert!(rs.tokens_in > 0, "rule saw tokens: {rs:?}");
+    assert!(rs.alpha_tests > 0 && rs.alpha_passes > 0, "{rs:?}");
+    assert!(rs.alpha_passes <= rs.alpha_tests, "{rs:?}");
+    assert!(rs.join_probes > 0 && rs.pnode_inserts > 0, "{rs:?}");
+    assert!(rs.join_fanout() > 0.0);
+    assert!(rs.stored_join_candidates > 0, "{rs:?}");
+    assert_eq!(rs.virtual_join_candidates, 0, "AllStored policy: {rs:?}");
+    assert_eq!(rs.virtual_hit_ratio(), 0.0);
+
+    let ns = db.network_stats();
+    assert!(ns.tokens_processed > 0 && ns.selnet_probes > 0, "{ns:?}");
+    assert!(ns.selnet_candidates > 0 && ns.islist_stabs > 0, "{ns:?}");
+    assert_eq!(ns.alpha_tests, rs.alpha_tests, "single rule owns all tests");
+    assert_eq!(ns.join_probes, rs.join_probes);
+    assert_eq!(ns.pnode_inserts, rs.pnode_inserts);
+}
+
+#[test]
+fn histogram_bucket_totals_equal_event_counts() {
+    let mut db = observed_db();
+    feed(&mut db, 8);
+    let obs = db.network().obs().expect("observability on");
+    let (alpha, vscan, join, pins) = obs.phase_histograms();
+    for (name, h) in [
+        ("alpha_test", &alpha),
+        ("virtual_scan", &vscan),
+        ("beta_join", &join),
+        ("pnode_insert", &pins),
+        ("selnet_probe", &obs.selnet_probe),
+    ] {
+        assert_eq!(
+            h.buckets().iter().sum::<u64>(),
+            h.count(),
+            "{name}: bucket total must equal sample count"
+        );
+    }
+    // the timing tier saw exactly what the always-on counters saw
+    let ns = db.network_stats();
+    assert_eq!(alpha.count(), ns.alpha_tests);
+    assert_eq!(join.count(), ns.join_probes);
+    assert_eq!(obs.selnet_probe.count(), ns.selnet_probes);
+    assert_eq!(obs.tokens.get(), ns.tokens_processed);
+    assert!(pins.count() > 0, "P-node inserts were timed");
+}
+
+#[test]
+fn explain_analyze_names_every_node_of_a_two_variable_rule() {
+    let mut db = observed_db();
+    let out = db
+        .explain_analyze("append emp (name = \"bob\", sal = 5000, dno = 1)")
+        .unwrap();
+    // every node of the rule's network appears by name…
+    assert!(out.contains("selection network:"), "{out}");
+    assert!(out.contains("rule watch:"), "{out}");
+    assert!(out.contains("α[emp: emp]"), "{out}");
+    assert!(out.contains("α[dept: dept]"), "{out}");
+    assert!(out.contains("β-join"), "{out}");
+    assert!(out.contains("P-node"), "{out}");
+    assert!(out.contains("action"), "{out}");
+    // …with token counts and timings
+    assert!(
+        out.contains("in 1, out 1"),
+        "emp α-node saw the token: {out}"
+    );
+    assert!(out.contains("fan-out"), "{out}");
+    assert!(out.contains("/test") || out.contains("/probe"), "{out}");
+    assert!(out.contains("token(s) through the network"), "{out}");
+}
+
+#[test]
+fn explain_analyze_works_with_flag_off_and_preserves_capture_scoping() {
+    let mut db = observed_db();
+    db.set_observability(false);
+    assert!(!db.observing());
+    let out = db
+        .explain_analyze("append emp (name = \"carol\", sal = 2000, dno = 2)")
+        .unwrap();
+    assert!(out.contains("rule watch:"), "{out}");
+    assert!(out.contains("in 1, out 1"), "{out}");
+    // the scoped capture did not re-enable the timing tier
+    assert!(!db.observing());
+    assert!(db.network().obs().is_none());
+}
+
+#[test]
+fn metrics_json_reflects_observability_flag() {
+    let mut db = observed_db();
+    feed(&mut db, 4);
+    let on = db.metrics_json();
+    assert!(on.starts_with('{') && on.ends_with('}'), "{on}");
+    assert!(on.contains("\"name\":\"watch\""), "{on}");
+    assert!(on.contains("\"timing\":{"), "{on}");
+    assert!(on.contains("\"match_batch\""), "{on}");
+    assert!(on.contains("\"action_exec\""), "{on}");
+    assert!(
+        on.contains("\"watch\""),
+        "action histogram labeled by rule name"
+    );
+    db.set_observability(false);
+    let off = db.metrics_json();
+    assert!(off.contains("\"timing\":null"), "{off}");
+    assert!(off.contains("\"tokens_processed\""), "counters stay: {off}");
+}
+
+#[test]
+fn virtual_nodes_report_scan_work() {
+    let mut db = Ariel::with_options(EngineOptions {
+        observability: true,
+        virtual_policy: ariel::network::VirtualPolicy::AllVirtual,
+        ..Default::default()
+    });
+    db.execute(
+        "create emp (name = string, sal = float, dno = int); \
+         create dept (dno = int, name = string); \
+         create log (name = string)",
+    )
+    .unwrap();
+    db.execute("append dept (dno = 1, name = \"eng\")").unwrap();
+    db.execute(
+        "define rule v if emp.sal > 0 and emp.dno = dept.dno \
+         then append to log(name = emp.name)",
+    )
+    .unwrap();
+    db.execute("append emp (name = \"a\", sal = 10, dno = 1)")
+        .unwrap();
+    let rs = db.rule_stats("v").unwrap();
+    assert!(
+        rs.virtual_scans > 0,
+        "dept joined through the base relation: {rs:?}"
+    );
+    assert!(rs.virtual_join_candidates > 0, "{rs:?}");
+    assert!(rs.virtual_hit_ratio() > 0.0);
+}

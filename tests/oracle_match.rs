@@ -4,13 +4,11 @@
 //! condition produces (incremental match ≡ recompute). Checked for every
 //! virtual-memory policy and for the Rete baseline.
 
-use ariel::network::{
-    Network, ReteNetwork, RuleId, Token, VirtualPolicy,
-};
-use ariel::query::{parse_expr, ExecCtx, Optimizer, Pnode, Resolver, ResolvedCondition};
+use ariel::network::{Network, ReteNetwork, RuleId, Token, VirtualPolicy};
+use ariel::query::Change;
+use ariel::query::{parse_expr, ExecCtx, Optimizer, Pnode, ResolvedCondition, Resolver};
 use ariel::storage::{AttrType, Catalog, Schema, Tid, Value};
 use ariel::DeltaTracker;
-use ariel::query::Change;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -30,10 +28,16 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
-    c.create("r1", Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int)]))
-        .unwrap();
-    c.create("r2", Schema::of(&[("b", AttrType::Int), ("c", AttrType::Int)]))
-        .unwrap();
+    c.create(
+        "r1",
+        Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int)]),
+    )
+    .unwrap();
+    c.create(
+        "r2",
+        Schema::of(&[("b", AttrType::Int), ("c", AttrType::Int)]),
+    )
+    .unwrap();
     c
 }
 
@@ -42,9 +46,14 @@ fn conditions(cat: &Catalog) -> Vec<ResolvedCondition> {
         let e = parse_expr(qual).unwrap();
         let from: Vec<ariel::query::FromItem> = from
             .iter()
-            .map(|(v, r)| ariel::query::FromItem { var: v.to_string(), rel: r.to_string() })
+            .map(|(v, r)| ariel::query::FromItem {
+                var: v.to_string(),
+                rel: r.to_string(),
+            })
             .collect();
-        Resolver::new(cat).resolve_condition(None, Some(&e), &from).unwrap()
+        Resolver::new(cat)
+            .resolve_condition(None, Some(&e), &from)
+            .unwrap()
     };
     vec![
         make("r1.a > 10", &[]),
@@ -68,7 +77,11 @@ fn pnode_tids(p: &Pnode) -> Vec<Vec<Option<u64>>> {
 /// From-scratch evaluation of a condition through the query optimizer.
 fn oracle(cat: &Catalog, cond: &ResolvedCondition) -> Vec<Vec<Option<u64>>> {
     let plan = Optimizer::new(cat).plan(&cond.spec).unwrap();
-    let ctx = ExecCtx { catalog: cat, pnode: None, nvars: cond.spec.vars.len() };
+    let ctx = ExecCtx {
+        catalog: cat,
+        pnode: None,
+        nvars: cond.spec.vars.len(),
+    };
     let rows = ariel::query::run_plan(&plan, &ctx).unwrap();
     let mut out: Vec<Vec<Option<u64>>> = rows
         .iter()
@@ -95,7 +108,11 @@ fn apply(cat: &Catalog, live: &mut Vec<(String, Tid)>, op: &Op) -> Option<Change
                 .unwrap();
             let t = r.borrow().get(tid).cloned().unwrap();
             live.push((name.to_string(), tid));
-            Some(Change::Inserted { rel: name.to_string(), tid, new: t })
+            Some(Change::Inserted {
+                rel: name.to_string(),
+                tid,
+                new: t,
+            })
         }
         Op::Delete { pick } => {
             if live.is_empty() {
@@ -104,7 +121,11 @@ fn apply(cat: &Catalog, live: &mut Vec<(String, Tid)>, op: &Op) -> Option<Change
             let (name, tid) = live.swap_remove(pick % live.len());
             let r = cat.get(&name).unwrap();
             let old = r.borrow_mut().delete(tid).unwrap();
-            Some(Change::Deleted { rel: name, tid, old })
+            Some(Change::Deleted {
+                rel: name,
+                tid,
+                old,
+            })
         }
         Op::Update { pick, a } => {
             if live.is_empty() {
@@ -116,7 +137,13 @@ fn apply(cat: &Catalog, live: &mut Vec<(String, Tid)>, op: &Op) -> Option<Change
             let new_vals = vec![Value::Int(*a), old.get(1).clone()];
             let old = r.borrow_mut().update(tid, new_vals).unwrap();
             let new = r.borrow().get(tid).cloned().unwrap();
-            Some(Change::Updated { rel: name, tid, old, new, attrs: vec![0] })
+            Some(Change::Updated {
+                rel: name,
+                tid,
+                old,
+                new,
+                attrs: vec![0],
+            })
         }
     }
 }
@@ -158,7 +185,9 @@ fn run_stream(config: Config, ops: &[Op]) -> Result<(), TestCaseError> {
     for (step, op) in ops.iter().enumerate() {
         // each op = one transition (Δ-sets reset per transition)
         delta.reset();
-        let Some(change) = apply(&cat, &mut live, op) else { continue };
+        let Some(change) = apply(&cat, &mut live, op) else {
+            continue;
+        };
         let tokens: Vec<Token> = delta.tokens_for(&change);
         match &mut net {
             Net::Treat(n) => n.process_batch(&tokens, &cat).unwrap(),

@@ -31,10 +31,8 @@ fn names(db: &mut Ariel, rel: &str) -> Vec<String> {
 fn nobobs_on_append() {
     // §2.2.2: "never let anyone named Bob be appended to emp"
     let mut db = paper_db();
-    db.execute(
-        r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#,
-    )
-    .unwrap();
+    db.execute(r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#)
+        .unwrap();
     db.execute(r#"append emp (name = "Bob", age = 30, sal = 1000, dno = 1, jno = 1)"#)
         .unwrap();
     db.execute(r#"append emp (name = "Alice", age = 30, sal = 1000, dno = 1, jno = 1)"#)
@@ -47,10 +45,8 @@ fn nobobs_logical_events_in_block() {
     // §2.2.2's block: append Sue, then rename her Bob, inside one do…end.
     // The logical event is a single append of Bob, so NoBobs fires.
     let mut db = paper_db();
-    db.execute(
-        r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#,
-    )
-    .unwrap();
+    db.execute(r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#)
+        .unwrap();
     db.execute(
         r#"do
              append emp (name = "Sue", age = 27, sal = 55000, dno = 12, jno = 1)
@@ -58,7 +54,10 @@ fn nobobs_logical_events_in_block() {
            end"#,
     )
     .unwrap();
-    assert!(names(&mut db, "emp").is_empty(), "logical append of Bob was caught");
+    assert!(
+        names(&mut db, "emp").is_empty(),
+        "logical append of Bob was caught"
+    );
 }
 
 #[test]
@@ -68,15 +67,17 @@ fn nobobs_physical_events_without_block() {
     // on-append rule does NOT fire. This is exactly why §2.2.2 recommends
     // the pattern-based NoBobs2.
     let mut db = paper_db();
-    db.execute(
-        r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#,
-    )
-    .unwrap();
+    db.execute(r#"define rule NoBobs on append emp if emp.name = "Bob" then delete emp"#)
+        .unwrap();
     db.execute(r#"append emp (name = "Sue", age = 27, sal = 55000, dno = 12, jno = 1)"#)
         .unwrap();
     db.execute(r#"replace emp (name = "Bob") where emp.name = "Sue""#)
         .unwrap();
-    assert_eq!(names(&mut db, "emp"), vec!["Bob"], "on-append misses the rename");
+    assert_eq!(
+        names(&mut db, "emp"),
+        vec!["Bob"],
+        "on-append misses the rename"
+    );
 }
 
 #[test]
@@ -93,7 +94,10 @@ fn nobobs2_pattern_based_catches_everything() {
         .unwrap();
     db.execute(r#"replace emp (name = "Bob") where emp.name = "Sue""#)
         .unwrap();
-    assert!(names(&mut db, "emp").is_empty(), "pattern rule catches the rename");
+    assert!(
+        names(&mut db, "emp").is_empty(),
+        "pattern rule catches the rename"
+    );
 }
 
 #[test]
@@ -112,7 +116,10 @@ fn raiselimit_transition_rule() {
     // +5%: fine
     db.execute(r#"replace emp (sal = 105000) where emp.name = "amy""#)
         .unwrap();
-    assert_eq!(db.query("retrieve (salaryerror.all)").unwrap().rows.len(), 0);
+    assert_eq!(
+        db.query("retrieve (salaryerror.all)").unwrap().rows.len(),
+        0
+    );
     // +20%: flagged with old and new values
     db.execute(r#"replace emp (sal = 126000) where emp.name = "amy""#)
         .unwrap();
@@ -143,7 +150,8 @@ fn toyraiselimit_join_plus_transition() {
     db.execute(r#"append emp (name = "shoer", age = 1, sal = 100, dno = 2, jno = 1)"#)
         .unwrap();
     // both get 50% raises; only the Toy employee is flagged
-    db.execute("replace emp (sal = 150) where emp.sal = 100").unwrap();
+    db.execute("replace emp (sal = 150) where emp.sal = 100")
+        .unwrap();
     let out = db.query("retrieve (toysalaryerror.all)").unwrap();
     assert_eq!(out.rows.len(), 1);
     assert_eq!(out.rows[0][0], Value::from("toyer"));
@@ -154,10 +162,8 @@ fn finddemotions_event_pattern_transition() {
     // §2.3: log demotions — event (on replace emp(jno)), pattern (job
     // lookups) and transition (previous emp.jno) conditions combined.
     let mut db = paper_db();
-    db.execute(
-        "create demotions (name = string, dno = int, oldjno = int, newjno = int)",
-    )
-    .unwrap();
+    db.execute("create demotions (name = string, dno = int, oldjno = int, newjno = int)")
+        .unwrap();
     db.execute(r#"append job (jno = 1, title = "Clerk", paygrade = 3, description = "d")"#)
         .unwrap();
     db.execute(r#"append job (jno = 2, title = "Boss", paygrade = 9, description = "d")"#)
@@ -174,16 +180,19 @@ fn finddemotions_event_pattern_transition() {
     db.execute(r#"append emp (name = "mel", age = 1, sal = 1, dno = 7, jno = 2)"#)
         .unwrap();
     // demotion: Boss (paygrade 9) → Clerk (paygrade 3)
-    db.execute(r#"replace emp (jno = 1) where emp.name = "mel""#).unwrap();
+    db.execute(r#"replace emp (jno = 1) where emp.name = "mel""#)
+        .unwrap();
     let out = db.query("retrieve (demotions.all)").unwrap();
     assert_eq!(out.rows.len(), 1);
     assert_eq!(out.rows[0][2], Value::Int(2), "old job");
     assert_eq!(out.rows[0][3], Value::Int(1), "new job");
     // promotion back: no new row
-    db.execute(r#"replace emp (jno = 2) where emp.name = "mel""#).unwrap();
+    db.execute(r#"replace emp (jno = 2) where emp.name = "mel""#)
+        .unwrap();
     assert_eq!(db.query("retrieve (demotions.all)").unwrap().rows.len(), 1);
     // a replace NOT touching jno never wakes the rule
-    db.execute(r#"replace emp (sal = 2) where emp.name = "mel""#).unwrap();
+    db.execute(r#"replace emp (sal = 2) where emp.name = "mel""#)
+        .unwrap();
     assert_eq!(db.query("retrieve (demotions.all)").unwrap().rows.len(), 1);
 }
 
@@ -302,6 +311,7 @@ fn new_predicate_matches_any_value() {
     db.execute(r#"append emp (name = "x", age = 1, sal = 1, dno = 1, jno = 1)"#)
         .unwrap();
     assert_eq!(db.query("retrieve (log.all)").unwrap().rows.len(), 1);
-    db.execute(r#"replace emp (name = "y") where emp.name = "x""#).unwrap();
+    db.execute(r#"replace emp (name = "y") where emp.name = "x""#)
+        .unwrap();
     assert_eq!(db.query("retrieve (log.all)").unwrap().rows.len(), 2);
 }

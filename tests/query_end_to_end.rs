@@ -17,8 +17,10 @@ fn sample_db() -> Ariel {
         ("carol", 70_000.0, 2),
         ("dan", 35_000.0, 3),
     ] {
-        db.execute(&format!(r#"append emp (name = "{n}", sal = {s}, dno = {d})"#))
-            .unwrap();
+        db.execute(&format!(
+            r#"append emp (name = "{n}", sal = {s}, dno = {d})"#
+        ))
+        .unwrap();
     }
     for (d, n) in [(1, "Sales"), (2, "Toy"), (3, "Shoe")] {
         db.execute(&format!(r#"append dept (dno = {d}, name = "{n}")"#))
@@ -70,9 +72,7 @@ fn retrieve_into_materializes() {
     let out = db.query("retrieve (rich.name)").unwrap();
     assert_eq!(out.rows.len(), 2);
     // destination must not pre-exist
-    assert!(db
-        .query("retrieve into rich (emp.all)")
-        .is_err());
+    assert!(db.query("retrieve into rich (emp.all)").is_err());
 }
 
 #[test]
@@ -100,10 +100,8 @@ fn indexes_speed_up_without_changing_results() {
 #[test]
 fn replace_with_join_qualification() {
     let mut db = sample_db();
-    db.execute(
-        r#"replace emp (sal = 0) where emp.dno = dept.dno and dept.name = "Sales""#,
-    )
-    .unwrap();
+    db.execute(r#"replace emp (sal = 0) where emp.dno = dept.dno and dept.name = "Sales""#)
+        .unwrap();
     let zeroed = db
         .query("retrieve (emp.name) where emp.sal = 0")
         .unwrap()
@@ -128,9 +126,7 @@ fn block_is_atomic_unit_of_commands() {
          end",
     )
     .unwrap();
-    let out = db
-        .query("retrieve (dept.name) where dept.dno = 9")
-        .unwrap();
+    let out = db.query("retrieve (dept.name) where dept.dno = 9").unwrap();
     assert_eq!(out.rows[0][0], Value::from("Newer"));
 }
 
@@ -146,7 +142,8 @@ fn destroy_and_recreate_relation() {
     let mut db = sample_db();
     db.execute("destroy dept").unwrap();
     assert!(db.query("retrieve (dept.name)").is_err());
-    db.execute("create dept (dno = int, name = string)").unwrap();
+    db.execute("create dept (dno = int, name = string)")
+        .unwrap();
     assert!(db.query("retrieve (dept.name)").unwrap().rows.is_empty());
 }
 
@@ -171,11 +168,10 @@ fn arithmetic_and_boolean_expressions() {
 #[test]
 fn append_computed_from_join() {
     let mut db = sample_db();
-    db.execute("create payroll (dept = string, cost = float)").unwrap();
-    db.execute(
-        r#"append payroll (dept = dept.name, cost = emp.sal) where emp.dno = dept.dno"#,
-    )
-    .unwrap();
+    db.execute("create payroll (dept = string, cost = float)")
+        .unwrap();
+    db.execute(r#"append payroll (dept = dept.name, cost = emp.sal) where emp.dno = dept.dno"#)
+        .unwrap();
     assert_eq!(db.query("retrieve (payroll.all)").unwrap().rows.len(), 4);
 }
 
@@ -185,8 +181,13 @@ fn errors_are_reported_not_panics() {
     assert!(db.execute("retrieve (nothere.x)").is_err());
     assert!(db.execute("append emp (bogus = 1)").is_err());
     assert!(db.execute("this is not a command").is_err());
-    assert!(db.execute("create emp (x = int)").is_err(), "duplicate relation");
-    assert!(db.execute("retrieve (emp.name) where emp.name > 5").is_err());
+    assert!(
+        db.execute("create emp (x = int)").is_err(),
+        "duplicate relation"
+    );
+    assert!(db
+        .execute("retrieve (emp.name) where emp.name > 5")
+        .is_err());
     // the engine stays usable after errors
     assert_eq!(db.query("retrieve (emp.name)").unwrap().rows.len(), 4);
 }

@@ -84,7 +84,10 @@ fn halt_stops_the_cycle() {
     db.execute("append items (x = 1)").unwrap();
     let log = log_entries(&mut db);
     assert_eq!(log.len(), 1);
-    assert_eq!(log[0].0, "stopper", "halt prevented the lower-priority rule");
+    assert_eq!(
+        log[0].0, "stopper",
+        "halt prevented the lower-priority rule"
+    );
 }
 
 #[test]
@@ -169,7 +172,8 @@ fn drop_rule_removes_it() {
 #[test]
 fn duplicate_rule_name_rejected() {
     let mut db = db_with_log();
-    db.execute("define rule r if items.x > 0 then halt").unwrap();
+    db.execute("define rule r if items.x > 0 then halt")
+        .unwrap();
     assert!(matches!(
         db.execute("define rule r if items.x > 1 then halt"),
         Err(ArielError::DuplicateRule(_))
@@ -191,8 +195,10 @@ fn destroy_relation_in_use_rejected() {
 #[test]
 fn rulesets_group_rules() {
     let mut db = db_with_log();
-    db.execute("define rule a in payroll if items.x > 0 then halt").unwrap();
-    db.execute("define rule b if items.x > 0 then halt").unwrap();
+    db.execute("define rule a in payroll if items.x > 0 then halt")
+        .unwrap();
+    db.execute("define rule b if items.x > 0 then halt")
+        .unwrap();
     let in_payroll: Vec<_> = db
         .rules()
         .in_ruleset("payroll")
@@ -235,8 +241,10 @@ fn mutual_rules_with_converging_values_terminate() {
     // two rules that fight but converge: cap at 10 and floor at 5
     let mut db = Ariel::new();
     db.execute("create v (x = int)").unwrap();
-    db.execute("define rule cap if v.x > 10 then replace v (x = 10)").unwrap();
-    db.execute("define rule floor if v.x < 5 then replace v (x = 5)").unwrap();
+    db.execute("define rule cap if v.x > 10 then replace v (x = 10)")
+        .unwrap();
+    db.execute("define rule floor if v.x < 5 then replace v (x = 5)")
+        .unwrap();
     db.execute("append v (x = 100)").unwrap();
     let out = db.query("retrieve (v.all)").unwrap();
     assert_eq!(out.rows[0][0], Value::Int(10));

@@ -25,7 +25,10 @@ fn db() -> Ariel {
 }
 
 fn count(db: &mut Ariel, rel: &str) -> usize {
-    db.query(&format!("retrieve ({rel}.all)")).unwrap().rows.len()
+    db.query(&format!("retrieve ({rel}.all)"))
+        .unwrap()
+        .rows
+        .len()
 }
 
 fn rows(db: &mut Ariel, rel: &str) -> Vec<Vec<Value>> {

@@ -1,0 +1,711 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace's registry mirror is unreachable from the build
+//! environment, so the real `proptest` cannot be downloaded. This crate
+//! implements the slice of the proptest API our test suite uses —
+//! deterministic pseudo-random generation behind the same
+//! [`Strategy`]/macro surface — so the property tests keep compiling and
+//! keep providing randomized coverage.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case reports its inputs' seed, not a minimal
+//!   counterexample;
+//! * no failure-persistence files;
+//! * the regex-string strategy supports only the subset of patterns the
+//!   suite uses (character classes, `\P`-style "printable" escapes and
+//!   `{m,n}` repetition);
+//! * case count defaults to 64 and can be overridden with the
+//!   `PROPTEST_CASES` environment variable; `PROPTEST_SEED` perturbs the
+//!   per-test seed for exploring different streams.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift64* generator seeded per test function.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: Cell<u64>,
+    /// The seed this generator started from (for failure reports).
+    pub seed: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name (stable across runs) plus the optional
+    /// `PROPTEST_SEED` environment perturbation.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = s.parse::<u64>() {
+                seed ^= n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+        }
+        if seed == 0 {
+            seed = 0x9e37_79b9_7f4a_7c15;
+        }
+        TestRng {
+            state: Cell::new(seed),
+            seed,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state.set(x);
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and config
+// ---------------------------------------------------------------------------
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the current case with a message.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Same as [`TestCaseError::fail`] (real proptest distinguishes
+    /// rejections; we treat them identically).
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-`proptest!`-block configuration. Only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the RNG stream.
+pub trait Strategy: 'static {
+    /// The type of value this strategy generates.
+    type Value: 'static;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| s.gen_value(rng)))
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| f(s.gen_value(rng))))
+    }
+
+    /// Keep only values passing `pred` (regenerating on rejection).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| {
+            for _ in 0..10_000 {
+                let v = s.gen_value(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter gave up after 10000 rejections: {reason}");
+        }))
+    }
+
+    /// Build recursive values: `self` is the leaf strategy, `f` wraps an
+    /// inner strategy into a branch strategy, nesting up to `depth` levels.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..depth {
+            let branch = f(cur).boxed();
+            // lean towards leaves so expected size stays finite
+            cur = Union::new(vec![(3, self.clone().boxed()), (2, branch)]).boxed();
+        }
+        cur
+    }
+}
+
+/// A clonable, type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Weighted choice between boxed strategies (the engine of `prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms. Weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut k = rng.below(total.max(1));
+        for (w, s) in &self.arms {
+            let w = *w as u64;
+            if k < w {
+                return s.gen_value(rng);
+            }
+            k -= w;
+        }
+        self.arms[0].1.gen_value(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// `&'static str` acts as a regex-shaped string strategy. Supported
+/// syntax: literals, `[...]` classes with ranges, `\P·` (printable ASCII),
+/// `\·` escapes, and `{m}` / `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn gen_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut out = String::new();
+    while i < chars.len() {
+        // one atom = a set of inclusive char ranges
+        let mut choices: Vec<(u32, u32)> = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        choices.push((c as u32, chars[i + 2] as u32));
+                        i += 3;
+                    } else {
+                        choices.push((c as u32, c as u32));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+            }
+            '\\' => {
+                i += 1;
+                if i < chars.len() && (chars[i] == 'P' || chars[i] == 'p') {
+                    // \PC / \pC style class: approximate with printable ASCII
+                    i += 2.min(chars.len() - i);
+                    choices.push((' ' as u32, '~' as u32));
+                } else if i < chars.len() {
+                    choices.push((chars[i] as u32, chars[i] as u32));
+                    i += 1;
+                }
+            }
+            c => {
+                choices.push((c as u32, c as u32));
+                i += 1;
+            }
+        }
+        // optional {m} / {m,n} quantifier
+        let (mut lo, mut hi) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut first = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                first.push(chars[i]);
+                i += 1;
+            }
+            lo = first.parse().unwrap_or(1);
+            hi = lo;
+            if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut second = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    second.push(chars[i]);
+                    i += 1;
+                }
+                hi = second.parse().unwrap_or(lo);
+            }
+            if i < chars.len() && chars[i] == '}' {
+                i += 1;
+            }
+        }
+        let n = lo + rng.below((hi.saturating_sub(lo) + 1) as u64) as usize;
+        let total: u64 = choices.iter().map(|(a, b)| (*b - *a + 1) as u64).sum();
+        for _ in 0..n {
+            let mut k = rng.below(total.max(1));
+            for (a, b) in &choices {
+                let span = (*b - *a + 1) as u64;
+                if k < span {
+                    out.push(char::from_u32(a + k as u32).unwrap_or('?'));
+                    break;
+                }
+                k -= span;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                elem: self.elem.clone(),
+                min: self.min,
+                max: self.max,
+            }
+        }
+    }
+
+    /// Ways to specify a vec length (usize or usize range).
+    pub trait IntoSizeRange {
+        /// Return `(min, max_exclusive)`.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    /// `vec(strategy, len_range)` — a vector of independently drawn values.
+    pub fn vec<S: Strategy>(elem: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        assert!(min < max, "empty vec length range");
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.min + rng.below((self.max - self.min) as u64) as usize;
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::*;
+
+    /// Strategy for `Option<S::Value>` (~75% `Some`).
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Clone> Clone for OptionStrategy<S> {
+        fn clone(&self) -> Self {
+            OptionStrategy(self.0.clone())
+        }
+    }
+
+    /// `of(strategy)` — `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.gen_value(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa == *__pb,
+            "assertion failed: `{:?}` != `{:?}`", __pa, __pb
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if !(*__pa == *__pb) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (`{:?}` != `{:?}`)",
+                format!($($fmt)+), __pa, __pb
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa != *__pb,
+            "assertion failed: `{:?}` == `{:?}`",
+            __pa,
+            __pb
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut, unused_variables)]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let __seed = __rng.seed;
+                for __case in 0..__cfg.cases {
+                    $(let $pat = $crate::Strategy::gen_value(&($strat), &mut __rng);)*
+                    let __res: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __res {
+                        panic!(
+                            "proptest `{}` failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name), __case + 1, __cfg.cases, __seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The usual glob import: strategies, macros, config and error types.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let p = Strategy::gen_value(&"\\PC{0,120}", &mut rng);
+            assert!(p.len() <= 120);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro surface itself: patterns, weights, tuples, filters.
+        #[test]
+        fn macro_surface(
+            (a, b) in (0i64..10, 5u8..6),
+            v in collection::vec(prop_oneof![2 => Just(1u32), 1 => Just(2u32)], 1..8),
+            o in option::of(any::<bool>()),
+            s in "[a-c]{2,3}",
+        ) {
+            prop_assert!(a < 10 && b == 5);
+            prop_assert!(!v.is_empty() && v.iter().all(|x| *x == 1 || *x == 2));
+            if let Some(flag) = o {
+                prop_assert_eq!(flag, flag);
+            }
+            prop_assert!(s.len() >= 2 && s.len() <= 3, "bad len {}", s.len());
+        }
+    }
+}
