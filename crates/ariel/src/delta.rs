@@ -14,6 +14,11 @@
 //! | 2    | `i m* d`     | nothing   | as case 1; final delete: insert⁻ |
 //! | 3    | `m⁺`         | modify    | first: bare ⁻ then Δ⁺; later: Δ⁻, Δ⁺ |
 //! | 4    | `m* d`       | delete    | as case 3; final delete: Δ⁻ then delete⁻ |
+//!
+//! Every Δ⁺ token lands in the α-memories as an insert *under the same
+//! TID* as the value it supersedes, which is what drives the join-index
+//! rebucket path in `ariel_network::alpha`: the node unhooks the old
+//! entry's key from its hash bucket before indexing the new one.
 
 use ariel_network::{EventSpecifier, Token};
 use ariel_query::Change;

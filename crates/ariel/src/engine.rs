@@ -33,6 +33,11 @@ pub struct EngineOptions {
     /// The always-on counters are collected regardless; this flag only
     /// controls wall-clock timing capture. See `docs/OBSERVABILITY.md`.
     pub observability: bool,
+    /// Build hash join indexes over stored/dynamic α-memories on equi-join
+    /// attributes and probe them (plus base-relation indexes under virtual
+    /// nodes) during β-joins. `false` = pure nested-loop joins, kept as the
+    /// comparison baseline for the fig10/fig11 benchmarks.
+    pub join_indexing: bool,
 }
 
 impl Default for EngineOptions {
@@ -43,6 +48,7 @@ impl Default for EngineOptions {
             max_firings: 10_000,
             cache_action_plans: false,
             observability: false,
+            join_indexing: true,
         }
     }
 }
@@ -125,6 +131,9 @@ impl Ariel {
             notifications: std::collections::VecDeque::new(),
             obs: None,
         };
+        engine
+            .network
+            .set_join_indexing(engine.options.join_indexing);
         if engine.options.observability {
             engine.set_observability(true);
         }
@@ -691,8 +700,19 @@ mod tests {
         assert!(matches!(opts.virtual_policy, VirtualPolicy::AllStored));
         assert_eq!(opts.max_firings, 10_000);
         assert!(!opts.cache_action_plans);
+        assert!(opts.join_indexing, "join indexing is on by default");
         let db = Ariel::new();
         assert!(!db.options().cache_action_plans);
+    }
+
+    #[test]
+    fn join_indexing_opt_out_reaches_network() {
+        let db = Ariel::with_options(EngineOptions {
+            join_indexing: false,
+            ..Default::default()
+        });
+        assert!(!db.network().join_indexing());
+        assert!(Ariel::new().network().join_indexing());
     }
 
     #[test]

@@ -109,7 +109,9 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
          \"selnet_candidates\":{},\"islist_stabs\":{},\"islist_nodes_visited\":{},\
          \"alpha_tests\":{},\"alpha_passes\":{},\"join_probes\":{},\"pnode_inserts\":{},\
          \"virtual_scans\":{},\"virtual_scanned_tuples\":{},\
-         \"stored_join_candidates\":{},\"virtual_join_candidates\":{}}},",
+         \"stored_join_candidates\":{},\"virtual_join_candidates\":{},\
+         \"index_probes\":{},\"index_hits\":{},\
+         \"indexed_candidates\":{},\"scanned_candidates\":{}}},",
         n.rules,
         n.alpha_nodes,
         n.virtual_alpha_nodes,
@@ -131,6 +133,10 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
         n.virtual_scanned_tuples,
         n.stored_join_candidates,
         n.virtual_join_candidates,
+        n.index_probes,
+        n.index_hits,
+        n.indexed_candidates,
+        n.scanned_candidates,
     ));
     s.push_str("\"rules\":[");
     for (i, (name, r)) in input.rules.iter().enumerate() {
@@ -143,6 +149,8 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
              \"join_probes\":{},\"pnode_inserts\":{},\"join_fanout\":{:.4},\
              \"virtual_scans\":{},\"virtual_scanned_tuples\":{},\
              \"stored_join_candidates\":{},\"virtual_join_candidates\":{},\
+             \"index_probes\":{},\"index_hits\":{},\
+             \"indexed_candidates\":{},\"scanned_candidates\":{},\
              \"virtual_hit_ratio\":{:.4}}}",
             name,
             r.alpha_entries,
@@ -159,6 +167,10 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
             r.virtual_scanned_tuples,
             r.stored_join_candidates,
             r.virtual_join_candidates,
+            r.index_probes,
+            r.index_hits,
+            r.indexed_candidates,
+            r.scanned_candidates,
             r.virtual_hit_ratio(),
         ));
     }

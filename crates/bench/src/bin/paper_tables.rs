@@ -6,7 +6,7 @@
 //! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
 //! ```
 //!
-//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins
 
 use ariel_bench::measure;
 use std::time::Duration;
@@ -142,6 +142,48 @@ fn run_obs() {
     println!();
 }
 
+fn run_joins() {
+    println!("== JOINS: indexed α-memories vs nested-loop → BENCH_join.json ==");
+    println!("(fig10/fig11 workloads, 25 band rules, 400 emp tokens, 200 dept rows)");
+    println!(
+        "{:>12} {:>8} | {:>10} {:>16} {:>13} {:>11}",
+        "workload", "indexed", "total ms", "join candidates", "index probes", "index hits"
+    );
+    let rows = measure::joins_table(25, 400, 200);
+    let mut json = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:>12} {:>8} | {:>10} {:>16} {:>13} {:>11}",
+            r.workload,
+            r.indexed,
+            ms(r.total),
+            r.join_candidates,
+            r.index_probes,
+            r.index_hits
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"workload\":\"{}\",\"indexed\":{},\"total_ms\":{:.3},\
+             \"join_candidates\":{},\"index_probes\":{},\"index_hits\":{}}}",
+            r.workload,
+            r.indexed,
+            r.total.as_secs_f64() * 1e3,
+            r.join_candidates,
+            r.index_probes,
+            r.index_hits
+        ));
+    }
+    json.push(']');
+    let path = "BENCH_join.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => println!("cannot write {path}: {e}"),
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -175,5 +217,8 @@ fn main() {
     }
     if want("obs") {
         run_obs();
+    }
+    if want("joins") {
+        run_joins();
     }
 }

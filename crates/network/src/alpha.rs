@@ -17,7 +17,7 @@
 use crate::pred::SelectionPredicate;
 use crate::token::{EventSpecifier, TokenKind};
 use ariel_query::{eval_pred, SingleEnv};
-use ariel_storage::{Tid, Tuple};
+use ariel_storage::{Tid, Tuple, Value};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
@@ -164,6 +164,15 @@ pub struct AlphaCounters {
     pub scanned_tuples: Cell<u64>,
     /// Candidate bindings served into β-joins (stored or materialized).
     pub join_candidates: Cell<u64>,
+    /// Hash join-index probes answered by this node (α-memory join index
+    /// for stored/dynamic kinds, base-relation index for virtual kinds).
+    pub index_probes: Cell<u64>,
+    /// Index probes that found at least one candidate.
+    pub index_hits: Cell<u64>,
+    /// Join candidates served through an index probe.
+    pub indexed_candidates: Cell<u64>,
+    /// Join candidates served by full enumeration (no usable index).
+    pub scanned_candidates: Cell<u64>,
 }
 
 impl AlphaCounters {
@@ -180,7 +189,20 @@ impl AlphaCounters {
         self.virtual_scans.set(0);
         self.scanned_tuples.set(0);
         self.join_candidates.set(0);
+        self.index_probes.set(0);
+        self.index_hits.set(0);
+        self.indexed_candidates.set(0);
+        self.scanned_candidates.set(0);
     }
+}
+
+/// One hash join index over an α-memory: equi-join key value → keys of the
+/// node's entry map (ON DELETE entries have no TID but are still keyed by
+/// the dying token's TID, so buckets hold the map key, not `AlphaEntry::tid`).
+#[derive(Debug)]
+struct JoinIndex {
+    attr: usize,
+    buckets: HashMap<Value, Vec<u64>>,
 }
 
 /// An α-memory node.
@@ -201,6 +223,12 @@ pub struct AlphaNode {
     /// Always-on activity counters.
     pub counters: AlphaCounters,
     entries: HashMap<u64, AlphaEntry>,
+    /// Hash join indexes over `entries`, one per registered equi-join
+    /// attribute. Maintained incrementally by [`Self::insert`],
+    /// [`Self::remove`] and [`Self::flush`]. Null keys are never indexed —
+    /// `sql_eq` says `Null` joins nothing, so a Null-keyed entry can only
+    /// be reached by a probing conjunct that is false anyway.
+    join_indexes: Vec<JoinIndex>,
 }
 
 impl AlphaNode {
@@ -222,6 +250,85 @@ impl AlphaNode {
             event,
             counters: AlphaCounters::default(),
             entries: HashMap::new(),
+            join_indexes: Vec::new(),
+        }
+    }
+
+    /// Register the equi-join attributes this memory should index. Called
+    /// at rule-compile time, before any entry is inserted (the network
+    /// extracts the attributes from the rule's equi-join conjuncts).
+    pub fn set_join_index_attrs(&mut self, attrs: Vec<usize>) {
+        debug_assert!(self.entries.is_empty(), "register indexes before priming");
+        self.join_indexes = attrs
+            .into_iter()
+            .map(|attr| JoinIndex {
+                attr,
+                buckets: HashMap::new(),
+            })
+            .collect();
+    }
+
+    /// Whether a join index on attribute `attr` exists.
+    pub fn has_join_index(&self, attr: usize) -> bool {
+        self.join_indexes.iter().any(|ji| ji.attr == attr)
+    }
+
+    /// Probe the join index on `attr`: entries whose `attr` value
+    /// sql-equals `key`. `None` when no index on `attr` exists; a `Null`
+    /// key yields an empty iterator (`Null` joins nothing).
+    pub fn probe_join_index(
+        &self,
+        attr: usize,
+        key: &Value,
+    ) -> Option<impl Iterator<Item = &AlphaEntry> + '_> {
+        let ji = self.join_indexes.iter().find(|ji| ji.attr == attr)?;
+        let keys: &[u64] = if key.is_null() {
+            &[]
+        } else {
+            ji.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+        };
+        Some(keys.iter().map(move |k| {
+            self.entries
+                .get(k)
+                .expect("join index references a live entry")
+        }))
+    }
+
+    /// Expected bucket size of the join index on `attr` (entries ÷ distinct
+    /// keys, rounded up), the join-order heuristic's size estimate for an
+    /// indexed memory. `None` without an index on `attr`.
+    pub fn expected_bucket_size(&self, attr: usize) -> Option<usize> {
+        let ji = self.join_indexes.iter().find(|ji| ji.attr == attr)?;
+        let distinct = ji.buckets.len();
+        if distinct == 0 {
+            // empty memory (or only Null keys): a probe serves nothing
+            return Some(0);
+        }
+        Some(self.entries.len().div_ceil(distinct))
+    }
+
+    fn index_entry(&mut self, key: u64, entry: &AlphaEntry) {
+        for ji in &mut self.join_indexes {
+            let v = entry.tuple.get(ji.attr);
+            if v.is_null() {
+                continue;
+            }
+            ji.buckets.entry(v.clone()).or_default().push(key);
+        }
+    }
+
+    fn unindex_entry(&mut self, key: u64, entry: &AlphaEntry) {
+        for ji in &mut self.join_indexes {
+            let v = entry.tuple.get(ji.attr);
+            if v.is_null() {
+                continue;
+            }
+            if let Some(bucket) = ji.buckets.get_mut(v) {
+                bucket.retain(|k| *k != key);
+                if bucket.is_empty() {
+                    ji.buckets.remove(v);
+                }
+            }
         }
     }
 
@@ -259,16 +366,24 @@ impl AlphaNode {
         }
     }
 
-    /// Insert an entry (keyed by the token's TID).
+    /// Insert an entry (keyed by the token's TID). Re-inserting under the
+    /// same key (a Δ+ token for a tuple already in memory) replaces the
+    /// entry and rebuckets it in the join indexes.
     pub fn insert(&mut self, key: Tid, entry: AlphaEntry) {
         debug_assert!(self.kind.stores_entries());
         AlphaCounters::bump(&self.counters.inserted, 1);
+        if let Some(old) = self.entries.remove(&key.0) {
+            self.unindex_entry(key.0, &old);
+        }
+        self.index_entry(key.0, &entry);
         self.entries.insert(key.0, entry);
     }
 
     /// Remove the entry keyed by `tid`; returns it if present. Idempotent.
     pub fn remove(&mut self, tid: Tid) -> Option<AlphaEntry> {
-        self.entries.remove(&tid.0)
+        let entry = self.entries.remove(&tid.0)?;
+        self.unindex_entry(tid.0, &entry);
+        Some(entry)
     }
 
     /// Whether an entry for `tid` exists.
@@ -291,9 +406,14 @@ impl AlphaNode {
         self.entries.is_empty()
     }
 
-    /// Drop all entries (transition flush for dynamic nodes).
+    /// Drop all entries (transition flush for dynamic nodes). Join-index
+    /// buckets are emptied too; the registered attributes survive, so a
+    /// dynamic node keeps indexing across transitions.
     pub fn flush(&mut self) {
         self.entries.clear();
+        for ji in &mut self.join_indexes {
+            ji.buckets.clear();
+        }
     }
 
     /// Approximate heap footprint of the stored entries, in bytes. This is
@@ -433,6 +553,83 @@ mod tests {
         assert!(!watch.admits(&EventSpecifier::Append));
         let any = EventReq::Replace(None);
         assert!(any.admits(&EventSpecifier::Replace(vec![0])));
+    }
+
+    fn entry_of(t: Tuple, tid: u64) -> AlphaEntry {
+        AlphaEntry {
+            tid: Some(Tid(tid)),
+            tuple: t,
+            prev: None,
+        }
+    }
+
+    #[test]
+    fn join_index_lifecycle() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_join_index_attrs(vec![0]);
+        assert!(n.has_join_index(0));
+        assert!(!n.has_join_index(1));
+        n.insert(Tid(1), entry_of(tup(15), 1));
+        n.insert(Tid(2), entry_of(tup(15), 2));
+        n.insert(Tid(3), entry_of(tup(12), 3));
+        let hits: Vec<_> = n
+            .probe_join_index(0, &Value::Int(15))
+            .unwrap()
+            .map(|e| e.tid.unwrap().0)
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&1) && hits.contains(&2));
+        assert_eq!(n.probe_join_index(0, &Value::Int(99)).unwrap().count(), 0);
+        assert!(n.probe_join_index(1, &Value::Int(15)).is_none());
+        // removal unbuckets
+        n.remove(Tid(1));
+        assert_eq!(n.probe_join_index(0, &Value::Int(15)).unwrap().count(), 1);
+        // replacement rebuckets under the same key
+        n.insert(Tid(2), entry_of(tup(12), 2));
+        assert_eq!(n.probe_join_index(0, &Value::Int(15)).unwrap().count(), 0);
+        assert_eq!(n.probe_join_index(0, &Value::Int(12)).unwrap().count(), 2);
+        // flush empties buckets but keeps the registration
+        n.flush();
+        assert_eq!(n.probe_join_index(0, &Value::Int(12)).unwrap().count(), 0);
+        assert!(n.has_join_index(0));
+    }
+
+    #[test]
+    fn join_index_ignores_null_keys() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_join_index_attrs(vec![0]);
+        n.insert(Tid(1), entry_of(Tuple::new(vec![Value::Null]), 1));
+        assert_eq!(n.probe_join_index(0, &Value::Null).unwrap().count(), 0);
+        assert_eq!(n.expected_bucket_size(0), Some(0), "only Null keys");
+        n.remove(Tid(1)); // must not panic on the unindexed entry
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn join_index_numeric_cross_type_probe() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_join_index_attrs(vec![0]);
+        n.insert(Tid(1), entry_of(tup(15), 1));
+        // Int-keyed bucket is found by a numerically-equal Float probe,
+        // matching sql_eq's cross-type join semantics
+        assert_eq!(
+            n.probe_join_index(0, &Value::Float(15.0)).unwrap().count(),
+            1
+        );
+    }
+
+    #[test]
+    fn expected_bucket_size_estimates() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_join_index_attrs(vec![0]);
+        assert_eq!(n.expected_bucket_size(1), None);
+        assert_eq!(n.expected_bucket_size(0), Some(0), "empty memory");
+        n.insert(Tid(1), entry_of(tup(11), 1));
+        n.insert(Tid(2), entry_of(tup(11), 2));
+        n.insert(Tid(3), entry_of(tup(12), 3));
+        n.insert(Tid(4), entry_of(tup(13), 4));
+        // 4 entries over 3 distinct keys → expect ⌈4/3⌉ = 2 per bucket
+        assert_eq!(n.expected_bucket_size(0), Some(2));
     }
 
     #[test]

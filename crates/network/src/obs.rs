@@ -39,6 +39,15 @@ pub struct NodeObs {
     pub scanned_tuples: u64,
     /// Candidate bindings this node served into β-joins.
     pub join_candidates: u64,
+    /// Join-index probes issued against this node (hash bucket lookups for
+    /// stored/dynamic memories, base-relation index probes for virtual).
+    pub index_probes: u64,
+    /// Probes that found a non-empty bucket.
+    pub index_hits: u64,
+    /// Of `join_candidates`, how many were served through an index probe.
+    pub indexed_candidates: u64,
+    /// Of `join_candidates`, how many came from a full memory/relation scan.
+    pub scanned_candidates: u64,
     /// Wall-clock ns per α-test.
     pub alpha_test: Histogram,
     /// Wall-clock ns per virtual materialization.
@@ -62,6 +71,10 @@ impl NodeObs {
         self.virtual_scans += other.virtual_scans;
         self.scanned_tuples += other.scanned_tuples;
         self.join_candidates += other.join_candidates;
+        self.index_probes += other.index_probes;
+        self.index_hits += other.index_hits;
+        self.indexed_candidates += other.indexed_candidates;
+        self.scanned_candidates += other.scanned_candidates;
         self.alpha_test.merge(&other.alpha_test);
         self.virtual_scan.merge(&other.virtual_scan);
     }
@@ -217,13 +230,17 @@ impl MatchObs {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"rule\":{rule},\"var\":{var},\"tokens_in\":{},\"tokens_out\":{},\"entries_inserted\":{},\"virtual_scans\":{},\"scanned_tuples\":{},\"join_candidates\":{},\"alpha_test\":{},\"virtual_scan\":{}}}",
+                "{{\"rule\":{rule},\"var\":{var},\"tokens_in\":{},\"tokens_out\":{},\"entries_inserted\":{},\"virtual_scans\":{},\"scanned_tuples\":{},\"join_candidates\":{},\"index_probes\":{},\"index_hits\":{},\"indexed_candidates\":{},\"scanned_candidates\":{},\"alpha_test\":{},\"virtual_scan\":{}}}",
                 n.tokens_in,
                 n.tokens_out,
                 n.entries_inserted,
                 n.virtual_scans,
                 n.scanned_tuples,
                 n.join_candidates,
+                n.index_probes,
+                n.index_hits,
+                n.indexed_candidates,
+                n.scanned_candidates,
                 n.alpha_test.to_json(),
                 n.virtual_scan.to_json(),
             ));

@@ -178,6 +178,10 @@ impl ReteNetwork {
     /// Candidate bindings of an α-node: stored entries, or a base-relation
     /// scan under the node's predicate for virtual nodes (§4.2 applied to
     /// Rete). `visible` implements the pending/ProcessedMemories rules.
+    ///
+    /// Deliberately nested-loop: the Rete network is the paper's comparison
+    /// baseline, so it never probes the hash join indexes the TREAT network
+    /// maintains (`crate::treat`) — candidates are always fully enumerated.
     fn candidates(
         &self,
         aid: AlphaId,

@@ -37,10 +37,10 @@ use crate::pred::SelectionPredicate;
 use crate::selnet::SelectionNetwork;
 use crate::token::{EventSpecifier, Token, TokenKind};
 use ariel_query::{
-    eval_pred, BoundVar, EventKind, Optimizer, Pnode, PnodeCol, QueryError, QueryResult, QuerySpec,
-    RExpr, ResolvedCondition, Row,
+    eval_pred, BoundVar, EventKind, Optimizer, PatchedEnv, Pnode, PnodeCol, QueryError,
+    QueryResult, QuerySpec, RExpr, ResolvedCondition, Row,
 };
-use ariel_storage::{Catalog, SchemaRef, Tid};
+use ariel_storage::{Catalog, SchemaRef, Tid, Tuple, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
 
@@ -68,12 +68,29 @@ struct RuleVar {
     alpha: AlphaId,
 }
 
+/// Compile-time join metadata, hoisted out of the per-token join path (the
+/// seed recomputed the bound-variable sets and applicable-conjunct lists
+/// for every probing token).
+#[derive(Debug)]
+struct JoinPlan {
+    /// Bitmask of the variables each join conjunct references, parallel to
+    /// `RuleNode::join_conjuncts`. Rules are capped at 64 tuple variables.
+    conjunct_vars: Vec<u64>,
+    /// `equi[var][i]` is `Some((attr, key_expr))` when join conjunct `i` is
+    /// an equi-conjunct `var.attr = <expr over other variables>` — the key
+    /// extraction behind both the α-memory join indexes and §4.2's
+    /// base-relation index probes.
+    equi: Vec<Vec<Option<(usize, RExpr)>>>,
+}
+
 /// A compiled rule: its α-nodes, join conjuncts, and P-node.
 #[derive(Debug)]
 struct RuleNode {
     vars: Vec<RuleVar>,
     /// Multi-variable conjuncts of the condition (original var indices).
     join_conjuncts: Vec<RExpr>,
+    /// Cached per-rule join plan over `join_conjuncts`.
+    plan: JoinPlan,
     pnode: Pnode,
     /// Original resolved condition spec, used for activation priming.
     spec: QuerySpec,
@@ -121,6 +138,15 @@ pub struct RuleStats {
     /// Join candidates served by *virtual* materialization — the
     /// virtual-vs-stored hit ratio is `virtual / (virtual + stored)`.
     pub virtual_join_candidates: u64,
+    /// Hash join-index probes (α-memory join indexes plus virtual-node
+    /// base-relation indexes).
+    pub index_probes: u64,
+    /// Index probes that found at least one candidate.
+    pub index_hits: u64,
+    /// Join candidates served through an index probe.
+    pub indexed_candidates: u64,
+    /// Join candidates served by full enumeration (no usable index).
+    pub scanned_candidates: u64,
 }
 
 impl RuleStats {
@@ -191,6 +217,14 @@ pub struct NetworkStats {
     pub stored_join_candidates: u64,
     /// Join candidates served by virtual materialization.
     pub virtual_join_candidates: u64,
+    /// Hash join-index probes across all nodes.
+    pub index_probes: u64,
+    /// Index probes that found at least one candidate.
+    pub index_hits: u64,
+    /// Join candidates served through an index probe.
+    pub indexed_candidates: u64,
+    /// Join candidates served by full enumeration (no usable index).
+    pub scanned_candidates: u64,
 }
 
 /// The A-TREAT network: selection layer, α-memories, and P-nodes for every
@@ -221,7 +255,7 @@ pub struct NetworkStats {
 ///     .unwrap();
 /// assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Network {
     alphas: Vec<Option<AlphaNode>>,
     free: Vec<usize>,
@@ -229,14 +263,46 @@ pub struct Network {
     rules: BTreeMap<u64, RuleNode>,
     /// Always-on counter: tokens pushed through [`Self::process_batch`].
     tokens_processed: u64,
+    /// Whether β-joins may probe indexes — α-memory hash join indexes on
+    /// stored/dynamic nodes and base-relation indexes on virtual nodes.
+    /// On by default; the equivalence oracle and the `joins` bench turn it
+    /// off to get the paper's plain nested-loop join.
+    join_indexing: bool,
     /// Gated timing session (None = observability off, the default).
     obs: Option<MatchObs>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network {
+            alphas: Vec::new(),
+            free: Vec::new(),
+            selnet: SelectionNetwork::default(),
+            rules: BTreeMap::new(),
+            tokens_processed: 0,
+            join_indexing: true,
+            obs: None,
+        }
+    }
 }
 
 impl Network {
     /// New empty network.
     pub fn new() -> Self {
         Network::default()
+    }
+
+    /// Enable or disable join indexing (on by default). Affects rules
+    /// compiled *after* the call: with indexing off, α-memories register
+    /// no join indexes and β-joins fall back to pure nested-loop
+    /// enumeration.
+    pub fn set_join_indexing(&mut self, on: bool) {
+        self.join_indexing = on;
+    }
+
+    /// Whether join indexing is enabled.
+    pub fn join_indexing(&self) -> bool {
+        self.join_indexing
     }
 
     /// Enable or disable the gated timing tier. Enabling starts a fresh
@@ -340,6 +406,18 @@ impl Network {
                 join_conjuncts.push(c);
             }
         }
+        // compile-time join plan: per-conjunct variable bitmasks and the
+        // equi-probe decomposition of every (variable, conjunct) pair
+        debug_assert!(nvars <= 64, "join-plan bitmasks cap rules at 64 variables");
+        let plan = JoinPlan {
+            conjunct_vars: join_conjuncts
+                .iter()
+                .map(|c| c.vars_used().iter().fold(0u64, |m, v| m | (1 << v)))
+                .collect(),
+            equi: (0..nvars)
+                .map(|v| join_conjuncts.iter().map(|c| equi_probe(c, v)).collect())
+                .collect(),
+        };
 
         let mut vars = Vec::with_capacity(nvars);
         let mut cols = Vec::with_capacity(nvars);
@@ -374,14 +452,22 @@ impl Network {
                 None
             };
             let has_prev = is_trans || matches!(event, Some(EventReq::Replace(_)));
-            let alpha_id = self.alloc_alpha(AlphaNode::new(
-                id,
-                v,
-                binding.rel.clone(),
-                kind,
-                pred,
-                event,
-            ));
+            let mut node = AlphaNode::new(id, v, binding.rel.clone(), kind, pred, event);
+            if self.join_indexing && kind.stores_entries() {
+                // index this memory on every equi-join attribute of the
+                // condition so β-joins can probe instead of enumerating
+                let mut attrs: Vec<usize> = plan.equi[v]
+                    .iter()
+                    .flatten()
+                    .map(|(attr, _)| *attr)
+                    .collect();
+                attrs.sort_unstable();
+                attrs.dedup();
+                if !attrs.is_empty() {
+                    node.set_join_index_attrs(attrs);
+                }
+            }
+            let alpha_id = self.alloc_alpha(node);
             // anchor goes into the selection network unless unsatisfiable
             let node = self.alpha(alpha_id);
             let anchor = if node.pred.unsatisfiable {
@@ -404,6 +490,7 @@ impl Network {
             RuleNode {
                 vars,
                 join_conjuncts,
+                plan,
                 pnode: Pnode::new(cols),
                 spec: cond.spec.clone(),
                 n_dynamic,
@@ -719,35 +806,17 @@ impl Network {
     ) -> QueryResult<Vec<Vec<BoundVar>>> {
         let rule = &self.rules[&rule_id.0];
         let nvars = rule.vars.len();
-        // join the smallest memories first
+        // join the (estimated) smallest memories first
         let mut order: Vec<usize> = (0..nvars).filter(|v| *v != seed_var).collect();
-        order.sort_by_key(|v| self.candidate_count(rule, *v, catalog));
-        // conjuncts evaluated at the depth where their variables are bound
-        let mut bound_at = vec![HashSet::from([seed_var]); order.len() + 1];
-        for (d, v) in order.iter().enumerate() {
-            let mut s = bound_at[d].clone();
-            s.insert(*v);
-            bound_at[d + 1] = s;
-        }
-        let applicable: Vec<Vec<&RExpr>> = (0..order.len())
-            .map(|d| {
-                rule.join_conjuncts
-                    .iter()
-                    .filter(|c| {
-                        let used = c.vars_used();
-                        used.contains(&order[d]) && used.iter().all(|u| bound_at[d + 1].contains(u))
-                    })
-                    .collect()
-            })
-            .collect();
+        order.sort_by_key(|v| self.candidate_estimate(rule, *v, catalog));
         let mut row = Row::unbound(nvars);
         row.slots[seed_var] = Some(seed);
         let mut results = Vec::new();
         self.extend_depth(
             rule,
             &order,
-            &applicable,
             0,
+            1u64 << seed_var,
             &mut row,
             token,
             processed,
@@ -758,13 +827,81 @@ impl Network {
         Ok(results)
     }
 
+    /// Test every join conjunct applicable at this depth against a
+    /// *borrowed* candidate layered over the partial row — losers are
+    /// rejected before any clone happens. `skip` names a conjunct already
+    /// guaranteed by an index probe.
+    #[allow(clippy::too_many_arguments)]
+    fn conjuncts_pass(
+        rule: &RuleNode,
+        vbit: u64,
+        now_bound: u64,
+        row: &Row,
+        var: usize,
+        tuple: &Tuple,
+        prev: Option<&Tuple>,
+        skip: Option<usize>,
+    ) -> QueryResult<bool> {
+        let env = PatchedEnv {
+            base: row,
+            var,
+            tuple,
+            prev,
+        };
+        for (i, c) in rule.join_conjuncts.iter().enumerate() {
+            let mask = rule.plan.conjunct_vars[i];
+            // applicable at this depth: uses `var`, nothing still unbound
+            if Some(i) == skip || mask & vbit == 0 || mask & !now_bound != 0 {
+                continue;
+            }
+            if !eval_pred(c, &env)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The cached equi-probe usable at this depth, if any: an applicable
+    /// equi-conjunct on `var` whose attribute `has_index` and whose key
+    /// evaluates from the bound prefix of the row. Returns the conjunct
+    /// index (skippable — the probe guarantees it), the attribute, and the
+    /// key value.
+    fn find_equi_probe(
+        &self,
+        rule: &RuleNode,
+        var: usize,
+        vbit: u64,
+        now_bound: u64,
+        row: &Row,
+        has_index: &dyn Fn(usize) -> bool,
+    ) -> Option<(usize, usize, Value)> {
+        if !self.join_indexing {
+            return None;
+        }
+        rule.plan.equi[var]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let mask = rule.plan.conjunct_vars[*i];
+                mask & vbit != 0 && mask & !now_bound == 0
+            })
+            .find_map(|(i, spec)| {
+                let (attr, key_expr) = spec.as_ref()?;
+                if !has_index(*attr) {
+                    return None;
+                }
+                let key = ariel_query::eval(key_expr, row).ok()?;
+                Some((i, *attr, key))
+            })
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn extend_depth(
         &self,
         rule: &RuleNode,
         order: &[usize],
-        applicable: &[Vec<&RExpr>],
         depth: usize,
+        bound: u64,
         row: &mut Row,
         token: &Token,
         processed: &HashSet<usize>,
@@ -782,8 +919,15 @@ impl Network {
             return Ok(());
         }
         let var = order[depth];
+        let vbit = 1u64 << var;
+        let now_bound = bound | vbit;
         let alpha = self.alpha(rule.vars[var].alpha);
-        let candidates: Vec<BoundVar> = match alpha.kind {
+        // Candidates are streamed off borrowed storage: visibility, the
+        // α-predicate (virtual nodes) and this depth's join conjuncts all
+        // run on the borrowed tuple, and only survivors are cloned (an
+        // `Arc` refcount bump) into the row. Survivors need no re-check
+        // before recursing.
+        let survivors: Vec<BoundVar> = match alpha.kind {
             AlphaKind::Virtual => {
                 let scan_start = self.obs.as_ref().map(|_| Instant::now());
                 // §4.2: join through the base relation under the node's
@@ -807,48 +951,80 @@ impl Network {
                         || *tid != token.tid
                         || processed.contains(&rule.vars[var].alpha.0)
                 };
-                type Hits = Vec<(Tid, ariel_storage::Tuple)>;
-                let indexed: Option<Hits> = applicable[depth].iter().find_map(|c| {
-                    let (attr, key_expr) = equi_probe(c, var)?;
-                    rel_b.index_on(attr)?;
-                    let key = ariel_query::eval(&key_expr, row).ok()?;
-                    if key.is_null() {
-                        return Some(Vec::new());
-                    }
-                    rel_b
-                        .probe_eq(attr, &key)
-                        .map(|hits| hits.into_iter().map(|(t, tu)| (t, tu.clone())).collect())
+                let probe = self.find_equi_probe(rule, var, vbit, now_bound, row, &|attr| {
+                    rel_b.index_on(attr).is_some()
                 });
-                let (cands, scanned): (Vec<BoundVar>, u64) = match indexed {
-                    Some(hits) => {
+                let via_index = probe.is_some();
+                let mut served = 0u64;
+                let mut cands = Vec::new();
+                let scanned = match probe {
+                    Some((skip, attr, key)) => {
+                        AlphaCounters::bump(&alpha.counters.index_probes, 1);
+                        let hits = if key.is_null() {
+                            Vec::new() // a Null key joins nothing
+                        } else {
+                            rel_b.probe_eq(attr, &key).unwrap_or_default()
+                        };
+                        if !hits.is_empty() {
+                            AlphaCounters::bump(&alpha.counters.index_hits, 1);
+                        }
                         let scanned = hits.len() as u64;
-                        let cands = hits
-                            .into_iter()
-                            .filter(|(tid, _)| visible(tid))
-                            .filter(|(_, t)| alpha.pred_matches(t, None))
-                            .map(|(tid, t)| BoundVar::plain(tid, t))
-                            .collect();
-                        (cands, scanned)
+                        for (tid, t) in hits {
+                            if !visible(&tid) || !alpha.pred_matches(t, None) {
+                                continue;
+                            }
+                            served += 1;
+                            if Self::conjuncts_pass(
+                                rule,
+                                vbit,
+                                now_bound,
+                                row,
+                                var,
+                                t,
+                                None,
+                                Some(skip),
+                            )? {
+                                cands.push(BoundVar::plain(tid, t.clone()));
+                            }
+                        }
+                        scanned
                     }
                     None => {
-                        let scanned = rel_b.len() as u64;
-                        let cands = rel_b
-                            .scan()
-                            .filter(|(tid, _)| visible(tid))
-                            .filter(|(_, t)| alpha.pred_matches(t, None))
-                            .map(|(tid, t)| BoundVar::plain(tid, t.clone()))
-                            .collect();
-                        (cands, scanned)
+                        for (tid, t) in rel_b.scan() {
+                            if !visible(&tid) || !alpha.pred_matches(t, None) {
+                                continue;
+                            }
+                            served += 1;
+                            if Self::conjuncts_pass(rule, vbit, now_bound, row, var, t, None, None)?
+                            {
+                                cands.push(BoundVar::plain(tid, t.clone()));
+                            }
+                        }
+                        rel_b.len() as u64
                     }
                 };
                 AlphaCounters::bump(&alpha.counters.virtual_scans, 1);
                 AlphaCounters::bump(&alpha.counters.scanned_tuples, scanned);
-                AlphaCounters::bump(&alpha.counters.join_candidates, cands.len() as u64);
+                AlphaCounters::bump(&alpha.counters.join_candidates, served);
+                if via_index {
+                    AlphaCounters::bump(&alpha.counters.indexed_candidates, served);
+                } else {
+                    AlphaCounters::bump(&alpha.counters.scanned_candidates, served);
+                }
                 if let Some(obs) = &self.obs {
                     obs.with_node(alpha.rule, alpha.var, |n| {
                         n.virtual_scans += 1;
                         n.scanned_tuples += scanned;
-                        n.join_candidates += cands.len() as u64;
+                        n.join_candidates += served;
+                        if via_index {
+                            n.index_probes += 1;
+                            if scanned > 0 {
+                                n.index_hits += 1;
+                            }
+                            n.indexed_candidates += served;
+                        } else {
+                            n.scanned_candidates += served;
+                        }
                         if let Some(t0) = scan_start {
                             n.virtual_scan.record(t0.elapsed().as_nanos() as u64);
                         }
@@ -857,59 +1033,144 @@ impl Network {
                 cands
             }
             _ => {
-                let cands: Vec<BoundVar> = alpha
-                    .entries()
-                    .map(|e| BoundVar {
-                        tid: e.tid,
-                        tuple: e.tuple.clone(),
-                        prev: e.prev.clone(),
-                    })
-                    .collect();
-                AlphaCounters::bump(&alpha.counters.join_candidates, cands.len() as u64);
+                let probe = self.find_equi_probe(rule, var, vbit, now_bound, row, &|attr| {
+                    alpha.has_join_index(attr)
+                });
+                let via_index = probe.is_some();
+                let mut served = 0u64;
+                let mut cands = Vec::new();
+                match probe {
+                    Some((skip, attr, key)) => {
+                        // probe the α-memory's hash join index: one bucket
+                        // instead of the whole memory
+                        AlphaCounters::bump(&alpha.counters.index_probes, 1);
+                        for e in alpha
+                            .probe_join_index(attr, &key)
+                            .expect("probe found a registered index")
+                        {
+                            served += 1;
+                            if Self::conjuncts_pass(
+                                rule,
+                                vbit,
+                                now_bound,
+                                row,
+                                var,
+                                &e.tuple,
+                                e.prev.as_ref(),
+                                Some(skip),
+                            )? {
+                                cands.push(BoundVar {
+                                    tid: e.tid,
+                                    tuple: e.tuple.clone(),
+                                    prev: e.prev.clone(),
+                                });
+                            }
+                        }
+                        if served > 0 {
+                            AlphaCounters::bump(&alpha.counters.index_hits, 1);
+                        }
+                    }
+                    None => {
+                        for e in alpha.entries() {
+                            served += 1;
+                            if Self::conjuncts_pass(
+                                rule,
+                                vbit,
+                                now_bound,
+                                row,
+                                var,
+                                &e.tuple,
+                                e.prev.as_ref(),
+                                None,
+                            )? {
+                                cands.push(BoundVar {
+                                    tid: e.tid,
+                                    tuple: e.tuple.clone(),
+                                    prev: e.prev.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+                AlphaCounters::bump(&alpha.counters.join_candidates, served);
+                if via_index {
+                    AlphaCounters::bump(&alpha.counters.indexed_candidates, served);
+                } else {
+                    AlphaCounters::bump(&alpha.counters.scanned_candidates, served);
+                }
                 if let Some(obs) = &self.obs {
                     obs.with_node(alpha.rule, alpha.var, |n| {
-                        n.join_candidates += cands.len() as u64;
+                        n.join_candidates += served;
+                        if via_index {
+                            n.index_probes += 1;
+                            if served > 0 {
+                                n.index_hits += 1;
+                            }
+                            n.indexed_candidates += served;
+                        } else {
+                            n.scanned_candidates += served;
+                        }
                     });
                 }
                 cands
             }
         };
-        for cand in candidates {
+        for cand in survivors {
             row.slots[var] = Some(cand);
-            let mut ok = true;
-            for c in &applicable[depth] {
-                if !eval_pred(c, row)? {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                self.extend_depth(
-                    rule,
-                    order,
-                    applicable,
-                    depth + 1,
-                    row,
-                    token,
-                    processed,
-                    catalog,
-                    pending,
-                    results,
-                )?;
-            }
+            self.extend_depth(
+                rule,
+                order,
+                depth + 1,
+                now_bound,
+                row,
+                token,
+                processed,
+                catalog,
+                pending,
+                results,
+            )?;
         }
         row.slots[var] = None;
         Ok(())
     }
 
-    fn candidate_count(&self, rule: &RuleNode, var: usize, catalog: &Catalog) -> usize {
+    /// Estimated β-join candidates variable `var` would contribute, used
+    /// to pick the join order. An indexed memory sorts as its *expected
+    /// bucket size* — a probe serves one bucket, not the whole memory —
+    /// and likewise a virtual node over an indexed base relation.
+    fn candidate_estimate(&self, rule: &RuleNode, var: usize, catalog: &Catalog) -> usize {
         let alpha = self.alpha(rule.vars[var].alpha);
         match alpha.kind {
-            AlphaKind::Virtual => catalog
-                .get(&alpha.rel)
-                .map(|r| r.borrow().len())
-                .unwrap_or(0),
-            _ => alpha.len(),
+            AlphaKind::Virtual => {
+                let Some(rel_ref) = catalog.get(&alpha.rel) else {
+                    return 0;
+                };
+                let rel_b = rel_ref.borrow();
+                let n = rel_b.len();
+                if !self.join_indexing {
+                    return n;
+                }
+                rule.plan.equi[var]
+                    .iter()
+                    .flatten()
+                    .filter_map(|(attr, _)| {
+                        let ix = rel_b.index_on(*attr)?;
+                        Some(n.div_ceil(ix.distinct_keys().max(1)))
+                    })
+                    .min()
+                    .unwrap_or(n)
+            }
+            _ => {
+                // an unindexed memory (or join_indexing off) has no
+                // registered indexes and falls through to its full size
+                let n = alpha.len();
+                rule.plan.equi[var]
+                    .iter()
+                    .flatten()
+                    .filter_map(|(attr, _)| alpha.expected_bucket_size(*attr))
+                    .min()
+                    .unwrap_or(n)
+            }
         }
     }
 
@@ -1036,6 +1297,10 @@ impl Network {
             s.alpha_passes += a.counters.passes.get();
             s.virtual_scans += a.counters.virtual_scans.get();
             s.virtual_scanned_tuples += a.counters.scanned_tuples.get();
+            s.index_probes += a.counters.index_probes.get();
+            s.index_hits += a.counters.index_hits.get();
+            s.indexed_candidates += a.counters.indexed_candidates.get();
+            s.scanned_candidates += a.counters.scanned_candidates.get();
             if a.kind == AlphaKind::Virtual {
                 s.virtual_join_candidates += a.counters.join_candidates.get();
             } else {
@@ -1070,6 +1335,10 @@ impl Network {
             s.alpha_passes += a.counters.passes.get();
             s.virtual_scans += a.counters.virtual_scans.get();
             s.virtual_scanned_tuples += a.counters.scanned_tuples.get();
+            s.index_probes += a.counters.index_probes.get();
+            s.index_hits += a.counters.index_hits.get();
+            s.indexed_candidates += a.counters.indexed_candidates.get();
+            s.scanned_candidates += a.counters.scanned_candidates.get();
             if a.kind == AlphaKind::Virtual {
                 s.virtual_join_candidates += a.counters.join_candidates.get();
             } else {
@@ -1836,5 +2105,130 @@ mod tests {
         let drained = net.drain_pnode(RuleId(2));
         assert_eq!(drained.len(), 1);
         assert_eq!(net.rules_with_matches(), vec![RuleId(1), RuleId(3)]);
+    }
+
+    #[test]
+    fn indexed_join_matches_nested_loop_and_counts_probes() {
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        let build = |indexing: bool| {
+            let mut net = Network::new();
+            net.set_join_indexing(indexing);
+            net.add_rule(
+                RuleId(1),
+                &sales_clerk_cond(&cat),
+                &VirtualPolicy::AllStored,
+                &cat,
+            )
+            .unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            net
+        };
+        let mut indexed = build(true);
+        let mut nested = build(false);
+        for i in 0..12 {
+            let (tid, t) = insert_emp(&cat, &format!("e{i}"), 40_000.0, 1 + (i % 3), 7);
+            indexed
+                .process_token(&append_token(tid, t.clone()), &cat)
+                .unwrap();
+            nested.process_token(&append_token(tid, t), &cat).unwrap();
+        }
+        // identical match state either way
+        assert_eq!(
+            indexed.pnode(RuleId(1)).unwrap().len(),
+            nested.pnode(RuleId(1)).unwrap().len()
+        );
+        assert!(!indexed.pnode(RuleId(1)).unwrap().is_empty());
+        let si = indexed.stats();
+        let sn = nested.stats();
+        // the indexed net probed buckets instead of enumerating memories
+        assert!(si.index_probes > 0);
+        assert!(si.index_hits > 0);
+        assert!(si.indexed_candidates > 0);
+        assert_eq!(sn.index_probes, 0, "indexing off never probes");
+        assert_eq!(sn.indexed_candidates, 0);
+        assert!(
+            si.stored_join_candidates < sn.stored_join_candidates,
+            "bucket probes must serve fewer candidates than full scans \
+             ({} vs {})",
+            si.stored_join_candidates,
+            sn.stored_join_candidates
+        );
+        // every candidate is accounted to exactly one of the two paths
+        for s in [&si, &sn] {
+            assert_eq!(
+                s.indexed_candidates + s.scanned_candidates,
+                s.stored_join_candidates + s.virtual_join_candidates
+            );
+        }
+    }
+
+    #[test]
+    fn null_join_key_matches_nothing_indexed_or_not() {
+        // SQL semantics: Null = anything is false, so an emp with a Null
+        // dno joins no dept — with or without the join index (a Null probe
+        // key short-circuits to the empty bucket).
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        for indexing in [true, false] {
+            let mut net = Network::new();
+            net.set_join_indexing(indexing);
+            let rc = cond(&cat, None, "emp.sal > 30000 and emp.dno = dept.dno", &[]);
+            net.add_rule(RuleId(1), &rc, &VirtualPolicy::AllStored, &cat)
+                .unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            let rel = cat.get("emp").unwrap();
+            let tid = rel
+                .borrow_mut()
+                .insert(vec![
+                    "nil".into(),
+                    30i64.into(),
+                    90_000.0.into(),
+                    Value::Null,
+                    7i64.into(),
+                ])
+                .unwrap();
+            let t = rel.borrow().get(tid).cloned().unwrap();
+            net.process_token(&append_token(tid, t), &cat).unwrap();
+            assert_eq!(
+                net.pnode(RuleId(1)).unwrap().len(),
+                0,
+                "indexing={indexing}"
+            );
+            rel.borrow_mut().delete(tid).unwrap();
+        }
+    }
+
+    #[test]
+    fn join_is_zero_copy_from_relation_to_pnode() {
+        // A matched instantiation's tuples must share storage with the base
+        // relation — the whole path (relation → token → α-memory → β-join →
+        // P-node) moves `Arc`s, never values.
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        let mut net = Network::new();
+        net.add_rule(
+            RuleId(1),
+            &sales_clerk_cond(&cat),
+            &VirtualPolicy::AllStored,
+            &cat,
+        )
+        .unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        let (tid, t) = insert_emp(&cat, "Sue", 45_000.0, 1, 7);
+        net.process_token(&append_token(tid, t), &cat).unwrap();
+        let pnode = net.pnode(RuleId(1)).unwrap();
+        assert_eq!(pnode.len(), 1);
+        let row = &pnode.rows()[0];
+        for (col, bound) in pnode.cols().iter().zip(row) {
+            let rel = cat.get(&col.rel).unwrap();
+            let rel_b = rel.borrow();
+            let base = rel_b.get(bound.tid.unwrap()).unwrap();
+            assert!(
+                bound.tuple.shares_storage(base),
+                "{} binding was deep-copied",
+                col.var
+            );
+        }
     }
 }

@@ -59,6 +59,42 @@ impl Env for SingleEnv<'_> {
     }
 }
 
+/// Environment layering one *borrowed* candidate binding over a base
+/// [`Row`]: variable `var` resolves to `(tuple, prev)`, every other
+/// variable falls through to the base row. The discrimination network's
+/// streaming join uses this to test join conjuncts against each candidate
+/// *before* committing it to the row, so losing candidates are never
+/// cloned.
+pub struct PatchedEnv<'a> {
+    /// Partially-bound row providing every other variable.
+    pub base: &'a Row,
+    /// Variable index the overlay binds.
+    pub var: usize,
+    /// Candidate tuple for `var`.
+    pub tuple: &'a Tuple,
+    /// Candidate's start-of-transition value, if any.
+    pub prev: Option<&'a Tuple>,
+}
+
+impl Env for PatchedEnv<'_> {
+    fn current(&self, var: usize) -> QueryResult<&Tuple> {
+        if var == self.var {
+            Ok(self.tuple)
+        } else {
+            self.base.current(var)
+        }
+    }
+
+    fn previous(&self, var: usize) -> QueryResult<&Tuple> {
+        if var == self.var {
+            self.prev
+                .ok_or_else(|| QueryError::Eval(format!("variable #{var} has no previous value")))
+        } else {
+            self.base.previous(var)
+        }
+    }
+}
+
 /// Evaluate an expression to a value.
 pub fn eval(e: &RExpr, env: &dyn Env) -> QueryResult<Value> {
     match e {

@@ -30,7 +30,7 @@ pub use error::{QueryError, QueryResult};
 pub use exec::{
     execute, execute_with_plan, plan_command, run_plan, Change, CmdOutput, ExecCtx, Notification,
 };
-pub use expr::{eval, eval_pred, Env, SingleEnv};
+pub use expr::{eval, eval_pred, Env, PatchedEnv, SingleEnv};
 pub use modify::modify_action;
 pub use optimizer::Optimizer;
 pub use parser::{parse_command, parse_expr, parse_script};

@@ -79,6 +79,14 @@ impl Tuple {
     pub fn heap_size(&self) -> usize {
         std::mem::size_of::<Tuple>() + self.values.iter().map(Value::heap_size).sum::<usize>()
     }
+
+    /// Whether two tuples share the same underlying value storage. A clone
+    /// always shares; the zero-copy regression tests use this to assert
+    /// that a tuple is never deep-copied between the base relation, the
+    /// α-memories and the P-node.
+    pub fn shares_storage(&self, other: &Tuple) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
 }
 
 impl fmt::Display for Tuple {
@@ -113,6 +121,8 @@ mod tests {
         let a = t(&[1, 2, 3]);
         let b = a.clone();
         assert!(Arc::ptr_eq(&a.values, &b.values));
+        assert!(a.shares_storage(&b));
+        assert!(!a.shares_storage(&t(&[1, 2, 3])), "separate allocations");
     }
 
     #[test]

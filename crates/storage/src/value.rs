@@ -11,7 +11,7 @@ use std::fmt;
 ///
 /// `Null` is included for completeness of the relational substrate (missing
 /// attribute in an `append`), and sorts before every non-null value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL-style null / missing value.
     Null,
@@ -123,6 +123,17 @@ impl Value {
         if self.is_null() || other.is_null() {
             return false;
         }
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+// Equality must agree with `Ord` (which goes through `total_cmp`) and with
+// `Hash` (numerically-equal `Int`/`Float` hash alike): a derived `PartialEq`
+// would distinguish `Int(15)` from `Float(15.0)` and break both contracts —
+// in particular, hash join-index buckets keyed by `Value` would miss
+// cross-type probes that `sql_eq` accepts.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
         self.total_cmp(other) == Ordering::Equal
     }
 }

@@ -27,8 +27,13 @@ impl Rng {
 }
 
 fn build(policy: VirtualPolicy) -> Ariel {
+    build_with_indexing(policy, true)
+}
+
+fn build_with_indexing(policy: VirtualPolicy, join_indexing: bool) -> Ariel {
     let mut db = Ariel::with_options(EngineOptions {
         virtual_policy: policy,
+        join_indexing,
         ..Default::default()
     });
     db.execute(
@@ -150,6 +155,44 @@ fn plan_caching_matches_always_reoptimize() {
             20,
             "cache={cache}"
         );
+    }
+}
+
+/// Indexed-vs-nested-loop oracle: the hash join indexes are a pure
+/// optimization, so with indexing on or off — and under every virtual
+/// policy — the same rule set and token stream must produce the same
+/// final database state.
+#[test]
+fn join_indexing_produces_identical_states() {
+    let policies = [
+        VirtualPolicy::AllStored,
+        VirtualPolicy::AllVirtual,
+        VirtualPolicy::SelectivityThreshold(0.3),
+    ];
+    let mut reference: Option<(Rows, Rows)> = None;
+    for policy in policies {
+        for indexing in [true, false] {
+            let mut db = build_with_indexing(policy.clone(), indexing);
+            apply_stream(&mut db, 0xDECAF, 150);
+            let emp = snapshot(&mut db, "emp");
+            let audit = snapshot(&mut db, "audit");
+            assert!(!audit.is_empty(), "the stream must exercise the rules");
+            if indexing {
+                let s = db.network_stats();
+                assert_eq!(
+                    s.indexed_candidates + s.scanned_candidates,
+                    s.stored_join_candidates + s.virtual_join_candidates,
+                    "every join candidate comes from a probe or a scan"
+                );
+            }
+            match &reference {
+                None => reference = Some((emp, audit)),
+                Some((ref_emp, ref_audit)) => {
+                    assert_eq!(&emp, ref_emp, "emp diverged: {policy:?}/{indexing}");
+                    assert_eq!(&audit, ref_audit, "audit diverged: {policy:?}/{indexing}");
+                }
+            }
+        }
     }
 }
 
