@@ -38,6 +38,12 @@ pub struct EngineOptions {
     /// nodes) during β-joins. `false` = pure nested-loop joins, kept as the
     /// comparison baseline for the fig10/fig11 benchmarks.
     pub join_indexing: bool,
+    /// When join indexing is on, compile composite (multi-attribute) join
+    /// keys so multi-conjunct equi-joins probe one index instead of
+    /// probing one attribute and re-testing the rest. `false` falls back
+    /// to PR 2's single-attribute indexes, kept as the fig13 comparison
+    /// baseline.
+    pub composite_join_keys: bool,
 }
 
 impl Default for EngineOptions {
@@ -49,6 +55,7 @@ impl Default for EngineOptions {
             cache_action_plans: false,
             observability: false,
             join_indexing: true,
+            composite_join_keys: true,
         }
     }
 }
@@ -134,6 +141,9 @@ impl Ariel {
         engine
             .network
             .set_join_indexing(engine.options.join_indexing);
+        engine
+            .network
+            .set_composite_keys(engine.options.composite_join_keys);
         if engine.options.observability {
             engine.set_observability(true);
         }
@@ -655,7 +665,7 @@ impl Ariel {
     /// capture is folded into the cumulative session when it is.
     pub fn explain_analyze(&mut self, src: &str) -> ArielResult<String> {
         let prev_net = self.network.swap_obs(Some(MatchObs::new()));
-        let prev_eng = std::mem::replace(&mut self.obs, Some(EngineObs::new()));
+        let prev_eng = self.obs.replace(EngineObs::new());
         let start = std::time::Instant::now();
         let result = self.execute(src);
         let total_ns = start.elapsed().as_nanos() as u64;
@@ -701,6 +711,7 @@ mod tests {
         assert_eq!(opts.max_firings, 10_000);
         assert!(!opts.cache_action_plans);
         assert!(opts.join_indexing, "join indexing is on by default");
+        assert!(opts.composite_join_keys, "composite keys are on by default");
         let db = Ariel::new();
         assert!(!db.options().cache_action_plans);
     }
@@ -713,6 +724,16 @@ mod tests {
         });
         assert!(!db.network().join_indexing());
         assert!(Ariel::new().network().join_indexing());
+    }
+
+    #[test]
+    fn composite_keys_opt_out_reaches_network() {
+        let db = Ariel::with_options(EngineOptions {
+            composite_join_keys: false,
+            ..Default::default()
+        });
+        assert!(!db.network().composite_keys());
+        assert!(Ariel::new().network().composite_keys());
     }
 
     #[test]

@@ -111,7 +111,8 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
          \"virtual_scans\":{},\"virtual_scanned_tuples\":{},\
          \"stored_join_candidates\":{},\"virtual_join_candidates\":{},\
          \"index_probes\":{},\"index_hits\":{},\
-         \"indexed_candidates\":{},\"scanned_candidates\":{}}},",
+         \"indexed_candidates\":{},\"scanned_candidates\":{},\
+         \"range_probes\":{},\"range_hits\":{}}},",
         n.rules,
         n.alpha_nodes,
         n.virtual_alpha_nodes,
@@ -137,6 +138,8 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
         n.index_hits,
         n.indexed_candidates,
         n.scanned_candidates,
+        n.range_probes,
+        n.range_hits,
     ));
     s.push_str("\"rules\":[");
     for (i, (name, r)) in input.rules.iter().enumerate() {
@@ -151,6 +154,7 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
              \"stored_join_candidates\":{},\"virtual_join_candidates\":{},\
              \"index_probes\":{},\"index_hits\":{},\
              \"indexed_candidates\":{},\"scanned_candidates\":{},\
+             \"range_probes\":{},\"range_hits\":{},\
              \"virtual_hit_ratio\":{:.4}}}",
             name,
             r.alpha_entries,
@@ -171,6 +175,8 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
             r.index_hits,
             r.indexed_candidates,
             r.scanned_candidates,
+            r.range_probes,
+            r.range_hits,
             r.virtual_hit_ratio(),
         ));
     }

@@ -1,0 +1,359 @@
+//! CI benchmark regression gate.
+//!
+//! Diffs a fresh `BENCH_join.json` (written by `paper_tables -- joins`)
+//! against the checked-in `BENCH_baseline.json` and exits nonzero when the
+//! join engine regressed:
+//!
+//! * an **indexed** workload's `total_ms` grew by more than 50% over the
+//!   baseline, or
+//! * any workload's `join_candidates` count grew at all — candidate counts
+//!   are deterministic, so *any* growth means an index stopped being used
+//!   (or started serving wider buckets), and
+//! * a baseline workload is missing from the fresh run.
+//!
+//! ```text
+//! cargo run --release -p ariel-bench --bin bench_gate            # default paths
+//! cargo run --release -p ariel-bench --bin bench_gate -- fresh.json baseline.json
+//! ```
+//!
+//! The schema of both files is documented in `docs/OBSERVABILITY.md`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Wall-clock tolerance: fail only beyond +50% over baseline, so ordinary
+/// machine noise passes while a lost index (typically 5-20×) cannot.
+const TOTAL_MS_TOLERANCE: f64 = 1.5;
+
+/// One scalar field of a benchmark row.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    Str(String),
+    Bool(bool),
+    Num(f64),
+}
+
+/// Minimal JSON reader for the flat array-of-objects shape `paper_tables`
+/// emits. Strings must be escape-free, values must be strings, booleans or
+/// numbers — exactly the `BENCH_join.json` schema, nothing more.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn value(&mut self) -> Result<Field, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Field::Str(self.string()?)),
+            Some(b't') | Some(b'f') => {
+                let rest = &self.bytes[self.pos..];
+                if rest.starts_with(b"true") {
+                    self.pos += 4;
+                    Ok(Field::Bool(true))
+                } else if rest.starts_with(b"false") {
+                    self.pos += 5;
+                    Ok(Field::Bool(false))
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .parse::<f64>()
+                    .map(Field::Num)
+                    .map_err(|e| format!("bad number at byte {start}: {e}"))
+            }
+            other => Err(format!(
+                "unexpected value start {other:?} at byte {}",
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Field>, String> {
+        self.expect(b'{')?;
+        let mut obj = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(obj);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            obj.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(obj);
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array_of_objects(&mut self) -> Result<Vec<BTreeMap<String, Field>>, String> {
+        self.expect(b'[')?;
+        let mut rows = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(rows);
+        }
+        loop {
+            rows.push(self.object()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(rows);
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+}
+
+/// One benchmark configuration, keyed by `(workload, indexed)`.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    workload: String,
+    indexed: bool,
+    total_ms: f64,
+    join_candidates: u64,
+}
+
+fn parse_rows(src: &str, label: &str) -> Result<Vec<Row>, String> {
+    let objs = Parser::new(src)
+        .array_of_objects()
+        .map_err(|e| format!("{label}: {e}"))?;
+    objs.into_iter()
+        .enumerate()
+        .map(|(i, obj)| {
+            let str_field = |k: &str| match obj.get(k) {
+                Some(Field::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("{label}: row {i} missing string \"{k}\"")),
+            };
+            let bool_field = |k: &str| match obj.get(k) {
+                Some(Field::Bool(b)) => Ok(*b),
+                _ => Err(format!("{label}: row {i} missing bool \"{k}\"")),
+            };
+            let num_field = |k: &str| match obj.get(k) {
+                Some(Field::Num(n)) => Ok(*n),
+                _ => Err(format!("{label}: row {i} missing number \"{k}\"")),
+            };
+            Ok(Row {
+                workload: str_field("workload")?,
+                indexed: bool_field("indexed")?,
+                total_ms: num_field("total_ms")?,
+                join_candidates: num_field("join_candidates")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Compare fresh numbers to the baseline; returns every violation found
+/// (empty = gate passes).
+fn check(fresh: &[Row], baseline: &[Row]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in baseline {
+        let key = format!("{}/indexed={}", base.workload, base.indexed);
+        let Some(now) = fresh
+            .iter()
+            .find(|r| r.workload == base.workload && r.indexed == base.indexed)
+        else {
+            violations.push(format!("{key}: missing from fresh results"));
+            continue;
+        };
+        if base.indexed && now.total_ms > base.total_ms * TOTAL_MS_TOLERANCE {
+            violations.push(format!(
+                "{key}: total_ms regressed {:.3} -> {:.3} (>{:.0}% over baseline)",
+                base.total_ms,
+                now.total_ms,
+                (TOTAL_MS_TOLERANCE - 1.0) * 100.0
+            ));
+        }
+        if now.join_candidates > base.join_candidates {
+            violations.push(format!(
+                "{key}: join_candidates grew {} -> {} (an index stopped pruning)",
+                base.join_candidates, now.join_candidates
+            ));
+        }
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_path = args.first().map_or("BENCH_join.json", String::as_str);
+    let base_path = args.get(1).map_or("BENCH_baseline.json", String::as_str);
+    let load = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|src| parse_rows(&src, path))
+    };
+    let (fresh, baseline) = match (load(fresh_path), load(base_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (f, b) => {
+            for e in [f.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_gate: {fresh_path} vs {base_path} ({} baseline rows)",
+        baseline.len()
+    );
+    for base in &baseline {
+        if let Some(now) = fresh
+            .iter()
+            .find(|r| r.workload == base.workload && r.indexed == base.indexed)
+        {
+            println!(
+                "  {:>15}/indexed={:<5} total_ms {:>9.3} -> {:>9.3}  join_candidates {:>9} -> {:>9}",
+                base.workload,
+                base.indexed,
+                base.total_ms,
+                now.total_ms,
+                base.join_candidates,
+                now.join_candidates
+            );
+        }
+    }
+    let violations = check(&fresh, &baseline);
+    if violations.is_empty() {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: FAIL {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(workload: &str, indexed: bool, total_ms: f64, join_candidates: u64) -> Row {
+        Row {
+            workload: workload.into(),
+            indexed,
+            total_ms,
+            join_candidates,
+        }
+    }
+
+    #[test]
+    fn parses_paper_tables_output() {
+        let src = r#"[{"workload":"fig12-band","indexed":true,"total_ms":100.267,
+            "join_candidates":79650,"index_probes":0,"index_hits":0,
+            "range_probes":10000,"range_hits":9975}]"#;
+        let rows = parse_rows(src, "test").unwrap();
+        assert_eq!(rows, vec![row("fig12-band", true, 100.267, 79650)]);
+        assert!(parse_rows("[", "test").is_err());
+        assert!(parse_rows("[{\"workload\":1}]", "test").is_err());
+        assert_eq!(parse_rows("[]", "test").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn gate_passes_on_identical_and_on_noise_within_tolerance() {
+        let base = vec![row("w", true, 10.0, 100), row("w", false, 50.0, 500)];
+        assert!(check(&base, &base).is_empty());
+        // +40% wall clock and fewer candidates: still fine
+        let fresh = vec![row("w", true, 14.0, 90), row("w", false, 70.0, 500)];
+        assert!(check(&fresh, &base).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_injected_time_regression() {
+        let base = vec![row("w", true, 10.0, 100)];
+        let fresh = vec![row("w", true, 16.0, 100)];
+        let v = check(&fresh, &base);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("total_ms regressed"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_candidate_growth_even_unindexed() {
+        let base = vec![row("w", false, 50.0, 500)];
+        let fresh = vec![row("w", false, 10.0, 501)];
+        let v = check(&fresh, &base);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("join_candidates grew"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_workload_and_ignores_unindexed_time() {
+        let base = vec![row("gone", true, 10.0, 100), row("w", false, 50.0, 500)];
+        // unindexed wall clock may drift freely — only candidates matter
+        let fresh = vec![row("w", false, 500.0, 500)];
+        let v = check(&fresh, &base);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing from fresh"), "{v:?}");
+    }
+}

@@ -144,35 +144,47 @@ fn run_obs() {
 
 fn run_joins() {
     println!("== JOINS: indexed α-memories vs nested-loop → BENCH_join.json ==");
-    println!("(fig10/fig11 workloads, 25 band rules, 400 emp tokens, 200 dept rows)");
+    println!("(fig10-fig13 workloads, 25 band rules, 400 emp tokens, 200 dim rows)");
     println!(
-        "{:>12} {:>8} | {:>10} {:>16} {:>13} {:>11}",
-        "workload", "indexed", "total ms", "join candidates", "index probes", "index hits"
+        "{:>15} {:>8} | {:>10} {:>16} {:>13} {:>11} {:>12} {:>11}",
+        "workload",
+        "indexed",
+        "total ms",
+        "join candidates",
+        "index probes",
+        "index hits",
+        "range probes",
+        "range hits"
     );
     let rows = measure::joins_table(25, 400, 200);
     let mut json = String::from("[");
     for (i, r) in rows.iter().enumerate() {
         println!(
-            "{:>12} {:>8} | {:>10} {:>16} {:>13} {:>11}",
+            "{:>15} {:>8} | {:>10} {:>16} {:>13} {:>11} {:>12} {:>11}",
             r.workload,
             r.indexed,
             ms(r.total),
             r.join_candidates,
             r.index_probes,
-            r.index_hits
+            r.index_hits,
+            r.range_probes,
+            r.range_hits
         );
         if i > 0 {
             json.push(',');
         }
         json.push_str(&format!(
             "{{\"workload\":\"{}\",\"indexed\":{},\"total_ms\":{:.3},\
-             \"join_candidates\":{},\"index_probes\":{},\"index_hits\":{}}}",
+             \"join_candidates\":{},\"index_probes\":{},\"index_hits\":{},\
+             \"range_probes\":{},\"range_hits\":{}}}",
             r.workload,
             r.indexed,
             r.total.as_secs_f64() * 1e3,
             r.join_candidates,
             r.index_probes,
-            r.index_hits
+            r.index_hits,
+            r.range_probes,
+            r.range_hits
         ));
     }
     json.push(']');

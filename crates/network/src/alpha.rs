@@ -16,11 +16,13 @@
 
 use crate::pred::SelectionPredicate;
 use crate::token::{EventSpecifier, TokenKind};
+use ariel_islist::{Interval, IntervalId, IntervalSkipList};
 use ariel_query::{eval_pred, SingleEnv};
 use ariel_storage::{Tid, Tuple, Value};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Bound;
 
 /// Identifier of a rule within the network (assigned by the engine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -173,6 +175,10 @@ pub struct AlphaCounters {
     pub indexed_candidates: Cell<u64>,
     /// Join candidates served by full enumeration (no usable index).
     pub scanned_candidates: Cell<u64>,
+    /// Interval-index stabbing probes answered by this node (band joins).
+    pub range_probes: Cell<u64>,
+    /// Range probes that found at least one candidate.
+    pub range_hits: Cell<u64>,
 }
 
 impl AlphaCounters {
@@ -193,16 +199,75 @@ impl AlphaCounters {
         self.index_hits.set(0);
         self.indexed_candidates.set(0);
         self.scanned_candidates.set(0);
+        self.range_probes.set(0);
+        self.range_hits.set(0);
     }
 }
 
-/// One hash join index over an α-memory: equi-join key value → keys of the
+/// One hash join index over an α-memory: composite equi-join key (one
+/// `Value` per registered attribute, in registration order) → keys of the
 /// node's entry map (ON DELETE entries have no TID but are still keyed by
 /// the dying token's TID, so buckets hold the map key, not `AlphaEntry::tid`).
+/// A single-attribute index is just the one-element special case.
 #[derive(Debug)]
 struct JoinIndex {
-    attr: usize,
-    buckets: HashMap<Value, Vec<u64>>,
+    attrs: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<u64>>,
+}
+
+/// Shape of a band-join access path over a stored memory: each entry spans
+/// the interval from its `lo_attr` value to its `hi_attr` value, and a
+/// probe key `x` matches exactly the entries whose conjunct pair
+/// `e.lo OP x` / `x OP' e.hi` holds. `lo_strict` means the lower conjunct
+/// was `<` (interval bound `Excluded`); likewise `hi_strict` for the upper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandShape {
+    /// Attribute supplying the entry's lower endpoint.
+    pub lo_attr: usize,
+    /// Lower conjunct is strict (`e.lo < x` rather than `e.lo <= x`).
+    pub lo_strict: bool,
+    /// Attribute supplying the entry's upper endpoint.
+    pub hi_attr: usize,
+    /// Upper conjunct is strict (`x < e.hi` rather than `x <= e.hi`).
+    pub hi_strict: bool,
+}
+
+impl BandShape {
+    /// The interval an entry's tuple spans under this shape; `None` when a
+    /// bound is Null (comparison with Null is false → the entry can never
+    /// satisfy the conjunct pair) or the interval is empty.
+    fn interval_of(&self, tuple: &Tuple) -> Option<Interval<Value>> {
+        let lo = tuple.get(self.lo_attr);
+        let hi = tuple.get(self.hi_attr);
+        if lo.is_null() || hi.is_null() {
+            return None;
+        }
+        let lo = if self.lo_strict {
+            Bound::Excluded(lo.clone())
+        } else {
+            Bound::Included(lo.clone())
+        };
+        let hi = if self.hi_strict {
+            Bound::Excluded(hi.clone())
+        } else {
+            Bound::Included(hi.clone())
+        };
+        Interval::new(lo, hi)
+    }
+}
+
+/// Interval-skip-list index (Hanson's IBS-tree line of work, reused from
+/// the selection network) turning a band join into a stabbing query: each
+/// entry contributes the interval `(lo_attr .. hi_attr)` and a probe stabs
+/// with the opposite side's key value.
+#[derive(Debug)]
+struct RangeIndex {
+    shape: BandShape,
+    islist: IntervalSkipList<Value>,
+    /// entry-map key → its interval (entries with Null/empty spans absent).
+    by_entry: HashMap<u64, IntervalId>,
+    /// interval → entry-map key, for serving stab results.
+    by_interval: HashMap<IntervalId, u64>,
 }
 
 /// An α-memory node.
@@ -224,11 +289,13 @@ pub struct AlphaNode {
     pub counters: AlphaCounters,
     entries: HashMap<u64, AlphaEntry>,
     /// Hash join indexes over `entries`, one per registered equi-join
-    /// attribute. Maintained incrementally by [`Self::insert`],
-    /// [`Self::remove`] and [`Self::flush`]. Null keys are never indexed —
-    /// `sql_eq` says `Null` joins nothing, so a Null-keyed entry can only
-    /// be reached by a probing conjunct that is false anyway.
+    /// attribute set. Maintained incrementally by [`Self::insert`],
+    /// [`Self::remove`] and [`Self::flush`]. Keys with a Null component are
+    /// never indexed — `sql_eq` says `Null` joins nothing, so such an entry
+    /// can only be reached by a probing conjunct that is false anyway.
     join_indexes: Vec<JoinIndex>,
+    /// Interval indexes over `entries`, one per registered band shape.
+    range_indexes: Vec<RangeIndex>,
 }
 
 impl AlphaNode {
@@ -251,38 +318,78 @@ impl AlphaNode {
             counters: AlphaCounters::default(),
             entries: HashMap::new(),
             join_indexes: Vec::new(),
+            range_indexes: Vec::new(),
         }
     }
 
-    /// Register the equi-join attributes this memory should index. Called
-    /// at rule-compile time, before any entry is inserted (the network
-    /// extracts the attributes from the rule's equi-join conjuncts).
-    pub fn set_join_index_attrs(&mut self, attrs: Vec<usize>) {
+    /// Register the (composite) equi-join attribute sets this memory should
+    /// index. Called at rule-compile time, before any entry is inserted
+    /// (the network extracts the sets from the rule's equi-join conjuncts).
+    /// Duplicate sets collapse to one index.
+    pub fn set_join_indexes(&mut self, attr_sets: Vec<Vec<usize>>) {
         debug_assert!(self.entries.is_empty(), "register indexes before priming");
-        self.join_indexes = attrs
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        self.join_indexes = attr_sets
             .into_iter()
-            .map(|attr| JoinIndex {
-                attr,
+            .filter(|attrs| {
+                if attrs.is_empty() || seen.contains(attrs) {
+                    return false;
+                }
+                seen.push(attrs.clone());
+                true
+            })
+            .map(|attrs| JoinIndex {
+                attrs,
                 buckets: HashMap::new(),
             })
             .collect();
     }
 
-    /// Whether a join index on attribute `attr` exists.
-    pub fn has_join_index(&self, attr: usize) -> bool {
-        self.join_indexes.iter().any(|ji| ji.attr == attr)
+    /// Register the band shapes this memory should interval-index. Same
+    /// compile-time discipline as [`Self::set_join_indexes`].
+    pub fn set_range_indexes(&mut self, shapes: Vec<BandShape>) {
+        debug_assert!(self.entries.is_empty(), "register indexes before priming");
+        let mut seen: Vec<BandShape> = Vec::new();
+        self.range_indexes = shapes
+            .into_iter()
+            .filter(|shape| {
+                if seen.contains(shape) {
+                    return false;
+                }
+                seen.push(shape.clone());
+                true
+            })
+            .map(|shape| RangeIndex {
+                shape,
+                islist: IntervalSkipList::new(),
+                by_entry: HashMap::new(),
+                by_interval: HashMap::new(),
+            })
+            .collect();
     }
 
-    /// Probe the join index on `attr`: entries whose `attr` value
-    /// sql-equals `key`. `None` when no index on `attr` exists; a `Null`
-    /// key yields an empty iterator (`Null` joins nothing).
+    /// Whether a join index on exactly the attribute tuple `attrs` exists.
+    pub fn has_join_index(&self, attrs: &[usize]) -> bool {
+        self.join_indexes.iter().any(|ji| ji.attrs == attrs)
+    }
+
+    /// Whether an interval index of exactly this band shape exists.
+    pub fn has_range_index(&self, shape: &BandShape) -> bool {
+        self.range_indexes.iter().any(|ri| &ri.shape == shape)
+    }
+
+    /// Probe the join index on the attribute tuple `attrs`: entries whose
+    /// per-attribute values all sql-equal the corresponding `key` component.
+    /// `None` when no such index exists; any `Null` key component yields an
+    /// empty iterator (`Null` joins nothing).
     pub fn probe_join_index(
         &self,
-        attr: usize,
-        key: &Value,
+        attrs: &[usize],
+        key: &[Value],
     ) -> Option<impl Iterator<Item = &AlphaEntry> + '_> {
-        let ji = self.join_indexes.iter().find(|ji| ji.attr == attr)?;
-        let keys: &[u64] = if key.is_null() {
+        let ji = self.join_indexes.iter().find(|ji| ji.attrs == attrs)?;
+        debug_assert_eq!(key.len(), attrs.len());
+        let keys: &[u64] = if key.iter().any(Value::is_null) {
             &[]
         } else {
             ji.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
@@ -294,11 +401,32 @@ impl AlphaNode {
         }))
     }
 
-    /// Expected bucket size of the join index on `attr` (entries ÷ distinct
-    /// keys, rounded up), the join-order heuristic's size estimate for an
-    /// indexed memory. `None` without an index on `attr`.
-    pub fn expected_bucket_size(&self, attr: usize) -> Option<usize> {
-        let ji = self.join_indexes.iter().find(|ji| ji.attr == attr)?;
+    /// Probe the interval index of band shape `shape`: entries whose
+    /// `(lo_attr .. hi_attr)` span contains `key`. `None` when no such
+    /// index exists; a `Null` key stabs nothing (comparison with Null is
+    /// false on both sides of the band).
+    pub fn probe_range_index(&self, shape: &BandShape, key: &Value) -> Option<Vec<&AlphaEntry>> {
+        let ri = self.range_indexes.iter().find(|ri| &ri.shape == shape)?;
+        if key.is_null() {
+            return Some(Vec::new());
+        }
+        let mut out = Vec::new();
+        ri.islist.stab_with(key, |id| {
+            let k = ri.by_interval.get(&id).expect("stab hit a live interval");
+            out.push(
+                self.entries
+                    .get(k)
+                    .expect("range index references a live entry"),
+            );
+        });
+        Some(out)
+    }
+
+    /// Expected bucket size of the join index on `attrs` (entries ÷
+    /// distinct keys, rounded up), the join-order heuristic's size estimate
+    /// for an indexed memory. `None` without an index on `attrs`.
+    pub fn expected_bucket_size(&self, attrs: &[usize]) -> Option<usize> {
+        let ji = self.join_indexes.iter().find(|ji| ji.attrs == attrs)?;
         let distinct = ji.buckets.len();
         if distinct == 0 {
             // empty memory (or only Null keys): a probe serves nothing
@@ -307,27 +435,64 @@ impl AlphaNode {
         Some(self.entries.len().div_ceil(distinct))
     }
 
+    /// Smallest expected bucket size across every registered join index —
+    /// the best-case per-probe fan-out this memory can offer. `None` when
+    /// no join index is registered.
+    pub fn min_expected_bucket_size(&self) -> Option<usize> {
+        self.join_indexes
+            .iter()
+            .map(|ji| {
+                if ji.buckets.is_empty() {
+                    0
+                } else {
+                    self.entries.len().div_ceil(ji.buckets.len())
+                }
+            })
+            .min()
+    }
+
     fn index_entry(&mut self, key: u64, entry: &AlphaEntry) {
-        for ji in &mut self.join_indexes {
-            let v = entry.tuple.get(ji.attr);
-            if v.is_null() {
-                continue;
+        'indexes: for ji in &mut self.join_indexes {
+            let mut composite = Vec::with_capacity(ji.attrs.len());
+            for &attr in &ji.attrs {
+                let v = entry.tuple.get(attr);
+                if v.is_null() {
+                    continue 'indexes;
+                }
+                composite.push(v.clone());
             }
-            ji.buckets.entry(v.clone()).or_default().push(key);
+            ji.buckets.entry(composite).or_default().push(key);
+        }
+        for ri in &mut self.range_indexes {
+            if let Some(iv) = ri.shape.interval_of(&entry.tuple) {
+                let id = ri.islist.insert(iv);
+                ri.by_entry.insert(key, id);
+                ri.by_interval.insert(id, key);
+            }
         }
     }
 
     fn unindex_entry(&mut self, key: u64, entry: &AlphaEntry) {
-        for ji in &mut self.join_indexes {
-            let v = entry.tuple.get(ji.attr);
-            if v.is_null() {
-                continue;
+        'indexes: for ji in &mut self.join_indexes {
+            let mut composite = Vec::with_capacity(ji.attrs.len());
+            for &attr in &ji.attrs {
+                let v = entry.tuple.get(attr);
+                if v.is_null() {
+                    continue 'indexes;
+                }
+                composite.push(v.clone());
             }
-            if let Some(bucket) = ji.buckets.get_mut(v) {
+            if let Some(bucket) = ji.buckets.get_mut(&composite) {
                 bucket.retain(|k| *k != key);
                 if bucket.is_empty() {
-                    ji.buckets.remove(v);
+                    ji.buckets.remove(&composite);
                 }
+            }
+        }
+        for ri in &mut self.range_indexes {
+            if let Some(id) = ri.by_entry.remove(&key) {
+                ri.by_interval.remove(&id);
+                ri.islist.remove(id);
             }
         }
     }
@@ -407,12 +572,19 @@ impl AlphaNode {
     }
 
     /// Drop all entries (transition flush for dynamic nodes). Join-index
-    /// buckets are emptied too; the registered attributes survive, so a
-    /// dynamic node keeps indexing across transitions.
+    /// buckets and interval indexes are emptied too; the registered
+    /// attribute sets and band shapes survive, so a dynamic node keeps
+    /// indexing across transitions. The skip list has no bulk-clear, so the
+    /// flush recreates it.
     pub fn flush(&mut self) {
         self.entries.clear();
         for ji in &mut self.join_indexes {
             ji.buckets.clear();
+        }
+        for ri in &mut self.range_indexes {
+            ri.islist = IntervalSkipList::new();
+            ri.by_entry.clear();
+            ri.by_interval.clear();
         }
     }
 
@@ -566,41 +738,104 @@ mod tests {
     #[test]
     fn join_index_lifecycle() {
         let mut n = node(AlphaKind::Stored, None);
-        n.set_join_index_attrs(vec![0]);
-        assert!(n.has_join_index(0));
-        assert!(!n.has_join_index(1));
+        n.set_join_indexes(vec![vec![0]]);
+        assert!(n.has_join_index(&[0]));
+        assert!(!n.has_join_index(&[1]));
         n.insert(Tid(1), entry_of(tup(15), 1));
         n.insert(Tid(2), entry_of(tup(15), 2));
         n.insert(Tid(3), entry_of(tup(12), 3));
         let hits: Vec<_> = n
-            .probe_join_index(0, &Value::Int(15))
+            .probe_join_index(&[0], &[Value::Int(15)])
             .unwrap()
             .map(|e| e.tid.unwrap().0)
             .collect();
         assert_eq!(hits.len(), 2);
         assert!(hits.contains(&1) && hits.contains(&2));
-        assert_eq!(n.probe_join_index(0, &Value::Int(99)).unwrap().count(), 0);
-        assert!(n.probe_join_index(1, &Value::Int(15)).is_none());
+        assert_eq!(
+            n.probe_join_index(&[0], &[Value::Int(99)]).unwrap().count(),
+            0
+        );
+        assert!(n.probe_join_index(&[1], &[Value::Int(15)]).is_none());
         // removal unbuckets
         n.remove(Tid(1));
-        assert_eq!(n.probe_join_index(0, &Value::Int(15)).unwrap().count(), 1);
+        assert_eq!(
+            n.probe_join_index(&[0], &[Value::Int(15)]).unwrap().count(),
+            1
+        );
         // replacement rebuckets under the same key
         n.insert(Tid(2), entry_of(tup(12), 2));
-        assert_eq!(n.probe_join_index(0, &Value::Int(15)).unwrap().count(), 0);
-        assert_eq!(n.probe_join_index(0, &Value::Int(12)).unwrap().count(), 2);
+        assert_eq!(
+            n.probe_join_index(&[0], &[Value::Int(15)]).unwrap().count(),
+            0
+        );
+        assert_eq!(
+            n.probe_join_index(&[0], &[Value::Int(12)]).unwrap().count(),
+            2
+        );
         // flush empties buckets but keeps the registration
         n.flush();
-        assert_eq!(n.probe_join_index(0, &Value::Int(12)).unwrap().count(), 0);
-        assert!(n.has_join_index(0));
+        assert_eq!(
+            n.probe_join_index(&[0], &[Value::Int(12)]).unwrap().count(),
+            0
+        );
+        assert!(n.has_join_index(&[0]));
+    }
+
+    fn pair(a: i64, b: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn composite_join_index_matches_whole_key() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_join_indexes(vec![vec![0, 1]]);
+        assert!(n.has_join_index(&[0, 1]));
+        assert!(!n.has_join_index(&[0]), "components are not indexed alone");
+        n.insert(Tid(1), entry_of(pair(1, 7), 1));
+        n.insert(Tid(2), entry_of(pair(1, 8), 2));
+        n.insert(Tid(3), entry_of(pair(2, 7), 3));
+        // only the exact (1, 7) pair matches — a single-attribute index on
+        // attr 0 would have served two candidates here
+        assert_eq!(
+            n.probe_join_index(&[0, 1], &[Value::Int(1), Value::Int(7)])
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            n.probe_join_index(&[0, 1], &[Value::Int(1), Value::Int(9)])
+                .unwrap()
+                .count(),
+            0
+        );
+        // a Null component in the probe key joins nothing
+        assert_eq!(
+            n.probe_join_index(&[0, 1], &[Value::Int(1), Value::Null])
+                .unwrap()
+                .count(),
+            0
+        );
+        // a Null component in a stored tuple keeps it out of the index
+        n.insert(
+            Tid(4),
+            entry_of(Tuple::new(vec![Value::Int(1), Value::Null]), 4),
+        );
+        assert_eq!(
+            n.probe_join_index(&[0, 1], &[Value::Int(1), Value::Int(7)])
+                .unwrap()
+                .count(),
+            1
+        );
+        n.remove(Tid(4)); // must not panic on the unindexed entry
     }
 
     #[test]
     fn join_index_ignores_null_keys() {
         let mut n = node(AlphaKind::Stored, None);
-        n.set_join_index_attrs(vec![0]);
+        n.set_join_indexes(vec![vec![0]]);
         n.insert(Tid(1), entry_of(Tuple::new(vec![Value::Null]), 1));
-        assert_eq!(n.probe_join_index(0, &Value::Null).unwrap().count(), 0);
-        assert_eq!(n.expected_bucket_size(0), Some(0), "only Null keys");
+        assert_eq!(n.probe_join_index(&[0], &[Value::Null]).unwrap().count(), 0);
+        assert_eq!(n.expected_bucket_size(&[0]), Some(0), "only Null keys");
         n.remove(Tid(1)); // must not panic on the unindexed entry
         assert!(n.is_empty());
     }
@@ -608,12 +843,14 @@ mod tests {
     #[test]
     fn join_index_numeric_cross_type_probe() {
         let mut n = node(AlphaKind::Stored, None);
-        n.set_join_index_attrs(vec![0]);
+        n.set_join_indexes(vec![vec![0]]);
         n.insert(Tid(1), entry_of(tup(15), 1));
         // Int-keyed bucket is found by a numerically-equal Float probe,
         // matching sql_eq's cross-type join semantics
         assert_eq!(
-            n.probe_join_index(0, &Value::Float(15.0)).unwrap().count(),
+            n.probe_join_index(&[0], &[Value::Float(15.0)])
+                .unwrap()
+                .count(),
             1
         );
     }
@@ -621,15 +858,139 @@ mod tests {
     #[test]
     fn expected_bucket_size_estimates() {
         let mut n = node(AlphaKind::Stored, None);
-        n.set_join_index_attrs(vec![0]);
-        assert_eq!(n.expected_bucket_size(1), None);
-        assert_eq!(n.expected_bucket_size(0), Some(0), "empty memory");
+        n.set_join_indexes(vec![vec![0]]);
+        assert_eq!(n.expected_bucket_size(&[1]), None);
+        assert_eq!(n.expected_bucket_size(&[0]), Some(0), "empty memory");
         n.insert(Tid(1), entry_of(tup(11), 1));
         n.insert(Tid(2), entry_of(tup(11), 2));
         n.insert(Tid(3), entry_of(tup(12), 3));
         n.insert(Tid(4), entry_of(tup(13), 4));
         // 4 entries over 3 distinct keys → expect ⌈4/3⌉ = 2 per bucket
-        assert_eq!(n.expected_bucket_size(0), Some(2));
+        assert_eq!(n.expected_bucket_size(&[0]), Some(2));
+        assert_eq!(n.min_expected_bucket_size(), Some(2));
+    }
+
+    #[test]
+    fn composite_buckets_are_narrower() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_join_indexes(vec![vec![0], vec![0, 1]]);
+        for i in 0..8i64 {
+            n.insert(Tid(i as u64), entry_of(pair(i % 2, i), i as u64));
+        }
+        // attr 0 has 2 distinct values → buckets of 4; the (0, 1) composite
+        // is unique per tuple → buckets of 1
+        assert_eq!(n.expected_bucket_size(&[0]), Some(4));
+        assert_eq!(n.expected_bucket_size(&[0, 1]), Some(1));
+        assert_eq!(n.min_expected_bucket_size(), Some(1));
+    }
+
+    fn band_shape() -> BandShape {
+        // entries span (lo, hi] with lo at attr 0 and hi at attr 1
+        BandShape {
+            lo_attr: 0,
+            lo_strict: true,
+            hi_attr: 1,
+            hi_strict: false,
+        }
+    }
+
+    #[test]
+    fn range_index_lifecycle() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_range_indexes(vec![band_shape()]);
+        assert!(n.has_range_index(&band_shape()));
+        assert!(n
+            .probe_range_index(
+                &BandShape {
+                    lo_attr: 1,
+                    lo_strict: false,
+                    hi_attr: 0,
+                    hi_strict: false
+                },
+                &Value::Int(5)
+            )
+            .is_none());
+        n.insert(Tid(1), entry_of(pair(0, 10), 1)); // (0, 10]
+        n.insert(Tid(2), entry_of(pair(5, 15), 2)); // (5, 15]
+        n.insert(Tid(3), entry_of(pair(20, 30), 3)); // (20, 30]
+        let stab = |n: &AlphaNode, x: i64| {
+            let mut tids: Vec<u64> = n
+                .probe_range_index(&band_shape(), &Value::Int(x))
+                .unwrap()
+                .iter()
+                .map(|e| e.tid.unwrap().0)
+                .collect();
+            tids.sort_unstable();
+            tids
+        };
+        assert_eq!(stab(&n, 7), vec![1, 2]);
+        assert_eq!(stab(&n, 5), vec![1], "strict lower bound excludes 5∈(5,15]");
+        assert_eq!(stab(&n, 10), vec![1, 2], "inclusive upper keeps 10∈(0,10]");
+        assert_eq!(stab(&n, 17), Vec::<u64>::new());
+        // removal un-spans
+        n.remove(Tid(1));
+        assert_eq!(stab(&n, 7), vec![2]);
+        // replacement re-spans under the same key
+        n.insert(Tid(2), entry_of(pair(100, 200), 2));
+        assert_eq!(stab(&n, 7), Vec::<u64>::new());
+        assert_eq!(stab(&n, 150), vec![2]);
+        // Null probe key stabs nothing
+        assert_eq!(
+            n.probe_range_index(&band_shape(), &Value::Null)
+                .unwrap()
+                .len(),
+            0
+        );
+        // flush empties the interval index but keeps the registration
+        n.flush();
+        assert_eq!(stab(&n, 150), Vec::<u64>::new());
+        assert!(n.has_range_index(&band_shape()));
+        n.insert(Tid(9), entry_of(pair(0, 10), 9));
+        assert_eq!(stab(&n, 7), vec![9], "index keeps working after a flush");
+    }
+
+    #[test]
+    fn range_index_skips_null_and_empty_spans() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_range_indexes(vec![band_shape()]);
+        n.insert(
+            Tid(1),
+            entry_of(Tuple::new(vec![Value::Null, Value::Int(9)]), 1),
+        );
+        n.insert(Tid(2), entry_of(pair(8, 3), 2)); // empty interval (8, 3]
+        assert_eq!(
+            n.probe_range_index(&band_shape(), &Value::Int(5))
+                .unwrap()
+                .len(),
+            0
+        );
+        n.remove(Tid(1)); // must not panic on unindexed entries
+        n.remove(Tid(2));
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn range_index_mixed_numeric_types() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_range_indexes(vec![band_shape()]);
+        n.insert(
+            Tid(1),
+            entry_of(Tuple::new(vec![Value::Float(0.5), Value::Int(10)]), 1),
+        );
+        // Int probe against a Float lower endpoint: total_cmp orders them
+        // numerically, matching the evaluator's comparison semantics
+        assert_eq!(
+            n.probe_range_index(&band_shape(), &Value::Int(5))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            n.probe_range_index(&band_shape(), &Value::Float(0.25))
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]

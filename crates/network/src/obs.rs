@@ -48,6 +48,11 @@ pub struct NodeObs {
     pub indexed_candidates: u64,
     /// Of `join_candidates`, how many came from a full memory/relation scan.
     pub scanned_candidates: u64,
+    /// Interval-index stabbing probes issued against this node (band joins
+    /// on stored/dynamic memories).
+    pub range_probes: u64,
+    /// Stabs that found at least one spanning entry.
+    pub range_hits: u64,
     /// Wall-clock ns per α-test.
     pub alpha_test: Histogram,
     /// Wall-clock ns per virtual materialization.
@@ -75,6 +80,8 @@ impl NodeObs {
         self.index_hits += other.index_hits;
         self.indexed_candidates += other.indexed_candidates;
         self.scanned_candidates += other.scanned_candidates;
+        self.range_probes += other.range_probes;
+        self.range_hits += other.range_hits;
         self.alpha_test.merge(&other.alpha_test);
         self.virtual_scan.merge(&other.virtual_scan);
     }
@@ -230,7 +237,7 @@ impl MatchObs {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"rule\":{rule},\"var\":{var},\"tokens_in\":{},\"tokens_out\":{},\"entries_inserted\":{},\"virtual_scans\":{},\"scanned_tuples\":{},\"join_candidates\":{},\"index_probes\":{},\"index_hits\":{},\"indexed_candidates\":{},\"scanned_candidates\":{},\"alpha_test\":{},\"virtual_scan\":{}}}",
+                "{{\"rule\":{rule},\"var\":{var},\"tokens_in\":{},\"tokens_out\":{},\"entries_inserted\":{},\"virtual_scans\":{},\"scanned_tuples\":{},\"join_candidates\":{},\"index_probes\":{},\"index_hits\":{},\"indexed_candidates\":{},\"scanned_candidates\":{},\"range_probes\":{},\"range_hits\":{},\"alpha_test\":{},\"virtual_scan\":{}}}",
                 n.tokens_in,
                 n.tokens_out,
                 n.entries_inserted,
@@ -241,6 +248,8 @@ impl MatchObs {
                 n.index_hits,
                 n.indexed_candidates,
                 n.scanned_candidates,
+                n.range_probes,
+                n.range_hits,
                 n.alpha_test.to_json(),
                 n.virtual_scan.to_json(),
             ));

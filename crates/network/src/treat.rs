@@ -31,7 +31,9 @@
 //! This reproduces TREAT's self-join counting exactly: a token joins to
 //! itself once per virtual/stored node pair, never twice.
 
-use crate::alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+use crate::alpha::{
+    AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, BandShape, EventReq, RuleId,
+};
 use crate::obs::MatchObs;
 use crate::pred::SelectionPredicate;
 use crate::selnet::SelectionNetwork;
@@ -68,6 +70,40 @@ struct RuleVar {
     alpha: AlphaId,
 }
 
+/// One composite equi-probe access path for a variable: once every
+/// variable in `others_mask` is bound, the equi-conjuncts listed in
+/// `conjuncts` pin the variable's `attrs` tuple to the values of
+/// `key_exprs` over the partial row, so the α-memory's composite hash
+/// index answers all of them with a single probe.
+#[derive(Debug)]
+struct CompositeSpec {
+    /// Variables the key expressions read (the probed variable excluded).
+    others_mask: u64,
+    /// Indexed attribute positions, ascending — must equal a registered
+    /// index's attribute tuple exactly.
+    attrs: Vec<usize>,
+    /// Key expression per attribute, parallel to `attrs`.
+    key_exprs: Vec<RExpr>,
+    /// Conjunct indices the probe guarantees (skipped on the retest path).
+    conjuncts: Vec<usize>,
+}
+
+/// One band-probe access path for a variable: the `(lower, upper)`
+/// conjunct pair constrains `key_expr`'s value to each entry's
+/// `(shape.lo_attr .. shape.hi_attr)` span, so the α-memory's interval
+/// index answers both with one stabbing query.
+#[derive(Debug)]
+struct BandSpec {
+    /// Variables `key_expr` reads (the probed variable excluded).
+    others_mask: u64,
+    /// Which attributes bound the span, and how strictly.
+    shape: crate::alpha::BandShape,
+    /// The stabbed expression over the other variables.
+    key_expr: RExpr,
+    /// The two conjunct indices the stab guarantees (lower, upper).
+    conjuncts: [usize; 2],
+}
+
 /// Compile-time join metadata, hoisted out of the per-token join path (the
 /// seed recomputed the bound-variable sets and applicable-conjunct lists
 /// for every probing token).
@@ -78,9 +114,15 @@ struct JoinPlan {
     conjunct_vars: Vec<u64>,
     /// `equi[var][i]` is `Some((attr, key_expr))` when join conjunct `i` is
     /// an equi-conjunct `var.attr = <expr over other variables>` — the key
-    /// extraction behind both the α-memory join indexes and §4.2's
-    /// base-relation index probes.
+    /// extraction behind §4.2's base-relation index probes on virtual
+    /// nodes (which only have single-attribute indexes to work with).
     equi: Vec<Vec<Option<(usize, RExpr)>>>,
+    /// Composite equi access paths per variable, widest key first — the
+    /// probe picks the first spec whose `others_mask` is fully bound and
+    /// whose attribute tuple the α-memory indexes.
+    composite: Vec<Vec<CompositeSpec>>,
+    /// Band access paths per variable.
+    bands: Vec<Vec<BandSpec>>,
 }
 
 /// A compiled rule: its α-nodes, join conjuncts, and P-node.
@@ -147,6 +189,10 @@ pub struct RuleStats {
     pub indexed_candidates: u64,
     /// Join candidates served by full enumeration (no usable index).
     pub scanned_candidates: u64,
+    /// Interval-index stabbing probes (band joins).
+    pub range_probes: u64,
+    /// Range probes that found at least one candidate.
+    pub range_hits: u64,
 }
 
 impl RuleStats {
@@ -225,6 +271,10 @@ pub struct NetworkStats {
     pub indexed_candidates: u64,
     /// Join candidates served by full enumeration (no usable index).
     pub scanned_candidates: u64,
+    /// Interval-index stabbing probes across all nodes (band joins).
+    pub range_probes: u64,
+    /// Range probes that found at least one candidate.
+    pub range_hits: u64,
 }
 
 /// The A-TREAT network: selection layer, α-memories, and P-nodes for every
@@ -268,6 +318,11 @@ pub struct Network {
     /// On by default; the equivalence oracle and the `joins` bench turn it
     /// off to get the paper's plain nested-loop join.
     join_indexing: bool,
+    /// Whether equi-conjuncts sharing a bound-variable set are fused into
+    /// composite (multi-attribute) keys. Off = one single-attribute access
+    /// path per conjunct, probe-then-retest. Only meaningful while
+    /// `join_indexing` is on; the joins bench ablates it.
+    composite_keys: bool,
     /// Gated timing session (None = observability off, the default).
     obs: Option<MatchObs>,
 }
@@ -281,6 +336,7 @@ impl Default for Network {
             rules: BTreeMap::new(),
             tokens_processed: 0,
             join_indexing: true,
+            composite_keys: true,
             obs: None,
         }
     }
@@ -303,6 +359,19 @@ impl Network {
     /// Whether join indexing is enabled.
     pub fn join_indexing(&self) -> bool {
         self.join_indexing
+    }
+
+    /// Enable or disable composite join keys (on by default). Like
+    /// [`Self::set_join_indexing`], this affects rules compiled *after*
+    /// the call: with composite keys off, every equi-conjunct compiles to
+    /// its own single-attribute access path (PR 2's probe-then-retest).
+    pub fn set_composite_keys(&mut self, on: bool) {
+        self.composite_keys = on;
+    }
+
+    /// Whether composite join keys are enabled.
+    pub fn composite_keys(&self) -> bool {
+        self.composite_keys
     }
 
     /// Enable or disable the gated timing tier. Enabling starts a fresh
@@ -406,17 +475,26 @@ impl Network {
                 join_conjuncts.push(c);
             }
         }
-        // compile-time join plan: per-conjunct variable bitmasks and the
-        // equi-probe decomposition of every (variable, conjunct) pair
+        // compile-time join plan: per-conjunct variable bitmasks, the
+        // equi-probe decomposition of every (variable, conjunct) pair, and
+        // the composite/band access paths built from them
         debug_assert!(nvars <= 64, "join-plan bitmasks cap rules at 64 variables");
+        let conjunct_vars: Vec<u64> = join_conjuncts
+            .iter()
+            .map(|c| c.vars_used().iter().fold(0u64, |m, v| m | (1 << v)))
+            .collect();
+        let equi: Vec<Vec<Option<(usize, RExpr)>>> = (0..nvars)
+            .map(|v| join_conjuncts.iter().map(|c| equi_probe(c, v)).collect())
+            .collect();
         let plan = JoinPlan {
-            conjunct_vars: join_conjuncts
-                .iter()
-                .map(|c| c.vars_used().iter().fold(0u64, |m, v| m | (1 << v)))
+            composite: (0..nvars)
+                .map(|v| compile_composite_specs(&equi[v], &conjunct_vars, v, self.composite_keys))
                 .collect(),
-            equi: (0..nvars)
-                .map(|v| join_conjuncts.iter().map(|c| equi_probe(c, v)).collect())
+            bands: (0..nvars)
+                .map(|v| compile_band_specs(&join_conjuncts, &conjunct_vars, v))
                 .collect(),
+            conjunct_vars,
+            equi,
         };
 
         let mut vars = Vec::with_capacity(nvars);
@@ -433,7 +511,14 @@ impl Network {
                 (false, true, _) => AlphaKind::DynamicOn,
                 (false, false, true) => AlphaKind::DynamicTrans,
                 (false, false, false) => {
-                    if self.should_virtualize(v, &pred, &binding.rel, policy, catalog) {
+                    if self.should_virtualize(
+                        v,
+                        &pred,
+                        &binding.rel,
+                        policy,
+                        catalog,
+                        &plan.composite[v],
+                    ) {
                         AlphaKind::Virtual
                     } else {
                         AlphaKind::Stored
@@ -454,17 +539,18 @@ impl Network {
             let has_prev = is_trans || matches!(event, Some(EventReq::Replace(_)));
             let mut node = AlphaNode::new(id, v, binding.rel.clone(), kind, pred, event);
             if self.join_indexing && kind.stores_entries() {
-                // index this memory on every equi-join attribute of the
-                // condition so β-joins can probe instead of enumerating
-                let mut attrs: Vec<usize> = plan.equi[v]
-                    .iter()
-                    .flatten()
-                    .map(|(attr, _)| *attr)
-                    .collect();
-                attrs.sort_unstable();
-                attrs.dedup();
-                if !attrs.is_empty() {
-                    node.set_join_index_attrs(attrs);
+                // register one hash index per composite access path and one
+                // interval index per band shape, so β-joins can probe (or
+                // stab) instead of enumerating
+                let attr_sets: Vec<Vec<usize>> =
+                    plan.composite[v].iter().map(|s| s.attrs.clone()).collect();
+                if !attr_sets.is_empty() {
+                    node.set_join_indexes(attr_sets);
+                }
+                let shapes: Vec<BandShape> =
+                    plan.bands[v].iter().map(|s| s.shape.clone()).collect();
+                if !shapes.is_empty() {
+                    node.set_range_indexes(shapes);
                 }
             }
             let alpha_id = self.alloc_alpha(node);
@@ -510,6 +596,7 @@ impl Network {
         rel: &str,
         policy: &VirtualPolicy,
         catalog: &Catalog,
+        composite: &[CompositeSpec],
     ) -> bool {
         match policy {
             VirtualPolicy::AllStored => false,
@@ -536,7 +623,46 @@ impl Network {
                     .scan()
                     .filter(|(_, t)| probe.pred_matches(t, None))
                     .count();
-                matching as f64 / n as f64 > *threshold
+                if matching as f64 / n as f64 <= *threshold {
+                    return false; // selective enough to store outright
+                }
+                // Index-aware refinement: a low-selectivity memory that a
+                // join index would carve into small buckets serves each
+                // β-probe a bucket, not the whole memory — compare the
+                // *expected bucket size* to the threshold instead of the
+                // raw match share. No usable equi index → virtual, as
+                // before.
+                if !self.join_indexing || composite.is_empty() {
+                    return true;
+                }
+                let min_bucket = composite
+                    .iter()
+                    .map(|spec| {
+                        let mut keys: HashSet<Vec<Value>> = HashSet::new();
+                        let mut indexed = 0usize;
+                        for (_, t) in rel_b.scan().filter(|(_, t)| probe.pred_matches(t, None)) {
+                            let key: Option<Vec<Value>> = spec
+                                .attrs
+                                .iter()
+                                .map(|a| {
+                                    let v = t.get(*a);
+                                    (!v.is_null()).then(|| v.clone())
+                                })
+                                .collect();
+                            if let Some(k) = key {
+                                indexed += 1;
+                                keys.insert(k);
+                            }
+                        }
+                        if keys.is_empty() {
+                            0
+                        } else {
+                            indexed.div_ceil(keys.len())
+                        }
+                    })
+                    .min()
+                    .unwrap_or(matching);
+                min_bucket as f64 / n as f64 > *threshold
             }
         }
     }
@@ -829,8 +955,8 @@ impl Network {
 
     /// Test every join conjunct applicable at this depth against a
     /// *borrowed* candidate layered over the partial row — losers are
-    /// rejected before any clone happens. `skip` names a conjunct already
-    /// guaranteed by an index probe.
+    /// rejected before any clone happens. `skip` names the conjuncts
+    /// already guaranteed by an index probe or stab.
     #[allow(clippy::too_many_arguments)]
     fn conjuncts_pass(
         rule: &RuleNode,
@@ -840,7 +966,7 @@ impl Network {
         var: usize,
         tuple: &Tuple,
         prev: Option<&Tuple>,
-        skip: Option<usize>,
+        skip: &[usize],
     ) -> QueryResult<bool> {
         let env = PatchedEnv {
             base: row,
@@ -851,7 +977,7 @@ impl Network {
         for (i, c) in rule.join_conjuncts.iter().enumerate() {
             let mask = rule.plan.conjunct_vars[i];
             // applicable at this depth: uses `var`, nothing still unbound
-            if Some(i) == skip || mask & vbit == 0 || mask & !now_bound != 0 {
+            if skip.contains(&i) || mask & vbit == 0 || mask & !now_bound != 0 {
                 continue;
             }
             if !eval_pred(c, &env)? {
@@ -895,6 +1021,68 @@ impl Network {
             })
     }
 
+    /// The composite access path usable at this depth, if any: the first
+    /// (widest) spec whose key variables are all bound and whose attribute
+    /// tuple the α-memory indexes. Returns the spec and the evaluated
+    /// composite key.
+    fn find_composite_probe<'r>(
+        &self,
+        rule: &'r RuleNode,
+        var: usize,
+        bound: u64,
+        row: &Row,
+        alpha: &AlphaNode,
+    ) -> Option<(&'r CompositeSpec, Vec<Value>)> {
+        if !self.join_indexing {
+            return None;
+        }
+        rule.plan.composite[var].iter().find_map(|spec| {
+            if spec.others_mask & !bound != 0 || !alpha.has_join_index(&spec.attrs) {
+                return None;
+            }
+            let key: Option<Vec<Value>> = spec
+                .key_exprs
+                .iter()
+                .map(|e| ariel_query::eval(e, row).ok())
+                .collect();
+            key.map(|k| (spec, k))
+        })
+    }
+
+    /// The band access path usable at this depth, if any: the first spec
+    /// whose key variables are all bound and whose shape the α-memory
+    /// interval-indexes. Returns the spec and the evaluated stab key.
+    fn find_band_probe<'r>(
+        &self,
+        rule: &'r RuleNode,
+        var: usize,
+        bound: u64,
+        row: &Row,
+        alpha: &AlphaNode,
+    ) -> Option<(&'r BandSpec, Value)> {
+        if !self.join_indexing {
+            return None;
+        }
+        rule.plan.bands[var].iter().find_map(|spec| {
+            if spec.others_mask & !bound != 0 || !alpha.has_range_index(&spec.shape) {
+                return None;
+            }
+            let key = ariel_query::eval(&spec.key_expr, row).ok()?;
+            Some((spec, key))
+        })
+    }
+
+    /// Extend the partial row at `order[depth]` and recurse per survivor.
+    ///
+    /// Candidates *stream* off borrowed storage: visibility, the
+    /// α-predicate (virtual nodes) and this depth's join conjuncts all run
+    /// on the borrowed tuple, and a survivor is cloned (an `Arc` refcount
+    /// bump) straight into the shared row and descended into on the spot.
+    /// The seed collected each depth's survivors into a per-depth
+    /// `Vec<BoundVar>` first; deep joins now allocate nothing per depth
+    /// beyond the row they already share. This is safe because
+    /// `PatchedEnv` fully shadows `var`, every structure the loops borrow
+    /// is reached through `&self`, and each depth clears its slot on exit.
     #[allow(clippy::too_many_arguments)]
     fn extend_depth(
         &self,
@@ -922,12 +1110,7 @@ impl Network {
         let vbit = 1u64 << var;
         let now_bound = bound | vbit;
         let alpha = self.alpha(rule.vars[var].alpha);
-        // Candidates are streamed off borrowed storage: visibility, the
-        // α-predicate (virtual nodes) and this depth's join conjuncts all
-        // run on the borrowed tuple, and only survivors are cloned (an
-        // `Arc` refcount bump) into the row. Survivors need no re-check
-        // before recursing.
-        let survivors: Vec<BoundVar> = match alpha.kind {
+        match alpha.kind {
             AlphaKind::Virtual => {
                 let scan_start = self.obs.as_ref().map(|_| Instant::now());
                 // §4.2: join through the base relation under the node's
@@ -936,7 +1119,9 @@ impl Network {
                 // algorithm — index scan or sequential scan": when one of
                 // this depth's equi-conjuncts probes an indexed attribute,
                 // substitute the constant from the partial row and use the
-                // index instead of scanning.
+                // index instead of scanning. (Base relations only keep
+                // single-attribute indexes, so virtual nodes stay on the
+                // single-key probe path.)
                 let rel_ref = catalog.require(&alpha.rel)?;
                 let rel_b = rel_ref.borrow();
                 let empty = HashSet::new();
@@ -956,7 +1141,6 @@ impl Network {
                 });
                 let via_index = probe.is_some();
                 let mut served = 0u64;
-                let mut cands = Vec::new();
                 let scanned = match probe {
                     Some((skip, attr, key)) => {
                         AlphaCounters::bump(&alpha.counters.index_probes, 1);
@@ -982,9 +1166,21 @@ impl Network {
                                 var,
                                 t,
                                 None,
-                                Some(skip),
+                                &[skip],
                             )? {
-                                cands.push(BoundVar::plain(tid, t.clone()));
+                                row.slots[var] = Some(BoundVar::plain(tid, t.clone()));
+                                self.extend_depth(
+                                    rule,
+                                    order,
+                                    depth + 1,
+                                    now_bound,
+                                    row,
+                                    token,
+                                    processed,
+                                    catalog,
+                                    pending,
+                                    results,
+                                )?;
                             }
                         }
                         scanned
@@ -995,9 +1191,21 @@ impl Network {
                                 continue;
                             }
                             served += 1;
-                            if Self::conjuncts_pass(rule, vbit, now_bound, row, var, t, None, None)?
+                            if Self::conjuncts_pass(rule, vbit, now_bound, row, var, t, None, &[])?
                             {
-                                cands.push(BoundVar::plain(tid, t.clone()));
+                                row.slots[var] = Some(BoundVar::plain(tid, t.clone()));
+                                self.extend_depth(
+                                    rule,
+                                    order,
+                                    depth + 1,
+                                    now_bound,
+                                    row,
+                                    token,
+                                    processed,
+                                    catalog,
+                                    pending,
+                                    results,
+                                )?;
                             }
                         }
                         rel_b.len() as u64
@@ -1026,74 +1234,141 @@ impl Network {
                             n.scanned_candidates += served;
                         }
                         if let Some(t0) = scan_start {
+                            // streaming join: this span now covers the
+                            // depths below too, not just the scan itself
                             n.virtual_scan.record(t0.elapsed().as_nanos() as u64);
                         }
                     });
                 }
-                cands
             }
             _ => {
-                let probe = self.find_equi_probe(rule, var, vbit, now_bound, row, &|attr| {
-                    alpha.has_join_index(attr)
-                });
-                let via_index = probe.is_some();
+                // access-path choice: a composite hash probe answers the
+                // most equi-conjuncts in one lookup; failing that a band
+                // stab answers an inequality pair; failing both, enumerate
                 let mut served = 0u64;
-                let mut cands = Vec::new();
-                match probe {
-                    Some((skip, attr, key)) => {
-                        // probe the α-memory's hash join index: one bucket
-                        // instead of the whole memory
-                        AlphaCounters::bump(&alpha.counters.index_probes, 1);
-                        for e in alpha
-                            .probe_join_index(attr, &key)
-                            .expect("probe found a registered index")
-                        {
-                            served += 1;
-                            if Self::conjuncts_pass(
+                let used_hash;
+                let mut used_range = false;
+                let mut hit = false;
+                if let Some((spec, key)) = self.find_composite_probe(rule, var, bound, row, alpha) {
+                    used_hash = true;
+                    AlphaCounters::bump(&alpha.counters.index_probes, 1);
+                    for e in alpha
+                        .probe_join_index(&spec.attrs, &key)
+                        .expect("probe found a registered index")
+                    {
+                        served += 1;
+                        if Self::conjuncts_pass(
+                            rule,
+                            vbit,
+                            now_bound,
+                            row,
+                            var,
+                            &e.tuple,
+                            e.prev.as_ref(),
+                            &spec.conjuncts,
+                        )? {
+                            row.slots[var] = Some(BoundVar {
+                                tid: e.tid,
+                                tuple: e.tuple.clone(),
+                                prev: e.prev.clone(),
+                            });
+                            self.extend_depth(
                                 rule,
-                                vbit,
+                                order,
+                                depth + 1,
                                 now_bound,
                                 row,
-                                var,
-                                &e.tuple,
-                                e.prev.as_ref(),
-                                Some(skip),
-                            )? {
-                                cands.push(BoundVar {
-                                    tid: e.tid,
-                                    tuple: e.tuple.clone(),
-                                    prev: e.prev.clone(),
-                                });
-                            }
-                        }
-                        if served > 0 {
-                            AlphaCounters::bump(&alpha.counters.index_hits, 1);
+                                token,
+                                processed,
+                                catalog,
+                                pending,
+                                results,
+                            )?;
                         }
                     }
-                    None => {
-                        for e in alpha.entries() {
-                            served += 1;
-                            if Self::conjuncts_pass(
+                    if served > 0 {
+                        hit = true;
+                        AlphaCounters::bump(&alpha.counters.index_hits, 1);
+                    }
+                } else if let Some((spec, key)) = self.find_band_probe(rule, var, bound, row, alpha)
+                {
+                    used_hash = false;
+                    used_range = true;
+                    AlphaCounters::bump(&alpha.counters.range_probes, 1);
+                    let hits = alpha
+                        .probe_range_index(&spec.shape, &key)
+                        .expect("probe found a registered index");
+                    if !hits.is_empty() {
+                        hit = true;
+                        AlphaCounters::bump(&alpha.counters.range_hits, 1);
+                    }
+                    for e in hits {
+                        served += 1;
+                        if Self::conjuncts_pass(
+                            rule,
+                            vbit,
+                            now_bound,
+                            row,
+                            var,
+                            &e.tuple,
+                            e.prev.as_ref(),
+                            &spec.conjuncts,
+                        )? {
+                            row.slots[var] = Some(BoundVar {
+                                tid: e.tid,
+                                tuple: e.tuple.clone(),
+                                prev: e.prev.clone(),
+                            });
+                            self.extend_depth(
                                 rule,
-                                vbit,
+                                order,
+                                depth + 1,
                                 now_bound,
                                 row,
-                                var,
-                                &e.tuple,
-                                e.prev.as_ref(),
-                                None,
-                            )? {
-                                cands.push(BoundVar {
-                                    tid: e.tid,
-                                    tuple: e.tuple.clone(),
-                                    prev: e.prev.clone(),
-                                });
-                            }
+                                token,
+                                processed,
+                                catalog,
+                                pending,
+                                results,
+                            )?;
+                        }
+                    }
+                } else {
+                    used_hash = false;
+                    for e in alpha.entries() {
+                        served += 1;
+                        if Self::conjuncts_pass(
+                            rule,
+                            vbit,
+                            now_bound,
+                            row,
+                            var,
+                            &e.tuple,
+                            e.prev.as_ref(),
+                            &[],
+                        )? {
+                            row.slots[var] = Some(BoundVar {
+                                tid: e.tid,
+                                tuple: e.tuple.clone(),
+                                prev: e.prev.clone(),
+                            });
+                            self.extend_depth(
+                                rule,
+                                order,
+                                depth + 1,
+                                now_bound,
+                                row,
+                                token,
+                                processed,
+                                catalog,
+                                pending,
+                                results,
+                            )?;
                         }
                     }
                 }
                 AlphaCounters::bump(&alpha.counters.join_candidates, served);
-                if via_index {
+                if used_hash || used_range {
                     AlphaCounters::bump(&alpha.counters.indexed_candidates, served);
                 } else {
                     AlphaCounters::bump(&alpha.counters.scanned_candidates, served);
@@ -1101,10 +1376,16 @@ impl Network {
                 if let Some(obs) = &self.obs {
                     obs.with_node(alpha.rule, alpha.var, |n| {
                         n.join_candidates += served;
-                        if via_index {
+                        if used_hash {
                             n.index_probes += 1;
-                            if served > 0 {
+                            if hit {
                                 n.index_hits += 1;
+                            }
+                            n.indexed_candidates += served;
+                        } else if used_range {
+                            n.range_probes += 1;
+                            if hit {
+                                n.range_hits += 1;
                             }
                             n.indexed_candidates += served;
                         } else {
@@ -1112,23 +1393,7 @@ impl Network {
                         }
                     });
                 }
-                cands
             }
-        };
-        for cand in survivors {
-            row.slots[var] = Some(cand);
-            self.extend_depth(
-                rule,
-                order,
-                depth + 1,
-                now_bound,
-                row,
-                token,
-                processed,
-                catalog,
-                pending,
-                results,
-            )?;
         }
         row.slots[var] = None;
         Ok(())
@@ -1163,13 +1428,7 @@ impl Network {
             _ => {
                 // an unindexed memory (or join_indexing off) has no
                 // registered indexes and falls through to its full size
-                let n = alpha.len();
-                rule.plan.equi[var]
-                    .iter()
-                    .flatten()
-                    .filter_map(|(attr, _)| alpha.expected_bucket_size(*attr))
-                    .min()
-                    .unwrap_or(n)
+                alpha.min_expected_bucket_size().unwrap_or(alpha.len())
             }
         }
     }
@@ -1301,6 +1560,8 @@ impl Network {
             s.index_hits += a.counters.index_hits.get();
             s.indexed_candidates += a.counters.indexed_candidates.get();
             s.scanned_candidates += a.counters.scanned_candidates.get();
+            s.range_probes += a.counters.range_probes.get();
+            s.range_hits += a.counters.range_hits.get();
             if a.kind == AlphaKind::Virtual {
                 s.virtual_join_candidates += a.counters.join_candidates.get();
             } else {
@@ -1339,6 +1600,8 @@ impl Network {
             s.index_hits += a.counters.index_hits.get();
             s.indexed_candidates += a.counters.indexed_candidates.get();
             s.scanned_candidates += a.counters.scanned_candidates.get();
+            s.range_probes += a.counters.range_probes.get();
+            s.range_hits += a.counters.range_hits.get();
             if a.kind == AlphaKind::Virtual {
                 s.virtual_join_candidates += a.counters.join_candidates.get();
             } else {
@@ -1364,7 +1627,7 @@ impl Network {
     /// Per-variable topology of a compiled rule — `(variable name,
     /// relation, α-node kind)` in variable order — plus the number of
     /// multi-variable join conjuncts. Drives `explain analyze` rendering.
-    pub fn rule_topology(&self, id: RuleId) -> Option<(Vec<(String, String, AlphaKind)>, usize)> {
+    pub fn rule_topology(&self, id: RuleId) -> Option<RuleTopology> {
         let rule = self.rules.get(&id.0)?;
         let vars = rule
             .vars
@@ -1375,6 +1638,11 @@ impl Network {
         Some((vars, rule.join_conjuncts.len()))
     }
 }
+
+/// `(variable name, relation, α-node kind)` per condition variable, plus
+/// the rule's multi-variable join conjunct count (see
+/// [`Network::rule_topology`]).
+pub type RuleTopology = (Vec<(String, String, AlphaKind)>, usize);
 
 /// If `c` is `vars[var].attr = <expr over other variables>` (either side),
 /// return the attribute position and the key expression — the "substituting
@@ -1399,6 +1667,164 @@ fn equi_probe(c: &RExpr, var: usize) -> Option<(usize, RExpr)> {
         }
     }
     None
+}
+
+/// Compile a variable's composite equi access paths. Conjuncts are grouped
+/// by the variable set their key expressions read; each group fuses into
+/// one composite key answerable by a single probe once those variables are
+/// bound. When more than one group exists, a spec over the union of all
+/// groups is added too — once *everything* is bound, one probe covers every
+/// equi-conjunct at once. (Partial unions of three or more groups are not
+/// enumerated; they fall back to the widest applicable single group.) With
+/// `composite` off, every conjunct compiles to its own single-attribute
+/// spec — the probe-then-retest behaviour the joins bench ablates against.
+fn compile_composite_specs(
+    equi_v: &[Option<(usize, RExpr)>],
+    conjunct_vars: &[u64],
+    var: usize,
+    composite: bool,
+) -> Vec<CompositeSpec> {
+    let vbit = 1u64 << var;
+    let parts: Vec<(usize, usize, &RExpr, u64)> = equi_v
+        .iter()
+        .enumerate()
+        .filter_map(|(i, spec)| {
+            let (attr, key) = spec.as_ref()?;
+            Some((i, *attr, key, conjunct_vars[i] & !vbit))
+        })
+        .collect();
+    if !composite {
+        return parts
+            .into_iter()
+            .map(|(i, attr, key, others)| CompositeSpec {
+                others_mask: others,
+                attrs: vec![attr],
+                key_exprs: vec![key.clone()],
+                conjuncts: vec![i],
+            })
+            .collect();
+    }
+    type Group<'a> = (u64, Vec<(usize, usize, &'a RExpr)>);
+    let mut groups: Vec<Group<'_>> = Vec::new();
+    for (i, attr, key, others) in parts {
+        match groups.iter_mut().find(|(m, _)| *m == others) {
+            Some((_, g)) => g.push((i, attr, key)),
+            None => groups.push((others, vec![(i, attr, key)])),
+        }
+    }
+    let mut specs: Vec<CompositeSpec> = groups
+        .iter()
+        .map(|(mask, g)| build_composite_spec(*mask, g))
+        .collect();
+    if groups.len() > 1 {
+        let mask = groups.iter().fold(0u64, |m, (g, _)| m | g);
+        let all: Vec<(usize, usize, &RExpr)> =
+            groups.iter().flat_map(|(_, g)| g.iter().copied()).collect();
+        specs.push(build_composite_spec(mask, &all));
+    }
+    // widest key first, so the probe prefers the narrowest buckets
+    specs.sort_by_key(|s| std::cmp::Reverse(s.attrs.len()));
+    specs
+}
+
+/// Fuse one group of equi-conjuncts into a composite spec. Attributes are
+/// sorted ascending to make the key tuple canonical; a second conjunct on
+/// an already-keyed attribute is left to the retest path (it stays out of
+/// `conjuncts`, so `conjuncts_pass` still checks it).
+fn build_composite_spec(others_mask: u64, parts: &[(usize, usize, &RExpr)]) -> CompositeSpec {
+    let mut parts = parts.to_vec();
+    parts.sort_by_key(|&(_, attr, _)| attr);
+    let mut spec = CompositeSpec {
+        others_mask,
+        attrs: Vec::new(),
+        key_exprs: Vec::new(),
+        conjuncts: Vec::new(),
+    };
+    for (i, attr, key) in parts {
+        if spec.attrs.last() == Some(&attr) {
+            continue;
+        }
+        spec.attrs.push(attr);
+        spec.key_exprs.push(key.clone());
+        spec.conjuncts.push(i);
+    }
+    spec
+}
+
+/// If `c` is an inequality between `vars[var].attr` and an expression over
+/// other variables, classify it as a band half: `(attr, key_expr,
+/// is_lower, strict)`, where `is_lower` means the entry's attribute bounds
+/// the key from below (`var.attr < key` / `var.attr <= key`, either
+/// writing order).
+fn band_half(c: &RExpr, var: usize) -> Option<(usize, &RExpr, bool, bool)> {
+    use ariel_query::BinOp;
+    let RExpr::Binary { op, left, right } = c else {
+        return None;
+    };
+    let (strict, lower_when_var_left) = match op {
+        BinOp::Lt => (true, true),
+        BinOp::Le => (false, true),
+        BinOp::Gt => (true, false),
+        BinOp::Ge => (false, false),
+        _ => return None,
+    };
+    if let RExpr::Attr { var: v, attr } = **left {
+        if v == var && !right.vars_used().contains(&var) {
+            return Some((attr, &**right, lower_when_var_left, strict));
+        }
+    }
+    if let RExpr::Attr { var: v, attr } = **right {
+        if v == var && !left.vars_used().contains(&var) {
+            return Some((attr, &**left, !lower_when_var_left, strict));
+        }
+    }
+    None
+}
+
+/// Compile a variable's band access paths: every (lower, upper) pair of
+/// inequality conjuncts bracketing the *same* key expression — structural
+/// `RExpr` equality — becomes one interval-index stab. The classic shape
+/// is the paper's `a.lo < x and x <= a.hi` band join.
+fn compile_band_specs(
+    join_conjuncts: &[RExpr],
+    conjunct_vars: &[u64],
+    var: usize,
+) -> Vec<BandSpec> {
+    let vbit = 1u64 << var;
+    let halves: Vec<(usize, usize, &RExpr, bool, bool)> = join_conjuncts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            band_half(c, var).map(|(attr, key, lower, strict)| (i, attr, key, lower, strict))
+        })
+        .collect();
+    let mut specs = Vec::new();
+    for &(i_lo, lo_attr, lo_key, is_lower, lo_strict) in &halves {
+        if !is_lower {
+            continue;
+        }
+        let upper = halves
+            .iter()
+            .copied()
+            .find(|&(i_hi, _, hi_key, hi_is_lower, _)| {
+                !hi_is_lower && i_hi != i_lo && hi_key == lo_key
+            });
+        let Some((i_hi, hi_attr, _, _, hi_strict)) = upper else {
+            continue;
+        };
+        specs.push(BandSpec {
+            others_mask: conjunct_vars[i_lo] & !vbit,
+            shape: BandShape {
+                lo_attr,
+                lo_strict,
+                hi_attr,
+                hi_strict,
+            },
+            key_expr: lo_key.clone(),
+            conjuncts: [i_lo, i_hi],
+        });
+    }
+    specs
 }
 
 fn resolve_event(kind: &EventKind, schema: &SchemaRef) -> EventReq {

@@ -196,6 +196,155 @@ fn join_indexing_produces_identical_states() {
     }
 }
 
+/// Build an engine exercising the composite-key and band-join access
+/// paths: two-conjunct equi-joins (pure `Int` keys and mixed `Float`/`Int`
+/// keys) plus an interval-shaped band join against a `band` relation whose
+/// bounds mix `Int` (`lo`) and `Float` (`hi`) columns.
+fn build_composite_band(policy: VirtualPolicy, join_indexing: bool, composite: bool) -> Ariel {
+    let mut db = Ariel::with_options(EngineOptions {
+        virtual_policy: policy,
+        join_indexing,
+        composite_join_keys: composite,
+        ..Default::default()
+    });
+    db.execute(
+        "create emp (id = int, sal = float, dno = int, jno = int); \
+         create dept (dno = int, floor = int); \
+         create band (lo = int, hi = float); \
+         create audit (id = int, kind = int)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_comp if emp.dno = dept.dno and emp.jno = dept.floor \
+         then append to audit(id = emp.id, kind = 1)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_band if band.lo < emp.sal and emp.sal <= band.hi \
+         then append to audit(id = emp.id, kind = 2)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_mixed if emp.sal = dept.floor and emp.dno = dept.dno \
+         then append to audit(id = emp.id, kind = 3)",
+    )
+    .unwrap();
+    db
+}
+
+/// Randomized stream over emp/dept/band that regularly leaves join-key
+/// attributes null (omitted from the append) — null keys must join nothing
+/// on both the indexed and the nested-loop path.
+fn apply_composite_band_stream(db: &mut Ariel, seed: u64, steps: usize) {
+    let mut rng = Rng(seed | 1);
+    let mut next_id = 0i64;
+    for _ in 0..steps {
+        match rng.below(12) {
+            0..=4 => {
+                let id = next_id;
+                next_id += 1;
+                let sal = rng.below(50);
+                let dno = rng.below(6);
+                let jno = rng.below(6);
+                let cmd = match rng.below(8) {
+                    0 => format!("append emp (id = {id}, sal = {sal}, jno = {jno})"),
+                    1 => format!("append emp (id = {id}, dno = {dno}, jno = {jno})"),
+                    _ => format!("append emp (id = {id}, sal = {sal}, dno = {dno}, jno = {jno})"),
+                };
+                db.execute(&cmd).unwrap();
+            }
+            5..=6 => {
+                let dno = rng.below(6);
+                let floor = rng.below(6);
+                let cmd = if rng.below(6) == 0 {
+                    format!("append dept (dno = {dno})")
+                } else {
+                    format!("append dept (dno = {dno}, floor = {floor})")
+                };
+                db.execute(&cmd).unwrap();
+            }
+            7..=8 => {
+                let lo = rng.below(40);
+                let hi = lo + 15;
+                let cmd = if rng.below(6) == 0 {
+                    format!("append band (lo = {lo})")
+                } else {
+                    format!("append band (lo = {lo}, hi = {hi})")
+                };
+                db.execute(&cmd).unwrap();
+            }
+            9 => {
+                let id = rng.below(next_id.max(1) as u64);
+                let sal = rng.below(50);
+                db.execute(&format!("replace emp (sal = {sal}) where emp.id = {id}"))
+                    .unwrap();
+            }
+            _ => {
+                let id = rng.below(next_id.max(1) as u64);
+                db.execute(&format!("delete emp where emp.id = {id}"))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Composite-key and band-join oracle: hash-composite and interval-index
+/// access paths are pure optimizations, so every (policy, indexing,
+/// composite-keys) configuration must converge to the same database state
+/// — including null join keys and mixed Int/Float key components.
+#[test]
+fn composite_and_band_joins_produce_identical_states() {
+    let policies = [
+        VirtualPolicy::AllStored,
+        VirtualPolicy::AllVirtual,
+        VirtualPolicy::SelectivityThreshold(0.3),
+        VirtualPolicy::SelectivityThreshold(0.8),
+    ];
+    let mut reference: Option<(Rows, Rows)> = None;
+    for policy in policies {
+        for (indexing, composite) in [(false, true), (true, true), (true, false)] {
+            let mut db = build_composite_band(policy.clone(), indexing, composite);
+            apply_composite_band_stream(&mut db, 0xBA5EBA11, 140);
+            let emp = snapshot(&mut db, "emp");
+            let audit = snapshot(&mut db, "audit");
+            for kind in 1..=3 {
+                assert!(
+                    audit.iter().any(|r| r[1] == Value::Int(kind)),
+                    "rule kind {kind} must fire under {policy:?}"
+                );
+            }
+            if indexing {
+                let s = db.network_stats();
+                assert_eq!(
+                    s.indexed_candidates + s.scanned_candidates,
+                    s.stored_join_candidates + s.virtual_join_candidates,
+                    "every join candidate comes from a probe or a scan"
+                );
+                if matches!(policy, VirtualPolicy::AllStored) {
+                    assert!(
+                        s.range_probes > 0 && s.range_hits > 0,
+                        "stored band memories must serve stabbing queries"
+                    );
+                    assert!(s.index_probes > 0, "equi joins must probe hash buckets");
+                }
+            }
+            match &reference {
+                None => reference = Some((emp, audit)),
+                Some((ref_emp, ref_audit)) => {
+                    assert_eq!(
+                        &emp, ref_emp,
+                        "emp diverged: {policy:?}/indexing={indexing}/composite={composite}"
+                    );
+                    assert_eq!(
+                        &audit, ref_audit,
+                        "audit diverged: {policy:?}/indexing={indexing}/composite={composite}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn long_stream_with_two_seeds() {
     for seed in [7u64, 99] {

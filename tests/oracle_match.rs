@@ -159,8 +159,8 @@ fn run_stream(config: Config, ops: &[Op]) -> Result<(), TestCaseError> {
     let cat = catalog();
     let conds = conditions(&cat);
     enum Net {
-        Treat(Network),
-        Rete(ReteNetwork),
+        Treat(Box<Network>),
+        Rete(Box<ReteNetwork>),
     }
     let mut net = match &config {
         Config::Treat(p) => {
@@ -169,7 +169,7 @@ fn run_stream(config: Config, ops: &[Op]) -> Result<(), TestCaseError> {
                 n.add_rule(RuleId(i as u64), c, p, &cat).unwrap();
                 n.prime(RuleId(i as u64), &cat).unwrap();
             }
-            Net::Treat(n)
+            Net::Treat(Box::new(n))
         }
         Config::Rete(p) => {
             let mut n = ReteNetwork::with_policy(p.clone());
@@ -177,7 +177,7 @@ fn run_stream(config: Config, ops: &[Op]) -> Result<(), TestCaseError> {
                 n.add_rule(RuleId(i as u64), c).unwrap();
                 n.prime(RuleId(i as u64), &cat).unwrap();
             }
-            Net::Rete(n)
+            Net::Rete(Box::new(n))
         }
     };
     let mut live: Vec<(String, Tid)> = Vec::new();

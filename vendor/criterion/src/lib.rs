@@ -167,14 +167,9 @@ fn fmt_time(secs: f64) -> String {
 }
 
 /// The benchmark harness entry point.
+#[derive(Default)]
 pub struct Criterion {
     _priv: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _priv: () }
-    }
 }
 
 impl Criterion {
