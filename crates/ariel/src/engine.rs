@@ -8,10 +8,13 @@ use crate::delta::DeltaTracker;
 use crate::error::{ArielError, ArielResult};
 use crate::obs::{self, EngineObs};
 use crate::rule::RuleState;
-use ariel_network::{MatchObs, Network, NetworkStats, RuleId, RuleStats, Token, VirtualPolicy};
+use ariel_network::{
+    MatchObs, Network, NetworkStats, ReteMode, ReteNetwork, RuleId, RuleStats, RuleTopology, Token,
+    VirtualPolicy,
+};
 use ariel_query::{
     execute as execute_query, modify_action, parse_command, parse_script, CmdOutput, Command,
-    Notification, Pnode, Resolver, RuleDef,
+    Notification, Pnode, QueryResult, Resolver, RuleDef,
 };
 use ariel_storage::{AttrDef, Catalog, Schema};
 use std::collections::{HashMap, HashSet};
@@ -44,6 +47,12 @@ pub struct EngineOptions {
     /// to PR 2's single-attribute indexes, kept as the fig13 comparison
     /// baseline.
     pub composite_join_keys: bool,
+    /// `Some(mode)` runs the engine on the Rete comparison network
+    /// (β-memories materialized) in the given join mode instead of
+    /// A-TREAT. The Rete backend compiles pattern-based conditions only —
+    /// activating an event or transition rule fails. `None` (the default)
+    /// is the paper's A-TREAT network.
+    pub rete_mode: Option<ReteMode>,
 }
 
 impl Default for EngineOptions {
@@ -56,6 +65,157 @@ impl Default for EngineOptions {
             observability: false,
             join_indexing: true,
             composite_join_keys: true,
+            rete_mode: None,
+        }
+    }
+}
+
+/// The discrimination network behind the engine: the paper's A-TREAT
+/// network, or the Rete comparison baseline when
+/// [`EngineOptions::rete_mode`] is set. Every method forwards to the
+/// active backend; the engine (and the observability surface) drives both
+/// uniformly.
+#[derive(Debug)]
+pub enum EngineNetwork {
+    /// The A-TREAT network (`ariel_network::Network`).
+    Treat(Network),
+    /// The Rete baseline (`ariel_network::ReteNetwork`).
+    Rete(ReteNetwork),
+}
+
+impl EngineNetwork {
+    fn add_rule(
+        &mut self,
+        id: RuleId,
+        cond: &ariel_query::ResolvedCondition,
+        policy: &VirtualPolicy,
+        catalog: &Catalog,
+    ) -> QueryResult<()> {
+        match self {
+            EngineNetwork::Treat(n) => n.add_rule(id, cond, policy, catalog),
+            // the Rete backend takes its policy at construction
+            EngineNetwork::Rete(n) => n.add_rule(id, cond),
+        }
+    }
+
+    fn prime(&mut self, id: RuleId, catalog: &Catalog) -> QueryResult<()> {
+        match self {
+            EngineNetwork::Treat(n) => n.prime(id, catalog),
+            EngineNetwork::Rete(n) => n.prime(id, catalog),
+        }
+    }
+
+    fn remove_rule(&mut self, id: RuleId) {
+        match self {
+            EngineNetwork::Treat(n) => n.remove_rule(id),
+            EngineNetwork::Rete(n) => n.remove_rule(id),
+        }
+    }
+
+    fn process_batch(&mut self, tokens: &[Token], catalog: &Catalog) -> QueryResult<()> {
+        match self {
+            EngineNetwork::Treat(n) => n.process_batch(tokens, catalog),
+            EngineNetwork::Rete(n) => n.process_batch(tokens, catalog),
+        }
+    }
+
+    fn flush_transition_state(&mut self) {
+        match self {
+            EngineNetwork::Treat(n) => n.flush_transition_state(),
+            EngineNetwork::Rete(n) => n.flush_transition_state(),
+        }
+    }
+
+    fn drain_pnode(&mut self, id: RuleId) -> Vec<Vec<ariel_query::BoundVar>> {
+        match self {
+            EngineNetwork::Treat(n) => n.drain_pnode(id),
+            EngineNetwork::Rete(n) => n.drain_pnode(id),
+        }
+    }
+
+    fn rules_with_matches(&self) -> Vec<RuleId> {
+        match self {
+            EngineNetwork::Treat(n) => n.rules_with_matches(),
+            EngineNetwork::Rete(n) => n.rules_with_matches(),
+        }
+    }
+
+    /// The P-node of an active rule.
+    pub fn pnode(&self, id: RuleId) -> Option<&Pnode> {
+        match self {
+            EngineNetwork::Treat(n) => n.pnode(id),
+            EngineNetwork::Rete(n) => n.pnode(id),
+        }
+    }
+
+    /// Aggregate network statistics.
+    pub fn stats(&self) -> NetworkStats {
+        match self {
+            EngineNetwork::Treat(n) => n.stats(),
+            EngineNetwork::Rete(n) => n.stats(),
+        }
+    }
+
+    /// Memory statistics of one active rule.
+    pub fn rule_stats(&self, id: RuleId) -> Option<RuleStats> {
+        match self {
+            EngineNetwork::Treat(n) => n.rule_stats(id),
+            EngineNetwork::Rete(n) => n.rule_stats(id),
+        }
+    }
+
+    fn set_observing(&mut self, on: bool) {
+        match self {
+            EngineNetwork::Treat(n) => n.set_observing(on),
+            EngineNetwork::Rete(n) => n.set_observing(on),
+        }
+    }
+
+    /// The active timing session, if any.
+    pub fn obs(&self) -> Option<&MatchObs> {
+        match self {
+            EngineNetwork::Treat(n) => n.obs(),
+            EngineNetwork::Rete(n) => n.obs(),
+        }
+    }
+
+    fn swap_obs(&mut self, obs: Option<MatchObs>) -> Option<MatchObs> {
+        match self {
+            EngineNetwork::Treat(n) => n.swap_obs(obs),
+            EngineNetwork::Rete(n) => n.swap_obs(obs),
+        }
+    }
+
+    fn rule_topology(&self, id: RuleId) -> Option<RuleTopology> {
+        match self {
+            EngineNetwork::Treat(n) => n.rule_topology(id),
+            EngineNetwork::Rete(n) => n.rule_topology(id),
+        }
+    }
+
+    /// Whether α-memory join indexing is on: the TREAT switch, or (Rete)
+    /// whether the backend runs in [`ReteMode::Indexed`].
+    pub fn join_indexing(&self) -> bool {
+        match self {
+            EngineNetwork::Treat(n) => n.join_indexing(),
+            EngineNetwork::Rete(n) => n.mode() == ReteMode::Indexed,
+        }
+    }
+
+    /// Whether composite join keys are compiled (same Rete mapping as
+    /// [`EngineNetwork::join_indexing`]).
+    pub fn composite_keys(&self) -> bool {
+        match self {
+            EngineNetwork::Treat(n) => n.composite_keys(),
+            EngineNetwork::Rete(n) => n.mode() == ReteMode::Indexed,
+        }
+    }
+
+    /// The Rete join mode, when the Rete backend is active.
+    pub fn rete_mode(&self) -> Option<ReteMode> {
+        match self {
+            EngineNetwork::Treat(_) => None,
+            EngineNetwork::Rete(n) => Some(n.mode()),
         }
     }
 }
@@ -90,7 +250,7 @@ pub struct EngineStats {
 pub struct Ariel {
     catalog: Catalog,
     rules: RuleCatalog,
-    network: Network,
+    network: EngineNetwork,
     planner: ActionPlanner,
     options: EngineOptions,
     /// Query-modified action per active rule.
@@ -123,10 +283,23 @@ impl Ariel {
 
     /// New engine with explicit options.
     pub fn with_options(options: EngineOptions) -> Self {
+        let network = match options.rete_mode {
+            None => {
+                let mut n = Network::new();
+                n.set_join_indexing(options.join_indexing);
+                n.set_composite_keys(options.composite_join_keys);
+                EngineNetwork::Treat(n)
+            }
+            Some(mode) => {
+                let mut n = ReteNetwork::with_policy(options.virtual_policy.clone());
+                n.set_mode(mode);
+                EngineNetwork::Rete(n)
+            }
+        };
         let mut engine = Ariel {
             catalog: Catalog::new(),
             rules: RuleCatalog::new(),
-            network: Network::new(),
+            network,
             planner: ActionPlanner::new(options.cache_action_plans),
             options,
             actions: HashMap::new(),
@@ -138,12 +311,6 @@ impl Ariel {
             notifications: std::collections::VecDeque::new(),
             obs: None,
         };
-        engine
-            .network
-            .set_join_indexing(engine.options.join_indexing);
-        engine
-            .network
-            .set_composite_keys(engine.options.composite_join_keys);
         if engine.options.observability {
             engine.set_observability(true);
         }
@@ -497,8 +664,9 @@ impl Ariel {
         &self.rules
     }
 
-    /// The discrimination network.
-    pub fn network(&self) -> &Network {
+    /// The discrimination network (A-TREAT, or Rete under
+    /// [`EngineOptions::rete_mode`]).
+    pub fn network(&self) -> &EngineNetwork {
         &self.network
     }
 
@@ -734,6 +902,56 @@ mod tests {
         });
         assert!(!db.network().composite_keys());
         assert!(Ariel::new().network().composite_keys());
+    }
+
+    #[test]
+    fn rete_mode_selects_backend() {
+        let db = Ariel::new();
+        assert!(db.network().rete_mode().is_none(), "A-TREAT by default");
+        for mode in [ReteMode::Indexed, ReteMode::Nested] {
+            let mut db = Ariel::with_options(EngineOptions {
+                rete_mode: Some(mode),
+                ..Default::default()
+            });
+            assert_eq!(db.network().rete_mode(), Some(mode));
+            assert_eq!(
+                db.network().join_indexing(),
+                mode == ReteMode::Indexed,
+                "indexing follows the Rete mode"
+            );
+            db.execute("create emp (sal = int, dno = int); create dept (dno = int, floor = int)")
+                .unwrap();
+            db.execute("create hit (sal = int)").unwrap();
+            db.execute(
+                "define rule r if emp.sal > 10 and emp.dno = dept.dno \
+                 then append to hit(sal = emp.sal)",
+            )
+            .unwrap();
+            db.execute("append dept (dno = 1, floor = 3)").unwrap();
+            db.execute("append emp (sal = 50, dno = 1)").unwrap();
+            assert_eq!(
+                db.query("retrieve (hit.sal)").unwrap().rows.len(),
+                1,
+                "rule fired through the Rete backend ({mode:?})"
+            );
+            let stats = db.network_stats();
+            assert!(stats.beta_bytes > 0, "Rete carries β state ({mode:?})");
+        }
+    }
+
+    #[test]
+    fn rete_backend_rejects_event_rules() {
+        let mut db = Ariel::with_options(EngineOptions {
+            rete_mode: Some(ReteMode::Indexed),
+            ..Default::default()
+        });
+        db.execute("create t (x = int)").unwrap();
+        assert!(
+            db.execute("define rule r on append t then delete t")
+                .is_err(),
+            "event rules need A-TREAT"
+        );
+        assert_eq!(db.network_stats().rules, 0, "activation rolled back");
     }
 
     #[test]

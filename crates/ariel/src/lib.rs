@@ -49,7 +49,7 @@ pub use action::{ActionOutcome, ActionPlanner};
 pub use agenda::ConflictStrategy;
 pub use catalog::RuleCatalog;
 pub use delta::DeltaTracker;
-pub use engine::{Ariel, EngineOptions, EngineStats};
+pub use engine::{Ariel, EngineNetwork, EngineOptions, EngineStats};
 pub use error::{ArielError, ArielResult};
 pub use obs::EngineObs;
 pub use query::{CmdOutput, Notification};

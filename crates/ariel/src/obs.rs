@@ -112,7 +112,8 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
          \"stored_join_candidates\":{},\"virtual_join_candidates\":{},\
          \"index_probes\":{},\"index_hits\":{},\
          \"indexed_candidates\":{},\"scanned_candidates\":{},\
-         \"range_probes\":{},\"range_hits\":{}}},",
+         \"range_probes\":{},\"range_hits\":{},\
+         \"beta_bytes\":{},\"beta_probes\":{},\"beta_hits\":{}}},",
         n.rules,
         n.alpha_nodes,
         n.virtual_alpha_nodes,
@@ -140,6 +141,9 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
         n.scanned_candidates,
         n.range_probes,
         n.range_hits,
+        n.beta_bytes,
+        n.beta_probes,
+        n.beta_hits,
     ));
     s.push_str("\"rules\":[");
     for (i, (name, r)) in input.rules.iter().enumerate() {
@@ -155,6 +159,7 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
              \"index_probes\":{},\"index_hits\":{},\
              \"indexed_candidates\":{},\"scanned_candidates\":{},\
              \"range_probes\":{},\"range_hits\":{},\
+             \"beta_bytes\":{},\"beta_probes\":{},\"beta_hits\":{},\
              \"virtual_hit_ratio\":{:.4}}}",
             name,
             r.alpha_entries,
@@ -177,6 +182,9 @@ pub(crate) fn render_metrics_json(input: &MetricsInput<'_>) -> String {
             r.scanned_candidates,
             r.range_probes,
             r.range_hits,
+            r.beta_bytes,
+            r.beta_probes,
+            r.beta_hits,
             r.virtual_hit_ratio(),
         ));
     }

@@ -14,7 +14,13 @@
 //! ```text
 //! cargo run --release -p ariel-bench --bin bench_gate            # default paths
 //! cargo run --release -p ariel-bench --bin bench_gate -- fresh.json baseline.json
+//! cargo run --release -p ariel-bench --bin bench_gate -- --bless # accept fresh as baseline
 //! ```
+//!
+//! `--bless` replaces the baseline file with the fresh results instead of
+//! gating, printing the old → new change per row first — the sanctioned
+//! way to accept a legitimate shift (new workload, deliberate join-order
+//! change). A missing or unreadable baseline blesses from scratch.
 //!
 //! The schema of both files is documented in `docs/OBSERVABILITY.md`.
 
@@ -245,8 +251,44 @@ fn check(fresh: &[Row], baseline: &[Row]) -> Vec<String> {
     violations
 }
 
+/// Render the old → new change per fresh row (plus baseline rows that
+/// disappear) for `--bless`.
+fn bless_diff(fresh: &[Row], baseline: &[Row]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for now in fresh {
+        let key = format!("{}/indexed={}", now.workload, now.indexed);
+        match baseline
+            .iter()
+            .find(|r| r.workload == now.workload && r.indexed == now.indexed)
+        {
+            Some(old) => lines.push(format!(
+                "  {key}: total_ms {:.3} -> {:.3}, join_candidates {} -> {}",
+                old.total_ms, now.total_ms, old.join_candidates, now.join_candidates
+            )),
+            None => lines.push(format!(
+                "  {key}: new row (total_ms {:.3}, join_candidates {})",
+                now.total_ms, now.join_candidates
+            )),
+        }
+    }
+    for old in baseline {
+        if !fresh
+            .iter()
+            .any(|r| r.workload == old.workload && r.indexed == old.indexed)
+        {
+            lines.push(format!(
+                "  {}/indexed={}: dropped from baseline",
+                old.workload, old.indexed
+            ));
+        }
+    }
+    lines
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    args.retain(|a| a != "--bless");
     let fresh_path = args.first().map_or("BENCH_join.json", String::as_str);
     let base_path = args.get(1).map_or("BENCH_baseline.json", String::as_str);
     let load = |path: &str| {
@@ -254,6 +296,31 @@ fn main() -> ExitCode {
             .map_err(|e| format!("cannot read {path}: {e}"))
             .and_then(|src| parse_rows(&src, path))
     };
+    if bless {
+        let fresh = match load(fresh_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // a missing baseline just means blessing from scratch
+        let baseline = load(base_path).unwrap_or_default();
+        println!("bench_gate: blessing {fresh_path} -> {base_path}");
+        for line in bless_diff(&fresh, &baseline) {
+            println!("{line}");
+        }
+        return match std::fs::copy(fresh_path, base_path) {
+            Ok(_) => {
+                println!("bench_gate: baseline updated ({} rows)", fresh.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_gate: cannot write {base_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let (fresh, baseline) = match (load(fresh_path), load(base_path)) {
         (Ok(f), Ok(b)) => (f, b),
         (f, b) => {
@@ -355,5 +422,20 @@ mod tests {
         let v = check(&fresh, &base);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("missing from fresh"), "{v:?}");
+    }
+
+    #[test]
+    fn bless_diff_covers_changed_new_and_dropped_rows() {
+        let base = vec![row("w", true, 10.0, 100), row("gone", false, 5.0, 50)];
+        let fresh = vec![row("w", true, 12.0, 90), row("new", true, 1.0, 10)];
+        let lines = bless_diff(&fresh, &base);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("total_ms 10.000 -> 12.000"), "{lines:?}");
+        assert!(lines[0].contains("join_candidates 100 -> 90"), "{lines:?}");
+        assert!(lines[1].contains("new row"), "{lines:?}");
+        assert!(lines[2].contains("dropped from baseline"), "{lines:?}");
+        // blessing from scratch: every row is new
+        let scratch = bless_diff(&fresh, &[]);
+        assert!(scratch.iter().all(|l| l.contains("new row")), "{scratch:?}");
     }
 }

@@ -106,17 +106,21 @@ fn run_isl() {
 }
 
 fn run_net() {
-    println!("== NET: A-TREAT vs TREAT vs Rete — 50 join rules, insert/delete stream ==");
     println!(
-        "{:>22} | {:>12} {:>14}",
-        "network", "total ms", "state bytes"
+        "== NET: TREAT vs A-TREAT vs Rete (indexed/nested) — \
+         50 three-variable rules, churn on all relations =="
+    );
+    println!(
+        "{:>22} | {:>12} {:>14} {:>14}",
+        "network", "total ms", "alpha bytes", "beta bytes"
     );
     for row in measure::net_table(50, 1000) {
         println!(
-            "{:>22} | {:>12} {:>14}",
+            "{:>22} | {:>12} {:>14} {:>14}",
             row.network,
             ms(row.total),
-            row.state_bytes
+            row.alpha_bytes,
+            row.beta_bytes
         );
     }
     println!();

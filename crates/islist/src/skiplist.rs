@@ -521,6 +521,13 @@ impl<T: Ord + Clone> IntervalSkipList<T> {
         self.stats.hits.set(self.stats.hits.get() + hits);
     }
 
+    /// Approximate heap footprint in bytes. Alias of
+    /// [`Self::approx_size_bytes`] under the name the network layer's
+    /// memory accounting expects.
+    pub fn bytes(&self) -> usize {
+        self.approx_size_bytes()
+    }
+
     /// Approximate heap footprint in bytes, for the benchmark harness.
     pub fn approx_size_bytes(&self) -> usize {
         let per_marker = std::mem::size_of::<IntervalId>();

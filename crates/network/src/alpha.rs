@@ -213,6 +213,12 @@ impl AlphaCounters {
 struct JoinIndex {
     attrs: Vec<usize>,
     buckets: HashMap<Vec<Value>, Vec<u64>>,
+    /// Entries currently indexed — `entries.len()` minus the entries whose
+    /// key has a Null component. Bucket-size estimates divide by this, not
+    /// by the raw entry count: a null-heavy memory would otherwise look
+    /// like it had huge buckets (the never-indexed entries are unreachable
+    /// through the index, so they cost a probe nothing).
+    indexed: usize,
 }
 
 /// Shape of a band-join access path over a stored memory: each entry spans
@@ -236,7 +242,7 @@ impl BandShape {
     /// The interval an entry's tuple spans under this shape; `None` when a
     /// bound is Null (comparison with Null is false → the entry can never
     /// satisfy the conjunct pair) or the interval is empty.
-    fn interval_of(&self, tuple: &Tuple) -> Option<Interval<Value>> {
+    pub(crate) fn interval_of(&self, tuple: &Tuple) -> Option<Interval<Value>> {
         let lo = tuple.get(self.lo_attr);
         let hi = tuple.get(self.hi_attr);
         if lo.is_null() || hi.is_null() {
@@ -341,6 +347,7 @@ impl AlphaNode {
             .map(|attrs| JoinIndex {
                 attrs,
                 buckets: HashMap::new(),
+                indexed: 0,
             })
             .collect();
     }
@@ -422,9 +429,13 @@ impl AlphaNode {
         Some(out)
     }
 
-    /// Expected bucket size of the join index on `attrs` (entries ÷
-    /// distinct keys, rounded up), the join-order heuristic's size estimate
-    /// for an indexed memory. `None` without an index on `attrs`.
+    /// Expected bucket size of the join index on `attrs` (*indexed*
+    /// entries ÷ distinct keys, rounded up), the join-order heuristic's
+    /// size estimate for an indexed memory. Entries with a Null key
+    /// component are never indexed and don't count — dividing the raw
+    /// entry count would overstate bucket size on null-heavy data and
+    /// could flip a `SelectivityThreshold` stored-vs-virtual decision.
+    /// `None` without an index on `attrs`.
     pub fn expected_bucket_size(&self, attrs: &[usize]) -> Option<usize> {
         let ji = self.join_indexes.iter().find(|ji| ji.attrs == attrs)?;
         let distinct = ji.buckets.len();
@@ -432,12 +443,13 @@ impl AlphaNode {
             // empty memory (or only Null keys): a probe serves nothing
             return Some(0);
         }
-        Some(self.entries.len().div_ceil(distinct))
+        Some(ji.indexed.div_ceil(distinct))
     }
 
     /// Smallest expected bucket size across every registered join index —
-    /// the best-case per-probe fan-out this memory can offer. `None` when
-    /// no join index is registered.
+    /// the best-case per-probe fan-out this memory can offer. Counts
+    /// indexed entries only (see [`Self::expected_bucket_size`]). `None`
+    /// when no join index is registered.
     pub fn min_expected_bucket_size(&self) -> Option<usize> {
         self.join_indexes
             .iter()
@@ -445,7 +457,7 @@ impl AlphaNode {
                 if ji.buckets.is_empty() {
                     0
                 } else {
-                    self.entries.len().div_ceil(ji.buckets.len())
+                    ji.indexed.div_ceil(ji.buckets.len())
                 }
             })
             .min()
@@ -462,6 +474,7 @@ impl AlphaNode {
                 composite.push(v.clone());
             }
             ji.buckets.entry(composite).or_default().push(key);
+            ji.indexed += 1;
         }
         for ri in &mut self.range_indexes {
             if let Some(iv) = ri.shape.interval_of(&entry.tuple) {
@@ -487,6 +500,7 @@ impl AlphaNode {
                 if bucket.is_empty() {
                     ji.buckets.remove(&composite);
                 }
+                ji.indexed = ji.indexed.saturating_sub(1);
             }
         }
         for ri in &mut self.range_indexes {
@@ -580,6 +594,7 @@ impl AlphaNode {
         self.entries.clear();
         for ji in &mut self.join_indexes {
             ji.buckets.clear();
+            ji.indexed = 0;
         }
         for ri in &mut self.range_indexes {
             ri.islist = IntervalSkipList::new();
@@ -588,10 +603,42 @@ impl AlphaNode {
         }
     }
 
-    /// Approximate heap footprint of the stored entries, in bytes. This is
-    /// the quantity virtual α-memories reduce to (near) zero.
+    /// Approximate heap footprint of the join/range index structures, in
+    /// bytes: hash buckets (key values + entry-key lists) plus the interval
+    /// skip lists and their entry↔interval maps.
+    pub fn index_bytes(&self) -> usize {
+        let hash: usize = self
+            .join_indexes
+            .iter()
+            .flat_map(|ji| ji.buckets.iter())
+            .map(|(k, v)| {
+                std::mem::size_of::<Vec<Value>>()
+                    + k.iter().map(Value::heap_size).sum::<usize>()
+                    + std::mem::size_of::<Vec<u64>>()
+                    + v.len() * std::mem::size_of::<u64>()
+            })
+            .sum();
+        let range: usize = self
+            .range_indexes
+            .iter()
+            .map(|ri| {
+                ri.islist.bytes()
+                    + (ri.by_entry.len() + ri.by_interval.len()) * 2 * std::mem::size_of::<u64>()
+            })
+            .sum();
+        hash + range
+    }
+
+    /// Approximate heap footprint of the stored entries plus the index
+    /// structures over them, in bytes. This is the quantity virtual
+    /// α-memories reduce to (near) zero — a virtual node stores neither
+    /// entries nor indexes.
     pub fn heap_size(&self) -> usize {
-        self.entries.values().map(AlphaEntry::heap_size).sum()
+        self.entries
+            .values()
+            .map(AlphaEntry::heap_size)
+            .sum::<usize>()
+            + self.index_bytes()
     }
 }
 
@@ -838,6 +885,42 @@ mod tests {
         assert_eq!(n.expected_bucket_size(&[0]), Some(0), "only Null keys");
         n.remove(Tid(1)); // must not panic on the unindexed entry
         assert!(n.is_empty());
+    }
+
+    #[test]
+    fn bucket_size_estimate_counts_indexed_entries_only() {
+        // 90% of the memory has a Null join key and never reaches the
+        // index; the estimate must divide the one indexed entry by the one
+        // bucket, not the ten entries by it.
+        let mut n = node(AlphaKind::Stored, None);
+        n.set_join_indexes(vec![vec![0]]);
+        for i in 0..9 {
+            n.insert(Tid(i), entry_of(Tuple::new(vec![Value::Null]), i));
+        }
+        n.insert(Tid(9), entry_of(tup(15), 9));
+        assert_eq!(n.len(), 10);
+        assert_eq!(n.expected_bucket_size(&[0]), Some(1));
+        assert_eq!(n.min_expected_bucket_size(), Some(1));
+        // churn keeps the count consistent: drop the indexed entry and the
+        // index is empty again even though nine entries remain
+        n.remove(Tid(9));
+        assert_eq!(n.expected_bucket_size(&[0]), Some(0));
+        // replacing a null-keyed entry with a keyed one indexes it
+        n.insert(Tid(0), entry_of(tup(3), 0));
+        assert_eq!(n.expected_bucket_size(&[0]), Some(1));
+    }
+
+    #[test]
+    fn heap_size_includes_index_bytes() {
+        let mut n = node(AlphaKind::Stored, None);
+        n.insert(Tid(1), entry_of(pair(1, 7), 1));
+        let plain = n.heap_size();
+        let mut indexed = node(AlphaKind::Stored, None);
+        indexed.set_join_indexes(vec![vec![0]]);
+        indexed.set_range_indexes(vec![band_shape()]);
+        indexed.insert(Tid(1), entry_of(pair(1, 7), 1));
+        assert!(indexed.index_bytes() > 0);
+        assert!(indexed.heap_size() > plain);
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //!
 //! Discrimination networks for rule-condition testing in the Ariel
 //! reproduction: the paper's **A-TREAT** network (selection-predicate
-//! index + TREAT join layer + virtual α-memories), plus a classic
-//! **Rete** network as the comparison baseline. Classic TREAT is A-TREAT
-//! under [`VirtualPolicy::AllStored`].
+//! index + TREAT join layer + virtual α-memories), plus a **Rete**
+//! network as the comparison baseline. Classic TREAT is A-TREAT under
+//! [`VirtualPolicy::AllStored`]; the Rete network runs either nested-loop
+//! (classic) or with the same compile-time join planning as TREAT
+//! ([`ReteMode`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod alpha;
 pub mod obs;
+mod plan;
 pub mod pred;
 pub mod rete;
 pub mod selnet;
@@ -20,7 +23,7 @@ pub mod treat;
 pub use alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
 pub use obs::{MatchObs, NodeObs, RuleObs};
 pub use pred::SelectionPredicate;
-pub use rete::ReteNetwork;
+pub use rete::{ReteMode, ReteNetwork};
 pub use selnet::SelectionNetwork;
 pub use token::{EventSpecifier, Token, TokenKind};
-pub use treat::{Network, NetworkStats, RuleStats, VirtualPolicy};
+pub use treat::{Network, NetworkStats, RuleStats, RuleTopology, VirtualPolicy};

@@ -53,6 +53,11 @@ pub struct NodeObs {
     pub range_probes: u64,
     /// Stabs that found at least one spanning entry.
     pub range_hits: u64,
+    /// β-memory index probes this node's right activations issued (indexed
+    /// Rete only — the TREAT network keeps no β-memories).
+    pub beta_probes: u64,
+    /// β-probes that found at least one partial match.
+    pub beta_hits: u64,
     /// Wall-clock ns per α-test.
     pub alpha_test: Histogram,
     /// Wall-clock ns per virtual materialization.
@@ -82,6 +87,8 @@ impl NodeObs {
         self.scanned_candidates += other.scanned_candidates;
         self.range_probes += other.range_probes;
         self.range_hits += other.range_hits;
+        self.beta_probes += other.beta_probes;
+        self.beta_hits += other.beta_hits;
         self.alpha_test.merge(&other.alpha_test);
         self.virtual_scan.merge(&other.virtual_scan);
     }
@@ -237,7 +244,7 @@ impl MatchObs {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"rule\":{rule},\"var\":{var},\"tokens_in\":{},\"tokens_out\":{},\"entries_inserted\":{},\"virtual_scans\":{},\"scanned_tuples\":{},\"join_candidates\":{},\"index_probes\":{},\"index_hits\":{},\"indexed_candidates\":{},\"scanned_candidates\":{},\"range_probes\":{},\"range_hits\":{},\"alpha_test\":{},\"virtual_scan\":{}}}",
+                "{{\"rule\":{rule},\"var\":{var},\"tokens_in\":{},\"tokens_out\":{},\"entries_inserted\":{},\"virtual_scans\":{},\"scanned_tuples\":{},\"join_candidates\":{},\"index_probes\":{},\"index_hits\":{},\"indexed_candidates\":{},\"scanned_candidates\":{},\"range_probes\":{},\"range_hits\":{},\"beta_probes\":{},\"beta_hits\":{},\"alpha_test\":{},\"virtual_scan\":{}}}",
                 n.tokens_in,
                 n.tokens_out,
                 n.entries_inserted,
@@ -250,6 +257,8 @@ impl MatchObs {
                 n.scanned_candidates,
                 n.range_probes,
                 n.range_hits,
+                n.beta_probes,
+                n.beta_hits,
                 n.alpha_test.to_json(),
                 n.virtual_scan.to_json(),
             ));

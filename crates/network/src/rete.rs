@@ -1,4 +1,4 @@
-//! Classic Rete network (Forgy 1982) — the comparison baseline.
+//! Rete network (Forgy 1982) — the comparison baseline, in two flavours.
 //!
 //! Rete differs from TREAT by materializing **β-memories**: one per join
 //! level, holding the partial matches of the first `i` tuple variables.
@@ -6,6 +6,24 @@
 //! deletions walk the β-memories removing partials by TID. The price is the
 //! β-memory state itself — the storage the paper's virtual-memory argument
 //! (§4.2, §8: "virtual α- *and β-* memory nodes") is about.
+//!
+//! The network runs in one of two [`ReteMode`]s:
+//!
+//! * [`ReteMode::Nested`] — the classic formulation: right activations
+//!   enumerate the left β-memory in full, and the cascade down the β chain
+//!   enumerates the next α-memory in full. This is the paper's plain
+//!   nested-loop join cost model.
+//! * [`ReteMode::Indexed`] (default) — the same compile-time join planning
+//!   the TREAT network uses (the `plan` module): stored α-memories register
+//!   TREAT's composite hash and band interval indexes, and each β-memory
+//!   additionally keeps a composite hash index (or a band interval index)
+//!   over its partials, keyed on the join attributes of the *next* level —
+//!   so a right activation probes one bucket instead of enumerating every
+//!   partial, and the cascade probes the next α-memory instead of
+//!   enumerating it.
+//!
+//! Both modes produce identical P-nodes; only the work per token differs.
+//! The `paper_tables -- net` bench compares them against TREAT head-on.
 //!
 //! This implementation covers pattern-based conditions (what the paper's
 //! Figs. 9–11 exercise); event and transition conditions are A-TREAT
@@ -18,44 +36,236 @@
 //! (with the same pending/ProcessedMemories visibility discipline as
 //! [`crate::treat`]).
 
-use crate::alpha::{AlphaEntry, AlphaId, AlphaKind, AlphaNode, RuleId};
+use crate::alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, BandShape, RuleId};
+use crate::obs::MatchObs;
+use crate::plan::{BandSpec, CompositeSpec, JoinPlan};
 use crate::pred::SelectionPredicate;
 use crate::selnet::SelectionNetwork;
 use crate::token::Token;
-use crate::treat::VirtualPolicy;
+use crate::treat::{NetworkStats, RuleStats, RuleTopology, VirtualPolicy};
+use ariel_islist::{IntervalId, IntervalSkipList};
 use ariel_query::{
-    eval_pred, BoundVar, Pnode, PnodeCol, QueryError, QueryResult, RExpr, ResolvedCondition, Row,
+    eval, eval_pred, BoundVar, Pnode, PnodeCol, QueryError, QueryResult, RExpr, ResolvedCondition,
+    Row,
 };
-use ariel_storage::{Catalog, Tid};
+use ariel_storage::{Catalog, Tid, Value};
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+/// How the Rete network runs its β-joins. Selected per network via
+/// [`ReteNetwork::set_mode`] and snapshotted into each rule at compile
+/// time, so the two modes can be compared on identical token streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReteMode {
+    /// Classic nested-loop Rete: right activations enumerate the left
+    /// β-memory, cascades enumerate the next α-memory.
+    Nested,
+    /// Join-planned Rete: β-memories keep hash/interval indexes keyed for
+    /// the next level, stored α-memories keep TREAT's join indexes, and
+    /// activations probe instead of enumerate.
+    Indexed,
+}
 
 /// A partial match over the first `level + 1` variables.
 type Partial = Vec<BoundVar>;
 
+/// Composite hash index over a β-memory's partials, keyed so the *next*
+/// level's right activations can probe it: the bucket key is the
+/// partial-side value tuple of an equi-conjunct group, the probe key is
+/// read straight off the activating token's attributes.
+#[derive(Debug)]
+struct BetaEquiIndex {
+    /// Token-side attribute positions on the next variable, ascending
+    /// (the [`CompositeSpec::attrs`] of the spec this index serves).
+    probe_attrs: Vec<usize>,
+    /// Partial-side key expression per attribute, parallel to
+    /// `probe_attrs` — reads variables `0..=level` only.
+    key_exprs: Vec<RExpr>,
+    /// Conjunct indices (into the rule's flat join-conjunct list) the
+    /// probe answers; skipped on the retest path.
+    conjuncts: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<u64>>,
+}
+
+/// Band interval index over a β-memory's partials: each partial spans the
+/// interval its `spec_var` tuple defines under `shape`, and the next
+/// level's right activation stabs with the token-side key expression.
+#[derive(Debug)]
+struct BetaBandIndex {
+    /// Partial-side variable whose tuple supplies the interval endpoints.
+    spec_var: usize,
+    shape: BandShape,
+    /// Token-side stab key — reads the next variable only.
+    key_expr: RExpr,
+    /// The `(lower, upper)` conjunct indices the stab answers.
+    conjuncts: [usize; 2],
+    islist: IntervalSkipList<Value>,
+    by_seq: HashMap<u64, IntervalId>,
+    by_interval: HashMap<IntervalId, u64>,
+}
+
+/// One β-memory level: the partial matches over variables `0..=level`,
+/// plus (indexed mode) at most one index keyed for the next level's right
+/// activations. Partials carry a stable sequence number so index buckets
+/// can reference them across removals.
 #[derive(Debug, Default)]
 struct BetaMemory {
-    partials: Vec<Partial>,
+    partials: BTreeMap<u64, Partial>,
+    next_seq: u64,
+    equi: Option<BetaEquiIndex>,
+    band: Option<BetaBandIndex>,
+    /// Partials whose equi key evaluation *errored* (not merely produced
+    /// Null): unreachable through the buckets, so every probe also
+    /// enumerates them with the full conjunct test — per-pair evaluation
+    /// errors then surface exactly as nested mode would surface them.
+    unindexed: Vec<u64>,
+    /// Right-activation probes answered by this memory's index (`Cell`
+    /// because probing holds `&self`).
+    probes: Cell<u64>,
+    /// Probes that served at least one partial.
+    hits: Cell<u64>,
+}
+
+/// A partial as a row: variables `0..p.len()` bound, the rest free.
+fn row_of(p: &[BoundVar], nvars: usize) -> Row {
+    let mut row = Row::unbound(nvars);
+    for (i, b) in p.iter().enumerate() {
+        row.slots[i] = Some(b.clone());
+    }
+    row
 }
 
 impl BetaMemory {
-    fn heap_size(&self) -> usize {
-        self.partials
+    /// Evaluate a partial's composite bucket key. `Ok(None)` when a
+    /// component is Null — `sql_eq` says Null joins nothing, so the
+    /// partial can never satisfy the indexed conjuncts and is correctly
+    /// unreachable through the index.
+    fn equi_key(
+        p: &[BoundVar],
+        key_exprs: &[RExpr],
+        nvars: usize,
+    ) -> QueryResult<Option<Vec<Value>>> {
+        let row = row_of(p, nvars);
+        let mut key = Vec::with_capacity(key_exprs.len());
+        for e in key_exprs {
+            let v = eval(e, &row)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            key.push(v);
+        }
+        Ok(Some(key))
+    }
+
+    /// Insert a partial, maintaining whichever index is configured.
+    fn insert(&mut self, p: Partial, nvars: usize) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(ix) = &mut self.equi {
+            match Self::equi_key(&p, &ix.key_exprs, nvars) {
+                Ok(Some(key)) => ix.buckets.entry(key).or_default().push(seq),
+                Ok(None) => {} // Null key: statically unjoinable, skip
+                Err(_) => self.unindexed.push(seq),
+            }
+        } else if let Some(bx) = &mut self.band {
+            // a Null/empty span can never satisfy the conjunct pair, so a
+            // partial without an interval is correctly unreachable
+            if let Some(iv) = bx.shape.interval_of(&p[bx.spec_var].tuple) {
+                let id = bx.islist.insert(iv);
+                bx.by_seq.insert(seq, id);
+                bx.by_interval.insert(id, seq);
+            }
+        }
+        self.partials.insert(seq, p);
+    }
+
+    /// Remove one partial by sequence number, unhooking it from the index.
+    /// The bucket key is recomputed from the partial — evaluation is
+    /// deterministic, so it lands where `insert` put it.
+    fn remove_seq(&mut self, seq: u64, nvars: usize) {
+        let Some(p) = self.partials.remove(&seq) else {
+            return;
+        };
+        if let Some(ix) = &mut self.equi {
+            match Self::equi_key(&p, &ix.key_exprs, nvars) {
+                Ok(Some(key)) => {
+                    if let Some(bucket) = ix.buckets.get_mut(&key) {
+                        bucket.retain(|&s| s != seq);
+                        if bucket.is_empty() {
+                            ix.buckets.remove(&key);
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => self.unindexed.retain(|&s| s != seq),
+            }
+        } else if let Some(bx) = &mut self.band {
+            if let Some(id) = bx.by_seq.remove(&seq) {
+                bx.islist.remove(id);
+                bx.by_interval.remove(&id);
+            }
+        }
+    }
+
+    /// Remove every partial binding `tid` at variable `var`.
+    fn remove_where(&mut self, var: usize, tid: Tid, nvars: usize) {
+        let seqs: Vec<u64> = self
+            .partials
             .iter()
-            .map(|p| p.iter().map(BoundVar::heap_size).sum::<usize>())
-            .sum()
+            .filter(|(_, p)| p.get(var).map(|b| b.tid) == Some(Some(tid)))
+            .map(|(&s, _)| s)
+            .collect();
+        for s in seqs {
+            self.remove_seq(s, nvars);
+        }
+    }
+
+    /// Approximate heap footprint: partials plus index structures.
+    fn heap_size(&self) -> usize {
+        let mut total: usize = self
+            .partials
+            .values()
+            .map(|p| p.iter().map(BoundVar::heap_size).sum::<usize>() + std::mem::size_of::<u64>())
+            .sum();
+        if let Some(ix) = &self.equi {
+            for (k, v) in &ix.buckets {
+                total += std::mem::size_of::<Vec<Value>>()
+                    + k.iter().map(Value::heap_size).sum::<usize>()
+                    + std::mem::size_of::<Vec<u64>>()
+                    + v.len() * std::mem::size_of::<u64>();
+            }
+        }
+        if let Some(bx) = &self.band {
+            total += bx.islist.bytes()
+                + (bx.by_seq.len() + bx.by_interval.len()) * 2 * std::mem::size_of::<u64>();
+        }
+        total
     }
 }
 
 #[derive(Debug)]
 struct ReteRule {
     alphas: Vec<AlphaId>,
-    /// `join_conjuncts[i]`: conjuncts evaluable once vars `0..=i` are bound
-    /// and involving var `i`.
-    join_conjuncts: Vec<Vec<RExpr>>,
+    /// Multi-variable conjuncts, flat — [`JoinPlan`] and
+    /// [`Self::level_conjuncts`] index into this list.
+    join_conjuncts: Vec<RExpr>,
+    /// `level_conjuncts[i]`: indices of the conjuncts whose highest
+    /// variable is `i`, testable once vars `0..=i` are bound.
+    level_conjuncts: Vec<Vec<usize>>,
+    plan: JoinPlan,
+    /// Network mode at compile time ([`ReteMode::Indexed`] = true).
+    indexed: bool,
     /// `betas[i]`: partial matches over vars `0..=i`; the last level feeds
     /// the P-node.
     betas: Vec<BetaMemory>,
     pnode: Pnode,
+    /// Always-on counter: tokens that passed one of this rule's α-tests.
+    tokens_in: u64,
+    /// Always-on counter: right activations at levels above 0.
+    join_probes: u64,
+    /// Always-on counter: instantiations pushed into the P-node.
+    pnode_inserts: u64,
 }
 
 /// A Rete network over pattern-based rule conditions.
@@ -63,8 +273,12 @@ struct ReteRule {
 pub struct ReteNetwork {
     selnet: SelectionNetwork,
     alphas: Vec<Option<AlphaNode>>,
+    free: Vec<usize>,
     rules: BTreeMap<u64, ReteRule>,
     policy: VirtualPolicy,
+    mode: ReteMode,
+    tokens_processed: u64,
+    obs: Option<MatchObs>,
 }
 
 impl Default for ReteNetwork {
@@ -74,7 +288,7 @@ impl Default for ReteNetwork {
 }
 
 impl ReteNetwork {
-    /// New empty network with every α-memory stored (classic Rete).
+    /// New empty network with every α-memory stored and β-joins indexed.
     pub fn new() -> Self {
         Self::with_policy(VirtualPolicy::AllStored)
     }
@@ -85,9 +299,46 @@ impl ReteNetwork {
         ReteNetwork {
             selnet: SelectionNetwork::new(),
             alphas: Vec::new(),
+            free: Vec::new(),
             rules: BTreeMap::new(),
             policy,
+            mode: ReteMode::Indexed,
+            tokens_processed: 0,
+            obs: None,
         }
+    }
+
+    /// Select the join mode. Affects rules compiled *after* the call (the
+    /// mode is snapshotted per rule, like the TREAT network's indexing
+    /// switches).
+    pub fn set_mode(&mut self, mode: ReteMode) {
+        self.mode = mode;
+    }
+
+    /// The current join mode.
+    pub fn mode(&self) -> ReteMode {
+        self.mode
+    }
+
+    /// Enable or disable the gated timing tier (same contract as
+    /// [`crate::Network::set_observing`]).
+    pub fn set_observing(&mut self, on: bool) {
+        self.obs = if on { Some(MatchObs::new()) } else { None };
+    }
+
+    /// Whether a timing session is active.
+    pub fn observing(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The active timing session, if any.
+    pub fn obs(&self) -> Option<&MatchObs> {
+        self.obs.as_ref()
+    }
+
+    /// Replace the timing session, returning the previous one.
+    pub fn swap_obs(&mut self, obs: Option<MatchObs>) -> Option<MatchObs> {
+        std::mem::replace(&mut self.obs, obs)
     }
 
     fn alpha(&self, id: AlphaId) -> &AlphaNode {
@@ -103,6 +354,19 @@ impl ReteNetwork {
             // a baseline, so the simple policies suffice — threshold falls
             // back to stored
             VirtualPolicy::SelectivityThreshold(_) => false,
+        }
+    }
+
+    fn alloc_alpha(&mut self, node: AlphaNode) -> AlphaId {
+        match self.free.pop() {
+            Some(i) => {
+                self.alphas[i] = Some(node);
+                AlphaId(i)
+            }
+            None => {
+                self.alphas.push(Some(node));
+                AlphaId(self.alphas.len() - 1)
+            }
         }
     }
 
@@ -126,17 +390,21 @@ impl ReteNetwork {
             .map(|q| q.conjuncts())
             .unwrap_or_default();
         let mut selections: Vec<Vec<RExpr>> = vec![Vec::new(); nvars];
-        let mut joins: Vec<Vec<RExpr>> = vec![Vec::new(); nvars];
+        let mut join_conjuncts: Vec<RExpr> = Vec::new();
+        let mut level_conjuncts: Vec<Vec<usize>> = vec![Vec::new(); nvars];
         for c in conjuncts {
             let used = c.vars_used();
             if used.len() == 1 {
                 selections[used[0]].push(c.remap_vars(&|_| 0));
             } else {
-                // attach at the highest variable index it references
+                // testable once the highest variable it references is bound
                 let lvl = *used.iter().max().unwrap();
-                joins[lvl].push(c);
+                level_conjuncts[lvl].push(join_conjuncts.len());
+                join_conjuncts.push(c);
             }
         }
+        let plan = JoinPlan::compile(&join_conjuncts, nvars, true);
+        let indexed = self.mode == ReteMode::Indexed;
         let mut alphas = Vec::with_capacity(nvars);
         let mut cols = Vec::with_capacity(nvars);
         for (v, binding) in cond.spec.vars.iter().enumerate() {
@@ -146,14 +414,17 @@ impl ReteNetwork {
             } else {
                 AlphaKind::Stored
             };
-            let node = AlphaNode::new(id, v, binding.rel.clone(), kind, pred, None);
+            let mut node = AlphaNode::new(id, v, binding.rel.clone(), kind, pred, None);
+            if indexed && kind.stores_entries() {
+                node.set_join_indexes(plan.composite[v].iter().map(|s| s.attrs.clone()).collect());
+                node.set_range_indexes(plan.bands[v].iter().map(|s| s.shape.clone()).collect());
+            }
             let anchor = if node.pred.unsatisfiable {
                 None
             } else {
                 node.pred.anchor.clone()
             };
-            self.alphas.push(Some(node));
-            let aid = AlphaId(self.alphas.len() - 1);
+            let aid = self.alloc_alpha(node);
             self.selnet.subscribe(aid, &binding.rel, anchor);
             alphas.push(aid);
             cols.push(PnodeCol {
@@ -163,25 +434,76 @@ impl ReteNetwork {
                 has_prev: false,
             });
         }
+        let mut betas: Vec<BetaMemory> = (0..nvars).map(|_| BetaMemory::default()).collect();
+        if indexed && nvars > 1 {
+            for (lvl, beta) in betas.iter_mut().enumerate().take(nvars - 1) {
+                Self::configure_beta_index(beta, &plan, lvl);
+            }
+        }
         self.rules.insert(
             id.0,
             ReteRule {
                 alphas,
-                join_conjuncts: joins,
-                betas: (0..nvars).map(|_| BetaMemory::default()).collect(),
+                join_conjuncts,
+                level_conjuncts,
+                plan,
+                indexed,
+                betas,
                 pnode: Pnode::new(cols),
+                tokens_in: 0,
+                join_probes: 0,
+                pnode_inserts: 0,
             },
         );
         Ok(())
     }
 
+    /// Pick the index the β-memory at `lvl` should keep for level
+    /// `lvl + 1`'s right activations. Preference order mirrors the TREAT
+    /// access-path choice: the widest composite equi key whose
+    /// partial-side variables are all ≤ `lvl`, else a band whose interval
+    /// endpoints live on a partial variable and whose stab key reads the
+    /// next variable only.
+    fn configure_beta_index(beta: &mut BetaMemory, plan: &JoinPlan, lvl: usize) {
+        let next = lvl + 1;
+        let prefix: u64 = (1u64 << next) - 1;
+        if let Some(spec) = plan.composite[next]
+            .iter()
+            .find(|s| s.others_mask & !prefix == 0)
+        {
+            beta.equi = Some(BetaEquiIndex {
+                probe_attrs: spec.attrs.clone(),
+                key_exprs: spec.key_exprs.clone(),
+                conjuncts: spec.conjuncts.clone(),
+                buckets: HashMap::new(),
+            });
+            return;
+        }
+        let next_bit = 1u64 << next;
+        for v in 0..=lvl {
+            if let Some(spec) = plan.bands[v].iter().find(|s| s.others_mask == next_bit) {
+                beta.band = Some(BetaBandIndex {
+                    spec_var: v,
+                    shape: spec.shape.clone(),
+                    key_expr: spec.key_expr.clone(),
+                    conjuncts: spec.conjuncts,
+                    islist: IntervalSkipList::new(),
+                    by_seq: HashMap::new(),
+                    by_interval: HashMap::new(),
+                });
+                return;
+            }
+        }
+    }
+
     /// Candidate bindings of an α-node: stored entries, or a base-relation
     /// scan under the node's predicate for virtual nodes (§4.2 applied to
-    /// Rete). `visible` implements the pending/ProcessedMemories rules.
+    /// Rete). `visible` implements the pending/ProcessedMemories rules for
+    /// virtual nodes; stored entries need no filter — the batch loop only
+    /// inserts a token into an α-memory when its turn comes.
     ///
-    /// Deliberately nested-loop: the Rete network is the paper's comparison
-    /// baseline, so it never probes the hash join indexes the TREAT network
-    /// maintains (`crate::treat`) — candidates are always fully enumerated.
+    /// This is the *enumeration* path: nested mode always takes it, and
+    /// indexed mode falls back to it when no registered index applies.
     fn candidates(
         &self,
         aid: AlphaId,
@@ -219,7 +541,7 @@ impl ReteNetwork {
             .ok_or_else(|| QueryError::Semantic(format!("unknown rule {id}")))?;
         let alpha_ids = rule.alphas.clone();
         for aid in &alpha_ids {
-            if self.alpha(*aid).kind == AlphaKind::Virtual {
+            if !self.alpha(*aid).kind.stores_entries() {
                 continue;
             }
             let rel = self.alpha(*aid).rel.clone();
@@ -247,7 +569,9 @@ impl ReteNetwork {
                 a.insert(tid, e);
             }
         }
-        // β levels bottom-up
+        // β levels bottom-up: enumeration is the right tool here (every
+        // pair is new), but the partials land through `BetaMemory::insert`
+        // so the β indexes are populated for the token path
         let nvars = alpha_ids.len();
         let mut levels: Vec<Vec<Partial>> = Vec::with_capacity(nvars);
         for lvl in 0..nvars {
@@ -261,7 +585,7 @@ impl ReteNetwork {
             } else {
                 for left in &levels[lvl - 1] {
                     for cand in &cands {
-                        if self.join_passes(rule, lvl, left, cand)? {
+                        if self.join_passes(rule, lvl, left, cand, &[])? {
                             let mut p = left.clone();
                             p.push(cand.clone());
                             out.push(p);
@@ -273,35 +597,150 @@ impl ReteNetwork {
         }
         let rule = self.rules.get_mut(&id.0).unwrap();
         for (lvl, partials) in levels.into_iter().enumerate() {
-            if lvl == nvars - 1 {
-                for p in &partials {
+            for p in partials {
+                if lvl == nvars - 1 {
                     rule.pnode.push(p.clone());
                 }
+                rule.betas[lvl].insert(p, nvars);
             }
-            rule.betas[lvl].partials = partials;
         }
         Ok(())
     }
 
+    /// Test the join conjuncts at level `lvl` for `(left, cand)`, skipping
+    /// the conjunct indices an index probe already answered.
     fn join_passes(
         &self,
         rule: &ReteRule,
         lvl: usize,
         left: &[BoundVar],
         cand: &BoundVar,
+        skip: &[usize],
     ) -> QueryResult<bool> {
         let nvars = rule.alphas.len();
-        let mut row = Row::unbound(nvars);
-        for (i, b) in left.iter().enumerate() {
-            row.slots[i] = Some(b.clone());
-        }
+        let mut row = row_of(left, nvars);
         row.slots[lvl] = Some(cand.clone());
-        for c in &rule.join_conjuncts[lvl] {
-            if !eval_pred(c, &row)? {
+        for &ci in &rule.level_conjuncts[lvl] {
+            if skip.contains(&ci) {
+                continue;
+            }
+            if !eval_pred(&rule.join_conjuncts[ci], &row)? {
                 return Ok(false);
             }
         }
         Ok(true)
+    }
+
+    /// Right activation at level `var > 0`: join the seed against the left
+    /// β-memory. Indexed mode probes the memory's equi or band index;
+    /// nested mode (and indexed fallbacks) enumerate every partial.
+    fn right_activate(
+        &self,
+        rule: &ReteRule,
+        rule_id: RuleId,
+        var: usize,
+        seed: &BoundVar,
+    ) -> QueryResult<Vec<Partial>> {
+        let beta = &rule.betas[var - 1];
+        let mut out = Vec::new();
+        if rule.indexed {
+            if let Some(ix) = &beta.equi {
+                beta.probes.set(beta.probes.get() + 1);
+                // probe key straight off the token's attributes; a Null
+                // component joins nothing, so the buckets serve nothing
+                let mut key = Some(Vec::with_capacity(ix.probe_attrs.len()));
+                for &attr in &ix.probe_attrs {
+                    let v = seed.tuple.get(attr);
+                    if v.is_null() {
+                        key = None;
+                        break;
+                    }
+                    if let Some(k) = &mut key {
+                        k.push(v.clone());
+                    }
+                }
+                let mut served = 0u64;
+                if let Some(bucket) = key.as_ref().and_then(|k| ix.buckets.get(k)) {
+                    for seq in bucket {
+                        let left = &beta.partials[seq];
+                        served += 1;
+                        if self.join_passes(rule, var, left, seed, &ix.conjuncts)? {
+                            let mut p = left.clone();
+                            p.push(seed.clone());
+                            out.push(p);
+                        }
+                    }
+                }
+                for seq in &beta.unindexed {
+                    let left = &beta.partials[seq];
+                    if self.join_passes(rule, var, left, seed, &[])? {
+                        let mut p = left.clone();
+                        p.push(seed.clone());
+                        out.push(p);
+                    }
+                }
+                if served > 0 {
+                    beta.hits.set(beta.hits.get() + 1);
+                }
+                if let Some(obs) = &self.obs {
+                    obs.with_node(rule_id, var, |n| {
+                        n.beta_probes += 1;
+                        if served > 0 {
+                            n.beta_hits += 1;
+                        }
+                    });
+                }
+                return Ok(out);
+            }
+            if let Some(bx) = &beta.band {
+                let mut row = Row::unbound(rule.alphas.len());
+                row.slots[var] = Some(seed.clone());
+                // a key evaluation error falls through to enumeration, so
+                // the per-pair error (if any partial exists) surfaces
+                // exactly as nested mode would surface it
+                if let Ok(key) = eval(&bx.key_expr, &row) {
+                    beta.probes.set(beta.probes.get() + 1);
+                    let mut served = 0u64;
+                    if !key.is_null() {
+                        let mut seqs = Vec::new();
+                        bx.islist.stab_with(&key, |id| {
+                            if let Some(&s) = bx.by_interval.get(&id) {
+                                seqs.push(s);
+                            }
+                        });
+                        for seq in seqs {
+                            let left = &beta.partials[&seq];
+                            served += 1;
+                            if self.join_passes(rule, var, left, seed, &bx.conjuncts)? {
+                                let mut p = left.clone();
+                                p.push(seed.clone());
+                                out.push(p);
+                            }
+                        }
+                    }
+                    if served > 0 {
+                        beta.hits.set(beta.hits.get() + 1);
+                    }
+                    if let Some(obs) = &self.obs {
+                        obs.with_node(rule_id, var, |n| {
+                            n.beta_probes += 1;
+                            if served > 0 {
+                                n.beta_hits += 1;
+                            }
+                        });
+                    }
+                    return Ok(out);
+                }
+            }
+        }
+        for left in beta.partials.values() {
+            if self.join_passes(rule, var, left, seed, &[])? {
+                let mut p = left.clone();
+                p.push(seed.clone());
+                out.push(p);
+            }
+        }
+        Ok(out)
     }
 
     /// Process one token.
@@ -313,6 +752,10 @@ impl ReteNetwork {
     /// are already applied to base relations, so virtual α-memories hide
     /// tuples whose positive tokens are still pending.
     pub fn process_batch(&mut self, tokens: &[Token], catalog: &Catalog) -> QueryResult<()> {
+        self.tokens_processed += tokens.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.tokens.set(obs.tokens.get() + tokens.len() as u64);
+        }
         let mut pending: HashMap<String, HashSet<u64>> = HashMap::new();
         for t in tokens {
             if t.kind.is_positive() {
@@ -332,6 +775,35 @@ impl ReteNetwork {
         Ok(())
     }
 
+    /// Run one α-test through the observability tiers (same contract as
+    /// the TREAT network's helper).
+    fn alpha_test(
+        &self,
+        aid: AlphaId,
+        _token: &Token,
+        test: impl FnOnce(&AlphaNode) -> bool,
+    ) -> bool {
+        let a = self.alpha(aid);
+        AlphaCounters::bump(&a.counters.tests, 1);
+        let start = self.obs.as_ref().map(|_| Instant::now());
+        let pass = test(a);
+        if pass {
+            AlphaCounters::bump(&a.counters.passes, 1);
+        }
+        if let Some(obs) = &self.obs {
+            obs.with_node(a.rule, a.var, |n| {
+                n.tokens_in += 1;
+                if pass {
+                    n.tokens_out += 1;
+                }
+                if let Some(t0) = start {
+                    n.alpha_test.record(t0.elapsed().as_nanos() as u64);
+                }
+            });
+        }
+        pass
+    }
+
     fn process_positive(
         &mut self,
         token: &Token,
@@ -343,8 +815,9 @@ impl ReteNetwork {
             .candidates(&token.rel, &token.tuple)
             .into_iter()
             .filter(|aid| {
-                self.alpha(*aid)
-                    .pred_matches(&token.tuple, token.old.as_ref())
+                self.alpha_test(*aid, token, |a| {
+                    a.pred_matches(&token.tuple, token.old.as_ref())
+                })
             })
             .collect();
         matched.sort_by_key(|a| a.0);
@@ -363,31 +836,46 @@ impl ReteNetwork {
                             prev: token.old.clone(),
                         },
                     );
+                    AlphaCounters::bump(&a.counters.inserted, 1);
                 }
                 (a.rule, a.var)
             };
+            if let Some(obs) = &self.obs {
+                let a = self.alpha(aid);
+                if a.kind.stores_entries() {
+                    obs.with_node(rule_id, var, |n| n.entries_inserted += 1);
+                }
+            }
             let seed = BoundVar {
                 tid: Some(token.tid),
                 tuple: token.tuple.clone(),
                 prev: token.old.clone(),
             };
+            let join_start = self.obs.as_ref().map(|_| Instant::now());
             // right activation at level `var`
             let new_partials: Vec<Partial> = {
                 let rule = &self.rules[&rule_id.0];
                 if var == 0 {
                     vec![vec![seed]]
                 } else {
-                    let mut out = Vec::new();
-                    for left in &rule.betas[var - 1].partials {
-                        if self.join_passes(rule, var, left, &seed)? {
-                            let mut p = left.clone();
-                            p.push(seed.clone());
-                            out.push(p);
-                        }
-                    }
-                    out
+                    self.right_activate(rule, rule_id, var, &seed)?
                 }
             };
+            {
+                let rule = self.rules.get_mut(&rule_id.0).unwrap();
+                rule.tokens_in += 1;
+                if var > 0 {
+                    rule.join_probes += 1;
+                }
+            }
+            if let Some(obs) = &self.obs {
+                obs.with_rule(rule_id, |r| {
+                    r.tokens_in += 1;
+                    if var > 0 {
+                        r.join_probes += 1;
+                    }
+                });
+            }
             self.insert_partials(
                 rule_id,
                 var,
@@ -397,11 +885,144 @@ impl ReteNetwork {
                 catalog,
                 pending,
             )?;
+            if let Some(obs) = &self.obs {
+                if let Some(t0) = join_start {
+                    if var > 0 {
+                        obs.with_rule(rule_id, |r| {
+                            r.beta_join.record(t0.elapsed().as_nanos() as u64)
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Extend `left` at `level` by probing the stored α-memory's composite
+    /// or band index (indexed mode's cascade path). The probe answers its
+    /// own conjuncts; the rest retest. A key evaluation error falls back
+    /// to full enumeration so per-pair errors surface as nested mode
+    /// would.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_extend(
+        &self,
+        rule: &ReteRule,
+        level: usize,
+        alpha: &AlphaNode,
+        comp: Option<&CompositeSpec>,
+        band: Option<&BandSpec>,
+        left: &[BoundVar],
+        out: &mut Vec<Partial>,
+    ) -> QueryResult<()> {
+        let nvars = rule.alphas.len();
+        let row = row_of(left, nvars);
+        let mut served = 0u64;
+        let mut used = false;
+        let mut hit = false;
+        if let Some(spec) = comp {
+            let key: QueryResult<Vec<Value>> =
+                spec.key_exprs.iter().map(|e| eval(e, &row)).collect();
+            if let Ok(key) = key {
+                used = true;
+                AlphaCounters::bump(&alpha.counters.index_probes, 1);
+                for e in alpha
+                    .probe_join_index(&spec.attrs, &key)
+                    .expect("probe found a registered index")
+                {
+                    served += 1;
+                    let cand = BoundVar {
+                        tid: e.tid,
+                        tuple: e.tuple.clone(),
+                        prev: e.prev.clone(),
+                    };
+                    if self.join_passes(rule, level, left, &cand, &spec.conjuncts)? {
+                        let mut p = left.to_vec();
+                        p.push(cand);
+                        out.push(p);
+                    }
+                }
+                if served > 0 {
+                    hit = true;
+                    AlphaCounters::bump(&alpha.counters.index_hits, 1);
+                }
+            }
+        } else if let Some(spec) = band {
+            if let Ok(key) = eval(&spec.key_expr, &row) {
+                used = true;
+                AlphaCounters::bump(&alpha.counters.range_probes, 1);
+                let hits = alpha
+                    .probe_range_index(&spec.shape, &key)
+                    .expect("probe found a registered index");
+                if !hits.is_empty() {
+                    hit = true;
+                    AlphaCounters::bump(&alpha.counters.range_hits, 1);
+                }
+                for e in hits {
+                    served += 1;
+                    let cand = BoundVar {
+                        tid: e.tid,
+                        tuple: e.tuple.clone(),
+                        prev: e.prev.clone(),
+                    };
+                    if self.join_passes(rule, level, left, &cand, &spec.conjuncts)? {
+                        let mut p = left.to_vec();
+                        p.push(cand);
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        if !used {
+            for e in alpha.entries() {
+                served += 1;
+                let cand = BoundVar {
+                    tid: e.tid,
+                    tuple: e.tuple.clone(),
+                    prev: e.prev.clone(),
+                };
+                if self.join_passes(rule, level, left, &cand, &[])? {
+                    let mut p = left.to_vec();
+                    p.push(cand);
+                    out.push(p);
+                }
+            }
+        }
+        AlphaCounters::bump(&alpha.counters.join_candidates, served);
+        if used {
+            AlphaCounters::bump(&alpha.counters.indexed_candidates, served);
+        } else {
+            AlphaCounters::bump(&alpha.counters.scanned_candidates, served);
+        }
+        if let Some(obs) = &self.obs {
+            obs.with_node(alpha.rule, alpha.var, |n| {
+                n.join_candidates += served;
+                if used && comp.is_some() {
+                    n.index_probes += 1;
+                    if hit {
+                        n.index_hits += 1;
+                    }
+                    n.indexed_candidates += served;
+                } else if used {
+                    n.range_probes += 1;
+                    if hit {
+                        n.range_hits += 1;
+                    }
+                    n.indexed_candidates += served;
+                } else {
+                    n.scanned_candidates += served;
+                }
+            });
         }
         Ok(())
     }
 
     /// Insert partials at level `lvl` and cascade them down the β chain.
+    ///
+    /// The access path per level is decided once, before the left loop —
+    /// it depends only on which variables are bound (all of `0..level`),
+    /// never on the left row's values — so nested mode keeps the hoisted
+    /// single enumeration of the old implementation, and indexed mode
+    /// probes per left row.
     #[allow(clippy::too_many_arguments)]
     fn insert_partials(
         &mut self,
@@ -424,24 +1045,46 @@ impl ReteNetwork {
                 let rule = &self.rules[&rule_id.0];
                 let aid = rule.alphas[level];
                 let alpha = self.alpha(aid);
-                let empty = HashSet::new();
-                let pend = pending.get(&alpha.rel).unwrap_or(&empty);
-                let rel = alpha.rel.clone();
-                let visible = move |tid: Tid| -> bool {
-                    if pend.contains(&tid.0) {
-                        return false;
-                    }
-                    rel != token.rel || tid != token.tid || processed.contains(&aid.0)
+                let bound: u64 = (1u64 << level) - 1;
+                let probing = rule.indexed && alpha.kind.stores_entries();
+                let comp = if probing {
+                    rule.plan.composite[level]
+                        .iter()
+                        .find(|s| s.others_mask & !bound == 0 && alpha.has_join_index(&s.attrs))
+                } else {
+                    None
                 };
-                let cands = self.candidates(aid, catalog, &visible)?;
-                let rule = &self.rules[&rule_id.0];
+                let band = if probing && comp.is_none() {
+                    rule.plan.bands[level]
+                        .iter()
+                        .find(|s| s.others_mask & !bound == 0 && alpha.has_range_index(&s.shape))
+                } else {
+                    None
+                };
                 let mut next = Vec::new();
-                for left in &current {
-                    for cand in &cands {
-                        if self.join_passes(rule, level, left, cand)? {
-                            let mut p = left.clone();
-                            p.push(cand.clone());
-                            next.push(p);
+                if comp.is_some() || band.is_some() {
+                    for left in &current {
+                        self.probe_extend(rule, level, alpha, comp, band, left, &mut next)?;
+                    }
+                } else {
+                    let empty = HashSet::new();
+                    let pend = pending.get(&alpha.rel).unwrap_or(&empty);
+                    let rel = alpha.rel.clone();
+                    let visible = move |tid: Tid| -> bool {
+                        if pend.contains(&tid.0) {
+                            return false;
+                        }
+                        rel != token.rel || tid != token.tid || processed.contains(&aid.0)
+                    };
+                    let cands = self.candidates(aid, catalog, &visible)?;
+                    let rule = &self.rules[&rule_id.0];
+                    for left in &current {
+                        for cand in &cands {
+                            if self.join_passes(rule, level, left, cand, &[])? {
+                                let mut p = left.clone();
+                                p.push(cand.clone());
+                                next.push(p);
+                            }
                         }
                     }
                 }
@@ -450,11 +1093,18 @@ impl ReteNetwork {
                     return Ok(());
                 }
             }
+            let inserted = current.len() as u64;
             let rule = self.rules.get_mut(&rule_id.0).unwrap();
-            rule.betas[level].partials.extend(current.iter().cloned());
+            for p in &current {
+                rule.betas[level].insert(p.clone(), nvars);
+            }
             if level == nvars - 1 {
+                rule.pnode_inserts += inserted;
                 for p in &current {
                     rule.pnode.push(p.clone());
+                }
+                if let Some(obs) = &self.obs {
+                    obs.with_rule(rule_id, |r| r.pnode_inserts += inserted);
                 }
             }
         }
@@ -470,11 +1120,23 @@ impl ReteNetwork {
                 (a.rule, a.var)
             };
             let rule = self.rules.get_mut(&rule_id.0).unwrap();
+            let nvars = rule.alphas.len();
             for beta in rule.betas[var..].iter_mut() {
-                beta.partials
-                    .retain(|p| p.get(var).map(|b| b.tid) != Some(Some(token.tid)));
+                beta.remove_where(var, token.tid, nvars);
             }
             rule.pnode.retract(var, token.tid);
+        }
+    }
+
+    /// Remove a rule and its α-nodes.
+    pub fn remove_rule(&mut self, id: RuleId) {
+        let Some(rule) = self.rules.remove(&id.0) else {
+            return;
+        };
+        for aid in rule.alphas {
+            self.selnet.unsubscribe(aid);
+            self.alphas[aid.0] = None;
+            self.free.push(aid.0);
         }
     }
 
@@ -483,8 +1145,143 @@ impl ReteNetwork {
         self.rules.get(&id.0).map(|r| &r.pnode)
     }
 
-    /// Total bytes held in β-memories (the Rete-specific storage cost).
-    /// The last β level duplicates the P-node by construction.
+    /// Drain a rule's P-node (consumed instantiations at rule firing).
+    pub fn drain_pnode(&mut self, id: RuleId) -> Vec<Vec<BoundVar>> {
+        self.rules
+            .get_mut(&id.0)
+            .map(|r| r.pnode.drain())
+            .unwrap_or_default()
+    }
+
+    /// Rules whose P-node is non-empty, ascending by id.
+    pub fn rules_with_matches(&self) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .filter(|(_, r)| !r.pnode.is_empty())
+            .map(|(id, _)| RuleId(*id))
+            .collect()
+    }
+
+    /// Flush per-transition state. The Rete baseline compiles pattern-only
+    /// rules (no dynamic α-memories, no event-gated P-nodes), so this is a
+    /// no-op — it exists so the engine can drive either network uniformly.
+    pub fn flush_transition_state(&mut self) {}
+
+    /// Memory statistics for one rule (same surface as
+    /// [`crate::Network::rule_stats`], plus the β fields only Rete fills).
+    pub fn rule_stats(&self, id: RuleId) -> Option<RuleStats> {
+        let rule = self.rules.get(&id.0)?;
+        let mut s = RuleStats {
+            pnode_rows: rule.pnode.len(),
+            pnode_bytes: rule.pnode.heap_size(),
+            tokens_in: rule.tokens_in,
+            join_probes: rule.join_probes,
+            pnode_inserts: rule.pnode_inserts,
+            ..Default::default()
+        };
+        for aid in &rule.alphas {
+            let a = self.alpha(*aid);
+            s.alpha_entries += a.len();
+            s.alpha_bytes += a.heap_size();
+            s.alpha_tests += a.counters.tests.get();
+            s.alpha_passes += a.counters.passes.get();
+            s.virtual_scans += a.counters.virtual_scans.get();
+            s.virtual_scanned_tuples += a.counters.scanned_tuples.get();
+            s.index_probes += a.counters.index_probes.get();
+            s.index_hits += a.counters.index_hits.get();
+            s.indexed_candidates += a.counters.indexed_candidates.get();
+            s.scanned_candidates += a.counters.scanned_candidates.get();
+            s.range_probes += a.counters.range_probes.get();
+            s.range_hits += a.counters.range_hits.get();
+            if a.kind == AlphaKind::Virtual {
+                s.virtual_join_candidates += a.counters.join_candidates.get();
+            } else {
+                s.stored_join_candidates += a.counters.join_candidates.get();
+            }
+        }
+        for b in &rule.betas {
+            s.beta_bytes += b.heap_size();
+            s.beta_probes += b.probes.get();
+            s.beta_hits += b.hits.get();
+        }
+        Some(s)
+    }
+
+    /// Aggregate statistics across the network (same surface as
+    /// [`crate::Network::stats`], plus the β fields only Rete fills).
+    pub fn stats(&self) -> NetworkStats {
+        let (selnet_probes, selnet_candidates) = self.selnet.probe_counts();
+        let stab = self.selnet.stab_stats();
+        let mut s = NetworkStats {
+            rules: self.rules.len(),
+            selnet_bytes: self.selnet.approx_size_bytes(),
+            tokens_processed: self.tokens_processed,
+            selnet_probes,
+            selnet_candidates,
+            islist_stabs: stab.stabs.get(),
+            islist_nodes_visited: stab.nodes_visited.get(),
+            ..Default::default()
+        };
+        for a in self.alphas.iter().flatten() {
+            s.alpha_nodes += 1;
+            if a.kind == AlphaKind::Virtual {
+                s.virtual_alpha_nodes += 1;
+            }
+            s.alpha_entries += a.len();
+            s.alpha_bytes += a.heap_size();
+            s.alpha_tests += a.counters.tests.get();
+            s.alpha_passes += a.counters.passes.get();
+            s.virtual_scans += a.counters.virtual_scans.get();
+            s.virtual_scanned_tuples += a.counters.scanned_tuples.get();
+            s.index_probes += a.counters.index_probes.get();
+            s.index_hits += a.counters.index_hits.get();
+            s.indexed_candidates += a.counters.indexed_candidates.get();
+            s.scanned_candidates += a.counters.scanned_candidates.get();
+            s.range_probes += a.counters.range_probes.get();
+            s.range_hits += a.counters.range_hits.get();
+            if a.kind == AlphaKind::Virtual {
+                s.virtual_join_candidates += a.counters.join_candidates.get();
+            } else {
+                s.stored_join_candidates += a.counters.join_candidates.get();
+            }
+        }
+        for r in self.rules.values() {
+            s.pnode_rows += r.pnode.len();
+            s.pnode_bytes += r.pnode.heap_size();
+            s.join_probes += r.join_probes;
+            s.pnode_inserts += r.pnode_inserts;
+            for b in &r.betas {
+                s.beta_bytes += b.heap_size();
+                s.beta_probes += b.probes.get();
+                s.beta_hits += b.hits.get();
+            }
+        }
+        s
+    }
+
+    /// The α-node kinds of a rule's variables, in variable order.
+    pub fn alpha_kinds(&self, id: RuleId) -> Option<Vec<AlphaKind>> {
+        let rule = self.rules.get(&id.0)?;
+        Some(rule.alphas.iter().map(|a| self.alpha(*a).kind).collect())
+    }
+
+    /// Per-variable topology of a compiled rule (see
+    /// [`crate::Network::rule_topology`]).
+    pub fn rule_topology(&self, id: RuleId) -> Option<RuleTopology> {
+        let rule = self.rules.get(&id.0)?;
+        let vars = rule
+            .pnode
+            .cols()
+            .iter()
+            .zip(rule.alphas.iter())
+            .map(|(col, aid)| (col.var.clone(), col.rel.clone(), self.alpha(*aid).kind))
+            .collect();
+        Some((vars, rule.join_conjuncts.len()))
+    }
+
+    /// Total bytes held in β-memories, partials and indexes both (the
+    /// Rete-specific storage cost). The last β level duplicates the P-node
+    /// by construction.
     pub fn beta_bytes(&self) -> usize {
         self.rules
             .values()
@@ -493,7 +1290,7 @@ impl ReteNetwork {
             .sum()
     }
 
-    /// Total bytes held in α-memories.
+    /// Total bytes held in α-memories, entries and indexes both.
     pub fn alpha_bytes(&self) -> usize {
         self.alphas.iter().flatten().map(AlphaNode::heap_size).sum()
     }
@@ -546,10 +1343,23 @@ mod tests {
         Token::plus(rel, tid, t, EventSpecifier::Append)
     }
 
+    fn ins_vals(c: &Catalog, rel: &str, vals: Vec<Value>) -> Token {
+        let r = c.get(rel).unwrap();
+        let tid = r.borrow_mut().insert(vals).unwrap();
+        let t = r.borrow().get(tid).cloned().unwrap();
+        Token::plus(rel, tid, t, EventSpecifier::Append)
+    }
+
     fn del(c: &Catalog, token: &Token) -> Token {
         let r = c.get(&token.rel).unwrap();
         let old = r.borrow_mut().delete(token.tid).unwrap();
         Token::minus(token.rel.clone(), token.tid, old, EventSpecifier::Delete)
+    }
+
+    fn nested() -> ReteNetwork {
+        let mut n = ReteNetwork::new();
+        n.set_mode(ReteMode::Nested);
+        n
     }
 
     #[test]
@@ -572,8 +1382,8 @@ mod tests {
 
     #[test]
     fn rete_matches_treat_under_random_stream() {
-        // the real test: Rete and A-TREAT produce identical P-node sizes
-        // for the same token stream
+        // the real test: Rete (default indexed mode) and A-TREAT produce
+        // identical P-node sizes for the same token stream
         let cat = catalog();
         let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
         let mut rete = ReteNetwork::new();
@@ -618,6 +1428,188 @@ mod tests {
         }
     }
 
+    /// The three-way oracle at module scope: indexed Rete, nested Rete and
+    /// TREAT agree step by step on an equi+selection rule under churn.
+    #[test]
+    fn indexed_rete_matches_nested_rete_and_treat() {
+        let cats = [catalog(), catalog(), catalog()];
+        let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
+        let mut indexed = ReteNetwork::new();
+        indexed
+            .add_rule(RuleId(1), &rcond(&cats[0], qual, &[]))
+            .unwrap();
+        indexed.prime(RuleId(1), &cats[0]).unwrap();
+        let mut nest = nested();
+        nest.add_rule(RuleId(1), &rcond(&cats[1], qual, &[]))
+            .unwrap();
+        nest.prime(RuleId(1), &cats[1]).unwrap();
+        let mut treat = Network::new();
+        treat
+            .add_rule(
+                RuleId(1),
+                &rcond(&cats[2], qual, &[]),
+                &VirtualPolicy::AllStored,
+                &cats[2],
+            )
+            .unwrap();
+        treat.prime(RuleId(1), &cats[2]).unwrap();
+
+        let mut seed = 7u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as i64
+        };
+        let mut live: Vec<[Token; 3]> = Vec::new();
+        for step in 0..160 {
+            let choice = rnd();
+            if choice % 4 == 3 && !live.is_empty() {
+                let k = (rnd() as usize) % live.len();
+                let [ta, tb, tc] = live.swap_remove(k);
+                indexed
+                    .process_token(&del(&cats[0], &ta), &cats[0])
+                    .unwrap();
+                nest.process_token(&del(&cats[1], &tb), &cats[1]).unwrap();
+                treat.process_token(&del(&cats[2], &tc), &cats[2]).unwrap();
+            } else {
+                let (rel, vals) = if choice % 2 == 0 {
+                    ("emp", [rnd() % 30, rnd() % 6])
+                } else {
+                    ("dept", [rnd() % 6, rnd() % 8])
+                };
+                let toks = [
+                    ins(&cats[0], rel, &vals),
+                    ins(&cats[1], rel, &vals),
+                    ins(&cats[2], rel, &vals),
+                ];
+                indexed.process_token(&toks[0], &cats[0]).unwrap();
+                nest.process_token(&toks[1], &cats[1]).unwrap();
+                treat.process_token(&toks[2], &cats[2]).unwrap();
+                live.push(toks);
+            }
+            let a = indexed.pnode(RuleId(1)).unwrap().len();
+            let b = nest.pnode(RuleId(1)).unwrap().len();
+            let c = treat.pnode(RuleId(1)).unwrap().len();
+            assert_eq!(a, b, "indexed vs nested diverged at step {step}");
+            assert_eq!(a, c, "indexed vs TREAT diverged at step {step}");
+        }
+        // the two modes did measurably different work
+        assert!(indexed.stats().beta_probes > 0, "indexed mode probed β");
+        assert_eq!(nest.stats().beta_probes, 0, "nested mode never probes");
+    }
+
+    /// Band joins through the β band index: `dept` binds first, so the
+    /// level-0 β-memory interval-indexes each dept's `(dno, floor)` span
+    /// and emp right activations stab it with `emp.sal`.
+    #[test]
+    fn indexed_rete_band_join_matches_nested() {
+        let qual = "dept.dno < emp.sal and emp.sal <= dept.floor";
+        let from = [("dept", "dept"), ("emp", "emp")];
+        let cat_a = catalog();
+        let cat_b = catalog();
+        let mut indexed = ReteNetwork::new();
+        indexed
+            .add_rule(RuleId(1), &rcond(&cat_a, qual, &from))
+            .unwrap();
+        indexed.prime(RuleId(1), &cat_a).unwrap();
+        let mut nest = nested();
+        nest.add_rule(RuleId(1), &rcond(&cat_b, qual, &from))
+            .unwrap();
+        nest.prime(RuleId(1), &cat_b).unwrap();
+
+        let mut seed = 99u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as i64
+        };
+        let mut live: Vec<(Token, Token)> = Vec::new();
+        for step in 0..140 {
+            let choice = rnd();
+            if choice % 5 == 4 && !live.is_empty() {
+                let k = (rnd() as usize) % live.len();
+                let (ta, tb) = live.swap_remove(k);
+                indexed.process_token(&del(&cat_a, &ta), &cat_a).unwrap();
+                nest.process_token(&del(&cat_b, &tb), &cat_b).unwrap();
+            } else {
+                let (rel, vals) = if choice % 2 == 0 {
+                    ("dept", [rnd() % 10, rnd() % 20])
+                } else {
+                    ("emp", [rnd() % 20, rnd() % 6])
+                };
+                let ta = ins(&cat_a, rel, &vals);
+                let tb = ins(&cat_b, rel, &vals);
+                indexed.process_token(&ta, &cat_a).unwrap();
+                nest.process_token(&tb, &cat_b).unwrap();
+                live.push((ta, tb));
+            }
+            assert_eq!(
+                indexed.pnode(RuleId(1)).unwrap().len(),
+                nest.pnode(RuleId(1)).unwrap().len(),
+                "band divergence at step {step}"
+            );
+        }
+        let s = indexed.stats();
+        assert!(s.beta_probes > 0, "emp activations stab the β band index");
+        assert!(s.beta_hits <= s.beta_probes);
+    }
+
+    /// Null join keys: tuples with a Null `dno` must join nothing, in both
+    /// modes, through inserts and deletes.
+    #[test]
+    fn indexed_rete_null_keys_match_nested() {
+        let qual = "emp.dno = dept.dno";
+        let cat_a = catalog();
+        let cat_b = catalog();
+        let mut indexed = ReteNetwork::new();
+        indexed
+            .add_rule(RuleId(1), &rcond(&cat_a, qual, &[]))
+            .unwrap();
+        indexed.prime(RuleId(1), &cat_a).unwrap();
+        let mut nest = nested();
+        nest.add_rule(RuleId(1), &rcond(&cat_b, qual, &[])).unwrap();
+        nest.prime(RuleId(1), &cat_b).unwrap();
+
+        let rows: Vec<(&str, Vec<Value>)> = vec![
+            ("emp", vec![Value::Int(10), Value::Null]),
+            ("dept", vec![Value::Null, Value::Int(1)]),
+            ("emp", vec![Value::Int(20), Value::Int(5)]),
+            ("dept", vec![Value::Int(5), Value::Int(2)]),
+            ("emp", vec![Value::Int(30), Value::Null]),
+            ("dept", vec![Value::Int(5), Value::Int(3)]),
+        ];
+        let mut live = Vec::new();
+        for (rel, vals) in rows {
+            let ta = ins_vals(&cat_a, rel, vals.clone());
+            let tb = ins_vals(&cat_b, rel, vals);
+            indexed.process_token(&ta, &cat_a).unwrap();
+            nest.process_token(&tb, &cat_b).unwrap();
+            live.push((ta, tb));
+            assert_eq!(
+                indexed.pnode(RuleId(1)).unwrap().len(),
+                nest.pnode(RuleId(1)).unwrap().len()
+            );
+        }
+        // the one keyed emp joins the two keyed depts
+        assert_eq!(indexed.pnode(RuleId(1)).unwrap().len(), 2);
+        while let Some((ta, tb)) = live.pop() {
+            indexed.process_token(&del(&cat_a, &ta), &cat_a).unwrap();
+            nest.process_token(&del(&cat_b, &tb), &cat_b).unwrap();
+            assert_eq!(
+                indexed.pnode(RuleId(1)).unwrap().len(),
+                nest.pnode(RuleId(1)).unwrap().len()
+            );
+        }
+        assert_eq!(indexed.pnode(RuleId(1)).unwrap().len(), 0);
+        assert_eq!(
+            indexed.beta_bytes(),
+            indexed.rules[&1].betas[0]
+                .equi
+                .as_ref()
+                .map(|ix| ix.buckets.len())
+                .unwrap_or(0),
+            "empty memory holds no partial bytes and no buckets"
+        );
+    }
+
     #[test]
     fn rete_carries_beta_state() {
         let cat = catalog();
@@ -635,23 +1627,30 @@ mod tests {
 
     #[test]
     fn rete_self_join() {
-        let cat = catalog();
-        let mut net = ReteNetwork::new();
-        net.add_rule(
-            RuleId(1),
-            &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
-        )
-        .unwrap();
-        net.prime(RuleId(1), &cat).unwrap();
-        let t1 = ins(&cat, "emp", &[1, 5]);
-        net.process_token(&t1, &cat).unwrap();
-        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1, "(t1,t1)");
-        let t2 = ins(&cat, "emp", &[2, 5]);
-        net.process_token(&t2, &cat).unwrap();
-        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 4);
-        let d = del(&cat, &t1);
-        net.process_token(&d, &cat).unwrap();
-        assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1, "(t2,t2) remains");
+        for mode in [ReteMode::Indexed, ReteMode::Nested] {
+            let cat = catalog();
+            let mut net = ReteNetwork::new();
+            net.set_mode(mode);
+            net.add_rule(
+                RuleId(1),
+                &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
+            )
+            .unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+            let t1 = ins(&cat, "emp", &[1, 5]);
+            net.process_token(&t1, &cat).unwrap();
+            assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1, "(t1,t1) {mode:?}");
+            let t2 = ins(&cat, "emp", &[2, 5]);
+            net.process_token(&t2, &cat).unwrap();
+            assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 4, "{mode:?}");
+            let d = del(&cat, &t1);
+            net.process_token(&d, &cat).unwrap();
+            assert_eq!(
+                net.pnode(RuleId(1)).unwrap().len(),
+                1,
+                "(t2,t2) remains {mode:?}"
+            );
+        }
     }
 
     #[test]
@@ -670,6 +1669,64 @@ mod tests {
             .unwrap();
         let mut net = ReteNetwork::new();
         assert!(net.add_rule(RuleId(1), &rc).is_err());
+    }
+
+    /// The stats surface the engine's metrics export reads.
+    #[test]
+    fn rete_stats_surface() {
+        let cat = catalog();
+        let qual = "emp.sal > 10 and emp.dno = dept.dno";
+        let mut net = ReteNetwork::new();
+        net.add_rule(RuleId(1), &rcond(&cat, qual, &[])).unwrap();
+        net.prime(RuleId(1), &cat).unwrap();
+        for i in 0..8 {
+            let t = ins(&cat, "emp", &[20 + i, i % 3]);
+            net.process_token(&t, &cat).unwrap();
+            let d = ins(&cat, "dept", &[i % 3, i]);
+            net.process_token(&d, &cat).unwrap();
+        }
+        let s = net.stats();
+        assert_eq!(s.rules, 1);
+        assert_eq!(s.alpha_nodes, 2);
+        assert_eq!(s.tokens_processed, 16);
+        assert!(s.alpha_tests > 0);
+        assert!(s.beta_bytes > 0);
+        assert!(s.beta_probes > 0, "dept activations probe the β index");
+        assert!(s.beta_hits <= s.beta_probes);
+        assert!(s.pnode_inserts > 0);
+        let rs = net.rule_stats(RuleId(1)).unwrap();
+        assert_eq!(rs.beta_probes, s.beta_probes);
+        assert_eq!(rs.beta_bytes, s.beta_bytes);
+        assert!(rs.tokens_in > 0);
+        let (vars, joins) = net.rule_topology(RuleId(1)).unwrap();
+        assert_eq!(vars.len(), 2);
+        assert_eq!(joins, 1);
+        assert_eq!(
+            net.alpha_kinds(RuleId(1)).unwrap(),
+            vec![AlphaKind::Stored, AlphaKind::Stored]
+        );
+    }
+
+    /// remove_rule releases α slots for reuse.
+    #[test]
+    fn rete_remove_rule_reuses_slots() {
+        let cat = catalog();
+        let mut net = ReteNetwork::new();
+        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 0", &[]))
+            .unwrap();
+        net.remove_rule(RuleId(1));
+        assert!(net.pnode(RuleId(1)).is_none());
+        net.add_rule(
+            RuleId(2),
+            &rcond(&cat, "emp.sal > 10 and emp.dno = dept.dno", &[]),
+        )
+        .unwrap();
+        net.prime(RuleId(2), &cat).unwrap();
+        let t = ins(&cat, "emp", &[20, 1]);
+        net.process_token(&t, &cat).unwrap();
+        let d = ins(&cat, "dept", &[1, 4]);
+        net.process_token(&d, &cat).unwrap();
+        assert_eq!(net.pnode(RuleId(2)).unwrap().len(), 1);
     }
 }
 
@@ -780,34 +1837,41 @@ mod virtual_tests {
     }
 
     /// Self-join counting must stay exact under virtual α-memories in Rete
-    /// (the §1 claim, batch form).
+    /// (the §1 claim, batch form), in both join modes.
     #[test]
     fn virtual_rete_self_join_batch() {
-        for policy in [
-            VirtualPolicy::AllStored,
-            VirtualPolicy::AllVirtual,
-            VirtualPolicy::ExplicitVars(HashSet::from([0])),
-            VirtualPolicy::ExplicitVars(HashSet::from([1])),
-        ] {
-            let cat = catalog();
-            let mut net = ReteNetwork::with_policy(policy.clone());
-            net.add_rule(
-                RuleId(1),
-                &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
-            )
-            .unwrap();
-            net.prime(RuleId(1), &cat).unwrap();
-            let t1 = ins(&cat, "emp", &[1, 5]);
-            let t2 = ins(&cat, "emp", &[2, 5]);
-            net.process_batch(&[t1.clone(), t2], &cat).unwrap();
-            assert_eq!(
-                net.pnode(RuleId(1)).unwrap().len(),
-                4,
-                "pairs (t1,t1),(t1,t2),(t2,t1),(t2,t2) under {policy:?}"
-            );
-            let d = del(&cat, &t1);
-            net.process_token(&d, &cat).unwrap();
-            assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1, "{policy:?}");
+        for mode in [ReteMode::Indexed, ReteMode::Nested] {
+            for policy in [
+                VirtualPolicy::AllStored,
+                VirtualPolicy::AllVirtual,
+                VirtualPolicy::ExplicitVars(HashSet::from([0])),
+                VirtualPolicy::ExplicitVars(HashSet::from([1])),
+            ] {
+                let cat = catalog();
+                let mut net = ReteNetwork::with_policy(policy.clone());
+                net.set_mode(mode);
+                net.add_rule(
+                    RuleId(1),
+                    &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
+                )
+                .unwrap();
+                net.prime(RuleId(1), &cat).unwrap();
+                let t1 = ins(&cat, "emp", &[1, 5]);
+                let t2 = ins(&cat, "emp", &[2, 5]);
+                net.process_batch(&[t1.clone(), t2], &cat).unwrap();
+                assert_eq!(
+                    net.pnode(RuleId(1)).unwrap().len(),
+                    4,
+                    "pairs (t1,t1),(t1,t2),(t2,t1),(t2,t2) under {policy:?} {mode:?}"
+                );
+                let d = del(&cat, &t1);
+                net.process_token(&d, &cat).unwrap();
+                assert_eq!(
+                    net.pnode(RuleId(1)).unwrap().len(),
+                    1,
+                    "{policy:?} {mode:?}"
+                );
+            }
         }
     }
 

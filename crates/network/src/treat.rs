@@ -35,6 +35,7 @@ use crate::alpha::{
     AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, BandShape, EventReq, RuleId,
 };
 use crate::obs::MatchObs;
+use crate::plan::{BandSpec, CompositeSpec, JoinPlan};
 use crate::pred::SelectionPredicate;
 use crate::selnet::SelectionNetwork;
 use crate::token::{EventSpecifier, Token, TokenKind};
@@ -68,61 +69,6 @@ pub enum VirtualPolicy {
 #[derive(Debug)]
 struct RuleVar {
     alpha: AlphaId,
-}
-
-/// One composite equi-probe access path for a variable: once every
-/// variable in `others_mask` is bound, the equi-conjuncts listed in
-/// `conjuncts` pin the variable's `attrs` tuple to the values of
-/// `key_exprs` over the partial row, so the α-memory's composite hash
-/// index answers all of them with a single probe.
-#[derive(Debug)]
-struct CompositeSpec {
-    /// Variables the key expressions read (the probed variable excluded).
-    others_mask: u64,
-    /// Indexed attribute positions, ascending — must equal a registered
-    /// index's attribute tuple exactly.
-    attrs: Vec<usize>,
-    /// Key expression per attribute, parallel to `attrs`.
-    key_exprs: Vec<RExpr>,
-    /// Conjunct indices the probe guarantees (skipped on the retest path).
-    conjuncts: Vec<usize>,
-}
-
-/// One band-probe access path for a variable: the `(lower, upper)`
-/// conjunct pair constrains `key_expr`'s value to each entry's
-/// `(shape.lo_attr .. shape.hi_attr)` span, so the α-memory's interval
-/// index answers both with one stabbing query.
-#[derive(Debug)]
-struct BandSpec {
-    /// Variables `key_expr` reads (the probed variable excluded).
-    others_mask: u64,
-    /// Which attributes bound the span, and how strictly.
-    shape: crate::alpha::BandShape,
-    /// The stabbed expression over the other variables.
-    key_expr: RExpr,
-    /// The two conjunct indices the stab guarantees (lower, upper).
-    conjuncts: [usize; 2],
-}
-
-/// Compile-time join metadata, hoisted out of the per-token join path (the
-/// seed recomputed the bound-variable sets and applicable-conjunct lists
-/// for every probing token).
-#[derive(Debug)]
-struct JoinPlan {
-    /// Bitmask of the variables each join conjunct references, parallel to
-    /// `RuleNode::join_conjuncts`. Rules are capped at 64 tuple variables.
-    conjunct_vars: Vec<u64>,
-    /// `equi[var][i]` is `Some((attr, key_expr))` when join conjunct `i` is
-    /// an equi-conjunct `var.attr = <expr over other variables>` — the key
-    /// extraction behind §4.2's base-relation index probes on virtual
-    /// nodes (which only have single-attribute indexes to work with).
-    equi: Vec<Vec<Option<(usize, RExpr)>>>,
-    /// Composite equi access paths per variable, widest key first — the
-    /// probe picks the first spec whose `others_mask` is fully bound and
-    /// whose attribute tuple the α-memory indexes.
-    composite: Vec<Vec<CompositeSpec>>,
-    /// Band access paths per variable.
-    bands: Vec<Vec<BandSpec>>,
 }
 
 /// A compiled rule: its α-nodes, join conjuncts, and P-node.
@@ -193,6 +139,13 @@ pub struct RuleStats {
     pub range_probes: u64,
     /// Range probes that found at least one candidate.
     pub range_hits: u64,
+    /// Approximate bytes held in β-memories (indexed/nested Rete backend
+    /// only — TREAT keeps no β-memories, so this stays 0).
+    pub beta_bytes: usize,
+    /// β-memory index probes (indexed Rete only; 0 under TREAT).
+    pub beta_probes: u64,
+    /// β-probes that found at least one partial match.
+    pub beta_hits: u64,
 }
 
 impl RuleStats {
@@ -275,6 +228,13 @@ pub struct NetworkStats {
     pub range_probes: u64,
     /// Range probes that found at least one candidate.
     pub range_hits: u64,
+    /// Approximate bytes held in β-memories (indexed/nested Rete backend
+    /// only — TREAT keeps no β-memories, so this stays 0).
+    pub beta_bytes: usize,
+    /// β-memory index probes (indexed Rete only; 0 under TREAT).
+    pub beta_probes: u64,
+    /// β-probes that found at least one partial match.
+    pub beta_hits: u64,
 }
 
 /// The A-TREAT network: selection layer, α-memories, and P-nodes for every
@@ -475,27 +435,11 @@ impl Network {
                 join_conjuncts.push(c);
             }
         }
-        // compile-time join plan: per-conjunct variable bitmasks, the
+        // compile-time join plan (shared with the indexed Rete network —
+        // see `crate::plan`): per-conjunct variable bitmasks, the
         // equi-probe decomposition of every (variable, conjunct) pair, and
         // the composite/band access paths built from them
-        debug_assert!(nvars <= 64, "join-plan bitmasks cap rules at 64 variables");
-        let conjunct_vars: Vec<u64> = join_conjuncts
-            .iter()
-            .map(|c| c.vars_used().iter().fold(0u64, |m, v| m | (1 << v)))
-            .collect();
-        let equi: Vec<Vec<Option<(usize, RExpr)>>> = (0..nvars)
-            .map(|v| join_conjuncts.iter().map(|c| equi_probe(c, v)).collect())
-            .collect();
-        let plan = JoinPlan {
-            composite: (0..nvars)
-                .map(|v| compile_composite_specs(&equi[v], &conjunct_vars, v, self.composite_keys))
-                .collect(),
-            bands: (0..nvars)
-                .map(|v| compile_band_specs(&join_conjuncts, &conjunct_vars, v))
-                .collect(),
-            conjunct_vars,
-            equi,
-        };
+        let plan = JoinPlan::compile(&join_conjuncts, nvars, self.composite_keys);
 
         let mut vars = Vec::with_capacity(nvars);
         let mut cols = Vec::with_capacity(nvars);
@@ -1643,189 +1587,6 @@ impl Network {
 /// the rule's multi-variable join conjunct count (see
 /// [`Network::rule_topology`]).
 pub type RuleTopology = (Vec<(String, String, AlphaKind)>, usize);
-
-/// If `c` is `vars[var].attr = <expr over other variables>` (either side),
-/// return the attribute position and the key expression — the "substituting
-/// constants from a token in place of variables" optimization of §4.2.
-fn equi_probe(c: &RExpr, var: usize) -> Option<(usize, RExpr)> {
-    let RExpr::Binary {
-        op: ariel_query::BinOp::Eq,
-        left,
-        right,
-    } = c
-    else {
-        return None;
-    };
-    if let RExpr::Attr { var: v, attr } = **left {
-        if v == var && !right.vars_used().contains(&var) {
-            return Some((attr, (**right).clone()));
-        }
-    }
-    if let RExpr::Attr { var: v, attr } = **right {
-        if v == var && !left.vars_used().contains(&var) {
-            return Some((attr, (**left).clone()));
-        }
-    }
-    None
-}
-
-/// Compile a variable's composite equi access paths. Conjuncts are grouped
-/// by the variable set their key expressions read; each group fuses into
-/// one composite key answerable by a single probe once those variables are
-/// bound. When more than one group exists, a spec over the union of all
-/// groups is added too — once *everything* is bound, one probe covers every
-/// equi-conjunct at once. (Partial unions of three or more groups are not
-/// enumerated; they fall back to the widest applicable single group.) With
-/// `composite` off, every conjunct compiles to its own single-attribute
-/// spec — the probe-then-retest behaviour the joins bench ablates against.
-fn compile_composite_specs(
-    equi_v: &[Option<(usize, RExpr)>],
-    conjunct_vars: &[u64],
-    var: usize,
-    composite: bool,
-) -> Vec<CompositeSpec> {
-    let vbit = 1u64 << var;
-    let parts: Vec<(usize, usize, &RExpr, u64)> = equi_v
-        .iter()
-        .enumerate()
-        .filter_map(|(i, spec)| {
-            let (attr, key) = spec.as_ref()?;
-            Some((i, *attr, key, conjunct_vars[i] & !vbit))
-        })
-        .collect();
-    if !composite {
-        return parts
-            .into_iter()
-            .map(|(i, attr, key, others)| CompositeSpec {
-                others_mask: others,
-                attrs: vec![attr],
-                key_exprs: vec![key.clone()],
-                conjuncts: vec![i],
-            })
-            .collect();
-    }
-    type Group<'a> = (u64, Vec<(usize, usize, &'a RExpr)>);
-    let mut groups: Vec<Group<'_>> = Vec::new();
-    for (i, attr, key, others) in parts {
-        match groups.iter_mut().find(|(m, _)| *m == others) {
-            Some((_, g)) => g.push((i, attr, key)),
-            None => groups.push((others, vec![(i, attr, key)])),
-        }
-    }
-    let mut specs: Vec<CompositeSpec> = groups
-        .iter()
-        .map(|(mask, g)| build_composite_spec(*mask, g))
-        .collect();
-    if groups.len() > 1 {
-        let mask = groups.iter().fold(0u64, |m, (g, _)| m | g);
-        let all: Vec<(usize, usize, &RExpr)> =
-            groups.iter().flat_map(|(_, g)| g.iter().copied()).collect();
-        specs.push(build_composite_spec(mask, &all));
-    }
-    // widest key first, so the probe prefers the narrowest buckets
-    specs.sort_by_key(|s| std::cmp::Reverse(s.attrs.len()));
-    specs
-}
-
-/// Fuse one group of equi-conjuncts into a composite spec. Attributes are
-/// sorted ascending to make the key tuple canonical; a second conjunct on
-/// an already-keyed attribute is left to the retest path (it stays out of
-/// `conjuncts`, so `conjuncts_pass` still checks it).
-fn build_composite_spec(others_mask: u64, parts: &[(usize, usize, &RExpr)]) -> CompositeSpec {
-    let mut parts = parts.to_vec();
-    parts.sort_by_key(|&(_, attr, _)| attr);
-    let mut spec = CompositeSpec {
-        others_mask,
-        attrs: Vec::new(),
-        key_exprs: Vec::new(),
-        conjuncts: Vec::new(),
-    };
-    for (i, attr, key) in parts {
-        if spec.attrs.last() == Some(&attr) {
-            continue;
-        }
-        spec.attrs.push(attr);
-        spec.key_exprs.push(key.clone());
-        spec.conjuncts.push(i);
-    }
-    spec
-}
-
-/// If `c` is an inequality between `vars[var].attr` and an expression over
-/// other variables, classify it as a band half: `(attr, key_expr,
-/// is_lower, strict)`, where `is_lower` means the entry's attribute bounds
-/// the key from below (`var.attr < key` / `var.attr <= key`, either
-/// writing order).
-fn band_half(c: &RExpr, var: usize) -> Option<(usize, &RExpr, bool, bool)> {
-    use ariel_query::BinOp;
-    let RExpr::Binary { op, left, right } = c else {
-        return None;
-    };
-    let (strict, lower_when_var_left) = match op {
-        BinOp::Lt => (true, true),
-        BinOp::Le => (false, true),
-        BinOp::Gt => (true, false),
-        BinOp::Ge => (false, false),
-        _ => return None,
-    };
-    if let RExpr::Attr { var: v, attr } = **left {
-        if v == var && !right.vars_used().contains(&var) {
-            return Some((attr, &**right, lower_when_var_left, strict));
-        }
-    }
-    if let RExpr::Attr { var: v, attr } = **right {
-        if v == var && !left.vars_used().contains(&var) {
-            return Some((attr, &**left, !lower_when_var_left, strict));
-        }
-    }
-    None
-}
-
-/// Compile a variable's band access paths: every (lower, upper) pair of
-/// inequality conjuncts bracketing the *same* key expression — structural
-/// `RExpr` equality — becomes one interval-index stab. The classic shape
-/// is the paper's `a.lo < x and x <= a.hi` band join.
-fn compile_band_specs(
-    join_conjuncts: &[RExpr],
-    conjunct_vars: &[u64],
-    var: usize,
-) -> Vec<BandSpec> {
-    let vbit = 1u64 << var;
-    let halves: Vec<(usize, usize, &RExpr, bool, bool)> = join_conjuncts
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| {
-            band_half(c, var).map(|(attr, key, lower, strict)| (i, attr, key, lower, strict))
-        })
-        .collect();
-    let mut specs = Vec::new();
-    for &(i_lo, lo_attr, lo_key, is_lower, lo_strict) in &halves {
-        if !is_lower {
-            continue;
-        }
-        let upper = halves
-            .iter()
-            .copied()
-            .find(|&(i_hi, _, hi_key, hi_is_lower, _)| {
-                !hi_is_lower && i_hi != i_lo && hi_key == lo_key
-            });
-        let Some((i_hi, hi_attr, _, _, hi_strict)) = upper else {
-            continue;
-        };
-        specs.push(BandSpec {
-            others_mask: conjunct_vars[i_lo] & !vbit,
-            shape: BandShape {
-                lo_attr,
-                lo_strict,
-                hi_attr,
-                hi_strict,
-            },
-            key_expr: lo_key.clone(),
-            conjuncts: [i_lo, i_hi],
-        });
-    }
-    specs
-}
 
 fn resolve_event(kind: &EventKind, schema: &SchemaRef) -> EventReq {
     match kind {

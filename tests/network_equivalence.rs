@@ -4,7 +4,7 @@
 //! against engines configured differently and compares final database
 //! states.
 
-use ariel::network::VirtualPolicy;
+use ariel::network::{ReteMode, VirtualPolicy};
 use ariel::storage::Value;
 use ariel::{Ariel, EngineOptions};
 
@@ -339,6 +339,98 @@ fn composite_and_band_joins_produce_identical_states() {
                         &audit, ref_audit,
                         "audit diverged: {policy:?}/indexing={indexing}/composite={composite}"
                     );
+                }
+            }
+        }
+    }
+}
+
+/// Build an engine on a chosen network backend with the composite/band/
+/// null-key rule set, but pattern-only (the Rete baseline rejects event
+/// and transition conditions).
+fn build_backend(policy: VirtualPolicy, rete: Option<ReteMode>) -> Ariel {
+    let mut db = Ariel::with_options(EngineOptions {
+        virtual_policy: policy,
+        rete_mode: rete,
+        ..Default::default()
+    });
+    db.execute(
+        "create emp (id = int, sal = float, dno = int, jno = int); \
+         create dept (dno = int, floor = int); \
+         create band (lo = int, hi = float); \
+         create audit (id = int, kind = int)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_comp if emp.dno = dept.dno and emp.jno = dept.floor \
+         then append to audit(id = emp.id, kind = 1)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_band if band.lo < emp.sal and emp.sal <= band.hi \
+         then append to audit(id = emp.id, kind = 2)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_sel if emp.sal > 40 \
+         then append to audit(id = emp.id, kind = 3)",
+    )
+    .unwrap();
+    db
+}
+
+/// Three-way network oracle: the A-TREAT network, the indexed Rete network
+/// and the nested-loop Rete network must all converge to the same database
+/// state — on band joins, composite equi-joins and null join keys, under
+/// append/delete/replace churn, for every virtual policy. (The Rete
+/// backend maps `SelectivityThreshold` to all-stored; behaviour must still
+/// be identical, only memory differs.)
+#[test]
+fn treat_and_both_rete_modes_produce_identical_states() {
+    let policies = [
+        VirtualPolicy::AllStored,
+        VirtualPolicy::AllVirtual,
+        VirtualPolicy::SelectivityThreshold(0.3),
+        VirtualPolicy::SelectivityThreshold(0.8),
+    ];
+    let backends = [None, Some(ReteMode::Indexed), Some(ReteMode::Nested)];
+    let mut reference: Option<(Rows, Rows)> = None;
+    for policy in policies {
+        for backend in backends {
+            let mut db = build_backend(policy.clone(), backend);
+            apply_composite_band_stream(&mut db, 0xC0FFEE, 140);
+            let emp = snapshot(&mut db, "emp");
+            let audit = snapshot(&mut db, "audit");
+            for kind in 1..=3 {
+                assert!(
+                    audit.iter().any(|r| r[1] == Value::Int(kind)),
+                    "rule kind {kind} must fire under {policy:?}/{backend:?}"
+                );
+            }
+            let s = db.network_stats();
+            match backend {
+                Some(ReteMode::Indexed) => {
+                    assert!(s.beta_bytes > 0, "Rete holds β state ({policy:?})");
+                    assert!(
+                        s.beta_probes > 0,
+                        "indexed Rete probes β indexes ({policy:?})"
+                    );
+                    assert!(s.beta_hits <= s.beta_probes);
+                }
+                Some(ReteMode::Nested) => {
+                    assert!(s.beta_bytes > 0, "Rete holds β state ({policy:?})");
+                    assert_eq!(s.beta_probes, 0, "nested Rete never probes");
+                }
+                None => {
+                    assert_eq!(s.beta_bytes, 0, "TREAT materializes no β state");
+                    assert_eq!(s.beta_probes, 0);
+                }
+            }
+            match &reference {
+                None => reference = Some((emp, audit)),
+                Some((ref_emp, ref_audit)) => {
+                    assert_eq!(&emp, ref_emp, "emp diverged: {policy:?}/{backend:?}");
+                    assert_eq!(&audit, ref_audit, "audit diverged: {policy:?}/{backend:?}");
                 }
             }
         }
