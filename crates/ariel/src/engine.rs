@@ -10,7 +10,7 @@ use crate::obs::{self, EngineObs};
 use crate::rule::RuleState;
 use ariel_network::{
     MatchObs, Network, NetworkStats, ReteMode, ReteNetwork, RuleId, RuleStats, RuleTopology, Token,
-    VirtualPolicy,
+    TraceEventKind, TraceRecord, TraceRecorder, TraceSource, VirtualPolicy, DEFAULT_TRACE_CAPACITY,
 };
 use ariel_query::{
     execute as execute_query, modify_action, parse_command, parse_script, CmdOutput, Command,
@@ -41,6 +41,11 @@ pub struct EngineOptions {
     /// nodes) during β-joins. `false` = pure nested-loop joins, kept as the
     /// comparison baseline for the fig10/fig11 benchmarks.
     pub join_indexing: bool,
+    /// Enable the flight-recorder trace tier (bounded ring of causal
+    /// trace events; the third observability tier) from the start. Off by
+    /// default — when off, the recorder is never allocated and every
+    /// trace hook is a single `Option` check. See `docs/OBSERVABILITY.md`.
+    pub tracing: bool,
     /// When join indexing is on, compile composite (multi-attribute) join
     /// keys so multi-conjunct equi-joins probe one index instead of
     /// probing one attribute and re-testing the rest. `false` falls back
@@ -63,6 +68,7 @@ impl Default for EngineOptions {
             max_firings: 10_000,
             cache_action_plans: false,
             observability: false,
+            tracing: false,
             join_indexing: true,
             composite_join_keys: true,
             rete_mode: None,
@@ -93,8 +99,9 @@ impl EngineNetwork {
     ) -> QueryResult<()> {
         match self {
             EngineNetwork::Treat(n) => n.add_rule(id, cond, policy, catalog),
-            // the Rete backend takes its policy at construction
-            EngineNetwork::Rete(n) => n.add_rule(id, cond),
+            // the Rete backend takes its policy at construction but uses
+            // the catalog for the same selectivity estimate as TREAT
+            EngineNetwork::Rete(n) => n.add_rule(id, cond, catalog),
         }
     }
 
@@ -186,6 +193,21 @@ impl EngineNetwork {
         }
     }
 
+    fn set_trace(&mut self, trace: Option<TraceRecorder>) -> Option<TraceRecorder> {
+        match self {
+            EngineNetwork::Treat(n) => n.set_trace(trace),
+            EngineNetwork::Rete(n) => n.set_trace(trace),
+        }
+    }
+
+    /// The active flight recorder, if tracing is on.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        match self {
+            EngineNetwork::Treat(n) => n.trace(),
+            EngineNetwork::Rete(n) => n.trace(),
+        }
+    }
+
     fn rule_topology(&self, id: RuleId) -> Option<RuleTopology> {
         match self {
             EngineNetwork::Treat(n) => n.rule_topology(id),
@@ -267,6 +289,8 @@ pub struct Ariel {
     notifications: std::collections::VecDeque<Notification>,
     /// Engine-side timing store (None = observability off, the default).
     obs: Option<EngineObs>,
+    /// Ring capacity used when tracing is (re-)enabled; `\trace limit`.
+    trace_limit: usize,
 }
 
 impl Default for Ariel {
@@ -310,9 +334,13 @@ impl Ariel {
             stats: EngineStats::default(),
             notifications: std::collections::VecDeque::new(),
             obs: None,
+            trace_limit: DEFAULT_TRACE_CAPACITY,
         };
         if engine.options.observability {
             engine.set_observability(true);
+        }
+        if engine.options.tracing {
+            engine.set_tracing(true);
         }
         engine
     }
@@ -484,10 +512,23 @@ impl Ariel {
         let mut merged = CmdOutput::default();
         self.tick += 1;
         self.stats.transitions += 1;
+        if let Some(tr) = self.network.trace() {
+            tr.begin_transition(self.tick, 0, None);
+            let text = cmds
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            tr.record(TraceEventKind::TransitionBegin {
+                source: TraceSource::Command(text),
+            });
+        }
+        let mut transition_tokens = 0u64;
         for cmd in cmds {
             let out = self.apply_dml(cmd)?;
             let tokens = delta.tokens_for_all(&out.changes);
             self.stats.tokens += tokens.len() as u64;
+            transition_tokens += tokens.len() as u64;
             let batch_start = self.obs.as_ref().map(|_| std::time::Instant::now());
             self.network.process_batch(&tokens, &self.catalog)?;
             if let (Some(obs), Some(t0)) = (self.obs.as_mut(), batch_start) {
@@ -500,6 +541,11 @@ impl Ariel {
                 merged.columns = out.columns;
                 merged.rows = out.rows;
             }
+        }
+        if let Some(tr) = self.network.trace() {
+            tr.record(TraceEventKind::TransitionEnd {
+                tokens: transition_tokens,
+            });
         }
         self.note_matches();
         self.recognize_act()?;
@@ -564,6 +610,12 @@ impl Ariel {
             let Some(chosen) = agenda::select(self.options.conflict, &eligible).cloned() else {
                 return Ok(());
             };
+            if let Some(tr) = self.network.trace() {
+                tr.record(TraceEventKind::AgendaSchedule {
+                    rule: chosen.id.0,
+                    eligible: eligible.len() as u64,
+                });
+            }
             // act
             if firings >= self.options.max_firings {
                 return Err(ArielError::RunawayRules {
@@ -573,6 +625,7 @@ impl Ariel {
             firings += 1;
             self.stats.firings += 1;
             let rows = self.network.drain_pnode(chosen.id);
+            let drained = rows.len() as u64;
             let cols = self
                 .network
                 .pnode(chosen.id)
@@ -592,14 +645,30 @@ impl Ariel {
                     rule: chosen.name.clone(),
                     source: Box::new(e.into()),
                 })?;
-            if let (Some(obs), Some(t0)) = (self.obs.as_mut(), action_start) {
-                obs.record_action(chosen.id.0, t0.elapsed().as_nanos() as u64);
+            let action_ns = action_start.map(|t0| t0.elapsed().as_nanos() as u64);
+            if let (Some(obs), Some(ns)) = (self.obs.as_mut(), action_ns) {
+                obs.record_action(chosen.id.0, ns);
             }
+            // the firing's provenance (depth, cascade parent) comes from
+            // the rule's most recent instantiation, recorded in the network
+            let firing_ctx = self
+                .network
+                .trace()
+                .map(|tr| tr.record_firing(chosen.id.0, drained, action_ns));
             self.notifications
                 .extend(outcome.notifications.iter().cloned());
             // the action is itself a transition
             self.tick += 1;
             self.stats.transitions += 1;
+            if let (Some(tr), Some((fseq, fdepth))) = (self.network.trace(), firing_ctx) {
+                tr.begin_transition(self.tick, fdepth + 1, Some(fseq));
+                tr.record(TraceEventKind::TransitionBegin {
+                    source: TraceSource::RuleAction {
+                        rule: chosen.id.0,
+                        firing: fseq,
+                    },
+                });
+            }
             let mut delta = DeltaTracker::new();
             let tokens = delta.tokens_for_all(&outcome.changes);
             self.stats.tokens += tokens.len() as u64;
@@ -607,6 +676,15 @@ impl Ariel {
             self.network.process_batch(&tokens, &self.catalog)?;
             if let (Some(obs), Some(t0)) = (self.obs.as_mut(), batch_start) {
                 obs.match_batch.record(t0.elapsed().as_nanos() as u64);
+            }
+            if let (Some(tr), Some((fseq, _))) = (self.network.trace(), firing_ctx) {
+                tr.record(TraceEventKind::CascadeDelta {
+                    firing: fseq,
+                    tokens: tokens.len() as u64,
+                });
+                tr.record(TraceEventKind::TransitionEnd {
+                    tokens: tokens.len() as u64,
+                });
             }
             self.note_matches();
             if outcome.halted {
@@ -801,6 +879,108 @@ impl Ariel {
         self.obs.is_some()
     }
 
+    // ----- tracing (flight recorder) --------------------------------------------
+
+    /// Enable or disable the flight-recorder trace tier: a bounded ring
+    /// of structured causal trace events (see `docs/OBSERVABILITY.md`).
+    /// Enabling installs a fresh recorder with the configured
+    /// [`Ariel::trace_limit`]; disabling discards the recorder (and its
+    /// events). Independent of the timing tier — but when both are on,
+    /// firing events carry measured action durations.
+    pub fn set_tracing(&mut self, on: bool) {
+        let trace = on.then(|| TraceRecorder::new(self.trace_limit));
+        self.network.set_trace(trace);
+    }
+
+    /// Whether the flight recorder is active.
+    pub fn tracing(&self) -> bool {
+        self.network.trace().is_some()
+    }
+
+    /// Set the ring capacity (`\trace limit N`). Applies immediately to a
+    /// live recorder (evicting oldest events when shrinking) and to any
+    /// recorder installed later.
+    pub fn set_trace_limit(&mut self, limit: usize) {
+        self.trace_limit = limit.max(1);
+        if let Some(tr) = self.network.trace() {
+            tr.set_capacity(self.trace_limit);
+        }
+    }
+
+    /// The configured ring capacity.
+    pub fn trace_limit(&self) -> usize {
+        self.trace_limit
+    }
+
+    /// Copy of the recorded trace events, oldest first (empty when
+    /// tracing is off).
+    pub fn trace_events(&self) -> Vec<TraceRecord> {
+        self.network
+            .trace()
+            .map(|tr| tr.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Events evicted from the ring so far (0 when tracing is off).
+    pub fn trace_dropped(&self) -> u64 {
+        self.network.trace().map(|tr| tr.dropped()).unwrap_or(0)
+    }
+
+    /// Discard recorded events, keeping tracing on and sequence numbers
+    /// running.
+    pub fn clear_trace(&self) {
+        if let Some(tr) = self.network.trace() {
+            tr.clear();
+        }
+    }
+
+    /// Render the causal chain of a rule's recorded firings: originating
+    /// command → tokens → matched TIDs → firing → cascaded updates, with
+    /// cascade depths (`\why <rule>`). The rendering is identical across
+    /// the A-TREAT and Rete backends. Errors if the rule is unknown;
+    /// reports when tracing is off or no firing is in the ring.
+    pub fn why(&self, name: &str) -> ArielResult<String> {
+        let rule = self.rules.require(name)?;
+        let Some(tr) = self.network.trace() else {
+            return Ok("tracing is off — nothing recorded (enable with \\trace on)\n".to_string());
+        };
+        Ok(crate::trace::render_why(
+            &tr.snapshot(),
+            rule.id.0,
+            name,
+            &self.rule_names(),
+        ))
+    }
+
+    /// Export the recorded trace as a Chrome `trace_event` JSON document
+    /// (loadable in Perfetto / `chrome://tracing`). Transitions become
+    /// complete (`ph:"X"`) spans on one track per cascade depth; firings
+    /// with measured durations (timing tier on) become spans too; all
+    /// other events are instants. Hand-rolled like
+    /// [`Ariel::metrics_json`]; see `docs/OBSERVABILITY.md` for the
+    /// schema.
+    pub fn chrome_trace_json(&self) -> String {
+        crate::trace::chrome_trace_json(&self.trace_events(), &self.rule_names())
+    }
+
+    /// Render the newest `limit` recorded events (all when `None`) as a
+    /// human-readable listing (`\trace show`).
+    pub fn render_trace(&self, limit: Option<usize>) -> String {
+        crate::trace::render_show(
+            &self.trace_events(),
+            &self.rule_names(),
+            limit,
+            self.trace_dropped(),
+        )
+    }
+
+    fn rule_names(&self) -> HashMap<u64, String> {
+        self.rules
+            .iter()
+            .map(|r| (r.id.0, r.name.clone()))
+            .collect()
+    }
+
     /// Full metrics snapshot as a JSON document: engine counters, network
     /// counters, per-rule statistics, and — when observability is on —
     /// every timing histogram (`"timing": null` otherwise). The schema is
@@ -880,8 +1060,11 @@ mod tests {
         assert!(!opts.cache_action_plans);
         assert!(opts.join_indexing, "join indexing is on by default");
         assert!(opts.composite_join_keys, "composite keys are on by default");
+        assert!(!opts.tracing, "tracing is off by default");
         let db = Ariel::new();
         assert!(!db.options().cache_action_plans);
+        assert!(!db.tracing(), "no recorder allocated by default");
+        assert_eq!(db.trace_limit(), DEFAULT_TRACE_CAPACITY);
     }
 
     #[test]

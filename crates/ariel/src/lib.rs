@@ -44,6 +44,7 @@ pub mod engine;
 pub mod error;
 pub mod obs;
 pub mod rule;
+mod trace;
 
 pub use action::{ActionOutcome, ActionPlanner};
 pub use agenda::ConflictStrategy;
@@ -51,6 +52,9 @@ pub use catalog::RuleCatalog;
 pub use delta::DeltaTracker;
 pub use engine::{Ariel, EngineNetwork, EngineOptions, EngineStats};
 pub use error::{ArielError, ArielResult};
+pub use network::{
+    TraceEventKind, TraceRecord, TraceRecorder, TraceSource, DEFAULT_TRACE_CAPACITY,
+};
 pub use obs::EngineObs;
 pub use query::{CmdOutput, Notification};
 pub use rule::{Rule, RuleState, DEFAULT_RULESET};

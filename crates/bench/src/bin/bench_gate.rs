@@ -40,8 +40,9 @@ enum Field {
 }
 
 /// Minimal JSON reader for the flat array-of-objects shape `paper_tables`
-/// emits. Strings must be escape-free, values must be strings, booleans or
-/// numbers — exactly the `BENCH_join.json` schema, nothing more.
+/// emits. Strings accept the standard JSON escapes (`\" \\ \/ \b \f \n
+/// \r \t \uXXXX`); values must be strings, booleans or numbers — exactly
+/// the `BENCH_join.json` schema, nothing more.
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -88,16 +89,75 @@ impl<'a> Parser<'a> {
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let start = self.pos;
+        let mut out: Option<String> = None;
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b'\\' {
-                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+                let buf = out.get_or_insert_with(|| {
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map(str::to_string)
+                        .unwrap_or_default()
+                });
+                self.pos += 1;
+                let esc = self
+                    .bytes
+                    .get(self.pos)
+                    .ok_or("unterminated escape".to_string())?;
+                match esc {
+                    b'"' => buf.push('"'),
+                    b'\\' => buf.push('\\'),
+                    b'/' => buf.push('/'),
+                    b'b' => buf.push('\u{8}'),
+                    b'f' => buf.push('\u{c}'),
+                    b'n' => buf.push('\n'),
+                    b'r' => buf.push('\r'),
+                    b't' => buf.push('\t'),
+                    b'u' => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos + 1..self.pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                        // surrogate halves are not paired up — the files we
+                        // read are our own exports, which never emit them
+                        buf.push(char::from_u32(code).ok_or_else(|| {
+                            format!("\\u{code:04x} is not a scalar value at byte {}", self.pos)
+                        })?);
+                        self.pos += 4;
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown escape '\\{}' at byte {}",
+                            *other as char, self.pos
+                        ))
+                    }
+                }
+                self.pos += 1;
+                continue;
             }
             if b == b'"' {
-                let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|e| e.to_string())?
-                    .to_string();
+                let s = match out {
+                    Some(s) => s,
+                    None => std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?
+                        .to_string(),
+                };
                 self.pos += 1;
                 return Ok(s);
+            }
+            if let Some(buf) = out.as_mut() {
+                // re-borrow as str to keep multi-byte UTF-8 intact
+                let rest =
+                    std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or("unterminated string".to_string())?;
+                buf.push(c);
+                self.pos += c.len_utf8();
+                continue;
             }
             self.pos += 1;
         }
@@ -385,6 +445,29 @@ mod tests {
         assert!(parse_rows("[", "test").is_err());
         assert!(parse_rows("[{\"workload\":1}]", "test").is_err());
         assert_eq!(parse_rows("[]", "test").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn string_escapes_are_decoded() {
+        let src = r#"[{"workload":"say \"hi\" \\ \/ \n\té done",
+            "indexed":false,"total_ms":1.0,"join_candidates":2}]"#;
+        let rows = parse_rows(src, "test").unwrap();
+        assert_eq!(rows[0].workload, "say \"hi\" \\ / \n\té done");
+        // escaped keys decode too
+        let keyed = r#"[{"workload":"w","indexed":true,"total_ms":1.0,"join_candidates":0}]"#;
+        assert_eq!(parse_rows(keyed, "test").unwrap()[0].workload, "w");
+        // malformed escapes still error
+        assert!(parse_rows(
+            r#"[{"workload":"bad \x","indexed":true,"total_ms":1,"join_candidates":0}]"#,
+            "test"
+        )
+        .is_err());
+        assert!(parse_rows(
+            r#"[{"workload":"bad \u12","indexed":true,"total_ms":1,"join_candidates":0}]"#,
+            "test"
+        )
+        .is_err());
+        assert!(parse_rows(r#"[{"workload":"bad \"#, "test").is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
 //! ```
 //!
-//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins trace
 
 use ariel_bench::measure;
 use std::time::Duration;
@@ -146,6 +146,18 @@ fn run_obs() {
     println!();
 }
 
+fn run_trace() {
+    println!("== TRACE: flight-recorder overhead & event counts → BENCH_trace.json ==");
+    println!("(fig11-style 3-variable workload, full engine path, recorder off vs on)");
+    let json = measure::trace_snapshot(25, 200);
+    let path = "BENCH_trace.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => println!("cannot write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_joins() {
     println!("== JOINS: indexed α-memories vs nested-loop → BENCH_join.json ==");
     println!("(fig10-fig13 workloads, 25 band rules, 400 emp tokens, 200 dim rows)");
@@ -236,5 +248,8 @@ fn main() {
     }
     if want("joins") {
         run_joins();
+    }
+    if want("trace") {
+        run_trace();
     }
 }

@@ -209,6 +209,62 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
                 if db.observing() { "on" } else { "off" }
             )),
         },
+        Some("trace") => match parts.next() {
+            Some("on") => {
+                db.set_tracing(true);
+                ShellAction::Text(format!(
+                    "tracing on (flight recorder active, capacity {})\n",
+                    db.trace_limit()
+                ))
+            }
+            Some("off") => {
+                db.set_tracing(false);
+                ShellAction::Text("tracing off\n".into())
+            }
+            Some("limit") => match parts.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    db.set_trace_limit(n);
+                    ShellAction::Text(format!("trace limit set to {}\n", db.trace_limit()))
+                }
+                _ => ShellAction::Text(format!(
+                    "trace limit is {}; usage: \\trace limit <n>\n",
+                    db.trace_limit()
+                )),
+            },
+            Some("show") => {
+                let limit = parts.next().and_then(|n| n.parse::<usize>().ok());
+                if !db.tracing() {
+                    return ShellAction::Text(
+                        "tracing is off — nothing recorded (enable with \\trace on)\n".into(),
+                    );
+                }
+                ShellAction::Text(db.render_trace(limit))
+            }
+            Some("export") => match parts.next() {
+                Some(path) => match std::fs::write(path, db.chrome_trace_json()) {
+                    Ok(()) => ShellAction::Text(format!(
+                        "wrote Chrome trace ({} events) to {path}\n",
+                        db.trace_events().len()
+                    )),
+                    Err(e) => ShellAction::Text(format!("error: {e}\n")),
+                },
+                None => ShellAction::Text("usage: \\trace export <file>\n".into()),
+            },
+            _ => ShellAction::Text(format!(
+                "tracing is {}; usage: \\trace on|off|limit <n>|show [n]|export <file>\n",
+                if db.tracing() { "on" } else { "off" }
+            )),
+        },
+        Some("why") => {
+            let rest: Vec<&str> = parts.collect();
+            match rest.as_slice() {
+                [name] => match db.why(name) {
+                    Ok(t) => ShellAction::Text(t),
+                    Err(e) => ShellAction::Text(format!("error: {e}\n")),
+                },
+                _ => ShellAction::Text("usage: \\why <rule>\n".into()),
+            }
+        }
         Some("help") | Some("h") | Some("?") => ShellAction::Text(HELP.to_string()),
         other => ShellAction::Text(format!(
             "unknown meta command `\\{}` — try \\help\n",
@@ -242,6 +298,11 @@ Meta commands:
                     execute <cmd> under a timing capture and show the
                     per-node match work it caused (tokens, times)
   \observe on|off   toggle the timing tier (per-phase histograms)
+  \trace on|off     toggle the flight recorder (causal trace events)
+  \trace limit <n>  set the recorder's ring capacity
+  \trace show [n]   list the recorded events (newest n)
+  \trace export <f> write the recording as Chrome trace_event JSON
+  \why <rule>       causal chain of the rule's recorded firings
   \metrics          full metrics snapshot as JSON
   \stats            engine and network statistics
   \help             this text
@@ -314,6 +375,99 @@ mod tests {
             panic!()
         };
         assert!(t.contains("unknown meta command"));
+    }
+
+    #[test]
+    fn trace_meta_commands() {
+        let mut db = shell_db();
+        // off by default, and \trace show says so
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace") else {
+            panic!()
+        };
+        assert!(t.contains("tracing is off"), "{t}");
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace show") else {
+            panic!()
+        };
+        assert!(t.contains("tracing is off"), "{t}");
+        // on, record, show
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace on") else {
+            panic!()
+        };
+        assert!(t.contains("tracing on"), "{t}");
+        dispatch(&mut db, "create log (x = int)");
+        dispatch(
+            &mut db,
+            "define rule r if t.x > 0 then append to log(x = t.x)",
+        );
+        dispatch(&mut db, r#"append t (x = 3, name = "n")"#);
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace show") else {
+            panic!()
+        };
+        assert!(t.contains("transition-begin"), "{t}");
+        assert!(t.contains("firing"), "{t}");
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace show 2") else {
+            panic!()
+        };
+        assert!(t.contains("showing newest 2"), "{t}");
+        // limit
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace limit 8") else {
+            panic!()
+        };
+        assert!(t.contains("trace limit set to 8"), "{t}");
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace limit") else {
+            panic!()
+        };
+        assert!(t.contains("trace limit is 8"), "{t}");
+        // off discards
+        let ShellAction::Text(t) = dispatch(&mut db, "\\trace off") else {
+            panic!()
+        };
+        assert!(t.contains("tracing off"), "{t}");
+    }
+
+    #[test]
+    fn why_meta_command() {
+        let mut db = shell_db();
+        let ShellAction::Text(t) = dispatch(&mut db, "\\why") else {
+            panic!()
+        };
+        assert!(t.contains("usage"), "{t}");
+        let ShellAction::Text(t) = dispatch(&mut db, "\\why nope") else {
+            panic!()
+        };
+        assert!(t.starts_with("error:"), "{t}");
+        dispatch(&mut db, "create log (x = int)");
+        dispatch(
+            &mut db,
+            "define rule r if t.x > 0 then append to log(x = t.x)",
+        );
+        let ShellAction::Text(t) = dispatch(&mut db, "\\why r") else {
+            panic!()
+        };
+        assert!(t.contains("tracing is off"), "{t}");
+        dispatch(&mut db, "\\trace on");
+        dispatch(&mut db, r#"append t (x = 3, name = "n")"#);
+        let ShellAction::Text(t) = dispatch(&mut db, "\\why r") else {
+            panic!()
+        };
+        assert!(t.contains("firing #1 of r"), "{t}");
+        assert!(t.contains("command `append t"), "{t}");
+    }
+
+    #[test]
+    fn trace_export_writes_chrome_json() {
+        let mut db = shell_db();
+        dispatch(&mut db, "\\trace on");
+        dispatch(&mut db, r#"append t (x = 1, name = "e")"#);
+        let path = std::env::temp_dir().join("ariel_cli_trace_export_test.json");
+        let line = format!("\\trace export {}", path.display());
+        let ShellAction::Text(t) = dispatch(&mut db, &line) else {
+            panic!()
+        };
+        assert!(t.contains("wrote Chrome trace"), "{t}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod pred;
 pub mod rete;
 pub mod selnet;
 pub mod token;
+pub mod trace;
 pub mod treat;
 
 pub use alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
@@ -26,4 +27,5 @@ pub use pred::SelectionPredicate;
 pub use rete::{ReteMode, ReteNetwork};
 pub use selnet::SelectionNetwork;
 pub use token::{EventSpecifier, Token, TokenKind};
+pub use trace::{TraceEventKind, TraceRecord, TraceRecorder, TraceSource, DEFAULT_TRACE_CAPACITY};
 pub use treat::{Network, NetworkStats, RuleStats, RuleTopology, VirtualPolicy};

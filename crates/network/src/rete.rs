@@ -42,7 +42,8 @@ use crate::plan::{BandSpec, CompositeSpec, JoinPlan};
 use crate::pred::SelectionPredicate;
 use crate::selnet::SelectionNetwork;
 use crate::token::Token;
-use crate::treat::{NetworkStats, RuleStats, RuleTopology, VirtualPolicy};
+use crate::trace::{TraceEventKind, TraceRecorder};
+use crate::treat::{selectivity_virtualize, NetworkStats, RuleStats, RuleTopology, VirtualPolicy};
 use ariel_islist::{IntervalId, IntervalSkipList};
 use ariel_query::{
     eval, eval_pred, BoundVar, Pnode, PnodeCol, QueryError, QueryResult, RExpr, ResolvedCondition,
@@ -279,6 +280,7 @@ pub struct ReteNetwork {
     mode: ReteMode,
     tokens_processed: u64,
     obs: Option<MatchObs>,
+    trace: Option<TraceRecorder>,
 }
 
 impl Default for ReteNetwork {
@@ -305,6 +307,7 @@ impl ReteNetwork {
             mode: ReteMode::Indexed,
             tokens_processed: 0,
             obs: None,
+            trace: None,
         }
     }
 
@@ -341,19 +344,45 @@ impl ReteNetwork {
         std::mem::replace(&mut self.obs, obs)
     }
 
+    /// Install or remove the flight recorder (same contract as
+    /// [`crate::Network::set_trace`]).
+    pub fn set_trace(&mut self, trace: Option<TraceRecorder>) -> Option<TraceRecorder> {
+        std::mem::replace(&mut self.trace, trace)
+    }
+
+    /// The active flight recorder, if tracing is on.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
     fn alpha(&self, id: AlphaId) -> &AlphaNode {
         self.alphas[id.0].as_ref().expect("live alpha")
     }
 
-    fn virtualize(&self, var: usize) -> bool {
+    fn virtualize(
+        &self,
+        var: usize,
+        pred: &SelectionPredicate,
+        rel: &str,
+        catalog: &Catalog,
+        composite: &[CompositeSpec],
+    ) -> bool {
         match &self.policy {
             VirtualPolicy::AllStored => false,
             VirtualPolicy::AllVirtual => true,
             VirtualPolicy::ExplicitVars(set) => set.contains(&var),
-            // selectivity estimation needs the catalog at add time; Rete is
-            // a baseline, so the simple policies suffice — threshold falls
-            // back to stored
-            VirtualPolicy::SelectivityThreshold(_) => false,
+            // same estimate as TREAT (`add_rule` threads the catalog
+            // through for exactly this): match share vs the threshold,
+            // refined to expected bucket size when indexed mode would
+            // register an equi access path on this memory
+            VirtualPolicy::SelectivityThreshold(threshold) => selectivity_virtualize(
+                pred,
+                rel,
+                *threshold,
+                catalog,
+                composite,
+                self.mode == ReteMode::Indexed,
+            ),
         }
     }
 
@@ -370,8 +399,15 @@ impl ReteNetwork {
         }
     }
 
-    /// Compile a pattern-based rule condition.
-    pub fn add_rule(&mut self, id: RuleId, cond: &ResolvedCondition) -> QueryResult<()> {
+    /// Compile a pattern-based rule condition. The catalog feeds the
+    /// [`VirtualPolicy::SelectivityThreshold`] estimate, so the threshold
+    /// policy picks the same memories here as in the TREAT network.
+    pub fn add_rule(
+        &mut self,
+        id: RuleId,
+        cond: &ResolvedCondition,
+        catalog: &Catalog,
+    ) -> QueryResult<()> {
         if cond.on_var.is_some() || !cond.trans_vars.is_empty() {
             return Err(QueryError::Semantic(
                 "the Rete baseline supports pattern-based conditions only".into(),
@@ -409,7 +445,7 @@ impl ReteNetwork {
         let mut cols = Vec::with_capacity(nvars);
         for (v, binding) in cond.spec.vars.iter().enumerate() {
             let pred = SelectionPredicate::decompose(std::mem::take(&mut selections[v]));
-            let kind = if self.virtualize(v) {
+            let kind = if self.virtualize(v, &pred, &binding.rel, catalog, &plan.composite[v]) {
                 AlphaKind::Virtual
             } else {
                 AlphaKind::Stored
@@ -515,12 +551,22 @@ impl ReteNetwork {
             AlphaKind::Virtual => {
                 let rel_ref = catalog.require(&alpha.rel)?;
                 let rel_b = rel_ref.borrow();
-                Ok(rel_b
+                let scanned = rel_b.len() as u64;
+                let out: Vec<BoundVar> = rel_b
                     .scan()
                     .filter(|(tid, _)| visible(*tid))
                     .filter(|(_, t)| alpha.pred_matches(t, None))
                     .map(|(tid, t)| BoundVar::plain(tid, t.clone()))
-                    .collect())
+                    .collect();
+                if let Some(tr) = &self.trace {
+                    tr.record(TraceEventKind::VirtualScan {
+                        rule: alpha.rule.0,
+                        var: alpha.var,
+                        scanned,
+                        served: out.len() as u64,
+                    });
+                }
+                Ok(out)
             }
             _ => Ok(alpha
                 .entries()
@@ -690,6 +736,14 @@ impl ReteNetwork {
                         }
                     });
                 }
+                if let Some(tr) = &self.trace {
+                    tr.record(TraceEventKind::BetaProbe {
+                        rule: rule_id.0,
+                        var,
+                        candidates: served + beta.unindexed.len() as u64,
+                        indexed: true,
+                    });
+                }
                 return Ok(out);
             }
             if let Some(bx) = &beta.band {
@@ -729,6 +783,14 @@ impl ReteNetwork {
                             }
                         });
                     }
+                    if let Some(tr) = &self.trace {
+                        tr.record(TraceEventKind::BetaProbe {
+                            rule: rule_id.0,
+                            var,
+                            candidates: served,
+                            indexed: true,
+                        });
+                    }
                     return Ok(out);
                 }
             }
@@ -739,6 +801,14 @@ impl ReteNetwork {
                 p.push(seed.clone());
                 out.push(p);
             }
+        }
+        if let Some(tr) = &self.trace {
+            tr.record(TraceEventKind::BetaProbe {
+                rule: rule_id.0,
+                var,
+                candidates: beta.partials.len() as u64,
+                indexed: false,
+            });
         }
         Ok(out)
     }
@@ -763,6 +833,14 @@ impl ReteNetwork {
             }
         }
         for t in tokens {
+            if let Some(tr) = &self.trace {
+                tr.record(TraceEventKind::TokenEmitted {
+                    kind: t.kind.to_string(),
+                    rel: t.rel.clone(),
+                    tid: t.tid.0,
+                    desc: t.to_string(),
+                });
+            }
             if t.kind.is_positive() {
                 if let Some(set) = pending.get_mut(&t.rel) {
                     set.remove(&t.tid.0);
@@ -789,6 +867,12 @@ impl ReteNetwork {
         let pass = test(a);
         if pass {
             AlphaCounters::bump(&a.counters.passes, 1);
+            if let Some(tr) = &self.trace {
+                tr.record(TraceEventKind::AlphaPass {
+                    rule: a.rule.0,
+                    var: a.var,
+                });
+            }
         }
         if let Some(obs) = &self.obs {
             obs.with_node(a.rule, a.var, |n| {
@@ -810,9 +894,14 @@ impl ReteNetwork {
         catalog: &Catalog,
         pending: &HashMap<String, HashSet<u64>>,
     ) -> QueryResult<()> {
-        let mut matched: Vec<AlphaId> = self
-            .selnet
-            .candidates(&token.rel, &token.tuple)
+        let candidates = self.selnet.candidates(&token.rel, &token.tuple);
+        if let Some(tr) = &self.trace {
+            tr.record(TraceEventKind::SelnetProbe {
+                rel: token.rel.clone(),
+                candidates: candidates.len() as u64,
+            });
+        }
+        let mut matched: Vec<AlphaId> = candidates
             .into_iter()
             .filter(|aid| {
                 self.alpha_test(*aid, token, |a| {
@@ -993,6 +1082,14 @@ impl ReteNetwork {
         } else {
             AlphaCounters::bump(&alpha.counters.scanned_candidates, served);
         }
+        if let Some(tr) = &self.trace {
+            tr.record(TraceEventKind::BetaProbe {
+                rule: alpha.rule.0,
+                var: alpha.var,
+                candidates: served,
+                indexed: used,
+            });
+        }
         if let Some(obs) = &self.obs {
             obs.with_node(alpha.rule, alpha.var, |n| {
                 n.join_candidates += served;
@@ -1099,6 +1196,14 @@ impl ReteNetwork {
                 rule.betas[level].insert(p.clone(), nvars);
             }
             if level == nvars - 1 {
+                if let Some(tr) = &self.trace {
+                    for p in &current {
+                        tr.record_instantiation(
+                            rule_id.0,
+                            p.iter().map(|b| b.tid.map(|t| t.0)).collect(),
+                        );
+                    }
+                }
                 rule.pnode_inserts += inserted;
                 for p in &current {
                     rule.pnode.push(p.clone());
@@ -1366,7 +1471,7 @@ mod tests {
     fn rete_single_variable() {
         let cat = catalog();
         let mut net = ReteNetwork::new();
-        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 100", &[]))
+        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 100", &[]), &cat)
             .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         let t = ins(&cat, "emp", &[200, 1]);
@@ -1387,7 +1492,8 @@ mod tests {
         let cat = catalog();
         let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
         let mut rete = ReteNetwork::new();
-        rete.add_rule(RuleId(1), &rcond(&cat, qual, &[])).unwrap();
+        rete.add_rule(RuleId(1), &rcond(&cat, qual, &[]), &cat)
+            .unwrap();
         rete.prime(RuleId(1), &cat).unwrap();
         let mut treat = Network::new();
         treat
@@ -1436,11 +1542,11 @@ mod tests {
         let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
         let mut indexed = ReteNetwork::new();
         indexed
-            .add_rule(RuleId(1), &rcond(&cats[0], qual, &[]))
+            .add_rule(RuleId(1), &rcond(&cats[0], qual, &[]), &cats[0])
             .unwrap();
         indexed.prime(RuleId(1), &cats[0]).unwrap();
         let mut nest = nested();
-        nest.add_rule(RuleId(1), &rcond(&cats[1], qual, &[]))
+        nest.add_rule(RuleId(1), &rcond(&cats[1], qual, &[]), &cats[1])
             .unwrap();
         nest.prime(RuleId(1), &cats[1]).unwrap();
         let mut treat = Network::new();
@@ -1508,11 +1614,11 @@ mod tests {
         let cat_b = catalog();
         let mut indexed = ReteNetwork::new();
         indexed
-            .add_rule(RuleId(1), &rcond(&cat_a, qual, &from))
+            .add_rule(RuleId(1), &rcond(&cat_a, qual, &from), &cat_a)
             .unwrap();
         indexed.prime(RuleId(1), &cat_a).unwrap();
         let mut nest = nested();
-        nest.add_rule(RuleId(1), &rcond(&cat_b, qual, &from))
+        nest.add_rule(RuleId(1), &rcond(&cat_b, qual, &from), &cat_b)
             .unwrap();
         nest.prime(RuleId(1), &cat_b).unwrap();
 
@@ -1561,11 +1667,12 @@ mod tests {
         let cat_b = catalog();
         let mut indexed = ReteNetwork::new();
         indexed
-            .add_rule(RuleId(1), &rcond(&cat_a, qual, &[]))
+            .add_rule(RuleId(1), &rcond(&cat_a, qual, &[]), &cat_a)
             .unwrap();
         indexed.prime(RuleId(1), &cat_a).unwrap();
         let mut nest = nested();
-        nest.add_rule(RuleId(1), &rcond(&cat_b, qual, &[])).unwrap();
+        nest.add_rule(RuleId(1), &rcond(&cat_b, qual, &[]), &cat_b)
+            .unwrap();
         nest.prime(RuleId(1), &cat_b).unwrap();
 
         let rows: Vec<(&str, Vec<Value>)> = vec![
@@ -1615,7 +1722,8 @@ mod tests {
         let cat = catalog();
         let qual = "emp.sal > 0 and emp.dno = dept.dno";
         let mut net = ReteNetwork::new();
-        net.add_rule(RuleId(1), &rcond(&cat, qual, &[])).unwrap();
+        net.add_rule(RuleId(1), &rcond(&cat, qual, &[]), &cat)
+            .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         for i in 0..10 {
             let t = ins(&cat, "emp", &[100, i]);
@@ -1634,6 +1742,7 @@ mod tests {
             net.add_rule(
                 RuleId(1),
                 &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
+                &cat,
             )
             .unwrap();
             net.prime(RuleId(1), &cat).unwrap();
@@ -1668,7 +1777,7 @@ mod tests {
             )
             .unwrap();
         let mut net = ReteNetwork::new();
-        assert!(net.add_rule(RuleId(1), &rc).is_err());
+        assert!(net.add_rule(RuleId(1), &rc, &cat).is_err());
     }
 
     /// The stats surface the engine's metrics export reads.
@@ -1677,7 +1786,8 @@ mod tests {
         let cat = catalog();
         let qual = "emp.sal > 10 and emp.dno = dept.dno";
         let mut net = ReteNetwork::new();
-        net.add_rule(RuleId(1), &rcond(&cat, qual, &[])).unwrap();
+        net.add_rule(RuleId(1), &rcond(&cat, qual, &[]), &cat)
+            .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         for i in 0..8 {
             let t = ins(&cat, "emp", &[20 + i, i % 3]);
@@ -1712,13 +1822,14 @@ mod tests {
     fn rete_remove_rule_reuses_slots() {
         let cat = catalog();
         let mut net = ReteNetwork::new();
-        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 0", &[]))
+        net.add_rule(RuleId(1), &rcond(&cat, "emp.sal > 0", &[]), &cat)
             .unwrap();
         net.remove_rule(RuleId(1));
         assert!(net.pnode(RuleId(1)).is_none());
         net.add_rule(
             RuleId(2),
             &rcond(&cat, "emp.sal > 10 and emp.dno = dept.dno", &[]),
+            &cat,
         )
         .unwrap();
         net.prime(RuleId(2), &cat).unwrap();
@@ -1791,11 +1902,12 @@ mod virtual_tests {
         let qual = "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5";
         let mut classic = ReteNetwork::new();
         classic
-            .add_rule(RuleId(1), &rcond(&cat_a, qual, &[]))
+            .add_rule(RuleId(1), &rcond(&cat_a, qual, &[]), &cat_a)
             .unwrap();
         classic.prime(RuleId(1), &cat_a).unwrap();
         let mut virt = ReteNetwork::with_policy(VirtualPolicy::AllVirtual);
-        virt.add_rule(RuleId(1), &rcond(&cat_b, qual, &[])).unwrap();
+        virt.add_rule(RuleId(1), &rcond(&cat_b, qual, &[]), &cat_b)
+            .unwrap();
         virt.prime(RuleId(1), &cat_b).unwrap();
 
         let mut seed = 17u64;
@@ -1853,6 +1965,7 @@ mod virtual_tests {
                 net.add_rule(
                     RuleId(1),
                     &rcond(&cat, "a.dno = b.dno", &[("a", "emp"), ("b", "emp")]),
+                    &cat,
                 )
                 .unwrap();
                 net.prime(RuleId(1), &cat).unwrap();
@@ -1893,9 +2006,52 @@ mod virtual_tests {
         net.add_rule(
             RuleId(1),
             &rcond(&cat, "emp.sal > 10 and emp.dno = dept.dno", &[]),
+            &cat,
         )
         .unwrap();
         net.prime(RuleId(1), &cat).unwrap();
         assert_eq!(net.pnode(RuleId(1)).unwrap().len(), 1);
+    }
+
+    /// With the catalog threaded through `add_rule`, the threshold policy
+    /// runs the same estimate as TREAT and picks the same memories
+    /// (closes the ROADMAP item "Selectivity-aware Rete α policy").
+    #[test]
+    fn selectivity_threshold_matches_treat() {
+        use crate::treat::Network;
+        let cat = catalog();
+        for i in 0..10 {
+            ins(&cat, "emp", &[100 + i, i % 3]);
+            ins(&cat, "dept", &[i % 3, if i < 5 { 1 } else { 9 }]);
+        }
+        let policy = VirtualPolicy::SelectivityThreshold(0.6);
+        let check = |qual: &str, from: &[(&str, &str)], expect: &[AlphaKind]| {
+            let mut rete = ReteNetwork::with_policy(policy.clone());
+            rete.add_rule(RuleId(1), &rcond(&cat, qual, from), &cat)
+                .unwrap();
+            let mut treat = Network::new();
+            treat
+                .add_rule(RuleId(1), &rcond(&cat, qual, from), &policy, &cat)
+                .unwrap();
+            let rk = rete.alpha_kinds(RuleId(1)).unwrap();
+            let tk = treat.alpha_kinds(RuleId(1)).unwrap();
+            assert_eq!(rk, tk, "backends disagree on {qual}");
+            assert_eq!(rk, expect, "estimate changed for {qual}");
+        };
+        // equi rule: emp.sal > 10 matches 100% (> 60%), but the dno equi
+        // index carves it into ~1/3 buckets → index-aware refinement
+        // stores it; dept.floor < 5 matches 50% → stored outright
+        check(
+            "emp.sal > 10 and emp.dno = dept.dno and dept.floor < 5",
+            &[],
+            &[AlphaKind::Stored, AlphaKind::Stored],
+        );
+        // band-only rule: no equi access path to refine with, and neither
+        // side has a selective predicate → both memories go virtual
+        check(
+            "dept.dno < emp.sal and emp.sal <= dept.floor",
+            &[("dept", "dept"), ("emp", "emp")],
+            &[AlphaKind::Virtual, AlphaKind::Virtual],
+        );
     }
 }

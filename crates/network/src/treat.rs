@@ -39,6 +39,7 @@ use crate::plan::{BandSpec, CompositeSpec, JoinPlan};
 use crate::pred::SelectionPredicate;
 use crate::selnet::SelectionNetwork;
 use crate::token::{EventSpecifier, Token, TokenKind};
+use crate::trace::{TraceEventKind, TraceRecorder};
 use ariel_query::{
     eval_pred, BoundVar, EventKind, Optimizer, PatchedEnv, Pnode, PnodeCol, QueryError,
     QueryResult, QuerySpec, RExpr, ResolvedCondition, Row,
@@ -285,6 +286,85 @@ pub struct Network {
     composite_keys: bool,
     /// Gated timing session (None = observability off, the default).
     obs: Option<MatchObs>,
+    /// Gated flight recorder (None = tracing off, the default).
+    trace: Option<TraceRecorder>,
+}
+
+/// The [`VirtualPolicy::SelectivityThreshold`] estimate, shared by both
+/// network backends (TREAT calls it from `should_virtualize`; the Rete
+/// network threads the catalog through `add_rule` to reach it, so the
+/// threshold policy picks the same memories on both sides). Virtual iff
+/// the predicate currently matches more than `threshold` of its relation
+/// — refined, when join indexing is on and an equi access path exists, to
+/// compare the *expected bucket size* a join index would serve instead of
+/// the raw match share.
+pub(crate) fn selectivity_virtualize(
+    pred: &SelectionPredicate,
+    rel: &str,
+    threshold: f64,
+    catalog: &Catalog,
+    composite: &[CompositeSpec],
+    join_indexing: bool,
+) -> bool {
+    let Some(rel_ref) = catalog.get(rel) else {
+        return false;
+    };
+    let rel_b = rel_ref.borrow();
+    let n = rel_b.len();
+    if n == 0 {
+        return false;
+    }
+    let probe = AlphaNode::new(
+        RuleId(u64::MAX),
+        0,
+        rel.to_string(),
+        AlphaKind::Stored,
+        pred.clone(),
+        None,
+    );
+    let matching = rel_b
+        .scan()
+        .filter(|(_, t)| probe.pred_matches(t, None))
+        .count();
+    if matching as f64 / n as f64 <= threshold {
+        return false; // selective enough to store outright
+    }
+    // Index-aware refinement: a low-selectivity memory that a join index
+    // would carve into small buckets serves each β-probe a bucket, not
+    // the whole memory — compare the *expected bucket size* to the
+    // threshold instead of the raw match share. No usable equi index →
+    // virtual, as before.
+    if !join_indexing || composite.is_empty() {
+        return true;
+    }
+    let min_bucket = composite
+        .iter()
+        .map(|spec| {
+            let mut keys: HashSet<Vec<Value>> = HashSet::new();
+            let mut indexed = 0usize;
+            for (_, t) in rel_b.scan().filter(|(_, t)| probe.pred_matches(t, None)) {
+                let key: Option<Vec<Value>> = spec
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        let v = t.get(*a);
+                        (!v.is_null()).then(|| v.clone())
+                    })
+                    .collect();
+                if let Some(k) = key {
+                    indexed += 1;
+                    keys.insert(k);
+                }
+            }
+            if keys.is_empty() {
+                0
+            } else {
+                indexed.div_ceil(keys.len())
+            }
+        })
+        .min()
+        .unwrap_or(matching);
+    min_bucket as f64 / n as f64 > threshold
 }
 
 impl Default for Network {
@@ -298,6 +378,7 @@ impl Default for Network {
             join_indexing: true,
             composite_keys: true,
             obs: None,
+            trace: None,
         }
     }
 }
@@ -358,6 +439,18 @@ impl Network {
         std::mem::replace(&mut self.obs, obs)
     }
 
+    /// Install or remove the flight recorder (same gating discipline as
+    /// the timing tier: `None` — the default — makes every trace hook a
+    /// single branch). Returns the previous recorder, if any.
+    pub fn set_trace(&mut self, trace: Option<TraceRecorder>) -> Option<TraceRecorder> {
+        std::mem::replace(&mut self.trace, trace)
+    }
+
+    /// The active flight recorder, if tracing is on.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
     fn alpha(&self, id: AlphaId) -> &AlphaNode {
         self.alphas[id.0].as_ref().expect("live alpha")
     }
@@ -381,6 +474,12 @@ impl Network {
         let pass = test(a);
         if pass {
             AlphaCounters::bump(&a.counters.passes, 1);
+            if let Some(tr) = &self.trace {
+                tr.record(TraceEventKind::AlphaPass {
+                    rule: a.rule.0,
+                    var: a.var,
+                });
+            }
         }
         if let Some(obs) = &self.obs {
             obs.with_node(a.rule, a.var, |n| {
@@ -546,68 +645,14 @@ impl Network {
             VirtualPolicy::AllStored => false,
             VirtualPolicy::AllVirtual => true,
             VirtualPolicy::ExplicitVars(set) => set.contains(&var),
-            VirtualPolicy::SelectivityThreshold(threshold) => {
-                let Some(rel_ref) = catalog.get(rel) else {
-                    return false;
-                };
-                let rel_b = rel_ref.borrow();
-                let n = rel_b.len();
-                if n == 0 {
-                    return false;
-                }
-                let probe = AlphaNode::new(
-                    RuleId(u64::MAX),
-                    var,
-                    rel.to_string(),
-                    AlphaKind::Stored,
-                    pred.clone(),
-                    None,
-                );
-                let matching = rel_b
-                    .scan()
-                    .filter(|(_, t)| probe.pred_matches(t, None))
-                    .count();
-                if matching as f64 / n as f64 <= *threshold {
-                    return false; // selective enough to store outright
-                }
-                // Index-aware refinement: a low-selectivity memory that a
-                // join index would carve into small buckets serves each
-                // β-probe a bucket, not the whole memory — compare the
-                // *expected bucket size* to the threshold instead of the
-                // raw match share. No usable equi index → virtual, as
-                // before.
-                if !self.join_indexing || composite.is_empty() {
-                    return true;
-                }
-                let min_bucket = composite
-                    .iter()
-                    .map(|spec| {
-                        let mut keys: HashSet<Vec<Value>> = HashSet::new();
-                        let mut indexed = 0usize;
-                        for (_, t) in rel_b.scan().filter(|(_, t)| probe.pred_matches(t, None)) {
-                            let key: Option<Vec<Value>> = spec
-                                .attrs
-                                .iter()
-                                .map(|a| {
-                                    let v = t.get(*a);
-                                    (!v.is_null()).then(|| v.clone())
-                                })
-                                .collect();
-                            if let Some(k) = key {
-                                indexed += 1;
-                                keys.insert(k);
-                            }
-                        }
-                        if keys.is_empty() {
-                            0
-                        } else {
-                            indexed.div_ceil(keys.len())
-                        }
-                    })
-                    .min()
-                    .unwrap_or(matching);
-                min_bucket as f64 / n as f64 > *threshold
-            }
+            VirtualPolicy::SelectivityThreshold(threshold) => selectivity_virtualize(
+                pred,
+                rel,
+                *threshold,
+                catalog,
+                composite,
+                self.join_indexing,
+            ),
         }
     }
 
@@ -718,6 +763,14 @@ impl Network {
             }
         }
         for t in tokens {
+            if let Some(tr) = &self.trace {
+                tr.record(TraceEventKind::TokenEmitted {
+                    kind: t.kind.to_string(),
+                    rel: t.rel.clone(),
+                    tid: t.tid.0,
+                    desc: t.to_string(),
+                });
+            }
             if t.kind.is_positive() {
                 if let Some(set) = pending.get_mut(&t.rel) {
                     set.remove(&t.tid.0);
@@ -749,6 +802,12 @@ impl Network {
             }
             obs.selnet_candidates
                 .set(obs.selnet_candidates.get() + candidates.len() as u64);
+        }
+        if let Some(tr) = &self.trace {
+            tr.record(TraceEventKind::SelnetProbe {
+                rel: token.rel.clone(),
+                candidates: candidates.len() as u64,
+            });
         }
         let mut matched: Vec<AlphaId> = candidates
             .into_iter()
@@ -819,6 +878,9 @@ impl Network {
         if kind.is_simple() {
             // single-variable rule: matching data goes straight to the P-node
             let start = self.obs.as_ref().map(|_| Instant::now());
+            if let Some(tr) = &self.trace {
+                tr.record_instantiation(rule_id.0, vec![seed.tid.map(|t| t.0)]);
+            }
             let rule = self.rules.get_mut(&rule_id.0).expect("rule exists");
             rule.pnode.push(vec![seed]);
             rule.pnode_inserts += 1;
@@ -844,6 +906,11 @@ impl Network {
         }
         let produced = results.len() as u64;
         let insert_start = self.obs.as_ref().map(|_| Instant::now());
+        if let Some(tr) = &self.trace {
+            for r in &results {
+                tr.record_instantiation(rule_id.0, r.iter().map(|b| b.tid.map(|t| t.0)).collect());
+            }
+        }
         let rule = self.rules.get_mut(&rule_id.0).expect("rule exists");
         rule.join_probes += 1;
         rule.pnode_inserts += produced;
@@ -1158,6 +1225,14 @@ impl Network {
                 AlphaCounters::bump(&alpha.counters.virtual_scans, 1);
                 AlphaCounters::bump(&alpha.counters.scanned_tuples, scanned);
                 AlphaCounters::bump(&alpha.counters.join_candidates, served);
+                if let Some(tr) = &self.trace {
+                    tr.record(TraceEventKind::VirtualScan {
+                        rule: alpha.rule.0,
+                        var: alpha.var,
+                        scanned,
+                        served,
+                    });
+                }
                 if via_index {
                     AlphaCounters::bump(&alpha.counters.indexed_candidates, served);
                 } else {
@@ -1312,6 +1387,14 @@ impl Network {
                     }
                 }
                 AlphaCounters::bump(&alpha.counters.join_candidates, served);
+                if let Some(tr) = &self.trace {
+                    tr.record(TraceEventKind::BetaProbe {
+                        rule: alpha.rule.0,
+                        var: alpha.var,
+                        candidates: served,
+                        indexed: used_hash || used_range,
+                    });
+                }
                 if used_hash || used_range {
                     AlphaCounters::bump(&alpha.counters.indexed_candidates, served);
                 } else {

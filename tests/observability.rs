@@ -1,5 +1,6 @@
 //! End-to-end observability: always-on counters, gated timing histograms,
-//! the metrics snapshot, and `explain analyze`.
+//! the metrics snapshot, `explain analyze`, and the flight-recorder trace
+//! tier (causal events, `why` provenance, Chrome export).
 
 use ariel::{Ariel, EngineOptions};
 
@@ -144,6 +145,205 @@ fn metrics_json_reflects_observability_flag() {
     let off = db.metrics_json();
     assert!(off.contains("\"timing\":null"), "{off}");
     assert!(off.contains("\"tokens_processed\""), "counters stay: {off}");
+}
+
+// ----- flight recorder -------------------------------------------------------
+
+/// A two-level cascade on pattern rules (so every backend can run it):
+/// `append src` joins `dim` and fires r1 (depth 0), whose action appends
+/// `mid` and fires r2 (depth 1), whose action appends `sink` (depth 2,
+/// quiescent). Tracing is enabled before any data arrives.
+fn cascade_db(rete: Option<ariel::network::ReteMode>) -> Ariel {
+    let mut db = Ariel::with_options(EngineOptions {
+        rete_mode: rete,
+        ..Default::default()
+    });
+    db.execute(
+        "create src (x = int); create dim (x = int, y = int); \
+         create mid (x = int); create sink (x = int)",
+    )
+    .unwrap();
+    db.execute("define rule r1 if src.x > 0 and src.x = dim.x then append to mid(x = src.x)")
+        .unwrap();
+    db.execute("define rule r2 if mid.x > 0 then append to sink(x = mid.x)")
+        .unwrap();
+    db.set_tracing(true);
+    db.execute("append dim (x = 1, y = 10)").unwrap();
+    db.execute("append dim (x = 2, y = 20)").unwrap();
+    db.execute("append src (x = 1)").unwrap();
+    db
+}
+
+#[test]
+fn why_chain_is_identical_across_backends() {
+    use ariel::network::ReteMode;
+    let mut treat = cascade_db(None);
+    assert_eq!(treat.query("retrieve (sink.x)").unwrap().rows.len(), 1);
+    let why1 = treat.why("r1").unwrap();
+    let why2 = treat.why("r2").unwrap();
+    // the full causal chain, with correct cascade depths
+    assert!(why1.contains("firing #1 of r1 — transition"), "{why1}");
+    assert!(why1.contains("depth 0"), "{why1}");
+    assert!(
+        why1.contains("command `append to src (x = 1)` → r1 fired (depth 0)"),
+        "{why1}"
+    );
+    assert!(why1.contains("instantiation tids ["), "{why1}");
+    assert!(why1.contains("← token +src"), "{why1}");
+    assert!(why1.contains("cascade → transition"), "{why1}");
+    assert!(why1.contains("(depth 1): 1 token"), "{why1}");
+    assert!(
+        why2.contains("r1 fired (depth 0) → r2 fired (depth 1)"),
+        "{why2}"
+    );
+    assert!(why2.contains("← token"), "{why2}");
+    assert!(why2.contains("(depth 2): 1 token"), "{why2}");
+    // the rendered chains are byte-identical on every backend
+    for mode in [ReteMode::Indexed, ReteMode::Nested] {
+        let mut db = cascade_db(Some(mode));
+        assert_eq!(db.query("retrieve (sink.x)").unwrap().rows.len(), 1);
+        assert_eq!(db.why("r1").unwrap(), why1, "r1 chain differs on {mode:?}");
+        assert_eq!(db.why("r2").unwrap(), why2, "r2 chain differs on {mode:?}");
+    }
+}
+
+#[test]
+fn why_reports_missing_rule_and_empty_ring() {
+    let mut db = cascade_db(None);
+    assert!(db.why("nope").is_err(), "unknown rule is an error");
+    db.clear_trace();
+    let why = db.why("r1").unwrap();
+    assert!(why.contains("no firing of r1"), "{why}");
+    db.set_tracing(false);
+    let why = db.why("r1").unwrap();
+    assert!(why.contains("tracing is off"), "{why}");
+}
+
+#[test]
+fn trace_ring_is_bounded_and_wraps() {
+    let mut db = observed_db();
+    db.set_tracing(true);
+    db.set_trace_limit(16);
+    assert_eq!(db.trace_limit(), 16);
+    feed(&mut db, 20);
+    let events = db.trace_events();
+    assert_eq!(events.len(), 16, "retention bounded by the capacity");
+    assert!(db.trace_dropped() > 0, "older events were evicted");
+    for w in events.windows(2) {
+        assert_eq!(w[1].seq, w[0].seq + 1, "sequence numbers contiguous");
+        assert!(w[1].ts_ns >= w[0].ts_ns, "timestamps monotone");
+    }
+    // shrinking a live recorder trims the oldest events immediately
+    db.set_trace_limit(4);
+    let trimmed = db.trace_events();
+    assert_eq!(trimmed.len(), 4);
+    assert_eq!(trimmed[0].seq, events[12].seq);
+    // and more traffic still never exceeds the new bound
+    feed(&mut db, 5);
+    assert!(db.trace_events().len() <= 4);
+}
+
+#[test]
+fn tracing_off_allocates_nothing_and_records_nothing() {
+    let mut db = observed_db();
+    assert!(!db.tracing(), "off by default");
+    assert!(db.network().trace().is_none(), "no recorder allocated");
+    feed(&mut db, 5);
+    assert!(db.trace_events().is_empty());
+    assert_eq!(db.trace_dropped(), 0);
+    // enabling records; disabling discards the recorder entirely
+    db.set_tracing(true);
+    feed(&mut db, 2);
+    assert!(!db.trace_events().is_empty());
+    db.set_tracing(false);
+    assert!(db.network().trace().is_none());
+    assert!(db.trace_events().is_empty());
+}
+
+#[test]
+fn chrome_trace_json_is_valid_and_monotone_per_track() {
+    // observability on: firings carry measured durations and become spans
+    let mut db = observed_db();
+    db.set_tracing(true);
+    feed(&mut db, 6);
+    let json = db.chrome_trace_json();
+    // format pins
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.ends_with("]}"), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "spans present: {json}");
+    assert!(json.contains("\"ph\":\"i\""), "instants present: {json}");
+    assert!(json.contains("\"cat\":\"transition\""), "{json}");
+    assert!(json.contains("\"name\":\"fire watch\""), "{json}");
+    assert!(json.contains("\"pid\":1"), "{json}");
+    // the firing span carries its duration (timing tier was on)
+    let fire = json.find("\"name\":\"fire watch\"").unwrap();
+    assert!(
+        json[fire..].starts_with("\"name\":\"fire watch\",\"cat\":\"firing\",\"ph\":\"X\""),
+        "timed firings are spans: {}",
+        &json[fire..fire + 80]
+    );
+    // minimal validity scan: balanced braces/brackets outside strings,
+    // every string closed, no raw control characters
+    let (mut obj, mut arr, mut in_str, mut esc) = (0i64, 0i64, false, false);
+    for c in json.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            } else {
+                assert!(!c.is_control(), "raw control character in JSON string");
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => obj += 1,
+            '}' => obj -= 1,
+            '[' => arr += 1,
+            ']' => arr -= 1,
+            _ => {}
+        }
+        assert!(obj >= 0 && arr >= 0, "unbalanced structure");
+    }
+    assert!(!in_str && obj == 0 && arr == 0, "document not closed");
+    // `ts` is monotone within each track (`tid` = cascade depth); every
+    // event renders ts before tid, and args carry neither key
+    let mut last: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut pos = 0usize;
+    let mut seen = 0usize;
+    while let Some(i) = json[pos..].find("\"ts\":") {
+        let start = pos + i + 5;
+        let end = start + json[start..].find(',').unwrap();
+        let ts: f64 = json[start..end].parse().unwrap();
+        let ti = end + json[end..].find("\"tid\":").unwrap() + 6;
+        let te = ti + json[ti..].find(|c: char| !c.is_ascii_digit()).unwrap();
+        let tid: u64 = json[ti..te].parse().unwrap();
+        let prev = last.entry(tid).or_insert(0.0);
+        assert!(ts >= *prev, "ts regressed on track {tid}: {ts} < {prev}");
+        *prev = ts;
+        pos = te;
+        seen += 1;
+    }
+    assert!(seen > 10, "expected many events, saw {seen}");
+}
+
+#[test]
+fn trace_survives_both_rete_modes_with_bounded_ring() {
+    use ariel::network::ReteMode;
+    for mode in [ReteMode::Indexed, ReteMode::Nested] {
+        let mut db = cascade_db(Some(mode));
+        db.set_trace_limit(8);
+        for i in 3..10 {
+            db.execute(&format!("append src (x = {i})")).unwrap();
+        }
+        assert!(db.trace_events().len() <= 8, "{mode:?}");
+        assert!(db.trace_dropped() > 0, "{mode:?}");
+        let json = db.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["), "{mode:?}");
+    }
 }
 
 #[test]

@@ -174,7 +174,7 @@ fn run_stream(config: Config, ops: &[Op]) -> Result<(), TestCaseError> {
         Config::Rete(p) => {
             let mut n = ReteNetwork::with_policy(p.clone());
             for (i, c) in conds.iter().enumerate() {
-                n.add_rule(RuleId(i as u64), c).unwrap();
+                n.add_rule(RuleId(i as u64), c, &cat).unwrap();
                 n.prime(RuleId(i as u64), &cat).unwrap();
             }
             Net::Rete(Box::new(n))
