@@ -6,7 +6,7 @@
 //! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
 //! ```
 //!
-//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins trace
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins trace par
 
 use ariel_bench::measure;
 use std::time::Duration;
@@ -158,6 +158,40 @@ fn run_trace() {
     println!();
 }
 
+fn run_par() {
+    println!("== PAR: parallel match speedup vs threads → BENCH_par.json ==");
+    println!("(fig11 churn batched into runs; threads 0 = sequential path; Rete stays sequential)");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("(host parallelism: {host} — speedup saturates at the core count)");
+    println!(
+        "{:>22} {:>8} | {:>10} {:>8} {:>14}",
+        "config", "threads", "total ms", "speedup", "pnode inserts"
+    );
+    let rows = measure::par_table(50, 30, 32);
+    for r in &rows {
+        let seq = rows
+            .iter()
+            .find(|s| s.config == r.config && s.threads == 0)
+            .unwrap();
+        let speedup = seq.total.as_secs_f64() / r.total.as_secs_f64().max(1e-12);
+        println!(
+            "{:>22} {:>8} | {:>10} {:>7.2}x {:>14}",
+            r.config,
+            r.threads,
+            ms(r.total),
+            speedup,
+            r.pnode_inserts
+        );
+    }
+    let json = measure::par_json(&rows);
+    let path = "BENCH_par.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => println!("cannot write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_joins() {
     println!("== JOINS: indexed α-memories vs nested-loop → BENCH_join.json ==");
     println!("(fig10-fig13 workloads, 25 band rules, 400 emp tokens, 200 dim rows)");
@@ -251,5 +285,8 @@ fn main() {
     }
     if want("trace") {
         run_trace();
+    }
+    if want("par") {
+        run_par();
     }
 }

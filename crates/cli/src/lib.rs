@@ -255,6 +255,45 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
                 if db.tracing() { "on" } else { "off" }
             )),
         },
+        Some("parallel") => match parts.next() {
+            Some("on") => match db.set_parallel_match(true) {
+                Ok(()) => ShellAction::Text(format!(
+                    "parallel match on ({} threads)\n",
+                    match db.match_threads() {
+                        0 => "auto".to_string(),
+                        n => n.to_string(),
+                    }
+                )),
+                Err(e) => ShellAction::Text(format!("error: {e}\n")),
+            },
+            Some("off") => match db.set_parallel_match(false) {
+                Ok(()) => ShellAction::Text("parallel match off\n".into()),
+                Err(e) => ShellAction::Text(format!("error: {e}\n")),
+            },
+            Some("threads") => match parts.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => {
+                    db.set_match_threads(n);
+                    ShellAction::Text(format!(
+                        "match threads set to {}\n",
+                        match n {
+                            0 => "auto".to_string(),
+                            n => n.to_string(),
+                        }
+                    ))
+                }
+                None => ShellAction::Text(format!(
+                    "match threads: {}; usage: \\parallel threads <n> (0 = auto)\n",
+                    match db.match_threads() {
+                        0 => "auto".to_string(),
+                        n => n.to_string(),
+                    }
+                )),
+            },
+            _ => ShellAction::Text(format!(
+                "parallel match is {}; usage: \\parallel on|off|threads <n>\n",
+                if db.parallel_match() { "on" } else { "off" }
+            )),
+        },
         Some("why") => {
             let rest: Vec<&str> = parts.collect();
             match rest.as_slice() {
@@ -303,6 +342,9 @@ Meta commands:
   \trace show [n]   list the recorded events (newest n)
   \trace export <f> write the recording as Chrome trace_event JSON
   \why <rule>       causal chain of the rule's recorded firings
+  \parallel on|off  toggle the parallel match path (A-TREAT only)
+  \parallel threads <n>
+                    worker threads for parallel match (0 = auto)
   \metrics          full metrics snapshot as JSON
   \stats            engine and network statistics
   \help             this text
@@ -375,6 +417,38 @@ mod tests {
             panic!()
         };
         assert!(t.contains("unknown meta command"));
+    }
+
+    #[test]
+    fn parallel_meta_commands() {
+        let mut db = shell_db();
+        let ShellAction::Text(t) = dispatch(&mut db, "\\parallel") else {
+            panic!()
+        };
+        assert!(t.contains("parallel match is off"));
+        let ShellAction::Text(t) = dispatch(&mut db, "\\parallel threads 2") else {
+            panic!()
+        };
+        assert!(t.contains("match threads set to 2"));
+        let ShellAction::Text(t) = dispatch(&mut db, "\\parallel on") else {
+            panic!()
+        };
+        assert!(t.contains("parallel match on (2 threads)"));
+        assert!(db.parallel_match());
+        // the engine still works with the pool active
+        dispatch(&mut db, r#"append t (x = 5, name = "par")"#);
+        let ShellAction::Text(t) = dispatch(&mut db, "retrieve (t.x) where t.x = 5") else {
+            panic!()
+        };
+        assert!(t.contains("(1 row)"));
+        let ShellAction::Text(t) = dispatch(&mut db, "\\parallel off") else {
+            panic!()
+        };
+        assert!(t.contains("parallel match off"));
+        let ShellAction::Text(t) = dispatch(&mut db, "\\parallel threads") else {
+            panic!()
+        };
+        assert!(t.contains("match threads: 2"));
     }
 
     #[test]

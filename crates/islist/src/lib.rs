@@ -25,7 +25,7 @@ pub mod tree;
 pub use interval::Interval;
 pub use naive::NaiveIntervalSet;
 pub use skiplist::{IntervalId, IntervalSkipList};
-pub use stats::{Histogram, StabStats, HISTOGRAM_BUCKETS};
+pub use stats::{Counter, Histogram, StabStats, HISTOGRAM_BUCKETS};
 pub use tree::IntervalTree;
 
 #[cfg(test)]

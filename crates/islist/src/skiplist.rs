@@ -514,11 +514,9 @@ impl<T: Ord + Clone> IntervalSkipList<T> {
                 }
             }
         }
-        self.stats.stabs.set(self.stats.stabs.get() + 1);
-        self.stats
-            .nodes_visited
-            .set(self.stats.nodes_visited.get() + visited);
-        self.stats.hits.set(self.stats.hits.get() + hits);
+        self.stats.stabs.add(1);
+        self.stats.nodes_visited.add(visited);
+        self.stats.hits.add(hits);
     }
 
     /// Approximate heap footprint in bytes. Alias of

@@ -4,19 +4,71 @@
 //! (`ariel-network`, `ariel`, the benches) can record into the same
 //! dependency-free types:
 //!
+//! * [`Counter`] — a relaxed atomic `u64` with the `Cell` API (`get`/`set`)
+//!   plus `add`. Every always-on counter in the match path is one of these.
 //! * [`Histogram`] — a fixed-bucket log₂ histogram of `u64` samples
 //!   (typically nanoseconds from a monotonic clock, sometimes counts).
-//!   Recording is two `Cell` increments; no allocation, no locking, no
-//!   floating point.
+//!   Recording is a handful of relaxed atomic increments; no allocation,
+//!   no locking, no floating point.
 //! * [`StabStats`] — always-on counters the interval skip list keeps about
 //!   its stabbing queries (probe count, nodes visited, marker hits).
 //!
-//! Both types use interior mutability (`Cell`) so shared-reference code
+//! All three use *atomic* interior mutability so shared-reference code
 //! paths — `IntervalSkipList::stab` takes `&self` — can record without
-//! threading `&mut` through the search routines.
+//! threading `&mut` through the search routines, **and** so the structures
+//! that embed them are `Sync`: the parallel match path (see
+//! `docs/CONCURRENCY.md`) shares the discrimination network across scoped
+//! worker threads by `&`-reference. All accesses are `Relaxed`; the
+//! counters are statistics whose totals are sums, which are independent of
+//! the order increments land in.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared `u64` counter: a relaxed [`AtomicU64`] exposing the `Cell` API.
+///
+/// `get`/`set` mirror `Cell<u64>` so single-threaded call sites read the
+/// same as before the match path went parallel; `add` is the one-word
+/// increment hot paths use. `Clone` snapshots the current value.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter holding `v`.
+    pub fn new(v: u64) -> Self {
+        Counter(AtomicU64::new(v))
+    }
+
+    /// Current value (relaxed load).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value (relaxed store).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `v` (relaxed fetch-add).
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter::new(self.get())
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
 
 /// Number of log₂ buckets. Bucket 63 absorbs everything ≥ 2⁶².
 pub const HISTOGRAM_BUCKETS: usize = 64;
@@ -37,23 +89,39 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 /// assert_eq!(h.sum(), 908);
 /// assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
 /// ```
-#[derive(Clone)]
 pub struct Histogram {
-    buckets: [Cell<u64>; HISTOGRAM_BUCKETS],
-    count: Cell<u64>,
-    sum: Cell<u64>,
-    min: Cell<u64>,
-    max: Cell<u64>,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample lands, so concurrent recorders can
+    /// use `fetch_min` without an is-empty check; [`Histogram::min`] maps
+    /// the empty state back to 0.
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: std::array::from_fn(|_| Cell::new(0)),
-            count: Cell::new(0),
-            sum: Cell::new(0),
-            min: Cell::new(0),
-            max: Cell::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|i| {
+                AtomicU64::new(self.buckets[i].load(Ordering::Relaxed))
+            }),
+            count: AtomicU64::new(self.count.load(Ordering::Relaxed)),
+            sum: AtomicU64::new(self.sum.load(Ordering::Relaxed)),
+            min: AtomicU64::new(self.min.load(Ordering::Relaxed)),
+            max: AtomicU64::new(self.max.load(Ordering::Relaxed)),
         }
     }
 }
@@ -82,27 +150,21 @@ impl Histogram {
     /// Record one sample.
     #[inline]
     pub fn record(&self, v: u64) {
-        let b = &self.buckets[Self::bucket_index(v)];
-        b.set(b.get() + 1);
-        let n = self.count.get();
-        self.count.set(n + 1);
-        self.sum.set(self.sum.get().saturating_add(v));
-        if n == 0 || v < self.min.get() {
-            self.min.set(v);
-        }
-        if v > self.max.get() {
-            self.max.set(v);
-        }
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
-    /// Exact sum of all samples (saturating).
+    /// Exact sum of all samples.
     pub fn sum(&self) -> u64 {
-        self.sum.get()
+        self.sum.load(Ordering::Relaxed)
     }
 
     /// Exact mean, or 0 when empty.
@@ -119,13 +181,13 @@ impl Histogram {
         if self.count() == 0 {
             0
         } else {
-            self.min.get()
+            self.min.load(Ordering::Relaxed)
         }
     }
 
     /// Largest recorded sample (0 when empty).
     pub fn max(&self) -> u64 {
-        self.max.get()
+        self.max.load(Ordering::Relaxed)
     }
 
     /// True if nothing has been recorded.
@@ -137,7 +199,7 @@ impl Histogram {
     pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
         let mut out = [0u64; HISTOGRAM_BUCKETS];
         for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
-            *o = b.get();
+            *o = b.load(Ordering::Relaxed);
         }
         out
     }
@@ -152,7 +214,7 @@ impl Histogram {
         let rank = (n.saturating_mul(q.min(100) as u64)).div_ceil(100).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.get();
+            seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 return Self::bucket_floor(i);
             }
@@ -166,28 +228,27 @@ impl Histogram {
             return;
         }
         for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
-            a.set(a.get() + b.get());
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
         }
-        let n = self.count.get();
-        if n == 0 || other.min.get() < self.min.get() {
-            self.min.set(other.min.get());
-        }
-        if other.max.get() > self.max.get() {
-            self.max.set(other.max.get());
-        }
-        self.count.set(n + other.count.get());
-        self.sum.set(self.sum.get().saturating_add(other.sum.get()));
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Forget all samples.
     pub fn reset(&self) {
         for b in &self.buckets {
-            b.set(0);
+            b.store(0, Ordering::Relaxed);
         }
-        self.count.set(0);
-        self.sum.set(0);
-        self.min.set(0);
-        self.max.set(0);
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 
     /// Hand-rolled JSON object: `{"count":…,"sum":…,"min":…,"mean":…,
@@ -206,12 +267,13 @@ impl Histogram {
         );
         let mut first = true;
         for (i, b) in self.buckets.iter().enumerate() {
-            if b.get() > 0 {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
                 if !first {
                     s.push(',');
                 }
                 first = false;
-                s.push_str(&format!("\"{}\":{}", Self::bucket_floor(i), b.get()));
+                s.push_str(&format!("\"{}\":{}", Self::bucket_floor(i), n));
             }
         }
         s.push_str("}}");
@@ -235,18 +297,18 @@ impl fmt::Debug for Histogram {
 
 /// Always-on counters for interval-skip-list stabbing queries.
 ///
-/// Kept by every [`crate::IntervalSkipList`]; incrementing three `Cell`s
-/// per probe is cheap enough to leave unconditionally enabled, which is
-/// what lets `NetworkStats` report selection-network probe work without an
-/// observability flag.
+/// Kept by every [`crate::IntervalSkipList`]; incrementing three relaxed
+/// atomics per probe is cheap enough to leave unconditionally enabled,
+/// which is what lets `NetworkStats` report selection-network probe work
+/// without an observability flag.
 #[derive(Clone, Default)]
 pub struct StabStats {
     /// Number of stabbing queries answered.
-    pub stabs: Cell<u64>,
+    pub stabs: Counter,
     /// Skip-list nodes examined while descending the search path.
-    pub nodes_visited: Cell<u64>,
+    pub nodes_visited: Counter,
     /// Interval markers reported (before de-duplication).
-    pub hits: Cell<u64>,
+    pub hits: Counter,
 }
 
 impl StabStats {
@@ -264,10 +326,9 @@ impl StabStats {
 
     /// Fold `other` into `self`.
     pub fn merge(&self, other: &StabStats) {
-        self.stabs.set(self.stabs.get() + other.stabs.get());
-        self.nodes_visited
-            .set(self.nodes_visited.get() + other.nodes_visited.get());
-        self.hits.set(self.hits.get() + other.hits.get());
+        self.stabs.add(other.stabs.get());
+        self.nodes_visited.add(other.nodes_visited.get());
+        self.hits.add(other.hits.get());
     }
 }
 
@@ -330,6 +391,7 @@ mod tests {
         assert_eq!(a.max(), 1000);
         a.reset();
         assert!(a.is_empty());
+        assert_eq!(a.min(), 0, "empty histogram reports min 0");
         assert_eq!(a.buckets().iter().sum::<u64>(), 0);
     }
 
@@ -342,5 +404,37 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
         assert!(j.contains("\"count\":2"), "{j}");
         assert!(j.contains("\"buckets\":{\"4\":2}"), "{j}");
+    }
+
+    #[test]
+    fn counter_cell_api() {
+        let c = Counter::new(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.set(1);
+        assert_eq!(c.get(), 1);
+        let d = c.clone();
+        c.add(1);
+        assert_eq!(d.get(), 1, "clone snapshots, not shares");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let h = Histogram::new();
+        let s = StabStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 0..100u64 {
+                        h.record(v);
+                        s.stabs.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 400);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 99);
+        assert_eq!(s.stabs.get(), 400);
     }
 }

@@ -16,10 +16,9 @@
 
 use crate::pred::SelectionPredicate;
 use crate::token::{EventSpecifier, TokenKind};
-use ariel_islist::{Interval, IntervalId, IntervalSkipList};
+use ariel_islist::{Counter, Interval, IntervalId, IntervalSkipList};
 use ariel_query::{eval_pred, SingleEnv};
 use ariel_storage::{Tid, Tuple, Value};
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Bound;
@@ -150,41 +149,43 @@ impl AlphaEntry {
 }
 
 /// Always-on per-node counters (see `crate::obs` for the two-tier
-/// observability design). `Cell` because the join routines hold `&self`.
+/// observability design). Atomic [`Counter`]s because the join routines
+/// hold `&self`, and because the parallel match path (`docs/CONCURRENCY.md`)
+/// probes α-memories from several worker threads at once.
 #[derive(Debug, Clone, Default)]
 pub struct AlphaCounters {
     /// α-tests run against this node (selection-network candidates).
-    pub tests: Cell<u64>,
+    pub tests: Counter,
     /// α-tests that passed (event gating + predicate).
-    pub passes: Cell<u64>,
+    pub passes: Counter,
     /// Entries inserted into the stored memory.
-    pub inserted: Cell<u64>,
+    pub inserted: Counter,
     /// β-join materializations of this node from its base relation
     /// (virtual nodes only).
-    pub virtual_scans: Cell<u64>,
+    pub virtual_scans: Counter,
     /// Base-relation tuples examined during those materializations.
-    pub scanned_tuples: Cell<u64>,
+    pub scanned_tuples: Counter,
     /// Candidate bindings served into β-joins (stored or materialized).
-    pub join_candidates: Cell<u64>,
+    pub join_candidates: Counter,
     /// Hash join-index probes answered by this node (α-memory join index
     /// for stored/dynamic kinds, base-relation index for virtual kinds).
-    pub index_probes: Cell<u64>,
+    pub index_probes: Counter,
     /// Index probes that found at least one candidate.
-    pub index_hits: Cell<u64>,
+    pub index_hits: Counter,
     /// Join candidates served through an index probe.
-    pub indexed_candidates: Cell<u64>,
+    pub indexed_candidates: Counter,
     /// Join candidates served by full enumeration (no usable index).
-    pub scanned_candidates: Cell<u64>,
+    pub scanned_candidates: Counter,
     /// Interval-index stabbing probes answered by this node (band joins).
-    pub range_probes: Cell<u64>,
+    pub range_probes: Counter,
     /// Range probes that found at least one candidate.
-    pub range_hits: Cell<u64>,
+    pub range_hits: Counter,
 }
 
 impl AlphaCounters {
     #[inline]
-    pub(crate) fn bump(cell: &Cell<u64>, by: u64) {
-        cell.set(cell.get() + by);
+    pub(crate) fn bump(c: &Counter, by: u64) {
+        c.add(by);
     }
 
     /// Zero every counter.

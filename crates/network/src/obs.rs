@@ -14,13 +14,23 @@
 //!    insert. With the flag off none of this exists and the match path
 //!    pays nothing beyond the tier-1 counters.
 //!
-//! Everything uses interior mutability (`Cell`/`RefCell`) because the join
-//! routines traverse the network through `&self`.
+//! Everything uses *thread-safe* interior mutability (atomic [`Counter`]s,
+//! `Mutex`-guarded maps) because the join routines traverse the network
+//! through `&self` — and, under the parallel match path
+//! (`docs/CONCURRENCY.md`), from several worker threads at once. The maps
+//! are only locked briefly per phase record; with observability off none of
+//! this is reached.
 
 use crate::alpha::RuleId;
-use ariel_islist::Histogram;
-use std::cell::{Cell, RefCell};
+use ariel_islist::{Counter, Histogram};
 use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a map, recovering from poisoning (a panicking recorder must not
+/// take the whole observability session down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Per-α-node observations (keyed by `(rule, var)` — node identity in every
 /// report is "variable `var` of rule `rule`").
@@ -136,13 +146,13 @@ impl RuleObs {
 #[derive(Debug, Default)]
 pub struct MatchObs {
     /// Tokens processed while this session was active.
-    pub tokens: Cell<u64>,
+    pub tokens: Counter,
     /// Wall-clock ns per selection-network probe (one per positive token).
     pub selnet_probe: Histogram,
     /// Candidate α-nodes emitted by those probes.
-    pub selnet_candidates: Cell<u64>,
-    nodes: RefCell<BTreeMap<(u64, usize), NodeObs>>,
-    rules: RefCell<BTreeMap<u64, RuleObs>>,
+    pub selnet_candidates: Counter,
+    nodes: Mutex<BTreeMap<(u64, usize), NodeObs>>,
+    rules: Mutex<BTreeMap<u64, RuleObs>>,
 }
 
 impl MatchObs {
@@ -153,28 +163,27 @@ impl MatchObs {
 
     /// Mutate (creating on first use) the observations of one α-node.
     pub fn with_node(&self, rule: RuleId, var: usize, f: impl FnOnce(&mut NodeObs)) {
-        f(self.nodes.borrow_mut().entry((rule.0, var)).or_default())
+        f(lock(&self.nodes).entry((rule.0, var)).or_default())
     }
 
     /// Mutate (creating on first use) the observations of one rule.
     pub fn with_rule(&self, rule: RuleId, f: impl FnOnce(&mut RuleObs)) {
-        f(self.rules.borrow_mut().entry(rule.0).or_default())
+        f(lock(&self.rules).entry(rule.0).or_default())
     }
 
     /// Snapshot of one node's observations.
     pub fn node(&self, rule: RuleId, var: usize) -> Option<NodeObs> {
-        self.nodes.borrow().get(&(rule.0, var)).cloned()
+        lock(&self.nodes).get(&(rule.0, var)).cloned()
     }
 
     /// Snapshot of one rule's observations.
     pub fn rule(&self, rule: RuleId) -> Option<RuleObs> {
-        self.rules.borrow().get(&rule.0).cloned()
+        lock(&self.rules).get(&rule.0).cloned()
     }
 
     /// Snapshot of every node's observations, ordered by (rule, var).
     pub fn nodes(&self) -> Vec<((u64, usize), NodeObs)> {
-        self.nodes
-            .borrow()
+        lock(&self.nodes)
             .iter()
             .map(|(k, v)| (*k, v.clone()))
             .collect()
@@ -182,8 +191,7 @@ impl MatchObs {
 
     /// Snapshot of every rule's observations, ordered by rule id.
     pub fn rules(&self) -> Vec<(u64, RuleObs)> {
-        self.rules
-            .borrow()
+        lock(&self.rules)
             .iter()
             .map(|(k, v)| (*k, v.clone()))
             .collect()
@@ -196,12 +204,12 @@ impl MatchObs {
         self.selnet_probe.merge(&other.selnet_probe);
         self.selnet_candidates
             .set(self.selnet_candidates.get() + other.selnet_candidates.get());
-        let mut nodes = self.nodes.borrow_mut();
-        for (k, v) in other.nodes.borrow().iter() {
+        let mut nodes = lock(&self.nodes);
+        for (k, v) in lock(&other.nodes).iter() {
             nodes.entry(*k).or_default().merge(v);
         }
-        let mut rules = self.rules.borrow_mut();
-        for (k, v) in other.rules.borrow().iter() {
+        let mut rules = lock(&self.rules);
+        for (k, v) in lock(&other.rules).iter() {
             rules.entry(*k).or_default().merge(v);
         }
     }
@@ -215,11 +223,11 @@ impl MatchObs {
             Histogram::new(),
             Histogram::new(),
         );
-        for n in self.nodes.borrow().values() {
+        for n in lock(&self.nodes).values() {
             alpha.merge(&n.alpha_test);
             vscan.merge(&n.virtual_scan);
         }
-        for r in self.rules.borrow().values() {
+        for r in lock(&self.rules).values() {
             join.merge(&r.beta_join);
             pins.merge(&r.pnode_insert);
         }
@@ -239,7 +247,7 @@ impl MatchObs {
             join.to_json(),
             pins.to_json(),
         );
-        for (i, ((rule, var), n)) in self.nodes.borrow().iter().enumerate() {
+        for (i, ((rule, var), n)) in lock(&self.nodes).iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
@@ -264,7 +272,7 @@ impl MatchObs {
             ));
         }
         s.push_str("],\"rules\":[");
-        for (i, (rule, r)) in self.rules.borrow().iter().enumerate() {
+        for (i, (rule, r)) in lock(&self.rules).iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }

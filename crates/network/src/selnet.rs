@@ -11,9 +11,8 @@
 //! indexable condition this tuple satisfies" in `O(log n + answers)`.
 
 use crate::alpha::AlphaId;
-use ariel_islist::{Interval, IntervalId, IntervalSkipList, StabStats};
+use ariel_islist::{Counter, Interval, IntervalId, IntervalSkipList, StabStats};
 use ariel_storage::{Tuple, Value};
-use std::cell::Cell;
 use std::collections::HashMap;
 
 #[derive(Debug, Default)]
@@ -46,9 +45,9 @@ pub struct SelectionNetwork {
     rels: HashMap<String, RelRouting>,
     subs: HashMap<usize, SubRecord>, // keyed by AlphaId.0
     /// Always-on counter: tokens probed through [`Self::candidates`].
-    probes: Cell<u64>,
+    probes: Counter,
     /// Always-on counter: candidate nodes emitted by those probes.
-    emitted: Cell<u64>,
+    emitted: Counter,
 }
 
 impl SelectionNetwork {
@@ -106,7 +105,7 @@ impl SelectionNetwork {
     /// interval contains the corresponding attribute value, plus every
     /// unanchored subscription. Residual predicates are *not* checked here.
     pub fn candidates(&self, rel: &str, tuple: &Tuple) -> Vec<AlphaId> {
-        self.probes.set(self.probes.get() + 1);
+        self.probes.add(1);
         let Some(routing) = self.rels.get(rel) else {
             return Vec::new();
         };
@@ -124,7 +123,7 @@ impl SelectionNetwork {
             });
         }
         out.extend_from_slice(&routing.unanchored);
-        self.emitted.set(self.emitted.get() + out.len() as u64);
+        self.emitted.add(out.len() as u64);
         out
     }
 

@@ -12,11 +12,14 @@
 //! Design mirrors the timing tier's gating discipline: the recorder lives
 //! in the network as an `Option<TraceRecorder>` (absent by default, so
 //! tracing off costs one pointer-width branch per hook), uses interior
-//! mutability (`Cell`/`RefCell`) because the join paths only hold `&self`,
-//! and appends in `O(1)` to a fixed-capacity [`VecDeque`] ring — when
-//! full, the oldest record is evicted and counted in
-//! [`TraceRecorder::dropped`], so memory stays bounded no matter how long
-//! tracing runs.
+//! mutability (one `Mutex` around all recorder state) because the join
+//! paths only hold `&self`, and appends in `O(1)` to a fixed-capacity
+//! [`VecDeque`] ring — when full, the oldest record is evicted and counted
+//! in [`TraceRecorder::dropped`], so memory stays bounded no matter how
+//! long tracing runs. A single coarse lock is deliberate: causal event
+//! order cannot survive parallel interleaving, so the engine falls back to
+//! the sequential match path whenever tracing is active (see
+//! `docs/CONCURRENCY.md`) and the lock is never contended.
 //!
 //! The engine stamps transition context (id, cascade depth, causing
 //! firing) onto the recorder via [`TraceRecorder::begin_transition`];
@@ -28,8 +31,8 @@
 //! [`TraceEventKind::TransitionBegin`] back at the firing whose action
 //! emitted its tokens.
 
-use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Default ring capacity when tracing is enabled without an explicit
@@ -200,20 +203,37 @@ struct RuleCtx {
     cause: Option<u64>,
 }
 
+/// All mutable recorder state, behind the recorder's single mutex.
+#[derive(Debug)]
+struct TraceState {
+    events: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    transition: u64,
+    depth: u32,
+    cause: Option<u64>,
+    current_token: Option<u64>,
+    rule_ctx: HashMap<u64, RuleCtx>,
+}
+
+impl TraceState {
+    /// Append with eviction; assumes `seq` was already assigned.
+    fn push(&mut self, record: TraceRecord) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(record);
+    }
+}
+
 /// Bounded ring-buffer flight recorder. See the module docs for the
 /// design; all methods take `&self` (interior mutability) because the
 /// network's join paths record through shared references.
 #[derive(Debug)]
 pub struct TraceRecorder {
-    events: RefCell<VecDeque<TraceRecord>>,
-    capacity: Cell<usize>,
-    next_seq: Cell<u64>,
-    dropped: Cell<u64>,
-    transition: Cell<u64>,
-    depth: Cell<u32>,
-    cause: Cell<Option<u64>>,
-    current_token: Cell<Option<u64>>,
-    rule_ctx: RefCell<HashMap<u64, RuleCtx>>,
+    state: Mutex<TraceState>,
     epoch: Instant,
 }
 
@@ -223,55 +243,62 @@ impl TraceRecorder {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         TraceRecorder {
-            events: RefCell::new(VecDeque::with_capacity(capacity.min(1024))),
-            capacity: Cell::new(capacity),
-            next_seq: Cell::new(0),
-            dropped: Cell::new(0),
-            transition: Cell::new(0),
-            depth: Cell::new(0),
-            cause: Cell::new(None),
-            current_token: Cell::new(None),
-            rule_ctx: RefCell::new(HashMap::new()),
+            state: Mutex::new(TraceState {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                next_seq: 0,
+                dropped: 0,
+                transition: 0,
+                depth: 0,
+                cause: None,
+                current_token: None,
+                rule_ctx: HashMap::new(),
+            }),
             epoch: Instant::now(),
         }
     }
 
+    fn lock(&self) -> MutexGuard<'_, TraceState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Maximum number of retained events.
     pub fn capacity(&self) -> usize {
-        self.capacity.get()
+        self.lock().capacity
     }
 
     /// Resize the ring, evicting oldest events if shrinking.
     pub fn set_capacity(&self, capacity: usize) {
         let capacity = capacity.max(1);
-        self.capacity.set(capacity);
-        let mut events = self.events.borrow_mut();
-        while events.len() > capacity {
-            events.pop_front();
-            self.dropped.set(self.dropped.get() + 1);
+        let mut st = self.lock();
+        st.capacity = capacity;
+        while st.events.len() > capacity {
+            st.events.pop_front();
+            st.dropped += 1;
         }
     }
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        self.lock().events.len()
     }
 
     /// Whether the ring is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.borrow().is_empty()
+        self.lock().events.is_empty()
     }
 
     /// Events evicted so far because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped.get()
+        self.lock().dropped
     }
 
     /// Discard all retained events (sequence numbers keep running so
     /// ordering stays global across clears).
     pub fn clear(&self) {
-        self.events.borrow_mut().clear();
-        self.dropped.set(0);
+        let mut st = self.lock();
+        st.events.clear();
+        st.dropped = 0;
     }
 
     /// Stamp the context every subsequent event inherits: transition id,
@@ -279,20 +306,21 @@ impl TraceRecorder {
     /// started the transition (`None` for user commands). Also resets the
     /// current-token link.
     pub fn begin_transition(&self, transition: u64, depth: u32, cause: Option<u64>) {
-        self.transition.set(transition);
-        self.depth.set(depth);
-        self.cause.set(cause);
-        self.current_token.set(None);
+        let mut st = self.lock();
+        st.transition = transition;
+        st.depth = depth;
+        st.cause = cause;
+        st.current_token = None;
     }
 
     /// Current transition id (as stamped by [`Self::begin_transition`]).
     pub fn transition(&self) -> u64 {
-        self.transition.get()
+        self.lock().transition
     }
 
     /// Current cascade depth.
     pub fn depth(&self) -> u32 {
-        self.depth.get()
+        self.lock().depth
     }
 
     /// Record an event with the current context. Returns its sequence
@@ -307,36 +335,30 @@ impl TraceRecorder {
     /// [`Self::record`] with a measured duration attached (used for rule
     /// firings when the timing tier is on).
     pub fn record_with_dur(&self, kind: TraceEventKind, dur_ns: Option<u64>) -> u64 {
-        let seq = self.next_seq.get();
-        self.next_seq.set(seq + 1);
+        let mut st = self.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
         match &kind {
-            TraceEventKind::TokenEmitted { .. } => self.current_token.set(Some(seq)),
+            TraceEventKind::TokenEmitted { .. } => st.current_token = Some(seq),
             TraceEventKind::Instantiation { rule, .. } => {
-                self.rule_ctx.borrow_mut().insert(
-                    *rule,
-                    RuleCtx {
-                        depth: self.depth.get(),
-                        transition: self.transition.get(),
-                        cause: self.cause.get(),
-                    },
-                );
+                let ctx = RuleCtx {
+                    depth: st.depth,
+                    transition: st.transition,
+                    cause: st.cause,
+                };
+                st.rule_ctx.insert(*rule, ctx);
             }
             _ => {}
         }
         let record = TraceRecord {
             seq,
-            transition: self.transition.get(),
-            depth: self.depth.get(),
+            transition: st.transition,
+            depth: st.depth,
             ts_ns: self.epoch.elapsed().as_nanos() as u64,
             dur_ns,
             kind,
         };
-        let mut events = self.events.borrow_mut();
-        if events.len() >= self.capacity.get() {
-            events.pop_front();
-            self.dropped.set(self.dropped.get() + 1);
-        }
-        events.push_back(record);
+        st.push(record);
         seq
     }
 
@@ -344,7 +366,7 @@ impl TraceRecorder {
     /// triggered the join (the most recent [`TraceEventKind::TokenEmitted`]
     /// in this transition, if any).
     pub fn record_instantiation(&self, rule: u64, tids: Vec<Option<u64>>) -> u64 {
-        let token = self.current_token.get();
+        let token = self.lock().current_token;
         self.record(TraceEventKind::Instantiation { rule, tids, token })
     }
 
@@ -354,13 +376,14 @@ impl TraceRecorder {
     /// falling back to the current context. Returns `(seq, depth)` so the
     /// engine can stamp the cascade transition it starts next.
     pub fn record_firing(&self, rule: u64, instantiations: u64, dur_ns: Option<u64>) -> (u64, u32) {
-        let ctx = self.rule_ctx.borrow().get(&rule).copied();
+        let mut st = self.lock();
+        let ctx = st.rule_ctx.get(&rule).copied();
         let (depth, transition, cause) = match ctx {
             Some(c) => (c.depth, c.transition, c.cause),
-            None => (self.depth.get(), self.transition.get(), self.cause.get()),
+            None => (st.depth, st.transition, st.cause),
         };
-        let seq = self.next_seq.get();
-        self.next_seq.set(seq + 1);
+        let seq = st.next_seq;
+        st.next_seq += 1;
         let record = TraceRecord {
             seq,
             transition,
@@ -373,18 +396,13 @@ impl TraceRecorder {
                 cause,
             },
         };
-        let mut events = self.events.borrow_mut();
-        if events.len() >= self.capacity.get() {
-            events.pop_front();
-            self.dropped.set(self.dropped.get() + 1);
-        }
-        events.push_back(record);
+        st.push(record);
         (seq, depth)
     }
 
     /// Copy of the retained events, oldest first.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.events.borrow().iter().cloned().collect()
+        self.lock().events.iter().cloned().collect()
     }
 }
 

@@ -45,7 +45,9 @@ use ariel_query::{
     QueryResult, QuerySpec, RExpr, ResolvedCondition, Row,
 };
 use ariel_storage::{Catalog, SchemaRef, Tid, Tuple, Value};
+use scoped_pool::Pool;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Policy deciding which eligible α-memories become virtual (§4.2 closes
@@ -288,6 +290,18 @@ pub struct Network {
     obs: Option<MatchObs>,
     /// Gated flight recorder (None = tracing off, the default).
     trace: Option<TraceRecorder>,
+    /// Whether β-join probe work fans out across the worker pool (off by
+    /// default). Tracing forces the sequential path regardless — causal
+    /// event order cannot survive a parallel interleaving.
+    parallel_match: bool,
+    /// Worker threads for the parallel path; 0 = one per available core.
+    match_threads: usize,
+    /// Optional seed permuting how join seeds are dealt to worker deques.
+    /// Results are scheduling-independent, so this knob exists purely for
+    /// the stress tests that prove it.
+    shard_seed: Option<u64>,
+    /// Lazily-built worker pool (rebuilt when the thread count changes).
+    pool: Option<Pool>,
 }
 
 /// The [`VirtualPolicy::SelectivityThreshold`] estimate, shared by both
@@ -379,8 +393,110 @@ impl Default for Network {
             composite_keys: true,
             obs: None,
             trace: None,
+            parallel_match: false,
+            match_threads: 0,
+            shard_seed: None,
+            pool: None,
         }
     }
+}
+
+// The parallel phase shares `&Network` across pool workers; this assertion
+// is the compile-time half of the Send + Sync audit in docs/CONCURRENCY.md.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Network>();
+};
+
+/// Precomputed visibility state for one parallel *run* — a maximal stretch
+/// of consecutive plain-append positive tokens with distinct, previously
+/// unseen tids. Phase A inserts the whole run's α-entries up front and
+/// stamps each with `(token index, matched position)`; these stamps let a
+/// worker joining seed `(ti, pos)` reconstruct exactly the memory contents
+/// the sequential interleaving would have shown it.
+struct RunCtx<'a> {
+    /// `(α-node arena index, tid)` → `(run token index, matched position)`
+    /// for every entry phase A inserted.
+    stamps: HashMap<(usize, u64), (usize, usize)>,
+    /// Per relation: tid → run token index, for virtual-node scans.
+    run_tids: HashMap<String, HashMap<u64, usize>>,
+    /// Per run token: α-node arena index → its position in the token's
+    /// sorted matched list (the paper's ProcessedMemories, made explicit).
+    matched_pos: Vec<HashMap<usize, usize>>,
+    /// Batch pending set with this run's own tids already removed.
+    pending: &'a HashMap<String, HashSet<u64>>,
+}
+
+/// One seed's join outcome: the instantiations it produced, or the error
+/// that would have aborted the sequential batch at this seed.
+type SeedResult = QueryResult<Vec<Vec<BoundVar>>>;
+
+/// One β-join seed of a parallel run: token `ti`'s binding at its `pos`-th
+/// matched α-node, plus the join order phase A froze for it.
+struct ParSeed {
+    rule_id: RuleId,
+    var: usize,
+    kind: AlphaKind,
+    seed: BoundVar,
+    ti: usize,
+    pos: usize,
+    /// Sequential-equivalent join order (empty for simple rules).
+    order: Vec<usize>,
+}
+
+/// Which α-entries and base tuples a β-join may see. The sequential path
+/// carries the in-flight token plus the pending/ProcessedMemories
+/// discipline verbatim; the parallel path compares [`RunCtx`] stamps
+/// against the seed's `(token, position)` coordinates instead.
+enum JoinVis<'a> {
+    Seq {
+        token: &'a Token,
+        processed: &'a HashSet<usize>,
+        pending: &'a HashMap<String, HashSet<u64>>,
+    },
+    Run {
+        ctx: &'a RunCtx<'a>,
+        /// Run index of the seed's token.
+        ti: usize,
+        /// Matched position of the seed's α-node within its token.
+        pos: usize,
+    },
+}
+
+impl JoinVis<'_> {
+    /// May the join at α-node `alpha_idx` use this stored/dynamic entry?
+    /// Sequentially the physical memory contents are exact by
+    /// construction; in a run, an entry stamped `(tj, pj)` existed at the
+    /// sequential moment of seed `(ti, pos)` iff it was inserted earlier:
+    /// by an earlier token, or by the same token at an earlier (or this)
+    /// matched position.
+    #[inline]
+    fn entry_visible(&self, alpha_idx: usize, e: &AlphaEntry) -> bool {
+        match self {
+            JoinVis::Seq { .. } => true,
+            JoinVis::Run { ctx, ti, pos } => {
+                let Some(tid) = e.tid else { return true };
+                match ctx.stamps.get(&(alpha_idx, tid.0)) {
+                    None => true, // predates the run
+                    Some(&(tj, pj)) => tj < *ti || (tj == *ti && pj <= *pos),
+                }
+            }
+        }
+    }
+}
+
+/// Fisher–Yates under a xorshift stream: the deal-order permutation behind
+/// [`Network::set_shard_seed`].
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        order.swap(i, (s % (i as u64 + 1)) as usize);
+    }
+    order
 }
 
 impl Network {
@@ -449,6 +565,60 @@ impl Network {
     /// The active flight recorder, if tracing is on.
     pub fn trace(&self) -> Option<&TraceRecorder> {
         self.trace.as_ref()
+    }
+
+    /// Enable or disable the parallel match path (off by default).
+    /// Tracing overrides this: with a flight recorder installed the
+    /// network always takes the sequential path, because the recorder's
+    /// causal event order cannot survive a parallel interleaving.
+    pub fn set_parallel_match(&mut self, on: bool) {
+        self.parallel_match = on;
+        if !on {
+            self.pool = None;
+        }
+    }
+
+    /// Whether the parallel match path is enabled.
+    pub fn parallel_match(&self) -> bool {
+        self.parallel_match
+    }
+
+    /// Set the worker thread count for the parallel path (0 — the
+    /// default — means one per available core). Takes effect on the next
+    /// batch; the pool is rebuilt lazily when the count changes.
+    pub fn set_match_threads(&mut self, n: usize) {
+        self.match_threads = n;
+    }
+
+    /// Configured worker thread count (0 = auto).
+    pub fn match_threads(&self) -> usize {
+        self.match_threads
+    }
+
+    /// Permute the order join seeds are dealt to worker deques with a
+    /// seeded shuffle (`None` — the default — deals in merge order).
+    /// Results are scheduling-independent, so this knob exists purely for
+    /// the stress tests that prove it.
+    pub fn set_shard_seed(&mut self, seed: Option<u64>) {
+        self.shard_seed = seed;
+    }
+
+    /// Build (or rebuild) the worker pool to match `match_threads`.
+    fn ensure_pool(&mut self) {
+        let want = if self.match_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.match_threads
+        };
+        let rebuild = match &self.pool {
+            Some(p) => p.threads() != want,
+            None => true,
+        };
+        if rebuild {
+            self.pool = Some(Pool::new(want));
+        }
     }
 
     fn alpha(&self, id: AlphaId) -> &AlphaNode {
@@ -762,6 +932,9 @@ impl Network {
                 pending.entry(t.rel.clone()).or_default().insert(t.tid.0);
             }
         }
+        if self.parallel_match && self.trace.is_none() {
+            return self.process_batch_parallel(tokens, catalog, pending);
+        }
         for t in tokens {
             if let Some(tr) = &self.trace {
                 tr.record(TraceEventKind::TokenEmitted {
@@ -839,6 +1012,283 @@ impl Network {
         Ok(())
     }
 
+    /// Parallel token processing: carve the batch into *runs* of
+    /// consecutive plain-append positives with distinct, previously unseen
+    /// tids, and fan each run's β-join probes across the worker pool.
+    /// Anything else — negatives, replaces, re-inserted tids — is
+    /// processed sequentially in place and acts as a barrier between runs.
+    fn process_batch_parallel(
+        &mut self,
+        tokens: &[Token],
+        catalog: &Catalog,
+        mut pending: HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<()> {
+        self.ensure_pool();
+        let mut i = 0;
+        while i < tokens.len() {
+            if !self.run_eligible(&tokens[i]) {
+                let t = &tokens[i];
+                if t.kind.is_positive() {
+                    if let Some(set) = pending.get_mut(&t.rel) {
+                        set.remove(&t.tid.0);
+                    }
+                    self.process_positive(t, catalog, &pending)?;
+                } else {
+                    self.process_negative(t, catalog, &pending)?;
+                }
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut seen: HashSet<(&str, u64)> = HashSet::new();
+            while i < tokens.len()
+                && self.run_eligible(&tokens[i])
+                && seen.insert((tokens[i].rel.as_str(), tokens[i].tid.0))
+            {
+                i += 1;
+            }
+            self.process_positive_run(&tokens[start..i], catalog, &mut pending)?;
+        }
+        Ok(())
+    }
+
+    /// A token the parallel path may batch into a run: a plain `+append`
+    /// (no old value) whose tid is not already resident in a storing
+    /// α-memory on its relation. Re-inserting a resident tid *replaces*
+    /// the entry, whose old value earlier seeds in the run would need to
+    /// see — such tokens take the sequential path instead.
+    fn run_eligible(&self, t: &Token) -> bool {
+        t.kind == TokenKind::Plus
+            && t.event == Some(EventSpecifier::Append)
+            && t.old.is_none()
+            && !self.selnet.alphas_on(&t.rel).iter().any(|aid| {
+                let a = self.alpha(*aid);
+                a.kind.stores_entries() && a.contains(t.tid)
+            })
+    }
+
+    /// Process one run of plain-append tokens in three phases (see
+    /// docs/CONCURRENCY.md):
+    ///
+    /// * **phase A** (sequential): selection-network probes, α-tests, and
+    ///   α-inserts for every token, stamping each insert with `(token
+    ///   index, matched position)` and freezing each seed's join order at
+    ///   the moment the sequential path would have chosen it;
+    /// * **parallel phase**: each seed's join extension runs on the worker
+    ///   pool through `&self`, with the stamps reconstructing exactly the
+    ///   memory contents the sequential interleaving would have shown it;
+    /// * **merge phase** (sequential): P-node pushes and rule counters in
+    ///   `(token, position)` order — the same order, counts and rows the
+    ///   sequential path produces, independent of scheduling.
+    fn process_positive_run(
+        &mut self,
+        run: &[Token],
+        catalog: &Catalog,
+        pending: &mut HashMap<String, HashSet<u64>>,
+    ) -> QueryResult<()> {
+        // the whole run leaves the pending set at once: later tokens in
+        // the run are hidden from earlier seeds by their stamps instead
+        for t in run {
+            if let Some(set) = pending.get_mut(&t.rel) {
+                set.remove(&t.tid.0);
+            }
+        }
+        let mut run_tids: HashMap<String, HashMap<u64, usize>> = HashMap::new();
+        for (ti, t) in run.iter().enumerate() {
+            run_tids
+                .entry(t.rel.clone())
+                .or_default()
+                .insert(t.tid.0, ti);
+        }
+        let mut ctx = RunCtx {
+            stamps: HashMap::new(),
+            run_tids,
+            matched_pos: Vec::with_capacity(run.len()),
+            pending,
+        };
+        // ---- phase A: α-tests, inserts, stamps, frozen join orders
+        let mut seeds: Vec<ParSeed> = Vec::new();
+        for (ti, token) in run.iter().enumerate() {
+            let probe_start = self.obs.as_ref().map(|_| Instant::now());
+            let candidates = self.selnet.candidates(&token.rel, &token.tuple);
+            if let Some(obs) = &self.obs {
+                if let Some(t0) = probe_start {
+                    obs.selnet_probe.record(t0.elapsed().as_nanos() as u64);
+                }
+                obs.selnet_candidates
+                    .set(obs.selnet_candidates.get() + candidates.len() as u64);
+            }
+            let mut matched: Vec<AlphaId> = candidates
+                .into_iter()
+                .filter(|aid| {
+                    self.alpha_test(*aid, token, |a| {
+                        a.admits_positive(token.kind, token.event.as_ref())
+                            && a.pred_matches(&token.tuple, token.old.as_ref())
+                    })
+                })
+                .collect();
+            matched.sort_by_key(|a| a.0);
+            matched.dedup();
+            ctx.matched_pos
+                .push(matched.iter().enumerate().map(|(p, a)| (a.0, p)).collect());
+            for (pos, aid) in matched.into_iter().enumerate() {
+                let (rule_id, var, kind) = {
+                    let a = self.alpha(aid);
+                    (a.rule, a.var, a.kind)
+                };
+                let seed = BoundVar {
+                    tid: Some(token.tid),
+                    tuple: token.tuple.clone(),
+                    prev: token.old.clone(),
+                };
+                if kind.stores_entries() {
+                    let a = self.alpha_mut(aid);
+                    a.insert(
+                        token.tid,
+                        AlphaEntry {
+                            tid: seed.tid,
+                            tuple: seed.tuple.clone(),
+                            prev: seed.prev.clone(),
+                        },
+                    );
+                    ctx.stamps.insert((aid.0, token.tid.0), (ti, pos));
+                }
+                self.rules
+                    .get_mut(&rule_id.0)
+                    .expect("rule exists")
+                    .tokens_in += 1;
+                if let Some(obs) = &self.obs {
+                    obs.with_rule(rule_id, |r| r.tokens_in += 1);
+                    if kind.stores_entries() {
+                        obs.with_node(rule_id, var, |n| n.entries_inserted += 1);
+                    }
+                }
+                // freeze the join order here: `candidate_estimate` depends
+                // on evolving memory sizes, and this is the moment the
+                // sequential path would have chosen it
+                let order = if kind.is_simple() {
+                    Vec::new()
+                } else {
+                    let rule = &self.rules[&rule_id.0];
+                    let mut order: Vec<usize> =
+                        (0..rule.vars.len()).filter(|v| *v != var).collect();
+                    order.sort_by_key(|v| self.candidate_estimate(rule, *v, catalog));
+                    order
+                };
+                seeds.push(ParSeed {
+                    rule_id,
+                    var,
+                    kind,
+                    seed,
+                    ti,
+                    pos,
+                    order,
+                });
+            }
+        }
+        // ---- parallel phase: non-simple seeds' joins on the pool
+        let join_jobs: Vec<usize> = seeds
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.kind.is_simple())
+            .map(|(i, _)| i)
+            .collect();
+        let mut slots: Vec<Option<SeedResult>> = Vec::new();
+        if !join_jobs.is_empty() {
+            let shared: Vec<Mutex<Option<SeedResult>>> =
+                join_jobs.iter().map(|_| Mutex::new(None)).collect();
+            let this: &Network = &*self;
+            let ctx_ref = &ctx;
+            let seeds_ref = &seeds;
+            let jobs_ref = &join_jobs;
+            let work = |j: usize| {
+                let s = &seeds_ref[jobs_ref[j]];
+                let vis = JoinVis::Run {
+                    ctx: ctx_ref,
+                    ti: s.ti,
+                    pos: s.pos,
+                };
+                let join_start = this.obs.as_ref().map(|_| Instant::now());
+                let r = this.join_extend_ordered(
+                    s.rule_id,
+                    s.var,
+                    s.seed.clone(),
+                    &s.order,
+                    catalog,
+                    &vis,
+                );
+                if let Some(obs) = &this.obs {
+                    obs.with_rule(s.rule_id, |ru| {
+                        if let Some(t0) = join_start {
+                            ru.beta_join.record(t0.elapsed().as_nanos() as u64);
+                        }
+                    });
+                }
+                *shared[j].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            };
+            let pool = self.pool.as_ref().expect("ensure_pool ran");
+            if pool.threads() == 1 {
+                // a single worker cannot overlap anything with the caller;
+                // run the jobs inline and skip the dispatch overhead (the
+                // run-carving, stamping and ordered merge still execute)
+                for j in 0..join_jobs.len() {
+                    work(j);
+                }
+            } else {
+                match self.shard_seed {
+                    None => pool.run(join_jobs.len(), &work),
+                    Some(seed) => pool.run_order(&shuffled(join_jobs.len(), seed), &work),
+                }
+            }
+            slots = shared
+                .into_iter()
+                .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+                .collect();
+        }
+        // ---- merge phase: deterministic (token, position) order
+        let mut next_join = 0usize;
+        for (si, s) in seeds.iter().enumerate() {
+            if s.kind.is_simple() {
+                // single-variable rule: straight to the P-node, as in
+                // `insert_and_propagate`
+                let start = self.obs.as_ref().map(|_| Instant::now());
+                let rule = self.rules.get_mut(&s.rule_id.0).expect("rule exists");
+                rule.pnode.push(vec![s.seed.clone()]);
+                rule.pnode_inserts += 1;
+                if let Some(obs) = &self.obs {
+                    obs.with_rule(s.rule_id, |r| {
+                        r.pnode_inserts += 1;
+                        if let Some(t0) = start {
+                            r.pnode_insert.record(t0.elapsed().as_nanos() as u64);
+                        }
+                    });
+                }
+                continue;
+            }
+            debug_assert_eq!(join_jobs[next_join], si);
+            let results = slots[next_join].take().expect("every join job ran")?;
+            next_join += 1;
+            let produced = results.len() as u64;
+            let insert_start = self.obs.as_ref().map(|_| Instant::now());
+            let rule = self.rules.get_mut(&s.rule_id.0).expect("rule exists");
+            rule.join_probes += 1;
+            rule.pnode_inserts += produced;
+            for r in results {
+                rule.pnode.push(r);
+            }
+            if let Some(obs) = &self.obs {
+                obs.with_rule(s.rule_id, |r| {
+                    r.join_probes += 1;
+                    r.pnode_inserts += produced;
+                    if let Some(t0) = insert_start {
+                        r.pnode_insert.record(t0.elapsed().as_nanos() as u64);
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Insert a binding into an α-node (if it stores entries) and extend
     /// the rule's P-node with every new full instantiation.
     fn insert_and_propagate(
@@ -896,7 +1346,12 @@ impl Network {
         }
         // multi-variable: TREAT join against the other variables' memories
         let join_start = self.obs.as_ref().map(|_| Instant::now());
-        let results = self.join_extend(rule_id, var, seed, token, processed, catalog, pending)?;
+        let vis = JoinVis::Seq {
+            token,
+            processed,
+            pending,
+        };
+        let results = self.join_extend(rule_id, var, seed, catalog, &vis)?;
         if let Some(obs) = &self.obs {
             obs.with_rule(rule_id, |r| {
                 if let Some(t0) = join_start {
@@ -930,35 +1385,46 @@ impl Network {
     }
 
     /// Compute all full instantiations extending `seed` at `seed_var`.
-    #[allow(clippy::too_many_arguments)]
     fn join_extend(
         &self,
         rule_id: RuleId,
         seed_var: usize,
         seed: BoundVar,
-        token: &Token,
-        processed: &HashSet<usize>,
         catalog: &Catalog,
-        pending: &HashMap<String, HashSet<u64>>,
+        vis: &JoinVis<'_>,
     ) -> QueryResult<Vec<Vec<BoundVar>>> {
         let rule = &self.rules[&rule_id.0];
-        let nvars = rule.vars.len();
         // join the (estimated) smallest memories first
-        let mut order: Vec<usize> = (0..nvars).filter(|v| *v != seed_var).collect();
+        let mut order: Vec<usize> = (0..rule.vars.len()).filter(|v| *v != seed_var).collect();
         order.sort_by_key(|v| self.candidate_estimate(rule, *v, catalog));
-        let mut row = Row::unbound(nvars);
+        self.join_extend_ordered(rule_id, seed_var, seed, &order, catalog, vis)
+    }
+
+    /// [`Self::join_extend`] with a caller-chosen join order — the
+    /// parallel path freezes each seed's order during phase A, where the
+    /// memory sizes `candidate_estimate` sees match the sequential
+    /// interleaving.
+    fn join_extend_ordered(
+        &self,
+        rule_id: RuleId,
+        seed_var: usize,
+        seed: BoundVar,
+        order: &[usize],
+        catalog: &Catalog,
+        vis: &JoinVis<'_>,
+    ) -> QueryResult<Vec<Vec<BoundVar>>> {
+        let rule = &self.rules[&rule_id.0];
+        let mut row = Row::unbound(rule.vars.len());
         row.slots[seed_var] = Some(seed);
         let mut results = Vec::new();
         self.extend_depth(
             rule,
-            &order,
+            order,
             0,
             1u64 << seed_var,
             &mut row,
-            token,
-            processed,
             catalog,
-            pending,
+            vis,
             &mut results,
         )?;
         Ok(results)
@@ -1102,10 +1568,8 @@ impl Network {
         depth: usize,
         bound: u64,
         row: &mut Row,
-        token: &Token,
-        processed: &HashSet<usize>,
         catalog: &Catalog,
-        pending: &HashMap<String, HashSet<u64>>,
+        vis: &JoinVis<'_>,
         results: &mut Vec<Vec<BoundVar>>,
     ) -> QueryResult<()> {
         if depth == order.len() {
@@ -1120,6 +1584,7 @@ impl Network {
         let var = order[depth];
         let vbit = 1u64 << var;
         let now_bound = bound | vbit;
+        let alpha_idx = rule.vars[var].alpha.0;
         let alpha = self.alpha(rule.vars[var].alpha);
         match alpha.kind {
             AlphaKind::Virtual => {
@@ -1135,17 +1600,43 @@ impl Network {
                 // single-key probe path.)
                 let rel_ref = catalog.require(&alpha.rel)?;
                 let rel_b = rel_ref.borrow();
-                let empty = HashSet::new();
-                let pend = pending.get(&alpha.rel).unwrap_or(&empty);
-                let visible = |tid: &Tid| -> bool {
-                    if pend.contains(&tid.0) {
-                        return false;
+                let visible: Box<dyn Fn(&Tid) -> bool> = match vis {
+                    JoinVis::Seq {
+                        token,
+                        processed,
+                        pending,
+                    } => {
+                        let pend = pending.get(&alpha.rel);
+                        // the in-flight token's own tuple is visible only
+                        // once this node is in ProcessedMemories
+                        let own_ok = processed.contains(&alpha_idx);
+                        Box::new(move |tid: &Tid| {
+                            !pend.is_some_and(|p| p.contains(&tid.0))
+                                && (alpha.rel != token.rel || *tid != token.tid || own_ok)
+                        })
                     }
-                    // the in-flight token's own tuple is visible only once
-                    // this node is in ProcessedMemories
-                    alpha.rel != token.rel
-                        || *tid != token.tid
-                        || processed.contains(&rule.vars[var].alpha.0)
+                    JoinVis::Run { ctx, ti, pos } => {
+                        let pend = ctx.pending.get(&alpha.rel);
+                        let run_tids = ctx.run_tids.get(&alpha.rel);
+                        // the seed token's own tuple: visible iff this node
+                        // is processed from the seed's viewpoint, i.e. the
+                        // node matched at a position ≤ the seed's
+                        let own_ok = ctx.matched_pos[*ti]
+                            .get(&alpha_idx)
+                            .is_some_and(|p| p <= pos);
+                        let ti = *ti;
+                        Box::new(move |tid: &Tid| {
+                            if pend.is_some_and(|p| p.contains(&tid.0)) {
+                                return false;
+                            }
+                            match run_tids.and_then(|m| m.get(&tid.0)) {
+                                None => true, // not part of this run
+                                Some(&tj) if tj < ti => true,
+                                Some(&tj) if tj == ti => own_ok,
+                                _ => false, // later run token: not yet seen
+                            }
+                        })
+                    }
                 };
                 let probe = self.find_equi_probe(rule, var, vbit, now_bound, row, &|attr| {
                     rel_b.index_on(attr).is_some()
@@ -1186,10 +1677,8 @@ impl Network {
                                     depth + 1,
                                     now_bound,
                                     row,
-                                    token,
-                                    processed,
                                     catalog,
-                                    pending,
+                                    vis,
                                     results,
                                 )?;
                             }
@@ -1211,10 +1700,8 @@ impl Network {
                                     depth + 1,
                                     now_bound,
                                     row,
-                                    token,
-                                    processed,
                                     catalog,
-                                    pending,
+                                    vis,
                                     results,
                                 )?;
                             }
@@ -1275,6 +1762,9 @@ impl Network {
                         .probe_join_index(&spec.attrs, &key)
                         .expect("probe found a registered index")
                     {
+                        if !vis.entry_visible(alpha_idx, e) {
+                            continue;
+                        }
                         served += 1;
                         if Self::conjuncts_pass(
                             rule,
@@ -1297,10 +1787,8 @@ impl Network {
                                 depth + 1,
                                 now_bound,
                                 row,
-                                token,
-                                processed,
                                 catalog,
-                                pending,
+                                vis,
                                 results,
                             )?;
                         }
@@ -1314,9 +1802,12 @@ impl Network {
                     used_hash = false;
                     used_range = true;
                     AlphaCounters::bump(&alpha.counters.range_probes, 1);
-                    let hits = alpha
+                    let hits: Vec<_> = alpha
                         .probe_range_index(&spec.shape, &key)
-                        .expect("probe found a registered index");
+                        .expect("probe found a registered index")
+                        .into_iter()
+                        .filter(|e| vis.entry_visible(alpha_idx, e))
+                        .collect();
                     if !hits.is_empty() {
                         hit = true;
                         AlphaCounters::bump(&alpha.counters.range_hits, 1);
@@ -1344,10 +1835,8 @@ impl Network {
                                 depth + 1,
                                 now_bound,
                                 row,
-                                token,
-                                processed,
                                 catalog,
-                                pending,
+                                vis,
                                 results,
                             )?;
                         }
@@ -1355,6 +1844,9 @@ impl Network {
                 } else {
                     used_hash = false;
                     for e in alpha.entries() {
+                        if !vis.entry_visible(alpha_idx, e) {
+                            continue;
+                        }
                         served += 1;
                         if Self::conjuncts_pass(
                             rule,
@@ -1377,10 +1869,8 @@ impl Network {
                                 depth + 1,
                                 now_bound,
                                 row,
-                                token,
-                                processed,
                                 catalog,
-                                pending,
+                                vis,
                                 results,
                             )?;
                         }
@@ -2500,5 +2990,135 @@ mod tests {
                 col.var
             );
         }
+    }
+
+    /// Sorted debug renderings of a rule's P-node rows — the
+    /// order-insensitive comparison the equivalence oracle uses.
+    fn pnode_set(net: &Network, id: RuleId) -> Vec<String> {
+        let mut rows: Vec<String> = net
+            .pnode(id)
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|b| format!("{:?}/{:?}", b.tid, b.tuple))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_self_join() {
+        for policy in [
+            VirtualPolicy::AllStored,
+            VirtualPolicy::AllVirtual,
+            VirtualPolicy::ExplicitVars(HashSet::from([0])),
+        ] {
+            for threads in [1, 2, 4] {
+                let cat = paper_catalog();
+                let mut seq = Network::new();
+                let mut par = Network::new();
+                par.set_parallel_match(true);
+                par.set_match_threads(threads);
+                for net in [&mut seq, &mut par] {
+                    net.add_rule(RuleId(1), &self_join_cond(&cat), &policy, &cat)
+                        .unwrap();
+                    net.prime(RuleId(1), &cat).unwrap();
+                }
+                // one batch of appends sharing a dno: heavy self-joining,
+                // so every seed's visibility stamp matters
+                let tokens: Vec<Token> = (0..16)
+                    .map(|i| {
+                        let (tid, t) = insert_emp(&cat, &format!("e{i}"), i as f64, 5, 1);
+                        append_token(tid, t)
+                    })
+                    .collect();
+                seq.process_batch(&tokens, &cat).unwrap();
+                par.process_batch(&tokens, &cat).unwrap();
+                assert_eq!(
+                    pnode_set(&seq, RuleId(1)),
+                    pnode_set(&par, RuleId(1)),
+                    "policy {policy:?}, {threads} threads"
+                );
+                // identical work accounting, not just identical results
+                assert_eq!(seq.stats().join_probes, par.stats().join_probes);
+                assert_eq!(seq.stats().pnode_inserts, par.stats().pnode_inserts);
+                assert_eq!(seq.stats().alpha_tests, par.stats().alpha_tests);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_shard_order_does_not_change_results() {
+        let mut reference: Option<Vec<String>> = None;
+        for seed in [None, Some(1u64), Some(0xDEAD_BEEF), Some(42)] {
+            let cat2 = paper_catalog();
+            let mut net = Network::new();
+            net.set_parallel_match(true);
+            net.set_match_threads(3);
+            net.set_shard_seed(seed);
+            net.add_rule(
+                RuleId(1),
+                &self_join_cond(&cat2),
+                &VirtualPolicy::AllStored,
+                &cat2,
+            )
+            .unwrap();
+            net.prime(RuleId(1), &cat2).unwrap();
+            let tokens: Vec<Token> = (0..24)
+                .map(|i| {
+                    let (tid, t) = insert_emp(&cat2, &format!("e{i}"), i as f64, 5, 1);
+                    append_token(tid, t)
+                })
+                .collect();
+            net.process_batch(&tokens, &cat2).unwrap();
+            let rows = pnode_set(&net, RuleId(1));
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(r, &rows, "shard seed {seed:?} changed results"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mixed_batch_with_deletes_matches_sequential() {
+        let cat = paper_catalog();
+        populate_sales_clerk(&cat);
+        let mut seq = Network::new();
+        let mut par = Network::new();
+        par.set_parallel_match(true);
+        par.set_match_threads(4);
+        for net in [&mut seq, &mut par] {
+            net.add_rule(
+                RuleId(1),
+                &sales_clerk_cond(&cat),
+                &VirtualPolicy::AllStored,
+                &cat,
+            )
+            .unwrap();
+            net.prime(RuleId(1), &cat).unwrap();
+        }
+        // appends interleaved with deletes: deletes act as barriers
+        // between parallel runs
+        let mut tokens = Vec::new();
+        let mut victims = Vec::new();
+        for i in 0..12 {
+            let (tid, t) = insert_emp(&cat, &format!("w{i}"), 40_000.0 + i as f64, 1, 7);
+            tokens.push(append_token(tid, t.clone()));
+            if i % 3 == 0 {
+                victims.push((tid, t));
+            }
+        }
+        for (tid, t) in victims {
+            cat.get("emp").unwrap().borrow_mut().delete(tid).unwrap();
+            tokens.push(Token::minus("emp", tid, t, EventSpecifier::Delete));
+        }
+        seq.process_batch(&tokens, &cat).unwrap();
+        par.process_batch(&tokens, &cat).unwrap();
+        assert_eq!(pnode_set(&seq, RuleId(1)), pnode_set(&par, RuleId(1)));
     }
 }

@@ -1,19 +1,45 @@
 //! The relation catalog: named relations, creation and destruction.
 //!
-//! The engine is single-threaded (as the paper's prototype was), so shared
-//! handles are `Rc<RefCell<Relation>>`: the executor reads several relations
-//! while the DML layer mutates one, and the discrimination network's virtual
-//! α-memories scan base relations mid-token-propagation.
+//! Shared handles are [`RelRef`], a thin wrapper over
+//! `Arc<RwLock<Relation>>`: the executor reads several relations while the
+//! DML layer mutates one, the discrimination network's virtual α-memories
+//! scan base relations mid-token-propagation, and the parallel match path
+//! (see `docs/CONCURRENCY.md`) lets several worker threads scan relations
+//! concurrently. The paper's prototype was single-threaded; the reader —
+//! writer lock preserves its semantics (match only ever *reads* relations;
+//! all writes happen in the sequential action phase) while making the
+//! catalog `Send + Sync`. `RelRef::borrow`/`borrow_mut` keep the names the
+//! engine used when the handle was an `Rc<RefCell<_>>`, so call sites read
+//! identically.
 
 use crate::error::{StorageError, StorageResult};
 use crate::relation::Relation;
 use crate::schema::SchemaRef;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Shared, interior-mutable handle to a relation.
-pub type RelRef = Rc<RefCell<Relation>>;
+///
+/// Cloning is cheap (an `Arc` bump); all clones alias the same relation.
+#[derive(Debug, Clone)]
+pub struct RelRef(Arc<RwLock<Relation>>);
+
+impl RelRef {
+    fn new(rel: Relation) -> Self {
+        RelRef(Arc::new(RwLock::new(rel)))
+    }
+
+    /// Shared read access. Panics (like `RefCell::borrow` did) if the
+    /// current thread already holds the write guard.
+    pub fn borrow(&self) -> RwLockReadGuard<'_, Relation> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive write access.
+    pub fn borrow_mut(&self) -> RwLockWriteGuard<'_, Relation> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 /// Named collection of relations.
 #[derive(Debug, Default)]
@@ -32,7 +58,7 @@ impl Catalog {
         if self.relations.contains_key(name) {
             return Err(StorageError::RelationExists(name.to_string()));
         }
-        let rel = Rc::new(RefCell::new(Relation::new(name, schema)));
+        let rel = RelRef::new(Relation::new(name, schema));
         self.relations.insert(name.to_string(), rel.clone());
         Ok(rel)
     }
@@ -76,6 +102,17 @@ impl Catalog {
         self.relations.is_empty()
     }
 }
+
+// The whole storage layer is shared by reference across the parallel match
+// workers; keep that property machine-checked.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Catalog>();
+    assert_sync_send::<RelRef>();
+    assert_sync_send::<crate::value::Value>();
+    assert_sync_send::<crate::tuple::Tuple>();
+    assert_sync_send::<Relation>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -125,6 +162,25 @@ mod tests {
         let b = c.get("emp").unwrap();
         a.borrow_mut().insert(vec![1i64.into()]).unwrap();
         assert_eq!(b.borrow().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_share_a_relation() {
+        let mut c = Catalog::new();
+        c.create("emp", schema()).unwrap();
+        let rel = c.get("emp").unwrap();
+        for i in 0..100i64 {
+            rel.borrow_mut().insert(vec![i.into()]).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        assert_eq!(rel.borrow().len(), 100);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

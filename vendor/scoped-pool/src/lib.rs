@@ -1,0 +1,347 @@
+//! A small scoped thread pool with work-stealing deques, vendored because
+//! the registry mirror this environment points at is unreachable (same
+//! arrangement as the `proptest`/`criterion` stand-ins). Std-only: no
+//! `rayon`, no global registry, no lock-free machinery — just
+//! `std::thread` workers, one index deque per worker, and two condvars.
+//!
+//! ## Shape
+//!
+//! [`Pool::new(n)`](Pool::new) spawns `n` long-lived workers.
+//! [`Pool::run`] submits a batch of `jobs` tasks identified by index
+//! `0..jobs`; each task is one call of the shared closure `f(i)`. The call
+//! blocks until every task has finished, which is what makes the pool
+//! *scoped*: `f` may borrow from the caller's stack even though the
+//! workers are `'static` threads, because the borrow provably outlives
+//! every use (see the safety argument on [`Pool::run_order`]).
+//!
+//! Task indices are dealt round-robin into per-worker deques at submit
+//! time. A worker pops its own deque from the back (LIFO, cache-warm) and,
+//! when empty, steals from the fronts of the other deques (FIFO, the
+//! classic stealing discipline). All deque traffic goes through one mutex —
+//! contention is bounded by batch bookkeeping, not task execution, which
+//! happens outside the lock.
+//!
+//! ## Determinism contract
+//!
+//! The pool guarantees *only* that every index in `0..jobs` is executed
+//! exactly once, on some worker, before `run` returns. Callers needing a
+//! deterministic result must make each task write to its own slot (indexed
+//! by task id) and combine slots in index order after `run` returns —
+//! never accumulate in submission or completion order.
+//! [`Pool::run_order`] additionally lets tests permute the *deal* order to
+//! stress that contract under different interleavings.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Type-erased batch closure: a raw pointer to the caller's `&F` plus a
+/// monomorphized trampoline that calls it with a task index.
+#[derive(Clone, Copy)]
+struct Job {
+    ctx: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// Safety: `ctx` points at an `F: Sync` owned by the thread blocked inside
+// `run_order`, so sharing the pointer across workers is exactly `&F: Send`.
+unsafe impl Send for Job {}
+
+struct State {
+    shutdown: bool,
+    /// The active batch, if any. `None` between batches.
+    job: Option<Job>,
+    /// One index deque per worker, dealt at submit time.
+    deques: Vec<VecDeque<usize>>,
+    /// Tasks of the active batch not yet finished.
+    remaining: usize,
+    /// A task of the active batch panicked.
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new batch (or shutdown).
+    work_cv: Condvar,
+    /// `run_order` waits here for batch completion.
+    done_cv: Condvar,
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fixed-size pool of worker threads executing indexed task batches.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawn a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                shutdown: false,
+                job: None,
+                deques: (0..threads).map(|_| VecDeque::new()).collect(),
+                remaining: 0,
+                panicked: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scoped-pool-{w}"))
+                    .spawn(move || worker_loop(w, &shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run tasks `0..jobs` on the pool; blocks until all complete.
+    /// Panics if any task panicked.
+    pub fn run<F: Fn(usize) + Sync>(&self, jobs: usize, f: &F) {
+        let order: Vec<usize> = (0..jobs).collect();
+        self.run_order(&order, f);
+    }
+
+    /// Run the task indices in `order` (each executed exactly once),
+    /// dealing them to worker deques in the given order. Semantically
+    /// identical to [`Pool::run`] for any permutation of `0..jobs`; tests
+    /// use a seeded shuffle to stress scheduling-independence.
+    ///
+    /// # Safety argument
+    ///
+    /// `f` is passed to `'static` worker threads as a raw pointer, which
+    /// is sound because this call does not return until `remaining == 0`
+    /// and the batch slot is cleared — every dereference of the pointer
+    /// happens-before the return, so the `&F` borrow outlives all uses.
+    /// `F: Sync` makes the concurrent sharing itself legal.
+    pub fn run_order<F: Fn(usize) + Sync>(&self, order: &[usize], f: &F) {
+        if order.is_empty() {
+            return;
+        }
+        unsafe fn trampoline<F: Fn(usize)>(ctx: *const (), i: usize) {
+            let f = unsafe { &*(ctx as *const F) };
+            f(i);
+        }
+        let n = self.threads();
+        {
+            let mut st = lock(&self.shared.state);
+            // not reentrant from the submitting side: wait out any batch
+            // a previous caller left behind (defensive; the engine only
+            // ever submits from one thread)
+            while st.job.is_some() {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            for (pos, &i) in order.iter().enumerate() {
+                st.deques[pos % n].push_back(i);
+            }
+            st.remaining = order.len();
+            st.panicked = false;
+            st.job = Some(Job {
+                ctx: f as *const F as *const (),
+                call: trampoline::<F>,
+            });
+            self.shared.work_cv.notify_all();
+        }
+        let mut st = lock(&self.shared.state);
+        while st.remaining > 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("scoped-pool: a pooled task panicked");
+        }
+    }
+
+    /// Run `jobs` tasks and collect their results **in task-index order**
+    /// (deterministic regardless of scheduling).
+    pub fn map<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        self.run(jobs, &|i| {
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(f(i));
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every task index ran exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(me: usize, shared: &Shared) {
+    loop {
+        // claim a task index under the lock: own deque from the back,
+        // then steal the fronts of the others in ring order
+        let claimed = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.job.is_some() {
+                    let n = st.deques.len();
+                    let mine = st.deques[me].pop_back();
+                    let idx =
+                        mine.or_else(|| (1..n).find_map(|d| st.deques[(me + d) % n].pop_front()));
+                    if let Some(i) = idx {
+                        break (st.job.expect("checked above"), i);
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let (job, idx) = claimed;
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.ctx, idx) }));
+        let mut st = lock(&shared.state);
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            st.job = None;
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collects_in_index_order() {
+        let pool = Pool::new(4);
+        let out = pool.map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_executes_every_index_once() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        pool.run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_order_permutation_covers_all_indices() {
+        let pool = Pool::new(4);
+        // a fixed permutation of 0..64
+        let mut order: Vec<usize> = (0..64).collect();
+        let mut s = 0x9E3779B9u64;
+        for i in (1..order.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run_order(&order, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_reusable_across_batches() {
+        let pool = Pool::new(2);
+        let total = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(10, &|i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 50 * 45);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(5, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_jobs_is_a_noop() {
+        let pool = Pool::new(2);
+        pool.run(0, &|_| unreachable!("no tasks to run"));
+    }
+
+    #[test]
+    fn borrows_from_caller_stack() {
+        // the 'scoped' in scoped pool: tasks read caller-local data
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = Pool::new(4);
+        let sums = pool.map(4, |w| data.iter().skip(w).step_by(4).sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn panic_in_task_propagates() {
+        let pool = Pool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // and the pool still works afterwards
+        assert_eq!(pool.map(3, |i| i), vec![0, 1, 2]);
+    }
+}
