@@ -66,6 +66,12 @@ pub struct EngineOptions {
     /// Worker threads for the parallel match path; 0 (the default) means
     /// one per available core. Only meaningful with `parallel_match` on.
     pub match_threads: usize,
+    /// Intern string values on relation writes, replacing owned strings
+    /// with `Copy` symbol handles so the match path compares and hashes
+    /// strings as integers. On by default; `false` keeps the legacy owned
+    /// representation (the BENCH_mem comparison baseline). Equality,
+    /// ordering and display semantics are identical either way.
+    pub intern_strings: bool,
 }
 
 impl Default for EngineOptions {
@@ -82,6 +88,7 @@ impl Default for EngineOptions {
             rete_mode: None,
             parallel_match: false,
             match_threads: 0,
+            intern_strings: true,
         }
     }
 }
@@ -296,6 +303,49 @@ pub struct EngineStats {
     pub firings: u64,
 }
 
+/// Per-memory byte breakdown of the live match state (see
+/// [`Ariel::memory_stats`]). All byte figures are the same approximations
+/// the network's `heap_size` accounting produces; symbol-table and arena
+/// figures are process-global (the table and the per-thread scratch pools
+/// are shared by every engine in the process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Entries across stored/dynamic α-memories.
+    pub alpha_entries: usize,
+    /// Bytes held by α-memory entries and their join/range indexes.
+    pub alpha_bytes: usize,
+    /// Bytes held in β-memories (Rete backends only; 0 under A-TREAT).
+    pub beta_bytes: usize,
+    /// Matched instantiations across all P-nodes.
+    pub pnode_rows: usize,
+    /// Bytes held by P-nodes.
+    pub pnode_bytes: usize,
+    /// Bytes in the selection network's interval indexes.
+    pub selnet_bytes: usize,
+    /// Distinct strings in the global symbol table.
+    pub symbols: usize,
+    /// Bytes held by the symbol table (payload + per-entry bookkeeping).
+    pub symbol_bytes: usize,
+    /// Scratch buffers handed out by the per-thread arenas.
+    pub arena_takes: u64,
+    /// Hand-outs served by recycling rather than fresh allocation.
+    pub arena_reuses: u64,
+    /// Peak bytes retained across all arena pools ("peak scratch").
+    pub arena_high_water_bytes: u64,
+}
+
+impl MemoryStats {
+    /// Average α-memory bytes per stored entry (0.0 when empty) — the
+    /// headline figure the interning/flat-key work reduces.
+    pub fn alpha_bytes_per_entry(&self) -> f64 {
+        if self.alpha_entries == 0 {
+            0.0
+        } else {
+            self.alpha_bytes as f64 / self.alpha_entries as f64
+        }
+    }
+}
+
 /// The Ariel active DBMS.
 ///
 /// ```
@@ -365,8 +415,10 @@ impl Ariel {
                 EngineNetwork::Rete(n)
             }
         };
+        let mut catalog = Catalog::new();
+        catalog.set_intern_strings(options.intern_strings);
         let mut engine = Ariel {
-            catalog: Catalog::new(),
+            catalog,
             rules: RuleCatalog::new(),
             network,
             planner: ActionPlanner::new(options.cache_action_plans),
@@ -1070,6 +1122,28 @@ impl Ariel {
             .collect()
     }
 
+    /// Per-memory byte breakdown of the live match state (`\stats bytes`
+    /// and the `BENCH_mem.json` ingredients): discrimination-network
+    /// memories, the global symbol table, and the scratch arenas.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let n = self.network.stats();
+        let interner = ariel_storage::intern::stats();
+        let arena = ariel_network::arena::stats();
+        MemoryStats {
+            alpha_entries: n.alpha_entries,
+            alpha_bytes: n.alpha_bytes,
+            beta_bytes: n.beta_bytes,
+            pnode_rows: n.pnode_rows,
+            pnode_bytes: n.pnode_bytes,
+            selnet_bytes: n.selnet_bytes,
+            symbols: interner.symbols,
+            symbol_bytes: interner.bytes,
+            arena_takes: arena.takes,
+            arena_reuses: arena.reuses,
+            arena_high_water_bytes: arena.high_water_bytes,
+        }
+    }
+
     /// Full metrics snapshot as a JSON document: engine counters, network
     /// counters, per-rule statistics, and — when observability is on —
     /// every timing histogram (`"timing": null` otherwise). The schema is
@@ -1152,11 +1226,32 @@ mod tests {
         assert!(!opts.tracing, "tracing is off by default");
         assert!(!opts.parallel_match, "parallel match is off by default");
         assert_eq!(opts.match_threads, 0, "thread count defaults to auto");
+        assert!(opts.intern_strings, "string interning is on by default");
         let db = Ariel::new();
+        assert!(db.catalog().intern_strings());
         assert!(!db.parallel_match());
         assert!(!db.options().cache_action_plans);
         assert!(!db.tracing(), "no recorder allocated by default");
         assert_eq!(db.trace_limit(), DEFAULT_TRACE_CAPACITY);
+    }
+
+    #[test]
+    fn memory_stats_reports_live_state() {
+        let mut db = Ariel::new();
+        db.execute("create emp (name = str, dno = int); create dept (dno = int, floor = int)")
+            .unwrap();
+        db.execute("define rule r1 if emp.dno = dept.dno then delete dept")
+            .unwrap();
+        db.execute("append to emp (name = \"alice\", dno = 1)")
+            .unwrap();
+        let m = db.memory_stats();
+        assert!(m.alpha_entries >= 1, "stored α-memory holds the tuple");
+        assert!(m.alpha_bytes > 0);
+        assert!(m.symbols >= 1, "interned \"alice\" registers in the table");
+        assert!(m.symbol_bytes > 0);
+        assert!(m.arena_takes >= 1, "match path drew scratch buffers");
+        assert!(m.alpha_bytes_per_entry() > 0.0);
+        assert_eq!(MemoryStats::default().alpha_bytes_per_entry(), 0.0);
     }
 
     #[test]

@@ -32,12 +32,20 @@
 //!   `BENCH_par_baseline.json`. Wall clock is *not* compared against the
 //!   baseline — CI hosts differ in core count, so absolute speedups are
 //!   reported, never gated. `--bless` updates the par baseline.
+//! * `bench_gate mem [fresh [baseline]]` gates `BENCH_mem.json` (written
+//!   by `paper_tables -- mem`): the **interned** layout must hold fewer
+//!   α-memory bytes than the **legacy** heap-string layout within the
+//!   fresh file, per-config `alpha_entries` must match the baseline
+//!   exactly (the layout must not change what is matched), per-config
+//!   `alpha_bytes` must not grow more than 5% over
+//!   `BENCH_mem_baseline.json`, and the interned config's wall clock is
+//!   held to the usual 50% tolerance. `--bless` updates the mem baseline.
 //! * `bench_gate links [root]` fails if any relative markdown link in
 //!   `README.md` or `docs/*.md` points at a path that does not exist —
 //!   the CI docs gate.
 //!
-//! The schema of the join and par files is documented in
-//! `docs/OBSERVABILITY.md` and `docs/CONCURRENCY.md` respectively.
+//! The schema of the join, par and mem files is documented in
+//! `docs/OBSERVABILITY.md` (join, mem) and `docs/CONCURRENCY.md` (par).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -525,6 +533,182 @@ fn run_par_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
     }
 }
 
+/// One row of `BENCH_mem.json`, keyed by `config`.
+#[derive(Debug, Clone, PartialEq)]
+struct MemRow {
+    config: String,
+    total_ms: f64,
+    alpha_entries: u64,
+    alpha_bytes: u64,
+}
+
+/// Headroom for `alpha_bytes` drift against the baseline: the figure is
+/// deterministic up to container growth patterns, so a 5% band absorbs
+/// capacity rounding while a lost layout optimization (2-5×) cannot pass.
+const ALPHA_BYTES_TOLERANCE: f64 = 1.05;
+
+fn parse_mem_rows(src: &str, label: &str) -> Result<Vec<MemRow>, String> {
+    let objs = Parser::new(src)
+        .array_of_objects()
+        .map_err(|e| format!("{label}: {e}"))?;
+    objs.into_iter()
+        .enumerate()
+        .map(|(i, obj)| {
+            let str_field = |k: &str| match obj.get(k) {
+                Some(Field::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("{label}: row {i} missing string \"{k}\"")),
+            };
+            let num_field = |k: &str| match obj.get(k) {
+                Some(Field::Num(n)) => Ok(*n),
+                _ => Err(format!("{label}: row {i} missing number \"{k}\"")),
+            };
+            Ok(MemRow {
+                config: str_field("config")?,
+                total_ms: num_field("total_ms")?,
+                alpha_entries: num_field("alpha_entries")? as u64,
+                alpha_bytes: num_field("alpha_bytes")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Gate the memory-layout benchmark; returns every violation found.
+///
+/// Self-consistency within the fresh file: both configs present, and the
+/// interned layout strictly smaller than the legacy one. Against the
+/// baseline: `alpha_entries` must match exactly (the layout must not
+/// change what is matched), `alpha_bytes` must stay within
+/// [`ALPHA_BYTES_TOLERANCE`], and the interned config's wall clock within
+/// [`TOTAL_MS_TOLERANCE`].
+fn check_mem(fresh: &[MemRow], baseline: &[MemRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let find = |rows: &[MemRow], config: &str| -> Option<MemRow> {
+        rows.iter().find(|r| r.config == config).cloned()
+    };
+    match (find(fresh, "interned"), find(fresh, "legacy")) {
+        (Some(interned), Some(legacy)) => {
+            if interned.alpha_bytes >= legacy.alpha_bytes {
+                violations.push(format!(
+                    "interned: alpha_bytes {} not below legacy {} — \
+                     interning stopped shrinking the α-memories",
+                    interned.alpha_bytes, legacy.alpha_bytes
+                ));
+            }
+        }
+        (i, l) => {
+            if i.is_none() {
+                violations.push("interned: missing from fresh results".into());
+            }
+            if l.is_none() {
+                violations.push("legacy: missing from fresh results".into());
+            }
+        }
+    }
+    for base in baseline {
+        let Some(now) = find(fresh, &base.config) else {
+            violations.push(format!("{}: missing from fresh results", base.config));
+            continue;
+        };
+        if now.alpha_entries != base.alpha_entries {
+            violations.push(format!(
+                "{}: alpha_entries changed {} -> {} (the layout changed what is matched)",
+                base.config, base.alpha_entries, now.alpha_entries
+            ));
+        }
+        if now.alpha_bytes as f64 > base.alpha_bytes as f64 * ALPHA_BYTES_TOLERANCE {
+            violations.push(format!(
+                "{}: alpha_bytes regressed {} -> {} (>{:.0}% over baseline)",
+                base.config,
+                base.alpha_bytes,
+                now.alpha_bytes,
+                (ALPHA_BYTES_TOLERANCE - 1.0) * 100.0
+            ));
+        }
+        if base.config == "interned" && now.total_ms > base.total_ms * TOTAL_MS_TOLERANCE {
+            violations.push(format!(
+                "{}: total_ms regressed {:.3} -> {:.3} (>{:.0}% over baseline)",
+                base.config,
+                base.total_ms,
+                now.total_ms,
+                (TOTAL_MS_TOLERANCE - 1.0) * 100.0
+            ));
+        }
+    }
+    violations
+}
+
+fn run_mem_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
+    let load = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|src| parse_mem_rows(&src, path))
+    };
+    let fresh = match load(fresh_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if bless {
+        let baseline = load(base_path).unwrap_or_default();
+        println!("bench_gate: blessing {fresh_path} -> {base_path}");
+        for now in &fresh {
+            match baseline.iter().find(|r| r.config == now.config) {
+                Some(old) => println!(
+                    "  {}: alpha_bytes {} -> {}, alpha_entries {} -> {}",
+                    now.config,
+                    old.alpha_bytes,
+                    now.alpha_bytes,
+                    old.alpha_entries,
+                    now.alpha_entries
+                ),
+                None => println!(
+                    "  {}: new row (alpha_bytes {}, alpha_entries {})",
+                    now.config, now.alpha_bytes, now.alpha_entries
+                ),
+            }
+        }
+        return match std::fs::copy(fresh_path, base_path) {
+            Ok(_) => {
+                println!("bench_gate: mem baseline updated ({} rows)", fresh.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_gate: cannot write {base_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let baseline = match load(base_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_gate: mem {fresh_path} vs {base_path} ({} baseline rows)",
+        baseline.len()
+    );
+    for r in &fresh {
+        println!(
+            "  {:>10} total_ms {:>9.3}  alpha_entries {:>8}  alpha_bytes {:>11}",
+            r.config, r.total_ms, r.alpha_entries, r.alpha_bytes
+        );
+    }
+    let violations = check_mem(&fresh, &baseline);
+    if violations.is_empty() {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: FAIL {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 /// Extract the targets of inline markdown links (`[text](target)` and
 /// `![alt](target)`), dropping external schemes, pure anchors, and any
 /// `#fragment` / `"title"` suffix.
@@ -629,6 +813,13 @@ fn main() -> ExitCode {
                 .get(2)
                 .map_or("BENCH_par_baseline.json", String::as_str);
             return run_par_gate(fresh, base, bless);
+        }
+        Some("mem") => {
+            let fresh = args.get(1).map_or("BENCH_mem.json", String::as_str);
+            let base = args
+                .get(2)
+                .map_or("BENCH_mem_baseline.json", String::as_str);
+            return run_mem_gate(fresh, base, bless);
         }
         _ => {}
     }
@@ -850,6 +1041,83 @@ mod tests {
         let v = check_par(&[par("t", 2, 6.0, 100)], &[]);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("missing sequential row"), "{v:?}");
+    }
+
+    fn mem(config: &str, total_ms: f64, alpha_entries: u64, alpha_bytes: u64) -> MemRow {
+        MemRow {
+            config: config.into(),
+            total_ms,
+            alpha_entries,
+            alpha_bytes,
+        }
+    }
+
+    #[test]
+    fn parses_mem_snapshot_output() {
+        let src = r#"[{"config":"interned","total_ms":8.1,"alpha_entries":1200,
+            "alpha_bytes":90000,"bytes_per_entry":75.0,"symbols":225,
+            "symbol_bytes":12000,"arena_takes":5000,"arena_reuses":4990,
+            "arena_high_water_bytes":8192}]"#;
+        let rows = parse_mem_rows(src, "test").unwrap();
+        assert_eq!(rows, vec![mem("interned", 8.1, 1200, 90000)]);
+        assert!(parse_mem_rows("[{\"config\":1}]", "test").is_err());
+    }
+
+    #[test]
+    fn mem_gate_passes_when_interning_shrinks_alpha() {
+        let fresh = vec![
+            mem("interned", 8.0, 1200, 90_000),
+            mem("legacy", 10.0, 1200, 150_000),
+        ];
+        assert!(check_mem(&fresh, &fresh).is_empty());
+        // blessing from scratch passes too
+        assert!(check_mem(&fresh, &[]).is_empty());
+        // noise within tolerance: +4% bytes, +40% interned wall clock
+        let noisy = vec![
+            mem("interned", 11.0, 1200, 93_000),
+            mem("legacy", 25.0, 1200, 155_000),
+        ];
+        assert!(check_mem(&noisy, &fresh).is_empty());
+    }
+
+    #[test]
+    fn mem_gate_fails_when_interning_stops_helping() {
+        let fresh = vec![
+            mem("interned", 8.0, 1200, 150_000),
+            mem("legacy", 10.0, 1200, 150_000),
+        ];
+        let v = check_mem(&fresh, &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("not below legacy"), "{v:?}");
+    }
+
+    #[test]
+    fn mem_gate_fails_on_regressions_vs_baseline() {
+        let base = vec![
+            mem("interned", 8.0, 1200, 90_000),
+            mem("legacy", 10.0, 1200, 150_000),
+        ];
+        // bytes +10%, entries drifted, interned wall clock 2x
+        let fresh = vec![
+            mem("interned", 17.0, 1201, 99_001),
+            mem("legacy", 10.0, 1200, 150_000),
+        ];
+        let v = check_mem(&fresh, &base);
+        assert!(
+            v.iter().any(|m| m.contains("alpha_entries changed")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|m| m.contains("alpha_bytes regressed")),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|m| m.contains("total_ms regressed")), "{v:?}");
+        // missing config rows are flagged both ways
+        let v = check_mem(&[mem("legacy", 10.0, 1200, 150_000)], &base);
+        assert!(
+            v.iter().any(|m| m.contains("interned: missing from fresh")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
 //! ```
 //!
-//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins trace par
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins mem trace par
 
 use ariel_bench::measure;
 use std::time::Duration;
@@ -192,6 +192,52 @@ fn run_par() {
     println!();
 }
 
+fn run_mem() {
+    println!("== MEM: memory layout — interned symbols vs legacy heap strings → BENCH_mem.json ==");
+    println!(
+        "(string-keyed fig10 shape: band rules joining emp.dept_name = dept.dname, emp churn)"
+    );
+    println!(
+        "{:>10} | {:>10} {:>9} {:>13} {:>13} {:>9} {:>12} {:>12} {:>12}",
+        "config",
+        "total ms",
+        "entries",
+        "alpha bytes",
+        "bytes/entry",
+        "symbols",
+        "sym bytes",
+        "arena reuse",
+        "peak scratch"
+    );
+    let rows = measure::mem_table(25, 2000, 200);
+    for r in &rows {
+        let per_entry = if r.alpha_entries == 0 {
+            0.0
+        } else {
+            r.alpha_bytes as f64 / r.alpha_entries as f64
+        };
+        println!(
+            "{:>10} | {:>10} {:>9} {:>13} {per_entry:>13.1} {:>9} {:>12} {:>11}/{} {:>12}",
+            r.config,
+            ms(r.total),
+            r.alpha_entries,
+            r.alpha_bytes,
+            r.symbols,
+            r.symbol_bytes,
+            r.arena_reuses,
+            r.arena_takes,
+            r.arena_high_water_bytes
+        );
+    }
+    let json = measure::mem_json(&rows);
+    let path = "BENCH_mem.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => println!("cannot write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_joins() {
     println!("== JOINS: indexed α-memories vs nested-loop → BENCH_join.json ==");
     println!("(fig10-fig13 workloads, 25 band rules, 400 emp tokens, 200 dim rows)");
@@ -282,6 +328,9 @@ fn main() {
     }
     if want("joins") {
         run_joins();
+    }
+    if want("mem") {
+        run_mem();
     }
     if want("trace") {
         run_trace();

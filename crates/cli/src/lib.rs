@@ -32,6 +32,7 @@ pub fn format_table(columns: &[String], rows: &[Vec<Value>]) -> String {
     let render = |v: &Value| -> String {
         match v {
             Value::Str(s) => s.clone(),
+            Value::Sym(sym) => sym.as_str().to_string(),
             other => other.to_string(),
         }
     };
@@ -157,6 +158,30 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
             ShellAction::Text(text)
         }
         Some("stats") => {
+            if parts.next() == Some("bytes") {
+                let m = db.memory_stats();
+                return ShellAction::Text(format!(
+                    "match state:\n\
+                     \x20 alpha    {} bytes over {} entries ({:.1} bytes/entry)\n\
+                     \x20 beta     {} bytes\n\
+                     \x20 pnodes   {} bytes over {} rows\n\
+                     \x20 selnet   {} bytes\n\
+                     symbol table: {} symbols, {} bytes\n\
+                     arenas: {} takes, {} reuses, {} bytes peak scratch\n",
+                    m.alpha_bytes,
+                    m.alpha_entries,
+                    m.alpha_bytes_per_entry(),
+                    m.beta_bytes,
+                    m.pnode_bytes,
+                    m.pnode_rows,
+                    m.selnet_bytes,
+                    m.symbols,
+                    m.symbol_bytes,
+                    m.arena_takes,
+                    m.arena_reuses,
+                    m.arena_high_water_bytes,
+                ));
+            }
             let s = db.stats();
             let n = db.network_stats();
             ShellAction::Text(format!(
@@ -347,6 +372,8 @@ Meta commands:
                     worker threads for parallel match (0 = auto)
   \metrics          full metrics snapshot as JSON
   \stats            engine and network statistics
+  \stats bytes      per-memory byte breakdown (alpha/beta/pnode/selnet,
+                    symbol table, arena reuse counters)
   \help             this text
   \q                quit
 "#;
@@ -413,6 +440,14 @@ mod tests {
             panic!()
         };
         assert!(t.contains("network: 1 rules"));
+        dispatch(&mut db, r#"append t (x = 3, name = "mem")"#);
+        let ShellAction::Text(t) = dispatch(&mut db, "\\stats bytes") else {
+            panic!()
+        };
+        assert!(t.contains("match state:"));
+        assert!(t.contains("bytes/entry"));
+        assert!(t.contains("symbol table:"));
+        assert!(t.contains("arenas:"));
         let ShellAction::Text(t) = dispatch(&mut db, "\\nope") else {
             panic!()
         };

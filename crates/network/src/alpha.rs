@@ -14,11 +14,12 @@
 //! sidesteps value-matching fragility when the same tuple is modified in
 //! several transitions of one recognize-act cycle.
 
+use crate::key::{KeyBuilder, SmallKey};
 use crate::pred::SelectionPredicate;
 use crate::token::{EventSpecifier, TokenKind};
 use ariel_islist::{Counter, Interval, IntervalId, IntervalSkipList};
 use ariel_query::{eval_pred, SingleEnv};
-use ariel_storage::{Tid, Tuple, Value};
+use ariel_storage::{FxBuildHasher, Tid, Tuple, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Bound;
@@ -206,14 +207,17 @@ impl AlphaCounters {
 }
 
 /// One hash join index over an α-memory: composite equi-join key (one
-/// `Value` per registered attribute, in registration order) → keys of the
-/// node's entry map (ON DELETE entries have no TID but are still keyed by
-/// the dying token's TID, so buckets hold the map key, not `AlphaEntry::tid`).
-/// A single-attribute index is just the one-element special case.
+/// component per registered attribute, in registration order, packed as a
+/// [`SmallKey`]) → keys of the node's entry map (ON DELETE entries have no
+/// TID but are still keyed by the dying token's TID, so buckets hold the
+/// map key, not `AlphaEntry::tid`). A single-attribute index is just the
+/// one-element special case. Keys are flat — building one neither
+/// allocates nor clones string payloads in the common case — and buckets
+/// hash with the Fx fold (trusted internal keys; see `storage::fx`).
 #[derive(Debug)]
 struct JoinIndex {
     attrs: Vec<usize>,
-    buckets: HashMap<Vec<Value>, Vec<u64>>,
+    buckets: HashMap<SmallKey, Vec<u64>, FxBuildHasher>,
     /// Entries currently indexed — `entries.len()` minus the entries whose
     /// key has a Null component. Bucket-size estimates divide by this, not
     /// by the raw entry count: a null-heavy memory would otherwise look
@@ -347,7 +351,7 @@ impl AlphaNode {
             })
             .map(|attrs| JoinIndex {
                 attrs,
-                buckets: HashMap::new(),
+                buckets: HashMap::default(),
                 indexed: 0,
             })
             .collect();
@@ -395,9 +399,20 @@ impl AlphaNode {
         attrs: &[usize],
         key: &[Value],
     ) -> Option<impl Iterator<Item = &AlphaEntry> + '_> {
-        let ji = self.join_indexes.iter().find(|ji| ji.attrs == attrs)?;
         debug_assert_eq!(key.len(), attrs.len());
-        let keys: &[u64] = if key.iter().any(Value::is_null) {
+        self.probe_join_index_packed(attrs, &SmallKey::from_values(key))
+    }
+
+    /// [`Self::probe_join_index`] with a pre-packed key — the allocation-
+    /// free probe path used by the β-join routines, which build the
+    /// [`SmallKey`] once per probe instead of materializing a `Vec<Value>`.
+    pub fn probe_join_index_packed(
+        &self,
+        attrs: &[usize],
+        key: &SmallKey,
+    ) -> Option<impl Iterator<Item = &AlphaEntry> + '_> {
+        let ji = self.join_indexes.iter().find(|ji| ji.attrs == attrs)?;
+        let keys: &[u64] = if key.has_null() {
             &[]
         } else {
             ji.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
@@ -464,18 +479,27 @@ impl AlphaNode {
             .min()
     }
 
-    fn index_entry(&mut self, key: u64, entry: &AlphaEntry) {
-        'indexes: for ji in &mut self.join_indexes {
-            let mut composite = Vec::with_capacity(ji.attrs.len());
-            for &attr in &ji.attrs {
-                let v = entry.tuple.get(attr);
-                if v.is_null() {
-                    continue 'indexes;
-                }
-                composite.push(v.clone());
+    /// Pack the composite key of `tuple` under this index's attribute
+    /// tuple, or `None` when a component is Null (`sql_eq` says Null joins
+    /// nothing, so the entry is unreachable through the index anyway).
+    fn bucket_key(ji: &JoinIndex, tuple: &Tuple) -> Option<SmallKey> {
+        let mut b = KeyBuilder::new(ji.attrs.len());
+        for &attr in &ji.attrs {
+            let v = tuple.get(attr);
+            if v.is_null() {
+                return None;
             }
-            ji.buckets.entry(composite).or_default().push(key);
-            ji.indexed += 1;
+            b.push(v);
+        }
+        Some(b.finish())
+    }
+
+    fn index_entry(&mut self, key: u64, entry: &AlphaEntry) {
+        for ji in &mut self.join_indexes {
+            if let Some(composite) = Self::bucket_key(ji, &entry.tuple) {
+                ji.buckets.entry(composite).or_default().push(key);
+                ji.indexed += 1;
+            }
         }
         for ri in &mut self.range_indexes {
             if let Some(iv) = ri.shape.interval_of(&entry.tuple) {
@@ -487,15 +511,10 @@ impl AlphaNode {
     }
 
     fn unindex_entry(&mut self, key: u64, entry: &AlphaEntry) {
-        'indexes: for ji in &mut self.join_indexes {
-            let mut composite = Vec::with_capacity(ji.attrs.len());
-            for &attr in &ji.attrs {
-                let v = entry.tuple.get(attr);
-                if v.is_null() {
-                    continue 'indexes;
-                }
-                composite.push(v.clone());
-            }
+        for ji in &mut self.join_indexes {
+            let Some(composite) = Self::bucket_key(ji, &entry.tuple) else {
+                continue;
+            };
             if let Some(bucket) = ji.buckets.get_mut(&composite) {
                 bucket.retain(|k| *k != key);
                 if bucket.is_empty() {
@@ -605,18 +624,28 @@ impl AlphaNode {
     }
 
     /// Approximate heap footprint of the join/range index structures, in
-    /// bytes: hash buckets (key values + entry-key lists) plus the interval
-    /// skip lists and their entry↔interval maps.
+    /// bytes: hash buckets (packed keys + entry-key lists) plus the
+    /// interval skip lists and their entry↔interval maps.
+    ///
+    /// Accounting notes: each bucket is charged the *inline* size of its
+    /// [`SmallKey`] plus any boxed spill (`SmallKey::heap_bytes` — zero on
+    /// the packed path, which is where the flat-key layout saves its
+    /// bytes), and each TID list is charged its *capacity*, not its
+    /// length — `Vec` growth doubles, and the slack is real memory. The
+    /// previous accounting under-charged keys (it skipped the inline
+    /// `Vec<Value>` headers of the key's elements) and over-trusted list
+    /// lengths, so `alpha_bytes` moved with neither allocator reality nor
+    /// the key layout.
     pub fn index_bytes(&self) -> usize {
         let hash: usize = self
             .join_indexes
             .iter()
             .flat_map(|ji| ji.buckets.iter())
             .map(|(k, v)| {
-                std::mem::size_of::<Vec<Value>>()
-                    + k.iter().map(Value::heap_size).sum::<usize>()
+                std::mem::size_of::<SmallKey>()
+                    + k.heap_bytes()
                     + std::mem::size_of::<Vec<u64>>()
-                    + v.len() * std::mem::size_of::<u64>()
+                    + v.capacity() * std::mem::size_of::<u64>()
             })
             .sum();
         let range: usize = self

@@ -1,0 +1,313 @@
+//! Flat composite join keys.
+//!
+//! The join indexes used to key their hash buckets on `Vec<Value>` — one
+//! heap allocation per insert *and* per probe, with a clone of every key
+//! component (string components cloned their whole payload). [`SmallKey`]
+//! packs the common case — up to [`MAX_INLINE`] components, each a null,
+//! bool, in-range numeric, or (interned) string — into a fixed-width
+//! inline array of `(tag, u64)` pairs: building one allocates nothing,
+//! hashing folds a few machine words, and equality is a `memcmp`-shaped
+//! integer compare. Keys that don't fit (arity > [`MAX_INLINE`], or a
+//! component whose packed form would break `Value` equality, see
+//! `encode`) fall back to a boxed value slice with the old semantics.
+//!
+//! **Faithfulness invariant**: for value sequences `a` and `b`,
+//! `SmallKey::from_values(a) == SmallKey::from_values(b)` exactly when
+//! `a == b` elementwise under `Value` equality, and equal keys hash
+//! identically. The encoding guarantees this by
+//!
+//! * packing every numeric as its `f64` bits — `Int(5)`, and `Float(5.0)`
+//!   are cross-type equal and produce the same word;
+//! * refusing to pack numerics at or beyond 2⁵³, where `f64` rounding
+//!   would alias `Int`s that exact 64-bit comparison keeps distinct
+//!   (equal values agree on packability, so an unpackable component sends
+//!   *both* sides of any equal pair to the boxed representation — the two
+//!   variants never alias);
+//! * packing strings as their interned symbol id — `Str` and `Sym` of the
+//!   same content are equal and intern to the same id.
+
+use ariel_storage::{intern, Value};
+
+/// Maximum number of key components held inline.
+pub const MAX_INLINE: usize = 4;
+
+/// Smallest magnitude at which `f64` can no longer represent every
+/// integer exactly (2⁵³). Numerics at or beyond this are not packed.
+const EXACT_LIMIT: u64 = 1 << 53;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_NUM: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// A packed composite join key. See the module docs for the equality/
+/// hashing contract.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SmallKey {
+    /// Up to [`MAX_INLINE`] packed components. Unused slots stay zeroed so
+    /// derived `Eq`/`Hash` are canonical.
+    Inline {
+        /// Number of live components.
+        len: u8,
+        /// Per-component type tag.
+        tags: [u8; MAX_INLINE],
+        /// Per-component packed payload.
+        words: [u64; MAX_INLINE],
+    },
+    /// Fallback for long keys and unpackable components.
+    Boxed(Box<[Value]>),
+}
+
+/// Pack one value, or `None` if its packed form would break `Value`
+/// equality (numerics at or beyond 2⁵³; see module docs).
+#[inline]
+fn encode(v: &Value) -> Option<(u8, u64)> {
+    match v {
+        Value::Null => Some((TAG_NULL, 0)),
+        Value::Bool(b) => Some((TAG_BOOL, *b as u64)),
+        Value::Int(i) => {
+            if i.unsigned_abs() >= EXACT_LIMIT {
+                None
+            } else {
+                Some((TAG_NUM, (*i as f64).to_bits()))
+            }
+        }
+        Value::Float(f) => {
+            // Every float ≥ 2⁵³ is integral; such a float is cross-type
+            // equal to an unpackable Int, so it must be unpackable too.
+            if f.is_finite() && f.abs() >= EXACT_LIMIT as f64 {
+                None
+            } else {
+                Some((TAG_NUM, f.to_bits()))
+            }
+        }
+        Value::Str(s) => Some((TAG_STR, u64::from(intern(s).id()))),
+        Value::Sym(sym) => Some((TAG_STR, u64::from(sym.id()))),
+    }
+}
+
+/// Reconstruct a value that is `Value`-equal to the one [`encode`]d.
+/// (Not identical: numerics come back as `Float`, strings as `Sym` —
+/// both cross-type equal to the originals.)
+#[inline]
+fn decode(tag: u8, word: u64) -> Value {
+    match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Bool(word != 0),
+        TAG_NUM => Value::Float(f64::from_bits(word)),
+        TAG_STR => Value::Sym(intern::symbol_from_id(word as u32)),
+        _ => unreachable!("invalid SmallKey tag"),
+    }
+}
+
+impl SmallKey {
+    /// Pack a key from a value slice. Allocation-free when every
+    /// component packs and the arity fits inline.
+    pub fn from_values(values: &[Value]) -> SmallKey {
+        let mut b = KeyBuilder::new(values.len());
+        for v in values {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// Number of key components.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallKey::Inline { len, .. } => *len as usize,
+            SmallKey::Boxed(vs) => vs.len(),
+        }
+    }
+
+    /// True iff the key has no components.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether any component is `Null` (a probe with such a key joins
+    /// nothing under `sql_eq`).
+    pub fn has_null(&self) -> bool {
+        match self {
+            SmallKey::Inline { len, tags, .. } => tags[..*len as usize].contains(&TAG_NULL),
+            SmallKey::Boxed(vs) => vs.iter().any(Value::is_null),
+        }
+    }
+
+    /// Heap bytes owned by the key beyond `size_of::<SmallKey>()`.
+    /// Inline keys own none — that's the point.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            SmallKey::Inline { .. } => 0,
+            SmallKey::Boxed(vs) => {
+                vs.len() * std::mem::size_of::<Value>()
+                    + vs.iter().map(Value::heap_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Incremental [`SmallKey`] builder: callers that assemble a key
+/// component-by-component (evaluating key expressions, walking tuple
+/// attributes) push into this and never materialize a `Vec<Value>` on the
+/// packed path. Spills to the boxed representation on the first
+/// unpackable component, reconstructing already-pushed components via
+/// `decode` (equality-preserving, see module docs).
+#[derive(Debug)]
+pub struct KeyBuilder {
+    key: SmallKey,
+    spill: Vec<Value>,
+}
+
+impl KeyBuilder {
+    /// Start a key of the given arity. Arities beyond [`MAX_INLINE`] go
+    /// straight to the boxed representation.
+    pub fn new(arity: usize) -> KeyBuilder {
+        if arity > MAX_INLINE {
+            KeyBuilder {
+                key: SmallKey::Boxed(Box::new([])),
+                spill: Vec::with_capacity(arity),
+            }
+        } else {
+            KeyBuilder {
+                key: SmallKey::Inline {
+                    len: 0,
+                    tags: [0; MAX_INLINE],
+                    words: [0; MAX_INLINE],
+                },
+                spill: Vec::new(),
+            }
+        }
+    }
+
+    /// Append one component. Clones the value only on the boxed path.
+    pub fn push(&mut self, v: &Value) {
+        match &mut self.key {
+            SmallKey::Inline { len, tags, words } => {
+                let i = *len as usize;
+                match encode(v) {
+                    Some((tag, word)) if i < MAX_INLINE => {
+                        tags[i] = tag;
+                        words[i] = word;
+                        *len += 1;
+                    }
+                    _ => {
+                        // spill: replay the packed prefix as values
+                        self.spill.reserve(i + 1);
+                        for j in 0..i {
+                            self.spill.push(decode(tags[j], words[j]));
+                        }
+                        self.spill.push(v.clone());
+                        self.key = SmallKey::Boxed(Box::new([]));
+                    }
+                }
+            }
+            SmallKey::Boxed(_) => self.spill.push(v.clone()),
+        }
+    }
+
+    /// Finish the key.
+    pub fn finish(self) -> SmallKey {
+        match self.key {
+            k @ SmallKey::Inline { .. } => k,
+            SmallKey::Boxed(_) => SmallKey::Boxed(self.spill.into_boxed_slice()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariel_storage::FxHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn fxhash(k: &SmallKey) -> u64 {
+        let mut h = FxHasher::default();
+        k.hash(&mut h);
+        h.finish()
+    }
+
+    fn key(vs: &[Value]) -> SmallKey {
+        SmallKey::from_values(vs)
+    }
+
+    #[test]
+    fn inline_for_small_scalar_keys() {
+        let k = key(&[Value::Int(1), Value::Bool(true), Value::Null]);
+        assert!(matches!(k, SmallKey::Inline { len: 3, .. }));
+        assert_eq!(k.len(), 3);
+        assert_eq!(k.heap_bytes(), 0);
+        assert!(k.has_null());
+        assert!(!key(&[Value::Int(1)]).has_null());
+    }
+
+    #[test]
+    fn strings_pack_inline_via_interning() {
+        let a = key(&[Value::Str("engineering".into()), Value::Int(4)]);
+        let b = key(&[Value::interned("engineering"), Value::Int(4)]);
+        assert!(matches!(a, SmallKey::Inline { .. }));
+        assert_eq!(a, b, "owned and interned strings key identically");
+        assert_eq!(fxhash(&a), fxhash(&b));
+        assert_eq!(a.heap_bytes(), 0, "no string payload in the key");
+    }
+
+    #[test]
+    fn cross_type_numerics_key_identically() {
+        let i = key(&[Value::Int(42)]);
+        let f = key(&[Value::Float(42.0)]);
+        assert_eq!(i, f);
+        assert_eq!(fxhash(&i), fxhash(&f));
+        assert_ne!(key(&[Value::Float(-0.0)]), key(&[Value::Float(0.0)]));
+    }
+
+    #[test]
+    fn unpackable_numerics_agree_on_boxing() {
+        let big = 1i64 << 53;
+        let ik = key(&[Value::Int(big)]);
+        let fk = key(&[Value::Float(big as f64)]);
+        assert!(matches!(ik, SmallKey::Boxed(_)));
+        assert!(matches!(fk, SmallKey::Boxed(_)), "equal float boxes too");
+        assert!(matches!(
+            key(&[Value::Int(big - 1)]),
+            SmallKey::Inline { .. }
+        ));
+        assert!(matches!(key(&[Value::Int(i64::MIN)]), SmallKey::Boxed(_)));
+        // non-finite floats pack (no Int is equal to them)
+        assert!(matches!(
+            key(&[Value::Float(f64::INFINITY)]),
+            SmallKey::Inline { .. }
+        ));
+    }
+
+    #[test]
+    fn long_keys_box() {
+        let vs: Vec<Value> = (0..5).map(Value::Int).collect();
+        let k = key(&vs);
+        assert!(matches!(k, SmallKey::Boxed(_)));
+        assert_eq!(k.len(), 5);
+        assert!(k.heap_bytes() > 0);
+        assert_eq!(k, key(&vs));
+    }
+
+    #[test]
+    fn spill_preserves_equality_of_packed_prefix() {
+        // first component packs, second forces the spill: the replayed
+        // prefix must still equal a boxed key built from the raw values
+        let vs = [Value::Str("dept-nine".into()), Value::Int(1 << 60)];
+        let spilled = key(&vs);
+        let direct = SmallKey::Boxed(vs.to_vec().into_boxed_slice());
+        assert!(matches!(spilled, SmallKey::Boxed(_)));
+        assert_eq!(spilled, direct);
+        assert_eq!(fxhash(&spilled), fxhash(&direct));
+    }
+
+    #[test]
+    fn distinct_values_key_distinctly() {
+        assert_ne!(key(&[Value::Int(1)]), key(&[Value::Int(2)]));
+        assert_ne!(key(&[Value::Bool(false)]), key(&[Value::Null]));
+        assert_ne!(
+            key(&[Value::Str("a".into())]),
+            key(&[Value::Str("b".into())])
+        );
+        assert_ne!(key(&[Value::Int(1)]), key(&[Value::Int(1), Value::Int(1)]));
+    }
+}

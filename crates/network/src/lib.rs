@@ -12,6 +12,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alpha;
+pub mod arena;
+pub mod key;
 pub mod obs;
 mod plan;
 pub mod pred;
@@ -22,6 +24,7 @@ pub mod trace;
 pub mod treat;
 
 pub use alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, EventReq, RuleId};
+pub use key::{KeyBuilder, SmallKey};
 pub use obs::{MatchObs, NodeObs, RuleObs};
 pub use pred::SelectionPredicate;
 pub use rete::{ReteMode, ReteNetwork};

@@ -37,6 +37,7 @@
 //! [`crate::treat`]).
 
 use crate::alpha::{AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, BandShape, RuleId};
+use crate::key::{KeyBuilder, SmallKey};
 use crate::obs::MatchObs;
 use crate::plan::{BandSpec, CompositeSpec, JoinPlan};
 use crate::pred::SelectionPredicate;
@@ -49,7 +50,7 @@ use ariel_query::{
     eval, eval_pred, BoundVar, Pnode, PnodeCol, QueryError, QueryResult, RExpr, ResolvedCondition,
     Row,
 };
-use ariel_storage::{Catalog, Tid, Value};
+use ariel_storage::{Catalog, FxBuildHasher, Tid, Value};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
@@ -86,7 +87,8 @@ struct BetaEquiIndex {
     /// Conjunct indices (into the rule's flat join-conjunct list) the
     /// probe answers; skipped on the retest path.
     conjuncts: Vec<usize>,
-    buckets: HashMap<Vec<Value>, Vec<u64>>,
+    /// Flat packed key → partial sequence numbers (see `crate::key`).
+    buckets: HashMap<SmallKey, Vec<u64>, FxBuildHasher>,
 }
 
 /// Band interval index over a β-memory's partials: each partial spans the
@@ -146,17 +148,17 @@ impl BetaMemory {
         p: &[BoundVar],
         key_exprs: &[RExpr],
         nvars: usize,
-    ) -> QueryResult<Option<Vec<Value>>> {
+    ) -> QueryResult<Option<SmallKey>> {
         let row = row_of(p, nvars);
-        let mut key = Vec::with_capacity(key_exprs.len());
+        let mut key = KeyBuilder::new(key_exprs.len());
         for e in key_exprs {
             let v = eval(e, &row)?;
             if v.is_null() {
                 return Ok(None);
             }
-            key.push(v);
+            key.push(&v);
         }
-        Ok(Some(key))
+        Ok(Some(key.finish()))
     }
 
     /// Insert a partial, maintaining whichever index is configured.
@@ -231,10 +233,10 @@ impl BetaMemory {
             .sum();
         if let Some(ix) = &self.equi {
             for (k, v) in &ix.buckets {
-                total += std::mem::size_of::<Vec<Value>>()
-                    + k.iter().map(Value::heap_size).sum::<usize>()
+                total += std::mem::size_of::<SmallKey>()
+                    + k.heap_bytes()
                     + std::mem::size_of::<Vec<u64>>()
-                    + v.len() * std::mem::size_of::<u64>();
+                    + v.capacity() * std::mem::size_of::<u64>();
             }
         }
         if let Some(bx) = &self.band {
@@ -511,7 +513,7 @@ impl ReteNetwork {
                 probe_attrs: spec.attrs.clone(),
                 key_exprs: spec.key_exprs.clone(),
                 conjuncts: spec.conjuncts.clone(),
-                buckets: HashMap::new(),
+                buckets: HashMap::default(),
             });
             return;
         }
@@ -692,9 +694,10 @@ impl ReteNetwork {
         if rule.indexed {
             if let Some(ix) = &beta.equi {
                 beta.probes.set(beta.probes.get() + 1);
-                // probe key straight off the token's attributes; a Null
-                // component joins nothing, so the buckets serve nothing
-                let mut key = Some(Vec::with_capacity(ix.probe_attrs.len()));
+                // probe key packed straight off the token's attributes —
+                // no allocation, no string clones; a Null component joins
+                // nothing, so the buckets serve nothing
+                let mut key = Some(KeyBuilder::new(ix.probe_attrs.len()));
                 for &attr in &ix.probe_attrs {
                     let v = seed.tuple.get(attr);
                     if v.is_null() {
@@ -702,9 +705,10 @@ impl ReteNetwork {
                         break;
                     }
                     if let Some(k) = &mut key {
-                        k.push(v.clone());
+                        k.push(v);
                     }
                 }
+                let key = key.map(KeyBuilder::finish);
                 let mut served = 0u64;
                 if let Some(bucket) = key.as_ref().and_then(|k| ix.buckets.get(k)) {
                     for seq in bucket {
@@ -1009,13 +1013,19 @@ impl ReteNetwork {
         let mut used = false;
         let mut hit = false;
         if let Some(spec) = comp {
-            let key: QueryResult<Vec<Value>> =
-                spec.key_exprs.iter().map(|e| eval(e, &row)).collect();
+            let key: QueryResult<SmallKey> = spec
+                .key_exprs
+                .iter()
+                .try_fold(KeyBuilder::new(spec.key_exprs.len()), |mut kb, e| {
+                    kb.push(&eval(e, &row)?);
+                    Ok(kb)
+                })
+                .map(KeyBuilder::finish);
             if let Ok(key) = key {
                 used = true;
                 AlphaCounters::bump(&alpha.counters.index_probes, 1);
                 for e in alpha
-                    .probe_join_index(&spec.attrs, &key)
+                    .probe_join_index_packed(&spec.attrs, &key)
                     .expect("probe found a registered index")
                 {
                     served += 1;

@@ -105,11 +105,20 @@ impl SelectionNetwork {
     /// interval contains the corresponding attribute value, plus every
     /// unanchored subscription. Residual predicates are *not* checked here.
     pub fn candidates(&self, rel: &str, tuple: &Tuple) -> Vec<AlphaId> {
+        let mut out = Vec::new();
+        self.candidates_into(rel, tuple, &mut out);
+        out
+    }
+
+    /// [`Self::candidates`] into a caller-supplied buffer (appended, not
+    /// cleared) — the per-token routing path recycles one buffer per
+    /// transition through `crate::arena` instead of allocating per token.
+    pub fn candidates_into(&self, rel: &str, tuple: &Tuple, out: &mut Vec<AlphaId>) {
         self.probes.add(1);
         let Some(routing) = self.rels.get(rel) else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
+        let start = out.len();
         for (attr, ix) in &routing.attr_indexes {
             if *attr >= tuple.arity() {
                 continue;
@@ -123,8 +132,7 @@ impl SelectionNetwork {
             });
         }
         out.extend_from_slice(&routing.unanchored);
-        self.emitted.add(out.len() as u64);
-        out
+        self.emitted.add((out.len() - start) as u64);
     }
 
     /// Always-on probe counters: `(tokens probed, candidates emitted)`.

@@ -34,6 +34,8 @@
 use crate::alpha::{
     AlphaCounters, AlphaEntry, AlphaId, AlphaKind, AlphaNode, BandShape, EventReq, RuleId,
 };
+use crate::arena;
+use crate::key::{KeyBuilder, SmallKey};
 use crate::obs::MatchObs;
 use crate::plan::{BandSpec, CompositeSpec, JoinPlan};
 use crate::pred::SelectionPredicate;
@@ -44,7 +46,7 @@ use ariel_query::{
     eval_pred, BoundVar, EventKind, Optimizer, PatchedEnv, Pnode, PnodeCol, QueryError,
     QueryResult, QuerySpec, RExpr, ResolvedCondition, Row,
 };
-use ariel_storage::{Catalog, SchemaRef, Tid, Tuple, Value};
+use ariel_storage::{Catalog, FxHashSet, SchemaRef, Tid, Tuple, Value};
 use scoped_pool::Pool;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Mutex;
@@ -354,21 +356,19 @@ pub(crate) fn selectivity_virtualize(
     let min_bucket = composite
         .iter()
         .map(|spec| {
-            let mut keys: HashSet<Vec<Value>> = HashSet::new();
+            let mut keys: FxHashSet<SmallKey> = FxHashSet::default();
             let mut indexed = 0usize;
-            for (_, t) in rel_b.scan().filter(|(_, t)| probe.pred_matches(t, None)) {
-                let key: Option<Vec<Value>> = spec
-                    .attrs
-                    .iter()
-                    .map(|a| {
-                        let v = t.get(*a);
-                        (!v.is_null()).then(|| v.clone())
-                    })
-                    .collect();
-                if let Some(k) = key {
-                    indexed += 1;
-                    keys.insert(k);
+            'tuples: for (_, t) in rel_b.scan().filter(|(_, t)| probe.pred_matches(t, None)) {
+                let mut kb = KeyBuilder::new(spec.attrs.len());
+                for a in &spec.attrs {
+                    let v = t.get(*a);
+                    if v.is_null() {
+                        continue 'tuples;
+                    }
+                    kb.push(v);
                 }
+                indexed += 1;
+                keys.insert(kb.finish());
             }
             if keys.is_empty() {
                 0
@@ -968,33 +968,32 @@ impl Network {
         pending: &HashMap<String, HashSet<u64>>,
     ) -> QueryResult<()> {
         let probe_start = self.obs.as_ref().map(|_| Instant::now());
-        let candidates = self.selnet.candidates(&token.rel, &token.tuple);
+        let mut matched = arena::take_candidates();
+        self.selnet
+            .candidates_into(&token.rel, &token.tuple, &mut matched);
         if let Some(obs) = &self.obs {
             if let Some(t0) = probe_start {
                 obs.selnet_probe.record(t0.elapsed().as_nanos() as u64);
             }
             obs.selnet_candidates
-                .set(obs.selnet_candidates.get() + candidates.len() as u64);
+                .set(obs.selnet_candidates.get() + matched.len() as u64);
         }
         if let Some(tr) = &self.trace {
             tr.record(TraceEventKind::SelnetProbe {
                 rel: token.rel.clone(),
-                candidates: candidates.len() as u64,
+                candidates: matched.len() as u64,
             });
         }
-        let mut matched: Vec<AlphaId> = candidates
-            .into_iter()
-            .filter(|aid| {
-                self.alpha_test(*aid, token, |a| {
-                    a.admits_positive(token.kind, token.event.as_ref())
-                        && a.pred_matches(&token.tuple, token.old.as_ref())
-                })
+        matched.retain(|aid| {
+            self.alpha_test(*aid, token, |a| {
+                a.admits_positive(token.kind, token.event.as_ref())
+                    && a.pred_matches(&token.tuple, token.old.as_ref())
             })
-            .collect();
+        });
         matched.sort_by_key(|a| a.0);
         matched.dedup();
         let mut processed: HashSet<usize> = HashSet::new();
-        for aid in matched {
+        for &aid in &matched {
             processed.insert(aid.0);
             self.insert_and_propagate(
                 aid,
@@ -1009,6 +1008,7 @@ impl Network {
                 pending,
             )?;
         }
+        arena::give_candidates(matched);
         Ok(())
     }
 
@@ -1110,28 +1110,27 @@ impl Network {
         let mut seeds: Vec<ParSeed> = Vec::new();
         for (ti, token) in run.iter().enumerate() {
             let probe_start = self.obs.as_ref().map(|_| Instant::now());
-            let candidates = self.selnet.candidates(&token.rel, &token.tuple);
+            let mut matched = arena::take_candidates();
+            self.selnet
+                .candidates_into(&token.rel, &token.tuple, &mut matched);
             if let Some(obs) = &self.obs {
                 if let Some(t0) = probe_start {
                     obs.selnet_probe.record(t0.elapsed().as_nanos() as u64);
                 }
                 obs.selnet_candidates
-                    .set(obs.selnet_candidates.get() + candidates.len() as u64);
+                    .set(obs.selnet_candidates.get() + matched.len() as u64);
             }
-            let mut matched: Vec<AlphaId> = candidates
-                .into_iter()
-                .filter(|aid| {
-                    self.alpha_test(*aid, token, |a| {
-                        a.admits_positive(token.kind, token.event.as_ref())
-                            && a.pred_matches(&token.tuple, token.old.as_ref())
-                    })
+            matched.retain(|aid| {
+                self.alpha_test(*aid, token, |a| {
+                    a.admits_positive(token.kind, token.event.as_ref())
+                        && a.pred_matches(&token.tuple, token.old.as_ref())
                 })
-                .collect();
+            });
             matched.sort_by_key(|a| a.0);
             matched.dedup();
             ctx.matched_pos
                 .push(matched.iter().enumerate().map(|(p, a)| (a.0, p)).collect());
-            for (pos, aid) in matched.into_iter().enumerate() {
+            for (pos, &aid) in matched.iter().enumerate() {
                 let (rule_id, var, kind) = {
                     let a = self.alpha(aid);
                     (a.rule, a.var, a.kind)
@@ -1185,6 +1184,7 @@ impl Network {
                     order,
                 });
             }
+            arena::give_candidates(matched);
         }
         // ---- parallel phase: non-simple seeds' joins on the pool
         let join_jobs: Vec<usize> = seeds
@@ -1266,16 +1266,17 @@ impl Network {
                 continue;
             }
             debug_assert_eq!(join_jobs[next_join], si);
-            let results = slots[next_join].take().expect("every join job ran")?;
+            let mut results = slots[next_join].take().expect("every join job ran")?;
             next_join += 1;
             let produced = results.len() as u64;
             let insert_start = self.obs.as_ref().map(|_| Instant::now());
             let rule = self.rules.get_mut(&s.rule_id.0).expect("rule exists");
             rule.join_probes += 1;
             rule.pnode_inserts += produced;
-            for r in results {
+            for r in results.drain(..) {
                 rule.pnode.push(r);
             }
+            arena::give_results(results);
             if let Some(obs) = &self.obs {
                 obs.with_rule(s.rule_id, |r| {
                     r.join_probes += 1;
@@ -1351,7 +1352,7 @@ impl Network {
             processed,
             pending,
         };
-        let results = self.join_extend(rule_id, var, seed, catalog, &vis)?;
+        let mut results = self.join_extend(rule_id, var, seed, catalog, &vis)?;
         if let Some(obs) = &self.obs {
             obs.with_rule(rule_id, |r| {
                 if let Some(t0) = join_start {
@@ -1369,9 +1370,10 @@ impl Network {
         let rule = self.rules.get_mut(&rule_id.0).expect("rule exists");
         rule.join_probes += 1;
         rule.pnode_inserts += produced;
-        for r in results {
+        for r in results.drain(..) {
             rule.pnode.push(r);
         }
+        arena::give_results(results);
         if let Some(obs) = &self.obs {
             obs.with_rule(rule_id, |r| {
                 r.join_probes += 1;
@@ -1414,10 +1416,15 @@ impl Network {
         vis: &JoinVis<'_>,
     ) -> QueryResult<Vec<Vec<BoundVar>>> {
         let rule = &self.rules[&rule_id.0];
-        let mut row = Row::unbound(rule.vars.len());
+        // per-transition scratch off this thread's arena: the slot buffer
+        // is returned below; the results buffer travels to the consumer
+        // (P-node push site), which gives it back after draining
+        let mut slots = arena::take_row_slots();
+        slots.resize(rule.vars.len(), None);
+        let mut row = Row { slots };
         row.slots[seed_var] = Some(seed);
-        let mut results = Vec::new();
-        self.extend_depth(
+        let mut results = arena::take_results();
+        let r = self.extend_depth(
             rule,
             order,
             0,
@@ -1426,7 +1433,10 @@ impl Network {
             catalog,
             vis,
             &mut results,
-        )?;
+        );
+        row.slots.clear();
+        arena::give_row_slots(row.slots);
+        r?;
         Ok(results)
     }
 
@@ -1501,7 +1511,8 @@ impl Network {
     /// The composite access path usable at this depth, if any: the first
     /// (widest) spec whose key variables are all bound and whose attribute
     /// tuple the α-memory indexes. Returns the spec and the evaluated
-    /// composite key.
+    /// composite key, packed flat — the common all-scalar/interned-string
+    /// key allocates nothing per probe.
     fn find_composite_probe<'r>(
         &self,
         rule: &'r RuleNode,
@@ -1509,7 +1520,7 @@ impl Network {
         bound: u64,
         row: &Row,
         alpha: &AlphaNode,
-    ) -> Option<(&'r CompositeSpec, Vec<Value>)> {
+    ) -> Option<(&'r CompositeSpec, SmallKey)> {
         if !self.join_indexing {
             return None;
         }
@@ -1517,12 +1528,11 @@ impl Network {
             if spec.others_mask & !bound != 0 || !alpha.has_join_index(&spec.attrs) {
                 return None;
             }
-            let key: Option<Vec<Value>> = spec
-                .key_exprs
-                .iter()
-                .map(|e| ariel_query::eval(e, row).ok())
-                .collect();
-            key.map(|k| (spec, k))
+            let mut kb = KeyBuilder::new(spec.key_exprs.len());
+            for e in &spec.key_exprs {
+                kb.push(&ariel_query::eval(e, row).ok()?);
+            }
+            Some((spec, kb.finish()))
         })
     }
 
@@ -1759,7 +1769,7 @@ impl Network {
                     used_hash = true;
                     AlphaCounters::bump(&alpha.counters.index_probes, 1);
                     for e in alpha
-                        .probe_join_index(&spec.attrs, &key)
+                        .probe_join_index_packed(&spec.attrs, &key)
                         .expect("probe found a registered index")
                     {
                         if !vis.entry_visible(alpha_idx, e) {
@@ -1975,28 +1985,27 @@ impl Network {
         // exists, so primed commands can never address it.
         if token.kind == TokenKind::Minus && token.event == Some(EventSpecifier::Delete) {
             let probe_start = self.obs.as_ref().map(|_| Instant::now());
-            let candidates = self.selnet.candidates(&token.rel, &token.tuple);
+            let mut matched = arena::take_candidates();
+            self.selnet
+                .candidates_into(&token.rel, &token.tuple, &mut matched);
             if let Some(obs) = &self.obs {
                 if let Some(t0) = probe_start {
                     obs.selnet_probe.record(t0.elapsed().as_nanos() as u64);
                 }
                 obs.selnet_candidates
-                    .set(obs.selnet_candidates.get() + candidates.len() as u64);
+                    .set(obs.selnet_candidates.get() + matched.len() as u64);
             }
-            let mut matched: Vec<AlphaId> = candidates
-                .into_iter()
-                .filter(|aid| {
-                    self.alpha_test(*aid, token, |a| {
-                        a.kind.is_on()
-                            && a.event == Some(EventReq::Delete)
-                            && a.pred_matches(&token.tuple, None)
-                    })
+            matched.retain(|aid| {
+                self.alpha_test(*aid, token, |a| {
+                    a.kind.is_on()
+                        && a.event == Some(EventReq::Delete)
+                        && a.pred_matches(&token.tuple, None)
                 })
-                .collect();
+            });
             matched.sort_by_key(|a| a.0);
             matched.dedup();
             let mut processed = HashSet::new();
-            for aid in matched {
+            for &aid in &matched {
                 processed.insert(aid.0);
                 self.insert_and_propagate(
                     aid,
@@ -2011,6 +2020,7 @@ impl Network {
                     pending,
                 )?;
             }
+            arena::give_candidates(matched);
         }
         Ok(())
     }

@@ -136,7 +136,7 @@ pub fn infer_type(e: &RExpr, vars: &[VarBinding]) -> Option<AttrType> {
     match e {
         RExpr::Const(Value::Int(_)) => Some(AttrType::Int),
         RExpr::Const(Value::Float(_)) => Some(AttrType::Float),
-        RExpr::Const(Value::Str(_)) => Some(AttrType::Str),
+        RExpr::Const(Value::Str(_) | Value::Sym(_)) => Some(AttrType::Str),
         RExpr::Const(Value::Bool(_)) => Some(AttrType::Bool),
         RExpr::Const(Value::Null) => None,
         RExpr::AlwaysTrue => Some(AttrType::Bool),

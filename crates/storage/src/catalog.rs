@@ -42,15 +42,42 @@ impl RelRef {
 }
 
 /// Named collection of relations.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     relations: BTreeMap<String, RelRef>,
+    intern_strings: bool,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            relations: BTreeMap::new(),
+            intern_strings: true,
+        }
+    }
 }
 
 impl Catalog {
-    /// New empty catalog.
+    /// New empty catalog. String interning is on by default (see
+    /// [`Catalog::set_intern_strings`]).
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// Toggle string interning for every current relation and every
+    /// relation created later (see [`Relation::set_intern_strings`]).
+    /// Existing tuples keep their representation; equality semantics are
+    /// unchanged either way.
+    pub fn set_intern_strings(&mut self, on: bool) {
+        self.intern_strings = on;
+        for rel in self.relations.values() {
+            rel.borrow_mut().set_intern_strings(on);
+        }
+    }
+
+    /// Whether new relations intern strings on write.
+    pub fn intern_strings(&self) -> bool {
+        self.intern_strings
     }
 
     /// Create a relation. Errors if the name is taken.
@@ -58,7 +85,9 @@ impl Catalog {
         if self.relations.contains_key(name) {
             return Err(StorageError::RelationExists(name.to_string()));
         }
-        let rel = RelRef::new(Relation::new(name, schema));
+        let mut relation = Relation::new(name, schema);
+        relation.set_intern_strings(self.intern_strings);
+        let rel = RelRef::new(relation);
         self.relations.insert(name.to_string(), rel.clone());
         Ok(rel)
     }
@@ -181,6 +210,20 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn intern_toggle_applies_to_existing_and_new_relations() {
+        let mut c = Catalog::new();
+        assert!(c.intern_strings());
+        let strs = Schema::of(&[("s", AttrType::Str)]);
+        c.create("before", strs.clone()).unwrap();
+        c.set_intern_strings(false);
+        c.create("after", strs).unwrap();
+        assert!(!c.require("before").unwrap().borrow().intern_strings());
+        assert!(!c.require("after").unwrap().borrow().intern_strings());
+        c.set_intern_strings(true);
+        assert!(c.require("after").unwrap().borrow().intern_strings());
     }
 
     #[test]

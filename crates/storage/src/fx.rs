@@ -1,0 +1,122 @@
+//! A small, fast, non-cryptographic hasher for hot-path hash maps.
+//!
+//! The match path keys hash maps by small integers and fixed-width packed
+//! join keys (see `ariel-network`'s `SmallKey`); the default SipHash is
+//! overkill for those and shows up in profiles. This is the Fx
+//! multiply-rotate fold used by rustc (public domain construction), written
+//! out by hand because the environment is offline — no external crates.
+//!
+//! Not DoS-resistant: use only for internal structures keyed by trusted
+//! data (interner ids, join keys, TIDs), never for user-facing maps fed
+//! attacker-controlled strings at a stable seed.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier (64-bit golden-ratio-derived constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One fold step: rotate, xor in the word, multiply.
+#[inline]
+fn fold(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Hash a byte slice with the Fx fold, 8 bytes at a time. This is the
+/// content hash cached inside interned [`crate::Symbol`]s, and the hash
+/// `Value::Str` feeds the `Hasher` state — the two must agree so that a
+/// live `String` and its interned twin land in the same bucket.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = SEED;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = fold(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        h = fold(h, u64::from_le_bytes(tail));
+    }
+    fold(h, bytes.len() as u64)
+}
+
+/// `Hasher` implementation over the Fx fold.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.hash = fold(self.hash, hash_bytes(bytes));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.hash = fold(self.hash, i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.hash = fold(self.hash, i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = fold(self.hash, i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.hash = fold(self.hash, i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher` or the
+/// [`FxHashMap`]/[`FxHashSet`] aliases.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed through the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed through the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hello\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn spreads_small_ints() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..1000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1000, "no collisions on sequential ints");
+    }
+
+    #[test]
+    fn map_alias_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("a");
+        assert!(s.contains("a"));
+    }
+}

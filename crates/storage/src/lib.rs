@@ -21,7 +21,9 @@
 
 pub mod catalog;
 pub mod error;
+pub mod fx;
 pub mod index;
+pub mod intern;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -29,7 +31,9 @@ pub mod value;
 
 pub use catalog::{Catalog, RelRef};
 pub use error::{StorageError, StorageResult};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{Index, IndexKind};
+pub use intern::{intern, InternStats, Symbol};
 pub use relation::Relation;
 pub use schema::{AttrDef, AttrType, Schema, SchemaRef};
 pub use tuple::{Tid, Tuple};

@@ -23,10 +23,12 @@ pub struct Relation {
     tid_to_slot: HashMap<u64, usize>,
     next_tid: u64,
     indexes: Vec<Index>,
+    intern_strings: bool,
 }
 
 impl Relation {
-    /// Create an empty relation.
+    /// Create an empty relation. String interning is on by default (see
+    /// [`Relation::set_intern_strings`]).
     pub fn new(name: impl Into<String>, schema: SchemaRef) -> Self {
         Relation {
             name: name.into(),
@@ -36,6 +38,31 @@ impl Relation {
             tid_to_slot: HashMap::new(),
             next_tid: 0,
             indexes: Vec::new(),
+            intern_strings: true,
+        }
+    }
+
+    /// Toggle string interning at the tuple-construction boundary. When on
+    /// (the default), `insert`/`update` convert every owned `Value::Str`
+    /// into its interned `Value::Sym` twin, so everything downstream —
+    /// tokens, α-memories, join keys, P-nodes — tests and hashes strings as
+    /// integers. Off keeps the legacy owned-string layout (the `BENCH_mem`
+    /// comparison baseline). Affects future writes only; equality semantics
+    /// are identical either way.
+    pub fn set_intern_strings(&mut self, on: bool) {
+        self.intern_strings = on;
+    }
+
+    /// Whether writes intern strings (see [`Relation::set_intern_strings`]).
+    pub fn intern_strings(&self) -> bool {
+        self.intern_strings
+    }
+
+    fn intern_row(&self, row: &mut [Value]) {
+        if self.intern_strings {
+            for v in row {
+                v.intern_in_place();
+            }
         }
     }
 
@@ -62,7 +89,8 @@ impl Relation {
     /// Insert a row, returning the new tuple's TID.
     /// The row is schema-checked and widening-coerced.
     pub fn insert(&mut self, row: Vec<Value>) -> StorageResult<Tid> {
-        let row = self.schema.check_row(row)?;
+        let mut row = self.schema.check_row(row)?;
+        self.intern_row(&mut row);
         let tuple = Tuple::new(row);
         let tid = Tid(self.next_tid);
         self.next_tid += 1;
@@ -106,7 +134,8 @@ impl Relation {
     /// Replace a tuple in place (same TID), returning the old tuple.
     /// The new row is schema-checked.
     pub fn update(&mut self, tid: Tid, row: Vec<Value>) -> StorageResult<Tuple> {
-        let row = self.schema.check_row(row)?;
+        let mut row = self.schema.check_row(row)?;
+        self.intern_row(&mut row);
         let slot = *self
             .tid_to_slot
             .get(&tid.0)
@@ -344,6 +373,45 @@ mod tests {
         assert_eq!(
             r.probe_eq(2, &Value::Int(5)).unwrap(),
             vec![(tid, r.get(tid).unwrap())]
+        );
+    }
+
+    #[test]
+    fn interning_stores_symbols_transparently() {
+        let mut r = emp();
+        assert!(r.intern_strings(), "interning is on by default");
+        let tid = r.insert(row("ada", 1.0, 1)).unwrap();
+        assert!(
+            matches!(r.get(tid).unwrap().get(0), Value::Sym(_)),
+            "stored value is interned"
+        );
+        // equality against the owned literal still holds
+        assert_eq!(r.get(tid).unwrap().get(0), &Value::from("ada"));
+        // update goes through the same boundary
+        let old = r.update(tid, row("grace", 2.0, 1)).unwrap();
+        assert!(matches!(old.get(0), Value::Sym(_)));
+        assert!(matches!(r.get(tid).unwrap().get(0), Value::Sym(_)));
+        // legacy mode keeps owned strings
+        let mut legacy = emp();
+        legacy.set_intern_strings(false);
+        let tid = legacy.insert(row("ada", 1.0, 1)).unwrap();
+        assert!(matches!(legacy.get(tid).unwrap().get(0), Value::Str(_)));
+    }
+
+    #[test]
+    fn secondary_index_spans_interned_and_owned_probes() {
+        let mut r = emp();
+        r.create_index("name", IndexKind::Hash).unwrap();
+        let tid = r.insert(row("ada", 1.0, 1)).unwrap();
+        // probe with the owned literal finds the interned entry
+        assert_eq!(
+            r.probe_eq(0, &Value::from("ada")).unwrap(),
+            vec![(tid, r.get(tid).unwrap())]
+        );
+        assert_eq!(
+            r.probe_eq(0, &Value::interned("ada")).unwrap().len(),
+            1,
+            "interned probe too"
         );
     }
 

@@ -30,6 +30,7 @@ impl AttrType {
                 | (AttrType::Float, Value::Float(_))
                 | (AttrType::Float, Value::Int(_))
                 | (AttrType::Str, Value::Str(_))
+                | (AttrType::Str, Value::Sym(_))
         )
     }
 

@@ -4,6 +4,8 @@
 //! integers, floats and strings). `Value` is the runtime representation; the
 //! declared attribute type is [`crate::schema::AttrType`].
 
+use crate::fx;
+use crate::intern::{self, Symbol};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -11,6 +13,14 @@ use std::fmt;
 ///
 /// `Null` is included for completeness of the relational substrate (missing
 /// attribute in an `append`), and sorts before every non-null value.
+///
+/// Strings come in two runtime representations that are fully
+/// interchangeable under `=`, ordering and hashing: an owned [`Value::Str`]
+/// (what the parser produces for literals) and an interned [`Value::Sym`]
+/// (what relations store when interning is on — see
+/// [`crate::Relation::set_intern_strings`]). A `Str` and a `Sym` with the
+/// same content are equal, compare equal, and hash alike, so join-index
+/// buckets keyed by one are probed correctly by the other.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// SQL-style null / missing value.
@@ -21,8 +31,12 @@ pub enum Value {
     Int(i64),
     /// 64-bit IEEE float.
     Float(f64),
-    /// Variable-length string.
+    /// Variable-length string, owned.
     Str(String),
+    /// Interned string: a `Copy` handle into the global symbol table
+    /// (`storage::intern`). Equality is one id compare, hashing one
+    /// integer fold, and no per-value heap allocation.
+    Sym(Symbol),
 }
 
 impl Value {
@@ -33,7 +47,21 @@ impl Value {
             Value::Bool(_) => "bool",
             Value::Int(_) => "int",
             Value::Float(_) => "float",
-            Value::Str(_) => "string",
+            Value::Str(_) | Value::Sym(_) => "string",
+        }
+    }
+
+    /// Interned string value: interns `s` into the global symbol table.
+    pub fn interned(s: &str) -> Value {
+        Value::Sym(intern::intern(s))
+    }
+
+    /// Convert an owned `Str` into its interned `Sym` form in place; other
+    /// variants are untouched. Used at tuple-construction boundaries when
+    /// interning is on.
+    pub fn intern_in_place(&mut self) {
+        if let Value::Str(s) = self {
+            *self = Value::Sym(intern::intern(s));
         }
     }
 
@@ -59,10 +87,11 @@ impl Value {
         }
     }
 
-    /// String view of the value, if it is `Str`.
+    /// String view of the value, if it is `Str` or `Sym`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            Value::Sym(sym) => Some(sym.as_str()),
             _ => None,
         }
     }
@@ -82,6 +111,8 @@ impl Value {
         let inline = std::mem::size_of::<Value>();
         match self {
             Value::Str(s) => inline + s.capacity(),
+            // a Sym owns no heap: the single canonical copy lives in the
+            // global symbol table (counted once, by `intern::stats`)
             _ => inline,
         }
     }
@@ -102,6 +133,20 @@ impl Value {
             (Int(a), Float(b)) => (*a as f64).total_cmp(b),
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
             (Str(a), Str(b)) => a.cmp(b),
+            // Interned vs interned: equal ids mean equal content; otherwise
+            // resolve through the table and compare content, so Sym ordering
+            // agrees with Str ordering.
+            (Sym(a), Sym(b)) => {
+                if a == b {
+                    Ordering::Equal
+                } else {
+                    a.as_str().cmp(b.as_str())
+                }
+            }
+            // Mixed representations compare by content: a literal `Str`
+            // probe must order/equal the interned twin a relation stores.
+            (Str(a), Sym(b)) => a.as_str().cmp(b.as_str()),
+            (Sym(a), Str(b)) => a.as_str().cmp(b.as_str()),
             // Distinct non-comparable types: rank them so the order is total.
             (a, b) => a.type_rank().cmp(&b.type_rank()),
         }
@@ -112,7 +157,7 @@ impl Value {
             Value::Null => 0,
             Value::Bool(_) => 1,
             Value::Int(_) | Value::Float(_) => 2,
-            Value::Str(_) => 3,
+            Value::Str(_) | Value::Sym(_) => 3,
         }
     }
 
@@ -170,9 +215,17 @@ impl std::hash::Hash for Value {
                 2u8.hash(state);
                 f.to_bits().hash(state);
             }
+            // Str and Sym of equal content must hash alike (they are equal
+            // values), so both hash the Fx content hash — a Str pays one
+            // pass over its bytes, a Sym just replays the hash cached at
+            // intern time.
             Value::Str(s) => {
                 3u8.hash(state);
-                s.hash(state);
+                fx::hash_bytes(s.as_bytes()).hash(state);
+            }
+            Value::Sym(sym) => {
+                3u8.hash(state);
+                sym.content_hash().hash(state);
             }
         }
     }
@@ -186,7 +239,14 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Sym(sym) => write!(f, "\"{sym}\""),
         }
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Sym(v)
     }
 }
 
@@ -318,5 +378,77 @@ mod tests {
         assert_eq!(Value::from("s").as_str(), Some("s"));
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::from("s").as_i64(), None);
+    }
+
+    #[test]
+    fn interned_equals_owned() {
+        let owned = Value::from("sym-eq-test");
+        let interned = Value::interned("sym-eq-test");
+        assert!(matches!(interned, Value::Sym(_)));
+        assert_eq!(owned, interned);
+        assert!(owned.sql_eq(&interned));
+        assert_eq!(owned.total_cmp(&interned), Ordering::Equal);
+        assert_ne!(interned, Value::interned("sym-eq-other"));
+    }
+
+    #[test]
+    fn interned_hash_matches_owned() {
+        for s in ["", "a", "sym-hash-test", "une chaîne accentuée"] {
+            let owned = Value::from(s);
+            let interned = Value::interned(s);
+            assert_eq!(hash_of(&owned), hash_of(&interned), "content {s:?}");
+        }
+        assert_ne!(
+            hash_of(&Value::interned("sym-hash-a")),
+            hash_of(&Value::interned("sym-hash-b"))
+        );
+    }
+
+    #[test]
+    fn interned_ordering_matches_owned() {
+        let strs = ["", "a", "ab", "b", "z-sym-ord"];
+        for a in strs {
+            for b in strs {
+                assert_eq!(
+                    Value::interned(a).total_cmp(&Value::interned(b)),
+                    Value::from(a).total_cmp(&Value::from(b)),
+                    "sym/sym {a:?} vs {b:?}"
+                );
+                assert_eq!(
+                    Value::from(a).total_cmp(&Value::interned(b)),
+                    Value::from(a).total_cmp(&Value::from(b)),
+                    "str/sym {a:?} vs {b:?}"
+                );
+                assert_eq!(
+                    Value::interned(a).total_cmp(&Value::from(b)),
+                    Value::from(a).total_cmp(&Value::from(b)),
+                    "sym/str {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interned_type_and_display_match_owned() {
+        let interned = Value::interned("disp");
+        assert_eq!(interned.type_name(), "string");
+        assert_eq!(interned.to_string(), "\"disp\"");
+        assert_eq!(interned.as_str(), Some("disp"));
+        // a Sym carries no per-value heap payload
+        assert!(interned.heap_size() < Value::from("disp-but-on-the-heap").heap_size());
+        // mixed-type total order still ranks strings last
+        assert!(Value::Int(1) < Value::interned("a"));
+        assert!(Value::Null < Value::interned(""));
+    }
+
+    #[test]
+    fn intern_in_place_converts_strings_only() {
+        let mut v = Value::from("in-place");
+        v.intern_in_place();
+        assert!(matches!(v, Value::Sym(_)));
+        assert_eq!(v.as_str(), Some("in-place"));
+        let mut n = Value::Int(3);
+        n.intern_in_place();
+        assert_eq!(n, Value::Int(3));
     }
 }

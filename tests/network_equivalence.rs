@@ -606,6 +606,151 @@ fn parallel_match_shard_order_stress() {
     }
 }
 
+/// Build an engine over a string-keyed schema on a chosen backend, with
+/// string interning on or off — the memory-layout dimension. Rules cover
+/// a string equi-join, a string selection predicate and a numeric band.
+fn build_interning(rete: Option<ReteMode>, intern: bool) -> Ariel {
+    let mut db = Ariel::with_options(EngineOptions {
+        rete_mode: rete,
+        intern_strings: intern,
+        ..Default::default()
+    });
+    db.execute(
+        "create emp (id = int, name = string, dept = string, sal = float); \
+         create dept (dname = string, floor = int); \
+         create audit (id = int, kind = int)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_sjoin if emp.dept = dept.dname and dept.floor < 4 \
+         then append to audit(id = emp.id, kind = 1)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_ssel if emp.name = \"hot\" \
+         then append to audit(id = emp.id, kind = 2)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_band if emp.sal > 30 and emp.sal <= 60 \
+         then append to audit(id = emp.id, kind = 3)",
+    )
+    .unwrap();
+    db
+}
+
+/// Randomized stream over the string-keyed schema: pooled names (so
+/// interning dedupes), occasional null join keys, churn on both sides of
+/// the string join.
+fn apply_string_stream(db: &mut Ariel, seed: u64, steps: usize) {
+    let mut rng = Rng(seed | 1);
+    let mut next_id = 0i64;
+    for _ in 0..steps {
+        match rng.below(10) {
+            0..=4 => {
+                let id = next_id;
+                next_id += 1;
+                let name = if rng.below(5) == 0 {
+                    "hot".to_string()
+                } else {
+                    format!("n{}", rng.below(8))
+                };
+                let sal = rng.below(80);
+                let cmd = if rng.below(6) == 0 {
+                    format!("append emp (id = {id}, name = \"{name}\", sal = {sal})")
+                } else {
+                    format!(
+                        "append emp (id = {id}, name = \"{name}\", \
+                         dept = \"d{}\", sal = {sal})",
+                        rng.below(6)
+                    )
+                };
+                db.execute(&cmd).unwrap();
+            }
+            5..=6 => {
+                let cmd = format!(
+                    "append dept (dname = \"d{}\", floor = {})",
+                    rng.below(6),
+                    rng.below(8)
+                );
+                db.execute(&cmd).unwrap();
+            }
+            7 => {
+                let id = rng.below(next_id.max(1) as u64);
+                db.execute(&format!(
+                    "replace emp (dept = \"d{}\") where emp.id = {id}",
+                    rng.below(6)
+                ))
+                .unwrap();
+            }
+            _ => {
+                let id = rng.below(next_id.max(1) as u64);
+                db.execute(&format!("delete emp where emp.id = {id}"))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Like [`snapshot`], but normalizes interned symbols back to plain
+/// strings first: `Sym` and `Str` compare equal by content, yet their
+/// `Debug` sort keys differ, so the interned and legacy layouts would
+/// order rows differently without this.
+fn snapshot_normalized(db: &mut Ariel, rel: &str) -> Rows {
+    let mut rows: Rows = db
+        .query(&format!("retrieve ({rel}.all)"))
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|v| match v {
+                    Value::Sym(s) => Value::Str(s.as_str().to_string()),
+                    other => other,
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+/// Interning oracle: symbol interning is a pure representation change, so
+/// every (backend, interning) combination — A-TREAT, indexed Rete, nested
+/// Rete, each with interning on and off — must converge to the same
+/// database state on a string-keyed workload with pooled names, string
+/// join keys and null-key churn.
+#[test]
+fn interning_on_and_off_produce_identical_states() {
+    let backends = [None, Some(ReteMode::Indexed), Some(ReteMode::Nested)];
+    let mut reference: Option<(Rows, Rows)> = None;
+    for backend in backends {
+        for intern in [true, false] {
+            let mut db = build_interning(backend, intern);
+            assert_eq!(db.catalog().intern_strings(), intern);
+            apply_string_stream(&mut db, 0x1D10_7BEE, 150);
+            let emp = snapshot_normalized(&mut db, "emp");
+            let audit = snapshot_normalized(&mut db, "audit");
+            for kind in 1..=3 {
+                assert!(
+                    audit.iter().any(|r| r[1] == Value::Int(kind)),
+                    "rule kind {kind} must fire under {backend:?}/intern={intern}"
+                );
+            }
+            match &reference {
+                None => reference = Some((emp, audit)),
+                Some((ref_emp, ref_audit)) => {
+                    assert_eq!(&emp, ref_emp, "emp diverged: {backend:?}/intern={intern}");
+                    assert_eq!(
+                        &audit, ref_audit,
+                        "audit diverged: {backend:?}/intern={intern}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn long_stream_with_two_seeds() {
     for seed in [7u64, 99] {
