@@ -72,6 +72,17 @@ pub struct EngineOptions {
     /// representation (the BENCH_mem comparison baseline). Equality,
     /// ordering and display semantics are identical either way.
     pub intern_strings: bool,
+    /// Upper bound on the number of client requests the server front-end
+    /// (`ariel-server`) coalesces into one transition when consecutive
+    /// pending requests are all plain appends. Batching feeds
+    /// [`Ariel::execute_transition`] long positive token runs — exactly
+    /// the shape the parallel match path carves into parallel jobs — at
+    /// the cost of merging concurrent clients' appends into a single
+    /// logical event set (see `docs/SERVER.md`). `1` disables
+    /// cross-request coalescing. The engine itself never reads this; it
+    /// is plumbed through [`EngineOptions`] so a server and its engine
+    /// are configured in one place.
+    pub serve_batch: usize,
 }
 
 impl Default for EngineOptions {
@@ -89,6 +100,7 @@ impl Default for EngineOptions {
             parallel_match: false,
             match_threads: 0,
             intern_strings: true,
+            serve_batch: 64,
         }
     }
 }
@@ -603,10 +615,42 @@ impl Ariel {
     /// Run a transition: execute the commands (a single command, or the
     /// body of a `do…end` block), push the resulting tokens through the
     /// discrimination network, then run the recognize-act cycle to
-    /// quiescence.
+    /// quiescence. Returns the commands' outputs merged into one.
     fn run_transition(&mut self, cmds: &[Command]) -> ArielResult<CmdOutput> {
-        let mut delta = DeltaTracker::new();
+        let outputs = self.run_transition_outputs(cmds)?;
         let mut merged = CmdOutput::default();
+        for out in outputs {
+            merged.changes.extend(out.changes);
+            merged.notifications.extend(out.notifications);
+            if !out.columns.is_empty() {
+                merged.columns = out.columns;
+                merged.rows = out.rows;
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Execute several DML commands as **one transition** — one Δ-set per
+    /// command, one recognize-act cycle at the end, exactly the semantics
+    /// of a `do … end` block — but return one [`CmdOutput`] per command
+    /// instead of a merged one. This is the server front-end's
+    /// write-batching entry point: requests coalesced across client
+    /// sessions still need their own change counts and result rows acked
+    /// back to the session that issued them. Only DML (`append`,
+    /// `delete`, `replace`, `retrieve`, `notify`) is allowed, as inside a
+    /// `do…end` block.
+    pub fn execute_transition(&mut self, cmds: &[Command]) -> ArielResult<Vec<CmdOutput>> {
+        if cmds.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.run_transition_outputs(cmds)
+    }
+
+    /// Shared transition body: per-command outputs, one recognize-act
+    /// cycle at the end.
+    fn run_transition_outputs(&mut self, cmds: &[Command]) -> ArielResult<Vec<CmdOutput>> {
+        let mut delta = DeltaTracker::new();
+        let mut outputs = Vec::with_capacity(cmds.len());
         self.tick += 1;
         self.stats.transitions += 1;
         if let Some(tr) = self.network.trace() {
@@ -631,13 +675,8 @@ impl Ariel {
             if let (Some(obs), Some(t0)) = (self.obs.as_mut(), batch_start) {
                 obs.match_batch.record(t0.elapsed().as_nanos() as u64);
             }
-            merged.changes.extend(out.changes);
             self.notifications.extend(out.notifications.iter().cloned());
-            merged.notifications.extend(out.notifications);
-            if !out.columns.is_empty() {
-                merged.columns = out.columns;
-                merged.rows = out.rows;
-            }
+            outputs.push(out);
         }
         if let Some(tr) = self.network.trace() {
             tr.record(TraceEventKind::TransitionEnd {
@@ -646,7 +685,7 @@ impl Ariel {
         }
         self.note_matches();
         self.recognize_act()?;
-        Ok(merged)
+        Ok(outputs)
     }
 
     /// Resolve and execute one DML command (no rule processing).

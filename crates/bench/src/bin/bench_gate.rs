@@ -40,12 +40,21 @@
 //!   `alpha_bytes` must not grow more than 5% over
 //!   `BENCH_mem_baseline.json`, and the interned config's wall clock is
 //!   held to the usual 50% tolerance. `--bless` updates the mem baseline.
+//! * `bench_gate serve [fresh [baseline]]` gates `BENCH_serve.json`
+//!   (written by `paper_tables -- serve`): zero command and protocol
+//!   errors in every fresh row, sane latency percentiles (p99 ≥ p50 > 0),
+//!   every baseline client count still measured, and one-client
+//!   commands/sec within 1/4 of `BENCH_serve_baseline.json` (wide enough
+//!   for host variance, narrow enough to catch a Nagle stall; higher
+//!   client counts are reported, not gated — they move with the host
+//!   scheduler). `--bless` updates the serve baseline.
 //! * `bench_gate links [root]` fails if any relative markdown link in
 //!   `README.md` or `docs/*.md` points at a path that does not exist —
 //!   the CI docs gate.
 //!
-//! The schema of the join, par and mem files is documented in
-//! `docs/OBSERVABILITY.md` (join, mem) and `docs/CONCURRENCY.md` (par).
+//! The schema of the join, par, mem and serve files is documented in
+//! `docs/OBSERVABILITY.md` (join, mem), `docs/CONCURRENCY.md` (par) and
+//! `docs/SERVER.md` (serve).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -533,6 +542,167 @@ fn run_par_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
     }
 }
 
+/// Throughput tolerance for the serve gate: one-client commands/sec may
+/// drop to 1/4 of baseline before failing. Wider than
+/// [`TOTAL_MS_TOLERANCE`] because the baseline is measured on a developer
+/// machine while CI hosts differ in syscall latency by small integer
+/// factors; the regressions this gate exists for — a lost `TCP_NODELAY`
+/// stalling on Nagle/delayed-ACK (~40 ms per round trip), a lock held
+/// across a socket write — cost 2-3 orders of magnitude and cannot hide
+/// inside any sane band.
+const SERVE_CPS_TOLERANCE: f64 = 4.0;
+
+/// One row of `BENCH_serve.json`, keyed by `clients`.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeRow {
+    clients: u64,
+    cps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    cmd_errors: u64,
+    protocol_errors: u64,
+}
+
+fn parse_serve_rows(src: &str, label: &str) -> Result<Vec<ServeRow>, String> {
+    let objs = Parser::new(src)
+        .array_of_objects()
+        .map_err(|e| format!("{label}: {e}"))?;
+    objs.into_iter()
+        .enumerate()
+        .map(|(i, obj)| {
+            let num_field = |k: &str| match obj.get(k) {
+                Some(Field::Num(n)) => Ok(*n),
+                _ => Err(format!("{label}: row {i} missing number \"{k}\"")),
+            };
+            Ok(ServeRow {
+                clients: num_field("clients")? as u64,
+                cps: num_field("cps")?,
+                p50_us: num_field("p50_us")?,
+                p99_us: num_field("p99_us")?,
+                cmd_errors: num_field("cmd_errors")? as u64,
+                protocol_errors: num_field("protocol_errors")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Gate the server benchmark; returns every violation found.
+///
+/// Correctness is gated hard: the workload is all-valid, so *any* command
+/// or protocol error in a fresh row fails, as do nonsensical latency
+/// percentiles (p99 < p50, or a zero p50 — the clock must have moved).
+/// Throughput is gated only at **one client** — the uncontended round-trip
+/// is the stablest number across hosts, while high-concurrency figures
+/// move with the scheduler — and only against [`SERVE_CPS_TOLERANCE`].
+/// Every baseline client count must still be measured.
+fn check_serve(fresh: &[ServeRow], baseline: &[ServeRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in fresh {
+        let key = format!("clients={}", r.clients);
+        if r.cmd_errors != 0 {
+            violations.push(format!(
+                "{key}: {} command error(s) — the serve workload is all-valid",
+                r.cmd_errors
+            ));
+        }
+        if r.protocol_errors != 0 {
+            violations.push(format!(
+                "{key}: {} protocol error(s) — framing must be clean",
+                r.protocol_errors
+            ));
+        }
+        if r.p50_us <= 0.0 || r.p99_us < r.p50_us {
+            violations.push(format!(
+                "{key}: nonsensical latency percentiles (p50 {:.1} us, p99 {:.1} us)",
+                r.p50_us, r.p99_us
+            ));
+        }
+    }
+    for base in baseline {
+        let key = format!("clients={}", base.clients);
+        let Some(now) = fresh.iter().find(|r| r.clients == base.clients) else {
+            violations.push(format!("{key}: missing from fresh results"));
+            continue;
+        };
+        if base.clients == 1 && now.cps < base.cps / SERVE_CPS_TOLERANCE {
+            violations.push(format!(
+                "{key}: commands/sec regressed {:.1} -> {:.1} (below 1/{:.0} of baseline)",
+                base.cps, now.cps, SERVE_CPS_TOLERANCE
+            ));
+        }
+    }
+    violations
+}
+
+fn run_serve_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
+    let load = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|src| parse_serve_rows(&src, path))
+    };
+    let fresh = match load(fresh_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if bless {
+        let baseline = load(base_path).unwrap_or_default();
+        println!("bench_gate: blessing {fresh_path} -> {base_path}");
+        for now in &fresh {
+            let key = format!("clients={}", now.clients);
+            match baseline.iter().find(|r| r.clients == now.clients) {
+                Some(old) => println!(
+                    "  {key}: cps {:.1} -> {:.1}, p99_us {:.1} -> {:.1}",
+                    old.cps, now.cps, old.p99_us, now.p99_us
+                ),
+                None => println!(
+                    "  {key}: new row (cps {:.1}, p99_us {:.1})",
+                    now.cps, now.p99_us
+                ),
+            }
+        }
+        return match std::fs::copy(fresh_path, base_path) {
+            Ok(_) => {
+                println!("bench_gate: serve baseline updated ({} rows)", fresh.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_gate: cannot write {base_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let baseline = match load(base_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_gate: serve {fresh_path} vs {base_path} ({} baseline rows)",
+        baseline.len()
+    );
+    for r in &fresh {
+        println!(
+            "  clients={:<3} cps {:>9.1}  p50_us {:>8.1}  p99_us {:>9.1}  errors {}/{}",
+            r.clients, r.cps, r.p50_us, r.p99_us, r.cmd_errors, r.protocol_errors
+        );
+    }
+    let violations = check_serve(&fresh, &baseline);
+    if violations.is_empty() {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: FAIL {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 /// One row of `BENCH_mem.json`, keyed by `config`.
 #[derive(Debug, Clone, PartialEq)]
 struct MemRow {
@@ -821,6 +991,13 @@ fn main() -> ExitCode {
                 .map_or("BENCH_mem_baseline.json", String::as_str);
             return run_mem_gate(fresh, base, bless);
         }
+        Some("serve") => {
+            let fresh = args.get(1).map_or("BENCH_serve.json", String::as_str);
+            let base = args
+                .get(2)
+                .map_or("BENCH_serve_baseline.json", String::as_str);
+            return run_serve_gate(fresh, base, bless);
+        }
         _ => {}
     }
     let fresh_path = args.first().map_or("BENCH_join.json", String::as_str);
@@ -899,6 +1076,67 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn serve_row(clients: u64, cps: f64, p50_us: f64, p99_us: f64) -> ServeRow {
+        ServeRow {
+            clients,
+            cps,
+            p50_us,
+            p99_us,
+            cmd_errors: 0,
+            protocol_errors: 0,
+        }
+    }
+
+    #[test]
+    fn parses_serve_rows() {
+        let src = r#"[{"clients":1,"requests":200,"total_ms":50.0,"cps":4000.0,
+            "p50_us":210.5,"p99_us":900.0,"cmd_errors":0,"protocol_errors":0,
+            "batches":180,"batched_requests":0,"max_batch":1}]"#;
+        let rows = parse_serve_rows(src, "test").unwrap();
+        assert_eq!(rows, vec![serve_row(1, 4000.0, 210.5, 900.0)]);
+        assert!(parse_serve_rows("[{\"clients\":\"x\"}]", "test").is_err());
+    }
+
+    #[test]
+    fn serve_gate_passes_clean_run() {
+        let fresh = vec![
+            serve_row(1, 4000.0, 200.0, 900.0),
+            serve_row(4, 9000.0, 300.0, 2000.0),
+        ];
+        let base = fresh.clone();
+        assert!(check_serve(&fresh, &base).is_empty());
+        // faster than baseline is fine, and high-concurrency cps is not gated
+        let better = vec![
+            serve_row(1, 9999.0, 100.0, 400.0),
+            serve_row(4, 1.0, 300.0, 2000.0),
+        ];
+        assert!(check_serve(&better, &base).is_empty());
+    }
+
+    #[test]
+    fn serve_gate_catches_errors_latency_and_regression() {
+        let base = vec![
+            serve_row(1, 4000.0, 200.0, 900.0),
+            serve_row(4, 9000.0, 300.0, 2000.0),
+        ];
+        // command/protocol errors fail
+        let mut bad = base.clone();
+        bad[0].cmd_errors = 1;
+        bad[1].protocol_errors = 2;
+        assert_eq!(check_serve(&bad, &base).len(), 2);
+        // nonsensical percentiles fail
+        let upside_down = vec![serve_row(1, 4000.0, 900.0, 200.0), base[1].clone()];
+        assert_eq!(check_serve(&upside_down, &base).len(), 1);
+        // one-client throughput collapse fails; within tolerance passes
+        let slow = vec![serve_row(1, 4000.0 / 5.0, 200.0, 900.0), base[1].clone()];
+        assert_eq!(check_serve(&slow, &base).len(), 1);
+        let ok = vec![serve_row(1, 4000.0 / 3.0, 200.0, 900.0), base[1].clone()];
+        assert!(check_serve(&ok, &base).is_empty());
+        // a dropped client count fails
+        let missing = vec![base[0].clone()];
+        assert_eq!(check_serve(&missing, &base).len(), 1);
+    }
 
     fn row(workload: &str, indexed: bool, total_ms: f64, join_candidates: u64) -> Row {
         Row {

@@ -6,7 +6,7 @@
 //! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
 //! ```
 //!
-//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins mem trace par
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins mem trace par serve
 
 use ariel_bench::measure;
 use std::time::Duration;
@@ -292,6 +292,40 @@ fn run_joins() {
     println!();
 }
 
+fn run_serve() {
+    use ariel_bench::serve;
+    println!("== SERVE: TCP server latency/throughput vs client count → BENCH_serve.json ==");
+    println!(
+        "(in-process server over loopback; {} mixed requests per client — 70% append, \
+         10% replace, 20% retrieve — against an active rule)",
+        serve::COMMANDS_PER_CLIENT
+    );
+    println!(
+        "{:>8} | {:>9} {:>9} {:>10} {:>8} {:>14} {:>10}",
+        "clients", "cps", "p50 us", "p99 us", "groups", "batched reqs", "max batch"
+    );
+    let rows = serve::serve_table(&[1, 4, 16]);
+    for r in &rows {
+        println!(
+            "{:>8} | {:>9.1} {:>9.1} {:>10.1} {:>8} {:>14} {:>10}",
+            r.clients,
+            serve::cps(r),
+            r.p50.as_secs_f64() * 1e6,
+            r.p99.as_secs_f64() * 1e6,
+            r.batches,
+            r.batched_requests,
+            r.max_batch,
+        );
+    }
+    let json = serve::serve_json(&rows);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => println!("cannot write {path}: {e}"),
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -337,5 +371,8 @@ fn main() {
     }
     if want("par") {
         run_par();
+    }
+    if want("serve") {
+        run_serve();
     }
 }

@@ -7,6 +7,7 @@
 use ariel::query::CmdOutput;
 use ariel::storage::Value;
 use ariel::Ariel;
+use ariel_server::{Server, ServerOptions};
 
 pub use ariel::ArielResult;
 
@@ -329,12 +330,52 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
                 _ => ShellAction::Text("usage: \\why <rule>\n".into()),
             }
         }
+        Some("serve") => match parts.next() {
+            Some(addr) => serve_blocking(db, addr),
+            None => ShellAction::Text(
+                "usage: \\serve <addr>   (e.g. \\serve 127.0.0.1:7878; port 0 = ephemeral)\n"
+                    .into(),
+            ),
+        },
         Some("help") | Some("h") | Some("?") => ShellAction::Text(HELP.to_string()),
         other => ShellAction::Text(format!(
             "unknown meta command `\\{}` — try \\help\n",
             other.unwrap_or_default()
         )),
     }
+}
+
+/// Hand the shell's database to a TCP server until a client sends a
+/// `shutdown` frame, then take it back: whatever the sessions appended
+/// is in the REPL afterwards, and a failed bind costs nothing. Prints
+/// the bound address up front (the shell blocks while serving).
+fn serve_blocking(db: &mut Ariel, addr: &str) -> ShellAction {
+    let engine = std::mem::replace(db, Ariel::new());
+    let server = match Server::bind(addr, engine, ServerOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            let msg = format!("error: {e}\n");
+            *db = *e.engine;
+            return ShellAction::Text(msg);
+        }
+    };
+    // announce before blocking — clients need the address (and tests the
+    // ephemeral port) while the server runs
+    println!("serving on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let (stats, engine) = server.run();
+    *db = engine;
+    ShellAction::Text(format!(
+        "server stopped: {} session(s), {} command(s), {} query(s), {} protocol error(s), \
+         {} group(s) executed (largest {})\n",
+        stats.sessions,
+        stats.commands,
+        stats.queries,
+        stats.protocol_errors,
+        stats.batches,
+        stats.max_batch,
+    ))
 }
 
 /// Shell help text.
@@ -370,6 +411,8 @@ Meta commands:
   \parallel on|off  toggle the parallel match path (A-TREAT only)
   \parallel threads <n>
                     worker threads for parallel match (0 = auto)
+  \serve <addr>     serve this database over TCP until a client sends
+                    shutdown (blocks; REPL state survives — docs/SERVER.md)
   \metrics          full metrics snapshot as JSON
   \stats            engine and network statistics
   \stats bytes      per-memory byte breakdown (alpha/beta/pnode/selnet,

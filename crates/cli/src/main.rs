@@ -2,9 +2,11 @@
 //! active DBMS.
 //!
 //! ```text
-//! ariel                 # interactive shell
-//! ariel script.arl      # run a script file, then exit
-//! ariel -i script.arl   # run a script file, then stay interactive
+//! ariel-repl                        # interactive shell
+//! ariel-repl script.arl             # run a script file, then exit
+//! ariel-repl -i script.arl          # run a script file, then stay interactive
+//! ariel-repl serve <addr> [script]  # serve over TCP (docs/SERVER.md);
+//!                                   # the script seeds schema/rules first
 //! ```
 //!
 //! Statements may span lines: input is buffered until it parses (so
@@ -15,8 +17,51 @@ use ariel::Ariel;
 use ariel_cli::{dispatch, ShellAction, HELP};
 use std::io::{BufRead, Write};
 
+/// `ariel-repl serve <addr> [script.arl]`: seed an engine from the
+/// optional script, then serve it over TCP until a client sends a
+/// `shutdown` frame (see docs/SERVER.md for the wire protocol).
+fn serve_main(args: &[String]) {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: ariel-repl serve <addr> [script.arl]");
+        std::process::exit(2);
+    };
+    let mut db = Ariel::new();
+    if let Some(path) = args.get(1) {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = db.execute(&src) {
+            eprintln!("error in {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let server = match ariel_server::Server::bind(addr, db, ariel_server::ServerOptions::default())
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("serving on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    let (stats, _engine) = server.run();
+    println!(
+        "server stopped: {} session(s), {} command(s), {} query(s), {} protocol error(s)",
+        stats.sessions, stats.commands, stats.queries, stats.protocol_errors
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+        return;
+    }
     let mut interactive_after = false;
     let mut script: Option<String> = None;
     for a in &args {

@@ -1,10 +1,11 @@
-//! Drive the shipped `ariel` binary end to end through stdin/stdout.
+//! Drive the shipped `ariel-repl` binary end to end through stdin/stdout
+//! (and, for `serve`, over TCP).
 
 use std::io::Write;
 use std::process::{Command, Stdio};
 
 fn run_repl(input: &str) -> String {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_ariel"))
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ariel-repl"))
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -85,11 +86,81 @@ fn script_mode_runs_file_and_exits() {
         "create t (x = int)\nappend t (x = 5)\nretrieve (t.x)\n",
     )
     .unwrap();
-    let out = Command::new(env!("CARGO_BIN_EXE_ariel"))
+    let out = Command::new(env!("CARGO_BIN_EXE_ariel-repl"))
         .arg(path.to_str().unwrap())
         .output()
         .expect("run script");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("| 5"), "{text}");
+}
+
+#[test]
+fn serve_subcommand_end_to_end() {
+    use ariel_server::Client;
+    use std::io::BufRead;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ariel-repl"))
+        .args(["serve", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ariel-repl serve");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    c.command("create t (x = int)").unwrap();
+    c.command("append t (x = 1)\nappend t (x = 2)").unwrap();
+    assert_eq!(c.query("retrieve (t.all)").unwrap().table.rows.len(), 2);
+    c.shutdown().unwrap();
+
+    let status = child.wait().expect("server process exits");
+    assert!(status.success());
+    let summary = lines.next().unwrap().unwrap();
+    assert!(summary.starts_with("server stopped:"), "{summary}");
+}
+
+#[test]
+fn serve_meta_verb_round_trips_engine_state() {
+    use ariel_server::Client;
+    use std::io::BufRead;
+
+    // REPL → \serve → client appends → shutdown → REPL sees the appends
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ariel-repl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ariel-repl");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    stdin
+        .write_all(b"create t (x = int)\n\\serve 127.0.0.1:0\n")
+        .unwrap();
+    stdin.flush().unwrap();
+    let addr = loop {
+        let line = lines.next().unwrap().unwrap();
+        if let Some(rest) = line.split("serving on ").nth(1) {
+            break rest.to_string();
+        }
+    };
+
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    c.command("append t (x = 41)").unwrap();
+    c.shutdown().unwrap();
+
+    // back in the REPL: the served engine's state is visible
+    stdin.write_all(b"retrieve (t.all)\n\\q\n").unwrap();
+    stdin.flush().unwrap();
+    drop(stdin);
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    let text = rest.join("\n");
+    assert!(text.contains("server stopped:"), "{text}");
+    assert!(text.contains("| 41"), "{text}");
+    assert!(child.wait().unwrap().success());
 }

@@ -1,0 +1,860 @@
+//! The server: accept loop, per-connection reader threads, and a
+//! `scoped-pool` executor stage that multiplexes every session's requests
+//! onto the one engine with per-transition write batching.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! accept thread ──spawns──> reader (1 per connection, blocking I/O)
+//!                               │ parse frame + script, enqueue Entry
+//!                               ▼
+//!                        request queue (FIFO, Mutex + Condvar)
+//!                               │ pop; pop further *consecutive*
+//!                               │ append-only entries → one group
+//!                               ▼
+//!                    executor workers (vendor/scoped-pool, N = workers)
+//!                               │ one Mutex<Ariel>: group → ONE transition
+//!                               ▼
+//!                        reply channel → reader writes the result frame
+//! ```
+//!
+//! Readers own their socket for both directions, so no frame is ever
+//! interleaved at the byte level and a session's replies are in request
+//! order (a reader does not read the next frame until the previous reply
+//! is on the wire — clients may still pipeline; extra frames just wait in
+//! the kernel buffer). Executors never touch a socket, so the engine lock
+//! is never held across a blocking network write.
+//!
+//! ## Write batching
+//!
+//! An entry whose commands are all plain `append`s is *batchable*. An
+//! executor that pops one keeps popping while the queue front stays
+//! batchable, up to [`ariel::EngineOptions::serve_batch`] commands, and runs the
+//! whole group through [`Ariel::execute_transition`] — one Δ-set, one
+//! recognize-act cycle, and one long positive token run, which is exactly
+//! the shape `Network::process_batch` carves into parallel jobs when the
+//! parallel match path is on. Each session is acked with its own change
+//! counts. Two semantic consequences, both documented in
+//! `docs/SERVER.md`: a batched group forms a single logical-event
+//! transition (concurrent clients' appends may merge net effects), and a
+//! notification raised by a batched transition is delivered to every
+//! session in the group. If a grouped transition fails, the group is
+//! re-run entry by entry so one session's bad command cannot poison
+//! another session's good one.
+
+use crate::protocol::{
+    decode_hello_client, encode_error, encode_hello_server, write_frame, ErrorCode, Opcode,
+    ResultBody, Table, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use ariel::query::{parse_command, parse_script, CmdOutput, Command};
+use ariel::storage::Value;
+use ariel::Ariel;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How long a blocked read/accept waits before re-checking the shutdown
+/// flag. Purely a shutdown-latency bound — frames are handled the moment
+/// they arrive, because every connection has a dedicated reader.
+const POLL_QUANTUM: Duration = Duration::from_millis(25);
+
+/// Bound on a reply write to a stalled client; past it the session is
+/// dropped so a dead peer cannot wedge its reader thread forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Server configuration (the engine's own knobs live in
+/// [`ariel::EngineOptions`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Executor worker threads; 0 = one per available core, capped at 8
+    /// (the engine lock serializes transitions, so more buys nothing).
+    pub workers: usize,
+}
+
+/// Buckets of the batch-size histogram: group sizes (in *entries*) of
+/// 1, 2, 3–4, 5–8, 9–16 and 17+.
+pub const BATCH_BUCKETS: usize = 6;
+
+/// Counters the server accumulates while running; snapshot via
+/// [`Server::run`]'s return value or the `metrics` frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions accepted over the server's lifetime.
+    pub sessions: u64,
+    /// `command` frames answered (with `result` or engine `error`).
+    pub commands: u64,
+    /// `query` frames answered.
+    pub queries: u64,
+    /// Engine-level errors returned (session kept).
+    pub engine_errors: u64,
+    /// Protocol violations (connection closed).
+    pub protocol_errors: u64,
+    /// Combined transitions executed (groups, including size-1 groups).
+    pub batches: u64,
+    /// Requests that rode in a group of ≥ 2 (cross-session coalescing).
+    pub batched_requests: u64,
+    /// Largest group executed, in entries.
+    pub max_batch: u64,
+    /// Histogram over group sizes; see [`BATCH_BUCKETS`].
+    pub batch_hist: [u64; BATCH_BUCKETS],
+}
+
+impl ServerStats {
+    /// Render the server half of the `metrics` frame.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sessions\":{},\"commands\":{},\"queries\":{},\"engine_errors\":{},\
+             \"protocol_errors\":{},\"batches\":{},\"batched_requests\":{},\
+             \"max_batch\":{},\"batch_hist\":[{}]}}",
+            self.sessions,
+            self.commands,
+            self.queries,
+            self.engine_errors,
+            self.protocol_errors,
+            self.batches,
+            self.batched_requests,
+            self.max_batch,
+            self.batch_hist
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Histogram bucket for a group of `n` entries.
+fn bucket(n: usize) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    Command,
+    Query,
+}
+
+/// One parsed request waiting for an executor.
+struct Entry {
+    cmds: Vec<Command>,
+    /// All commands are plain `append`s — eligible for group coalescing.
+    batchable: bool,
+    reply: mpsc::Sender<(Opcode, Vec<u8>)>,
+}
+
+#[derive(Default)]
+struct Queue {
+    entries: VecDeque<Entry>,
+}
+
+struct Shared {
+    /// `None` only after [`Server::run`] has taken the engine back out,
+    /// which happens strictly after every thread that could lock it joined.
+    engine: Mutex<Option<Ariel>>,
+    queue: Mutex<Queue>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    serve_batch: usize,
+    next_session: AtomicU32,
+    sessions: AtomicU64,
+    commands: AtomicU64,
+    queries: AtomicU64,
+    engine_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    batch: Mutex<BatchStats>,
+}
+
+#[derive(Default)]
+struct BatchStats {
+    batches: u64,
+    batched_requests: u64,
+    max_batch: u64,
+    hist: [u64; BATCH_BUCKETS],
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let b = lock(&self.batch);
+        ServerStats {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            commands: self.commands.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            engine_errors: self.engine_errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            batches: b.batches,
+            batched_requests: b.batched_requests,
+            max_batch: b.max_batch,
+            batch_hist: b.hist,
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks the calling
+/// thread until shutdown; [`Server::spawn`] runs it on a background
+/// thread and returns a [`ServerHandle`].
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// A failed [`Server::bind`]. Carries the engine back out so a bind
+/// failure (port in use, bad address) never costs the caller its
+/// database — the REPL's `\serve` relies on this to keep its state.
+pub struct BindError {
+    /// The underlying socket error.
+    pub source: std::io::Error,
+    /// The engine handed to [`Server::bind`], returned unharmed
+    /// (boxed: the engine is large and this is the cold path).
+    pub engine: Box<Ariel>,
+}
+
+impl std::fmt::Debug for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BindError")
+            .field("source", &self.source)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot bind: {}", self.source)
+    }
+}
+
+impl std::error::Error for BindError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and wrap `engine`.
+    /// The engine's [`ariel::EngineOptions::serve_batch`] sets the coalescing
+    /// bound. On failure the engine rides back in the error.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Ariel,
+        options: ServerOptions,
+    ) -> Result<Server, BindError> {
+        let listener = match TcpListener::bind(addr).and_then(|l| {
+            let addr = l.local_addr()?;
+            Ok((l, addr))
+        }) {
+            Ok(pair) => pair,
+            Err(source) => {
+                return Err(BindError {
+                    source,
+                    engine: Box::new(engine),
+                })
+            }
+        };
+        let (listener, addr) = listener;
+        let serve_batch = engine.options().serve_batch.max(1);
+        let workers = match options.workers {
+            0 => std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            n => n,
+        };
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                engine: Mutex::new(Some(engine)),
+                queue: Mutex::new(Queue::default()),
+                queue_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                serve_batch,
+                next_session: AtomicU32::new(1),
+                sessions: AtomicU64::new(0),
+                commands: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+                engine_errors: AtomicU64::new(0),
+                protocol_errors: AtomicU64::new(0),
+                batch: Mutex::new(BatchStats::default()),
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a client sends `shutdown` (or a handle requests it).
+    /// Returns the accumulated stats and the engine, whose state survives
+    /// the server — `\serve` hands the REPL database to a server and gets
+    /// it back when the server stops.
+    pub fn run(self) -> (ServerStats, Ariel) {
+        let shared = Arc::clone(&self.shared);
+        self.listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("ariel-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &readers))
+                .expect("spawn accept thread")
+        };
+        // the executor stage: scoped-pool workers looping until shutdown
+        let pool = scoped_pool::Pool::new(self.workers);
+        pool.run(self.workers, &|_w| executor_loop(&shared));
+        drop(pool); // joins the workers
+        let _ = accept.join();
+        for r in lock(&readers).drain(..) {
+            let _ = r.join();
+        }
+        let stats = shared.stats();
+        let engine = lock(&shared.engine)
+            .take()
+            .expect("engine is taken back exactly once, at the end of run()");
+        (stats, engine)
+    }
+
+    /// Run on a background thread; the handle can stop the server and
+    /// collect its stats (and engine) without a client connection.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let join = std::thread::Builder::new()
+            .name("ariel-server".into())
+            .spawn(move || self.run())
+            .expect("spawn server thread");
+        ServerHandle { addr, shared, join }
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    join: std::thread::JoinHandle<(ServerStats, Ariel)>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and join every server thread. Returns the final
+    /// stats and the engine.
+    pub fn shutdown(self) -> (ServerStats, Ariel) {
+        self.shared.request_shutdown();
+        self.join.join().expect("server thread panicked")
+    }
+
+    /// Wait for a client-initiated shutdown.
+    pub fn join(self) -> (ServerStats, Ariel) {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+// ----- accept --------------------------------------------------------------
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                shared.sessions.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ariel-session-{id}"))
+                    .spawn(move || reader_loop(stream, id, &shared))
+                    .expect("spawn session reader");
+                lock(readers).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+// ----- reader (one per session) -------------------------------------------
+
+/// Outcome of reading one frame off a session socket.
+enum ReadOutcome {
+    Frame(Opcode, Vec<u8>),
+    /// Peer closed at a frame boundary.
+    Closed,
+    /// Server is shutting down (noticed at an idle poll tick).
+    Shutdown,
+    /// Protocol violation; the message is sent back before closing.
+    Violation(String),
+    /// Unrecoverable socket error.
+    Io,
+}
+
+/// Read exactly `buf.len()` bytes, tolerating poll-quantum timeouts
+/// (re-checking the shutdown flag at each) without ever losing bytes —
+/// unlike `read_exact`, a timeout here resumes where it left off.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> Result<bool, ReadOutcome> {
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                return Err(if off == 0 {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Violation("truncated frame".into())
+                });
+            }
+            Ok(n) => off += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down() {
+                    return Err(ReadOutcome::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadOutcome::Io),
+        }
+    }
+    Ok(true)
+}
+
+fn read_session_frame(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
+    let mut len_buf = [0u8; 4];
+    if let Err(out) = read_full(stream, &mut len_buf, shared) {
+        return out;
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len == 0 {
+        return ReadOutcome::Violation("zero-length frame".into());
+    }
+    if len > MAX_FRAME_LEN {
+        return ReadOutcome::Violation(format!(
+            "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    if let Err(out) = read_full(stream, &mut body, shared) {
+        return out;
+    }
+    let Some(opcode) = Opcode::from_u8(body[0]) else {
+        return ReadOutcome::Violation(format!("unknown opcode 0x{:02x}", body[0]));
+    };
+    body.remove(0);
+    ReadOutcome::Frame(opcode, body)
+}
+
+fn send(stream: &mut TcpStream, opcode: Opcode, payload: &[u8]) -> bool {
+    write_frame(stream, opcode, payload).is_ok()
+}
+
+fn protocol_error(stream: &mut TcpStream, shared: &Shared, msg: &str) {
+    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    let _ = send(
+        stream,
+        Opcode::Error,
+        &encode_error(ErrorCode::Protocol, msg),
+    );
+    // connection closes when the reader returns
+}
+
+fn reader_loop(mut stream: TcpStream, session: u32, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_QUANTUM));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+
+    // handshake: the first frame must be a hello with our version
+    match read_session_frame(&mut stream, shared) {
+        ReadOutcome::Frame(Opcode::Hello, payload) => match decode_hello_client(&payload) {
+            Ok(v) if v == PROTOCOL_VERSION => {
+                if !send(&mut stream, Opcode::Hello, &encode_hello_server(session)) {
+                    return;
+                }
+            }
+            Ok(v) => {
+                return protocol_error(
+                    &mut stream,
+                    shared,
+                    &format!(
+                        "protocol version {v} not supported (server speaks {PROTOCOL_VERSION})"
+                    ),
+                );
+            }
+            Err(e) => return protocol_error(&mut stream, shared, &e.to_string()),
+        },
+        ReadOutcome::Frame(_, _) => {
+            return protocol_error(&mut stream, shared, "expected hello as first frame");
+        }
+        ReadOutcome::Violation(msg) => return protocol_error(&mut stream, shared, &msg),
+        ReadOutcome::Closed | ReadOutcome::Shutdown | ReadOutcome::Io => return,
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel::<(Opcode, Vec<u8>)>();
+    loop {
+        match read_session_frame(&mut stream, shared) {
+            ReadOutcome::Frame(opcode, payload) => {
+                if shared.shutting_down() {
+                    let _ = send(
+                        &mut stream,
+                        Opcode::Error,
+                        &encode_error(ErrorCode::ShuttingDown, "server is shutting down"),
+                    );
+                    return;
+                }
+                match opcode {
+                    Opcode::Command | Opcode::Query => {
+                        let src = match String::from_utf8(payload) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                return protocol_error(&mut stream, shared, "non-UTF-8 source")
+                            }
+                        };
+                        let kind = if opcode == Opcode::Command {
+                            shared.commands.fetch_add(1, Ordering::Relaxed);
+                            ReqKind::Command
+                        } else {
+                            shared.queries.fetch_add(1, Ordering::Relaxed);
+                            ReqKind::Query
+                        };
+                        match parse_request(kind, &src) {
+                            Ok(cmds) => {
+                                let batchable = !cmds.is_empty()
+                                    && cmds.iter().all(|c| matches!(c, Command::Append { .. }));
+                                {
+                                    let mut q = lock(&shared.queue);
+                                    q.entries.push_back(Entry {
+                                        cmds,
+                                        batchable,
+                                        reply: reply_tx.clone(),
+                                    });
+                                }
+                                shared.queue_cv.notify_one();
+                                // wait for the executor's reply, then put it
+                                // on the wire before reading the next frame
+                                match wait_reply(&reply_rx, shared) {
+                                    Some((op, body)) => {
+                                        if !send(&mut stream, op, &body) {
+                                            return;
+                                        }
+                                    }
+                                    None => return,
+                                }
+                            }
+                            Err(msg) => {
+                                shared.engine_errors.fetch_add(1, Ordering::Relaxed);
+                                if !send(
+                                    &mut stream,
+                                    Opcode::Error,
+                                    &encode_error(ErrorCode::Engine, &msg),
+                                ) {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    Opcode::Metrics => {
+                        let engine_json = lock(&shared.engine)
+                            .as_ref()
+                            .expect("engine present while sessions run")
+                            .metrics_json();
+                        let json = format!(
+                            "{{\"server\":{},\"engine\":{}}}",
+                            shared.stats().to_json(),
+                            engine_json
+                        );
+                        if !send(&mut stream, Opcode::Metrics, json.as_bytes()) {
+                            return;
+                        }
+                    }
+                    Opcode::Shutdown => {
+                        let _ = send(&mut stream, Opcode::Result, &ResultBody::default().encode());
+                        shared.request_shutdown();
+                        return;
+                    }
+                    Opcode::Hello => {
+                        return protocol_error(&mut stream, shared, "duplicate hello");
+                    }
+                    Opcode::Result | Opcode::Error => {
+                        return protocol_error(
+                            &mut stream,
+                            shared,
+                            "result/error frames are server-to-client only",
+                        );
+                    }
+                }
+            }
+            ReadOutcome::Violation(msg) => return protocol_error(&mut stream, shared, &msg),
+            ReadOutcome::Closed | ReadOutcome::Shutdown | ReadOutcome::Io => return,
+        }
+    }
+}
+
+/// Block until the executor replies, polling the shutdown flag so a
+/// drained-on-shutdown entry cannot strand its reader.
+fn wait_reply(
+    rx: &mpsc::Receiver<(Opcode, Vec<u8>)>,
+    shared: &Shared,
+) -> Option<(Opcode, Vec<u8>)> {
+    loop {
+        match rx.recv_timeout(POLL_QUANTUM) {
+            Ok(reply) => return Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // executors drain the queue on shutdown, so a reply (or
+                // shutting-down error) is still coming unless they are gone
+                if shared.shutting_down() {
+                    continue;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+fn parse_request(kind: ReqKind, src: &str) -> Result<Vec<Command>, String> {
+    match kind {
+        ReqKind::Command => parse_script(src).map_err(|e| e.to_string()),
+        ReqKind::Query => match parse_command(src) {
+            Ok(cmd @ Command::Retrieve { .. }) => Ok(vec![cmd]),
+            Ok(other) => Err(format!(
+                "a query frame must be a `retrieve`, found `{}`",
+                other.kind_name()
+            )),
+            Err(e) => Err(e.to_string()),
+        },
+    }
+}
+
+// ----- executors -----------------------------------------------------------
+
+fn executor_loop(shared: &Shared) {
+    loop {
+        let group = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(first) = q.entries.pop_front() {
+                    let mut group = vec![first];
+                    if group[0].batchable {
+                        // coalesce while the queue front stays batchable,
+                        // bounded by serve_batch *commands*
+                        let mut cmds = group[0].cmds.len();
+                        while cmds < shared.serve_batch {
+                            match q.entries.front() {
+                                Some(e)
+                                    if e.batchable && cmds + e.cmds.len() <= shared.serve_batch =>
+                                {
+                                    let e = q.entries.pop_front().expect("front checked");
+                                    cmds += e.cmds.len();
+                                    group.push(e);
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    break Some(group);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(group) = group else { return };
+        if shared.shutting_down() {
+            // drain: answer queued work with a shutting-down error rather
+            // than mutating the engine while it is being torn down
+            for entry in &group {
+                let _ = entry.reply.send((
+                    Opcode::Error,
+                    encode_error(ErrorCode::ShuttingDown, "server is shutting down"),
+                ));
+            }
+            continue;
+        }
+        execute_group(shared, &group);
+    }
+}
+
+/// Run one popped group: a single combined transition for a batch, or the
+/// entry's own commands otherwise, and send each entry its reply.
+fn execute_group(shared: &Shared, group: &[Entry]) {
+    let mut guard = lock(&shared.engine);
+    let engine = guard.as_mut().expect("engine present while sessions run");
+    {
+        let mut b = lock(&shared.batch);
+        b.batches += 1;
+        b.hist[bucket(group.len())] += 1;
+        b.max_batch = b.max_batch.max(group.len() as u64);
+        if group.len() > 1 {
+            b.batched_requests += group.len() as u64;
+        }
+    }
+    if group.len() > 1 {
+        // all batchable: one transition over the concatenated appends
+        let all: Vec<Command> = group.iter().flat_map(|e| e.cmds.iter().cloned()).collect();
+        match engine.execute_transition(&all) {
+            Ok(outputs) => {
+                // notifications raised by the combined transition go to
+                // every session in the group (see module docs)
+                let notes = render_notes(engine.drain_notifications());
+                let mut off = 0;
+                let mut replies = Vec::with_capacity(group.len());
+                for entry in group {
+                    let outs = &outputs[off..off + entry.cmds.len()];
+                    off += entry.cmds.len();
+                    let mut body = merge_outputs(outs);
+                    body.notes.extend(notes.iter().cloned());
+                    replies.push((entry, Ok(body)));
+                }
+                drop(guard);
+                deliver(shared, replies);
+            }
+            Err(_) => {
+                // one bad append must not fail the others: re-run each
+                // entry as its own transition
+                let mut replies = Vec::with_capacity(group.len());
+                for entry in group {
+                    let r = engine
+                        .execute_transition(&entry.cmds)
+                        .map(|outs| {
+                            let mut body = merge_outputs(&outs);
+                            body.notes = render_notes(engine.drain_notifications());
+                            body
+                        })
+                        .map_err(|e| e.to_string());
+                    replies.push((entry, r));
+                }
+                drop(guard);
+                deliver(shared, replies);
+            }
+        }
+    } else {
+        let entry = &group[0];
+        let r = execute_entry(engine, entry).map(|mut body| {
+            body.notes = render_notes(engine.drain_notifications());
+            body
+        });
+        drop(guard);
+        deliver(shared, vec![(entry, r)]);
+    }
+}
+
+/// Execute a single entry: an append-only frame runs as one transition
+/// (the batcher's unit, `do…end` semantics); anything else runs command
+/// by command exactly like the REPL.
+fn execute_entry(engine: &mut Ariel, entry: &Entry) -> Result<ResultBody, String> {
+    if entry.batchable {
+        return engine
+            .execute_transition(&entry.cmds)
+            .map(|outs| merge_outputs(&outs))
+            .map_err(|e| e.to_string());
+    }
+    let mut outputs = Vec::with_capacity(entry.cmds.len());
+    for cmd in &entry.cmds {
+        outputs.push(engine.execute_command(cmd).map_err(|e| e.to_string())?);
+    }
+    Ok(merge_outputs(&outputs))
+}
+
+fn deliver(shared: &Shared, replies: Vec<(&Entry, Result<ResultBody, String>)>) {
+    for (entry, result) in replies {
+        let frame = match result {
+            Ok(body) => (Opcode::Result, body.encode()),
+            Err(msg) => {
+                shared.engine_errors.fetch_add(1, Ordering::Relaxed);
+                (Opcode::Error, encode_error(ErrorCode::Engine, &msg))
+            }
+        };
+        // a dead reader (killed client) just drops the reply; the engine
+        // already committed, which is what the kill-mid-batch test checks
+        let _ = entry.reply.send(frame);
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Sym(sym) => sym.as_str().to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn render_table(columns: &[String], rows: &[Vec<Value>]) -> Table {
+    Table {
+        columns: columns.to_vec(),
+        rows: rows
+            .iter()
+            .map(|r| r.iter().map(render_value).collect())
+            .collect(),
+    }
+}
+
+fn render_notes(notes: Vec<ariel::Notification>) -> Vec<(String, Table)> {
+    notes
+        .into_iter()
+        .map(|n| (n.channel, render_table(&n.columns, &n.rows)))
+        .collect()
+}
+
+/// Merge per-command outputs into one reply body (changes summed, last
+/// result table wins — the REPL prints the same way).
+fn merge_outputs(outputs: &[CmdOutput]) -> ResultBody {
+    let mut body = ResultBody::default();
+    for out in outputs {
+        body.changes += out.changes.len() as u32;
+        if !out.columns.is_empty() {
+            body.table = render_table(&out.columns, &out.rows);
+        }
+        for n in &out.notifications {
+            body.notes
+                .push((n.channel.clone(), render_table(&n.columns, &n.rows)));
+        }
+    }
+    body
+}
+
+// `Ariel` must cross into the server's threads; this fails to compile if
+// a non-`Send` type sneaks back into the engine (see docs/CONCURRENCY.md).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Ariel>();
+    assert_send::<Server>();
+};
