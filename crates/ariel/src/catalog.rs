@@ -32,6 +32,38 @@ impl RuleCatalog {
         Ok(id)
     }
 
+    /// Re-install a rule under its snapshotted id (the crash-recovery
+    /// path). Errors on a duplicate name or a duplicate id; bumps the id
+    /// counter past `id` so later installs never collide with restored
+    /// rules (dropped rules leave gaps in the id space, which a snapshot
+    /// preserves).
+    pub fn restore(&mut self, def: RuleDef, id: RuleId) -> ArielResult<()> {
+        if self.rules.contains_key(&def.name) {
+            return Err(ArielError::DuplicateRule(def.name));
+        }
+        if self.by_id(id).is_some() {
+            return Err(ArielError::Persist(format!(
+                "duplicate rule id {} in snapshot",
+                id.0
+            )));
+        }
+        let name = def.name.clone();
+        self.rules.insert(name, Rule::new(id, def));
+        self.next_id = self.next_id.max(id.0 + 1);
+        Ok(())
+    }
+
+    /// The id the next [`RuleCatalog::install`] will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Raise the id counter to at least `next_id` (snapshot restore; never
+    /// lowers it).
+    pub fn set_next_id(&mut self, next_id: u64) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
     /// Remove a rule by name, returning it.
     pub fn remove(&mut self, name: &str) -> ArielResult<Rule> {
         self.rules

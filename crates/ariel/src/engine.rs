@@ -16,8 +16,10 @@ use ariel_query::{
     execute as execute_query, modify_action, parse_command, parse_script, CmdOutput, Command,
     Notification, Pnode, QueryResult, Resolver, RuleDef,
 };
+use ariel_storage::wal::{Durability, WalWriter};
 use ariel_storage::{AttrDef, Catalog, Schema};
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -83,6 +85,11 @@ pub struct EngineOptions {
     /// is plumbed through [`EngineOptions`] so a server and its engine
     /// are configured in one place.
     pub serve_batch: usize,
+    /// Write-ahead-log fsync policy used once durability is switched on by
+    /// [`Ariel::checkpoint`] (or the CLI's `--durability` / `\checkpoint`).
+    /// [`Durability::Off`] (the default) attaches no log writer at all, so
+    /// transitions cost nothing extra. See `docs/DURABILITY.md`.
+    pub durability: Durability,
 }
 
 impl Default for EngineOptions {
@@ -101,6 +108,7 @@ impl Default for EngineOptions {
             match_threads: 0,
             intern_strings: true,
             serve_batch: 64,
+            durability: Durability::Off,
         }
     }
 }
@@ -166,6 +174,16 @@ impl EngineNetwork {
         match self {
             EngineNetwork::Treat(n) => n.drain_pnode(id),
             EngineNetwork::Rete(n) => n.drain_pnode(id),
+        }
+    }
+
+    /// Replace a rule's P-node rows wholesale (the crash-recovery path:
+    /// priming rebuilds α/β state from relations, but consumed matches
+    /// are history the snapshot alone knows).
+    pub fn set_pnode_rows(&mut self, id: RuleId, rows: Vec<Vec<ariel_query::BoundVar>>) {
+        match self {
+            EngineNetwork::Treat(n) => n.set_pnode_rows(id, rows),
+            EngineNetwork::Rete(n) => n.set_pnode_rows(id, rows),
         }
     }
 
@@ -375,20 +393,20 @@ impl MemoryStats {
 /// ```
 #[derive(Debug)]
 pub struct Ariel {
-    catalog: Catalog,
-    rules: RuleCatalog,
-    network: EngineNetwork,
+    pub(crate) catalog: Catalog,
+    pub(crate) rules: RuleCatalog,
+    pub(crate) network: EngineNetwork,
     planner: ActionPlanner,
-    options: EngineOptions,
+    pub(crate) options: EngineOptions,
     /// Query-modified action per active rule.
     actions: HashMap<u64, Vec<Command>>,
     /// Relations referenced by each active rule's condition.
     cond_rels: HashMap<u64, HashSet<String>>,
     /// Recency bookkeeping for conflict resolution.
-    last_matched: HashMap<u64, u64>,
-    prev_sizes: HashMap<u64, usize>,
-    tick: u64,
-    stats: EngineStats,
+    pub(crate) last_matched: HashMap<u64, u64>,
+    pub(crate) prev_sizes: HashMap<u64, usize>,
+    pub(crate) tick: u64,
+    pub(crate) stats: EngineStats,
     /// Pending asynchronous notifications (§8 future work: alert monitors,
     /// stock tickers). Consumers drain with [`Ariel::drain_notifications`].
     notifications: std::collections::VecDeque<Notification>,
@@ -396,6 +414,11 @@ pub struct Ariel {
     obs: Option<EngineObs>,
     /// Ring capacity used when tracing is (re-)enabled; `\trace limit`.
     trace_limit: usize,
+    /// Attached write-ahead-log writer (None until [`Ariel::checkpoint`]
+    /// enables durability, and always None under [`Durability::Off`]).
+    pub(crate) wal: Option<WalWriter>,
+    /// Durability directory of the last checkpoint/recovery, if any.
+    pub(crate) wal_dir: Option<PathBuf>,
 }
 
 impl Default for Ariel {
@@ -444,6 +467,8 @@ impl Ariel {
             notifications: std::collections::VecDeque::new(),
             obs: None,
             trace_limit: DEFAULT_TRACE_CAPACITY,
+            wal: None,
+            wal_dir: None,
         };
         if engine.options.observability {
             engine.set_observability(true);
@@ -474,6 +499,30 @@ impl Ariel {
 
     /// Execute one parsed command.
     pub fn execute_command(&mut self, cmd: &Command) -> ArielResult<CmdOutput> {
+        match cmd {
+            Command::Halt => Ok(CmdOutput::default()), // meaningful inside actions only
+            Command::Block(cmds) => self.run_transition(cmds),
+            Command::Append { .. }
+            | Command::Delete { .. }
+            | Command::Replace { .. }
+            | Command::Retrieve { .. }
+            | Command::Notify { .. } => self.run_transition(std::slice::from_ref(cmd)),
+            // schema / rule-lifecycle commands: logged to the WAL whether
+            // they succeeded or failed — a failure can still leave effects
+            // behind (a `define rule` whose activation fails stays
+            // installed), and replaying the command reproduces the same
+            // outcome deterministically.
+            ddl => {
+                let result = self.execute_ddl(ddl);
+                self.wal_log_command(ddl)?;
+                result
+            }
+        }
+    }
+
+    /// Schema and rule-lifecycle commands (everything but DML, blocks and
+    /// `halt`, which [`Ariel::execute_command`] routes elsewhere).
+    fn execute_ddl(&mut self, cmd: &Command) -> ArielResult<CmdOutput> {
         match cmd {
             Command::CreateRelation { name, attrs } => {
                 let schema = Schema::new(
@@ -531,9 +580,7 @@ impl Ariel {
                 self.deactivate_rule(name)?;
                 Ok(CmdOutput::default())
             }
-            Command::Halt => Ok(CmdOutput::default()), // meaningful inside actions only
-            Command::Block(cmds) => self.run_transition(cmds),
-            dml => self.run_transition(std::slice::from_ref(dml)),
+            other => unreachable!("execute_ddl called with `{}`", other.kind_name()),
         }
     }
 
@@ -623,8 +670,14 @@ impl Ariel {
             merged.changes.extend(out.changes);
             merged.notifications.extend(out.notifications);
             if !out.columns.is_empty() {
-                merged.columns = out.columns;
-                merged.rows = out.rows;
+                if merged.columns == out.columns {
+                    // several retrieves with the same shape (e.g. the same
+                    // `retrieve` repeated in a do…end block) accumulate
+                    merged.rows.extend(out.rows);
+                } else {
+                    merged.columns = out.columns;
+                    merged.rows = out.rows;
+                }
             }
         }
         Ok(merged)
@@ -665,23 +718,44 @@ impl Ariel {
             });
         }
         let mut transition_tokens = 0u64;
+        let mut failed: Option<ArielError> = None;
         for cmd in cmds {
-            let out = self.apply_dml(cmd)?;
+            let out = match self.apply_dml(cmd) {
+                Ok(out) => out,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            };
             let tokens = delta.tokens_for_all(&out.changes);
             self.stats.tokens += tokens.len() as u64;
             transition_tokens += tokens.len() as u64;
             let batch_start = self.obs.as_ref().map(|_| std::time::Instant::now());
-            self.network.process_batch(&tokens, &self.catalog)?;
+            let batch = self.network.process_batch(&tokens, &self.catalog);
             if let (Some(obs), Some(t0)) = (self.obs.as_mut(), batch_start) {
                 obs.match_batch.record(t0.elapsed().as_nanos() as u64);
             }
             self.notifications.extend(out.notifications.iter().cloned());
             outputs.push(out);
+            if let Err(e) = batch {
+                failed = Some(e.into());
+                break;
+            }
         }
+        // a mid-transition error must not leave a dangling TransitionBegin
+        // in the flight recorder: close the span either way
         if let Some(tr) = self.network.trace() {
             tr.record(TraceEventKind::TransitionEnd {
                 tokens: transition_tokens,
             });
+        }
+        // the commands' effects (even partial, on error) are already in the
+        // relations and there is no rollback: log the transition before
+        // acking or firing rules, so replay reproduces exactly this state —
+        // a failing command fails identically on replay
+        self.wal_log_transition(cmds)?;
+        if let Some(e) = failed {
+            return Err(e);
         }
         self.note_matches();
         self.recognize_act()?;
@@ -712,7 +786,10 @@ impl Ariel {
     /// Run the recognize-act cycle until no rules are eligible, a rule
     /// executes `halt`, or the firing limit is hit (Fig. 1).
     pub fn run_rules(&mut self) -> ArielResult<()> {
-        self.recognize_act()
+        let result = self.recognize_act();
+        // firings mutate relations; a marker record replays the cycle
+        self.wal_log_run_rules()?;
+        result
     }
 
     fn recognize_act(&mut self) -> ArielResult<()> {
@@ -842,7 +919,7 @@ impl Ariel {
         }
     }
 
-    fn resync_sizes(&mut self) {
+    pub(crate) fn resync_sizes(&mut self) {
         for (key, size) in self.prev_sizes.iter_mut() {
             *size = self
                 .network
@@ -1266,7 +1343,10 @@ mod tests {
         assert!(!opts.parallel_match, "parallel match is off by default");
         assert_eq!(opts.match_threads, 0, "thread count defaults to auto");
         assert!(opts.intern_strings, "string interning is on by default");
+        assert_eq!(opts.durability, Durability::Off, "no logging by default");
         let db = Ariel::new();
+        assert!(db.wal_dir().is_none(), "no durability dir until checkpoint");
+        assert_eq!(db.wal_records(), 0);
         assert!(db.catalog().intern_strings());
         assert!(!db.parallel_match());
         assert!(!db.options().cache_action_plans);

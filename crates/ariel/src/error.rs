@@ -39,6 +39,10 @@ pub enum ArielError {
         /// The underlying error.
         source: Box<ArielError>,
     },
+    /// A durability operation failed: writing or syncing the write-ahead
+    /// log, taking a checkpoint, or loading a snapshot (see
+    /// `docs/DURABILITY.md`). Carries the rendered cause.
+    Persist(String),
 }
 
 /// Result alias for engine operations.
@@ -65,6 +69,7 @@ impl fmt::Display for ArielError {
             ArielError::RuleAction { rule, source } => {
                 write!(f, "while executing action of rule `{rule}`: {source}")
             }
+            ArielError::Persist(m) => write!(f, "durability: {m}"),
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod obs;
+pub mod persist;
 pub mod rule;
 mod trace;
 
@@ -56,8 +57,10 @@ pub use network::{
     TraceEventKind, TraceRecord, TraceRecorder, TraceSource, DEFAULT_TRACE_CAPACITY,
 };
 pub use obs::EngineObs;
+pub use persist::RecoveryReport;
 pub use query::{CmdOutput, Notification};
 pub use rule::{Rule, RuleState, DEFAULT_RULESET};
+pub use storage::wal::Durability;
 
 // Re-export the layer crates so downstream users need only one dependency.
 pub use ariel_islist as islist;

@@ -1,0 +1,490 @@
+//! Checkpoints, write-ahead logging, and crash recovery.
+//!
+//! The 1992 Ariel inherited durability from EXODUS persistent objects;
+//! this module gives the reproduction the same property on top of the
+//! [`ariel_storage::wal`] substrate. A *durability directory* holds two
+//! files:
+//!
+//! * `snapshot.bin` — a full engine image written by
+//!   [`Ariel::checkpoint`]: every relation's physical state, the rule
+//!   catalog (definitions re-rendered to ARL source), the P-node rows of
+//!   every active rule, and the conflict-resolution bookkeeping
+//!   (tick, recency, previous sizes). Written to a temp file and
+//!   renamed, so a crash mid-checkpoint leaves the old snapshot intact.
+//! * `wal.log` — one record per event after the snapshot: top-level
+//!   commands, transitions (the resolved DML command texts — the `[I, M]`
+//!   Δ-set source), and explicit `run_rules` markers.
+//!
+//! [`Ariel::recover`] loads the snapshot, re-activates rules through the
+//! normal activation path (rebuilding and priming the α/β network from
+//! the restored relations), overwrites each P-node with the snapshotted
+//! rows — a P-node carries *history* (matches consumed by earlier
+//! firings are gone), which priming alone would resurrect — and then
+//! replays the WAL tail through the ordinary execute path, so firings
+//! and cascades regenerate exactly as they first happened. A torn final
+//! record (crash mid-append) is detected by checksum and truncated away.
+//!
+//! What is *not* recovered: pending notifications
+//! ([`ariel_query::Notification`]s not yet drained) are a volatile
+//! delivery queue; replay regenerates the
+//! notifications of replayed transitions, giving at-least-once delivery
+//! across a crash. Command texts round-trip through the ARL
+//! parser, which has no string escapes — a string literal containing a
+//! quote character will not survive replay (see `docs/DURABILITY.md`).
+
+use crate::engine::{Ariel, EngineOptions, EngineStats};
+use crate::error::{ArielError, ArielResult};
+use ariel_network::RuleId;
+use ariel_query::{parse_command, BoundVar, Command};
+use ariel_storage::wal::{
+    self, crc32, put_str, put_u32, put_u64, put_u8, read_log, truncate_log, Dec, Durability,
+    WalWriter,
+};
+use ariel_storage::{Tid, Tuple};
+use std::io;
+use std::path::Path;
+
+/// Snapshot file name inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Write-ahead-log file name inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const SNAPSHOT_MAGIC: &[u8; 4] = b"ARSN";
+const SNAPSHOT_VERSION: u32 = 1;
+
+// WAL record kinds (first payload byte).
+const REC_CMD: u8 = 1;
+const REC_TRANSITION: u8 = 2;
+const REC_RUN_RULES: u8 = 3;
+
+/// What [`Ariel::recover`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Relations restored from the snapshot.
+    pub relations: usize,
+    /// Rules restored from the snapshot (installed + active).
+    pub rules: usize,
+    /// WAL records replayed after the snapshot.
+    pub replayed: usize,
+    /// Whether a torn/corrupt tail was found (and truncated away).
+    pub torn_tail: bool,
+    /// Errors raised by individual replayed records. A record that failed
+    /// when first executed fails identically on replay, so entries here
+    /// do not necessarily mean divergence; genuinely unexpected failures
+    /// (e.g. unparseable record text) also land here rather than aborting
+    /// recovery.
+    pub replay_errors: Vec<String>,
+}
+
+fn io_err(ctx: &str, e: io::Error) -> ArielError {
+    ArielError::Persist(format!("{ctx}: {e}"))
+}
+
+fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+    put_u32(buf, t.values().len() as u32);
+    for v in t.values() {
+        wal::put_value(buf, v);
+    }
+}
+
+fn get_tuple(dec: &mut Dec<'_>) -> ArielResult<Tuple> {
+    let n = dec.u32()? as usize;
+    let mut values = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        values.push(wal::get_value(dec)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+fn put_bound_var(buf: &mut Vec<u8>, b: &BoundVar) {
+    match b.tid {
+        None => put_u8(buf, 0),
+        Some(tid) => {
+            put_u8(buf, 1);
+            put_u64(buf, tid.0);
+        }
+    }
+    put_tuple(buf, &b.tuple);
+    match &b.prev {
+        None => put_u8(buf, 0),
+        Some(prev) => {
+            put_u8(buf, 1);
+            put_tuple(buf, prev);
+        }
+    }
+}
+
+fn get_bound_var(dec: &mut Dec<'_>) -> ArielResult<BoundVar> {
+    let tid = if dec.u8()? != 0 {
+        Some(Tid(dec.u64()?))
+    } else {
+        None
+    };
+    let tuple = get_tuple(dec)?;
+    let prev = if dec.u8()? != 0 {
+        Some(get_tuple(dec)?)
+    } else {
+        None
+    };
+    Ok(BoundVar { tid, tuple, prev })
+}
+
+fn put_u64_map(buf: &mut Vec<u8>, map: &std::collections::HashMap<u64, u64>) {
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort();
+    put_u32(buf, entries.len() as u32);
+    for (k, v) in entries {
+        put_u64(buf, *k);
+        put_u64(buf, *v);
+    }
+}
+
+fn get_u64_map(dec: &mut Dec<'_>) -> ArielResult<std::collections::HashMap<u64, u64>> {
+    let n = dec.u32()? as usize;
+    let mut map = std::collections::HashMap::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let k = dec.u64()?;
+        map.insert(k, dec.u64()?);
+    }
+    Ok(map)
+}
+
+/// Serialize the full engine state into a snapshot body.
+fn encode_snapshot(db: &Ariel) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, db.tick);
+    put_u64(&mut buf, db.stats.transitions);
+    put_u64(&mut buf, db.stats.tokens);
+    put_u64(&mut buf, db.stats.firings);
+    wal::encode_catalog(&db.catalog, &mut buf);
+    // rules ordered by id, so restore re-installs them deterministically
+    let mut rules: Vec<_> = db.rules.iter().collect();
+    rules.sort_by_key(|r| r.id.0);
+    put_u32(&mut buf, rules.len() as u32);
+    for rule in &rules {
+        put_u64(&mut buf, rule.id.0);
+        put_u8(&mut buf, rule.is_active() as u8);
+        put_str(&mut buf, &rule.def.to_string());
+    }
+    put_u64(&mut buf, db.rules.next_id());
+    // P-node rows of active rules: match *history* priming can't rebuild
+    let active: Vec<_> = rules.iter().filter(|r| r.is_active()).collect();
+    put_u32(&mut buf, active.len() as u32);
+    for rule in active {
+        put_u64(&mut buf, rule.id.0);
+        let rows = db
+            .network
+            .pnode(rule.id)
+            .map(|p| p.rows())
+            .unwrap_or_default();
+        put_u32(&mut buf, rows.len() as u32);
+        for row in rows {
+            put_u32(&mut buf, row.len() as u32);
+            for b in row {
+                put_bound_var(&mut buf, b);
+            }
+        }
+    }
+    put_u64_map(&mut buf, &db.last_matched);
+    let sizes: std::collections::HashMap<u64, u64> =
+        db.prev_sizes.iter().map(|(k, v)| (*k, *v as u64)).collect();
+    put_u64_map(&mut buf, &sizes);
+    buf
+}
+
+impl Ariel {
+    /// Write a checkpoint into `dir` (created if needed) and (re)start the
+    /// write-ahead log there: the full engine state goes to
+    /// `snapshot.bin` (via a temp file + rename, so the previous snapshot
+    /// survives a crash mid-write), `wal.log` is reset to empty, and — if
+    /// [`EngineOptions::durability`] is not [`Durability::Off`] — a log
+    /// writer is attached so every subsequent command and transition is
+    /// logged. Returns the snapshot size in bytes.
+    ///
+    /// This is also the *enable durability* verb: an engine logs nothing
+    /// until its first checkpoint establishes the directory.
+    pub fn checkpoint(&mut self, dir: impl AsRef<Path>) -> ArielResult<u64> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating durability dir", e))?;
+        // detach the writer first: its Drop syncs any unsynced batch
+        self.wal = None;
+        let body = encode_snapshot(self);
+        let mut image = Vec::with_capacity(16 + body.len());
+        image.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut image, SNAPSHOT_VERSION);
+        put_u32(&mut image, body.len() as u32);
+        put_u32(&mut image, crc32(&body));
+        image.extend_from_slice(&body);
+        let tmp = dir.join("snapshot.tmp");
+        let snap = dir.join(SNAPSHOT_FILE);
+        {
+            use std::io::Write as _;
+            let mut f =
+                std::fs::File::create(&tmp).map_err(|e| io_err("creating snapshot temp", e))?;
+            f.write_all(&image)
+                .map_err(|e| io_err("writing snapshot", e))?;
+            f.sync_all().map_err(|e| io_err("syncing snapshot", e))?;
+        }
+        std::fs::rename(&tmp, &snap).map_err(|e| io_err("publishing snapshot", e))?;
+        // the log restarts empty: everything it held is in the snapshot now
+        let wal_path = dir.join(WAL_FILE);
+        let f = std::fs::File::create(&wal_path).map_err(|e| io_err("resetting wal", e))?;
+        f.sync_all().map_err(|e| io_err("syncing wal", e))?;
+        drop(f);
+        if self.options.durability != Durability::Off {
+            self.wal = Some(
+                WalWriter::open(&wal_path, self.options.durability)
+                    .map_err(|e| io_err("opening wal", e))?,
+            );
+        }
+        self.wal_dir = Some(dir.to_path_buf());
+        Ok(image.len() as u64)
+    }
+
+    /// Rebuild an engine from a durability directory: load `snapshot.bin`,
+    /// re-activate rules (rebuilding and priming the discrimination
+    /// network from the restored relations), restore P-node match history,
+    /// replay the `wal.log` tail through the normal execute path, truncate
+    /// any torn final record, and re-attach the log writer per
+    /// `options.durability`. The network backend and all other knobs come
+    /// from `options`, so a snapshot taken under A-TREAT can be recovered
+    /// onto Rete (the equivalence oracle in `tests/durability.rs` leans on
+    /// this).
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        options: EngineOptions,
+    ) -> ArielResult<(Ariel, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let image = std::fs::read(&snap_path)
+            .map_err(|e| io_err(&format!("reading {}", snap_path.display()), e))?;
+        let mut dec = Dec::new(&image);
+        let magic = [dec.u8()?, dec.u8()?, dec.u8()?, dec.u8()?];
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(ArielError::Persist("not an Ariel snapshot".into()));
+        }
+        let version = dec.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(ArielError::Persist(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let body_len = dec.u32()? as usize;
+        let crc = dec.u32()?;
+        if dec.remaining() != body_len {
+            return Err(ArielError::Persist(format!(
+                "snapshot body is {} bytes, header says {body_len}",
+                dec.remaining()
+            )));
+        }
+        if crc32(&image[16..]) != crc {
+            return Err(ArielError::Persist("snapshot checksum mismatch".into()));
+        }
+        let mut report = RecoveryReport::default();
+        let mut db = Ariel::with_options(options);
+        let tick = dec.u64()?;
+        let stats = EngineStats {
+            transitions: dec.u64()?,
+            tokens: dec.u64()?,
+            firings: dec.u64()?,
+        };
+        report.relations = wal::decode_into_catalog(&mut dec, &mut db.catalog)?;
+        let n_rules = dec.u32()? as usize;
+        let mut active_names = Vec::new();
+        for _ in 0..n_rules {
+            let id = RuleId(dec.u64()?);
+            let active = dec.u8()? != 0;
+            let src = dec.str()?;
+            let def = match parse_command(&src) {
+                Ok(Command::DefineRule(def)) => def,
+                Ok(_) | Err(_) => {
+                    return Err(ArielError::Persist(format!(
+                        "snapshot rule {} does not re-parse as a rule definition: {src}",
+                        id.0
+                    )));
+                }
+            };
+            let name = def.name.clone();
+            db.rules.restore(def, id)?;
+            if active {
+                active_names.push(name);
+            }
+        }
+        let next_rule_id = dec.u64()?;
+        report.rules = n_rules;
+        // activation rebuilds and primes the network from the restored
+        // relations — the same path a live engine takes
+        for name in &active_names {
+            db.activate_rule(name)?;
+        }
+        db.rules.set_next_id(next_rule_id);
+        // …then the primed P-nodes are overwritten with the snapshotted
+        // rows: consumed matches must stay consumed
+        let n_pnodes = dec.u32()? as usize;
+        for _ in 0..n_pnodes {
+            let id = RuleId(dec.u64()?);
+            let n_rows = dec.u32()? as usize;
+            let mut rows = Vec::with_capacity(n_rows.min(1 << 16));
+            for _ in 0..n_rows {
+                let n_vars = dec.u32()? as usize;
+                let mut row = Vec::with_capacity(n_vars.min(1 << 8));
+                for _ in 0..n_vars {
+                    row.push(get_bound_var(&mut dec)?);
+                }
+                rows.push(row);
+            }
+            db.network.set_pnode_rows(id, rows);
+        }
+        db.last_matched = get_u64_map(&mut dec)?;
+        db.prev_sizes = get_u64_map(&mut dec)?
+            .into_iter()
+            .map(|(k, v)| (k, v as usize))
+            .collect();
+        db.tick = tick;
+        db.stats = stats;
+        // replay the log tail through the ordinary execute path, with no
+        // writer attached (nothing is re-logged); firings and cascades
+        // regenerate exactly as they first happened
+        let wal_path = dir.join(WAL_FILE);
+        let scan = read_log(&wal_path).map_err(|e| io_err("reading wal", e))?;
+        report.torn_tail = scan.torn;
+        for (i, record) in scan.records.iter().enumerate() {
+            report.replayed += 1;
+            if let Err(e) = db.replay_record(record) {
+                report.replay_errors.push(format!("record {i}: {e}"));
+            }
+        }
+        if scan.torn {
+            truncate_log(&wal_path, scan.valid_len).map_err(|e| io_err("truncating wal", e))?;
+        }
+        if db.options.durability != Durability::Off {
+            db.wal = Some(
+                WalWriter::open(&wal_path, db.options.durability)
+                    .map_err(|e| io_err("opening wal", e))?,
+            );
+        }
+        db.wal_dir = Some(dir.to_path_buf());
+        Ok((db, report))
+    }
+
+    /// Apply one WAL record during recovery.
+    fn replay_record(&mut self, record: &[u8]) -> ArielResult<()> {
+        let mut dec = Dec::new(record);
+        match dec.u8()? {
+            REC_CMD => {
+                let cmd = parse_command(&dec.str()?)?;
+                self.execute_command(&cmd)?;
+            }
+            REC_TRANSITION => {
+                let n = dec.u32()? as usize;
+                let mut cmds = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    cmds.push(parse_command(&dec.str()?)?);
+                }
+                // a block reproduces the original transition boundary:
+                // one Δ-set per command, one recognize-act cycle
+                self.execute_command(&Command::Block(cmds))?;
+            }
+            REC_RUN_RULES => {
+                self.run_rules()?;
+            }
+            t => {
+                return Err(ArielError::Persist(format!("unknown WAL record kind {t}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Change the fsync policy. With a durability directory established
+    /// (after [`Ariel::checkpoint`] or [`Ariel::recover`]) the log writer
+    /// is re-opened in the new mode immediately — including detaching it
+    /// entirely for [`Durability::Off`]; otherwise this only sets the
+    /// policy the next checkpoint will adopt.
+    pub fn set_durability(&mut self, durability: Durability) -> ArielResult<()> {
+        self.options.durability = durability;
+        if let Some(dir) = self.wal_dir.clone() {
+            self.wal = None; // Drop syncs pending records
+            if durability != Durability::Off {
+                self.wal = Some(
+                    WalWriter::open(dir.join(WAL_FILE), durability)
+                        .map_err(|e| io_err("opening wal", e))?,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The durability directory, once established by a checkpoint or
+    /// recovery.
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.wal_dir.as_deref()
+    }
+
+    /// WAL records appended since the writer was (re-)attached. 0 when no
+    /// writer is attached (durability off).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.records()).unwrap_or(0)
+    }
+
+    /// WAL bytes appended since the writer was (re-)attached (framing
+    /// included). 0 when no writer is attached.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.bytes()).unwrap_or(0)
+    }
+
+    /// Force an fsync of the attached log writer, if any.
+    pub fn wal_sync(&mut self) -> ArielResult<()> {
+        if let Some(w) = self.wal.as_mut() {
+            w.sync().map_err(|e| io_err("syncing wal", e))?;
+        }
+        Ok(())
+    }
+
+    fn wal_append(&mut self, payload: &[u8]) -> ArielResult<()> {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(payload)
+                .map_err(|e| io_err("appending to wal", e))?;
+        }
+        Ok(())
+    }
+
+    /// Log a top-level schema/rule command (success or failure: a failed
+    /// command can still leave effects, and replay reproduces the same
+    /// outcome). No-op without an attached writer.
+    pub(crate) fn wal_log_command(&mut self, cmd: &Command) -> ArielResult<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        put_u8(&mut buf, REC_CMD);
+        put_str(&mut buf, &cmd.to_string());
+        self.wal_append(&buf)
+    }
+
+    /// Log one committed transition (its resolved DML command texts).
+    /// No-op without an attached writer, and for transitions made solely
+    /// of `retrieve`s — pure reads leave no state behind, so logging them
+    /// would only grow the log and slow replay (an interactive session is
+    /// mostly queries).
+    pub(crate) fn wal_log_transition(&mut self, cmds: &[Command]) -> ArielResult<()> {
+        if self.wal.is_none() || cmds.iter().all(|c| matches!(c, Command::Retrieve { .. })) {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        put_u8(&mut buf, REC_TRANSITION);
+        put_u32(&mut buf, cmds.len() as u32);
+        for cmd in cmds {
+            put_str(&mut buf, &cmd.to_string());
+        }
+        self.wal_append(&buf)
+    }
+
+    /// Log an explicit recognize-act cycle ([`Ariel::run_rules`]). No-op
+    /// without an attached writer.
+    pub(crate) fn wal_log_run_rules(&mut self) -> ArielResult<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        self.wal_append(&[REC_RUN_RULES])
+    }
+}

@@ -48,13 +48,22 @@
 //!   for host variance, narrow enough to catch a Nagle stall; higher
 //!   client counts are reported, not gated — they move with the host
 //!   scheduler). `--bless` updates the serve baseline.
+//! * `bench_gate wal [fresh [baseline]]` gates `BENCH_wal.json` (written
+//!   by `paper_tables -- wal`): the `off` row must log **zero** records
+//!   and bytes (durability off attaches no writer at all), `commit` and
+//!   `batch` must log the **same** nonzero record and byte counts (the
+//!   sync policy must not change what is logged), and per-mode counts
+//!   must match `BENCH_wal_baseline.json` exactly — record streams are
+//!   deterministic, so any drift means the logging hooks moved. Wall
+//!   clock is reported, never gated: fsync latency varies wildly across
+//!   CI hosts. `--bless` updates the wal baseline.
 //! * `bench_gate links [root]` fails if any relative markdown link in
 //!   `README.md` or `docs/*.md` points at a path that does not exist —
 //!   the CI docs gate.
 //!
-//! The schema of the join, par, mem and serve files is documented in
-//! `docs/OBSERVABILITY.md` (join, mem), `docs/CONCURRENCY.md` (par) and
-//! `docs/SERVER.md` (serve).
+//! The schema of the join, par, mem, serve and wal files is documented in
+//! `docs/OBSERVABILITY.md` (join, mem), `docs/CONCURRENCY.md` (par),
+//! `docs/SERVER.md` (serve) and `docs/DURABILITY.md` (wal).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -879,6 +888,175 @@ fn run_mem_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
     }
 }
 
+/// One row of `BENCH_wal.json`, keyed by `mode`.
+#[derive(Debug, Clone, PartialEq)]
+struct WalRow {
+    mode: String,
+    total_ms: f64,
+    wal_records: u64,
+    wal_bytes: u64,
+}
+
+fn parse_wal_rows(src: &str, label: &str) -> Result<Vec<WalRow>, String> {
+    let objs = Parser::new(src)
+        .array_of_objects()
+        .map_err(|e| format!("{label}: {e}"))?;
+    objs.into_iter()
+        .enumerate()
+        .map(|(i, obj)| {
+            let str_field = |k: &str| match obj.get(k) {
+                Some(Field::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("{label}: row {i} missing string \"{k}\"")),
+            };
+            let num_field = |k: &str| match obj.get(k) {
+                Some(Field::Num(n)) => Ok(*n),
+                _ => Err(format!("{label}: row {i} missing number \"{k}\"")),
+            };
+            Ok(WalRow {
+                mode: str_field("mode")?,
+                total_ms: num_field("total_ms")?,
+                wal_records: num_field("wal_records")? as u64,
+                wal_bytes: num_field("wal_bytes")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Gate the durability benchmark; returns every violation found.
+///
+/// Self-consistency within the fresh file: `off` logs nothing at all,
+/// `commit` and `batch` log identical nonzero record/byte streams.
+/// Against the baseline the per-mode counts must match **exactly** —
+/// record streams are deterministic. Wall clock is never compared: fsync
+/// latency is a property of the host, not the engine.
+fn check_wal(fresh: &[WalRow], baseline: &[WalRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let find = |rows: &[WalRow], mode: &str| -> Option<WalRow> {
+        rows.iter().find(|r| r.mode == mode).cloned()
+    };
+    if let Some(off) = find(fresh, "off") {
+        if off.wal_records != 0 || off.wal_bytes != 0 {
+            violations.push(format!(
+                "off: logged {} record(s) / {} byte(s) — durability off \
+                 must attach no writer",
+                off.wal_records, off.wal_bytes
+            ));
+        }
+    } else {
+        violations.push("off: missing from fresh results".into());
+    }
+    match (find(fresh, "commit"), find(fresh, "batch")) {
+        (Some(commit), Some(batch)) => {
+            if commit.wal_records == 0 {
+                violations.push("commit: zero records logged — the hooks went dead".into());
+            }
+            if commit.wal_records != batch.wal_records || commit.wal_bytes != batch.wal_bytes {
+                violations.push(format!(
+                    "commit vs batch: record streams diverged \
+                     ({}/{} records, {}/{} bytes) — sync policy must not \
+                     change what is logged",
+                    commit.wal_records, batch.wal_records, commit.wal_bytes, batch.wal_bytes
+                ));
+            }
+        }
+        (c, b) => {
+            if c.is_none() {
+                violations.push("commit: missing from fresh results".into());
+            }
+            if b.is_none() {
+                violations.push("batch: missing from fresh results".into());
+            }
+        }
+    }
+    for base in baseline {
+        let Some(now) = find(fresh, &base.mode) else {
+            violations.push(format!("{}: missing from fresh results", base.mode));
+            continue;
+        };
+        if now.wal_records != base.wal_records {
+            violations.push(format!(
+                "{}: wal_records changed {} -> {} (the record stream is deterministic)",
+                base.mode, base.wal_records, now.wal_records
+            ));
+        }
+        if now.wal_bytes != base.wal_bytes {
+            violations.push(format!(
+                "{}: wal_bytes changed {} -> {} (the record encoding moved)",
+                base.mode, base.wal_bytes, now.wal_bytes
+            ));
+        }
+    }
+    violations
+}
+
+fn run_wal_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
+    let load = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|src| parse_wal_rows(&src, path))
+    };
+    let fresh = match load(fresh_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if bless {
+        let baseline = load(base_path).unwrap_or_default();
+        println!("bench_gate: blessing {fresh_path} -> {base_path}");
+        for now in &fresh {
+            match baseline.iter().find(|r| r.mode == now.mode) {
+                Some(old) => println!(
+                    "  {}: wal_records {} -> {}, wal_bytes {} -> {}",
+                    now.mode, old.wal_records, now.wal_records, old.wal_bytes, now.wal_bytes
+                ),
+                None => println!(
+                    "  {}: new row (wal_records {}, wal_bytes {})",
+                    now.mode, now.wal_records, now.wal_bytes
+                ),
+            }
+        }
+        return match std::fs::copy(fresh_path, base_path) {
+            Ok(_) => {
+                println!("bench_gate: wal baseline updated ({} rows)", fresh.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_gate: cannot write {base_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let baseline = match load(base_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_gate: wal {fresh_path} vs {base_path} ({} baseline rows)",
+        baseline.len()
+    );
+    for r in &fresh {
+        println!(
+            "  {:>8} total_ms {:>9.3}  wal_records {:>8}  wal_bytes {:>10}",
+            r.mode, r.total_ms, r.wal_records, r.wal_bytes
+        );
+    }
+    let violations = check_wal(&fresh, &baseline);
+    if violations.is_empty() {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: FAIL {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 /// Extract the targets of inline markdown links (`[text](target)` and
 /// `![alt](target)`), dropping external schemes, pure anchors, and any
 /// `#fragment` / `"title"` suffix.
@@ -997,6 +1175,13 @@ fn main() -> ExitCode {
                 .get(2)
                 .map_or("BENCH_serve_baseline.json", String::as_str);
             return run_serve_gate(fresh, base, bless);
+        }
+        Some("wal") => {
+            let fresh = args.get(1).map_or("BENCH_wal.json", String::as_str);
+            let base = args
+                .get(2)
+                .map_or("BENCH_wal_baseline.json", String::as_str);
+            return run_wal_gate(fresh, base, bless);
         }
         _ => {}
     }
@@ -1354,6 +1539,101 @@ mod tests {
         let v = check_mem(&[mem("legacy", 10.0, 1200, 150_000)], &base);
         assert!(
             v.iter().any(|m| m.contains("interned: missing from fresh")),
+            "{v:?}"
+        );
+    }
+
+    fn wal(mode: &str, total_ms: f64, wal_records: u64, wal_bytes: u64) -> WalRow {
+        WalRow {
+            mode: mode.into(),
+            total_ms,
+            wal_records,
+            wal_bytes,
+        }
+    }
+
+    #[test]
+    fn parses_wal_snapshot_output() {
+        let src = r#"[{"mode":"commit","total_ms":42.125,"wal_records":1000,
+            "wal_bytes":65000}]"#;
+        let rows = parse_wal_rows(src, "test").unwrap();
+        assert_eq!(rows, vec![wal("commit", 42.125, 1000, 65000)]);
+        assert!(parse_wal_rows("[{\"mode\":1}]", "test").is_err());
+    }
+
+    #[test]
+    fn wal_gate_passes_clean_run_and_ignores_wall_clock() {
+        let fresh = vec![
+            wal("off", 5.0, 0, 0),
+            wal("commit", 80.0, 1000, 65000),
+            wal("batch", 12.0, 1000, 65000),
+        ];
+        assert!(check_wal(&fresh, &fresh).is_empty());
+        // blessing from scratch passes too
+        assert!(check_wal(&fresh, &[]).is_empty());
+        // wall clock may drift arbitrarily — fsync cost is the host's
+        let slow = vec![
+            wal("off", 500.0, 0, 0),
+            wal("commit", 8000.0, 1000, 65000),
+            wal("batch", 1200.0, 1000, 65000),
+        ];
+        assert!(check_wal(&slow, &fresh).is_empty());
+    }
+
+    #[test]
+    fn wal_gate_fails_when_off_logs_or_streams_diverge() {
+        let base = vec![
+            wal("off", 5.0, 0, 0),
+            wal("commit", 80.0, 1000, 65000),
+            wal("batch", 12.0, 1000, 65000),
+        ];
+        // off logging anything means the zero-overhead guarantee broke
+        let leaking = vec![wal("off", 5.0, 3, 120), base[1].clone(), base[2].clone()];
+        let v = check_wal(&leaking, &base);
+        assert!(
+            v.iter().any(|m| m.contains("must attach no writer")),
+            "{v:?}"
+        );
+        // commit/batch diverging means the sync policy changed the stream
+        let diverged = vec![
+            base[0].clone(),
+            wal("commit", 80.0, 1000, 65000),
+            wal("batch", 12.0, 999, 64930),
+        ];
+        let v = check_wal(&diverged, &base);
+        assert!(
+            v.iter().any(|m| m.contains("record streams diverged")),
+            "{v:?}"
+        );
+        // dead hooks: zero commit records
+        let dead = vec![
+            base[0].clone(),
+            wal("commit", 80.0, 0, 0),
+            wal("batch", 12.0, 0, 0),
+        ];
+        let v = check_wal(&dead, &base);
+        assert!(v.iter().any(|m| m.contains("hooks went dead")), "{v:?}");
+    }
+
+    #[test]
+    fn wal_gate_fails_on_count_drift_and_missing_modes() {
+        let base = vec![
+            wal("off", 5.0, 0, 0),
+            wal("commit", 80.0, 1000, 65000),
+            wal("batch", 12.0, 1000, 65000),
+        ];
+        let drifted = vec![
+            base[0].clone(),
+            wal("commit", 80.0, 1002, 65130),
+            wal("batch", 12.0, 1002, 65130),
+        ];
+        let v = check_wal(&drifted, &base);
+        assert!(v.iter().any(|m| m.contains("wal_records changed")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("wal_bytes changed")), "{v:?}");
+        let missing = vec![base[0].clone(), base[1].clone()];
+        let v = check_wal(&missing, &base);
+        assert!(
+            v.iter().any(|m| m.contains("batch: missing from fresh")),
             "{v:?}"
         );
     }

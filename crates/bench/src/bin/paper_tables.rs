@@ -6,7 +6,7 @@
 //! cargo run --release -p ariel-bench --bin paper_tables -- fig9    # one experiment
 //! ```
 //!
-//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins mem trace par serve
+//! Experiments: fig9 fig10 fig11 act scale virt isl net plan obs joins mem trace par serve wal
 
 use ariel_bench::measure;
 use std::time::Duration;
@@ -326,6 +326,35 @@ fn run_serve() {
     println!();
 }
 
+fn run_wal() {
+    println!("== WAL: write-ahead-log overhead per durability mode → BENCH_wal.json ==");
+    println!(
+        "(fig10 churn through the full engine path: 25 band rules, \
+         500 append+delete rounds, one WAL record per committed command)"
+    );
+    println!(
+        "{:>8} | {:>10} {:>13} {:>11}",
+        "mode", "total ms", "wal records", "wal bytes"
+    );
+    let rows = measure::wal_table(25, 500);
+    for r in &rows {
+        println!(
+            "{:>8} | {:>10} {:>13} {:>11}",
+            r.mode,
+            ms(r.total),
+            r.wal_records,
+            r.wal_bytes
+        );
+    }
+    let json = measure::wal_json(&rows);
+    let path = "BENCH_wal.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => println!("cannot write {path}: {e}"),
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -374,5 +403,8 @@ fn main() {
     }
     if want("serve") {
         run_serve();
+    }
+    if want("wal") {
+        run_wal();
     }
 }

@@ -330,6 +330,31 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
                 _ => ShellAction::Text("usage: \\why <rule>\n".into()),
             }
         }
+        Some("checkpoint") => {
+            let rest: Vec<&str> = parts.collect();
+            let usage = "usage: \\checkpoint <dir> [off|commit|batch]\n";
+            let (dir, mode) = match rest.as_slice() {
+                [dir] => (*dir, None),
+                [dir, mode] => (*dir, Some(*mode)),
+                _ => return ShellAction::Text(usage.into()),
+            };
+            if let Some(m) = mode {
+                let Some(d) = ariel::Durability::parse(m) else {
+                    return ShellAction::Text(format!("unknown durability mode `{m}`; {usage}"));
+                };
+                if let Err(e) = db.set_durability(d) {
+                    return ShellAction::Text(format!("error: {e}\n"));
+                }
+            }
+            match db.checkpoint(dir) {
+                Ok(bytes) => ShellAction::Text(format!(
+                    "checkpoint: {bytes}-byte snapshot in {dir}, log reset \
+                     (durability {})\n",
+                    db.options().durability.as_str()
+                )),
+                Err(e) => ShellAction::Text(format!("error: {e}\n")),
+            }
+        }
         Some("serve") => match parts.next() {
             Some(addr) => serve_blocking(db, addr),
             None => ShellAction::Text(
@@ -413,6 +438,9 @@ Meta commands:
                     worker threads for parallel match (0 = auto)
   \serve <addr>     serve this database over TCP until a client sends
                     shutdown (blocks; REPL state survives — docs/SERVER.md)
+  \checkpoint <dir> [off|commit|batch]
+                    write a snapshot to <dir>, reset its write-ahead log,
+                    and log further commits there (docs/DURABILITY.md)
   \metrics          full metrics snapshot as JSON
   \stats            engine and network statistics
   \stats bytes      per-memory byte breakdown (alpha/beta/pnode/selnet,
@@ -620,6 +648,39 @@ mod tests {
         let json = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    }
+
+    #[test]
+    fn checkpoint_meta_command() {
+        let mut db = shell_db();
+        dispatch(&mut db, r#"append t (x = 1, name = "persisted")"#);
+        let ShellAction::Text(t) = dispatch(&mut db, "\\checkpoint") else {
+            panic!()
+        };
+        assert!(t.starts_with("usage:"), "{t}");
+        let ShellAction::Text(t) = dispatch(&mut db, "\\checkpoint /tmp/x paranoid") else {
+            panic!()
+        };
+        assert!(t.contains("unknown durability mode"), "{t}");
+
+        let dir = std::env::temp_dir().join(format!("ariel_cli_ckpt_{}", std::process::id()));
+        let line = format!("\\checkpoint {} commit", dir.display());
+        let ShellAction::Text(t) = dispatch(&mut db, &line) else {
+            panic!()
+        };
+        assert!(t.contains("snapshot in"), "{t}");
+        assert!(t.contains("durability commit"), "{t}");
+        assert!(dir.join("snapshot.bin").exists());
+        // post-checkpoint commits land in the wal
+        dispatch(&mut db, r#"append t (x = 2, name = "logged")"#);
+        assert_eq!(db.wal_records(), 1);
+
+        let (mut db2, report) =
+            Ariel::recover(&dir, ariel::EngineOptions::default()).expect("recover");
+        assert_eq!(report.replayed, 1);
+        let out = db2.query("retrieve (t.x)").unwrap();
+        assert_eq!(out.rows.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

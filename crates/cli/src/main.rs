@@ -9,36 +9,150 @@
 //!                                   # the script seeds schema/rules first
 //! ```
 //!
+//! Durability flags (both modes, docs/DURABILITY.md):
+//!
+//! ```text
+//! --recover <dir>      recover from <dir> if it holds a snapshot, else
+//!                      bootstrap (run the script) and checkpoint into it
+//! --durability <mode>  off | commit | batch (default commit with --recover)
+//! ```
+//!
 //! Statements may span lines: input is buffered until it parses (so
 //! `do … end` blocks and long rules work naturally); a line ending in `;`
 //! forces execution.
 
-use ariel::Ariel;
+use ariel::{Ariel, Durability, EngineOptions};
 use ariel_cli::{dispatch, ShellAction, HELP};
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 
-/// `ariel-repl serve <addr> [script.arl]`: seed an engine from the
-/// optional script, then serve it over TCP until a client sends a
-/// `shutdown` frame (see docs/SERVER.md for the wire protocol).
-fn serve_main(args: &[String]) {
-    let Some(addr) = args.first() else {
-        eprintln!("usage: ariel-repl serve <addr> [script.arl]");
-        std::process::exit(2);
+/// Durability settings pulled out of the argument list by
+/// [`split_durability_args`].
+struct DurabilityArgs {
+    recover_dir: Option<PathBuf>,
+    durability: Option<Durability>,
+}
+
+/// Strip `--recover <dir>` / `--durability <mode>` out of `args`,
+/// returning the remaining positional arguments. Exits on a missing or
+/// malformed operand (these flags gate data on disk — guessing is worse
+/// than stopping).
+fn split_durability_args(args: &[String]) -> (Vec<String>, DurabilityArgs) {
+    let mut rest = Vec::new();
+    let mut out = DurabilityArgs {
+        recover_dir: None,
+        durability: None,
     };
-    let mut db = Ariel::new();
-    if let Some(path) = args.get(1) {
-        let src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        if let Err(e) = db.execute(&src) {
-            eprintln!("error in {path}: {e}");
-            std::process::exit(1);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--recover" => match it.next() {
+                Some(dir) => out.recover_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--recover needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--durability" => match it.next().map(String::as_str).and_then(Durability::parse) {
+                Some(d) => out.durability = Some(d),
+                None => {
+                    eprintln!("--durability needs one of: off, commit, batch");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(a.clone()),
         }
     }
+    (rest, out)
+}
+
+/// Build the engine the durability flags ask for. With `--recover` and an
+/// existing snapshot, recover and report what came back (the seed script
+/// is skipped — the snapshot already holds its effects). With `--recover`
+/// and no snapshot, bootstrap: run the seed closure, then checkpoint into
+/// the directory so the next start recovers. Without `--recover`, a plain
+/// in-memory engine.
+fn build_engine(dur: &DurabilityArgs, seed: impl FnOnce(&mut Ariel)) -> Ariel {
+    let durability = dur.durability.unwrap_or(if dur.recover_dir.is_some() {
+        Durability::Commit
+    } else {
+        Durability::Off
+    });
+    let options = EngineOptions {
+        durability,
+        ..Default::default()
+    };
+    let Some(dir) = &dur.recover_dir else {
+        let mut db = Ariel::with_options(options);
+        seed(&mut db);
+        return db;
+    };
+    if dir.join("snapshot.bin").exists() {
+        match Ariel::recover(dir, options) {
+            Ok((db, report)) => {
+                println!(
+                    "recovered {}: {} relation(s), {} rule(s), {} wal record(s) replayed",
+                    dir.display(),
+                    report.relations,
+                    report.rules,
+                    report.replayed
+                );
+                if report.torn_tail {
+                    eprintln!("note: torn wal tail truncated (crash mid-write)");
+                }
+                for e in &report.replay_errors {
+                    eprintln!("replay: {e}");
+                }
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot recover {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let mut db = Ariel::with_options(options);
+        seed(&mut db);
+        if let Err(e) = db.checkpoint(dir) {
+            eprintln!("cannot checkpoint into {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        db
+    }
+}
+
+/// Run the seed script into a fresh engine (bootstrap path only).
+fn run_seed_script(db: &mut Ariel, path: &Path) {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = db.execute(&src) {
+        eprintln!("error in {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// `ariel-repl serve <addr> [script.arl]`: seed an engine from the
+/// optional script (or recover one with `--recover`), then serve it over
+/// TCP until a client sends a `shutdown` frame (see docs/SERVER.md for
+/// the wire protocol).
+fn serve_main(args: &[String]) {
+    let (rest, dur) = split_durability_args(args);
+    let Some(addr) = rest.first() else {
+        eprintln!(
+            "usage: ariel-repl serve <addr> [script.arl] [--recover <dir>] [--durability <mode>]"
+        );
+        std::process::exit(2);
+    };
+    let db = build_engine(&dur, |db| {
+        if let Some(path) = rest.get(1) {
+            run_seed_script(db, Path::new(path));
+        }
+    });
     let server = match ariel_server::Server::bind(addr, db, ariel_server::ServerOptions::default())
     {
         Ok(s) => s,
@@ -62,9 +176,10 @@ fn main() {
         serve_main(&args[1..]);
         return;
     }
+    let (rest, dur) = split_durability_args(&args);
     let mut interactive_after = false;
     let mut script: Option<String> = None;
-    for a in &args {
+    for a in &rest {
         match a.as_str() {
             "-i" => interactive_after = true,
             "-h" | "--help" => {
@@ -75,9 +190,16 @@ fn main() {
         }
     }
 
-    let mut db = Ariel::new();
+    let recovered = dur
+        .recover_dir
+        .as_ref()
+        .map(|d| d.join("snapshot.bin").exists())
+        .unwrap_or(false);
+    let mut db = build_engine(&dur, |_| {});
 
-    if let Some(path) = script {
+    // with a snapshot recovered the script's effects are already in the
+    // engine; re-running it would double-append
+    if let Some(path) = script.filter(|_| !recovered) {
         let src = match std::fs::read_to_string(&path) {
             Ok(s) => s,
             Err(e) => {

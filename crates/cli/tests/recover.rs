@@ -1,0 +1,150 @@
+//! Kill-and-recover: SIGKILL the served `ariel-repl` mid-workload, then
+//! recover from its durability directory and prove the rebuilt engine —
+//! store *and* match network — matches one that never crashed.
+
+use ariel::{Ariel, EngineOptions};
+use ariel_server::Client;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+
+const SEED: &str = "create emp (id = int, sal = int)\n\
+                    create audit (id = int, sal = int)\n\
+                    define rule watch if emp.sal >= 100 \
+                    then append to audit (id = emp.id, sal = emp.sal)\n";
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ariel_recover_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+type ServeLines = std::io::Lines<std::io::BufReader<std::process::ChildStdout>>;
+
+/// Spawn `ariel-repl serve` against `dir` and return the child, the
+/// address it bound (skipping any `recovered …` banner line), and the
+/// stdout reader — keep it alive, or the server's exit summary hits a
+/// broken pipe and fails the process.
+fn spawn_serve(
+    dir: &std::path::Path,
+    seed: Option<&std::path::Path>,
+) -> (Child, String, ServeLines) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ariel-repl"));
+    cmd.args(["serve", "127.0.0.1:0"]);
+    if let Some(s) = seed {
+        cmd.arg(s);
+    }
+    cmd.args(["--recover", dir.to_str().unwrap(), "--durability", "commit"]);
+    let stderr = std::fs::File::create(dir.join("serve.stderr")).unwrap();
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(stderr)
+        .spawn()
+        .expect("spawn ariel-repl serve");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines.next().expect("banner before EOF").unwrap();
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            break rest.to_string();
+        }
+    };
+    (child, addr, lines)
+}
+
+/// Store + match-network fingerprint: sorted rows per relation, pending
+/// match count of the rule, and total α-memory entries.
+fn fingerprint(db: &mut Ariel) -> (Vec<String>, Vec<String>, usize, usize) {
+    let mut emp: Vec<String> = db
+        .query("retrieve (emp.all)")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    emp.sort();
+    let mut audit: Vec<String> = db
+        .query("retrieve (audit.all)")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    audit.sort();
+    let pending = db.pending_matches("watch").unwrap();
+    let alpha = db.network_stats().alpha_entries;
+    (emp, audit, pending, alpha)
+}
+
+fn append_cmd(i: i64) -> String {
+    format!("append emp (id = {i}, sal = {})", (i * 7) % 150)
+}
+
+#[test]
+fn sigkill_mid_workload_then_recover() {
+    let dir = scratch("kill");
+    let seed_path = dir.join("seed.arl");
+    std::fs::write(&seed_path, SEED).unwrap();
+
+    // first boot: no snapshot yet, so the server seeds and checkpoints
+    let (mut child, addr, _lines) = spawn_serve(&dir, Some(&seed_path));
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    for i in 0..40i64 {
+        let r = c.command(&append_cmd(i)).unwrap();
+        assert!(r.changes >= 1);
+    }
+    // SIGKILL: no flush, no shutdown handshake — every *acked* append
+    // must still be on disk (durability commit fsyncs before the ack)
+    child.kill().expect("kill served process");
+    let _ = child.wait();
+    drop(c);
+
+    // reference engine that never crashed, fed the identical workload
+    let mut reference = Ariel::new();
+    reference.execute(SEED).unwrap();
+    for i in 0..40i64 {
+        reference.execute(&append_cmd(i)).unwrap();
+    }
+
+    let (mut recovered, report) =
+        Ariel::recover(&dir, EngineOptions::default()).expect("recover after SIGKILL");
+    assert_eq!(report.relations, 2);
+    assert_eq!(report.rules, 1);
+    assert_eq!(report.replayed, 40, "one wal record per acked append");
+    assert!(
+        report.replay_errors.is_empty(),
+        "{:?}",
+        report.replay_errors
+    );
+    assert_eq!(
+        fingerprint(&mut recovered),
+        fingerprint(&mut reference),
+        "recovered store + match network must equal the uncrashed engine"
+    );
+
+    // second boot recovers off the same directory and keeps serving
+    let (mut child, addr, _lines) = spawn_serve(&dir, None);
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    assert_eq!(
+        c.query("retrieve (emp.all)").unwrap().table.rows.len(),
+        40,
+        "restarted server sees the pre-crash rows"
+    );
+    c.command("append emp (id = 1000, sal = 149)").unwrap();
+    c.shutdown().unwrap();
+    let status = child.wait().unwrap();
+    assert!(
+        status.success(),
+        "server exit {status:?}; stderr: {}",
+        std::fs::read_to_string(dir.join("serve.stderr")).unwrap_or_default()
+    );
+
+    // the post-restart append is durable too
+    let (mut after, _) = Ariel::recover(&dir, EngineOptions::default()).unwrap();
+    assert_eq!(after.query("retrieve (emp.all)").unwrap().rows.len(), 41);
+    let audit = after.query("retrieve (audit.all)").unwrap();
+    assert!(
+        audit.rows.iter().any(|r| format!("{r:?}").contains("1000")),
+        "rule fired for the post-restart append and survived recovery"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

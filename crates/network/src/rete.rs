@@ -1268,6 +1268,20 @@ impl ReteNetwork {
             .unwrap_or_default()
     }
 
+    /// Replace a rule's P-node rows wholesale (crash recovery: priming
+    /// rebuilds α/β state from relations, but a P-node also carries
+    /// *history* — matches consumed by earlier firings are gone — so the
+    /// recovered engine overwrites the primed rows with the snapshotted
+    /// ones). No-op for unknown rules.
+    pub fn set_pnode_rows(&mut self, id: RuleId, rows: Vec<Vec<BoundVar>>) {
+        if let Some(r) = self.rules.get_mut(&id.0) {
+            r.pnode.clear();
+            for row in rows {
+                r.pnode.push(row);
+            }
+        }
+    }
+
     /// Rules whose P-node is non-empty, ascending by id.
     pub fn rules_with_matches(&self) -> Vec<RuleId> {
         self.rules

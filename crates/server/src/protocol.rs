@@ -186,17 +186,44 @@ impl FrameError {
     }
 }
 
-/// Write one frame: `u32` length, opcode byte, payload.
+/// Write one frame: `u32` length, opcode byte, payload. A payload that
+/// would exceed [`MAX_FRAME_LEN`] is rejected with `InvalidData` and
+/// *nothing* is written: the peer rejects oversized lengths before
+/// reading the body and closes, so emitting such a frame would desync
+/// the stream. Callers producing unbounded payloads (result tables)
+/// should downgrade via [`encode_result_frame`] instead of failing.
 pub fn write_frame(w: &mut impl Write, opcode: Opcode, payload: &[u8]) -> std::io::Result<()> {
-    let len = 1 + payload.len() as u32;
-    debug_assert!(len <= MAX_FRAME_LEN, "writer produced an oversized frame");
+    let len = 1 + payload.len() as u64;
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
     // one buffered write per frame so a frame is never interleaved with
     // another writer's bytes at the syscall level
     let mut buf = Vec::with_capacity(5 + payload.len());
-    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
     buf.push(opcode as u8);
     buf.extend_from_slice(payload);
     w.write_all(&buf)
+}
+
+/// Frame a result body, downgrading one too large for a single frame to
+/// an `error` frame that names the overflow. The error carries
+/// [`ErrorCode::Engine`] — the request failed, but the stream stays in
+/// sync and the session stays usable.
+pub fn encode_result_frame(body: &ResultBody) -> (Opcode, Vec<u8>) {
+    let payload = body.encode();
+    if 1 + payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        let msg = format!(
+            "result of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap; narrow the query",
+            payload.len()
+        );
+        (Opcode::Error, encode_error(ErrorCode::Engine, &msg))
+    } else {
+        (Opcode::Result, payload)
+    }
 }
 
 /// Read one frame. Validates the length bound *before* reading the body
@@ -475,6 +502,49 @@ mod tests {
         // no payload present at all: the length check must fire first
         let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, FrameError::Oversized(n) if n == MAX_FRAME_LEN + 1));
+    }
+
+    #[test]
+    fn oversized_write_is_an_error_and_writes_nothing() {
+        let payload = vec![0u8; MAX_FRAME_LEN as usize]; // +1 opcode byte tips it over
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, Opcode::Result, &payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            buf.is_empty(),
+            "a rejected frame must not desync the stream"
+        );
+        // one byte under the cap still goes through
+        let ok = vec![0u8; MAX_FRAME_LEN as usize - 1];
+        write_frame(&mut buf, Opcode::Result, &ok).unwrap();
+        let f = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(f.payload.len(), ok.len());
+    }
+
+    #[test]
+    fn oversized_result_body_downgrades_to_error_frame() {
+        let body = ResultBody {
+            changes: 0,
+            table: Table {
+                columns: vec!["x".into()],
+                rows: (0..5).map(|_| vec!["y".repeat(1 << 20)]).collect(),
+            },
+            notes: vec![],
+        };
+        let (op, payload) = encode_result_frame(&body);
+        assert_eq!(op, Opcode::Error);
+        let (code, msg) = decode_error(&payload).unwrap();
+        assert_eq!(code, ErrorCode::Engine);
+        assert!(msg.contains("exceeds"), "{msg}");
+        // the downgraded frame itself fits on the wire
+        let mut buf = Vec::new();
+        write_frame(&mut buf, op, &payload).unwrap();
+        assert!(read_frame(&mut Cursor::new(&buf)).is_ok());
+        // a small body passes through untouched
+        let small = ResultBody::default();
+        let (op, payload) = encode_result_frame(&small);
+        assert_eq!(op, Opcode::Result);
+        assert_eq!(ResultBody::decode(&payload).unwrap(), small);
     }
 
     #[test]

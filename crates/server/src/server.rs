@@ -43,8 +43,8 @@
 //! another session's good one.
 
 use crate::protocol::{
-    decode_hello_client, encode_error, encode_hello_server, write_frame, ErrorCode, Opcode,
-    ResultBody, Table, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    decode_hello_client, encode_error, encode_hello_server, encode_result_frame, write_frame,
+    ErrorCode, Opcode, ResultBody, Table, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use ariel::query::{parse_command, parse_script, CmdOutput, Command};
 use ariel::storage::Value;
@@ -797,7 +797,9 @@ fn execute_entry(engine: &mut Ariel, entry: &Entry) -> Result<ResultBody, String
 fn deliver(shared: &Shared, replies: Vec<(&Entry, Result<ResultBody, String>)>) {
     for (entry, result) in replies {
         let frame = match result {
-            Ok(body) => (Opcode::Result, body.encode()),
+            // downgrades to an `error` frame when the body exceeds the
+            // frame cap, so the session survives an oversized retrieve
+            Ok(body) => encode_result_frame(&body),
             Err(msg) => {
                 shared.engine_errors.fetch_add(1, Ordering::Relaxed);
                 (Opcode::Error, encode_error(ErrorCode::Engine, &msg))

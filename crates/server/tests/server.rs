@@ -117,6 +117,43 @@ fn session_isolation_interleaved() {
 }
 
 #[test]
+fn oversized_result_becomes_engine_error_not_desync() {
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+    c.command("create blob (id = int, body = str)").unwrap();
+
+    // five ~1 MiB rows: each append frame fits, but the combined
+    // retrieve result overflows the 4 MiB frame cap
+    for i in 0..5i64 {
+        let body = "x".repeat(1 << 20);
+        let r = c
+            .command(&format!("append blob (id = {i}, body = \"{body}\")"))
+            .unwrap();
+        assert_eq!(r.changes, 1);
+    }
+
+    let err = c.query("retrieve (blob.all)").unwrap_err();
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::Engine);
+            assert!(
+                message.contains("frame cap"),
+                "message explains the cap: {message}"
+            );
+        }
+        other => panic!("expected oversized-result error, got {other}"),
+    }
+
+    // the stream is still in sync: a narrower query succeeds
+    let out = c.query("retrieve (blob.id)").unwrap();
+    assert_eq!(out.table.rows.len(), 5, "session survives the oversize");
+
+    drop(c);
+    let (stats, _engine) = handle.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "no wire-level fault recorded");
+}
+
+#[test]
 fn query_frame_rejects_non_retrieve() {
     let (addr, handle) = spawn_server(64);
     let mut c = Client::connect(addr).unwrap();

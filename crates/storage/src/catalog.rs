@@ -92,6 +92,22 @@ impl Catalog {
         Ok(rel)
     }
 
+    /// Insert an already-built relation under its own name (the
+    /// crash-recovery path: [`crate::wal::decode_relation`] rebuilds the
+    /// relation, this re-homes it). Errors if the name is taken. The
+    /// relation's interning flag is aligned with the catalog's, matching
+    /// what [`Catalog::set_intern_strings`] would have done.
+    pub fn insert_restored(&mut self, mut relation: Relation) -> StorageResult<RelRef> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::RelationExists(name));
+        }
+        relation.set_intern_strings(self.intern_strings);
+        let rel = RelRef::new(relation);
+        self.relations.insert(name, rel.clone());
+        Ok(rel)
+    }
+
     /// Destroy a relation. Errors if it does not exist.
     pub fn destroy(&mut self, name: &str) -> StorageResult<()> {
         self.relations

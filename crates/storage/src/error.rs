@@ -39,6 +39,9 @@ pub enum StorageError {
         /// Attribute name.
         attr: String,
     },
+    /// A snapshot or write-ahead-log record failed to decode, or snapshot
+    /// parts are internally inconsistent (see [`crate::wal`]).
+    Persist(String),
 }
 
 /// Result alias for storage operations.
@@ -68,6 +71,7 @@ impl fmt::Display for StorageError {
             StorageError::IndexExists { relation, attr } => {
                 write!(f, "index already exists on {relation}({attr})")
             }
+            StorageError::Persist(m) => write!(f, "persistence: {m}"),
         }
     }
 }

@@ -13,8 +13,10 @@
 //! * hash and B-tree secondary [`Index`]es, maintained across DML, and
 //! * a named [`Catalog`] of relations.
 //!
-//! Everything is single-threaded and in-memory; persistence is orthogonal to
-//! every quantity the paper measures (see DESIGN.md §2).
+//! Everything is in-memory during normal operation; the [`wal`] module adds
+//! an opt-in write-ahead log and snapshot codec for crash recovery (see
+//! docs/DURABILITY.md). Persistence stays orthogonal to every quantity the
+//! paper measures (see DESIGN.md §2).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +30,7 @@ pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod wal;
 
 pub use catalog::{Catalog, RelRef};
 pub use error::{StorageError, StorageResult};
@@ -38,3 +41,4 @@ pub use relation::Relation;
 pub use schema::{AttrDef, AttrType, Schema, SchemaRef};
 pub use tuple::{Tid, Tuple};
 pub use value::Value;
+pub use wal::{Durability, WalScan, WalWriter};

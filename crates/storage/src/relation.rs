@@ -216,6 +216,106 @@ impl Relation {
         self.scan().map(|(_, t)| t.heap_size()).sum()
     }
 
+    // ----- snapshot / restore (crash recovery; see `crate::wal`) ---------
+
+    /// Raw slot vector, holes included — the exact physical layout a
+    /// snapshot must preserve so scan order and free-slot reuse are
+    /// identical after recovery.
+    pub fn snapshot_slots(&self) -> &[Option<(Tid, Tuple)>] {
+        &self.slots
+    }
+
+    /// The free-slot stack, in reuse order (the last entry is popped
+    /// first by the next insert).
+    pub fn free_slots(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// The TID the next insert will allocate. Never decreases; snapshots
+    /// must carry it so recovered engines keep allocating fresh TIDs.
+    pub fn next_tid(&self) -> u64 {
+        self.next_tid
+    }
+
+    /// Secondary index definitions as (attribute position, kind) pairs —
+    /// index *contents* are a pure function of the live tuples and are
+    /// rebuilt on restore.
+    pub fn index_defs(&self) -> Vec<(usize, IndexKind)> {
+        self.indexes
+            .iter()
+            .map(|ix| (ix.attr(), ix.kind()))
+            .collect()
+    }
+
+    /// Rebuild a relation from snapshot parts, byte-for-byte equivalent to
+    /// the one snapshotted: the slot vector (holes included), the free
+    /// list, and the TID counter are taken as-is, so scan order, slot
+    /// reuse and TID allocation continue exactly as they would have; the
+    /// TID map and secondary indexes are derived from the slots. Errors
+    /// if the parts are inconsistent (duplicate or out-of-range TIDs,
+    /// free entries pointing at live slots, index positions outside the
+    /// schema).
+    pub fn restore(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        slots: Vec<Option<(Tid, Tuple)>>,
+        free: Vec<usize>,
+        next_tid: u64,
+        index_defs: &[(usize, IndexKind)],
+        intern_strings: bool,
+    ) -> StorageResult<Relation> {
+        let name = name.into();
+        let corrupt = |msg: String| StorageError::Persist(format!("relation `{name}`: {msg}"));
+        let mut tid_to_slot = HashMap::with_capacity(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some((tid, tuple)) = slot {
+                if tid.0 >= next_tid {
+                    return Err(corrupt(format!(
+                        "live tid {} not below next_tid {next_tid}",
+                        tid.0
+                    )));
+                }
+                if tuple.values().len() != schema.attrs().len() {
+                    return Err(corrupt(format!(
+                        "tuple {} has {} values for a {}-attribute schema",
+                        tid.0,
+                        tuple.values().len(),
+                        schema.attrs().len()
+                    )));
+                }
+                if tid_to_slot.insert(tid.0, i).is_some() {
+                    return Err(corrupt(format!("duplicate tid {}", tid.0)));
+                }
+            }
+        }
+        for &s in &free {
+            if slots.get(s).map_or(true, |slot| slot.is_some()) {
+                return Err(corrupt(format!("free-list entry {s} is not a hole")));
+            }
+        }
+        let mut indexes = Vec::with_capacity(index_defs.len());
+        for &(pos, kind) in index_defs {
+            if pos >= schema.attrs().len() {
+                return Err(corrupt(format!("index position {pos} outside the schema")));
+            }
+            let mut ix = Index::new(pos, kind);
+            for (tid, t) in slots.iter().filter_map(Option::as_ref) {
+                ix.insert(t.get(pos).clone(), *tid);
+            }
+            indexes.push(ix);
+        }
+        Ok(Relation {
+            name,
+            schema,
+            slots,
+            free,
+            tid_to_slot,
+            next_tid,
+            indexes,
+            intern_strings,
+        })
+    }
+
     /// Remove every tuple (used by `destroy`/reset paths). TIDs are not
     /// reused afterwards.
     pub fn clear(&mut self) {

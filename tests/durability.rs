@@ -1,0 +1,533 @@
+//! Durability: checkpoint / write-ahead-log / recovery semantics, and the
+//! transition-merge and flight-recorder regressions fixed alongside them.
+//!
+//! The heart of the suite is the crash oracle: an engine that checkpoints,
+//! keeps running with the WAL attached, and is then dropped mid-flight
+//! must — after [`Ariel::recover`] — be *behaviourally indistinguishable*
+//! from an engine that never crashed: same relation contents, same pending
+//! matches (consumed instantiations stay consumed), same α-memory
+//! footprint, and the same response to any further command stream. The
+//! three-backend equivalence machinery from `network_equivalence.rs`
+//! supplies the distinguishing power.
+
+use ariel::network::ReteMode;
+use ariel::storage::Value;
+use ariel::{Ariel, Durability, EngineOptions, TraceEventKind};
+use std::path::PathBuf;
+
+/// Deterministic xorshift for workload generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Fresh scratch directory for one test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ariel-durability-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build(options: EngineOptions) -> Ariel {
+    let mut db = Ariel::with_options(options);
+    db.execute(
+        "create emp (id = int, sal = float, dno = int); \
+         create dept (dno = int, floor = int); \
+         create audit (id = int, kind = int)",
+    )
+    .unwrap();
+    db.execute("define rule r_sel if emp.sal > 5000 then append to audit(id = emp.id, kind = 1)")
+        .unwrap();
+    db.execute(
+        "define rule r_join if emp.sal > 1000 and emp.dno = dept.dno and dept.floor < 3 \
+         then append to audit(id = emp.id, kind = 2)",
+    )
+    .unwrap();
+    db.execute(
+        "define rule r_trans if emp.sal > 2 * previous emp.sal \
+         then append to audit(id = emp.id, kind = 3)",
+    )
+    .unwrap();
+    db.execute("define rule r_event on delete emp then append to audit(id = emp.id, kind = 4)")
+        .unwrap();
+    db
+}
+
+fn apply_stream(db: &mut Ariel, seed: u64, steps: usize, next_id: &mut i64) {
+    let mut rng = Rng(seed | 1);
+    for _ in 0..steps {
+        match rng.below(10) {
+            0..=3 => {
+                let id = *next_id;
+                *next_id += 1;
+                let sal = rng.below(9000);
+                let dno = rng.below(5);
+                db.execute(&format!("append emp (id = {id}, sal = {sal}, dno = {dno})"))
+                    .unwrap();
+            }
+            4..=5 => {
+                let dno = rng.below(5);
+                let floor = rng.below(6);
+                db.execute(&format!("append dept (dno = {dno}, floor = {floor})"))
+                    .unwrap();
+            }
+            6..=7 => {
+                let id = rng.below((*next_id).max(1) as u64);
+                let sal = rng.below(12_000);
+                db.execute(&format!("replace emp (sal = {sal}) where emp.id = {id}"))
+                    .unwrap();
+            }
+            _ => {
+                let id = rng.below((*next_id).max(1) as u64);
+                db.execute(&format!("delete emp where emp.id = {id}"))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+type Rows = Vec<Vec<Value>>;
+
+fn snapshot(db: &mut Ariel, rel: &str) -> Rows {
+    let mut rows = db.query(&format!("retrieve ({rel}.all)")).unwrap().rows;
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+/// Everything the oracle compares: relation contents, per-rule pending
+/// matches, α/P-node footprint, and the engine counters conflict
+/// resolution depends on.
+type Fingerprint = (Vec<(String, Rows)>, Vec<(String, usize)>, usize, usize);
+
+fn fingerprint(db: &mut Ariel) -> Fingerprint {
+    let rels: Vec<(String, Rows)> = db
+        .catalog()
+        .names()
+        .into_iter()
+        .map(|n| {
+            let rows = snapshot(db, &n);
+            (n, rows)
+        })
+        .collect();
+    let pending: Vec<(String, usize)> = db
+        .rules()
+        .iter()
+        .map(|r| r.name.clone())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|n| {
+            let p = db.pending_matches(&n).unwrap_or(0);
+            (n, p)
+        })
+        .collect();
+    let mem = db.memory_stats();
+    (rels, pending, mem.alpha_entries, mem.pnode_rows)
+}
+
+/// The crash oracle, parameterized by backend and fsync mode: a crashed-
+/// and-recovered engine must be indistinguishable from one that never
+/// crashed — including under a continued command stream after recovery.
+fn crash_recover_equivalence(name: &str, rete: Option<ReteMode>, durability: Durability) {
+    let dir = scratch(name);
+    let options = EngineOptions {
+        rete_mode: rete,
+        durability,
+        ..Default::default()
+    };
+    // Rete compiles pattern conditions only: restrict the rule set
+    let build_for = |options: EngineOptions| -> Ariel {
+        if rete.is_some() {
+            let mut db = Ariel::with_options(options);
+            db.execute(
+                "create emp (id = int, sal = float, dno = int); \
+                 create dept (dno = int, floor = int); \
+                 create audit (id = int, kind = int)",
+            )
+            .unwrap();
+            db.execute(
+                "define rule r_sel if emp.sal > 5000 then append to audit(id = emp.id, kind = 1)",
+            )
+            .unwrap();
+            db.execute(
+                "define rule r_join if emp.sal > 1000 and emp.dno = dept.dno and dept.floor < 3 \
+                 then append to audit(id = emp.id, kind = 2)",
+            )
+            .unwrap();
+            db
+        } else {
+            build(options)
+        }
+    };
+
+    // the uncrashed reference runs the identical stream, no durability
+    let mut reference = build_for(EngineOptions {
+        durability: Durability::Off,
+        ..options.clone()
+    });
+    let mut ref_id = 0i64;
+    apply_stream(&mut reference, 0xC4A54, 80, &mut ref_id);
+    apply_stream(&mut reference, 0xAF7E4, 60, &mut ref_id);
+
+    // the crashing engine: checkpoint mid-stream, keep going, then "crash"
+    let mut db = build_for(options.clone());
+    let mut next_id = 0i64;
+    apply_stream(&mut db, 0xC4A54, 80, &mut next_id);
+    db.checkpoint(&dir).unwrap();
+    apply_stream(&mut db, 0xAF7E4, 60, &mut next_id);
+    assert!(db.wal_records() > 0, "post-checkpoint work must be logged");
+    drop(db); // the crash (nothing is flushed beyond what the mode fsynced)
+
+    let (mut recovered, report) = Ariel::recover(&dir, options).unwrap();
+    assert!(!report.torn_tail, "clean shutdown leaves no torn tail");
+    assert!(report.replayed > 0, "the WAL tail must replay");
+    assert!(
+        report.replay_errors.is_empty(),
+        "unexpected replay errors: {:?}",
+        report.replay_errors
+    );
+    assert_eq!(next_id, ref_id);
+
+    assert_eq!(
+        fingerprint(&mut recovered),
+        fingerprint(&mut reference),
+        "{name}: recovered state diverged from the uncrashed reference"
+    );
+
+    // the decisive probe: both engines must respond identically to more work
+    apply_stream(&mut recovered, 0xF00D, 60, &mut next_id);
+    apply_stream(&mut reference, 0xF00D, 60, &mut ref_id);
+    assert_eq!(
+        fingerprint(&mut recovered),
+        fingerprint(&mut reference),
+        "{name}: divergence after continued stream post-recovery"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_recovery_equivalence_treat_commit() {
+    crash_recover_equivalence("treat-commit", None, Durability::Commit);
+}
+
+#[test]
+fn crash_recovery_equivalence_treat_batch() {
+    crash_recover_equivalence("treat-batch", None, Durability::Batch);
+}
+
+#[test]
+fn crash_recovery_equivalence_rete_indexed() {
+    crash_recover_equivalence("rete-indexed", Some(ReteMode::Indexed), Durability::Commit);
+}
+
+#[test]
+fn crash_recovery_equivalence_rete_nested() {
+    crash_recover_equivalence("rete-nested", Some(ReteMode::Nested), Durability::Commit);
+}
+
+/// A snapshot taken on one backend must recover onto another: the
+/// snapshot stores relations and rule *sources*, and recovery rebuilds
+/// the network through normal activation.
+#[test]
+fn snapshot_recovers_across_backends() {
+    let dir = scratch("cross-backend");
+    let treat = EngineOptions {
+        durability: Durability::Commit,
+        ..Default::default()
+    };
+    let mut db = Ariel::with_options(treat.clone());
+    db.execute(
+        "create emp (id = int, sal = float, dno = int); \
+         create audit (id = int, kind = int)",
+    )
+    .unwrap();
+    db.execute("define rule r if emp.sal > 50 then append to audit(id = emp.id, kind = 1)")
+        .unwrap();
+    for i in 0..20 {
+        db.execute(&format!("append emp (id = {i}, sal = {}, dno = 0)", i * 10))
+            .unwrap();
+    }
+    db.checkpoint(&dir).unwrap();
+    db.execute("append emp (id = 100, sal = 900, dno = 1)")
+        .unwrap();
+    let want_emp = snapshot(&mut db, "emp");
+    let want_audit = snapshot(&mut db, "audit");
+    drop(db);
+    for rete in [Some(ReteMode::Indexed), Some(ReteMode::Nested), None] {
+        let (mut back, report) = Ariel::recover(
+            &dir,
+            EngineOptions {
+                rete_mode: rete,
+                durability: Durability::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.relations, 2, "{rete:?}");
+        assert_eq!(report.rules, 1, "{rete:?}");
+        assert_eq!(snapshot(&mut back, "emp"), want_emp, "{rete:?}");
+        assert_eq!(snapshot(&mut back, "audit"), want_audit, "{rete:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Consumed instantiations stay consumed: recovery must not re-fire rules
+/// whose matches were drained before the checkpoint, and must preserve
+/// matches that were still pending.
+#[test]
+fn recovery_does_not_refire_consumed_matches() {
+    let dir = scratch("no-refire");
+    let options = EngineOptions {
+        durability: Durability::Commit,
+        ..Default::default()
+    };
+    let mut db = Ariel::with_options(options.clone());
+    db.execute("create emp (id = int, sal = float); create audit (id = int, kind = int)")
+        .unwrap();
+    db.execute("define rule r if emp.sal > 50 then append to audit(id = emp.id, kind = 1)")
+        .unwrap();
+    db.execute("append emp (id = 1, sal = 100)").unwrap();
+    assert_eq!(db.query("retrieve (audit.all)").unwrap().rows.len(), 1);
+    assert_eq!(db.pending_matches("r").unwrap(), 0, "match consumed");
+    // install (but do not activate) a second rule, then leave one rule
+    // with a *pending* match by activating after the data arrived
+    db.install_rule_src(
+        "define rule pending if emp.sal > 10 then append to audit(id = emp.id, kind = 2)",
+    )
+    .unwrap();
+    db.activate_rule("pending").unwrap();
+    assert_eq!(db.pending_matches("pending").unwrap(), 1, "primed, unfired");
+    db.checkpoint(&dir).unwrap();
+    drop(db);
+    let (mut back, _report) = Ariel::recover(&dir, options).unwrap();
+    assert_eq!(
+        back.pending_matches("r").unwrap(),
+        0,
+        "a consumed match must not resurrect (priming alone would)"
+    );
+    assert_eq!(
+        back.pending_matches("pending").unwrap(),
+        1,
+        "a pending match must survive"
+    );
+    assert_eq!(
+        back.query("retrieve (audit.all)").unwrap().rows.len(),
+        1,
+        "recovery itself fires nothing"
+    );
+    // the preserved pending match fires at the next transition
+    back.execute("append emp (id = 2, sal = 5)").unwrap();
+    let audit = snapshot(&mut back, "audit");
+    assert!(
+        audit.iter().any(|r| r[1] == Value::Int(2)),
+        "the recovered pending match fires: {audit:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash mid-append leaves a torn final record: recovery keeps every
+/// whole record, reports the tear, and truncates it away.
+#[test]
+fn torn_wal_tail_is_tolerated_and_truncated() {
+    let dir = scratch("torn-tail");
+    let options = EngineOptions {
+        durability: Durability::Commit,
+        ..Default::default()
+    };
+    let mut db = Ariel::with_options(options.clone());
+    db.execute("create emp (id = int, sal = float)").unwrap();
+    db.checkpoint(&dir).unwrap();
+    db.execute("append emp (id = 1, sal = 10)").unwrap();
+    db.execute("append emp (id = 2, sal = 20)").unwrap();
+    drop(db);
+    // tear the tail: chop half of the final record off
+    let wal = dir.join("wal.log");
+    let data = std::fs::read(&wal).unwrap();
+    let torn_len = data.len() - 7;
+    std::fs::write(&wal, &data[..torn_len]).unwrap();
+    let (mut back, report) = Ariel::recover(&dir, options.clone()).unwrap();
+    assert!(report.torn_tail, "the tear must be reported");
+    assert_eq!(report.replayed, 1, "the whole record replays");
+    assert_eq!(
+        snapshot(&mut back, "emp"),
+        vec![vec![Value::Int(1), Value::Float(10.0)]],
+        "the torn record's append is lost, the earlier one survives"
+    );
+    drop(back);
+    assert!(
+        std::fs::metadata(&wal).unwrap().len() < torn_len as u64,
+        "the torn tail is truncated from the log"
+    );
+    // a second recovery sees a clean log
+    let (_again, report) = Ariel::recover(&dir, options).unwrap();
+    assert!(!report.torn_tail);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A logged command that failed when first executed fails identically on
+/// replay; recovery reports it and carries on.
+#[test]
+fn failed_commands_replay_deterministically() {
+    let dir = scratch("replay-errors");
+    let options = EngineOptions {
+        durability: Durability::Commit,
+        ..Default::default()
+    };
+    let mut db = Ariel::with_options(options.clone());
+    db.execute("create emp (id = int)").unwrap();
+    db.checkpoint(&dir).unwrap();
+    assert!(db.execute("create emp (id = int)").is_err(), "duplicate");
+    db.execute("append emp (id = 7)").unwrap();
+    drop(db);
+    let (mut back, report) = Ariel::recover(&dir, options).unwrap();
+    assert_eq!(report.replay_errors.len(), 1, "{:?}", report.replay_errors);
+    assert!(report.replay_errors[0].contains("already exists"));
+    assert_eq!(
+        snapshot(&mut back, "emp"),
+        vec![vec![Value::Int(7)]],
+        "replay continues past the failing record"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pure reads leave no state behind, so an interactive session's
+/// retrieves must not grow the log — only mutations are records.
+#[test]
+fn retrieves_are_not_logged() {
+    let dir = scratch("read-only");
+    let mut db = Ariel::with_options(EngineOptions {
+        durability: Durability::Commit,
+        ..Default::default()
+    });
+    db.execute("create emp (id = int)").unwrap();
+    db.checkpoint(&dir).unwrap();
+    db.execute("append emp (id = 1)").unwrap();
+    let logged = db.wal_records();
+    assert_eq!(logged, 1);
+    db.query("retrieve (emp.all)").unwrap();
+    db.execute("do retrieve (emp.id) retrieve (emp.all) end")
+        .unwrap();
+    assert_eq!(db.wal_records(), logged, "reads must not be logged");
+    // a mixed block mutates, so it is logged whole
+    db.execute("do retrieve (emp.all) append emp (id = 2) end")
+        .unwrap();
+    assert_eq!(db.wal_records(), logged + 1);
+    drop(db);
+    let (mut back, report) = Ariel::recover(&dir, EngineOptions::default()).unwrap();
+    assert_eq!(report.replayed, 2);
+    assert_eq!(snapshot(&mut back, "emp").len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Durability off is literally free: no writer is attached, nothing is
+/// written after the checkpoint.
+#[test]
+fn durability_off_attaches_no_writer() {
+    let dir = scratch("off-mode");
+    let mut db = Ariel::new(); // durability: Off
+    db.execute("create emp (id = int)").unwrap();
+    db.checkpoint(&dir).unwrap();
+    for i in 0..10 {
+        db.execute(&format!("append emp (id = {i})")).unwrap();
+    }
+    assert_eq!(db.wal_records(), 0);
+    assert_eq!(db.wal_bytes(), 0);
+    assert_eq!(
+        std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+        0,
+        "no records hit the disk with durability off"
+    );
+    // recovery then restores the checkpoint state (the 10 appends are lost
+    // by construction)
+    drop(db);
+    let (mut back, report) = Ariel::recover(&dir, EngineOptions::default()).unwrap();
+    assert_eq!(report.replayed, 0);
+    assert!(snapshot(&mut back, "emp").is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rule ids survive recovery exactly — including gaps left by dropped
+/// rules — so recency bookkeeping and later installs stay consistent.
+#[test]
+fn rule_ids_and_gaps_survive_recovery() {
+    let dir = scratch("rule-ids");
+    let options = EngineOptions {
+        durability: Durability::Commit,
+        ..Default::default()
+    };
+    let mut db = Ariel::with_options(options.clone());
+    db.execute("create emp (id = int)").unwrap();
+    db.execute("define rule a if emp.id > 100 then delete emp")
+        .unwrap();
+    db.execute("define rule b if emp.id > 200 then delete emp")
+        .unwrap();
+    db.execute("destroy rule a").unwrap();
+    let b_id = db.rules().require("b").unwrap().id;
+    db.checkpoint(&dir).unwrap();
+    drop(db);
+    let (mut back, _) = Ariel::recover(&dir, options).unwrap();
+    assert_eq!(back.rules().require("b").unwrap().id, b_id);
+    // a fresh install lands past every restored id
+    back.execute("define rule c if emp.id > 300 then delete emp")
+        .unwrap();
+    assert!(back.rules().require("c").unwrap().id.0 > b_id.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----- satellite regressions -------------------------------------------------
+
+/// Regression (PR 9): the second `retrieve` in a `do…end` block used to
+/// overwrite the first one's rows in the merged output.
+#[test]
+fn do_block_merges_multiple_retrieves() {
+    let mut db = Ariel::new();
+    db.execute("create emp (id = int)").unwrap();
+    db.execute("append emp (id = 1)").unwrap();
+    db.execute("append emp (id = 2)").unwrap();
+    let out = db
+        .execute("do retrieve (emp.id) where emp.id = 1 retrieve (emp.id) where emp.id = 2 end")
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    let mut rows = out[0].rows.clone();
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    assert_eq!(
+        rows,
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        "both retrieves' rows survive the merge"
+    );
+}
+
+/// Regression (PR 9): a mid-transition error left a dangling
+/// `TransitionBegin` in the flight recorder (unclosed span in the Chrome
+/// trace export).
+#[test]
+fn failed_transition_closes_its_trace_span() {
+    let mut db = Ariel::with_options(EngineOptions {
+        tracing: true,
+        ..Default::default()
+    });
+    db.execute("create emp (id = int)").unwrap();
+    let err = db.execute("do append emp (id = 1) append ghost (id = 2) end");
+    assert!(err.is_err(), "the second command hits a missing relation");
+    let events = db.trace_events();
+    let begins = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::TransitionBegin { .. }))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::TransitionEnd { .. }))
+        .count();
+    assert_eq!(begins, ends, "every TransitionBegin is closed: {events:#?}");
+}
