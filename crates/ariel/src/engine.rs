@@ -407,6 +407,10 @@ pub struct Ariel {
     pub(crate) prev_sizes: HashMap<u64, usize>,
     pub(crate) tick: u64,
     pub(crate) stats: EngineStats,
+    /// Action executions per rule id (the `ariel_rule_firings_total`
+    /// Prometheus family). Unlike [`EngineStats::firings`] this is not
+    /// snapshotted: it counts since engine start or recovery.
+    pub(crate) firings_by_rule: HashMap<u64, u64>,
     /// Pending asynchronous notifications (§8 future work: alert monitors,
     /// stock tickers). Consumers drain with [`Ariel::drain_notifications`].
     notifications: std::collections::VecDeque<Notification>,
@@ -419,6 +423,9 @@ pub struct Ariel {
     pub(crate) wal: Option<WalWriter>,
     /// Durability directory of the last checkpoint/recovery, if any.
     pub(crate) wal_dir: Option<PathBuf>,
+    /// WAL telemetry folded out of writers detached at checkpoints,
+    /// durability-mode changes and recovery (see [`Ariel::wal_metrics`]).
+    pub(crate) wal_totals: crate::obs::WalTotals,
 }
 
 impl Default for Ariel {
@@ -464,11 +471,13 @@ impl Ariel {
             prev_sizes: HashMap::new(),
             tick: 0,
             stats: EngineStats::default(),
+            firings_by_rule: HashMap::new(),
             notifications: std::collections::VecDeque::new(),
             obs: None,
             trace_limit: DEFAULT_TRACE_CAPACITY,
             wal: None,
             wal_dir: None,
+            wal_totals: crate::obs::WalTotals::default(),
         };
         if engine.options.observability {
             engine.set_observability(true);
@@ -837,6 +846,7 @@ impl Ariel {
             }
             firings += 1;
             self.stats.firings += 1;
+            *self.firings_by_rule.entry(chosen.id.0).or_insert(0) += 1;
             let rows = self.network.drain_pnode(chosen.id);
             let drained = rows.len() as u64;
             let cols = self
@@ -1266,22 +1276,39 @@ impl Ariel {
     /// documented in `docs/OBSERVABILITY.md`; the benchmark driver writes
     /// this into `BENCH_obs.json`.
     pub fn metrics_json(&self) -> String {
+        obs::render_metrics_json(&self.metrics_input())
+    }
+
+    /// The engine half of the Prometheus text exposition: `ariel_engine_*`,
+    /// `ariel_network_*`, `ariel_rule_*` and `ariel_wal_*` metric families
+    /// (plus the timing histograms when observability is on), hand-rolled
+    /// `# HELP`/`# TYPE` headers included. Served by `\metrics prom` in the
+    /// REPL; the TCP server prepends its own `ariel_server_*` families for
+    /// the `MetricsProm` opcode and the `GET /metrics` shim. The families
+    /// are documented in `docs/OBSERVABILITY.md`.
+    pub fn metrics_prometheus(&self) -> String {
+        obs::render_metrics_prometheus(&self.metrics_input())
+    }
+
+    fn metrics_input(&self) -> obs::MetricsInput<'_> {
         let mut rules = Vec::new();
         let mut names = std::collections::BTreeMap::new();
         for rule in self.rules.iter() {
             names.insert(rule.id.0, rule.name.clone());
             if let Some(s) = self.network.rule_stats(rule.id) {
-                rules.push((rule.name.clone(), s));
+                let firings = self.firings_by_rule.get(&rule.id.0).copied().unwrap_or(0);
+                rules.push((rule.name.clone(), firings, s));
             }
         }
-        obs::render_metrics_json(&obs::MetricsInput {
+        obs::MetricsInput {
             engine: self.stats,
             network: self.network.stats(),
             rules,
+            wal: self.wal_metrics(),
             match_obs: self.network.obs(),
             engine_obs: self.obs.as_ref(),
             names,
-        })
+        }
     }
 
     /// Execute a command (or script) under a scoped timing capture and

@@ -29,8 +29,9 @@
 //! delivery queue; replay regenerates the
 //! notifications of replayed transitions, giving at-least-once delivery
 //! across a crash. Command texts round-trip through the ARL
-//! parser, which has no string escapes — a string literal containing a
-//! quote character will not survive replay (see `docs/DURABILITY.md`).
+//! parser; string literals are re-rendered with escape sequences
+//! (`\"`, `\\`, `\n`, `\t`), so values containing quotes, backslashes
+//! or control characters survive replay intact.
 
 use crate::engine::{Ariel, EngineOptions, EngineStats};
 use crate::error::{ArielError, ArielResult};
@@ -206,8 +207,9 @@ impl Ariel {
     pub fn checkpoint(&mut self, dir: impl AsRef<Path>) -> ArielResult<u64> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(|e| io_err("creating durability dir", e))?;
-        // detach the writer first: its Drop syncs any unsynced batch
-        self.wal = None;
+        // detach the writer first (folding its telemetry into the
+        // cumulative totals): its Drop syncs any unsynced batch
+        self.wal_detach();
         let body = encode_snapshot(self);
         let mut image = Vec::with_capacity(16 + body.len());
         image.extend_from_slice(SNAPSHOT_MAGIC);
@@ -357,6 +359,7 @@ impl Ariel {
         if scan.torn {
             truncate_log(&wal_path, scan.valid_len).map_err(|e| io_err("truncating wal", e))?;
         }
+        db.wal_totals.replay_errors = report.replay_errors.len() as u64;
         if db.options.durability != Durability::Off {
             db.wal = Some(
                 WalWriter::open(&wal_path, db.options.durability)
@@ -403,7 +406,7 @@ impl Ariel {
     pub fn set_durability(&mut self, durability: Durability) -> ArielResult<()> {
         self.options.durability = durability;
         if let Some(dir) = self.wal_dir.clone() {
-            self.wal = None; // Drop syncs pending records
+            self.wal_detach(); // Drop syncs pending records
             if durability != Durability::Off {
                 self.wal = Some(
                     WalWriter::open(dir.join(WAL_FILE), durability)
@@ -430,6 +433,44 @@ impl Ariel {
     /// included). 0 when no writer is attached.
     pub fn wal_bytes(&self) -> u64 {
         self.wal.as_ref().map(|w| w.bytes()).unwrap_or(0)
+    }
+
+    /// Detach the live WAL writer, folding its telemetry (records, bytes,
+    /// fsync count and latency histogram) into the cumulative
+    /// [`crate::obs::WalTotals`] first, so [`Ariel::wal_metrics`] keeps
+    /// engine-lifetime figures across checkpoints and durability-mode
+    /// changes. The writer's Drop syncs any unsynced batch.
+    pub(crate) fn wal_detach(&mut self) {
+        if let Some(w) = self.wal.take() {
+            self.wal_totals.records += w.records();
+            self.wal_totals.bytes += w.bytes();
+            self.wal_totals.fsyncs += w.fsyncs();
+            self.wal_totals.fsync_ns.merge(w.fsync_ns());
+        }
+    }
+
+    /// Merged WAL telemetry snapshot: the cumulative totals of every
+    /// writer this engine has detached, plus the live writer's figures.
+    /// Unlike [`Ariel::wal_records`]/[`Ariel::wal_bytes`] (which report
+    /// the live writer only, resetting at each checkpoint), this view
+    /// spans the engine's lifetime; it feeds the `"wal"` section of
+    /// [`Ariel::metrics_json`] and the `ariel_wal_*` Prometheus families.
+    pub fn wal_metrics(&self) -> crate::obs::WalMetrics {
+        let mut m = crate::obs::WalMetrics {
+            attached: self.wal.is_some(),
+            records: self.wal_totals.records,
+            bytes: self.wal_totals.bytes,
+            fsyncs: self.wal_totals.fsyncs,
+            fsync_ns: self.wal_totals.fsync_ns.clone(),
+            replay_errors: self.wal_totals.replay_errors,
+        };
+        if let Some(w) = &self.wal {
+            m.records += w.records();
+            m.bytes += w.bytes();
+            m.fsyncs += w.fsyncs();
+            m.fsync_ns.merge(w.fsync_ns());
+        }
+        m
     }
 
     /// Force an fsync of the attached log writer, if any.

@@ -57,13 +57,23 @@
 //!   deterministic, so any drift means the logging hooks moved. Wall
 //!   clock is reported, never gated: fsync latency varies wildly across
 //!   CI hosts. `--bless` updates the wal baseline.
+//! * `bench_gate obs [fresh [baseline]]` gates `BENCH_obs.json` (written
+//!   by `paper_tables -- obs`): the serve workload with server telemetry
+//!   **on** must cost at most 10% more wall clock than with telemetry
+//!   **off** *within the same fresh file* (same host, same minute — so
+//!   the band can be narrow), every row's requests must split exactly
+//!   into commands + queries, and per-config request counts must match
+//!   `BENCH_obs_baseline.json` exactly — the workload is deterministic.
+//!   Absolute wall clock is never compared across runs. `--bless`
+//!   updates the obs baseline.
 //! * `bench_gate links [root]` fails if any relative markdown link in
 //!   `README.md` or `docs/*.md` points at a path that does not exist —
 //!   the CI docs gate.
 //!
-//! The schema of the join, par, mem, serve and wal files is documented in
-//! `docs/OBSERVABILITY.md` (join, mem), `docs/CONCURRENCY.md` (par),
-//! `docs/SERVER.md` (serve) and `docs/DURABILITY.md` (wal).
+//! The schema of the join, par, mem, serve, wal and obs files is
+//! documented in `docs/OBSERVABILITY.md` (join, mem, obs),
+//! `docs/CONCURRENCY.md` (par), `docs/SERVER.md` (serve) and
+//! `docs/DURABILITY.md` (wal).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -1057,6 +1067,192 @@ fn run_wal_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
     }
 }
 
+/// Telemetry overhead tolerance: the telemetry-on run may cost at most 10%
+/// more wall clock than the telemetry-off run *within the same fresh
+/// file*. Comparing on vs off from the same host and the same minute
+/// cancels machine variance, so the band can be this narrow while absolute
+/// wall clock is never compared against the baseline.
+const OBS_OVERHEAD_TOLERANCE: f64 = 1.10;
+
+/// One row of `BENCH_obs.json`, keyed by `config`.
+#[derive(Debug, Clone, PartialEq)]
+struct ObsRow {
+    config: String,
+    clients: u64,
+    requests: u64,
+    commands: u64,
+    queries: u64,
+    total_ms: f64,
+}
+
+fn parse_obs_rows(src: &str, label: &str) -> Result<Vec<ObsRow>, String> {
+    let objs = Parser::new(src)
+        .array_of_objects()
+        .map_err(|e| format!("{label}: {e}"))?;
+    objs.into_iter()
+        .enumerate()
+        .map(|(i, obj)| {
+            let str_field = |k: &str| match obj.get(k) {
+                Some(Field::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("{label}: row {i} missing string \"{k}\"")),
+            };
+            let num_field = |k: &str| match obj.get(k) {
+                Some(Field::Num(n)) => Ok(*n),
+                _ => Err(format!("{label}: row {i} missing number \"{k}\"")),
+            };
+            Ok(ObsRow {
+                config: str_field("config")?,
+                clients: num_field("clients")? as u64,
+                requests: num_field("requests")? as u64,
+                commands: num_field("commands")? as u64,
+                queries: num_field("queries")? as u64,
+                total_ms: num_field("total_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// Gate the telemetry-overhead benchmark; returns every violation found.
+///
+/// Self-consistency within the fresh file: both configs present, every
+/// row's requests split exactly into commands + queries, and the
+/// telemetry-on wall clock within [`OBS_OVERHEAD_TOLERANCE`] of the
+/// telemetry-off wall clock measured in the same run. Against the
+/// baseline the per-config request/command/query counts must match
+/// **exactly** — the workload is deterministic for a client count, so any
+/// drift means the request mix (or the server's counting) moved. Absolute
+/// wall clock is never compared across runs.
+fn check_obs(fresh: &[ObsRow], baseline: &[ObsRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let find = |rows: &[ObsRow], config: &str| -> Option<ObsRow> {
+        rows.iter().find(|r| r.config == config).cloned()
+    };
+    for r in fresh {
+        if r.commands + r.queries != r.requests {
+            violations.push(format!(
+                "{}: {} commands + {} queries != {} requests — the server \
+                 lost or double-counted frames",
+                r.config, r.commands, r.queries, r.requests
+            ));
+        }
+        if r.total_ms <= 0.0 {
+            violations.push(format!(
+                "{}: nonsensical wall clock ({} ms)",
+                r.config, r.total_ms
+            ));
+        }
+    }
+    match (find(fresh, "telemetry_off"), find(fresh, "telemetry_on")) {
+        (Some(off), Some(on)) => {
+            if on.total_ms > off.total_ms * OBS_OVERHEAD_TOLERANCE {
+                violations.push(format!(
+                    "telemetry overhead {:.1}% (off {:.3} ms, on {:.3} ms) — \
+                     must stay under {:.0}%",
+                    (on.total_ms / off.total_ms - 1.0) * 100.0,
+                    off.total_ms,
+                    on.total_ms,
+                    (OBS_OVERHEAD_TOLERANCE - 1.0) * 100.0
+                ));
+            }
+        }
+        (off, on) => {
+            if off.is_none() {
+                violations.push("telemetry_off: missing from fresh results".into());
+            }
+            if on.is_none() {
+                violations.push("telemetry_on: missing from fresh results".into());
+            }
+        }
+    }
+    for base in baseline {
+        let Some(now) = find(fresh, &base.config) else {
+            violations.push(format!("{}: missing from fresh results", base.config));
+            continue;
+        };
+        for (what, old, new) in [
+            ("requests", base.requests, now.requests),
+            ("commands", base.commands, now.commands),
+            ("queries", base.queries, now.queries),
+        ] {
+            if old != new {
+                violations.push(format!(
+                    "{}: {what} changed {old} -> {new} (the workload is deterministic)",
+                    base.config
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn run_obs_gate(fresh_path: &str, base_path: &str, bless: bool) -> ExitCode {
+    let load = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|src| parse_obs_rows(&src, path))
+    };
+    let fresh = match load(fresh_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if bless {
+        let baseline = load(base_path).unwrap_or_default();
+        println!("bench_gate: blessing {fresh_path} -> {base_path}");
+        for now in &fresh {
+            match baseline.iter().find(|r| r.config == now.config) {
+                Some(old) => println!(
+                    "  {}: requests {} -> {}, total_ms {:.3} -> {:.3}",
+                    now.config, old.requests, now.requests, old.total_ms, now.total_ms
+                ),
+                None => println!(
+                    "  {}: new row (requests {}, total_ms {:.3})",
+                    now.config, now.requests, now.total_ms
+                ),
+            }
+        }
+        return match std::fs::copy(fresh_path, base_path) {
+            Ok(_) => {
+                println!("bench_gate: obs baseline updated ({} rows)", fresh.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_gate: cannot write {base_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let baseline = match load(base_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_gate: obs {fresh_path} vs {base_path} ({} baseline rows)",
+        baseline.len()
+    );
+    for r in &fresh {
+        println!(
+            "  {:>15} clients {:>3}  requests {:>6}  total_ms {:>9.3}",
+            r.config, r.clients, r.requests, r.total_ms
+        );
+    }
+    let violations = check_obs(&fresh, &baseline);
+    if violations.is_empty() {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: FAIL {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 /// Extract the targets of inline markdown links (`[text](target)` and
 /// `![alt](target)`), dropping external schemes, pure anchors, and any
 /// `#fragment` / `"title"` suffix.
@@ -1182,6 +1378,13 @@ fn main() -> ExitCode {
                 .get(2)
                 .map_or("BENCH_wal_baseline.json", String::as_str);
             return run_wal_gate(fresh, base, bless);
+        }
+        Some("obs") => {
+            let fresh = args.get(1).map_or("BENCH_obs.json", String::as_str);
+            let base = args
+                .get(2)
+                .map_or("BENCH_obs_baseline.json", String::as_str);
+            return run_obs_gate(fresh, base, bless);
         }
         _ => {}
     }
@@ -1634,6 +1837,78 @@ mod tests {
         let v = check_wal(&missing, &base);
         assert!(
             v.iter().any(|m| m.contains("batch: missing from fresh")),
+            "{v:?}"
+        );
+    }
+
+    fn obs(config: &str, total_ms: f64) -> ObsRow {
+        ObsRow {
+            config: config.into(),
+            clients: 8,
+            requests: 1600,
+            commands: 1280,
+            queries: 320,
+            total_ms,
+        }
+    }
+
+    #[test]
+    fn parses_obs_snapshot_output() {
+        let src = r#"[{"config":"telemetry_off","clients":8,"requests":1600,
+            "commands":1280,"queries":320,"total_ms":120.500,"cps":13278.0}]"#;
+        let rows = parse_obs_rows(src, "test").unwrap();
+        assert_eq!(rows, vec![obs("telemetry_off", 120.5)]);
+        assert!(parse_obs_rows("[{\"config\":1}]", "test").is_err());
+    }
+
+    #[test]
+    fn obs_gate_passes_within_overhead_band() {
+        let fresh = vec![obs("telemetry_off", 100.0), obs("telemetry_on", 109.0)];
+        assert!(check_obs(&fresh, &fresh).is_empty());
+        // blessing from scratch passes too
+        assert!(check_obs(&fresh, &[]).is_empty());
+        // absolute wall clock may drift arbitrarily across runs — only the
+        // on/off ratio within the fresh file is held
+        let slow = vec![obs("telemetry_off", 900.0), obs("telemetry_on", 950.0)];
+        assert!(check_obs(&slow, &fresh).is_empty());
+    }
+
+    #[test]
+    fn obs_gate_fails_on_overhead_and_inconsistency() {
+        let base = vec![obs("telemetry_off", 100.0), obs("telemetry_on", 105.0)];
+        // 20% overhead breaches the 10% band
+        let costly = vec![obs("telemetry_off", 100.0), obs("telemetry_on", 120.0)];
+        let v = check_obs(&costly, &base);
+        assert!(v.iter().any(|m| m.contains("telemetry overhead")), "{v:?}");
+        // requests must split exactly into commands + queries
+        let mut torn = base.clone();
+        torn[0].commands = 1279;
+        let v = check_obs(&torn, &base);
+        assert!(v.iter().any(|m| m.contains("!= 1600 requests")), "{v:?}");
+        // both configs must be present
+        let v = check_obs(&base[..1], &base);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("telemetry_on: missing from fresh")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn obs_gate_fails_on_count_drift() {
+        let base = vec![obs("telemetry_off", 100.0), obs("telemetry_on", 105.0)];
+        let mut drifted = base.clone();
+        drifted[1].requests = 1590;
+        drifted[1].commands = 1270;
+        let v = check_obs(&drifted, &base);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("requests changed 1600 -> 1590")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|m| m.contains("commands changed 1280 -> 1270")),
             "{v:?}"
         );
     }

@@ -136,8 +136,26 @@ fn run_plan() {
 }
 
 fn run_obs() {
-    println!("== OBS: observed 2-variable workload → BENCH_obs.json ==");
-    let json = measure::obs_snapshot(50, 200);
+    println!("== OBS: server telemetry overhead (on vs off) → BENCH_obs.json ==");
+    println!("(8-client serve workload, min of 3 runs per config; gate holds on/off ≤ 1.10)");
+    println!(
+        "{:>15} | {:>9} {:>10} {:>10}",
+        "config", "requests", "total ms", "cps"
+    );
+    let rows = ariel_bench::serve::obs_overhead_table(8, 3);
+    for r in &rows {
+        println!(
+            "{:>15} | {:>9} {:>10} {:>10.1}",
+            r.config,
+            r.requests,
+            ms(r.total),
+            r.requests as f64 / r.total.as_secs_f64().max(1e-12),
+        );
+    }
+    let off = rows[0].total.as_secs_f64();
+    let on = rows[1].total.as_secs_f64();
+    println!("overhead: {:+.1}%", (on / off.max(1e-12) - 1.0) * 100.0);
+    let json = ariel_bench::serve::obs_json(&rows);
     let path = "BENCH_obs.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path} ({} bytes)", json.len()),

@@ -132,6 +132,103 @@ pub fn serve_table(client_counts: &[usize]) -> Vec<ServeRow> {
     client_counts.iter().map(|&c| serve_row(c)).collect()
 }
 
+/// One row of the telemetry-overhead benchmark (`paper_tables -- obs`):
+/// the serve workload with the server's telemetry layer on or off.
+#[derive(Debug, Clone)]
+pub struct ObsRow {
+    /// `"telemetry_off"` or `"telemetry_on"`.
+    pub config: &'static str,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests issued (deterministic for a client count).
+    pub requests: u64,
+    /// `command` frames answered.
+    pub commands: u64,
+    /// `query` frames answered.
+    pub queries: u64,
+    /// Best (minimum) wall-clock over the measured repetitions.
+    pub total: Duration,
+}
+
+/// Drive the standard serve workload once under `options` and return the
+/// wall clock plus the server's counters.
+fn serve_once(options: ServerOptions, clients: usize) -> (Duration, ariel_server::ServerStats) {
+    let server = Server::bind("127.0.0.1:0", serve_db(), options).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for client in 0..clients {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            for i in 0..COMMANDS_PER_CLIENT {
+                request(&mut c, client, i).expect("all-valid workload");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let total = start.elapsed();
+    let (stats, _engine) = handle.shutdown();
+    (total, stats)
+}
+
+/// Measure the telemetry overhead: the same workload with telemetry off
+/// and on, `reps` repetitions each, keeping the *minimum* wall clock per
+/// config (the least-noise estimate — `bench_gate obs` holds the on/off
+/// ratio under 10%).
+pub fn obs_overhead_table(clients: usize, reps: usize) -> Vec<ObsRow> {
+    [("telemetry_off", false), ("telemetry_on", true)]
+        .iter()
+        .map(|&(config, telemetry)| {
+            let mut best: Option<(Duration, ariel_server::ServerStats)> = None;
+            for _ in 0..reps.max(1) {
+                let options = ServerOptions {
+                    telemetry,
+                    ..Default::default()
+                };
+                let (total, stats) = serve_once(options, clients);
+                if best.as_ref().map_or(true, |(b, _)| total < *b) {
+                    best = Some((total, stats));
+                }
+            }
+            let (total, stats) = best.expect("reps >= 1");
+            ObsRow {
+                config,
+                clients,
+                requests: stats.commands + stats.queries,
+                commands: stats.commands,
+                queries: stats.queries,
+                total,
+            }
+        })
+        .collect()
+}
+
+/// Render obs rows as the flat JSON array `bench_gate obs` parses.
+pub fn obs_json(rows: &[ObsRow]) -> String {
+    let mut json = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"config\":\"{}\",\"clients\":{},\"requests\":{},\"commands\":{},\
+             \"queries\":{},\"total_ms\":{:.3},\"cps\":{:.1}}}",
+            r.config,
+            r.clients,
+            r.requests,
+            r.commands,
+            r.queries,
+            r.total.as_secs_f64() * 1e3,
+            r.requests as f64 / r.total.as_secs_f64().max(1e-12),
+        ));
+    }
+    json.push(']');
+    json
+}
+
 /// Commands per second for a row.
 pub fn cps(r: &ServeRow) -> f64 {
     r.requests as f64 / r.total.as_secs_f64().max(1e-12)
@@ -168,6 +265,27 @@ pub fn serve_json(rows: &[ServeRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn obs_overhead_rows_shape() {
+        let rows = obs_overhead_table(2, 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].config, "telemetry_off");
+        assert_eq!(rows[1].config, "telemetry_on");
+        for r in &rows {
+            assert_eq!(r.requests, (2 * COMMANDS_PER_CLIENT) as u64);
+            // 8 of every 10 requests are commands, 2 are queries
+            assert_eq!(r.commands, (2 * COMMANDS_PER_CLIENT * 8 / 10) as u64);
+            assert_eq!(r.queries, (2 * COMMANDS_PER_CLIENT * 2 / 10) as u64);
+            assert!(r.total > Duration::ZERO);
+        }
+        let json = obs_json(&rows);
+        assert!(
+            json.starts_with("[{\"config\":\"telemetry_off\","),
+            "{json}"
+        );
+        assert!(json.contains("\"cps\":"), "{json}");
+    }
 
     #[test]
     fn serve_row_shape() {

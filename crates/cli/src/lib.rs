@@ -7,12 +7,84 @@
 use ariel::query::CmdOutput;
 use ariel::storage::Value;
 use ariel::Ariel;
-use ariel_server::{Server, ServerOptions};
+use ariel_server::{Server, ServerOptions, SlowLog};
 
 pub use ariel::ArielResult;
+pub use ariel_server::LogLevel;
 
 /// Re-exported engine output type.
 pub type Output = CmdOutput;
+
+/// Slow-log slots the shell keeps (`\slowlog`).
+const SHELL_SLOW_CAPACITY: usize = 16;
+
+/// REPL state beyond the engine itself: a client-side slow-command log
+/// over everything executed in this shell (the server keeps its own; see
+/// `docs/OBSERVABILITY.md`).
+pub struct Shell {
+    /// The shell's database.
+    pub db: Ariel,
+    slow: SlowLog,
+}
+
+impl Shell {
+    /// Wrap an engine in shell state.
+    pub fn new(db: Ariel) -> Shell {
+        Shell {
+            db,
+            slow: SlowLog::new(SHELL_SLOW_CAPACITY, 0),
+        }
+    }
+
+    /// Execute one line of shell input, timing non-meta statements into
+    /// the shell's slow log. Same contract as [`dispatch`].
+    pub fn dispatch(&mut self, line: &str) -> ShellAction {
+        let trimmed = line.trim();
+        if let Some(meta) = trimmed.strip_prefix('\\') {
+            if meta.split_whitespace().next() == Some("slowlog") {
+                return slowlog_command(&self.slow, meta);
+            }
+        }
+        let statement =
+            !trimmed.is_empty() && !trimmed.starts_with('\\') && !trimmed.starts_with('#');
+        let t0 = std::time::Instant::now();
+        let action = dispatch(&mut self.db, line);
+        if statement {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            self.slow
+                .record(0, ariel_server::Opcode::Command, dur_ns, trimmed);
+        }
+        action
+    }
+}
+
+/// Render `\slowlog [clear]` against a slow log.
+fn slowlog_command(slow: &SlowLog, meta: &str) -> ShellAction {
+    let mut parts = meta.split_whitespace();
+    parts.next(); // "slowlog"
+    match parts.next() {
+        Some("clear") => {
+            slow.clear();
+            ShellAction::Text("slow log cleared\n".into())
+        }
+        Some(_) => ShellAction::Text("usage: \\slowlog [clear]\n".into()),
+        None => {
+            let entries = slow.entries();
+            if entries.is_empty() {
+                return ShellAction::Text("(slow log empty)\n".into());
+            }
+            let mut text = String::new();
+            for e in &entries {
+                text.push_str(&format!("{:>12.3} ms  {}\n", e.dur_ns as f64 / 1e6, e.text));
+            }
+            text.push_str(&format!(
+                "({} slowest statement(s) this session)\n",
+                entries.len()
+            ));
+            ShellAction::Text(text)
+        }
+    }
+}
 
 /// Result of one shell input line.
 #[derive(Debug, PartialEq)]
@@ -220,7 +292,11 @@ fn meta_command(db: &mut Ariel, meta: &str) -> ShellAction {
                 Err(e) => ShellAction::Text(format!("error: {e}\n")),
             }
         }
-        Some("metrics") => ShellAction::Text(format!("{}\n", db.metrics_json())),
+        Some("metrics") => match parts.next() {
+            None => ShellAction::Text(format!("{}\n", db.metrics_json())),
+            Some("prom") => ShellAction::Text(db.metrics_prometheus()),
+            Some(_) => ShellAction::Text("usage: \\metrics [prom]\n".into()),
+        },
         Some("observe") => match parts.next() {
             Some("on") => {
                 db.set_observability(true);
@@ -442,6 +518,8 @@ Meta commands:
                     write a snapshot to <dir>, reset its write-ahead log,
                     and log further commits there (docs/DURABILITY.md)
   \metrics          full metrics snapshot as JSON
+  \metrics prom     the same snapshot in Prometheus text exposition
+  \slowlog [clear]  the slowest statements this shell has executed
   \stats            engine and network statistics
   \stats bytes      per-memory byte breakdown (alpha/beta/pnode/selnet,
                     symbol table, arena reuse counters)
@@ -681,6 +759,58 @@ mod tests {
         let out = db2.query("retrieve (t.x)").unwrap();
         assert_eq!(out.rows.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_prom_meta_command() {
+        let mut db = shell_db();
+        dispatch(&mut db, r#"append t (x = 1, name = "m")"#);
+        let ShellAction::Text(t) = dispatch(&mut db, "\\metrics prom") else {
+            panic!()
+        };
+        assert!(
+            t.contains("# TYPE ariel_engine_transitions_total counter"),
+            "{t}"
+        );
+        assert!(t.contains("ariel_engine_transitions_total 1"), "{t}");
+        assert!(t.contains("ariel_wal_attached 0"), "{t}");
+        let ShellAction::Text(t) = dispatch(&mut db, "\\metrics nope") else {
+            panic!()
+        };
+        assert!(t.starts_with("usage:"), "{t}");
+        // bare \metrics still prints JSON
+        let ShellAction::Text(t) = dispatch(&mut db, "\\metrics") else {
+            panic!()
+        };
+        assert!(t.starts_with("{\"engine\":"), "{t}");
+    }
+
+    #[test]
+    fn shell_slowlog_records_statements() {
+        let mut shell = Shell::new(shell_db());
+        let ShellAction::Text(t) = shell.dispatch("\\slowlog") else {
+            panic!()
+        };
+        assert!(t.contains("(slow log empty)"), "{t}");
+        shell.dispatch(r#"append t (x = 1, name = "slow")"#);
+        shell.dispatch("retrieve (t.all)");
+        shell.dispatch("\\stats"); // meta commands are not timed
+        let ShellAction::Text(t) = shell.dispatch("\\slowlog") else {
+            panic!()
+        };
+        assert!(t.contains("append t"), "{t}");
+        assert!(t.contains("retrieve (t.all)"), "{t}");
+        assert!(t.contains("ms"), "{t}");
+        assert!(t.contains("(2 slowest statement(s) this session)"), "{t}");
+        assert!(!t.contains("\\stats"), "{t}");
+        let ShellAction::Text(t) = shell.dispatch("\\slowlog clear") else {
+            panic!()
+        };
+        assert!(t.contains("cleared"), "{t}");
+        let ShellAction::Text(t) = shell.dispatch("\\slowlog") else {
+            panic!()
+        };
+        assert!(t.contains("(slow log empty)"), "{t}");
     }
 
     #[test]

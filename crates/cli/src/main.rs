@@ -22,7 +22,7 @@
 //! forces execution.
 
 use ariel::{Ariel, Durability, EngineOptions};
-use ariel_cli::{dispatch, ShellAction, HELP};
+use ariel_cli::{LogLevel, Shell, ShellAction, HELP};
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 
@@ -136,15 +136,56 @@ fn run_seed_script(db: &mut Ariel, path: &Path) {
     }
 }
 
+/// Strip the serve-mode telemetry/logging flags out of `args` into a
+/// [`ariel_server::ServerOptions`], returning the remaining positional
+/// arguments. Exits on a malformed operand, like
+/// [`split_durability_args`].
+fn split_server_args(args: &[String]) -> (Vec<String>, ariel_server::ServerOptions) {
+    let mut rest = Vec::new();
+    let mut options = ariel_server::ServerOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--log-level" => match it.next().map(String::as_str).and_then(LogLevel::parse) {
+                Some(level) => options.log_level = level,
+                None => {
+                    eprintln!("--log-level needs one of: off, error, info, debug");
+                    std::process::exit(2);
+                }
+            },
+            "--log-file" => match it.next() {
+                Some(path) => options.log_file = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--log-file needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--slow-threshold-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => options.slow_threshold_ns = ms * 1_000_000,
+                None => {
+                    eprintln!("--slow-threshold-ms needs an integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--no-telemetry" => options.telemetry = false,
+            _ => rest.push(a.clone()),
+        }
+    }
+    (rest, options)
+}
+
 /// `ariel-repl serve <addr> [script.arl]`: seed an engine from the
 /// optional script (or recover one with `--recover`), then serve it over
 /// TCP until a client sends a `shutdown` frame (see docs/SERVER.md for
 /// the wire protocol).
 fn serve_main(args: &[String]) {
-    let (rest, dur) = split_durability_args(args);
+    let (args, server_options) = split_server_args(args);
+    let (rest, dur) = split_durability_args(&args);
     let Some(addr) = rest.first() else {
         eprintln!(
-            "usage: ariel-repl serve <addr> [script.arl] [--recover <dir>] [--durability <mode>]"
+            "usage: ariel-repl serve <addr> [script.arl] [--recover <dir>] [--durability <mode>] \
+             [--log-level off|error|info|debug] [--log-file <file>] \
+             [--slow-threshold-ms <n>] [--no-telemetry]"
         );
         std::process::exit(2);
     };
@@ -153,8 +194,7 @@ fn serve_main(args: &[String]) {
             run_seed_script(db, Path::new(path));
         }
     });
-    let server = match ariel_server::Server::bind(addr, db, ariel_server::ServerOptions::default())
-    {
+    let server = match ariel_server::Server::bind(addr, db, server_options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
@@ -195,7 +235,7 @@ fn main() {
         .as_ref()
         .map(|d| d.join("snapshot.bin").exists())
         .unwrap_or(false);
-    let mut db = build_engine(&dur, |_| {});
+    let mut shell = Shell::new(build_engine(&dur, |_| {}));
 
     // with a snapshot recovered the script's effects are already in the
     // engine; re-running it would double-append
@@ -208,7 +248,7 @@ fn main() {
             }
         };
         // scripts execute whole (the parser handles multi-command text)
-        match dispatch(&mut db, &src) {
+        match shell.dispatch(&src) {
             ShellAction::Text(t) => print!("{t}"),
             ShellAction::Quit | ShellAction::Silent => {}
         }
@@ -240,7 +280,7 @@ fn main() {
         let trimmed = line.trim_end();
         // meta commands always execute immediately
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            match dispatch(&mut db, trimmed) {
+            match shell.dispatch(trimmed) {
                 ShellAction::Text(t) => print!("{t}"),
                 ShellAction::Quit => break,
                 ShellAction::Silent => {}
@@ -270,7 +310,7 @@ fn main() {
             }
         }
         let input = std::mem::take(&mut buffer);
-        match dispatch(&mut db, &input) {
+        match shell.dispatch(&input) {
             ShellAction::Text(t) => print!("{t}"),
             ShellAction::Quit => break,
             ShellAction::Silent => {}

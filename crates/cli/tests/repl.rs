@@ -96,6 +96,24 @@ fn script_mode_runs_file_and_exits() {
 }
 
 #[test]
+fn repl_metrics_prom_and_slowlog() {
+    let out = run_repl(
+        "create t (x = int)\n\
+         append t (x = 1)\n\
+         \\metrics prom\n\
+         \\slowlog\n\
+         \\q\n",
+    );
+    assert!(
+        out.contains("# TYPE ariel_engine_transitions_total counter"),
+        "{out}"
+    );
+    assert!(out.contains("ariel_engine_transitions_total 1"), "{out}");
+    assert!(out.contains("slowest statement(s) this session"), "{out}");
+    assert!(out.contains("append t (x = 1)"), "{out}");
+}
+
+#[test]
 fn serve_subcommand_end_to_end() {
     use ariel_server::Client;
     use std::io::BufRead;
@@ -123,6 +141,59 @@ fn serve_subcommand_end_to_end() {
     assert!(status.success());
     let summary = lines.next().unwrap().unwrap();
     assert!(summary.starts_with("server stopped:"), "{summary}");
+}
+
+#[test]
+fn serve_subcommand_log_file_and_http_metrics() {
+    use ariel_server::Client;
+    use std::io::{BufRead, Read as _};
+
+    let log_path = std::env::temp_dir().join(format!("ariel_serve_log_{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ariel-repl"))
+        .args([
+            "serve",
+            "127.0.0.1:0",
+            "--log-level",
+            "info",
+            "--log-file",
+            log_path.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ariel-repl serve");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner.strip_prefix("serving on ").unwrap().to_string();
+
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    c.command("create t (x = int)").unwrap();
+    c.command("append t (x = 1)").unwrap();
+
+    // the curl path: plain HTTP GET against the same listener
+    let mut s = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    std::io::Write::write_all(&mut s, b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    assert!(
+        response.contains("ariel_server_commands_total 2"),
+        "{response}"
+    );
+
+    c.shutdown().unwrap();
+    assert!(child.wait().unwrap().success());
+
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let _ = std::fs::remove_file(&log_path);
+    assert!(log.contains("event=connect"), "{log}");
+    assert!(log.contains("event=http_metrics"), "{log}");
+    assert!(log.contains("event=shutdown"), "{log}");
+    assert!(log.contains("level=info"), "{log}");
+    for line in log.lines() {
+        assert!(line.starts_with("ts="), "key=value shape: {line}");
+    }
 }
 
 #[test]

@@ -19,6 +19,23 @@ fn prec(op: BinOp) -> u8 {
     }
 }
 
+/// Render a string literal with the lexer's escape sequences (`\"`, `\\`,
+/// `\n`, `\t`), so rendered command texts — including those replayed from
+/// the WAL — re-lex to the same value.
+fn fmt_str_literal(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '\\' => write!(f, "\\\\")?,
+            '"' => write!(f, "\\\"")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
 fn fmt_expr(e: &Expr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match e {
         Expr::Literal(Literal::Int(i)) => write!(f, "{i}"),
@@ -29,7 +46,7 @@ fn fmt_expr(e: &Expr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 write!(f, "{x}")
             }
         }
-        Expr::Literal(Literal::Str(s)) => write!(f, "\"{s}\""),
+        Expr::Literal(Literal::Str(s)) => fmt_str_literal(s, f),
         Expr::Literal(Literal::Bool(b)) => write!(f, "{b}"),
         Expr::Attr {
             var,
@@ -371,6 +388,35 @@ mod tests {
     }
 
     #[test]
+    fn string_escapes_roundtrip() {
+        // values that only survive because the renderer escapes what the
+        // lexer decodes — the WAL replay path depends on this closure
+        for src in [
+            r#"emp.name = "quo\"te""#,
+            r#"emp.name = "back\\slash""#,
+            r#"emp.name = "line\none""#,
+            r#"emp.name = "tab\tstop""#,
+            r#"append to emp (name = "a\"b\\c\nd")"#,
+        ] {
+            roundtrip_expr_or_cmd(src);
+        }
+        // rendering normalizes a single-quoted literal into escaped
+        // double-quoted form
+        let e = parse_expr("emp.name = 'it\"s'").expect("parse");
+        let printed = e.to_string();
+        assert!(printed.contains(r#""it\"s""#), "{printed}");
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+
+    fn roundtrip_expr_or_cmd(src: &str) {
+        if src.starts_with("append") {
+            roundtrip_cmd(src);
+        } else {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
     fn precedence_preserved() {
         // and/or mix must not change meaning when printed
         let e = parse_expr("emp.a = 1 or emp.b = 2 and emp.c = 3").unwrap();
@@ -434,7 +480,9 @@ mod proptests {
         prop_oneof![
             (-1000i64..1000).prop_map(|i| Expr::Literal(Literal::Int(i))),
             (-100.0f64..100.0).prop_map(|x| Expr::Literal(Literal::Float(x))),
-            "[a-zA-Z0-9 ]{0,8}".prop_map(|s| Expr::Literal(Literal::Str(s))),
+            // includes the escape-worthy characters so proptest exercises
+            // the lexer/renderer escape closure
+            "[a-zA-Z0-9 \"'\\\\\n\t]{0,8}".prop_map(|s| Expr::Literal(Literal::Str(s))),
             any::<bool>().prop_map(|b| Expr::Literal(Literal::Bool(b))),
         ]
     }

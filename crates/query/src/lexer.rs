@@ -231,22 +231,60 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
             '"' | '\'' => {
                 let quote = bytes[i];
                 i += 1;
-                let start = i;
-                while i < bytes.len() && bytes[i] != quote {
-                    i += 1;
+                // escape sequences (`\"`, `\'`, `\\`, `\n`, `\t`) are
+                // decoded here and re-encoded by the display layer, so
+                // command texts round-trip through the WAL (see
+                // `docs/DURABILITY.md`). Runs without a backslash are
+                // copied as whole slices to keep UTF-8 validation cheap.
+                let mut s = String::new();
+                let mut run = i;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(QueryError::Lex {
+                            pos,
+                            msg: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == quote || bytes[i] == b'\\' {
+                        s.push_str(std::str::from_utf8(&bytes[run..i]).map_err(|_| {
+                            QueryError::Lex {
+                                pos,
+                                msg: "invalid utf-8 in string literal".into(),
+                            }
+                        })?);
+                        if bytes[i] == quote {
+                            break;
+                        }
+                        let esc_pos = i;
+                        s.push(match bytes.get(i + 1) {
+                            Some(b'\\') => '\\',
+                            Some(b'"') => '"',
+                            Some(b'\'') => '\'',
+                            Some(b'n') => '\n',
+                            Some(b't') => '\t',
+                            Some(&other) => {
+                                return Err(QueryError::Lex {
+                                    pos: esc_pos,
+                                    msg: if other.is_ascii() && !other.is_ascii_control() {
+                                        format!("unknown escape `\\{}`", other as char)
+                                    } else {
+                                        format!("unknown escape `\\x{other:02x}`")
+                                    },
+                                });
+                            }
+                            None => {
+                                return Err(QueryError::Lex {
+                                    pos,
+                                    msg: "unterminated string literal".into(),
+                                });
+                            }
+                        });
+                        i += 2;
+                        run = i;
+                    } else {
+                        i += 1;
+                    }
                 }
-                if i >= bytes.len() {
-                    return Err(QueryError::Lex {
-                        pos,
-                        msg: "unterminated string literal".into(),
-                    });
-                }
-                let s = std::str::from_utf8(&bytes[start..i])
-                    .map_err(|_| QueryError::Lex {
-                        pos,
-                        msg: "invalid utf-8 in string literal".into(),
-                    })?
-                    .to_string();
                 out.push(Token {
                     kind: TokenKind::Str(s),
                     pos,
@@ -407,6 +445,45 @@ mod tests {
     #[test]
     fn unterminated_string_errors() {
         assert!(matches!(lex("\"oops"), Err(QueryError::Lex { .. })));
+        // a trailing backslash can't hide the missing close quote
+        assert!(matches!(lex("\"oops\\"), Err(QueryError::Lex { .. })));
+        assert!(matches!(lex("\"oops\\\""), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(
+            kinds(r#""a\"b" "c\\d" "e\nf" "g\th" 'i\'j'"#),
+            vec![
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("c\\d".into()),
+                TokenKind::Str("e\nf".into()),
+                TokenKind::Str("g\th".into()),
+                TokenKind::Str("i'j".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_escape_is_a_structured_error() {
+        let err = lex(r#""a\qb""#).unwrap_err();
+        match err {
+            QueryError::Lex { pos, msg } => {
+                assert_eq!(pos, 2, "error points at the backslash");
+                assert!(msg.contains("\\q"), "{msg}");
+            }
+            other => panic!("expected Lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escaped_quote_of_the_other_kind_is_literal() {
+        // inside a double-quoted string, `\'` decodes to a plain quote
+        assert_eq!(
+            kinds(r#""a\'b""#),
+            vec![TokenKind::Str("a'b".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub enum ClientError {
     },
     /// The server broke the protocol (e.g. an unexpected opcode).
     Protocol(String),
+    /// A frame that must carry UTF-8 text (metrics) did not.
+    Utf8 {
+        /// The opcode of the offending frame.
+        opcode: Opcode,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -36,6 +41,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Utf8 { opcode } => {
+                write!(f, "non-UTF-8 payload in {opcode:?} frame")
+            }
         }
     }
 }
@@ -119,11 +127,24 @@ impl Client {
 
     /// Fetch combined server + engine metrics as a JSON string.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        write_frame(&mut self.stream, Opcode::Metrics, &[])?;
+        self.metrics_round_trip(Opcode::Metrics)
+    }
+
+    /// Fetch the metrics snapshot in Prometheus text-exposition format.
+    pub fn metrics_prom(&mut self) -> Result<String, ClientError> {
+        self.metrics_round_trip(Opcode::MetricsProm)
+    }
+
+    /// Send a metrics request and decode the textual reply. Either
+    /// metrics opcode is accepted back — a server may answer a JSON
+    /// metrics request from an older client with the opcode it knows.
+    fn metrics_round_trip(&mut self, request: Opcode) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, request, &[])?;
         let frame = read_frame(&mut self.stream)?;
         match frame.opcode {
-            Opcode::Metrics => String::from_utf8(frame.payload)
-                .map_err(|_| ClientError::Protocol("non-UTF-8 metrics payload".into())),
+            op @ (Opcode::Metrics | Opcode::MetricsProm) => {
+                String::from_utf8(frame.payload).map_err(|_| ClientError::Utf8 { opcode: op })
+            }
             Opcode::Error => Err(decode_error(&frame.payload).map_or_else(
                 ClientError::from,
                 |(code, message)| ClientError::Server { code, message },

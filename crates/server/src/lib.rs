@@ -34,9 +34,11 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
     ErrorCode, Frame, FrameError, Opcode, ResultBody, Table, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::{BindError, Server, ServerHandle, ServerOptions, ServerStats, BATCH_BUCKETS};
+pub use telemetry::{LogLevel, Logger, SlowEntry, SlowLog, Telemetry};

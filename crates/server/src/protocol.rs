@@ -28,6 +28,7 @@
 //! | `0x05` | error    | s → c     | `code:u8` + UTF-8 message |
 //! | `0x06` | metrics  | both      | client: empty; server: UTF-8 JSON |
 //! | `0x07` | shutdown | c → s     | empty |
+//! | `0x08` | metrics-prom | both  | client: empty; server: UTF-8 Prometheus text exposition |
 //!
 //! `command` and `query` differ only in intent (the server counts them
 //! separately and rejects a `query` that is not a `retrieve`); both are
@@ -76,6 +77,9 @@ pub enum Opcode {
     Metrics = 0x06,
     /// Ask the server to stop accepting and drain.
     Shutdown = 0x07,
+    /// Metrics request (client, empty) / snapshot in Prometheus text
+    /// exposition format (server, UTF-8).
+    MetricsProm = 0x08,
 }
 
 impl Opcode {
@@ -89,6 +93,7 @@ impl Opcode {
             0x05 => Some(Opcode::Error),
             0x06 => Some(Opcode::Metrics),
             0x07 => Some(Opcode::Shutdown),
+            0x08 => Some(Opcode::MetricsProm),
             _ => None,
         }
     }
@@ -470,6 +475,7 @@ mod tests {
             Opcode::Error,
             Opcode::Metrics,
             Opcode::Shutdown,
+            Opcode::MetricsProm,
         ] {
             let f = roundtrip_frame(op, b"payload bytes");
             assert_eq!(f.opcode, op);

@@ -46,16 +46,17 @@ use crate::protocol::{
     decode_hello_client, encode_error, encode_hello_server, encode_result_frame, write_frame,
     ErrorCode, Opcode, ResultBody, Table, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
+use crate::telemetry::{opcode_label, LogLevel, Logger, Telemetry};
 use ariel::query::{parse_command, parse_script, CmdOutput, Command};
 use ariel::storage::Value;
 use ariel::Ariel;
 use std::collections::VecDeque;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocked read/accept waits before re-checking the shutdown
 /// flag. Purely a shutdown-latency bound — frames are handled the moment
@@ -68,11 +69,36 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Server configuration (the engine's own knobs live in
 /// [`ariel::EngineOptions`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Executor worker threads; 0 = one per available core, capped at 8
     /// (the engine lock serializes transitions, so more buys nothing).
     pub workers: usize,
+    /// Record per-opcode/per-session latency telemetry and the slow log
+    /// (default `true`; off means no clock reads on the request path).
+    pub telemetry: bool,
+    /// Slow-command log capacity (the N slowest commands kept).
+    pub slow_capacity: usize,
+    /// Slow-command threshold in nanoseconds (0 = every command
+    /// competes for a slow-log slot, but nothing is *logged* as slow).
+    pub slow_threshold_ns: u64,
+    /// Structured-logging verbosity (`--log-level`); default off.
+    pub log_level: LogLevel,
+    /// Structured-logging destination (`--log-file`); `None` = stderr.
+    pub log_file: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            workers: 0,
+            telemetry: true,
+            slow_capacity: 32,
+            slow_threshold_ns: 0,
+            log_level: LogLevel::Off,
+            log_file: None,
+        }
+    }
 }
 
 /// Buckets of the batch-size histogram: group sizes (in *entries*) of
@@ -173,6 +199,8 @@ struct Shared {
     engine_errors: AtomicU64,
     protocol_errors: AtomicU64,
     batch: Mutex<BatchStats>,
+    telemetry: Telemetry,
+    logger: Logger,
 }
 
 #[derive(Default)]
@@ -276,6 +304,24 @@ impl Server {
             }
         };
         let (listener, addr) = listener;
+        let logger = match (&options.log_file, options.log_level) {
+            (_, LogLevel::Off) => Logger::off(),
+            (Some(path), level) => match Logger::file(level, path) {
+                Ok(l) => l,
+                Err(source) => {
+                    return Err(BindError {
+                        source,
+                        engine: Box::new(engine),
+                    })
+                }
+            },
+            (None, level) => Logger::stderr(level),
+        };
+        let telemetry = Telemetry::new(
+            options.telemetry,
+            options.slow_capacity,
+            options.slow_threshold_ns,
+        );
         let serve_batch = engine.options().serve_batch.max(1);
         let workers = match options.workers {
             0 => std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
@@ -297,6 +343,8 @@ impl Server {
                 engine_errors: AtomicU64::new(0),
                 protocol_errors: AtomicU64::new(0),
                 batch: Mutex::new(BatchStats::default()),
+                telemetry,
+                logger,
             }),
             workers,
         })
@@ -463,7 +511,12 @@ fn read_session_frame(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
     if let Err(out) = read_full(stream, &mut len_buf, shared) {
         return out;
     }
-    let len = u32::from_be_bytes(len_buf);
+    read_frame_body(stream, u32::from_be_bytes(len_buf), shared)
+}
+
+/// Read the rest of a frame whose 4-byte length prefix is already in hand
+/// (the handshake reads the prefix itself so it can sniff `GET ` first).
+fn read_frame_body(stream: &mut TcpStream, len: u32, shared: &Shared) -> ReadOutcome {
     if len == 0 {
         return ReadOutcome::Violation("zero-length frame".into());
     }
@@ -497,35 +550,80 @@ fn protocol_error(stream: &mut TcpStream, shared: &Shared, msg: &str) {
     // connection closes when the reader returns
 }
 
-fn reader_loop(mut stream: TcpStream, session: u32, shared: &Arc<Shared>) {
+fn reader_loop(stream: TcpStream, session: u32, shared: &Arc<Shared>) {
+    let hello_done = reader_session(stream, session, shared);
+    if hello_done {
+        shared.logger.log(
+            LogLevel::Info,
+            "disconnect",
+            format_args!("session={session}"),
+        );
+    }
+}
+
+/// Drive one session to completion. Returns whether the handshake
+/// completed (so the wrapper logs `disconnect` only for real sessions).
+fn reader_session(mut stream: TcpStream, session: u32, shared: &Arc<Shared>) -> bool {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_QUANTUM));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
 
-    // handshake: the first frame must be a hello with our version
-    match read_session_frame(&mut stream, shared) {
+    // handshake: the first frame must be a hello with our version — but
+    // sniff the first 4 bytes first: an HTTP `GET ` (0x47455420, far past
+    // MAX_FRAME_LEN as a length prefix) is the Prometheus scrape shim
+    let mut len_buf = [0u8; 4];
+    if let Err(out) = read_full(&mut stream, &mut len_buf, shared) {
+        if let ReadOutcome::Violation(msg) = out {
+            protocol_error(&mut stream, shared, &msg);
+        }
+        return false;
+    }
+    if &len_buf == b"GET " {
+        serve_http_metrics(&mut stream, session, shared);
+        return false;
+    }
+    match read_frame_body(&mut stream, u32::from_be_bytes(len_buf), shared) {
         ReadOutcome::Frame(Opcode::Hello, payload) => match decode_hello_client(&payload) {
             Ok(v) if v == PROTOCOL_VERSION => {
                 if !send(&mut stream, Opcode::Hello, &encode_hello_server(session)) {
-                    return;
+                    return false;
                 }
             }
             Ok(v) => {
-                return protocol_error(
+                protocol_error(
                     &mut stream,
                     shared,
                     &format!(
                         "protocol version {v} not supported (server speaks {PROTOCOL_VERSION})"
                     ),
                 );
+                return false;
             }
-            Err(e) => return protocol_error(&mut stream, shared, &e.to_string()),
+            Err(e) => {
+                protocol_error(&mut stream, shared, &e.to_string());
+                return false;
+            }
         },
         ReadOutcome::Frame(_, _) => {
-            return protocol_error(&mut stream, shared, "expected hello as first frame");
+            protocol_error(&mut stream, shared, "expected hello as first frame");
+            return false;
         }
-        ReadOutcome::Violation(msg) => return protocol_error(&mut stream, shared, &msg),
-        ReadOutcome::Closed | ReadOutcome::Shutdown | ReadOutcome::Io => return,
+        ReadOutcome::Violation(msg) => {
+            protocol_error(&mut stream, shared, &msg);
+            return false;
+        }
+        ReadOutcome::Closed | ReadOutcome::Shutdown | ReadOutcome::Io => return false,
+    }
+    if shared.logger.enabled(LogLevel::Info) {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        shared.logger.log(
+            LogLevel::Info,
+            "connect",
+            format_args!("session={session} peer={peer}"),
+        );
     }
 
     let (reply_tx, reply_rx) = mpsc::channel::<(Opcode, Vec<u8>)>();
@@ -538,16 +636,19 @@ fn reader_loop(mut stream: TcpStream, session: u32, shared: &Arc<Shared>) {
                         Opcode::Error,
                         &encode_error(ErrorCode::ShuttingDown, "server is shutting down"),
                     );
-                    return;
+                    return true;
                 }
                 match opcode {
                     Opcode::Command | Opcode::Query => {
                         let src = match String::from_utf8(payload) {
                             Ok(s) => s,
                             Err(_) => {
-                                return protocol_error(&mut stream, shared, "non-UTF-8 source")
+                                protocol_error(&mut stream, shared, "non-UTF-8 source");
+                                return true;
                             }
                         };
+                        // latency bracket: enqueue → reply on the wire
+                        let t0 = shared.telemetry.start();
                         let kind = if opcode == Opcode::Command {
                             shared.commands.fetch_add(1, Ordering::Relaxed);
                             ReqKind::Command
@@ -567,16 +668,18 @@ fn reader_loop(mut stream: TcpStream, session: u32, shared: &Arc<Shared>) {
                                         reply: reply_tx.clone(),
                                     });
                                 }
+                                shared.telemetry.queue_push();
                                 shared.queue_cv.notify_one();
                                 // wait for the executor's reply, then put it
                                 // on the wire before reading the next frame
                                 match wait_reply(&reply_rx, shared) {
                                     Some((op, body)) => {
                                         if !send(&mut stream, op, &body) {
-                                            return;
+                                            return true;
                                         }
+                                        finish_request(shared, opcode, session, t0, &src);
                                     }
-                                    None => return,
+                                    None => return true,
                                 }
                             }
                             Err(msg) => {
@@ -586,46 +689,219 @@ fn reader_loop(mut stream: TcpStream, session: u32, shared: &Arc<Shared>) {
                                     Opcode::Error,
                                     &encode_error(ErrorCode::Engine, &msg),
                                 ) {
-                                    return;
+                                    return true;
                                 }
+                                finish_request(shared, opcode, session, t0, &src);
                             }
                         }
                     }
                     Opcode::Metrics => {
+                        shared.telemetry.count(Opcode::Metrics, session);
                         let engine_json = lock(&shared.engine)
                             .as_ref()
                             .expect("engine present while sessions run")
                             .metrics_json();
                         let json = format!(
-                            "{{\"server\":{},\"engine\":{}}}",
+                            "{{\"server\":{},\"telemetry\":{},\"engine\":{}}}",
                             shared.stats().to_json(),
+                            shared.telemetry.to_json(),
                             engine_json
                         );
                         if !send(&mut stream, Opcode::Metrics, json.as_bytes()) {
-                            return;
+                            return true;
+                        }
+                    }
+                    Opcode::MetricsProm => {
+                        shared.telemetry.count(Opcode::MetricsProm, session);
+                        let text = render_prometheus_all(shared);
+                        if !send(&mut stream, Opcode::MetricsProm, text.as_bytes()) {
+                            return true;
                         }
                     }
                     Opcode::Shutdown => {
+                        shared.telemetry.count(Opcode::Shutdown, session);
+                        shared.logger.log(
+                            LogLevel::Info,
+                            "shutdown",
+                            format_args!("session={session}"),
+                        );
                         let _ = send(&mut stream, Opcode::Result, &ResultBody::default().encode());
                         shared.request_shutdown();
-                        return;
+                        return true;
                     }
                     Opcode::Hello => {
-                        return protocol_error(&mut stream, shared, "duplicate hello");
+                        protocol_error(&mut stream, shared, "duplicate hello");
+                        return true;
                     }
                     Opcode::Result | Opcode::Error => {
-                        return protocol_error(
+                        protocol_error(
                             &mut stream,
                             shared,
                             "result/error frames are server-to-client only",
                         );
+                        return true;
                     }
                 }
             }
-            ReadOutcome::Violation(msg) => return protocol_error(&mut stream, shared, &msg),
-            ReadOutcome::Closed | ReadOutcome::Shutdown | ReadOutcome::Io => return,
+            ReadOutcome::Violation(msg) => {
+                protocol_error(&mut stream, shared, &msg);
+                return true;
+            }
+            ReadOutcome::Closed | ReadOutcome::Shutdown | ReadOutcome::Io => return true,
         }
     }
+}
+
+/// Record an answered request's latency and, when past the slow-log
+/// threshold, log it.
+fn finish_request(shared: &Shared, opcode: Opcode, session: u32, t0: Option<Instant>, src: &str) {
+    let dur_ns = shared.telemetry.observe(opcode, session, t0, src);
+    let threshold = shared.telemetry.slow.threshold_ns();
+    if threshold > 0 && dur_ns >= threshold && shared.logger.enabled(LogLevel::Info) {
+        let head: String = src.chars().take(crate::telemetry::SLOW_TEXT_CAP).collect();
+        shared.logger.log(
+            LogLevel::Info,
+            "slow_command",
+            format_args!(
+                "session={session} opcode={} dur_ns={dur_ns} src={head:?}",
+                opcode_label(opcode)
+            ),
+        );
+    }
+}
+
+/// The `GET /metrics` shim: a fresh connection that starts with `GET `
+/// instead of a frame length gets one Prometheus text-exposition response
+/// and is closed — enough for `curl` or a Prometheus scrape job, with no
+/// HTTP stack. The request head is drained (bounded) and ignored: every
+/// path serves the metrics document.
+fn serve_http_metrics(stream: &mut TcpStream, session: u32, shared: &Shared) {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    let mut idle_polls = 0u32;
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 || idle_polls > 80 {
+            return; // oversized or stalled request head: just close
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down() {
+                    return;
+                }
+                idle_polls += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    shared.logger.log(
+        LogLevel::Info,
+        "http_metrics",
+        format_args!("session={session}"),
+    );
+    let body = render_prometheus_all(shared);
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// The full Prometheus exposition: server request counters, batch-size
+/// distribution, telemetry families, then the engine's own families.
+fn render_prometheus_all(shared: &Shared) -> String {
+    use ariel::obs::{write_prom_family, write_prom_metric, write_prom_sample};
+    let mut out = String::new();
+    let stats = shared.stats();
+    write_prom_metric(
+        &mut out,
+        "ariel_server_sessions_total",
+        "counter",
+        "Sessions accepted over the server's lifetime.",
+        stats.sessions,
+    );
+    write_prom_metric(
+        &mut out,
+        "ariel_server_commands_total",
+        "counter",
+        "Command frames answered.",
+        stats.commands,
+    );
+    write_prom_metric(
+        &mut out,
+        "ariel_server_queries_total",
+        "counter",
+        "Query frames answered.",
+        stats.queries,
+    );
+    write_prom_metric(
+        &mut out,
+        "ariel_server_engine_errors_total",
+        "counter",
+        "Engine-level errors returned (session kept).",
+        stats.engine_errors,
+    );
+    write_prom_metric(
+        &mut out,
+        "ariel_server_protocol_errors_total",
+        "counter",
+        "Protocol violations (connection closed).",
+        stats.protocol_errors,
+    );
+    write_prom_metric(
+        &mut out,
+        "ariel_server_batches_total",
+        "counter",
+        "Combined transitions executed (groups, including size-1 groups).",
+        stats.batches,
+    );
+    write_prom_metric(
+        &mut out,
+        "ariel_server_batched_requests_total",
+        "counter",
+        "Requests that rode in a group of 2 or more.",
+        stats.batched_requests,
+    );
+    write_prom_metric(
+        &mut out,
+        "ariel_server_max_batch_entries",
+        "gauge",
+        "Largest group executed, in entries.",
+        stats.max_batch,
+    );
+    write_prom_family(
+        &mut out,
+        "ariel_server_batch_groups_total",
+        "counter",
+        "Executed groups by size bucket (entries per group).",
+    );
+    for (label, count) in ["1", "2", "3-4", "5-8", "9-16", "17+"]
+        .iter()
+        .zip(stats.batch_hist.iter())
+    {
+        write_prom_sample(
+            &mut out,
+            "ariel_server_batch_groups_total",
+            &format!("size=\"{label}\""),
+            *count,
+        );
+    }
+    shared.telemetry.render_prometheus(&mut out);
+    let engine_prom = lock(&shared.engine)
+        .as_ref()
+        .expect("engine present while sessions run")
+        .metrics_prometheus();
+    out.push_str(&engine_prom);
+    out
 }
 
 /// Block until the executor replies, polling the shutdown flag so a
@@ -698,6 +974,7 @@ fn executor_loop(shared: &Shared) {
             }
         };
         let Some(group) = group else { return };
+        shared.telemetry.queue_pop(group.len() as u64);
         if shared.shutting_down() {
             // drain: answer queued work with a shutting-down error rather
             // than mutating the engine while it is being torn down
@@ -730,6 +1007,11 @@ fn execute_group(shared: &Shared, group: &[Entry]) {
     if group.len() > 1 {
         // all batchable: one transition over the concatenated appends
         let all: Vec<Command> = group.iter().flat_map(|e| e.cmds.iter().cloned()).collect();
+        shared.logger.log(
+            LogLevel::Debug,
+            "coalesce",
+            format_args!("entries={} commands={}", group.len(), all.len()),
+        );
         match engine.execute_transition(&all) {
             Ok(outputs) => {
                 // notifications raised by the combined transition go to

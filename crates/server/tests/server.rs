@@ -8,7 +8,7 @@ use ariel_server::protocol::{
     PROTOCOL_VERSION,
 };
 use ariel_server::{Client, ClientError, Server, ServerHandle, ServerOptions};
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 
 /// A fresh engine with the test schema: a `kv` relation and an active
@@ -27,12 +27,11 @@ fn test_engine(serve_batch: usize) -> Ariel {
 }
 
 fn spawn_server(serve_batch: usize) -> (SocketAddr, ServerHandle) {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        test_engine(serve_batch),
-        ServerOptions::default(),
-    )
-    .unwrap();
+    spawn_server_with(serve_batch, ServerOptions::default())
+}
+
+fn spawn_server_with(serve_batch: usize, options: ServerOptions) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind("127.0.0.1:0", test_engine(serve_batch), options).unwrap();
     let addr = server.local_addr();
     (addr, server.spawn())
 }
@@ -328,6 +327,150 @@ fn metrics_frame_reports_server_and_engine() {
         json.contains("\"commands\":1"),
         "server half counts: {json}"
     );
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_prom_frame_is_valid_exposition() {
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+    c.command("append kv (k = 1, v = 100)").unwrap();
+    c.query("retrieve (kv.all)").unwrap();
+    let text = c.metrics_prom().unwrap();
+    for family in [
+        "# TYPE ariel_server_sessions_total counter",
+        "# TYPE ariel_server_requests_total counter",
+        "# TYPE ariel_server_request_duration_ns histogram",
+        "# TYPE ariel_server_batch_groups_total counter",
+        "# TYPE ariel_wal_fsyncs_total counter",
+        "# TYPE ariel_rule_firings_total counter",
+        "# TYPE ariel_engine_firings_total counter",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+    // the one above-threshold append fired the audit rule once
+    assert!(
+        text.contains("ariel_rule_firings_total{rule=\"big\"} 1"),
+        "per-rule firing counter: {text}"
+    );
+    // per-opcode latency histograms carry this session's two requests
+    assert!(
+        text.contains("ariel_server_request_duration_ns_count{opcode=\"command\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ariel_server_request_duration_ns_count{opcode=\"query\"} 1"),
+        "{text}"
+    );
+    // every line is a comment or a `name{labels} value` sample
+    for line in text.lines() {
+        assert!(
+            line.starts_with("# ") || line.split_whitespace().count() == 2,
+            "malformed exposition line: {line:?}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn http_get_metrics_shim_serves_prometheus() {
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+    c.command("append kv (k = 1, v = 100)").unwrap();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.0 200 OK\r\n"),
+        "status line: {response}"
+    );
+    assert!(response.contains("Content-Type: text/plain"), "{response}");
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1;
+    assert!(body.contains("ariel_server_commands_total 1"), "{body}");
+    assert!(
+        body.contains("# TYPE ariel_engine_firings_total counter"),
+        "{body}"
+    );
+
+    // the shim is not a session and breaks nothing for real clients
+    assert_eq!(c.query("retrieve (kv.all)").unwrap().table.rows.len(), 1);
+    let (stats, _engine) = handle.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "GET is not a protocol violation");
+}
+
+#[test]
+fn slow_log_captures_slowest_under_16_client_load() {
+    let options = ServerOptions {
+        slow_capacity: 8,
+        slow_threshold_ns: 0, // everything competes; the 8 slowest stay
+        ..Default::default()
+    };
+    let (addr, handle) = spawn_server_with(64, options);
+    let mut threads = Vec::new();
+    for t in 0..16i64 {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for i in 0..20i64 {
+                c.command(&format!("append kv (k = {}, v = {i})", t * 1000 + i))
+                    .unwrap();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    let json = c.metrics().unwrap();
+    assert!(json.contains("\"telemetry\":{"), "{json}");
+    let slowlog = json.split_once("\"slowlog\":[").expect("slowlog section").1;
+    let slowlog = &slowlog[..slowlog.find(']').expect("slowlog closes")];
+    let entries = slowlog.matches("\"session\":").count();
+    assert_eq!(entries, 8, "log holds exactly its capacity: {slowlog}");
+    assert!(slowlog.contains("\"opcode\":\"command\""), "{slowlog}");
+    assert!(slowlog.contains("\"dur_ns\":"), "{slowlog}");
+    assert!(
+        slowlog.contains("append kv"),
+        "rendered ARL text: {slowlog}"
+    );
+    // per-session figures cover the 16 writers
+    let sessions = json
+        .split_once("\"sessions\":{")
+        .expect("sessions section")
+        .1;
+    assert!(
+        sessions.matches("\"requests\":").count() >= 16,
+        "{sessions}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn telemetry_off_serves_but_records_nothing() {
+    let options = ServerOptions {
+        telemetry: false,
+        ..Default::default()
+    };
+    let (addr, handle) = spawn_server_with(64, options);
+    let mut c = Client::connect(addr).unwrap();
+    c.command("append kv (k = 1, v = 100)").unwrap();
+    let json = c.metrics().unwrap();
+    assert!(json.contains("\"telemetry\":{\"enabled\":false"), "{json}");
+    assert!(
+        json.contains("\"opcodes\":{}"),
+        "no per-opcode stats: {json}"
+    );
+    assert!(json.contains("\"slowlog\":[]"), "{json}");
+    // plain server counters still work (they predate the telemetry layer)
+    assert!(json.contains("\"commands\":1"), "{json}");
+    let prom = c.metrics_prom().unwrap();
+    assert!(prom.contains("ariel_server_commands_total 1"), "{prom}");
     handle.shutdown();
 }
 

@@ -125,6 +125,11 @@ pub fn crc32(data: &[u8]) -> u32 {
 ///
 /// fsync cadence follows the [`Durability`] policy; dropping the writer
 /// syncs any unsynced batch best-effort.
+///
+/// Every fsync this writer issues is counted and timed
+/// ([`WalWriter::fsyncs`], [`WalWriter::fsync_ns`]) — the durability
+/// telemetry the engine folds into `Ariel::metrics_json` and the
+/// Prometheus exposition.
 #[derive(Debug)]
 pub struct WalWriter {
     file: std::fs::File,
@@ -133,6 +138,8 @@ pub struct WalWriter {
     records: u64,
     bytes: u64,
     unsynced: u32,
+    fsyncs: u64,
+    fsync_ns: ariel_islist::Histogram,
 }
 
 impl WalWriter {
@@ -152,7 +159,18 @@ impl WalWriter {
             records: 0,
             bytes: 0,
             unsynced: 0,
+            fsyncs: 0,
+            fsync_ns: ariel_islist::Histogram::default(),
         })
+    }
+
+    /// `sync_data` with the fsync counter and latency histogram updated.
+    fn timed_sync(&mut self) -> io::Result<()> {
+        let t0 = std::time::Instant::now();
+        let out = self.file.sync_data();
+        self.fsyncs += 1;
+        self.fsync_ns.record(t0.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Append one record and apply the fsync policy. Errors on an
@@ -176,7 +194,7 @@ impl WalWriter {
         self.bytes += buf.len() as u64;
         match self.durability {
             Durability::Off => {}
-            Durability::Commit => self.file.sync_data()?,
+            Durability::Commit => self.timed_sync()?,
             Durability::Batch => {
                 self.unsynced += 1;
                 if self.unsynced >= BATCH_SYNC_EVERY {
@@ -190,7 +208,7 @@ impl WalWriter {
     /// Force an fsync now (checkpoint boundaries, clean shutdown).
     pub fn sync(&mut self) -> io::Result<()> {
         self.unsynced = 0;
-        self.file.sync_data()
+        self.timed_sync()
     }
 
     /// Records appended by this writer.
@@ -211,6 +229,17 @@ impl WalWriter {
     /// The fsync policy.
     pub fn durability(&self) -> Durability {
         self.durability
+    }
+
+    /// fsyncs issued by this writer (commit-mode appends, batch-boundary
+    /// and explicit [`WalWriter::sync`] calls).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Latency histogram of those fsyncs, in nanoseconds.
+    pub fn fsync_ns(&self) -> &ariel_islist::Histogram {
+        &self.fsync_ns
     }
 }
 

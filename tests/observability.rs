@@ -346,6 +346,155 @@ fn trace_survives_both_rete_modes_with_bounded_ring() {
     }
 }
 
+// ----- metrics-schema stability ----------------------------------------------
+//
+// The shapes below are documented in docs/OBSERVABILITY.md and scraped by
+// external tooling (the Prometheus exposition via the server's `/metrics`
+// shim); renaming a key or family is a breaking change these tests pin.
+
+/// Extract the integer value of `"key":<n>` after `section` in a JSON
+/// metrics snapshot (good enough for the flat snapshots the engine emits).
+fn json_counter(json: &str, section: &str, key: &str) -> u64 {
+    let at = json.find(section).unwrap_or_else(|| {
+        panic!("metrics_json lost its \"{section}\" section: {json}");
+    });
+    let pat = format!("\"{key}\":");
+    let start = at + json[at..].find(&pat).expect("documented key present") + pat.len();
+    json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn metrics_json_schema_is_stable_and_counters_monotone() {
+    let mut db = observed_db();
+    feed(&mut db, 4);
+    let before = db.metrics_json();
+    // the documented top-level sections, in their documented order
+    assert!(
+        before.starts_with("{\"engine\":{\"transitions\":"),
+        "{before}"
+    );
+    let mut at = 0;
+    for section in [
+        "\"engine\":",
+        "\"network\":",
+        "\"rules\":",
+        "\"wal\":",
+        "\"timing\":",
+    ] {
+        let pos = before[at..]
+            .find(section)
+            .unwrap_or_else(|| panic!("section {section} missing/reordered: {before}"));
+        at += pos;
+    }
+    // documented per-section counters
+    for key in ["transitions", "tokens", "firings"] {
+        json_counter(&before, "\"engine\":", key);
+    }
+    for key in [
+        "tokens_processed",
+        "alpha_tests",
+        "join_probes",
+        "pnode_inserts",
+    ] {
+        json_counter(&before, "\"network\":", key);
+    }
+    assert!(before.contains("\"name\":\"watch\""), "{before}");
+    json_counter(&before, "\"name\":\"watch\"", "firings");
+    assert!(
+        before.contains("\"wal\":{\"attached\":false"),
+        "no WAL here: {before}"
+    );
+    json_counter(&before, "\"wal\":", "records");
+    json_counter(&before, "\"wal\":", "fsyncs");
+
+    // counters are monotone across more workload
+    feed(&mut db, 6);
+    let after = db.metrics_json();
+    for (section, key) in [
+        ("\"engine\":", "transitions"),
+        ("\"engine\":", "tokens"),
+        ("\"engine\":", "firings"),
+        ("\"network\":", "tokens_processed"),
+        ("\"name\":\"watch\"", "firings"),
+    ] {
+        let (b, a) = (
+            json_counter(&before, section, key),
+            json_counter(&after, section, key),
+        );
+        assert!(a > b, "{section}{key} must grow with workload: {b} -> {a}");
+    }
+}
+
+/// The value of the single unlabeled sample `name <value>` in a
+/// Prometheus exposition.
+fn prom_value(text: &str, name: &str) -> f64 {
+    let line = text
+        .lines()
+        .find(|l| l.strip_prefix(name).is_some_and(|r| r.starts_with(' ')))
+        .unwrap_or_else(|| panic!("family {name} missing from exposition"));
+    line[name.len() + 1..].trim().parse().expect("sample value")
+}
+
+#[test]
+fn prometheus_exposition_is_well_formed_and_counters_monotone() {
+    let mut db = observed_db();
+    feed(&mut db, 4);
+    let before = db.metrics_prometheus();
+    // the documented families, each declared before use
+    for family in [
+        "ariel_engine_transitions_total counter",
+        "ariel_engine_tokens_total counter",
+        "ariel_engine_firings_total counter",
+        "ariel_network_tokens_processed_total counter",
+        "ariel_network_alpha_bytes gauge",
+        "ariel_rule_firings_total counter",
+        "ariel_wal_attached gauge",
+        "ariel_wal_records_total counter",
+        "ariel_wal_fsyncs_total counter",
+        "ariel_wal_fsync_duration_ns histogram",
+        "ariel_match_batch_duration_ns histogram",
+        "ariel_action_duration_ns histogram",
+    ] {
+        assert!(before.contains(&format!("# TYPE {family}")), "{family}");
+    }
+    // per-rule labels and histogram completeness
+    assert!(
+        before.contains("ariel_rule_firings_total{rule=\"watch\"}"),
+        "{before}"
+    );
+    assert!(before.contains("ariel_action_duration_ns_bucket{rule=\"watch\",le=\"+Inf\"}"));
+    assert!(before.contains("ariel_match_batch_duration_ns_count "));
+    assert_eq!(prom_value(&before, "ariel_wal_attached"), 0.0);
+    // every line is a comment or a `name[{labels}] value` sample whose
+    // value parses as a number
+    for line in before.lines() {
+        if line.is_empty() || line.starts_with("# ") {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line must be `name value`: {line}");
+        });
+        assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+    }
+
+    feed(&mut db, 6);
+    let after = db.metrics_prometheus();
+    for name in [
+        "ariel_engine_transitions_total",
+        "ariel_engine_tokens_total",
+        "ariel_engine_firings_total",
+        "ariel_network_tokens_processed_total",
+    ] {
+        let (b, a) = (prom_value(&before, name), prom_value(&after, name));
+        assert!(a > b, "{name} must grow with workload: {b} -> {a}");
+    }
+}
+
 #[test]
 fn virtual_nodes_report_scan_work() {
     let mut db = Ariel::with_options(EngineOptions {
